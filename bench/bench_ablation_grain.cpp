@@ -1,0 +1,56 @@
+// A3 — PRAM-substrate ablation: grain size and thread count for the scan
+// and integer-sort kernels (the knobs behind every parallel round).
+#include <benchmark/benchmark.h>
+
+#include "pram/config.hpp"
+#include "prim/integer_sort.hpp"
+#include "prim/scan.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace sfcp;
+
+void BM_ScanGrain(benchmark::State& state) {
+  const std::size_t n = 1 << 20;
+  const std::size_t grain = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(1);
+  std::vector<u64> in(n), out(n);
+  for (auto& v : in) v = rng.below(100);
+  pram::ScopedGrain g(grain);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prim::inclusive_scan<u64>(in, out));
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * static_cast<i64>(n));
+}
+BENCHMARK(BM_ScanGrain)->RangeMultiplier(8)->Range(64, 1 << 21);
+
+void BM_SortGrain(benchmark::State& state) {
+  const std::size_t n = 1 << 19;
+  const std::size_t grain = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(2);
+  std::vector<u64> keys(n);
+  for (auto& k : keys) k = rng.below(n);
+  pram::ScopedGrain g(grain);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prim::sort_order_by_key(keys, n));
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * static_cast<i64>(n));
+}
+BENCHMARK(BM_SortGrain)->RangeMultiplier(8)->Range(64, 1 << 20);
+
+void BM_ScanThreads(benchmark::State& state) {
+  const std::size_t n = 1 << 20;
+  const int threads = static_cast<int>(state.range(0));
+  util::Rng rng(3);
+  std::vector<u64> in(n), out(n);
+  for (auto& v : in) v = rng.below(100);
+  pram::ScopedThreads t(threads);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prim::inclusive_scan<u64>(in, out));
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * static_cast<i64>(n));
+}
+BENCHMARK(BM_ScanThreads)->DenseRange(1, 4, 1);
+
+}  // namespace

@@ -1,0 +1,82 @@
+// E1 / E2 — the full SFCP solver (Theorem 5.1) vs baselines: parallel
+// pipeline, sequential pipeline, Hopcroft refinement, label doubling and
+// naive refinement across instance sizes and shapes.
+#include <benchmark/benchmark.h>
+
+#include "core/baselines.hpp"
+#include "core/coarsest_partition.hpp"
+#include "util/generators.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace sfcp;
+
+graph::Instance shaped(std::size_t n, int kind, util::Rng& rng) {
+  switch (kind) {
+    case 0: return util::random_function(n, 4, rng);
+    case 1: return util::random_permutation(n, 4, rng);
+    default: return util::mergeable(n, 4, rng);
+  }
+}
+
+void BM_SfcpParallel(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const int kind = static_cast<int>(state.range(1));
+  util::Rng rng(n + kind);
+  const auto inst = shaped(n, kind, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::solve(inst, core::Options::parallel()));
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * static_cast<i64>(n));
+  state.SetLabel(kind == 0 ? "random_fn" : kind == 1 ? "permutation" : "mergeable");
+}
+BENCHMARK(BM_SfcpParallel)->ArgsProduct({{1 << 14, 1 << 17, 1 << 20}, {0, 1, 2}});
+
+void BM_SfcpSequential(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const int kind = static_cast<int>(state.range(1));
+  util::Rng rng(n + kind);
+  const auto inst = shaped(n, kind, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::solve(inst, core::Options::sequential()));
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * static_cast<i64>(n));
+  state.SetLabel(kind == 0 ? "random_fn" : kind == 1 ? "permutation" : "mergeable");
+}
+BENCHMARK(BM_SfcpSequential)->ArgsProduct({{1 << 14, 1 << 17, 1 << 20}, {0, 1, 2}});
+
+void BM_Hopcroft(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(n);
+  const auto inst = util::random_function(n, 4, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::solve_hopcroft(inst));
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * static_cast<i64>(n));
+}
+BENCHMARK(BM_Hopcroft)->Range(1 << 14, 1 << 20);
+
+void BM_LabelDoubling(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(n);
+  const auto inst = util::random_function(n, 4, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::solve_label_doubling(inst));
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * static_cast<i64>(n));
+}
+BENCHMARK(BM_LabelDoubling)->Range(1 << 14, 1 << 20);
+
+void BM_NaiveRefinement(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(n);
+  const auto inst = util::random_function(n, 4, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::solve_naive_refinement(inst));
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * static_cast<i64>(n));
+}
+BENCHMARK(BM_NaiveRefinement)->Range(1 << 14, 1 << 18);
+
+}  // namespace

@@ -1,0 +1,85 @@
+// Microbenchmarks for the extension modules: Moore minimization, orbit
+// analytics, necklace canonization and string matching — the APIs layered
+// on top of the paper's core pipeline.
+#include <benchmark/benchmark.h>
+
+#include "core/moore.hpp"
+#include "graph/orbits.hpp"
+#include "strings/matching.hpp"
+#include "strings/necklace.hpp"
+#include "util/generators.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace sfcp;
+
+void BM_MooreMinimize(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(n);
+  core::MooreMachine m;
+  m.next.resize(n);
+  m.output.resize(n);
+  for (std::size_t x = 0; x < n; ++x) {
+    m.next[x] = rng.below(static_cast<u32>(n));
+    m.output[x] = rng.below(2);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::minimize(m));
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * static_cast<i64>(n));
+}
+BENCHMARK(BM_MooreMinimize)->Range(1 << 12, 1 << 18);
+
+void BM_OrbitStats(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(n + 1);
+  const auto inst = util::random_function(n, 2, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::orbit_stats(inst.f));
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * static_cast<i64>(n));
+}
+BENCHMARK(BM_OrbitStats)->Range(1 << 12, 1 << 20);
+
+void BM_IterationTableBuild(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(n + 2);
+  const auto inst = util::random_function(n, 2, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::IterationTable(inst.f, n));
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * static_cast<i64>(n));
+}
+BENCHMARK(BM_IterationTableBuild)->Range(1 << 12, 1 << 18);
+
+void BM_CanonicalNecklace(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(n + 3);
+  const auto s = util::random_string(n, 3, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(strings::canonical_necklace(s));
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * static_cast<i64>(n));
+}
+BENCHMARK(BM_CanonicalNecklace)->Range(1 << 12, 1 << 20);
+
+template <strings::MatchStrategy S>
+void BM_Match(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(n + 4);
+  const auto text = util::random_string(n, 2, rng);
+  // Pattern sampled from the text: guaranteed hits, realistic overlaps.
+  const std::size_t m = std::min<std::size_t>(32, n / 2);
+  const std::vector<u32> pattern(text.begin() + static_cast<std::ptrdiff_t>(n / 3),
+                                 text.begin() + static_cast<std::ptrdiff_t>(n / 3 + m));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(strings::find_occurrences(text, pattern, S));
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * static_cast<i64>(n));
+}
+BENCHMARK(BM_Match<strings::MatchStrategy::Kmp>)->Range(1 << 12, 1 << 20);
+BENCHMARK(BM_Match<strings::MatchStrategy::Z>)->Range(1 << 12, 1 << 20);
+BENCHMARK(BM_Match<strings::MatchStrategy::Parallel>)->Range(1 << 12, 1 << 18);
+
+}  // namespace

@@ -1,0 +1,72 @@
+// E5 / A1 — Algorithm partition (Lemma 3.11): O(n)-operation stride-doubling
+// grouping of k equal-length strings vs the O(nk) all-pairs baseline, and
+// the hashed (BB-table) vs sorted renaming ablation.
+#include <benchmark/benchmark.h>
+
+#include "core/cycle_labeling.hpp"
+#include "util/generators.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace sfcp;
+
+std::vector<u32> make_strings(std::size_t k, std::size_t L, u32 patterns, util::Rng& rng) {
+  std::vector<std::vector<u32>> pats(patterns);
+  for (auto& p : pats) {
+    p.resize(L);
+    for (auto& c : p) c = rng.below_u32(4);
+  }
+  std::vector<u32> flat(k * L);
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto& p = pats[rng.below(patterns)];
+    std::copy(p.begin(), p.end(), flat.begin() + static_cast<std::ptrdiff_t>(i * L));
+  }
+  return flat;
+}
+
+// All-pairs comparison baseline the paper mentions: O(1) time, O(nk) ops.
+std::vector<u32> partition_all_pairs(const std::vector<u32>& flat, std::size_t k, std::size_t L) {
+  std::vector<u32> rep(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    rep[i] = static_cast<u32>(i);
+    for (std::size_t j = 0; j < i; ++j) {
+      if (std::equal(flat.begin() + static_cast<std::ptrdiff_t>(i * L),
+                     flat.begin() + static_cast<std::ptrdiff_t>((i + 1) * L),
+                     flat.begin() + static_cast<std::ptrdiff_t>(j * L))) {
+        rep[i] = rep[j];
+        break;
+      }
+    }
+  }
+  return rep;
+}
+
+void BM_PartitionDoubling(benchmark::State& state) {
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  const std::size_t L = static_cast<std::size_t>(state.range(1));
+  const auto backend = static_cast<core::RenameBackend>(state.range(2));
+  util::Rng rng(k * L);
+  const auto flat = make_strings(k, L, 8, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::partition_equal_strings(flat, k, L, backend));
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * static_cast<i64>(k * L));
+  state.SetLabel(backend == core::RenameBackend::Hashed ? "hashed_bb" : "sorted");
+}
+BENCHMARK(BM_PartitionDoubling)
+    ->ArgsProduct({{1 << 6, 1 << 10, 1 << 13}, {16, 128, 1024}, {0, 1}});
+
+void BM_PartitionAllPairs(benchmark::State& state) {
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  const std::size_t L = static_cast<std::size_t>(state.range(1));
+  util::Rng rng(k * L);
+  const auto flat = make_strings(k, L, 8, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(partition_all_pairs(flat, k, L));
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * static_cast<i64>(k * L));
+}
+BENCHMARK(BM_PartitionAllPairs)->ArgsProduct({{1 << 6, 1 << 10}, {16, 128}});
+
+}  // namespace

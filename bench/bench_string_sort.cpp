@@ -1,0 +1,43 @@
+// E4 — lexicographic string sorting (Lemma 3.8): the paper's parallel
+// fold-and-rank algorithm vs std::stable_sort and MSD radix quicksort,
+// across length distributions.
+#include <benchmark/benchmark.h>
+
+#include "strings/string_sort.hpp"
+#include "util/generators.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace sfcp;
+
+const char* dist_name(util::LengthDistribution d) {
+  switch (d) {
+    case util::LengthDistribution::Uniform: return "uniform";
+    case util::LengthDistribution::ManyShort: return "many_short";
+    case util::LengthDistribution::FewLong: return "few_long";
+    default: return "pow2";
+  }
+}
+
+template <strings::StringSortStrategy S>
+void BM_StringSort(benchmark::State& state) {
+  const std::size_t total = static_cast<std::size_t>(state.range(0));
+  const auto dist = static_cast<util::LengthDistribution>(state.range(1));
+  util::Rng rng(total + state.range(1));
+  const auto list = util::random_string_list(total / 8, total, 1 << 16, dist, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(strings::sort_strings(list, S));
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * static_cast<i64>(total));
+  state.SetLabel(dist_name(dist));
+}
+
+BENCHMARK(BM_StringSort<strings::StringSortStrategy::StdSort>)
+    ->ArgsProduct({{1 << 14, 1 << 18, 1 << 20}, {0, 1, 2, 3}});
+BENCHMARK(BM_StringSort<strings::StringSortStrategy::MsdRadix>)
+    ->ArgsProduct({{1 << 14, 1 << 18, 1 << 20}, {0, 1, 2, 3}});
+BENCHMARK(BM_StringSort<strings::StringSortStrategy::Parallel>)
+    ->ArgsProduct({{1 << 14, 1 << 18, 1 << 20}, {0, 1, 2, 3}});
+
+}  // namespace

@@ -1,0 +1,65 @@
+// Suffix-array construction and the m.s.p.-via-suffix-array baseline
+// (Vishkin's suffix-tree observation, §3.1): O(n log n) operations,
+// compared against the paper's efficient m.s.p. in table_e3_msp.
+#include <benchmark/benchmark.h>
+
+#include "strings/msp.hpp"
+#include "strings/suffix_array.hpp"
+#include "util/generators.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace sfcp;
+
+void BM_SuffixArrayBuild(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const u32 sigma = static_cast<u32>(state.range(1));
+  util::Rng rng(n + sigma);
+  const auto s = util::random_string(n, sigma, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(strings::build_suffix_array(s));
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * static_cast<i64>(n));
+  state.SetLabel(sigma == 2 ? "binary" : "large_sigma");
+}
+BENCHMARK(BM_SuffixArrayBuild)->ArgsProduct({{1 << 12, 1 << 16, 1 << 18}, {2, 1 << 16}});
+
+void BM_LcpKasai(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(n);
+  const auto s = util::random_string(n, 4, rng);
+  const auto sa = strings::build_suffix_array(s);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(strings::lcp_kasai(s, sa));
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * static_cast<i64>(n));
+}
+BENCHMARK(BM_LcpKasai)->Range(1 << 12, 1 << 20);
+
+// The head-to-head the suffix-array route exists for: m.s.p. via SA
+// (O(n log n) ops) vs the paper's Lemma 3.7 algorithm (O(n log log n) ops).
+void BM_MspViaSuffixArray(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(n * 3 + 1);
+  const auto s = util::random_string(n, 3, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(strings::msp_suffix_array(s));
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * static_cast<i64>(n));
+}
+BENCHMARK(BM_MspViaSuffixArray)->Range(1 << 12, 1 << 18);
+
+void BM_MspEfficientSameInput(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(n * 3 + 1);
+  const auto s = util::random_string(n, 3, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        strings::minimal_starting_point(s, strings::MspStrategy::Efficient));
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * static_cast<i64>(n));
+}
+BENCHMARK(BM_MspEfficientSameInput)->Range(1 << 12, 1 << 18);
+
+}  // namespace

@@ -1,0 +1,74 @@
+// E9 — substrate claims: prefix sums, integer sorting [4], list ranking [2]
+// and find-first [9].  One table of ops/n and throughput per primitive so
+// the per-lemma tables can be read against their building blocks.
+#include <iostream>
+#include <numeric>
+
+#include "pram/metrics.hpp"
+#include "prim/find_first.hpp"
+#include "prim/integer_sort.hpp"
+#include "prim/list_ranking.hpp"
+#include "prim/merge.hpp"
+#include "prim/scan.hpp"
+#include "util/random.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main() {
+  using namespace sfcp;
+  std::cout << "E9: parallel primitive substrate\n\n";
+  util::Table table({"n", "primitive", "ops", "ops/n", "ms", "M items/s"});
+  util::Rng rng(9);
+
+  const auto row = [&](std::size_t n, const char* name, auto&& body) {
+    pram::Metrics m;
+    util::Timer timer;
+    {
+      pram::ScopedMetrics guard(m);
+      body();
+    }
+    const double ms = timer.millis();
+    table.add_row(n, name, m.ops(), static_cast<double>(m.ops()) / static_cast<double>(n), ms,
+                  static_cast<double>(n) / 1e3 / (ms > 0 ? ms : 1e-3));
+  };
+
+  for (int e = 16; e <= 22; e += 3) {
+    const std::size_t n = std::size_t{1} << e;
+
+    std::vector<u32> data(n);
+    for (auto& x : data) x = rng.below(1u << 30);
+    std::vector<u32> out(n);
+    row(n, "exclusive scan", [&] { prim::exclusive_scan<u32>(data, out); });
+
+    std::vector<u64> keys(n);
+    for (auto& k : keys) k = rng.below(1u << 30);
+    row(n, "radix sort u64", [&] {
+      auto copy = keys;
+      prim::radix_sort(copy);
+    });
+    row(n, "merge sort u64", [&] {
+      auto copy = keys;
+      prim::parallel_merge_sort(std::span<u64>(copy));
+    });
+
+    // One long list for ranking.
+    std::vector<u32> next(n);
+    for (std::size_t i = 0; i + 1 < n; ++i) next[i] = static_cast<u32>(i + 1);
+    next[n - 1] = kNone;
+    row(n, "list rank (jump)", [&] {
+      prim::list_rank(next, prim::ListRankStrategy::PointerJumping);
+    });
+    row(n, "list rank (ruling)", [&] {
+      prim::list_rank(next, prim::ListRankStrategy::RulingSet);
+    });
+
+    std::vector<u8> flags(n, 0);
+    flags[n / 2] = 1;
+    row(n, "find first", [&] { prim::find_first_set(flags); });
+  }
+  table.print();
+  std::cout << "\n(scan / ruling-set ranking / find-first are O(n) work; pointer\n"
+            << " jumping pays lg n; radix sort is the O(n log log n) surrogate [4]\n"
+            << " and merge sort the O(n log n) comparison reference.)\n";
+  return 0;
+}

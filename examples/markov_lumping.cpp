@@ -1,0 +1,100 @@
+// Lumping a deterministic chain: state-space reduction of a product system.
+//
+// A deterministic finite dynamical system (a Markov chain whose rows are
+// point masses) is a function f on its states; "lumping" states that are
+// observationally equivalent is exactly the single function coarsest
+// partition problem.  This example models a small factory cell — a machine
+// with a wear counter, a maintenance timer and a sensor that only reports
+// RUNNING / DEGRADED / DOWN — builds the product state space, and lumps it
+// with the paper's parallel algorithm.  The lumped model is provably
+// equivalent for any property defined on the sensor output.
+//
+//   $ ./markov_lumping [wear_levels] [timer_len]
+#include <cstdlib>
+#include <iostream>
+
+#include "sfcp.hpp"
+
+namespace {
+
+using namespace sfcp;
+
+// Product state: (wear in [0, W), timer in [0, T)).
+// Dynamics per tick:
+//   * timer counts down; at 0 maintenance fires: wear resets, timer reloads.
+//   * otherwise wear increases by 1 up to saturation at W-1 (machine DOWN).
+// Sensor: wear < W/2 -> RUNNING(0), wear < W-1 -> DEGRADED(1), else DOWN(2).
+struct FactoryModel {
+  u32 wear_levels;
+  u32 timer_len;
+
+  u32 states() const { return wear_levels * timer_len; }
+  u32 encode(u32 wear, u32 timer) const { return wear * timer_len + timer; }
+
+  u32 step(u32 s) const {
+    const u32 wear = s / timer_len;
+    const u32 timer = s % timer_len;
+    if (timer == 0) return encode(0, timer_len - 1);  // maintenance
+    const u32 w2 = std::min(wear + 1, wear_levels - 1);
+    return encode(w2, timer - 1);
+  }
+
+  u32 sensor(u32 s) const {
+    const u32 wear = s / timer_len;
+    if (wear < wear_levels / 2) return 0;      // RUNNING
+    if (wear < wear_levels - 1) return 1;      // DEGRADED
+    return 2;                                  // DOWN
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const u32 wear = argc > 1 ? static_cast<u32>(std::strtoul(argv[1], nullptr, 10)) : 24;
+  const u32 timer = argc > 2 ? static_cast<u32>(std::strtoul(argv[2], nullptr, 10)) : 64;
+  const FactoryModel model{wear, timer};
+
+  graph::Instance inst;
+  inst.f.resize(model.states());
+  inst.b.resize(model.states());
+  for (u32 s = 0; s < model.states(); ++s) {
+    inst.f[s] = model.step(s);
+    inst.b[s] = model.sensor(s);
+  }
+
+  std::cout << "Factory cell model: " << wear << " wear levels x " << timer
+            << " timer ticks = " << model.states() << " product states\n";
+
+  // Lump with the paper's parallel pipeline, counting work.
+  pram::Metrics metrics;
+  core::Result lumped;
+  {
+    pram::ScopedMetrics guard(metrics);
+    lumped = core::solve(inst);
+  }
+  std::cout << "Lumped (bisimulation-minimal) model: " << lumped.num_blocks << " states ("
+            << (100.0 * lumped.num_blocks / model.states()) << "% of product)\n"
+            << "Work: " << metrics.summary() << "\n\n";
+
+  // The lumped model is a Moore machine in its own right; reconstruct it
+  // and confirm it reproduces the sensor stream from a few start states.
+  core::MooreMachine m{inst.f, inst.b};
+  const auto min = core::minimize(m);
+  std::cout << "Quotient machine has " << min.machine.size() << " states.\n";
+  bool ok = core::quotient_preserves_behaviour(m, min, model.states() + 1);
+  std::cout << "Sensor-stream preservation over horizon " << model.states() + 1 << ": "
+            << (ok ? "verified" : "FAILED") << "\n";
+
+  // Show one concrete trace: the first 12 sensor readings from a fresh
+  // machine and from its lumped image.
+  const u32 start = model.encode(0, timer - 1);
+  std::cout << "\nSensor trace from fresh state (original | lumped):\n  ";
+  const auto a = m.stream(start, 12);
+  const auto b = min.machine.stream(min.state_map[start], 12);
+  const char* names[] = {"RUN", "DEG", "DOWN"};
+  for (std::size_t t = 0; t < a.size(); ++t) std::cout << names[a[t]] << ' ';
+  std::cout << "\n  ";
+  for (std::size_t t = 0; t < b.size(); ++t) std::cout << names[b[t]] << ' ';
+  std::cout << "\n";
+  return ok ? 0 : 1;
+}

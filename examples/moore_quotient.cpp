@@ -1,0 +1,70 @@
+// Minimizing a unary Moore machine with redundant clock domains.
+//
+// Builds a machine that blinks an LED with period P using K redundant
+// copies of the counter logic (as a hardware synthesizer might emit before
+// optimization), minimizes it via the coarsest-partition solver, and shows
+// that the quotient is the canonical P-state blinker — demonstrating the
+// `core::moore` API end to end, including the isomorphism check.
+//
+//   $ ./moore_quotient [period] [copies]
+#include <cstdlib>
+#include <iostream>
+
+#include "sfcp.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sfcp;
+  const u32 period = argc > 1 ? static_cast<u32>(std::strtoul(argv[1], nullptr, 10)) : 6;
+  const u32 copies = argc > 2 ? static_cast<u32>(std::strtoul(argv[2], nullptr, 10)) : 50;
+  if (period < 2 || copies < 1) {
+    std::cerr << "usage: moore_quotient [period>=2] [copies>=1]\n";
+    return 1;
+  }
+
+  // K redundant blinkers: copy c, phase p -> copy c, phase (p+1) mod P.
+  // Output: LED on during the first half of each period.
+  core::MooreMachine m;
+  const u32 n = period * copies;
+  m.next.resize(n);
+  m.output.resize(n);
+  for (u32 c = 0; c < copies; ++c) {
+    for (u32 p = 0; p < period; ++p) {
+      const u32 s = c * period + p;
+      m.next[s] = c * period + (p + 1) % period;
+      m.output[s] = p < period / 2 ? 1 : 0;
+    }
+  }
+  std::cout << "Unoptimized machine: " << n << " states (" << copies << " copies of a " << period
+            << "-phase blinker)\n";
+
+  const auto min = core::minimize(m);
+  std::cout << "Minimized machine:   " << min.machine.size() << " states\n";
+
+  // The canonical blinker for comparison.
+  core::MooreMachine canon;
+  canon.next.resize(period);
+  canon.output.resize(period);
+  for (u32 p = 0; p < period; ++p) {
+    canon.next[p] = (p + 1) % period;
+    canon.output[p] = p < period / 2 ? 1 : 0;
+  }
+
+  const bool iso = core::isomorphic(min.machine, canon);
+  std::cout << "Quotient isomorphic to the canonical " << period << "-state blinker: "
+            << (iso ? "yes" : "NO") << "\n";
+
+  const bool behave = core::quotient_preserves_behaviour(m, min, 4 * period);
+  std::cout << "Behaviour preserved over 4 periods: " << (behave ? "yes" : "NO") << "\n";
+
+  // Show the LED waveform once.
+  std::cout << "\nWaveform (one period from phase 0): ";
+  for (const u32 v : min.machine.stream(min.state_map[0], period)) std::cout << (v ? '#' : '.');
+  std::cout << "\n";
+
+  // Note: states in DIFFERENT phases are inequivalent even though they have
+  // equal outputs at some instants — the stream, not the instant, decides.
+  std::cout << "Phase 0 ~ phase " << period / 2 << "? "
+            << (core::states_equivalent(m, 0, period / 2) ? "yes" : "no (different futures)")
+            << "\n";
+  return iso && behave ? 0 : 1;
+}

@@ -1,0 +1,151 @@
+#include "core/baselines.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+#include "pram/parallel_for.hpp"
+#include "prim/rename.hpp"
+#include "prim/scan.hpp"
+
+namespace sfcp::core {
+
+BaselineResult solve_naive_refinement(const graph::Instance& inst) {
+  graph::validate(inst);
+  const std::size_t n = inst.size();
+  BaselineResult out;
+  if (n == 0) return out;
+  auto cur = prim::canonicalize_labels(inst.b);
+  for (;;) {
+    ++out.rounds;
+    std::vector<u32> fq(n);
+    pram::parallel_for(0, n, [&](std::size_t x) { fq[x] = cur.labels[inst.f[x]]; });
+    auto next = prim::rename_pairs_sorted(cur.labels, fq);
+    if (next.num_classes == cur.num_classes) {
+      out.q = prim::canonicalize_labels(cur.labels).labels;
+      out.num_blocks = cur.num_classes;
+      return out;
+    }
+    cur.labels = std::move(next.labels);
+    cur.num_classes = next.num_classes;
+  }
+}
+
+BaselineResult solve_hopcroft(const graph::Instance& inst) {
+  graph::validate(inst);
+  const std::size_t n = inst.size();
+  BaselineResult out;
+  if (n == 0) return out;
+  // Preimage CSR.
+  std::vector<u32> pre_off(n + 2, 0);
+  for (std::size_t x = 0; x < n; ++x) ++pre_off[inst.f[x] + 1];
+  for (std::size_t v = 1; v <= n; ++v) pre_off[v] += pre_off[v - 1];
+  std::vector<u32> pre(n);
+  {
+    std::vector<u32> cursor(pre_off.begin(), pre_off.end() - 1);
+    for (u32 x = 0; x < n; ++x) pre[cursor[inst.f[x]]++] = x;
+  }
+  // Initial blocks from canonical B-labels.
+  auto init = prim::canonicalize_labels(inst.b);
+  std::vector<u32> block_of = std::move(init.labels);
+  std::vector<std::vector<u32>> members(init.num_classes);
+  for (u32 x = 0; x < n; ++x) members[block_of[x]].push_back(x);
+  std::deque<u32> worklist;
+  std::vector<u8> in_worklist(members.size(), 1);
+  for (u32 b = 0; b < members.size(); ++b) worklist.push_back(b);
+
+  std::vector<u32> marked_count;            // per touched block
+  std::vector<u32> touched;                 // touched block ids
+  std::vector<std::vector<u32>> marked_of;  // marked members per touched block
+  marked_of.resize(members.size());
+  marked_count.assign(members.size(), 0);
+  std::vector<u8> flag(n, 0);  // scratch for splitting (reset after each use)
+  u64 work = 0;
+
+  while (!worklist.empty()) {
+    const u32 splitter = worklist.front();
+    worklist.pop_front();
+    in_worklist[splitter] = 0;
+    // X = f^{-1}(splitter members); mark X members per block.
+    touched.clear();
+    // Iterate over a snapshot: splitting never changes `splitter`'s member
+    // list within this round because a block is split only via `touched`.
+    for (const u32 v : members[splitter]) {
+      for (u32 i = pre_off[v]; i < pre_off[v + 1]; ++i) {
+        const u32 x = pre[i];
+        const u32 b = block_of[x];
+        if (marked_of[b].empty()) touched.push_back(b);
+        marked_of[b].push_back(x);
+        ++work;
+      }
+    }
+    for (const u32 b : touched) {
+      if (marked_of[b].size() == members[b].size()) {
+        marked_of[b].clear();
+        continue;  // whole block maps into splitter: no split
+      }
+      // Split block b into marked / unmarked.
+      const u32 nb = static_cast<u32>(members.size());
+      std::vector<u32> marked = std::move(marked_of[b]);
+      marked_of[b].clear();
+      std::vector<u32> unmarked;
+      unmarked.reserve(members[b].size() - marked.size());
+      for (const u32 x : marked) flag[x] = 1;
+      for (const u32 x : members[b]) {
+        if (!flag[x]) unmarked.push_back(x);
+      }
+      for (const u32 x : marked) flag[x] = 0;
+      // Smaller half becomes the new block (Hopcroft's trick).
+      std::vector<u32>* small = marked.size() <= unmarked.size() ? &marked : &unmarked;
+      std::vector<u32>* large = marked.size() <= unmarked.size() ? &unmarked : &marked;
+      members[b] = std::move(*large);
+      members.push_back(std::move(*small));
+      marked_of.emplace_back();
+      in_worklist.push_back(0);
+      for (const u32 x : members[nb]) block_of[x] = nb;
+      if (in_worklist[b]) {
+        worklist.push_back(nb);
+        in_worklist[nb] = 1;
+      } else {
+        // enqueue the smaller of the two halves
+        const u32 smaller = members[nb].size() <= members[b].size() ? nb : b;
+        worklist.push_back(smaller);
+        in_worklist[smaller] = 1;
+      }
+      ++out.rounds;
+    }
+  }
+  pram::charge(work);
+  auto canon = prim::canonicalize_labels(block_of);
+  out.q = std::move(canon.labels);
+  out.num_blocks = canon.num_classes;
+  return out;
+}
+
+BaselineResult solve_label_doubling(const graph::Instance& inst) {
+  graph::validate(inst);
+  const std::size_t n = inst.size();
+  BaselineResult out;
+  if (n == 0) return out;
+  auto cur = prim::canonicalize_labels(inst.b);
+  std::vector<u32> q = std::move(cur.labels);
+  std::vector<u32> g(inst.f.begin(), inst.f.end());
+  std::vector<u32> tmp(n);
+  // After the round with jump g = f^s the labels encode the B-label window
+  // of length 2s; Lemma 2.1(ii) needs length n+1.
+  for (u64 s = 1; s <= n; s <<= 1) {
+    ++out.rounds;
+    std::vector<u32> right(n);
+    pram::parallel_for(0, n, [&](std::size_t x) { right[x] = q[g[x]]; });
+    auto renamed = prim::rename_pairs_sorted(q, right);
+    q = std::move(renamed.labels);
+    pram::parallel_for(0, n, [&](std::size_t x) { tmp[x] = g[g[x]]; });
+    g.swap(tmp);
+  }
+  auto canon = prim::canonicalize_labels(q);
+  out.q = std::move(canon.labels);
+  out.num_blocks = canon.num_classes;
+  return out;
+}
+
+}  // namespace sfcp::core

@@ -1,0 +1,33 @@
+#pragma once
+// Baseline SFCP solvers the paper compares against (introduction):
+//
+//   * `solve_naive_refinement` — Moore-style iterated refinement
+//     q_{t+1}(x) = rename(q_t(x), q_t(f(x))) from q_0 = B until stable;
+//     O(n) per round, up to n rounds (the O(n log n)-ish classic of [1] in
+//     its simplest form, and the ground-truth oracle for tests).
+//   * `solve_hopcroft` — Hopcroft-style partition refinement with a
+//     splitter worklist, O(n log n) sequential (stand-in for [1]).
+//   * `solve_label_doubling` — parallel label doubling over f^(2^j)
+//     (Lemma 2.1(ii) made executable): O(log n) rounds of pair renaming,
+//     O(n log n) operations — the Galley–Iliopoulos/Srikant-class baseline.
+//
+// All return canonical labellings identical to core::solve's.
+
+#include <vector>
+
+#include "graph/functional_graph.hpp"
+#include "pram/types.hpp"
+
+namespace sfcp::core {
+
+struct BaselineResult {
+  std::vector<u32> q;
+  u32 num_blocks = 0;
+  u32 rounds = 0;  ///< refinement/doubling rounds executed
+};
+
+BaselineResult solve_naive_refinement(const graph::Instance& inst);
+BaselineResult solve_hopcroft(const graph::Instance& inst);
+BaselineResult solve_label_doubling(const graph::Instance& inst);
+
+}  // namespace sfcp::core

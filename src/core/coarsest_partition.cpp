@@ -1,0 +1,50 @@
+#include "core/coarsest_partition.hpp"
+
+#include "prim/rename.hpp"
+
+namespace sfcp::core {
+
+Options Options::parallel() { return Options{}; }
+
+Options Options::sequential() {
+  Options o;
+  o.cycle_detect = graph::CycleDetectStrategy::Sequential;
+  o.cycle_structure = graph::CycleStructureStrategy::Sequential;
+  o.cycle_labeling.msp = strings::MspStrategy::Booth;
+  o.cycle_labeling.parallel_period = false;
+  o.tree_labeling.strategy = TreeLabelStrategy::SequentialDFS;
+  o.tree_labeling.forest = graph::ForestStrategy::Sequential;
+  return o;
+}
+
+Result solve(const graph::Instance& inst, const Options& opt) {
+  graph::validate(inst);
+  Result result;
+  const std::size_t n = inst.size();
+  if (n == 0) return result;
+
+  // Step 1 (Section 5): mark the cycle nodes with the configured detector
+  // (Euler tour by default, per the paper), then derive the full cycle
+  // structure (leader, rank, contiguous arrangement).
+  const std::vector<u8> on_cycle = graph::find_cycle_nodes(inst.f, opt.cycle_detect);
+  const graph::CycleStructure cs =
+      graph::cycle_structure_with_flags(inst.f, on_cycle, opt.cycle_structure);
+
+  // Step 2 (Section 3): Q-labels of cycle nodes.
+  const CycleLabeling cl = label_cycles(inst, cs, opt.cycle_labeling);
+
+  // Step 3 (Section 4): Q-labels of tree nodes.
+  const TreeLabeling tl = label_trees(inst, cs, cl, opt.tree_labeling);
+
+  // Canonicalize to first-occurrence dense labels.
+  auto canon = prim::canonicalize_labels(tl.q);
+  result.q = std::move(canon.labels);
+  result.num_blocks = canon.num_classes;
+  result.num_cycles = static_cast<u32>(cs.num_cycles());
+  result.cycle_nodes = static_cast<u32>(cs.cycle_nodes.size());
+  result.kept_tree_nodes = tl.kept;
+  result.residual_tree_nodes = tl.residual;
+  return result;
+}
+
+}  // namespace sfcp::core

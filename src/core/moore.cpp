@@ -1,0 +1,114 @@
+#include "core/moore.hpp"
+
+#include <stdexcept>
+
+#include "pram/metrics.hpp"
+#include "pram/parallel_for.hpp"
+
+namespace sfcp::core {
+
+void MooreMachine::validate() const {
+  if (next.size() != output.size()) {
+    throw std::invalid_argument("MooreMachine: next/output size mismatch");
+  }
+  for (std::size_t x = 0; x < next.size(); ++x) {
+    if (next[x] >= next.size()) {
+      throw std::invalid_argument("MooreMachine: transition out of range");
+    }
+  }
+}
+
+std::vector<u32> MooreMachine::stream(u32 start, std::size_t len) const {
+  if (start >= size()) throw std::out_of_range("MooreMachine::stream: bad start state");
+  std::vector<u32> out;
+  out.reserve(len);
+  u32 cur = start;
+  for (std::size_t t = 0; t < len; ++t) {
+    out.push_back(output[cur]);
+    cur = next[cur];
+  }
+  return out;
+}
+
+MinimizedMoore minimize(const MooreMachine& m, const Options& opt) {
+  m.validate();
+  MinimizedMoore out;
+  const std::size_t n = m.size();
+  out.state_map.assign(n, 0);
+  if (n == 0) return out;
+
+  graph::Instance inst;
+  inst.f = m.next;
+  inst.b = m.output;
+  const Result r = solve(inst, opt);
+  out.state_map = r.q;
+  out.classes = r.num_blocks;
+
+  // Canonical labels are in first-occurrence order, so the first state with
+  // label c is the class representative and labels fill [0, classes).
+  std::vector<u32> rep(out.classes, kNone);
+  for (std::size_t x = 0; x < n; ++x) {
+    if (rep[r.q[x]] == kNone) rep[r.q[x]] = static_cast<u32>(x);
+  }
+  out.machine.next.resize(out.classes);
+  out.machine.output.resize(out.classes);
+  pram::parallel_for(0, out.classes, [&](std::size_t c) {
+    const u32 x = rep[c];
+    out.machine.next[c] = r.q[m.next[x]];
+    out.machine.output[c] = m.output[x];
+  });
+  return out;
+}
+
+bool states_equivalent(const MooreMachine& m, u32 x, u32 y) {
+  if (x >= m.size() || y >= m.size()) {
+    throw std::out_of_range("states_equivalent: state out of range");
+  }
+  if (x == y) return true;
+  const MinimizedMoore min = minimize(m);
+  return min.state_map[x] == min.state_map[y];
+}
+
+bool isomorphic(const MooreMachine& a, const MooreMachine& b) {
+  a.validate();
+  b.validate();
+  if (a.size() != b.size()) return false;
+  const std::size_t n = a.size();
+  if (n == 0) return true;
+
+  // Behavioural partition of the disjoint union.  For MINIMAL machines an
+  // isomorphism exists iff every equivalence class contains exactly one
+  // state from each machine: equivalence is a congruence (x ~ y implies
+  // f(x) ~ f(y)) and preserves outputs, so the pairing is the isomorphism.
+  graph::Instance uni;
+  uni.f.resize(2 * n);
+  uni.b.resize(2 * n);
+  for (std::size_t x = 0; x < n; ++x) {
+    uni.f[x] = a.next[x];
+    uni.b[x] = a.output[x];
+    uni.f[n + x] = b.next[x] + static_cast<u32>(n);
+    uni.b[n + x] = b.output[x];
+  }
+  const Result r = solve(uni);
+  if (r.num_blocks != n) return false;
+  std::vector<u32> from_a(r.num_blocks, 0), from_b(r.num_blocks, 0);
+  for (std::size_t x = 0; x < n; ++x) {
+    ++from_a[r.q[x]];
+    ++from_b[r.q[n + x]];
+  }
+  for (u32 c = 0; c < r.num_blocks; ++c) {
+    if (from_a[c] != 1 || from_b[c] != 1) return false;
+  }
+  pram::charge(2 * n);
+  return true;
+}
+
+bool quotient_preserves_behaviour(const MooreMachine& m, const MinimizedMoore& min,
+                                  std::size_t horizon) {
+  for (u32 x = 0; x < m.size(); ++x) {
+    if (m.stream(x, horizon) != min.machine.stream(min.state_map[x], horizon)) return false;
+  }
+  return true;
+}
+
+}  // namespace sfcp::core

@@ -1,0 +1,71 @@
+#pragma once
+// Unary Moore machines and their minimization — the paper's flagship
+// application packaged as a first-class API.
+//
+// A unary Moore machine is a finite-state machine with a one-letter input
+// alphabet: states {0..n-1}, a transition function f (one successor per
+// state) and an output map out(x).  Minimizing it — merging states that
+// produce identical output streams out(x), out(f(x)), out(f^2(x)), ... —
+// is *exactly* the single function coarsest partition problem with
+// B-labels = outputs (Lemma 2.1(ii)), so `minimize` delegates to the
+// paper's parallel solver and returns the quotient machine.
+//
+// The module also provides behavioural equivalence of states and machines,
+// output-stream evaluation, and an isomorphism check between minimal
+// machines (used by the tests to validate the quotient construction).
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/coarsest_partition.hpp"
+#include "graph/functional_graph.hpp"
+#include "pram/types.hpp"
+
+namespace sfcp::core {
+
+/// A unary Moore machine.  Outputs are arbitrary u32 values.
+struct MooreMachine {
+  std::vector<u32> next;    ///< transition: state x -> next[x]
+  std::vector<u32> output;  ///< output[x] emitted when in state x
+
+  std::size_t size() const { return next.size(); }
+
+  /// Throws std::invalid_argument on malformed machines.
+  void validate() const;
+
+  /// The first `len` outputs of the stream emitted from `start`:
+  /// output[start], output[f(start)], ...
+  std::vector<u32> stream(u32 start, std::size_t len) const;
+};
+
+/// Result of minimization: the quotient machine plus the state map.
+struct MinimizedMoore {
+  MooreMachine machine;        ///< quotient machine, states in [0, classes)
+  std::vector<u32> state_map;  ///< original state -> quotient state
+  u32 classes = 0;             ///< number of quotient states
+
+  std::size_t original_size() const { return state_map.size(); }
+};
+
+/// Minimizes `m` with the paper's parallel SFCP algorithm (or any Options
+/// configuration).  The quotient's state ids follow the canonical
+/// first-occurrence order of the underlying Q-labels.
+MinimizedMoore minimize(const MooreMachine& m, const Options& opt = Options::parallel());
+
+/// True iff states x and y of `m` emit identical infinite output streams
+/// (behavioural equivalence).  Decided exactly via minimization.
+bool states_equivalent(const MooreMachine& m, u32 x, u32 y);
+
+/// True iff the two machines are isomorphic: a bijection of states
+/// preserving transitions and outputs.  Intended for *minimal* machines
+/// where the isomorphism, if any, is unique per matched start state; the
+/// check runs in O(n log n).
+bool isomorphic(const MooreMachine& a, const MooreMachine& b);
+
+/// Quotient soundness check: m's behaviour is preserved by `min` (every
+/// state's stream of length `horizon` matches its image's stream).
+bool quotient_preserves_behaviour(const MooreMachine& m, const MinimizedMoore& min,
+                                  std::size_t horizon);
+
+}  // namespace sfcp::core

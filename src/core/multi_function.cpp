@@ -1,0 +1,141 @@
+#include "core/multi_function.hpp"
+
+#include <deque>
+#include <stdexcept>
+#include <string>
+
+#include "pram/parallel_for.hpp"
+#include "prim/rename.hpp"
+
+namespace sfcp::core {
+
+void validate(const MultiInstance& inst) {
+  const std::size_t n = inst.size();
+  if (inst.f.empty()) throw std::invalid_argument("MultiInstance: needs >= 1 function");
+  for (const auto& f : inst.f) {
+    if (f.size() != n) {
+      throw std::invalid_argument("MultiInstance: function size mismatch");
+    }
+    for (const u32 y : f) {
+      if (y >= n) throw std::invalid_argument("MultiInstance: f maps outside [0, n)");
+    }
+  }
+}
+
+MultiResult solve_multi_moore(const MultiInstance& inst) {
+  validate(inst);
+  const std::size_t n = inst.size();
+  MultiResult out;
+  if (n == 0) return out;
+  auto cur = prim::canonicalize_labels(inst.b);
+  std::vector<u32> q = std::move(cur.labels);
+  u32 classes = cur.num_classes;
+  for (;;) {
+    ++out.rounds;
+    // One Moore round: new label determined by (q, q o f_1, ..., q o f_k),
+    // folded with k successive pair renamings.
+    std::vector<u32> acc = q;
+    for (const auto& f : inst.f) {
+      std::vector<u32> img(n);
+      pram::parallel_for(0, n, [&](std::size_t x) { img[x] = q[f[x]]; });
+      auto renamed = prim::rename_pairs_sorted(acc, img);
+      acc = std::move(renamed.labels);
+    }
+    const u32 new_classes = prim::canonicalize_labels(acc).num_classes;
+    if (new_classes == classes) break;
+    q = std::move(acc);
+    classes = new_classes;
+  }
+  auto canon = prim::canonicalize_labels(q);
+  out.q = std::move(canon.labels);
+  out.num_blocks = canon.num_classes;
+  return out;
+}
+
+MultiResult solve_multi_hopcroft(const MultiInstance& inst) {
+  validate(inst);
+  const std::size_t n = inst.size();
+  const std::size_t k = inst.letters();
+  MultiResult out;
+  if (n == 0) return out;
+  // Per-letter preimage CSR.
+  std::vector<std::vector<u32>> pre_off(k), pre(k);
+  for (std::size_t a = 0; a < k; ++a) {
+    pre_off[a].assign(n + 2, 0);
+    for (std::size_t x = 0; x < n; ++x) ++pre_off[a][inst.f[a][x] + 1];
+    for (std::size_t v = 1; v <= n; ++v) pre_off[a][v] += pre_off[a][v - 1];
+    pre[a].resize(n);
+    std::vector<u32> cursor(pre_off[a].begin(), pre_off[a].end() - 1);
+    for (u32 x = 0; x < n; ++x) pre[a][cursor[inst.f[a][x]]++] = x;
+  }
+  auto init = prim::canonicalize_labels(inst.b);
+  std::vector<u32> block_of = std::move(init.labels);
+  std::vector<std::vector<u32>> members(init.num_classes);
+  for (u32 x = 0; x < n; ++x) members[block_of[x]].push_back(x);
+  // Worklist of (block, letter).
+  std::deque<std::pair<u32, u32>> worklist;
+  std::vector<std::vector<u8>> in_worklist(k);
+  for (std::size_t a = 0; a < k; ++a) in_worklist[a].assign(members.size(), 1);
+  for (u32 b = 0; b < members.size(); ++b) {
+    for (u32 a = 0; a < k; ++a) worklist.emplace_back(b, a);
+  }
+  std::vector<std::vector<u32>> marked_of(members.size());
+  std::vector<u8> flag(n, 0);
+  u64 work = 0;
+  while (!worklist.empty()) {
+    const auto [splitter, letter] = worklist.front();
+    worklist.pop_front();
+    in_worklist[letter][splitter] = 0;
+    std::vector<u32> touched;
+    for (const u32 v : members[splitter]) {
+      for (u32 i = pre_off[letter][v]; i < pre_off[letter][v + 1]; ++i) {
+        const u32 x = pre[letter][i];
+        const u32 b = block_of[x];
+        if (marked_of[b].empty()) touched.push_back(b);
+        marked_of[b].push_back(x);
+        ++work;
+      }
+    }
+    for (const u32 b : touched) {
+      if (marked_of[b].size() == members[b].size()) {
+        marked_of[b].clear();
+        continue;
+      }
+      const u32 nb = static_cast<u32>(members.size());
+      std::vector<u32> marked = std::move(marked_of[b]);
+      marked_of[b].clear();
+      std::vector<u32> unmarked;
+      unmarked.reserve(members[b].size() - marked.size());
+      for (const u32 x : marked) flag[x] = 1;
+      for (const u32 x : members[b]) {
+        if (!flag[x]) unmarked.push_back(x);
+      }
+      for (const u32 x : marked) flag[x] = 0;
+      std::vector<u32>* small = marked.size() <= unmarked.size() ? &marked : &unmarked;
+      std::vector<u32>* large = marked.size() <= unmarked.size() ? &unmarked : &marked;
+      members[b] = std::move(*large);
+      members.push_back(std::move(*small));
+      marked_of.emplace_back();
+      for (const u32 x : members[nb]) block_of[x] = nb;
+      for (std::size_t a = 0; a < k; ++a) {
+        in_worklist[a].push_back(0);
+        if (in_worklist[a][b]) {
+          worklist.emplace_back(nb, static_cast<u32>(a));
+          in_worklist[a][nb] = 1;
+        } else {
+          const u32 smaller = members[nb].size() <= members[b].size() ? nb : b;
+          worklist.emplace_back(smaller, static_cast<u32>(a));
+          in_worklist[a][smaller] = 1;
+        }
+      }
+      ++out.rounds;
+    }
+  }
+  pram::charge(work);
+  auto canon = prim::canonicalize_labels(block_of);
+  out.q = std::move(canon.labels);
+  out.num_blocks = canon.num_classes;
+  return out;
+}
+
+}  // namespace sfcp::core

@@ -1,0 +1,42 @@
+#pragma once
+// Extension: the MULTI-function coarsest partition problem (the general
+// relational/automata setting of Paige–Tarjan [16] and Hopcroft [1]).
+//
+// The paper solves the single-function case; a k-letter Moore machine /
+// DFA needs the coarsest partition stable under EVERY function f_1..f_k.
+// This module provides:
+//   * solve_multi_moore     — parallel Moore iteration: one tuple-renaming
+//                             round per refinement step (O(kn) work/round,
+//                             <= n rounds; each round is O(log n) depth)
+//   * solve_multi_hopcroft  — sequential Hopcroft with per-letter splitter
+//                             worklist, O(kn log n)
+// For k = 1 both reduce to the paper's problem and are cross-checked
+// against core::solve in the tests.
+
+#include <vector>
+
+#include "pram/types.hpp"
+
+namespace sfcp::core {
+
+struct MultiInstance {
+  std::vector<std::vector<u32>> f;  ///< k functions, each of size n
+  std::vector<u32> b;               ///< initial partition labels
+
+  std::size_t size() const { return b.size(); }
+  std::size_t letters() const { return f.size(); }
+};
+
+/// Throws std::invalid_argument if sizes mismatch or values out of range.
+void validate(const MultiInstance& inst);
+
+struct MultiResult {
+  std::vector<u32> q;  ///< canonical labels
+  u32 num_blocks = 0;
+  u32 rounds = 0;
+};
+
+MultiResult solve_multi_moore(const MultiInstance& inst);
+MultiResult solve_multi_hopcroft(const MultiInstance& inst);
+
+}  // namespace sfcp::core

@@ -1,0 +1,124 @@
+#include "core/partition_algebra.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "pram/metrics.hpp"
+#include "pram/parallel_for.hpp"
+#include "prim/rename.hpp"
+
+namespace sfcp::core {
+
+namespace {
+
+void require_same_size(std::span<const u32> a, std::span<const u32> b, const char* what) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument(std::string(what) + ": size mismatch");
+  }
+}
+
+// Union-find with path halving; used by partition_join.
+struct UnionFind {
+  std::vector<u32> parent;
+
+  explicit UnionFind(std::size_t n) : parent(n) {
+    std::iota(parent.begin(), parent.end(), 0u);
+  }
+
+  u32 find(u32 x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  }
+
+  void unite(u32 a, u32 b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent[std::max(a, b)] = std::min(a, b);
+  }
+};
+
+}  // namespace
+
+std::vector<u32> canonical_partition(std::span<const u32> labels) {
+  return prim::canonicalize_labels(labels).labels;
+}
+
+std::vector<u32> partition_meet(std::span<const u32> a, std::span<const u32> b) {
+  require_same_size(a, b, "partition_meet");
+  const auto renamed = prim::rename_pairs_sorted(a, b);
+  return canonical_partition(renamed.labels);
+}
+
+std::vector<u32> partition_join(std::span<const u32> a, std::span<const u32> b) {
+  require_same_size(a, b, "partition_join");
+  const std::size_t n = a.size();
+  UnionFind uf(n);
+  // Link each element to the first representative of its a-block and its
+  // b-block; the transitive closure of these links is the join.
+  std::vector<u32> first_a(n, kNone), first_b(n, kNone);
+  for (std::size_t x = 0; x < n; ++x) {
+    if (a[x] >= n || b[x] >= n) {
+      // Labels may be arbitrary u32s; remap through canonical form first.
+      const auto ca = canonical_partition(a);
+      const auto cb = canonical_partition(b);
+      return partition_join(ca, cb);
+    }
+    if (first_a[a[x]] == kNone) {
+      first_a[a[x]] = static_cast<u32>(x);
+    } else {
+      uf.unite(first_a[a[x]], static_cast<u32>(x));
+    }
+    if (first_b[b[x]] == kNone) {
+      first_b[b[x]] = static_cast<u32>(x);
+    } else {
+      uf.unite(first_b[b[x]], static_cast<u32>(x));
+    }
+  }
+  std::vector<u32> roots(n);
+  for (std::size_t x = 0; x < n; ++x) roots[x] = uf.find(static_cast<u32>(x));
+  pram::charge(2 * n);
+  return canonical_partition(roots);
+}
+
+bool is_refinement_of(std::span<const u32> fine, std::span<const u32> coarse) {
+  require_same_size(fine, coarse, "is_refinement_of");
+  const std::size_t n = fine.size();
+  const auto cf = canonical_partition(fine);
+  // Every fine block must map into exactly one coarse label.
+  std::vector<u32> image(n, kNone);
+  for (std::size_t x = 0; x < n; ++x) {
+    if (image[cf[x]] == kNone) {
+      image[cf[x]] = coarse[x];
+    } else if (image[cf[x]] != coarse[x]) {
+      return false;
+    }
+  }
+  pram::charge(n);
+  return true;
+}
+
+std::vector<u32> pullback(std::span<const u32> labels, std::span<const u32> f) {
+  require_same_size(labels, f, "pullback");
+  const std::size_t n = f.size();
+  for (std::size_t x = 0; x < n; ++x) {
+    if (f[x] >= n) throw std::invalid_argument("pullback: f out of range");
+  }
+  std::vector<u32> pulled(n);
+  pram::parallel_for(0, n, [&](std::size_t x) { pulled[x] = labels[f[x]]; });
+  return canonical_partition(pulled);
+}
+
+std::vector<u32> refine_step(std::span<const u32> labels, std::span<const u32> f) {
+  return partition_meet(labels, pullback(labels, f));
+}
+
+u32 block_count(std::span<const u32> canonical_labels) {
+  u32 mx = 0;
+  for (const u32 v : canonical_labels) mx = std::max(mx, v + 1);
+  return canonical_labels.empty() ? 0 : mx;
+}
+
+}  // namespace sfcp::core

@@ -1,0 +1,50 @@
+#pragma once
+// The lattice of partitions of {0..n-1}, represented as label arrays.
+//
+// The coarsest partition problem lives inside this lattice: Q is the meet-
+// closure of B under f-preimage refinement, i.e. the coarsest element that
+// refines B and is f-stable.  This module provides the lattice operations
+// the tests and downstream users need to state such facts directly:
+//
+//   * meet  — coarsest common refinement (blocks = nonempty intersections)
+//   * join  — finest common coarsening (transitive closure of block overlap)
+//   * is_refinement_of / same — the partial order and its equality
+//   * pullback — the partition x ~ y iff labels[f(x)] == labels[f(y)]
+//                (one refinement step of the SFCP fixpoint)
+//
+// All labellings returned are canonical (first-occurrence order), so any
+// two equal partitions compare == as vectors.
+
+#include <span>
+#include <vector>
+
+#include "pram/types.hpp"
+
+namespace sfcp::core {
+
+/// Canonicalizes labels to first-occurrence order (same partition, labels
+/// in [0, blocks)).
+std::vector<u32> canonical_partition(std::span<const u32> labels);
+
+/// Coarsest common refinement: x ~ y iff a[x]==a[y] AND b[x]==b[y].
+std::vector<u32> partition_meet(std::span<const u32> a, std::span<const u32> b);
+
+/// Finest common coarsening: the transitive closure of "same block in a OR
+/// same block in b" (union-find based, near-linear).
+std::vector<u32> partition_join(std::span<const u32> a, std::span<const u32> b);
+
+/// True iff `fine` refines `coarse` (every fine block inside a coarse one).
+bool is_refinement_of(std::span<const u32> fine, std::span<const u32> coarse);
+
+/// The f-pullback of a partition: x ~ y iff labels[f(x)] == labels[f(y)].
+std::vector<u32> pullback(std::span<const u32> labels, std::span<const u32> f);
+
+/// One SFCP refinement round: meet(labels, pullback(labels, f)).  Iterating
+/// to a fixpoint from B yields the coarsest stable refinement (the oracle
+/// used by core::verify).
+std::vector<u32> refine_step(std::span<const u32> labels, std::span<const u32> f);
+
+/// Number of blocks of a canonical labelling (max + 1; 0 for empty).
+u32 block_count(std::span<const u32> canonical_labels);
+
+}  // namespace sfcp::core

@@ -1,0 +1,72 @@
+#include "core/trace.hpp"
+
+#include <sstream>
+
+#include "pram/metrics.hpp"
+#include "prim/rename.hpp"
+#include "util/timer.hpp"
+
+namespace sfcp::core {
+
+u64 TracedResult::total_ops() const {
+  u64 total = 0;
+  for (const auto& s : stages) total += s.ops;
+  return total;
+}
+
+std::string TracedResult::to_string() const {
+  std::ostringstream os;
+  for (const auto& s : stages) {
+    os << "  " << s.name << ": ops=" << s.ops << " rounds=" << s.rounds << " ms=" << s.millis
+       << "\n";
+  }
+  return os.str();
+}
+
+TracedResult solve_traced(const graph::Instance& inst, const Options& opt) {
+  graph::validate(inst);
+  TracedResult out;
+  const std::size_t n = inst.size();
+  if (n == 0) return out;
+
+  auto stage = [&](const char* name, auto&& body) {
+    pram::Metrics m;
+    util::Timer timer;
+    {
+      pram::ScopedMetrics guard(m);
+      body();
+    }
+    out.stages.push_back({name, m.ops(), m.round_count(), timer.millis()});
+  };
+
+  std::vector<u8> on_cycle;
+  stage("1. find cycle nodes (S5)",
+        [&] { on_cycle = graph::find_cycle_nodes(inst.f, opt.cycle_detect); });
+
+  graph::CycleStructure cs;
+  stage("1b. cycle structure (rank/arrange)", [&] {
+    cs = graph::cycle_structure_with_flags(inst.f, on_cycle, opt.cycle_structure);
+  });
+
+  CycleLabeling cl;
+  stage("2. cycle node labelling (S3)",
+        [&] { cl = label_cycles(inst, cs, opt.cycle_labeling); });
+
+  TreeLabeling tl;
+  stage("3. tree node labelling (S4)",
+        [&] { tl = label_trees(inst, cs, cl, opt.tree_labeling); });
+
+  stage("4. canonicalize labels", [&] {
+    auto canon = prim::canonicalize_labels(tl.q);
+    out.result.q = std::move(canon.labels);
+    out.result.num_blocks = canon.num_classes;
+  });
+
+  out.result.num_cycles = static_cast<u32>(cs.num_cycles());
+  out.result.cycle_nodes = static_cast<u32>(cs.cycle_nodes.size());
+  out.result.kept_tree_nodes = tl.kept;
+  out.result.residual_tree_nodes = tl.residual;
+  return out;
+}
+
+}  // namespace sfcp::core

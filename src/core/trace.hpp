@@ -1,0 +1,32 @@
+#pragma once
+// Instrumented pipeline: runs core::solve stage by stage, recording
+// per-stage operation counts, rounds and wall-clock.  Powers the E1/E2
+// tables' breakdowns and the examples' "explain" output.
+
+#include <string>
+#include <vector>
+
+#include "core/coarsest_partition.hpp"
+#include "pram/types.hpp"
+
+namespace sfcp::core {
+
+struct StageStats {
+  std::string name;
+  u64 ops = 0;
+  u64 rounds = 0;
+  double millis = 0.0;
+};
+
+struct TracedResult {
+  Result result;
+  std::vector<StageStats> stages;  ///< cycle detect / structure / labelling / trees / canonical
+
+  u64 total_ops() const;
+  std::string to_string() const;
+};
+
+/// Identical output to core::solve(inst, opt), with per-stage accounting.
+TracedResult solve_traced(const graph::Instance& inst, const Options& opt = Options::parallel());
+
+}  // namespace sfcp::core

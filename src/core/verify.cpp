@@ -1,0 +1,65 @@
+#include "core/verify.hpp"
+
+#include <atomic>
+#include <sstream>
+#include <unordered_map>
+
+#include "core/baselines.hpp"
+#include "pram/parallel_for.hpp"
+#include "prim/rename.hpp"
+
+namespace sfcp::core {
+
+namespace {
+
+// rep[label] = first element carrying the label; equal-label elements must
+// then agree with their representative under `project`.
+template <typename Project>
+bool classes_agree(std::span<const u32> labels, Project&& project) {
+  std::unordered_map<u32, u32> rep;
+  rep.reserve(labels.size());
+  for (u32 x = 0; x < labels.size(); ++x) {
+    const auto [it, inserted] = rep.emplace(labels[x], x);
+    if (!inserted && project(it->second) != project(x)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool is_refinement(std::span<const u32> q, std::span<const u32> b) {
+  return classes_agree(q, [&](u32 x) { return b[x]; });
+}
+
+bool is_stable(std::span<const u32> q, std::span<const u32> f) {
+  return classes_agree(q, [&](u32 x) { return q[f[x]]; });
+}
+
+u32 count_blocks(std::span<const u32> labels) {
+  return prim::canonicalize_labels(labels).num_classes;
+}
+
+bool same_partition(std::span<const u32> a, std::span<const u32> b) {
+  if (a.size() != b.size()) return false;
+  return prim::canonicalize_labels(a).labels == prim::canonicalize_labels(b).labels;
+}
+
+std::string VerifyReport::to_string() const {
+  std::ostringstream os;
+  os << "refines_b=" << refines_b << " stable=" << stable << " coarsest=" << coarsest
+     << " blocks=" << blocks << " oracle_blocks=" << oracle_blocks;
+  return os.str();
+}
+
+VerifyReport verify_solution(const graph::Instance& inst, std::span<const u32> q) {
+  VerifyReport r;
+  r.refines_b = is_refinement(q, inst.b);
+  r.stable = is_stable(q, inst.f);
+  r.blocks = count_blocks(q);
+  const BaselineResult oracle = solve_naive_refinement(inst);
+  r.oracle_blocks = oracle.num_blocks;
+  r.coarsest = same_partition(q, oracle.q);
+  return r;
+}
+
+}  // namespace sfcp::core

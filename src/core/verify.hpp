@@ -1,0 +1,42 @@
+#pragma once
+// Partition property checkers used by tests, examples and EXPERIMENTS.md:
+// refinement of B, f-stability, and coarseness (via the refinement-fixpoint
+// oracle).  All checkers are O(n) or O(n) per round and independent of the
+// solvers they validate.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/functional_graph.hpp"
+#include "pram/types.hpp"
+
+namespace sfcp::core {
+
+/// q refines b: equal q-labels imply equal b-labels.
+bool is_refinement(std::span<const u32> q, std::span<const u32> b);
+
+/// q is f-stable: equal q-labels imply equal q-labels of images.
+bool is_stable(std::span<const u32> q, std::span<const u32> f);
+
+/// Number of distinct labels.
+u32 count_blocks(std::span<const u32> labels);
+
+/// Same partition (equal up to renaming of labels).
+bool same_partition(std::span<const u32> a, std::span<const u32> b);
+
+/// Full validity report for a candidate solution of `inst`.
+struct VerifyReport {
+  bool refines_b = false;
+  bool stable = false;
+  bool coarsest = false;  ///< matches the refinement-fixpoint oracle
+  u32 blocks = 0;
+  u32 oracle_blocks = 0;
+
+  bool ok() const { return refines_b && stable && coarsest; }
+  std::string to_string() const;
+};
+
+VerifyReport verify_solution(const graph::Instance& inst, std::span<const u32> q);
+
+}  // namespace sfcp::core

@@ -1,0 +1,130 @@
+#include "graph/cycle_detect.hpp"
+
+#include <bit>
+#include <cassert>
+
+#include "graph/functional_graph.hpp"
+#include "pram/parallel_for.hpp"
+#include "prim/integer_sort.hpp"
+#include "prim/scan.hpp"
+
+namespace sfcp::graph {
+
+namespace {
+
+std::vector<u8> detect_sequential(std::span<const u32> f) {
+  const std::size_t n = f.size();
+  std::vector<u8> on_cycle(n, 0);
+  std::vector<u8> color(n, 0);  // 0 unvisited, 1 on walk, 2 done
+  std::vector<u32> path;
+  for (u32 start = 0; start < n; ++start) {
+    if (color[start] != 0) continue;
+    path.clear();
+    u32 v = start;
+    while (color[v] == 0) {
+      color[v] = 1;
+      path.push_back(v);
+      v = f[v];
+    }
+    if (color[v] == 1) {
+      std::size_t pos = path.size();
+      while (pos > 0 && path[pos - 1] != v) --pos;
+      for (std::size_t i = pos - 1; i < path.size(); ++i) on_cycle[path[i]] = 1;
+    }
+    for (const u32 x : path) color[x] = 2;
+  }
+  pram::charge(2 * n);
+  return on_cycle;
+}
+
+std::vector<u8> detect_powers(std::span<const u32> f) {
+  const std::size_t n = f.size();
+  std::vector<u8> on_cycle(n, 0);
+  if (n == 0) return on_cycle;
+  const std::vector<u32> fn = iterate_function(f, std::bit_ceil(static_cast<u64>(n)));
+  pram::parallel_for(0, n, [&](std::size_t x) { on_cycle[fn[x]] = 1; });
+  return on_cycle;
+}
+
+// Paper §5: Euler partition of the doubled pseudo-forest.
+// Arc 2x = (x -> f(x)); arc 2x+1 = its buddy (f(x) -> x).
+std::vector<u8> detect_euler(std::span<const u32> f) {
+  const std::size_t n = f.size();
+  std::vector<u8> on_cycle(n, 0);
+  if (n == 0) return on_cycle;
+  // Preimage lists pre[v] (CSR) and each node's index within its parent's
+  // preimage list, built with one stable integer sort (paper: "the data
+  // structure ... can easily be done by using an integer sorting
+  // algorithm").
+  std::vector<u64> keys(n);
+  pram::parallel_for(0, n, [&](std::size_t x) { keys[x] = f[x]; });
+  const std::vector<u32> by_parent = prim::sort_order_by_key(keys, n - 1);
+  std::vector<u32> pre(n);  // nodes grouped by f-image
+  pram::parallel_for(0, n, [&](std::size_t i) { pre[i] = by_parent[i]; });
+  const std::vector<u32> deg = indegrees(f);
+  std::vector<u32> pre_off(n + 1, 0);
+  prim::exclusive_scan<u32>(deg, std::span<u32>(pre_off).first(n));
+  pre_off[n] = static_cast<u32>(n);
+  std::vector<u32> pre_index(n);  // position of x within pre[f(x)]
+  pram::parallel_for(0, n, [&](std::size_t i) {
+    pre_index[pre[i]] = static_cast<u32>(i) - pre_off[f[pre[i]]];
+  });
+  // Out-arc list of v (circular): slot 0 = down-arc 2v, slot 1+j = buddy
+  // arc of pre[v][j].  The Euler successor of arc e=(u,v) is the out-arc of
+  // v following twin(e) in this circular order.
+  auto out_arc = [&](u32 v, u32 slot) -> u32 {
+    return slot == 0 ? 2 * v : 2 * pre[pre_off[v] + (slot - 1)] + 1;
+  };
+  std::vector<u32> succ(2 * n);
+  pram::parallel_for(0, n, [&](std::size_t xi) {
+    const u32 x = static_cast<u32>(xi);
+    // succ of the down-arc 2x: head is v = f(x); twin is buddy 2x+1 at slot
+    // 1 + pre_index[x] of v's list.
+    const u32 v = f[x];
+    const u32 dv = deg[v] + 1;  // circular list size of v
+    succ[2 * x] = out_arc(v, (1 + pre_index[x] + 1) % dv);
+    // succ of the buddy 2x+1: head is x; twin is the down-arc 2x at slot 0.
+    const u32 dx = deg[x] + 1;
+    succ[2 * x + 1] = out_arc(x, 1 % dx);
+  });
+  // Euler-cycle identifiers: minimum arc id in each orbit of the successor
+  // permutation, by min-propagation doubling.
+  const std::size_t m = 2 * n;
+  std::vector<u32> id(m), jump(m), id2(m), jump2(m);
+  pram::parallel_for(0, m, [&](std::size_t a) {
+    id[a] = static_cast<u32>(a);
+    jump[a] = succ[a];
+  });
+  const int rounds = static_cast<int>(std::bit_width(static_cast<u64>(m - 1))) + 1;
+  for (int r = 0; r < rounds; ++r) {
+    pram::parallel_for(0, m, [&](std::size_t a) {
+      id2[a] = std::min(id[a], id[jump[a]]);
+      jump2[a] = jump[jump[a]];
+    });
+    id.swap(id2);
+    jump.swap(jump2);
+  }
+  // Edge (x, f(x)) is a cycle edge iff its two arcs lie in different Euler
+  // cycles; both endpoints of a cycle edge are cycle nodes, and every cycle
+  // node has exactly one outgoing cycle edge.
+  pram::parallel_for(0, n, [&](std::size_t x) {
+    if (id[2 * x] != id[2 * x + 1]) on_cycle[x] = 1;
+  });
+  return on_cycle;
+}
+
+}  // namespace
+
+std::vector<u8> find_cycle_nodes(std::span<const u32> f, CycleDetectStrategy strategy) {
+  switch (strategy) {
+    case CycleDetectStrategy::Sequential:
+      return detect_sequential(f);
+    case CycleDetectStrategy::FunctionPowers:
+      return detect_powers(f);
+    case CycleDetectStrategy::EulerTour:
+      return detect_euler(f);
+  }
+  return detect_sequential(f);
+}
+
+}  // namespace sfcp::graph

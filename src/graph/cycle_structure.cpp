@@ -1,0 +1,191 @@
+#include "graph/cycle_structure.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cassert>
+
+#include "graph/functional_graph.hpp"
+#include "pram/crcw.hpp"
+#include "pram/parallel_for.hpp"
+#include "prim/compact.hpp"
+#include "prim/scan.hpp"
+
+namespace sfcp::graph {
+
+namespace {
+
+// Canonical choice shared by all strategies: a cycle's leader is its
+// minimum node id, and rank(x) counts steps from the leader along f.
+void arrange(CycleStructure& cs) {
+  const std::size_t n = cs.on_cycle.size();
+  // Dense cycle ids in leader order.
+  std::vector<u32> leaders = prim::pack_index_if(
+      n, [&](std::size_t x) { return cs.on_cycle[x] && cs.leader[x] == static_cast<u32>(x); });
+  const std::size_t k = leaders.size();
+  std::vector<u32> dense_of_leader(n, kNone);
+  pram::parallel_for(0, k, [&](std::size_t c) { dense_of_leader[leaders[c]] = static_cast<u32>(c); });
+  cs.cycle_of.assign(n, kNone);
+  pram::parallel_for(0, n, [&](std::size_t x) {
+    if (cs.on_cycle[x]) cs.cycle_of[x] = dense_of_leader[cs.leader[x]];
+  });
+  std::vector<u32> lens(k);
+  pram::parallel_for(0, k, [&](std::size_t c) { lens[c] = cs.length[leaders[c]]; });
+  cs.cycle_offset.assign(k + 1, 0);
+  const u32 total = prim::exclusive_scan<u32>(lens, std::span<u32>(cs.cycle_offset).first(k));
+  cs.cycle_offset[k] = total;
+  cs.cycle_nodes.assign(total, kNone);
+  pram::parallel_for(0, n, [&](std::size_t x) {
+    if (cs.on_cycle[x]) {
+      cs.cycle_nodes[cs.cycle_offset[cs.cycle_of[x]] + cs.rank[x]] = static_cast<u32>(x);
+    }
+  });
+}
+
+CycleStructure structure_sequential(std::span<const u32> f) {
+  const std::size_t n = f.size();
+  CycleStructure cs;
+  cs.on_cycle.assign(n, 0);
+  cs.leader.assign(n, kNone);
+  cs.rank.assign(n, kNone);
+  cs.length.assign(n, kNone);
+  // Colors: 0 = unvisited, 1 = on the current walk, 2 = finished.
+  std::vector<u8> color(n, 0);
+  std::vector<u32> path;
+  for (u32 start = 0; start < n; ++start) {
+    if (color[start] != 0) continue;
+    path.clear();
+    u32 v = start;
+    while (color[v] == 0) {
+      color[v] = 1;
+      path.push_back(v);
+      v = f[v];
+    }
+    if (color[v] == 1) {
+      // Found a new cycle: it is the suffix of `path` starting at v.
+      std::size_t pos = path.size();
+      while (pos > 0 && path[pos - 1] != v) --pos;
+      --pos;  // path[pos] == v
+      const u32 len = static_cast<u32>(path.size() - pos);
+      // Leader = min node id on the cycle.
+      u32 lead = path[pos];
+      for (std::size_t i = pos; i < path.size(); ++i) lead = std::min(lead, path[i]);
+      std::size_t lead_at = pos;
+      while (path[lead_at] != lead) ++lead_at;
+      for (std::size_t i = pos; i < path.size(); ++i) {
+        const u32 x = path[i];
+        cs.on_cycle[x] = 1;
+        cs.leader[x] = lead;
+        cs.length[x] = len;
+        cs.rank[x] = static_cast<u32>((i - pos + path.size() - lead_at) % len);
+      }
+    }
+    for (const u32 x : path) color[x] = 2;
+  }
+  pram::charge(2 * n);
+  arrange(cs);
+  return cs;
+}
+
+CycleStructure structure_doubling(std::span<const u32> f, std::span<const u8> known_flags) {
+  const std::size_t n = f.size();
+  CycleStructure cs;
+  cs.on_cycle.assign(n, 0);
+  cs.leader.assign(n, kNone);
+  cs.rank.assign(n, kNone);
+  cs.length.assign(n, kNone);
+  if (n == 0) {
+    arrange(cs);
+    return cs;
+  }
+  if (!known_flags.empty()) {
+    cs.on_cycle.assign(known_flags.begin(), known_flags.end());
+  } else {
+    // Cycle nodes = image of f^N for any N >= n (every walk of length N
+    // ends on a cycle, and cycle nodes map onto themselves).
+    const u64 big = std::bit_ceil(static_cast<u64>(n));
+    const std::vector<u32> fn = iterate_function(f, big);
+    pram::parallel_for(0, n, [&](std::size_t x) {
+      cs.on_cycle[fn[x]] = 1;  // common-CRCW write
+    });
+  }
+  // Leader = min id on the cycle, by min-propagation doubling.
+  const int rounds = static_cast<int>(std::bit_width(static_cast<u64>(n - 1))) + 1;
+  std::vector<u32> lead(n), jump(n), lead2(n), jump2(n);
+  pram::parallel_for(0, n, [&](std::size_t x) {
+    lead[x] = static_cast<u32>(x);
+    jump[x] = f[x];
+  });
+  for (int r = 0; r < rounds; ++r) {
+    pram::parallel_for(0, n, [&](std::size_t x) {
+      if (!cs.on_cycle[x]) return;
+      lead2[x] = std::min(lead[x], lead[jump[x]]);
+      jump2[x] = jump[jump[x]];
+    });
+    lead.swap(lead2);
+    jump.swap(jump2);
+  }
+  // Distance to leader by absorbing pointer jumping.
+  std::vector<u32> dist(n, 0), nxt(n, kNone), dist2(n), nxt2(n);
+  pram::parallel_for(0, n, [&](std::size_t x) {
+    if (!cs.on_cycle[x]) return;
+    cs.leader[x] = lead[x];
+    if (lead[x] == static_cast<u32>(x)) {
+      dist[x] = 0;
+      nxt[x] = static_cast<u32>(x);  // leader absorbs
+    } else {
+      dist[x] = 1;
+      nxt[x] = f[x];
+    }
+  });
+  for (int r = 0; r < rounds; ++r) {
+    pram::parallel_for(0, n, [&](std::size_t x) {
+      if (!cs.on_cycle[x]) return;
+      const u32 j = nxt[x];
+      dist2[x] = dist[x] + dist[j];  // dist[leader] == 0, so absorption is free
+      nxt2[x] = nxt[j];
+    });
+    dist.swap(dist2);
+    nxt.swap(nxt2);
+  }
+  // Cycle length: 1 + max distance, accumulated at the leader.
+  std::vector<std::atomic<u32>> maxd(n);
+  pram::parallel_for(0, n, [&](std::size_t x) { maxd[x].store(0, std::memory_order_relaxed); });
+  pram::parallel_for(0, n, [&](std::size_t x) {
+    if (!cs.on_cycle[x]) return;
+    u32 cur = maxd[lead[x]].load(std::memory_order_relaxed);
+    while (dist[x] > cur &&
+           !maxd[lead[x]].compare_exchange_weak(cur, dist[x], std::memory_order_relaxed)) {
+    }
+  });
+  pram::parallel_for(0, n, [&](std::size_t x) {
+    if (!cs.on_cycle[x]) return;
+    const u32 len = maxd[lead[x]].load(std::memory_order_relaxed) + 1;
+    cs.length[x] = len;
+    cs.rank[x] = (len - dist[x]) % len;
+  });
+  arrange(cs);
+  return cs;
+}
+
+}  // namespace
+
+CycleStructure cycle_structure(std::span<const u32> f, CycleStructureStrategy strategy) {
+  switch (strategy) {
+    case CycleStructureStrategy::Sequential:
+      return structure_sequential(f);
+    case CycleStructureStrategy::PointerJumping:
+      return structure_doubling(f, {});
+  }
+  return structure_sequential(f);
+}
+
+CycleStructure cycle_structure_with_flags(std::span<const u32> f, std::span<const u8> on_cycle,
+                                          CycleStructureStrategy strategy) {
+  if (strategy == CycleStructureStrategy::Sequential) {
+    return structure_sequential(f);  // detects as a byproduct; flags agree
+  }
+  return structure_doubling(f, on_cycle);
+}
+
+}  // namespace sfcp::graph

@@ -1,0 +1,55 @@
+#include "graph/functional_graph.hpp"
+
+#include <atomic>
+
+#include "pram/parallel_for.hpp"
+
+namespace sfcp::graph {
+
+void validate(const Instance& inst) {
+  const std::size_t n = inst.f.size();
+  if (inst.b.size() != n) {
+    throw std::invalid_argument("Instance: |b| = " + std::to_string(inst.b.size()) +
+                                " does not match |f| = " + std::to_string(n));
+  }
+  if (n >= static_cast<std::size_t>(kNone)) {
+    throw std::invalid_argument("Instance: size exceeds u32 index space");
+  }
+  std::atomic<bool> ok{true};
+  pram::parallel_for(0, n, [&](std::size_t x) {
+    if (inst.f[x] >= n) ok.store(false, std::memory_order_relaxed);
+  });
+  if (!ok.load()) throw std::invalid_argument("Instance: f maps outside [0, n)");
+}
+
+std::vector<u32> iterate_function(std::span<const u32> f, u64 k) {
+  const std::size_t n = f.size();
+  std::vector<u32> result(n), power(f.begin(), f.end()), tmp(n);
+  pram::parallel_for(0, n, [&](std::size_t x) { result[x] = static_cast<u32>(x); });
+  while (k > 0) {
+    if (k & 1) {
+      pram::parallel_for(0, n, [&](std::size_t x) { tmp[x] = power[result[x]]; });
+      result.swap(tmp);
+    }
+    k >>= 1;
+    if (k > 0) {
+      pram::parallel_for(0, n, [&](std::size_t x) { tmp[x] = power[power[x]]; });
+      power.swap(tmp);
+    }
+  }
+  return result;
+}
+
+std::vector<u32> indegrees(std::span<const u32> f) {
+  const std::size_t n = f.size();
+  std::vector<std::atomic<u32>> deg(n);
+  pram::parallel_for(0, n, [&](std::size_t x) { deg[x].store(0, std::memory_order_relaxed); });
+  pram::parallel_for(0, n, [&](std::size_t x) {
+    deg[f[x]].fetch_add(1, std::memory_order_relaxed);
+  });
+  std::vector<u32> out(n);
+  pram::parallel_for(0, n, [&](std::size_t x) { out[x] = deg[x].load(std::memory_order_relaxed); });
+  return out;
+}
+
+}  // namespace sfcp::graph

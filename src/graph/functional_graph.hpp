@@ -1,0 +1,33 @@
+#pragma once
+// Functional graphs (pseudo-forests): the directed graph G = (V, E) with
+// V = {0..n-1} and edges (x, f(x)) — outdegree exactly 1, so every weakly
+// connected component is a pseudo-tree (one cycle with trees hanging off it).
+
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "pram/types.hpp"
+
+namespace sfcp::graph {
+
+/// An SFCP instance: the function f and the initial-partition labels B.
+/// (The paper's arrays A_f and A_B, 0-indexed.)
+struct Instance {
+  std::vector<u32> f;  ///< f[x] in [0, n)
+  std::vector<u32> b;  ///< B-label of x (arbitrary u32 values)
+
+  std::size_t size() const { return f.size(); }
+};
+
+/// Throws std::invalid_argument if the instance is malformed.
+void validate(const Instance& inst);
+
+/// g = f^k computed by repeated squaring, O(n log k) work.
+std::vector<u32> iterate_function(std::span<const u32> f, u64 k);
+
+/// indegree[v] = |{x : f(x) = v}|.
+std::vector<u32> indegrees(std::span<const u32> f);
+
+}  // namespace sfcp::graph

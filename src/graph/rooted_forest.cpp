@@ -1,0 +1,263 @@
+#include "graph/rooted_forest.hpp"
+
+#include <atomic>
+#include <bit>
+#include <cassert>
+
+#include "graph/euler_tour.hpp"
+#include "pram/parallel_for.hpp"
+#include "prim/compact.hpp"
+#include "prim/integer_sort.hpp"
+#include "prim/scan.hpp"
+
+namespace sfcp::graph {
+
+RootedForest build_rooted_forest(std::span<const u32> f, std::span<const u8> on_cycle) {
+  const std::size_t n = f.size();
+  RootedForest forest;
+  forest.parent.assign(f.begin(), f.end());
+  forest.is_root.assign(on_cycle.begin(), on_cycle.end());
+  forest.roots = prim::pack_index_if(n, [&](std::size_t x) { return on_cycle[x] != 0; });
+  // Tree nodes, stably sorted by parent: gives children lists with siblings
+  // in ascending order (deterministic across strategies).
+  const std::vector<u32> tree_nodes =
+      prim::pack_index_if(n, [&](std::size_t x) { return on_cycle[x] == 0; });
+  std::vector<u64> keys(tree_nodes.size());
+  pram::parallel_for(0, tree_nodes.size(), [&](std::size_t i) { keys[i] = f[tree_nodes[i]]; });
+  const std::vector<u32> order = prim::sort_order_by_key(keys, n > 0 ? n - 1 : 0);
+  forest.child.resize(tree_nodes.size());
+  pram::parallel_for(0, order.size(), [&](std::size_t i) {
+    forest.child[i] = tree_nodes[order[i]];
+  });
+  // Offsets: counts per parent, then a scan.
+  std::vector<u32> counts(n, 0);
+  {
+    std::vector<std::atomic<u32>> cnt(n);
+    pram::parallel_for(0, n, [&](std::size_t v) { cnt[v].store(0, std::memory_order_relaxed); });
+    pram::parallel_for(0, tree_nodes.size(), [&](std::size_t i) {
+      cnt[f[tree_nodes[i]]].fetch_add(1, std::memory_order_relaxed);
+    });
+    pram::parallel_for(0, n, [&](std::size_t v) { counts[v] = cnt[v].load(std::memory_order_relaxed); });
+  }
+  forest.child_off.assign(n + 1, 0);
+  const u32 total = prim::exclusive_scan<u32>(counts, std::span<u32>(forest.child_off).first(n));
+  forest.child_off[n] = total;
+  assert(total == forest.child.size());
+  forest.sibling_index.assign(n, 0);
+  pram::parallel_for(0, forest.child.size(), [&](std::size_t i) {
+    forest.sibling_index[forest.child[i]] = static_cast<u32>(i) - forest.child_off[forest.parent[forest.child[i]]];
+  });
+  return forest;
+}
+
+namespace {
+
+ForestLevels levels_sequential(const RootedForest& forest) {
+  const std::size_t n = forest.size();
+  ForestLevels out;
+  out.level.assign(n, 0);
+  out.root_of.assign(n, kNone);
+  std::vector<u32> stack;
+  for (const u32 r : forest.roots) {
+    out.root_of[r] = r;
+    stack.push_back(r);
+    while (!stack.empty()) {
+      const u32 v = stack.back();
+      stack.pop_back();
+      for (u32 i = forest.child_off[v]; i < forest.child_off[v + 1]; ++i) {
+        const u32 c = forest.child[i];
+        out.level[c] = out.level[v] + 1;
+        out.root_of[c] = r;
+        stack.push_back(c);
+      }
+    }
+  }
+  pram::charge(n);
+  return out;
+}
+
+ForestLevels levels_euler(const RootedForest& forest) {
+  const std::size_t n = forest.size();
+  ForestLevels out;
+  out.level.assign(n, 0);
+  out.root_of.assign(n, kNone);
+  const EulerTour tour = build_euler_tour(forest);
+  const std::size_t T = tour.order.size();
+  // +1 on a down-arc, -1 on an up-arc; the segmented prefix sum at a node's
+  // down-arc is exactly its level.
+  std::vector<i64> vals(T);
+  pram::parallel_for(0, T, [&](std::size_t p) {
+    vals[p] = EulerTour::is_down(tour.order[p]) ? 1 : -1;
+  });
+  std::vector<i64> pre(T);
+  prim::segmented_inclusive_scan<i64>(vals, tour.seg_start, pre);
+  pram::parallel_for(0, n, [&](std::size_t x) {
+    if (forest.is_root[x]) {
+      out.root_of[x] = static_cast<u32>(x);
+      return;
+    }
+    out.level[x] = static_cast<u32>(pre[tour.pos[EulerTour::down_arc(static_cast<u32>(x))]]);
+  });
+  // Owning root: propagate the segment head's root with a segmented max
+  // scan over (root id + 1) placed at segment heads.
+  std::vector<i64> rootv(T, 0);
+  pram::parallel_for(0, T, [&](std::size_t p) {
+    if (tour.seg_start[p]) {
+      rootv[p] = static_cast<i64>(forest.parent[EulerTour::arc_node(tour.order[p])]) + 1;
+    }
+  });
+  // A copy-scan: within a segment only the head holds a value, so a
+  // segmented running maximum propagates it.
+  std::vector<i64> carried(T);
+  {
+    // reuse segmented sum scan on indicator trick: since only heads hold
+    // values and all others are 0, max == sum within a segment prefix.
+    prim::segmented_inclusive_scan<i64>(rootv, tour.seg_start, carried);
+  }
+  pram::parallel_for(0, n, [&](std::size_t x) {
+    if (forest.is_root[x]) return;
+    out.root_of[x] =
+        static_cast<u32>(carried[tour.pos[EulerTour::down_arc(static_cast<u32>(x))]] - 1);
+  });
+  return out;
+}
+
+ForestLevels levels_doubling(const RootedForest& forest) {
+  const std::size_t n = forest.size();
+  ForestLevels out;
+  out.level.assign(n, 0);
+  out.root_of.assign(n, kNone);
+  if (n == 0) return out;
+  std::vector<u32> jump(n), lvl(n), jump2(n), lvl2(n);
+  pram::parallel_for(0, n, [&](std::size_t x) {
+    if (forest.is_root[x]) {
+      jump[x] = static_cast<u32>(x);
+      lvl[x] = 0;
+    } else {
+      jump[x] = forest.parent[x];
+      lvl[x] = 1;
+    }
+  });
+  const int rounds = static_cast<int>(std::bit_width(static_cast<u64>(n - 1))) + 1;
+  for (int r = 0; r < rounds; ++r) {
+    pram::parallel_for(0, n, [&](std::size_t x) {
+      lvl2[x] = lvl[x] + lvl[jump[x]];
+      jump2[x] = jump[jump[x]];
+    });
+    lvl.swap(lvl2);
+    jump.swap(jump2);
+  }
+  pram::parallel_for(0, n, [&](std::size_t x) {
+    out.level[x] = lvl[x];
+    out.root_of[x] = jump[x];
+  });
+  return out;
+}
+
+std::vector<i64> sums_sequential(const RootedForest& forest, std::span<const i64> vals) {
+  const std::size_t n = forest.size();
+  std::vector<i64> out(n, 0);
+  std::vector<u32> stack;
+  for (const u32 r : forest.roots) {
+    out[r] = vals[r];
+    stack.push_back(r);
+    while (!stack.empty()) {
+      const u32 v = stack.back();
+      stack.pop_back();
+      for (u32 i = forest.child_off[v]; i < forest.child_off[v + 1]; ++i) {
+        const u32 c = forest.child[i];
+        out[c] = out[v] + vals[c];
+        stack.push_back(c);
+      }
+    }
+  }
+  pram::charge(n);
+  return out;
+}
+
+std::vector<i64> sums_euler(const RootedForest& forest, std::span<const i64> vals) {
+  const std::size_t n = forest.size();
+  std::vector<i64> out(n, 0);
+  const EulerTour tour = build_euler_tour(forest);
+  const std::size_t T = tour.order.size();
+  std::vector<i64> arc_vals(T);
+  pram::parallel_for(0, T, [&](std::size_t p) {
+    const u32 arc = tour.order[p];
+    const u32 x = EulerTour::arc_node(arc);
+    arc_vals[p] = EulerTour::is_down(arc) ? vals[x] : -vals[x];
+  });
+  std::vector<i64> pre(T);
+  prim::segmented_inclusive_scan<i64>(arc_vals, tour.seg_start, pre);
+  pram::parallel_for(0, n, [&](std::size_t x) {
+    if (forest.is_root[x]) {
+      out[x] = vals[x];
+    } else {
+      // The prefix at the down-arc covers the path root..x *excluding* the
+      // root (roots have no down-arc); add the root's value explicitly.
+      out[x] = pre[tour.pos[EulerTour::down_arc(static_cast<u32>(x))]];
+    }
+  });
+  // Add the owning root's value to every tree node.
+  const ForestLevels lv = levels_euler(forest);
+  pram::parallel_for(0, n, [&](std::size_t x) {
+    if (!forest.is_root[x]) out[x] += vals[lv.root_of[x]];
+  });
+  return out;
+}
+
+std::vector<i64> sums_doubling(const RootedForest& forest, std::span<const i64> vals) {
+  const std::size_t n = forest.size();
+  std::vector<i64> out(n, 0);
+  if (n == 0) return out;
+  std::vector<u32> jump(n), jump2(n);
+  std::vector<i64> acc(n), acc2(n);
+  pram::parallel_for(0, n, [&](std::size_t x) {
+    acc[x] = vals[x];
+    jump[x] = forest.is_root[x] ? kNone : forest.parent[x];
+  });
+  const int rounds = static_cast<int>(std::bit_width(static_cast<u64>(n - 1))) + 1;
+  for (int r = 0; r < rounds; ++r) {
+    pram::parallel_for(0, n, [&](std::size_t x) {
+      if (jump[x] != kNone) {
+        acc2[x] = acc[x] + acc[jump[x]];
+        jump2[x] = jump[jump[x]];
+      } else {
+        acc2[x] = acc[x];
+        jump2[x] = kNone;
+      }
+    });
+    acc.swap(acc2);
+    jump.swap(jump2);
+  }
+  pram::parallel_for(0, n, [&](std::size_t x) { out[x] = acc[x]; });
+  return out;
+}
+
+}  // namespace
+
+ForestLevels forest_levels(const RootedForest& forest, ForestStrategy strategy) {
+  switch (strategy) {
+    case ForestStrategy::Sequential:
+      return levels_sequential(forest);
+    case ForestStrategy::EulerTour:
+      return levels_euler(forest);
+    case ForestStrategy::AncestorDoubling:
+      return levels_doubling(forest);
+  }
+  return levels_sequential(forest);
+}
+
+std::vector<i64> root_path_sums(const RootedForest& forest, std::span<const i64> vals,
+                                ForestStrategy strategy) {
+  switch (strategy) {
+    case ForestStrategy::Sequential:
+      return sums_sequential(forest, vals);
+    case ForestStrategy::EulerTour:
+      return sums_euler(forest, vals);
+    case ForestStrategy::AncestorDoubling:
+      return sums_doubling(forest, vals);
+  }
+  return sums_sequential(forest, vals);
+}
+
+}  // namespace sfcp::graph

@@ -1,0 +1,46 @@
+#pragma once
+// Rooted forests hanging off the cycles of a pseudo-forest (Section 4).
+//
+// Every cycle node is the root of the tree formed by its non-cycle
+// predecessors; tree edges point child -> parent = f(child).  This module
+// builds children lists (deterministically: siblings in ascending id order)
+// and computes levels, owning roots and root-path prefix sums with three
+// interchangeable strategies (sequential BFS, Euler tour + segmented scan,
+// ancestor pointer doubling).
+
+#include <span>
+#include <vector>
+
+#include "pram/types.hpp"
+#include "prim/list_ranking.hpp"
+
+namespace sfcp::graph {
+
+struct RootedForest {
+  std::vector<u32> parent;     ///< f (parent of a root is its cycle successor)
+  std::vector<u8> is_root;     ///< on_cycle flags
+  std::vector<u32> child_off;  ///< CSR offsets into child (size n+1)
+  std::vector<u32> child;      ///< tree children, siblings ascending
+  std::vector<u32> sibling_index;  ///< position of a tree node among its siblings
+  std::vector<u32> roots;          ///< all root nodes, ascending
+
+  std::size_t size() const { return parent.size(); }
+  u32 degree(u32 v) const { return child_off[v + 1] - child_off[v]; }
+};
+
+RootedForest build_rooted_forest(std::span<const u32> f, std::span<const u8> on_cycle);
+
+enum class ForestStrategy { Sequential, EulerTour, AncestorDoubling };
+
+struct ForestLevels {
+  std::vector<u32> level;    ///< 0 for roots
+  std::vector<u32> root_of;  ///< owning root (roots map to themselves)
+};
+
+ForestLevels forest_levels(const RootedForest& forest, ForestStrategy strategy);
+
+/// sums[x] = sum of vals over the path root(x) .. x (inclusive of both).
+std::vector<i64> root_path_sums(const RootedForest& forest, std::span<const i64> vals,
+                                ForestStrategy strategy);
+
+}  // namespace sfcp::graph

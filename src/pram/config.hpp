@@ -1,0 +1,62 @@
+#pragma once
+// Runtime configuration for the PRAM-style execution substrate.
+//
+// The paper's algorithms are stated for an arbitrary CRCW PRAM with up to n
+// processors.  We realize each PRAM round as an OpenMP parallel loop
+// (Brent's scheduling): `threads()` plays the role of p, and `grain()`
+// bounds the smallest chunk a thread will take so that tiny inputs do not
+// pay fork/join overhead.
+
+#include <algorithm>
+#include <cstddef>
+
+#include <omp.h>
+
+namespace sfcp::pram {
+
+/// Number of worker threads used by parallel primitives (default: OpenMP's).
+inline int& thread_count_ref() noexcept {
+  static int count = omp_get_max_threads();
+  return count;
+}
+
+inline int threads() noexcept { return std::max(1, thread_count_ref()); }
+
+inline void set_threads(int t) noexcept { thread_count_ref() = std::max(1, t); }
+
+/// Minimum number of elements per parallel chunk; loops below this run
+/// sequentially.
+inline std::size_t& grain_ref() noexcept {
+  static std::size_t g = 2048;
+  return g;
+}
+
+inline std::size_t grain() noexcept { return grain_ref(); }
+
+inline void set_grain(std::size_t g) noexcept { grain_ref() = std::max<std::size_t>(1, g); }
+
+/// RAII override of the global thread count (used by tests and ablations).
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(int t) : saved_(threads()) { set_threads(t); }
+  ~ScopedThreads() { set_threads(saved_); }
+  ScopedThreads(const ScopedThreads&) = delete;
+  ScopedThreads& operator=(const ScopedThreads&) = delete;
+
+ private:
+  int saved_;
+};
+
+/// RAII override of the global grain size.
+class ScopedGrain {
+ public:
+  explicit ScopedGrain(std::size_t g) : saved_(grain()) { set_grain(g); }
+  ~ScopedGrain() { set_grain(saved_); }
+  ScopedGrain(const ScopedGrain&) = delete;
+  ScopedGrain& operator=(const ScopedGrain&) = delete;
+
+ private:
+  std::size_t saved_;
+};
+
+}  // namespace sfcp::pram

@@ -1,0 +1,29 @@
+#include "pram/metrics.hpp"
+
+#include <sstream>
+
+namespace sfcp::pram {
+
+namespace {
+Metrics*& sink_ref() noexcept {
+  static Metrics* sink = nullptr;
+  return sink;
+}
+}  // namespace
+
+Metrics* current_metrics() noexcept { return sink_ref(); }
+
+ScopedMetrics::ScopedMetrics(Metrics& m) noexcept : saved_(sink_ref()) { sink_ref() = &m; }
+
+ScopedMetrics::~ScopedMetrics() { sink_ref() = saved_; }
+
+std::string Metrics::summary() const {
+  std::ostringstream os;
+  os << "ops=" << operations.load(std::memory_order_relaxed)
+     << " rounds=" << rounds.load(std::memory_order_relaxed)
+     << " sort_ops=" << sort_ops.load(std::memory_order_relaxed)
+     << " crcw_writes=" << crcw_writes.load(std::memory_order_relaxed);
+  return os.str();
+}
+
+}  // namespace sfcp::pram

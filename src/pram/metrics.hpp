@@ -1,0 +1,82 @@
+#pragma once
+// Work/depth accounting: the reproduction's stand-in for the paper's
+// "operations" measure.
+//
+// Every algorithm in the library charges its work to the currently installed
+// Metrics sink (if any).  Charging happens in bulk (once per parallel loop,
+// not once per element) so instrumentation does not distort wall-clock
+// measurements.  `rounds` counts synchronous PRAM rounds (parallel-loop
+// barriers), the analogue of parallel time.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace sfcp::pram {
+
+/// Aggregate work/depth counters for one measured region.
+struct Metrics {
+  std::atomic<std::uint64_t> operations{0};  ///< total work (PRAM operations)
+  std::atomic<std::uint64_t> rounds{0};      ///< synchronous parallel rounds
+  std::atomic<std::uint64_t> sort_ops{0};    ///< work spent inside integer sorting
+  std::atomic<std::uint64_t> crcw_writes{0}; ///< arbitrary-CRCW winner writes
+
+  void reset() noexcept {
+    operations.store(0, std::memory_order_relaxed);
+    rounds.store(0, std::memory_order_relaxed);
+    sort_ops.store(0, std::memory_order_relaxed);
+    crcw_writes.store(0, std::memory_order_relaxed);
+  }
+
+  std::uint64_t ops() const noexcept { return operations.load(std::memory_order_relaxed); }
+  std::uint64_t round_count() const noexcept { return rounds.load(std::memory_order_relaxed); }
+
+  std::string summary() const;
+};
+
+/// Currently installed sink; null means "don't count".
+Metrics* current_metrics() noexcept;
+
+/// Installs `m` as the sink for the lifetime of the guard (thread-shared).
+class ScopedMetrics {
+ public:
+  explicit ScopedMetrics(Metrics& m) noexcept;
+  ~ScopedMetrics();
+  ScopedMetrics(const ScopedMetrics&) = delete;
+  ScopedMetrics& operator=(const ScopedMetrics&) = delete;
+
+ private:
+  Metrics* saved_;
+};
+
+/// Charges `n` units of work to the current sink (no-op when none).
+inline void charge(std::uint64_t n) noexcept {
+  if (Metrics* m = current_metrics()) {
+    m->operations.fetch_add(n, std::memory_order_relaxed);
+  }
+}
+
+/// Charges one synchronous round plus `work` operations.
+inline void charge_round(std::uint64_t work) noexcept {
+  if (Metrics* m = current_metrics()) {
+    m->rounds.fetch_add(1, std::memory_order_relaxed);
+    m->operations.fetch_add(work, std::memory_order_relaxed);
+  }
+}
+
+/// Charges work performed inside integer sorting (tracked separately because
+/// the paper attributes its only super-linear term to sorting).
+inline void charge_sort(std::uint64_t n) noexcept {
+  if (Metrics* m = current_metrics()) {
+    m->operations.fetch_add(n, std::memory_order_relaxed);
+    m->sort_ops.fetch_add(n, std::memory_order_relaxed);
+  }
+}
+
+inline void charge_crcw(std::uint64_t n) noexcept {
+  if (Metrics* m = current_metrics()) {
+    m->crcw_writes.fetch_add(n, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace sfcp::pram

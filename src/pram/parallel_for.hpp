@@ -1,0 +1,69 @@
+#pragma once
+// Parallel loop wrappers realizing PRAM rounds on OpenMP.
+//
+// `parallel_for(lo, hi, body)` runs body(i) for i in [lo, hi) and counts one
+// synchronous round of (hi - lo) operations.  Small ranges run sequentially
+// (still counted) to avoid fork/join overhead dominating measurements.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+#include <omp.h>
+
+#include "pram/config.hpp"
+#include "pram/metrics.hpp"
+
+namespace sfcp::pram {
+
+/// Number of blocks `parallel_blocks` will use for an input of size n.
+inline int num_blocks(std::size_t n) noexcept {
+  if (n < grain() || threads() == 1) return 1;
+  const std::size_t by_grain = (n + grain() - 1) / grain();
+  return static_cast<int>(std::min<std::size_t>(static_cast<std::size_t>(threads()), by_grain));
+}
+
+/// [lo, hi) range of block b out of nb over n elements.
+inline std::pair<std::size_t, std::size_t> block_range(std::size_t n, int nb, int b) noexcept {
+  const std::size_t chunk = (n + static_cast<std::size_t>(nb) - 1) / static_cast<std::size_t>(nb);
+  const std::size_t lo = std::min(n, chunk * static_cast<std::size_t>(b));
+  const std::size_t hi = std::min(n, lo + chunk);
+  return {lo, hi};
+}
+
+template <typename Body>
+void parallel_for(std::size_t lo, std::size_t hi, Body&& body) {
+  if (hi <= lo) return;
+  const std::size_t n = hi - lo;
+  charge_round(n);
+  if (n < grain() || threads() == 1) {
+    for (std::size_t i = lo; i < hi; ++i) body(i);
+    return;
+  }
+#pragma omp parallel for num_threads(threads()) schedule(static)
+  for (std::int64_t i = static_cast<std::int64_t>(lo); i < static_cast<std::int64_t>(hi); ++i) {
+    body(static_cast<std::size_t>(i));
+  }
+}
+
+/// Blocked variant: body(block_index, lo, hi) — one contiguous block per
+/// worker, the shape used by scan/sort-style two-pass kernels.
+template <typename Body>
+void parallel_blocks(std::size_t n, Body&& body) {
+  if (n == 0) return;
+  const int nb = num_blocks(n);
+  charge_round(n);
+  if (nb == 1) {
+    body(0, std::size_t{0}, n);
+    return;
+  }
+#pragma omp parallel num_threads(nb)
+  {
+    const int b = omp_get_thread_num();
+    const auto [lo, hi] = block_range(n, nb, b);
+    if (lo < hi) body(b, lo, hi);
+  }
+}
+
+}  // namespace sfcp::pram

@@ -1,0 +1,147 @@
+#include "pram/programs.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+namespace sfcp::pram {
+
+Program make_broadcast_or(PramModel model, const std::vector<u8>& bits) {
+  const u32 n = static_cast<u32>(bits.size());
+  Program p{std::make_shared<Simulator>(model, 1, n), nullptr, nullptr, 1};
+  auto data = std::make_shared<std::vector<u8>>(bits);
+  p.round = [data](u32 pid, std::span<const u32>) {
+    std::vector<WriteRequest> w;
+    if ((*data)[pid]) w.push_back({0, 1});
+    return w;
+  };
+  auto fired = std::make_shared<bool>(false);
+  p.done = [fired] {
+    const bool was = *fired;
+    *fired = true;
+    return was;
+  };
+  return p;
+}
+
+Program make_list_rank(PramModel model, const std::vector<u32>& next) {
+  const u32 n = static_cast<u32>(next.size());
+  // Memory: next'[0..n) (kNone remapped to self so cells stay in range),
+  // rank[n..2n).
+  Program p{std::make_shared<Simulator>(model, 2 * static_cast<std::size_t>(n), n), nullptr,
+            nullptr, 2 * static_cast<u64>(n) + 2};
+  u32 tail = 0;
+  for (u32 i = 0; i < n; ++i) {
+    if (next[i] == kNone) tail = i;
+  }
+  for (u32 i = 0; i < n; ++i) {
+    p.sim->memory()[i] = next[i] == kNone ? i : next[i];
+    p.sim->memory()[n + i] = next[i] == kNone ? 0 : 1;
+  }
+  p.round = [n](u32 pid, std::span<const u32> mem) {
+    const u32 nxt = mem[pid];
+    if (nxt == pid) return std::vector<WriteRequest>{};  // settled at the tail
+    return std::vector<WriteRequest>{{pid, mem[nxt]}, {n + pid, mem[n + pid] + mem[n + nxt]}};
+  };
+  // Termination: every pointer equals the tail (self-loops included).
+  auto sim_ptr = p.sim;
+  p.done = [sim_ptr, n, tail] {
+    for (u32 i = 0; i < n; ++i) {
+      if (sim_ptr->memory()[i] != tail && sim_ptr->memory()[i] != i) return false;
+    }
+    // All pointers settled: either at the tail or at their own self-loop.
+    for (u32 i = 0; i < n; ++i) {
+      if (sim_ptr->memory()[i] != sim_ptr->memory()[sim_ptr->memory()[i]]) return false;
+    }
+    return true;
+  };
+  return p;
+}
+
+namespace {
+
+// Shared logic: one write round + one read round of partition iteration j.
+// Memory layout: EQ[0..n), BB[n .. n + n*n).
+std::vector<WriteRequest> partition_write_phase(u32 pid, std::span<const u32> mem, u32 n, u32 l,
+                                                u32 j) {
+  const u32 cycle = pid / l;
+  const u32 p = pid % l;
+  const u32 stride = 1u << j;
+  if (p % stride != 0 || p + stride / 2 >= l) return {};
+  const u32 d1 = cycle * l + p;
+  const u32 d2 = d1 + stride / 2;
+  const u32 cell = n + mem[d1] * n + mem[d2];
+  return {WriteRequest{cell, d1}};
+}
+
+std::vector<WriteRequest> partition_read_phase(u32 pid, std::span<const u32> mem, u32 n, u32 l,
+                                               u32 j) {
+  const u32 cycle = pid / l;
+  const u32 p = pid % l;
+  const u32 stride = 1u << j;
+  if (p % stride != 0 || p + stride / 2 >= l) return {};
+  const u32 d1 = cycle * l + p;
+  const u32 d2 = d1 + stride / 2;
+  const u32 cell = n + mem[d1] * n + mem[d2];
+  return {WriteRequest{d1, mem[cell]}};
+}
+
+}  // namespace
+
+Program make_partition_round(PramModel model, const std::vector<u32>& eq, u32 j) {
+  const u32 n = static_cast<u32>(eq.size());
+  for (const u32 v : eq) {
+    if (v >= n) throw std::invalid_argument("make_partition_round: EQ labels must be < n");
+  }
+  Program p{std::make_shared<Simulator>(
+                model, static_cast<std::size_t>(n) + static_cast<std::size_t>(n) * n, n),
+            nullptr, nullptr, 2};
+  for (u32 i = 0; i < n; ++i) p.sim->memory()[i] = eq[i];
+  auto phase = std::make_shared<u32>(0);
+  const u32 l = n;  // single cycle in the one-round harness
+  p.round = [phase, n, l, j](u32 pid, std::span<const u32> mem) {
+    return *phase == 0 ? partition_write_phase(pid, mem, n, l, j)
+                       : partition_read_phase(pid, mem, n, l, j);
+  };
+  auto counter = std::make_shared<u32>(0);
+  p.done = [phase, counter] {
+    if (*counter >= 2) return true;
+    *phase = *counter;
+    ++*counter;
+    return false;
+  };
+  return p;
+}
+
+PartitionRun simulate_partition(PramModel model, const std::vector<u32>& labels, u32 k, u32 l) {
+  const u32 n = static_cast<u32>(labels.size());
+  if (static_cast<u64>(k) * l != n) {
+    throw std::invalid_argument("simulate_partition: k*l != labels.size()");
+  }
+  if (l == 0 || (l & (l - 1)) != 0) {
+    throw std::invalid_argument("simulate_partition: l must be a power of two");
+  }
+  for (const u32 v : labels) {
+    if (v >= n) throw std::invalid_argument("simulate_partition: labels must be < n");
+  }
+  Simulator sim(model, static_cast<std::size_t>(n) + static_cast<std::size_t>(n) * n, n);
+  for (u32 i = 0; i < n; ++i) sim.memory()[i] = labels[i];
+
+  u32 log_l = 0;
+  while ((1u << log_l) < l) ++log_l;
+  for (u32 j = 1; j <= log_l; ++j) {
+    const bool w = sim.step([n, l, j](u32 pid, std::span<const u32> mem) {
+      return partition_write_phase(pid, mem, n, l, j);
+    });
+    if (!w) break;
+    const bool r = sim.step([n, l, j](u32 pid, std::span<const u32> mem) {
+      return partition_read_phase(pid, mem, n, l, j);
+    });
+    if (!r) break;
+  }
+  PartitionRun out;
+  out.eq.assign(sim.memory().begin(), sim.memory().begin() + n);
+  out.report = sim.report();
+  return out;
+}
+
+}  // namespace sfcp::pram

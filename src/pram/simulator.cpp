@@ -1,0 +1,116 @@
+#include "pram/simulator.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace sfcp::pram {
+
+std::string to_string(PramModel model) {
+  switch (model) {
+    case PramModel::Erew: return "EREW";
+    case PramModel::Crew: return "CREW";
+    case PramModel::CommonCrcw: return "common CRCW";
+    case PramModel::ArbitraryCrcw: return "arbitrary CRCW";
+  }
+  return "?";
+}
+
+Simulator::Simulator(PramModel model, std::size_t memory_size, u32 processors)
+    : model_(model), mem_(memory_size, 0), processors_(processors) {}
+
+bool Simulator::step(const RoundFn& fn, const ReadSetFn& reads) {
+  if (report_.faulted) return false;
+  ++report_.rounds;
+
+  // EREW read-conflict check (reads are unconstrained in all other models).
+  if (model_ == PramModel::Erew && reads) {
+    std::map<u32, u32> reader_of;
+    for (u32 pid = 0; pid < processors_; ++pid) {
+      for (const u32 addr : reads(pid)) {
+        const auto [it, inserted] = reader_of.emplace(addr, pid);
+        if (!inserted) {
+          std::ostringstream os;
+          os << "EREW read conflict on cell " << addr << " (processors " << it->second
+             << " and " << pid << ")";
+          report_.faulted = true;
+          report_.fault = os.str();
+          return false;
+        }
+      }
+    }
+  }
+
+  // Gather all write requests against the round-start snapshot.
+  struct Pending {
+    u32 pid;
+    u32 value;
+  };
+  std::map<u32, std::vector<Pending>> writes;  // address -> writers
+  const std::span<const u32> snapshot(mem_);
+  u64 active = 0;
+  for (u32 pid = 0; pid < processors_; ++pid) {
+    auto reqs = fn(pid, snapshot);
+    if (!reqs.empty()) ++active;
+    for (const auto& r : reqs) {
+      if (r.address >= mem_.size()) {
+        std::ostringstream os;
+        os << "processor " << pid << " wrote out-of-range address " << r.address;
+        report_.faulted = true;
+        report_.fault = os.str();
+        return false;
+      }
+      writes[r.address].push_back({pid, r.value});
+    }
+  }
+  report_.operations += active;
+
+  // Resolve conflicts per the model.
+  for (auto& [addr, writers] : writes) {
+    if (writers.size() > 1) {
+      switch (model_) {
+        case PramModel::Erew:
+        case PramModel::Crew: {
+          std::ostringstream os;
+          os << to_string(model_) << " write conflict on cell " << addr << " ("
+             << writers.size() << " writers)";
+          report_.faulted = true;
+          report_.fault = os.str();
+          return false;
+        }
+        case PramModel::CommonCrcw: {
+          const u32 v0 = writers.front().value;
+          for (const auto& w : writers) {
+            if (w.value != v0) {
+              std::ostringstream os;
+              os << "common-CRCW writers disagree on cell " << addr << " (" << v0 << " vs "
+                 << w.value << ")";
+              report_.faulted = true;
+              report_.fault = os.str();
+              return false;
+            }
+          }
+          break;
+        }
+        case PramModel::ArbitraryCrcw:
+          // Lowest pid wins — a legitimate "arbitrary" resolution.
+          std::sort(writers.begin(), writers.end(),
+                    [](const Pending& a, const Pending& b) { return a.pid < b.pid; });
+          break;
+      }
+    }
+    mem_[addr] = writers.front().value;
+  }
+  return true;
+}
+
+SimReport Simulator::run(const RoundFn& fn, const std::function<bool()>& done, u64 max_rounds,
+                         const ReadSetFn& reads) {
+  for (u64 r = 0; r < max_rounds; ++r) {
+    if (done()) break;
+    if (!step(fn, reads)) break;
+  }
+  return report_;
+}
+
+}  // namespace sfcp::pram

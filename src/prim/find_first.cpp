@@ -1,0 +1,9 @@
+#include "prim/find_first.hpp"
+
+namespace sfcp::prim {
+
+u32 find_first_set(std::span<const u8> flags) {
+  return find_first_if(0, flags.size(), [&](std::size_t i) { return flags[i] != 0; });
+}
+
+}  // namespace sfcp::prim

@@ -1,0 +1,25 @@
+#pragma once
+// "Position of the first 1 in a Boolean array" — the paper leans on the
+// O(1)-time common-CRCW solution of Fich, Ragde & Wigderson [9] inside the
+// m.s.p. duels.  We realize it as a blocked parallel min-reduction over the
+// first hit of each block: O(n) work, two rounds.
+
+#include <cstddef>
+#include <span>
+
+#include "pram/types.hpp"
+
+namespace sfcp::prim {
+
+/// Index of the first i with flags[i] != 0, or kNone if none.
+u32 find_first_set(std::span<const u8> flags);
+
+/// Index of the first i in [lo, hi) with pred(i), or kNone.  The predicate
+/// variant avoids materializing the flag array (used by string duels, where
+/// pred compares two rotated characters).
+template <typename Pred>
+u32 find_first_if(std::size_t lo, std::size_t hi, Pred&& pred);
+
+}  // namespace sfcp::prim
+
+#include "prim/find_first_impl.hpp"

@@ -1,0 +1,43 @@
+#pragma once
+// Implementation of the templated find_first_if (kept out of the main
+// header for readability).
+
+#include <atomic>
+
+#include "pram/config.hpp"
+#include "pram/metrics.hpp"
+#include "pram/parallel_for.hpp"
+
+namespace sfcp::prim {
+
+template <typename Pred>
+u32 find_first_if(std::size_t lo, std::size_t hi, Pred&& pred) {
+  if (hi <= lo) return kNone;
+  const std::size_t n = hi - lo;
+  const int nb = pram::num_blocks(n);
+  if (nb == 1) {
+    pram::charge_round(n);
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (pred(i)) return static_cast<u32>(i);
+    }
+    return kNone;
+  }
+  std::atomic<u32> best{kNone};
+  pram::parallel_blocks(n, [&](int, std::size_t blo, std::size_t bhi) {
+    // Early exit once some earlier block already found a hit before blo.
+    if (best.load(std::memory_order_relaxed) <= blo + lo) return;
+    for (std::size_t i = blo; i < bhi; ++i) {
+      if (pred(i + lo)) {
+        u32 cand = static_cast<u32>(i + lo);
+        u32 cur = best.load(std::memory_order_relaxed);
+        while (cand < cur &&
+               !best.compare_exchange_weak(cur, cand, std::memory_order_relaxed)) {
+        }
+        return;
+      }
+    }
+  });
+  return best.load(std::memory_order_relaxed);
+}
+
+}  // namespace sfcp::prim

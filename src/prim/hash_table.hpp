@@ -1,0 +1,111 @@
+#pragma once
+// Concurrent insert-or-get hash table: the practical realization of the
+// paper's BB[1..n, 1..n] arbitrary-CRCW table (Algorithm partition, §3.2).
+//
+// Semantics per round: every processor holding a key writes its proposal;
+// an arbitrary single writer per key wins and everybody reading the key
+// afterwards sees the winner's value.  The paper's own Remark notes the
+// O(n^2) table can be shrunk; open addressing with CAS gives the same
+// label-assignment semantics in O(capacity) space.
+//
+// Keys are arbitrary u64 except kReservedKey; values are u32 (positions).
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "pram/metrics.hpp"
+#include "pram/types.hpp"
+
+namespace sfcp::prim {
+
+/// SplitMix64 finalizer — well-distributed 64-bit hash.
+inline u64 hash_u64(u64 x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+class ConcurrentPairMap {
+ public:
+  static constexpr u64 kReservedKey = ~0ull;
+
+  /// Capacity is sized for at most `max_items` distinct keys.
+  explicit ConcurrentPairMap(std::size_t max_items) {
+    std::size_t cap = 16;
+    while (cap < 2 * max_items + 8) cap <<= 1;
+    mask_ = cap - 1;
+    slots_ = std::make_unique<Slot[]>(cap);
+    clear();
+  }
+
+  std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  /// Resets all slots to empty (sequential; used between rounds in tests —
+  /// production rounds avoid it by salting keys with the round number).
+  void clear() noexcept {
+    for (std::size_t i = 0; i <= mask_; ++i) {
+      slots_[i].key.store(kReservedKey, std::memory_order_relaxed);
+      slots_[i].value.store(kNone, std::memory_order_relaxed);
+    }
+  }
+
+  /// Inserts (key, value) if the key is absent; returns the value that is
+  /// associated with the key afterwards (the arbitrary winner's value).
+  u32 insert_or_get(u64 key, u32 value) noexcept {
+    assert(key != kReservedKey && "key space exhausted sentinel");
+    assert(value != kNone);
+    pram::charge_crcw(1);
+    std::size_t i = hash_u64(key) & mask_;
+    for (;;) {
+      u64 k = slots_[i].key.load(std::memory_order_acquire);
+      if (k == key) return wait_value(i);
+      if (k == kReservedKey) {
+        u64 expected = kReservedKey;
+        if (slots_[i].key.compare_exchange_strong(expected, key, std::memory_order_acq_rel,
+                                                  std::memory_order_acquire)) {
+          slots_[i].value.store(value, std::memory_order_release);
+          return value;
+        }
+        if (expected == key) return wait_value(i);
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+  /// Lookup only; kNone if absent.
+  u32 find(u64 key) const noexcept {
+    assert(key != kReservedKey);
+    std::size_t i = hash_u64(key) & mask_;
+    for (;;) {
+      u64 k = slots_[i].key.load(std::memory_order_acquire);
+      if (k == key) return slots_[i].value.load(std::memory_order_acquire);
+      if (k == kReservedKey) return kNone;
+      i = (i + 1) & mask_;
+    }
+  }
+
+ private:
+  struct Slot {
+    std::atomic<u64> key;
+    std::atomic<u32> value;
+  };
+
+  u32 wait_value(std::size_t i) const noexcept {
+    // The slot's key is published before its value; spin for the tiny
+    // window between the two stores.
+    u32 v;
+    do {
+      v = slots_[i].value.load(std::memory_order_acquire);
+    } while (v == kNone);
+    return v;
+  }
+
+  std::unique_ptr<Slot[]> slots_;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace sfcp::prim

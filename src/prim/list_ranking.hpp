@@ -1,0 +1,30 @@
+#pragma once
+// List ranking: distance from every element of a linked list (given by a
+// successor array) to the end of its list.
+//
+// The paper invokes the optimal O(log n)-time, O(n)-operation list ranking
+// of Anderson & Miller [2] for arranging cycles contiguously and for the
+// Euler-tour computations.  We provide three interchangeable strategies:
+//   * Sequential    — walk each list (O(n) work, reference)
+//   * PointerJumping — Wyllie's algorithm (O(log n) rounds, O(n log n) work)
+//   * RulingSet     — random sparse ruling set: sample ~n/log n splitters,
+//                     walk the gaps in parallel, rank the contracted list,
+//                     expand (O(n) expected work)
+// The ablation bench A2 compares them.
+
+#include <span>
+#include <vector>
+
+#include "pram/types.hpp"
+
+namespace sfcp::prim {
+
+enum class ListRankStrategy { Sequential, PointerJumping, RulingSet };
+
+/// next[i] = successor of i, or kNone at list ends.  Multiple disjoint lists
+/// may be present.  Returns rank[i] = number of links from i to its list end
+/// (rank of an end node is 0).  Lists must be acyclic.
+std::vector<u32> list_rank(std::span<const u32> next,
+                           ListRankStrategy strategy = ListRankStrategy::RulingSet);
+
+}  // namespace sfcp::prim

@@ -1,0 +1,13 @@
+#include "prim/merge.hpp"
+
+namespace sfcp::prim {
+
+void parallel_merge_u32(std::span<const u32> a, std::span<const u32> b, std::span<u32> out) {
+  parallel_merge<u32>(a, b, out);
+}
+
+void parallel_merge_sort_u32(std::span<u32> data) { parallel_merge_sort<u32>(data); }
+
+void parallel_merge_sort_u64(std::span<u64> data) { parallel_merge_sort<u64>(data); }
+
+}  // namespace sfcp::prim

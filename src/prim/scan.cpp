@@ -1,0 +1,16 @@
+#include "prim/scan.hpp"
+
+namespace sfcp::prim {
+
+u64 exclusive_scan_u32(std::span<const u32> in, std::span<u64> out) {
+  const std::size_t n = in.size();
+  std::vector<u64> widened(n);
+  pram::parallel_for(0, n, [&](std::size_t i) { widened[i] = in[i]; });
+  return exclusive_scan<u64>(widened, out);
+}
+
+u32 reduce_min_u32(std::span<const u32> in) { return reduce_min<u32>(in); }
+
+u32 reduce_max_u32(std::span<const u32> in) { return reduce_max<u32>(in); }
+
+}  // namespace sfcp::prim

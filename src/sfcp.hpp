@@ -1,0 +1,49 @@
+#pragma once
+// Umbrella header: the full public API of the sfcp library.
+//
+//   #include "sfcp.hpp"
+//
+//   sfcp::graph::Instance inst = ...;           // A_f and A_B
+//   sfcp::core::Result r = sfcp::core::solve(inst);
+//   // r.q[x] == r.q[y]  iff  x and y are in the same block of the
+//   // coarsest f-stable refinement of B.
+
+#include "core/baselines.hpp"
+#include "core/coarsest_partition.hpp"
+#include "core/cycle_labeling.hpp"
+#include "core/moore.hpp"
+#include "core/multi_function.hpp"
+#include "core/partition_algebra.hpp"
+#include "core/trace.hpp"
+#include "core/tree_labeling.hpp"
+#include "core/verify.hpp"
+#include "graph/cycle_detect.hpp"
+#include "graph/cycle_structure.hpp"
+#include "graph/euler_tour.hpp"
+#include "graph/functional_graph.hpp"
+#include "graph/orbits.hpp"
+#include "graph/rooted_forest.hpp"
+#include "pram/config.hpp"
+#include "pram/metrics.hpp"
+#include "pram/types.hpp"
+#include "prim/compact.hpp"
+#include "prim/find_first.hpp"
+#include "prim/hash_table.hpp"
+#include "prim/integer_sort.hpp"
+#include "prim/list_ranking.hpp"
+#include "prim/merge.hpp"
+#include "prim/rename.hpp"
+#include "prim/scan.hpp"
+#include "strings/lyndon.hpp"
+#include "strings/matching.hpp"
+#include "strings/msp.hpp"
+#include "strings/necklace.hpp"
+#include "strings/period.hpp"
+#include "strings/string_sort.hpp"
+#include "strings/suffix_array.hpp"
+#include "util/dot_export.hpp"
+#include "util/generators.hpp"
+#include "util/io.hpp"
+#include "util/random.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"

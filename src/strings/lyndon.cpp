@@ -1,0 +1,74 @@
+#include "strings/lyndon.hpp"
+
+#include <algorithm>
+
+#include "pram/metrics.hpp"
+
+namespace sfcp::strings {
+
+std::vector<u32> lyndon_factorization(std::span<const u32> s) {
+  const std::size_t n = s.size();
+  std::vector<u32> starts;
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i + 1, k = i;
+    while (j < n && s[k] <= s[j]) {
+      k = (s[k] < s[j]) ? i : k + 1;
+      ++j;
+    }
+    // The scan found factors of equal length j - k repeated until position k;
+    // each repetition is its own Lyndon factor.
+    while (i <= k) {
+      starts.push_back(static_cast<u32>(i));
+      i += j - k;
+    }
+  }
+  pram::charge(2 * n);
+  return starts;
+}
+
+bool is_lyndon(std::span<const u32> s) {
+  if (s.empty()) return false;
+  const auto f = lyndon_factorization(s);
+  return f.size() == 1;
+}
+
+std::vector<u32> z_function(std::span<const u32> s) {
+  const std::size_t n = s.size();
+  std::vector<u32> z(n, 0);
+  if (n == 0) return z;
+  z[0] = static_cast<u32>(n);
+  std::size_t l = 0, r = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (i < r) z[i] = static_cast<u32>(std::min(r - i, static_cast<std::size_t>(z[i - l])));
+    while (i + z[i] < n && s[z[i]] == s[i + z[i]]) ++z[i];
+    if (i + z[i] > r) {
+      l = i;
+      r = i + z[i];
+    }
+  }
+  pram::charge(2 * n);
+  return z;
+}
+
+std::vector<u32> borders(std::span<const u32> s) {
+  const std::size_t n = s.size();
+  std::vector<u32> fail(n + 1, 0);
+  u32 k = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    while (k > 0 && s[i] != s[k]) k = fail[k];
+    if (s[i] == s[k]) ++k;
+    fail[i + 1] = k;
+  }
+  std::vector<u32> out;
+  u32 b = n > 0 ? fail[n] : 0;
+  while (b > 0) {
+    out.push_back(b);
+    b = fail[b];
+  }
+  std::reverse(out.begin(), out.end());
+  pram::charge(2 * n);
+  return out;
+}
+
+}  // namespace sfcp::strings

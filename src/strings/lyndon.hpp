@@ -1,0 +1,30 @@
+#pragma once
+// Supplementary string machinery: Duval's Lyndon factorization and the
+// Z-function.  Both underpin the sequential m.s.p. references ([5, 17]'s
+// toolbox) and are exposed because they are independently useful for
+// validating periods and borders in the tests.
+
+#include <span>
+#include <vector>
+
+#include "pram/types.hpp"
+
+namespace sfcp::strings {
+
+/// Duval's algorithm: returns the start indices of the Lyndon factors of s
+/// (s = w_1 w_2 ... w_m with w_1 >= w_2 >= ... and each w_i strictly
+/// smallest among its rotations).  O(n) time.
+std::vector<u32> lyndon_factorization(std::span<const u32> s);
+
+/// True iff s is a Lyndon word (primitive and strictly minimal rotation).
+bool is_lyndon(std::span<const u32> s);
+
+/// Z-function: z[i] = length of the longest common prefix of s and s[i..).
+/// z[0] = n by convention.  O(n) time.
+std::vector<u32> z_function(std::span<const u32> s);
+
+/// All borders (lengths of proper prefixes that are also suffixes), via the
+/// KMP failure function; ascending.  O(n).
+std::vector<u32> borders(std::span<const u32> s);
+
+}  // namespace sfcp::strings

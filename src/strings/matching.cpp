@@ -1,0 +1,141 @@
+#include "strings/matching.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "pram/metrics.hpp"
+#include "pram/parallel_for.hpp"
+#include "prim/compact.hpp"
+#include "strings/lyndon.hpp"
+#include "strings/period.hpp"
+
+namespace sfcp::strings {
+
+std::vector<u32> failure_function(std::span<const u32> s) {
+  const std::size_t n = s.size();
+  std::vector<u32> fail(n, 0);
+  for (std::size_t i = 1; i < n; ++i) {
+    u32 k = fail[i - 1];
+    while (k > 0 && s[i] != s[k]) k = fail[k - 1];
+    if (s[i] == s[k]) ++k;
+    fail[i] = k;
+  }
+  pram::charge(2 * n);
+  return fail;
+}
+
+namespace {
+
+std::vector<u32> match_kmp(std::span<const u32> text, std::span<const u32> pattern) {
+  const std::size_t n = text.size(), m = pattern.size();
+  std::vector<u32> hits;
+  const auto fail = failure_function(pattern);
+  u32 k = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    while (k > 0 && text[i] != pattern[k]) k = fail[k - 1];
+    if (text[i] == pattern[k]) ++k;
+    if (k == m) {
+      hits.push_back(static_cast<u32>(i + 1 - m));
+      k = fail[k - 1];
+    }
+  }
+  pram::charge(2 * n);
+  return hits;
+}
+
+std::vector<u32> match_z(std::span<const u32> text, std::span<const u32> pattern) {
+  const std::size_t n = text.size(), m = pattern.size();
+  // z over pattern # text, with # = a symbol outside both alphabets:
+  // use max symbol + 1 (u32 inputs are labels < 2^32 - 2 by convention).
+  u32 sep = 0;
+  for (const u32 c : pattern) sep = std::max(sep, c);
+  for (const u32 c : text) sep = std::max(sep, c);
+  ++sep;
+  std::vector<u32> cat;
+  cat.reserve(m + 1 + n);
+  cat.insert(cat.end(), pattern.begin(), pattern.end());
+  cat.push_back(sep);
+  cat.insert(cat.end(), text.begin(), text.end());
+  const auto z = z_function(cat);
+  std::vector<u32> hits;
+  for (std::size_t i = 0; i + m <= n; ++i) {
+    if (z[m + 1 + i] >= m) hits.push_back(static_cast<u32>(i));
+  }
+  pram::charge(2 * (n + m));
+  return hits;
+}
+
+std::vector<u32> match_parallel(std::span<const u32> text, std::span<const u32> pattern) {
+  const std::size_t n = text.size(), m = pattern.size();
+  // RankTable over pattern ++ text: candidate i matches iff the length-m
+  // substrings at offsets 0 (pattern) and m+i (text) are equal — one O(1)
+  // doubling-rank equality test per candidate, all in parallel.
+  std::vector<u32> cat;
+  cat.reserve(m + n);
+  cat.insert(cat.end(), pattern.begin(), pattern.end());
+  cat.insert(cat.end(), text.begin(), text.end());
+  const RankTable table(cat);
+  const std::size_t candidates = n + 1 - m;
+  std::vector<u8> hit(candidates, 0);
+  pram::parallel_for(0, candidates, [&](std::size_t i) {
+    hit[i] = table.equal(0, static_cast<u32>(m + i), static_cast<u32>(m)) ? 1 : 0;
+  });
+  return prim::pack_index(hit);
+}
+
+}  // namespace
+
+std::vector<u32> find_occurrences(std::span<const u32> text, std::span<const u32> pattern,
+                                  MatchStrategy strategy) {
+  const std::size_t n = text.size(), m = pattern.size();
+  if (m == 0) {
+    std::vector<u32> all(n + 1);
+    for (std::size_t i = 0; i <= n; ++i) all[i] = static_cast<u32>(i);
+    return all;
+  }
+  if (m > n) return {};
+  switch (strategy) {
+    case MatchStrategy::Kmp:
+      return match_kmp(text, pattern);
+    case MatchStrategy::Z:
+      return match_z(text, pattern);
+    case MatchStrategy::Parallel:
+      return match_parallel(text, pattern);
+  }
+  return match_kmp(text, pattern);
+}
+
+bool circular_contains(std::span<const u32> hay, std::span<const u32> needle) {
+  if (needle.size() > hay.size()) return false;
+  if (needle.empty()) return true;
+  std::vector<u32> doubled;
+  doubled.reserve(2 * hay.size());
+  doubled.insert(doubled.end(), hay.begin(), hay.end());
+  doubled.insert(doubled.end(), hay.begin(), hay.end());
+  const auto hits = find_occurrences(doubled, needle, MatchStrategy::Kmp);
+  for (const u32 h : hits) {
+    if (h < hay.size()) return true;
+  }
+  return false;
+}
+
+u64 count_occurrences(std::span<const u32> text, std::span<const u32> pattern) {
+  const std::size_t n = text.size(), m = pattern.size();
+  if (m == 0) return n + 1;
+  if (m > n) return 0;
+  const auto fail = failure_function(pattern);
+  u64 count = 0;
+  u32 k = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    while (k > 0 && text[i] != pattern[k]) k = fail[k - 1];
+    if (text[i] == pattern[k]) ++k;
+    if (k == m) {
+      ++count;
+      k = fail[k - 1];
+    }
+  }
+  pram::charge(2 * n);
+  return count;
+}
+
+}  // namespace sfcp::strings

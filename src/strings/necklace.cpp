@@ -1,0 +1,114 @@
+#include "strings/necklace.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "pram/metrics.hpp"
+#include "strings/msp.hpp"
+#include "strings/period.hpp"
+
+namespace sfcp::strings {
+
+u32 msp_shiloach(std::span<const u32> s) {
+  const std::size_t n = s.size();
+  if (n <= 1) return 0;
+  // Two candidates i < j duel by extending a common match of length k;
+  // a mismatch eliminates the loser together with the k positions behind
+  // it (Lemma 3.3's sequential counterpart).  O(n) total comparisons.
+  std::size_t i = 0, j = 1, k = 0;
+  while (i < n && j < n && k < n) {
+    const u32 a = s[(i + k) % n];
+    const u32 b = s[(j + k) % n];
+    if (a == b) {
+      ++k;
+      continue;
+    }
+    if (a > b) {
+      i = i + k + 1;
+      if (i == j) ++i;
+    } else {
+      j = j + k + 1;
+      if (j == i) ++j;
+    }
+    k = 0;
+  }
+  pram::charge(2 * n);
+  const std::size_t winner = std::min(i, j);
+  // For repeating strings the duel may settle on a later equivalent
+  // rotation; normalize to the smallest index with the same rotation.
+  const u32 p = smallest_period_seq(s);
+  return static_cast<u32>(winner % p);
+}
+
+std::vector<u32> canonical_necklace(std::span<const u32> s) {
+  if (s.empty()) return {};
+  const u32 p = smallest_period_seq(s);
+  const auto prefix = s.subspan(0, p);
+  const u32 m = msp_shiloach(prefix);
+  std::vector<u32> out(p);
+  for (u32 t = 0; t < p; ++t) out[t] = prefix[(m + t) % p];
+  pram::charge(p);
+  return out;
+}
+
+bool rotation_equivalent(std::span<const u32> a, std::span<const u32> b) {
+  if (a.size() != b.size()) return false;
+  if (a.empty()) return true;
+  // Equal lengths + equal canonical forms (the canonical form's length is
+  // the smallest period, so equal forms imply equal periods too).
+  return canonical_necklace(a) == canonical_necklace(b);
+}
+
+NecklaceClasses necklace_classes(const StringList& list) {
+  const std::size_t m = list.size();
+  NecklaceClasses out;
+  out.label.assign(m, 0);
+  if (m == 0) return out;
+
+  // Hash canonical necklaces; strings with equal canonical form share a
+  // class.  (Period length is implied by the canonical form's length.)
+  struct VecHash {
+    std::size_t operator()(const std::vector<u32>& v) const noexcept {
+      std::size_t h = 0x9e3779b97f4a7c15ull;
+      for (const u32 x : v) h = (h ^ x) * 0x100000001b3ull;
+      return h;
+    }
+  };
+  std::unordered_map<std::vector<u32>, u32, VecHash> classes;
+  classes.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    auto canon = canonical_necklace(list.view(i));
+    const auto [it, inserted] =
+        classes.emplace(std::move(canon), static_cast<u32>(classes.size()));
+    out.label[i] = it->second;
+  }
+  out.count = static_cast<u32>(classes.size());
+  return out;
+}
+
+u64 count_necklaces(u32 n, u32 k) {
+  if (n == 0) return 1;  // the empty necklace
+  auto phi = [](u32 x) {
+    u32 result = x;
+    for (u32 p = 2; p * p <= x; ++p) {
+      if (x % p == 0) {
+        while (x % p == 0) x /= p;
+        result -= result / p;
+      }
+    }
+    if (x > 1) result -= result / x;
+    return result;
+  };
+  auto pow_u64 = [](u64 base, u32 exp) {
+    u64 r = 1;
+    for (u32 t = 0; t < exp; ++t) r *= base;
+    return r;
+  };
+  u64 total = 0;
+  for (u32 d = 1; d <= n; ++d) {
+    if (n % d == 0) total += static_cast<u64>(phi(d)) * pow_u64(k, n / d);
+  }
+  return total / n;
+}
+
+}  // namespace sfcp::strings

@@ -1,0 +1,61 @@
+#pragma once
+// Circular-string (necklace) utilities built on the m.s.p. machinery.
+//
+// Section 3 of the paper reduces cycle equivalence to "cyclic shift
+// equivalence" of B-label strings: two cycles are equivalent iff the
+// smallest repeating prefix of one is a cyclic shift of the other's.  This
+// module packages that relation as a reusable string API:
+//
+//   * msp_shiloach           — the sequential two-pointer duel canonizer in
+//                              the spirit of Shiloach [17] (the paper's
+//                              sequential reference for m.s.p.), O(n) time
+//   * canonical_necklace     — least rotation of the smallest repeating
+//                              prefix: the unique representative of the
+//                              cyclic-shift-equivalence class
+//   * rotation_equivalent    — are two strings cyclic shifts of each other?
+//   * necklace_classes       — partition a StringList into cyclic-shift
+//                              equivalence classes (the string-level view of
+//                              the paper's cycle partitioning, §3.2)
+//   * count_necklaces        — Burnside count of k-ary necklaces of length n
+//                              (cross-check for class enumeration tests)
+
+#include <span>
+#include <vector>
+
+#include "pram/types.hpp"
+#include "strings/string_sort.hpp"
+
+namespace sfcp::strings {
+
+/// Least-rotation index by the two-pointer candidate duel (Shiloach-style
+/// canonization, O(n) time, O(1) space).  Returns the smallest minimal
+/// starting point, like the other m.s.p. entry points.
+u32 msp_shiloach(std::span<const u32> s);
+
+/// Canonical representative of s's cyclic-shift-equivalence class: the
+/// least rotation of the smallest repeating prefix.  Two circular strings
+/// are cyclic-shift equivalent iff their canonical necklaces are equal.
+std::vector<u32> canonical_necklace(std::span<const u32> s);
+
+/// True iff b is a cyclic shift of a (requires equal lengths; the empty
+/// string is equivalent only to itself).  O(n) time.
+bool rotation_equivalent(std::span<const u32> a, std::span<const u32> b);
+
+/// Result of grouping strings into cyclic-shift equivalence classes.
+struct NecklaceClasses {
+  std::vector<u32> label;  ///< label[i] = class of string i, in [0, count)
+  u32 count = 0;           ///< number of distinct classes
+};
+
+/// Partitions the strings of `list` into cyclic-shift equivalence classes.
+/// Strings of different length may share a class when their smallest
+/// repeating prefixes are cyclic shifts (exactly the paper's cycle
+/// equivalence).  Labels are canonicalized to first-occurrence order.
+NecklaceClasses necklace_classes(const StringList& list);
+
+/// Number of k-ary necklaces of length n by Burnside's lemma:
+/// (1/n) * sum over d | n of phi(d) * k^{n/d}.  Intended for small n, k
+/// (values must fit u64); used to cross-check class enumeration.
+u64 count_necklaces(u32 n, u32 k);
+
+}  // namespace sfcp::strings

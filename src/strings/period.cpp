@@ -1,0 +1,78 @@
+#include "strings/period.hpp"
+
+#include <bit>
+#include <cassert>
+
+#include "pram/parallel_for.hpp"
+#include "prim/rename.hpp"
+
+namespace sfcp::strings {
+
+u32 smallest_period_seq(std::span<const u32> s) {
+  const std::size_t n = s.size();
+  if (n == 0) return 0;
+  // KMP failure function; the smallest period of the whole string is
+  // n - fail[n] when it divides n, else the string is primitive.
+  std::vector<u32> fail(n + 1, 0);
+  u32 k = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    while (k > 0 && s[i] != s[k]) k = fail[k];
+    if (s[i] == s[k]) ++k;
+    fail[i + 1] = k;
+  }
+  pram::charge(2 * n);
+  const u32 p = static_cast<u32>(n) - fail[n];
+  return (n % p == 0) ? p : static_cast<u32>(n);
+}
+
+bool is_repeating(std::span<const u32> s) {
+  return !s.empty() && smallest_period_seq(s) < s.size();
+}
+
+RankTable::RankTable(std::span<const u32> s) : n_(s.size()) {
+  if (n_ == 0) return;
+  // Level 0: dense order-preserving ranks of single symbols, shifted by 1 so
+  // that 0 is the out-of-range sentinel (smaller than every real symbol).
+  std::vector<u64> keys(n_);
+  pram::parallel_for(0, n_, [&](std::size_t i) { keys[i] = s[i]; });
+  auto r0 = prim::rename_sorted(keys);
+  levels_.emplace_back(n_);
+  pram::parallel_for(0, n_, [&](std::size_t i) { levels_[0][i] = r0.labels[i] + 1; });
+  // Level j from level j-1 by pairing ranks 2^{j-1} apart.
+  for (u32 half = 1; half < n_; half <<= 1) {
+    const auto& prev = levels_.back();
+    std::vector<u64> pk(n_);
+    pram::parallel_for(0, n_, [&](std::size_t i) {
+      const u32 right = (i + half < n_) ? prev[i + half] : 0u;
+      pk[i] = pack_pair(prev[i], right);
+    });
+    auto rr = prim::rename_sorted(pk);
+    levels_.emplace_back(n_);
+    auto& cur = levels_.back();
+    pram::parallel_for(0, n_, [&](std::size_t i) { cur[i] = rr.labels[i] + 1; });
+  }
+}
+
+bool RankTable::equal(u32 i, u32 j, u32 len) const {
+  assert(i + len <= n_ && j + len <= n_);
+  if (len == 0 || i == j) return true;
+  const int k = std::bit_width(len) - 1;  // 2^k <= len < 2^{k+1}
+  const auto& lv = levels_[std::min<std::size_t>(static_cast<std::size_t>(k), levels_.size() - 1)];
+  const u32 block = std::min<u32>(len, u32{1} << std::min(31, k));
+  return lv[i] == lv[j] && lv[i + len - block] == lv[j + len - block];
+}
+
+u32 smallest_period_parallel(std::span<const u32> s) {
+  const std::size_t n = s.size();
+  if (n == 0) return 0;
+  if (n == 1) return 1;
+  const RankTable table(s);
+  // p divides n and is a period iff s[0..n-p) == s[p..n).
+  for (u32 p = 1; p <= n / 2; ++p) {
+    if (n % p != 0) continue;
+    if (table.equal(0, p, static_cast<u32>(n) - p)) return p;
+  }
+  return static_cast<u32>(n);
+}
+
+}  // namespace sfcp::strings

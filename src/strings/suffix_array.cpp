@@ -1,0 +1,142 @@
+#include "strings/suffix_array.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "pram/metrics.hpp"
+#include "pram/parallel_for.hpp"
+#include "prim/rename.hpp"
+#include "strings/period.hpp"
+
+namespace sfcp::strings {
+
+namespace {
+
+// Rank pair key at doubling distance k: (rank[i], rank[i+k]+1) with 0 for
+// "past the end", packed so numeric u64 order == lexicographic pair order.
+u64 doubling_key(std::span<const u32> rank, std::size_t n, std::size_t i, std::size_t k) {
+  const u32 hi = rank[i];
+  const u32 lo = (i + k < n) ? rank[i + k] + 1 : 0u;
+  return pack_pair(hi, lo);
+}
+
+}  // namespace
+
+SuffixArray build_suffix_array(std::span<const u32> s) {
+  const std::size_t n = s.size();
+  SuffixArray out;
+  if (n == 0) return out;
+
+  // Round 0: rank by single character (order-preserving renaming).
+  std::vector<u64> keys(n);
+  pram::parallel_for(0, n, [&](std::size_t i) { keys[i] = s[i]; });
+  prim::RenameResult r = prim::rename_sorted(keys);
+  std::vector<u32> rank = std::move(r.labels);
+  u32 classes = r.num_classes;
+
+  for (std::size_t k = 1; classes < n && k < n; k <<= 1) {
+    pram::parallel_for(0, n, [&](std::size_t i) { keys[i] = doubling_key(rank, n, i, k); });
+    r = prim::rename_sorted(keys);
+    rank = std::move(r.labels);
+    classes = r.num_classes;
+    ++out.rounds;
+  }
+  if (classes < n) {
+    // Only possible for strings with equal suffixes, which cannot happen
+    // (suffixes have distinct lengths); guards against internal corruption.
+    throw std::logic_error("suffix ranks did not separate");
+  }
+
+  out.rank = std::move(rank);
+  out.sa.assign(n, 0);
+  pram::parallel_for(0, n, [&](std::size_t i) { out.sa[out.rank[i]] = static_cast<u32>(i); });
+  return out;
+}
+
+SuffixArray build_suffix_array_reference(std::span<const u32> s) {
+  const std::size_t n = s.size();
+  SuffixArray out;
+  out.sa.resize(n);
+  for (std::size_t i = 0; i < n; ++i) out.sa[i] = static_cast<u32>(i);
+  std::sort(out.sa.begin(), out.sa.end(), [&](u32 a, u32 b) {
+    return std::lexicographical_compare(s.begin() + a, s.end(), s.begin() + b, s.end());
+  });
+  out.rank.assign(n, 0);
+  for (std::size_t r = 0; r < n; ++r) out.rank[out.sa[r]] = static_cast<u32>(r);
+  pram::charge(n);
+  return out;
+}
+
+std::vector<u32> lcp_kasai(std::span<const u32> s, const SuffixArray& sa) {
+  const std::size_t n = s.size();
+  std::vector<u32> lcp(n, 0);
+  if (n == 0) return lcp;
+  if (sa.sa.size() != n || sa.rank.size() != n) {
+    throw std::invalid_argument("lcp_kasai: suffix array size mismatch");
+  }
+  u32 h = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const u32 r = sa.rank[i];
+    if (r == 0) {
+      h = 0;
+      continue;
+    }
+    const std::size_t j = sa.sa[r - 1];
+    if (h > 0) --h;
+    while (i + h < n && j + h < n && s[i + h] == s[j + h]) ++h;
+    lcp[r] = h;
+  }
+  pram::charge(2 * n);
+  return lcp;
+}
+
+u32 msp_suffix_array(std::span<const u32> s) {
+  const std::size_t n = s.size();
+  if (n == 0) return 0;
+  if (n == 1) return 0;
+
+  // Reduce a repeating string to its smallest repeating prefix: the m.s.p.
+  // of the prefix is an m.s.p. of the whole string (Section 3.1).
+  const u32 p = smallest_period_seq(s);
+  if (p < n) return msp_suffix_array(s.subspan(0, p));
+
+  // Non-repeating: rotations are pairwise distinct, so any two rotations
+  // differ within their first n characters.  Suffix i < n of the doubled
+  // string s·s has length >= n, hence the suffix order restricted to
+  // starts in [0, n) equals the rotation order.
+  std::vector<u32> doubled(2 * n);
+  pram::parallel_for(0, 2 * n, [&](std::size_t i) { doubled[i] = s[i % n]; });
+  const SuffixArray sa = build_suffix_array(doubled);
+  u32 best = kNone;
+  for (std::size_t r = 0; r < 2 * n; ++r) {
+    if (sa.sa[r] < n) {
+      best = sa.sa[r];
+      break;
+    }
+  }
+  pram::charge(2 * n);
+  return best;
+}
+
+int compare_rotations(std::span<const u32> s, u32 i, u32 j) {
+  const std::size_t n = s.size();
+  if (i == j) return 0;
+  for (std::size_t t = 0; t < n; ++t) {
+    const u32 a = s[(i + t) % n];
+    const u32 b = s[(j + t) % n];
+    if (a != b) return a < b ? -1 : 1;
+  }
+  return 0;
+}
+
+u64 count_distinct_substrings(std::span<const u32> s) {
+  const std::size_t n = s.size();
+  if (n == 0) return 0;
+  const SuffixArray sa = build_suffix_array(s);
+  const std::vector<u32> lcp = lcp_kasai(s, sa);
+  u64 total = static_cast<u64>(n) * (n + 1) / 2;
+  for (const u32 v : lcp) total -= v;
+  return total;
+}
+
+}  // namespace sfcp::strings

@@ -1,0 +1,61 @@
+#pragma once
+// Parallel suffix array by prefix doubling — the realization of Vishkin's
+// observation (cited in Section 3.1) that the m.s.p. of a circular string
+// can be obtained from "an appropriate suffix tree" in O(log n) time using
+// O(n log n) operations.
+//
+// We substitute the suffix *array* for the suffix tree: a prefix-doubling
+// construction (Manber–Myers style, parallelized with the library's stable
+// integer sort) performs O(log n) rounds of pair renaming, O(n) work per
+// round — exactly the O(n log n)-operation profile the paper attributes to
+// the suffix-tree route, and therefore the natural baseline to compare
+// Algorithm "efficient m.s.p." (Lemma 3.7, O(n log log n) operations)
+// against.
+//
+// The module also provides the LCP array (Kasai) and generic rotation /
+// suffix comparison helpers used by tests and benches.
+
+#include <span>
+#include <vector>
+
+#include "pram/types.hpp"
+
+namespace sfcp::strings {
+
+/// Suffix array of a string plus its inverse permutation.
+struct SuffixArray {
+  std::vector<u32> sa;    ///< sa[r] = start of the r-th smallest suffix
+  std::vector<u32> rank;  ///< rank[i] = r iff sa[r] == i
+  u32 rounds = 0;         ///< number of doubling rounds performed
+
+  std::size_t size() const { return sa.size(); }
+};
+
+/// Builds the suffix array with parallel prefix doubling: O(log n) rounds,
+/// each a stable radix sort of (rank[i], rank[i+k]) pairs — O(n log n) work,
+/// O(log n · log n / log log n)-ish depth on the PRAM substrate.
+SuffixArray build_suffix_array(std::span<const u32> s);
+
+/// Sequential reference construction (sorts suffixes with std::sort and
+/// O(n)-deep comparisons); O(n^2 log n) worst case, for testing only.
+SuffixArray build_suffix_array_reference(std::span<const u32> s);
+
+/// LCP array via Kasai's algorithm: lcp[r] = longest common prefix of the
+/// suffixes at sorted positions r-1 and r (lcp[0] = 0).  O(n) sequential.
+std::vector<u32> lcp_kasai(std::span<const u32> s, const SuffixArray& sa);
+
+/// Minimal starting point of the circular string s obtained from the suffix
+/// array of s·s (the doubled string).  Handles repeating inputs by reducing
+/// to the smallest repeating prefix first, like the other m.s.p. entry
+/// points.  O(n log n) work — the "Vishkin suffix tree" baseline of §3.1.
+u32 msp_suffix_array(std::span<const u32> s);
+
+/// Lexicographic three-way comparison of two rotations of the same circular
+/// string: negative / 0 / positive as rotation i <, ==, > rotation j.
+int compare_rotations(std::span<const u32> s, u32 i, u32 j);
+
+/// Number of distinct substrings of s, a classic SA+LCP identity used as a
+/// cross-check between the two construction paths (n(n+1)/2 - sum lcp).
+u64 count_distinct_substrings(std::span<const u32> s);
+
+}  // namespace sfcp::strings

@@ -1,0 +1,53 @@
+#include "util/dot_export.hpp"
+
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace sfcp::util {
+
+void write_dot(std::ostream& os, const graph::Instance& inst, std::span<const u32> q,
+               const DotOptions& opts) {
+  const std::size_t n = inst.size();
+  if (opts.cluster_by_q && q.size() != n) {
+    throw std::invalid_argument("write_dot: cluster_by_q requires q of matching size");
+  }
+  os << "digraph " << opts.graph_name << " {\n";
+  os << "  rankdir=LR;\n  node [shape=circle];\n";
+
+  if (opts.cluster_by_q) {
+    // One subgraph cluster per Q-block, in label order.
+    u32 blocks = 0;
+    for (const u32 v : q) blocks = std::max(blocks, v + 1);
+    std::vector<std::vector<u32>> members(blocks);
+    for (u32 x = 0; x < n; ++x) members[q[x]].push_back(x);
+    for (u32 c = 0; c < blocks; ++c) {
+      os << "  subgraph cluster_q" << c << " {\n    label=\"Q" << c << "\";\n";
+      for (const u32 x : members[c]) {
+        os << "    n" << x;
+        if (opts.show_b_labels) os << " [label=\"" << x << "\\nB=" << inst.b[x] << "\"]";
+        os << ";\n";
+      }
+      os << "  }\n";
+    }
+  } else {
+    for (u32 x = 0; x < n; ++x) {
+      os << "  n" << x;
+      if (opts.show_b_labels) os << " [label=\"" << x << "\\nB=" << inst.b[x] << "\"]";
+      os << ";\n";
+    }
+  }
+  for (u32 x = 0; x < n; ++x) {
+    os << "  n" << x << " -> n" << inst.f[x] << ";\n";
+  }
+  os << "}\n";
+}
+
+std::string to_dot(const graph::Instance& inst, std::span<const u32> q, const DotOptions& opts) {
+  std::ostringstream os;
+  write_dot(os, inst, q, opts);
+  return os.str();
+}
+
+}  // namespace sfcp::util

@@ -1,0 +1,33 @@
+#pragma once
+// Graphviz (DOT) export of functional graphs and solved instances — the
+// debugging companion for everything in this library: render the
+// pseudo-forest, color nodes by B-label and group them by Q-block, exactly
+// like the paper's Fig. 1 (which is the first thing anyone draws when
+// studying an instance).
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "graph/functional_graph.hpp"
+#include "pram/types.hpp"
+
+namespace sfcp::util {
+
+struct DotOptions {
+  bool show_b_labels = true;     ///< annotate nodes with their B-label
+  bool cluster_by_q = false;     ///< group nodes into Q-block clusters
+  std::string graph_name = "sfcp";
+};
+
+/// Writes the functional graph of `inst` in DOT format.  When
+/// `opts.cluster_by_q` is set, `q` must be a valid labelling of the same
+/// size (e.g. core::solve(inst).q); otherwise `q` may be empty.
+void write_dot(std::ostream& os, const graph::Instance& inst, std::span<const u32> q,
+               const DotOptions& opts = {});
+
+/// Convenience: DOT text as a string.
+std::string to_dot(const graph::Instance& inst, std::span<const u32> q = {},
+                   const DotOptions& opts = {});
+
+}  // namespace sfcp::util

@@ -1,0 +1,59 @@
+#include "util/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sfcp::util {
+
+namespace {
+constexpr const char* kMagic = "sfcp-instance";
+constexpr const char* kVersion = "v1";
+}  // namespace
+
+void save_instance(std::ostream& os, const graph::Instance& inst) {
+  os << kMagic << ' ' << kVersion << '\n' << inst.size() << '\n';
+  for (std::size_t i = 0; i < inst.f.size(); ++i) {
+    os << inst.f[i] << (i + 1 == inst.f.size() ? '\n' : ' ');
+  }
+  if (inst.f.empty()) os << '\n';
+  for (std::size_t i = 0; i < inst.b.size(); ++i) {
+    os << inst.b[i] << (i + 1 == inst.b.size() ? '\n' : ' ');
+  }
+  if (inst.b.empty()) os << '\n';
+  if (!os) throw std::runtime_error("save_instance: write failed");
+}
+
+graph::Instance load_instance(std::istream& is) {
+  std::string magic, version;
+  if (!(is >> magic >> version) || magic != kMagic || version != kVersion) {
+    throw std::runtime_error("load_instance: bad header (expected 'sfcp-instance v1')");
+  }
+  std::size_t n = 0;
+  if (!(is >> n)) throw std::runtime_error("load_instance: missing size");
+  graph::Instance inst;
+  inst.f.resize(n);
+  inst.b.resize(n);
+  for (auto& v : inst.f) {
+    if (!(is >> v)) throw std::runtime_error("load_instance: truncated f array");
+  }
+  for (auto& v : inst.b) {
+    if (!(is >> v)) throw std::runtime_error("load_instance: truncated b array");
+  }
+  graph::validate(inst);
+  return inst;
+}
+
+void save_instance_file(const std::string& path, const graph::Instance& inst) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("save_instance_file: cannot open " + path);
+  save_instance(os, inst);
+}
+
+graph::Instance load_instance_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("load_instance_file: cannot open " + path);
+  return load_instance(is);
+}
+
+}  // namespace sfcp::util

@@ -1,0 +1,26 @@
+#pragma once
+// Plain-text (de)serialization of SFCP instances and solutions, so examples
+// and external tools can exchange workloads:
+//
+//   sfcp-instance v1
+//   n
+//   f[0] f[1] ... f[n-1]
+//   b[0] b[1] ... b[n-1]
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/functional_graph.hpp"
+#include "pram/types.hpp"
+
+namespace sfcp::util {
+
+void save_instance(std::ostream& os, const graph::Instance& inst);
+
+/// Throws std::runtime_error on malformed input.
+graph::Instance load_instance(std::istream& is);
+
+void save_instance_file(const std::string& path, const graph::Instance& inst);
+graph::Instance load_instance_file(const std::string& path);
+
+}  // namespace sfcp::util

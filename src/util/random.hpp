@@ -1,0 +1,53 @@
+#pragma once
+// Deterministic, fast PRNG (xoshiro256** seeded by SplitMix64): identical
+// streams on every platform, so tests and benches are reproducible.
+
+#include <cstdint>
+
+#include "pram/types.hpp"
+
+namespace sfcp::util {
+
+class Rng {
+ public:
+  explicit Rng(u64 seed = 0x5eed5eed5eedull) {
+    u64 sm = seed;
+    for (auto& word : s_) {
+      sm += 0x9e3779b97f4a7c15ull;
+      u64 z = sm;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  u64 next() {
+    const u64 result = rotl(s_[1] * 5, 7) * 9;
+    const u64 t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound); bound must be > 0.
+  u64 below(u64 bound) { return next() % bound; }
+
+  u32 below_u32(u32 bound) { return static_cast<u32>(below(bound)); }
+
+  /// Uniform in [lo, hi] inclusive.
+  u64 range(u64 lo, u64 hi) { return lo + below(hi - lo + 1); }
+
+  double uniform01() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  bool chance(double p) { return uniform01() < p; }
+
+ private:
+  static u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+  u64 s_[4];
+};
+
+}  // namespace sfcp::util

@@ -1,0 +1,71 @@
+#pragma once
+// Fixed-width table printer for paper-style benchmark output
+// (the table_* binaries print the rows recorded in EXPERIMENTS.md).
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace sfcp::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+    widths_.resize(headers_.size());
+    for (std::size_t i = 0; i < headers_.size(); ++i) widths_[i] = headers_[i].size();
+  }
+
+  template <typename... Cells>
+  void add_row(Cells&&... cells) {
+    std::vector<std::string> row;
+    (row.push_back(to_cell(std::forward<Cells>(cells))), ...);
+    for (std::size_t i = 0; i < row.size() && i < widths_.size(); ++i) {
+      widths_[i] = std::max(widths_[i], row[i].size());
+    }
+    rows_.push_back(std::move(row));
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    print_row(os, headers_);
+    std::string sep;
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+      sep += std::string(widths_[i] + 2, '-');
+      if (i + 1 < headers_.size()) sep += "+";
+    }
+    os << sep << "\n";
+    for (const auto& row : rows_) print_row(os, row);
+    os.flush();
+  }
+
+ private:
+  template <typename T>
+  static std::string to_cell(T&& v) {
+    if constexpr (std::is_convertible_v<T, std::string>) {
+      return std::string(std::forward<T>(v));
+    } else if constexpr (std::is_floating_point_v<std::decay_t<T>>) {
+      std::ostringstream os;
+      os << std::fixed << std::setprecision(3) << v;
+      return os.str();
+    } else {
+      std::ostringstream os;
+      os << v;
+      return os.str();
+    }
+  }
+
+  void print_row(std::ostream& os, const std::vector<std::string>& row) const {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << " " << std::setw(static_cast<int>(widths_[i])) << row[i] << " ";
+      if (i + 1 < row.size()) os << "|";
+    }
+    os << "\n";
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::size_t> widths_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sfcp::util

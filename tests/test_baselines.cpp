@@ -1,0 +1,112 @@
+// Unit tests for the baseline solvers: naive refinement, Hopcroft-style
+// refinement, and parallel label doubling, all cross-validated.
+#include <gtest/gtest.h>
+
+#include "core/baselines.hpp"
+#include "core/verify.hpp"
+#include "util/generators.hpp"
+#include "util/random.hpp"
+
+namespace sfcp {
+namespace {
+
+using core::solve_hopcroft;
+using core::solve_label_doubling;
+using core::solve_naive_refinement;
+
+TEST(Baselines, SingleNode) {
+  graph::Instance inst{{0}, {3}};
+  EXPECT_EQ(solve_naive_refinement(inst).num_blocks, 1u);
+  EXPECT_EQ(solve_hopcroft(inst).num_blocks, 1u);
+  EXPECT_EQ(solve_label_doubling(inst).num_blocks, 1u);
+}
+
+TEST(Baselines, IdentityFunctionPartitionIsB) {
+  // f = identity: Q = B exactly.
+  graph::Instance inst;
+  inst.f = {0, 1, 2, 3};
+  inst.b = {5, 5, 6, 6};
+  for (const auto& r :
+       {solve_naive_refinement(inst), solve_hopcroft(inst), solve_label_doubling(inst)}) {
+    EXPECT_EQ(r.num_blocks, 2u);
+    EXPECT_EQ(r.q[0], r.q[1]);
+    EXPECT_EQ(r.q[2], r.q[3]);
+    EXPECT_NE(r.q[0], r.q[2]);
+  }
+}
+
+TEST(Baselines, PaperExample22) {
+  const auto inst = util::paper_example_2_2();
+  const auto expected = util::paper_example_2_2_expected_q();
+  EXPECT_EQ(solve_naive_refinement(inst).q, expected);
+  EXPECT_EQ(solve_hopcroft(inst).q, expected);
+  EXPECT_EQ(solve_label_doubling(inst).q, expected);
+}
+
+TEST(Baselines, SingleBlockWhenUniformLabels) {
+  // Pure cycle, all same B-label: one block.
+  graph::Instance inst;
+  inst.f = {1, 2, 3, 0};
+  inst.b = {9, 9, 9, 9};
+  EXPECT_EQ(solve_naive_refinement(inst).num_blocks, 1u);
+  EXPECT_EQ(solve_hopcroft(inst).num_blocks, 1u);
+  EXPECT_EQ(solve_label_doubling(inst).num_blocks, 1u);
+}
+
+TEST(Baselines, PathNeedsManyRounds) {
+  // A long path into a self-loop with distinct end: naive refinement takes
+  // ~n rounds; all must still agree.
+  const std::size_t n = 300;
+  graph::Instance inst;
+  inst.f.resize(n);
+  inst.b.assign(n, 1);
+  inst.f[0] = 0;
+  for (u32 i = 1; i < n; ++i) inst.f[i] = i - 1;
+  inst.b[0] = 2;  // break symmetry at the sink
+  const auto naive = solve_naive_refinement(inst);
+  EXPECT_EQ(naive.num_blocks, n);  // distances to the sink differ
+  EXPECT_TRUE(core::same_partition(solve_hopcroft(inst).q, naive.q));
+  EXPECT_TRUE(core::same_partition(solve_label_doubling(inst).q, naive.q));
+  EXPECT_GE(naive.rounds, n - 2);  // witnesses the O(n)-round worst case
+}
+
+TEST(Baselines, DoublingUsesLogRounds) {
+  util::Rng rng(1101);
+  const auto inst = util::random_function(4096, 3, rng);
+  const auto r = solve_label_doubling(inst);
+  EXPECT_LE(r.rounds, 13u);  // ceil(log2 4096) + 1
+}
+
+class BaselineAgreement : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BaselineAgreement, AllThreeAgreeOnRandomInstances) {
+  const std::size_t n = GetParam();
+  util::Rng rng(n * 7 + 1);
+  for (int iter = 0; iter < 25; ++iter) {
+    const u32 nb = 1 + rng.below_u32(5);
+    const auto inst = util::random_function(n, nb, rng);
+    const auto naive = solve_naive_refinement(inst);
+    const auto hopcroft = solve_hopcroft(inst);
+    const auto doubling = solve_label_doubling(inst);
+    EXPECT_EQ(naive.q, hopcroft.q) << "hopcroft n=" << n << " iter=" << iter;
+    EXPECT_EQ(naive.q, doubling.q) << "doubling n=" << n << " iter=" << iter;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BaselineAgreement,
+                         ::testing::Values(1, 2, 3, 5, 16, 64, 257, 1000));
+
+TEST(Baselines, StabilityAndRefinementProperties) {
+  util::Rng rng(1103);
+  for (int iter = 0; iter < 20; ++iter) {
+    const auto inst = util::random_function(500, 3, rng);
+    for (const auto& r :
+         {solve_naive_refinement(inst), solve_hopcroft(inst), solve_label_doubling(inst)}) {
+      EXPECT_TRUE(core::is_refinement(r.q, inst.b));
+      EXPECT_TRUE(core::is_stable(r.q, inst.f));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sfcp

@@ -1,0 +1,58 @@
+// Unit tests for parallel compaction (pack by flag / predicate).
+#include <gtest/gtest.h>
+
+#include "pram/config.hpp"
+#include "prim/compact.hpp"
+#include "util/random.hpp"
+
+namespace sfcp {
+namespace {
+
+TEST(Compact, Empty) {
+  std::vector<u8> flags;
+  EXPECT_TRUE(prim::pack_index(flags).empty());
+}
+
+TEST(Compact, NoneSet) {
+  std::vector<u8> flags(10, 0);
+  EXPECT_TRUE(prim::pack_index(flags).empty());
+}
+
+TEST(Compact, AllSet) {
+  std::vector<u8> flags(5, 1);
+  EXPECT_EQ(prim::pack_index(flags), (std::vector<u32>{0, 1, 2, 3, 4}));
+}
+
+TEST(Compact, Alternating) {
+  std::vector<u8> flags{1, 0, 1, 0, 1};
+  EXPECT_EQ(prim::pack_index(flags), (std::vector<u32>{0, 2, 4}));
+}
+
+TEST(Compact, Values) {
+  std::vector<u32> vals{10, 20, 30, 40};
+  std::vector<u8> flags{0, 1, 1, 0};
+  EXPECT_EQ(prim::pack_values(vals, flags), (std::vector<u32>{20, 30}));
+}
+
+TEST(Compact, PredicateForm) {
+  const auto evens = prim::pack_index_if(10, [](std::size_t i) { return i % 2 == 0; });
+  EXPECT_EQ(evens, (std::vector<u32>{0, 2, 4, 6, 8}));
+}
+
+TEST(Compact, OrderPreservedOnLargeRandom) {
+  util::Rng rng(11);
+  const std::size_t n = 100000;
+  std::vector<u8> flags(n);
+  for (auto& f : flags) f = rng.chance(0.3) ? 1 : 0;
+  std::vector<u32> ref;
+  for (u32 i = 0; i < n; ++i) {
+    if (flags[i]) ref.push_back(i);
+  }
+  for (const std::size_t grain : {64u, 1u << 22}) {
+    pram::ScopedGrain g(grain);
+    EXPECT_EQ(prim::pack_index(flags), ref) << "grain=" << grain;
+  }
+}
+
+}  // namespace
+}  // namespace sfcp

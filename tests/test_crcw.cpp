@@ -1,0 +1,137 @@
+// Concurrency stress tests for the CRCW write primitives and the
+// concurrent hash table — the substrate that realizes the paper's
+// "arbitrary CRCW PRAM" semantics (and the BB table of Algorithm
+// partition) on real threads.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "pram/crcw.hpp"
+#include "prim/hash_table.hpp"
+#include "util/random.hpp"
+
+namespace sfcp {
+namespace {
+
+TEST(Crcw, ArbitraryWriteExactlyOneWinner) {
+  // Many threads race on one cell; all must observe the SAME winner, and
+  // the winner must be one of the written values.
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<u32> cell{pram::kEmptyCell<u32>};
+    const int writers = 8;
+    std::vector<u32> observed(writers);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < writers; ++t) {
+      threads.emplace_back([&, t] {
+        observed[t] = pram::arbitrary_write(cell, static_cast<u32>(100 + t));
+      });
+    }
+    for (auto& th : threads) th.join();
+    const u32 final = cell.load();
+    EXPECT_GE(final, 100u);
+    EXPECT_LT(final, 100u + writers);
+    for (int t = 0; t < writers; ++t) {
+      EXPECT_EQ(observed[t], final) << "every writer must read back the winner";
+    }
+  }
+}
+
+TEST(Crcw, ArbitraryWriteDistinctCellsAllSucceed) {
+  const std::size_t n = 1000;
+  std::vector<std::atomic<u32>> cells(n);
+  for (auto& c : cells) c.store(pram::kEmptyCell<u32>);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t i = static_cast<std::size_t>(t); i < n; i += 4) {
+        pram::arbitrary_write(cells[i], static_cast<u32>(i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(cells[i].load(), i);
+}
+
+TEST(Crcw, MinWriteConvergesToMinimum) {
+  for (int round = 0; round < 10; ++round) {
+    std::atomic<u32> cell{kNone};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t) {
+      threads.emplace_back([&, t] {
+        util::Rng rng(static_cast<u32>(round * 8 + t));
+        for (int i = 0; i < 1000; ++i) {
+          pram::min_write(cell, static_cast<u32>(5 + rng.below(10000)));
+        }
+        pram::min_write(cell, static_cast<u32>(5 + t));
+      });
+    }
+    for (auto& th : threads) th.join();
+    EXPECT_EQ(cell.load(), 5u);
+  }
+}
+
+TEST(Crcw, CommonWriteAgreedValue) {
+  std::atomic<u32> cell{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) pram::common_write(cell, 42u);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(cell.load(), 42u);
+}
+
+TEST(ConcurrentPairMap, SameKeySameLabelUnderContention) {
+  // All threads hammer the same small key set; a key must map to exactly
+  // one label across all threads (the BB-table invariant of §3.2).
+  const std::size_t n = 1 << 14;
+  prim::ConcurrentPairMap table(n);
+  const int writers = 8;
+  const u32 distinct = 64;
+  std::vector<std::vector<u32>> got(writers, std::vector<u32>(n));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < writers; ++t) {
+    threads.emplace_back([&, t] {
+      util::Rng rng(777 + static_cast<u32>(t));
+      for (std::size_t i = 0; i < n; ++i) {
+        const u64 key = pack_pair(rng.below(distinct), 0);
+        got[t][i] = table.insert_or_get(key, static_cast<u32>(t * n + i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  // Re-query sequentially: every key's label must be stable.
+  std::set<u32> labels;
+  for (u32 k = 0; k < distinct; ++k) {
+    const u32 l1 = table.insert_or_get(pack_pair(k, 0), kNone - 1);
+    const u32 l2 = table.insert_or_get(pack_pair(k, 0), kNone - 2);
+    EXPECT_EQ(l1, l2);
+    labels.insert(l1);
+  }
+  EXPECT_EQ(labels.size(), distinct) << "distinct keys must get distinct labels";
+}
+
+TEST(ConcurrentPairMap, DistinctKeysDistinctLabelsParallel) {
+  const std::size_t n = 1 << 15;
+  prim::ConcurrentPairMap table(n);
+  std::vector<u32> label(n);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t i = static_cast<std::size_t>(t); i < n; i += 4) {
+        label[i] = table.insert_or_get(pack_pair(static_cast<u32>(i), static_cast<u32>(i)),
+                                       static_cast<u32>(i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::set<u32> seen(label.begin(), label.end());
+  EXPECT_EQ(seen.size(), n);
+}
+
+}  // namespace
+}  // namespace sfcp

@@ -1,0 +1,76 @@
+// Tests for the Graphviz DOT exporter.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/coarsest_partition.hpp"
+#include "util/dot_export.hpp"
+#include "util/generators.hpp"
+#include "util/random.hpp"
+
+namespace sfcp {
+namespace {
+
+using util::DotOptions;
+using util::to_dot;
+
+TEST(DotExport, ContainsAllNodesAndEdges) {
+  graph::Instance inst{{1, 2, 0}, {5, 6, 7}};
+  const auto dot = to_dot(inst);
+  for (const char* frag : {"digraph sfcp", "n0", "n1", "n2", "n0 -> n1", "n1 -> n2", "n2 -> n0",
+                           "B=5", "B=6", "B=7"}) {
+    EXPECT_NE(dot.find(frag), std::string::npos) << "missing: " << frag;
+  }
+  EXPECT_EQ(dot.back(), '\n');
+}
+
+TEST(DotExport, ClusersByQBlocks) {
+  const auto inst = util::paper_example_2_2();
+  const auto r = core::solve(inst);
+  DotOptions opts;
+  opts.cluster_by_q = true;
+  const auto dot = to_dot(inst, r.q, opts);
+  // Paper: 4 blocks -> 4 clusters.
+  for (u32 c = 0; c < 4; ++c) {
+    EXPECT_NE(dot.find("cluster_q" + std::to_string(c)), std::string::npos);
+  }
+  EXPECT_EQ(dot.find("cluster_q4"), std::string::npos);
+}
+
+TEST(DotExport, ClusterRequiresMatchingQ) {
+  graph::Instance inst{{0, 0}, {1, 1}};
+  DotOptions opts;
+  opts.cluster_by_q = true;
+  std::vector<u32> wrong{0};
+  EXPECT_THROW(to_dot(inst, wrong, opts), std::invalid_argument);
+}
+
+TEST(DotExport, DeterministicAndParsesBalanced) {
+  util::Rng rng(14001);
+  const auto inst = util::random_function(50, 3, rng);
+  const auto a = to_dot(inst);
+  const auto b = to_dot(inst);
+  EXPECT_EQ(a, b);
+  // Structural sanity: balanced braces, one edge per node.
+  EXPECT_EQ(std::count(a.begin(), a.end(), '{'), std::count(a.begin(), a.end(), '}'));
+  EXPECT_EQ(static_cast<std::size_t>(std::count(a.begin(), a.end(), '>')), inst.size());
+}
+
+TEST(DotExport, EmptyInstance) {
+  graph::Instance empty;
+  const auto dot = to_dot(empty);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+}
+
+TEST(DotExport, CustomGraphNameAndNoLabels) {
+  graph::Instance inst{{0}, {9}};
+  DotOptions opts;
+  opts.graph_name = "fig1";
+  opts.show_b_labels = false;
+  const auto dot = to_dot(inst, {}, opts);
+  EXPECT_NE(dot.find("digraph fig1"), std::string::npos);
+  EXPECT_EQ(dot.find("B=9"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sfcp

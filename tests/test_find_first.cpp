@@ -1,0 +1,67 @@
+// Unit tests for find_first_set / find_first_if (the paper's Fich–Ragde–
+// Wigderson first-one primitive).
+#include <gtest/gtest.h>
+
+#include "pram/config.hpp"
+#include "prim/find_first.hpp"
+#include "util/random.hpp"
+
+namespace sfcp {
+namespace {
+
+TEST(FindFirst, Empty) {
+  std::vector<u8> flags;
+  EXPECT_EQ(prim::find_first_set(flags), kNone);
+}
+
+TEST(FindFirst, NoneSet) {
+  std::vector<u8> flags(100, 0);
+  EXPECT_EQ(prim::find_first_set(flags), kNone);
+}
+
+TEST(FindFirst, FirstElement) {
+  std::vector<u8> flags(10, 0);
+  flags[0] = 1;
+  EXPECT_EQ(prim::find_first_set(flags), 0u);
+}
+
+TEST(FindFirst, LastElement) {
+  std::vector<u8> flags(10, 0);
+  flags[9] = 1;
+  EXPECT_EQ(prim::find_first_set(flags), 9u);
+}
+
+TEST(FindFirst, PicksEarliestOfMany) {
+  std::vector<u8> flags(1000, 0);
+  flags[500] = flags[400] = flags[999] = 1;
+  EXPECT_EQ(prim::find_first_set(flags), 400u);
+}
+
+TEST(FindFirst, PredicateRange) {
+  EXPECT_EQ(prim::find_first_if(5, 20, [](std::size_t i) { return i >= 12; }), 12u);
+  EXPECT_EQ(prim::find_first_if(5, 20, [](std::size_t) { return false; }), kNone);
+  EXPECT_EQ(prim::find_first_if(7, 7, [](std::size_t) { return true; }), kNone);
+}
+
+TEST(FindFirst, RandomAgainstReferenceAcrossGrains) {
+  util::Rng rng(5);
+  for (int iter = 0; iter < 50; ++iter) {
+    const std::size_t n = 1 + rng.below(50000);
+    std::vector<u8> flags(n, 0);
+    for (auto& f : flags) f = rng.chance(0.0005) ? 1 : 0;
+    u32 ref = kNone;
+    for (u32 i = 0; i < n; ++i) {
+      if (flags[i]) {
+        ref = i;
+        break;
+      }
+    }
+    for (const std::size_t grain : {16u, 1u << 22}) {
+      pram::ScopedGrain g(grain);
+      EXPECT_EQ(prim::find_first_set(flags), ref) << "n=" << n << " grain=" << grain;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sfcp

@@ -1,0 +1,80 @@
+// Unit tests for the functional-graph utilities.
+#include <gtest/gtest.h>
+
+#include "graph/functional_graph.hpp"
+#include "util/generators.hpp"
+#include "util/random.hpp"
+
+namespace sfcp {
+namespace {
+
+using graph::indegrees;
+using graph::Instance;
+using graph::iterate_function;
+using graph::validate;
+
+TEST(Validate, AcceptsWellFormed) {
+  Instance inst;
+  inst.f = {1, 0};
+  inst.b = {0, 0};
+  EXPECT_NO_THROW(validate(inst));
+}
+
+TEST(Validate, RejectsSizeMismatch) {
+  Instance inst;
+  inst.f = {0, 1};
+  inst.b = {0};
+  EXPECT_THROW(validate(inst), std::invalid_argument);
+}
+
+TEST(Validate, RejectsOutOfRange) {
+  Instance inst;
+  inst.f = {0, 5};
+  inst.b = {0, 0};
+  EXPECT_THROW(validate(inst), std::invalid_argument);
+}
+
+TEST(IterateFunction, IdentityPower) {
+  std::vector<u32> f{1, 2, 0};
+  const auto f0 = iterate_function(f, 0);
+  EXPECT_EQ(f0, (std::vector<u32>{0, 1, 2}));
+}
+
+TEST(IterateFunction, FirstPower) {
+  std::vector<u32> f{1, 2, 0};
+  EXPECT_EQ(iterate_function(f, 1), f);
+}
+
+TEST(IterateFunction, CycleWrapsAround) {
+  std::vector<u32> f{1, 2, 0};  // 3-cycle
+  EXPECT_EQ(iterate_function(f, 3), (std::vector<u32>{0, 1, 2}));
+  EXPECT_EQ(iterate_function(f, 4), f);
+}
+
+TEST(IterateFunction, MatchesRepeatedApplication) {
+  util::Rng rng(401);
+  const auto inst = util::random_function(200, 3, rng);
+  std::vector<u32> ref(200);
+  for (u32 x = 0; x < 200; ++x) ref[x] = x;
+  for (u64 k = 0; k <= 17; ++k) {
+    EXPECT_EQ(iterate_function(inst.f, k), ref) << "k=" << k;
+    for (u32 x = 0; x < 200; ++x) ref[x] = inst.f[ref[x]];
+  }
+}
+
+TEST(Indegrees, SumsToN) {
+  util::Rng rng(409);
+  const auto inst = util::random_function(1000, 3, rng);
+  const auto deg = indegrees(inst.f);
+  u64 total = 0;
+  for (const u32 d : deg) total += d;
+  EXPECT_EQ(total, 1000u);
+}
+
+TEST(Indegrees, KnownSmallCase) {
+  std::vector<u32> f{1, 1, 1, 0};
+  EXPECT_EQ(indegrees(f), (std::vector<u32>{1, 3, 0, 0}));
+}
+
+}  // namespace
+}  // namespace sfcp

@@ -1,0 +1,107 @@
+// Unit tests for the instance/string generators (shape guarantees).
+#include <gtest/gtest.h>
+
+#include "graph/cycle_structure.hpp"
+#include "graph/functional_graph.hpp"
+#include "strings/period.hpp"
+#include "util/generators.hpp"
+#include "util/random.hpp"
+
+namespace sfcp {
+namespace {
+
+TEST(Generators, RandomFunctionWellFormed) {
+  util::Rng rng(1501);
+  const auto inst = util::random_function(1000, 5, rng);
+  EXPECT_NO_THROW(graph::validate(inst));
+  for (const u32 b : inst.b) EXPECT_LT(b, 5u);
+}
+
+TEST(Generators, RandomFunctionDeterministicPerSeed) {
+  util::Rng a(9), b(9), c(10);
+  const auto ia = util::random_function(100, 3, a);
+  const auto ib = util::random_function(100, 3, b);
+  const auto ic = util::random_function(100, 3, c);
+  EXPECT_EQ(ia.f, ib.f);
+  EXPECT_NE(ia.f, ic.f);
+}
+
+TEST(Generators, PermutationIsBijection) {
+  util::Rng rng(1503);
+  const auto inst = util::random_permutation(2000, 3, rng);
+  std::vector<u8> hit(2000, 0);
+  for (const u32 y : inst.f) {
+    EXPECT_EQ(hit[y], 0);
+    hit[y] = 1;
+  }
+}
+
+TEST(Generators, EqualCyclesShape) {
+  util::Rng rng(1507);
+  const auto inst = util::equal_cycles(10, 8, 2, 3, rng);
+  ASSERT_EQ(inst.size(), 80u);
+  const auto cs = graph::cycle_structure(inst.f, graph::CycleStructureStrategy::Sequential);
+  EXPECT_EQ(cs.num_cycles(), 10u);
+  for (std::size_t c = 0; c < 10; ++c) EXPECT_EQ(cs.cycle_length(c), 8u);
+}
+
+TEST(Generators, LongTailShape) {
+  util::Rng rng(1509);
+  const auto inst = util::long_tail(500, 20, 2, rng);
+  const auto cs = graph::cycle_structure(inst.f, graph::CycleStructureStrategy::Sequential);
+  EXPECT_EQ(cs.num_cycles(), 1u);
+  EXPECT_EQ(cs.cycle_length(0), 20u);
+  EXPECT_EQ(cs.cycle_nodes.size(), 20u);
+}
+
+TEST(Generators, BushyValid) {
+  util::Rng rng(1511);
+  const auto inst = util::bushy(800, 6, 4, 3, rng);
+  EXPECT_NO_THROW(graph::validate(inst));
+  const auto cs = graph::cycle_structure(inst.f, graph::CycleStructureStrategy::Sequential);
+  EXPECT_GE(cs.num_cycles(), 1u);
+}
+
+TEST(Generators, MergeableValid) {
+  util::Rng rng(1513);
+  const auto inst = util::mergeable(700, 5, rng);
+  EXPECT_NO_THROW(graph::validate(inst));
+}
+
+TEST(Generators, PrimitiveStringIsPrimitive) {
+  util::Rng rng(1517);
+  for (const std::size_t n : {2u, 6u, 100u}) {
+    const auto s = util::random_primitive_string(n, 2, rng);
+    EXPECT_FALSE(strings::is_repeating(s));
+  }
+}
+
+TEST(Generators, PeriodicStringHasPeriodDividingP) {
+  util::Rng rng(1519);
+  const auto s = util::periodic_string(60, 6, 3, rng);
+  EXPECT_EQ(s.size(), 60u);
+  const u32 p = strings::smallest_period_seq(s);
+  EXPECT_EQ(6u % p, 0u);  // smallest period divides the construction period
+}
+
+TEST(Generators, StringListBudgetRespected) {
+  util::Rng rng(1523);
+  for (auto dist : {util::LengthDistribution::Uniform, util::LengthDistribution::ManyShort,
+                    util::LengthDistribution::FewLong, util::LengthDistribution::PowerOfTwo}) {
+    const auto list = util::random_string_list(100, 1000, 4, dist, rng);
+    EXPECT_EQ(list.size(), 100u);
+    EXPECT_GE(list.total_symbols(), 100u);
+    EXPECT_LE(list.total_symbols(), 1100u);
+    for (std::size_t i = 0; i < list.size(); ++i) EXPECT_GE(list.view(i).size(), 1u);
+  }
+}
+
+TEST(Generators, PaperInstancesStable) {
+  const auto inst = util::paper_example_2_2();
+  EXPECT_EQ(inst.size(), 16u);
+  EXPECT_EQ(util::paper_example_3_4().size(), 19u);
+  EXPECT_EQ(util::paper_example_2_2_expected_q().size(), 16u);
+}
+
+}  // namespace
+}  // namespace sfcp

@@ -1,0 +1,78 @@
+// Unit tests for instance (de)serialization.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/generators.hpp"
+#include "util/io.hpp"
+#include "util/random.hpp"
+
+namespace sfcp {
+namespace {
+
+TEST(Io, RoundTripStream) {
+  util::Rng rng(2301);
+  const auto inst = util::random_function(500, 4, rng);
+  std::stringstream ss;
+  util::save_instance(ss, inst);
+  const auto loaded = util::load_instance(ss);
+  EXPECT_EQ(loaded.f, inst.f);
+  EXPECT_EQ(loaded.b, inst.b);
+}
+
+TEST(Io, RoundTripEmpty) {
+  graph::Instance inst;
+  std::stringstream ss;
+  util::save_instance(ss, inst);
+  const auto loaded = util::load_instance(ss);
+  EXPECT_TRUE(loaded.f.empty());
+  EXPECT_TRUE(loaded.b.empty());
+}
+
+TEST(Io, RejectsBadHeader) {
+  std::stringstream ss("not-an-instance v1\n3\n0 1 2\n0 0 0\n");
+  EXPECT_THROW(util::load_instance(ss), std::runtime_error);
+}
+
+TEST(Io, RejectsWrongVersion) {
+  std::stringstream ss("sfcp-instance v2\n1\n0\n0\n");
+  EXPECT_THROW(util::load_instance(ss), std::runtime_error);
+}
+
+TEST(Io, RejectsTruncatedF) {
+  std::stringstream ss("sfcp-instance v1\n3\n0 1\n");
+  EXPECT_THROW(util::load_instance(ss), std::runtime_error);
+}
+
+TEST(Io, RejectsOutOfRangeFunction) {
+  std::stringstream ss("sfcp-instance v1\n2\n0 5\n0 0\n");
+  EXPECT_THROW(util::load_instance(ss), std::invalid_argument);
+}
+
+TEST(Io, FileRoundTrip) {
+  util::Rng rng(2307);
+  const auto inst = util::random_function(100, 3, rng);
+  const std::string path = ::testing::TempDir() + "/sfcp_io_test.txt";
+  util::save_instance_file(path, inst);
+  const auto loaded = util::load_instance_file(path);
+  EXPECT_EQ(loaded.f, inst.f);
+  EXPECT_EQ(loaded.b, inst.b);
+  std::remove(path.c_str());
+}
+
+TEST(Io, MissingFileThrows) {
+  EXPECT_THROW(util::load_instance_file("/nonexistent/path/x.txt"), std::runtime_error);
+}
+
+TEST(Io, PaperExampleRoundTrip) {
+  const auto inst = util::paper_example_2_2();
+  std::stringstream ss;
+  util::save_instance(ss, inst);
+  const auto loaded = util::load_instance(ss);
+  EXPECT_EQ(loaded.f, inst.f);
+  EXPECT_EQ(loaded.b, inst.b);
+}
+
+}  // namespace
+}  // namespace sfcp

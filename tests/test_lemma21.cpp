@@ -1,0 +1,92 @@
+// Direct machine-checks of the paper's structural lemmas on small random
+// instances, brute-forced from the definitions:
+//   * Lemma 2.1(ii): A_Q[x] == A_Q[y]  iff  A_B[f^i(x)] == A_B[f^i(y)]
+//     for all i = 0..n.
+//   * Lemma 2.1(i):  A_Q[x] == A_Q[y]  iff  A_B[x] == A_B[y] and
+//     A_Q[f(x)] == A_Q[f(y)] (the fixpoint characterization).
+//   * Lemma 4.1: a tree node x at level l has the Q-label of a cycle node
+//     iff its whole root path matches the corresponding cycle B-labels.
+#include <gtest/gtest.h>
+
+#include "core/coarsest_partition.hpp"
+#include "graph/cycle_structure.hpp"
+#include "graph/orbits.hpp"
+#include "util/generators.hpp"
+#include "util/random.hpp"
+
+namespace sfcp {
+namespace {
+
+class Lemma21 : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Lemma21, PartIiStreamCharacterization) {
+  util::Rng rng(15000 + GetParam());
+  const std::size_t n = GetParam();
+  const auto inst = util::random_function(n, 2, rng);
+  const auto q = core::solve(inst).q;
+  // Brute force the B-label streams A_B[f^i(x)], i = 0..n.
+  std::vector<std::vector<u32>> stream(n);
+  for (u32 x = 0; x < n; ++x) {
+    stream[x].reserve(n + 1);
+    u32 cur = x;
+    for (std::size_t i = 0; i <= n; ++i) {
+      stream[x].push_back(inst.b[cur]);
+      cur = inst.f[cur];
+    }
+  }
+  for (u32 x = 0; x < n; ++x) {
+    for (u32 y = 0; y < n; ++y) {
+      EXPECT_EQ(q[x] == q[y], stream[x] == stream[y]) << x << "," << y;
+    }
+  }
+}
+
+TEST_P(Lemma21, PartIFixpointCharacterization) {
+  util::Rng rng(15100 + GetParam());
+  const auto inst = util::random_function(GetParam(), 3, rng);
+  const auto q = core::solve(inst).q;
+  for (u32 x = 0; x < inst.size(); ++x) {
+    for (u32 y = 0; y < inst.size(); ++y) {
+      const bool rhs = inst.b[x] == inst.b[y] && q[inst.f[x]] == q[inst.f[y]];
+      EXPECT_EQ(q[x] == q[y], rhs) << x << "," << y;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallSizes, Lemma21, ::testing::Values(1, 2, 7, 25, 60, 120));
+
+TEST(Lemma41, TreeNodeSharesCycleLabelIffRootPathMatches) {
+  util::Rng rng(15200);
+  for (int iter = 0; iter < 15; ++iter) {
+    const auto inst = util::random_function(150, 2, rng);
+    const auto q = core::solve(inst).q;
+    const auto cs = graph::cycle_structure(inst.f);
+    const auto orb = graph::compute_orbits(inst.f, cs);
+    for (u32 x = 0; x < inst.size(); ++x) {
+      if (cs.on_cycle[x]) continue;
+      // Walk the root path x .. r (r = entry cycle node) and, in lockstep,
+      // the cycle backwards from r: x's corresponding cycle node at level
+      // l is f^{k-l mod k}(r) — x keeps a cycle label iff every node on
+      // the path matches its counterpart's B-label (Lemma 4.1).
+      const u32 l = orb.tail[x];
+      const u32 r = orb.entry[x];
+      const u32 k = orb.cycle_len[x];
+      // corresponding cycle node: rank(r) - l mod k along the cycle.
+      const u32 c = cs.cycle_of[r];
+      const u32 start = (cs.rank[r] + k - (l % k)) % k;
+      bool matches = true;
+      u32 cur = x;
+      for (u32 j = 0; j <= l && matches; ++j) {
+        const u32 cyc_node = cs.node_at(c, (start + j) % k);
+        matches = inst.b[cur] == inst.b[cyc_node];
+        cur = inst.f[cur];
+      }
+      const u32 expected_cycle_node = cs.node_at(c, start);
+      const bool shares = q[x] == q[expected_cycle_node];
+      EXPECT_EQ(shares, matches) << "node " << x << " iter " << iter;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sfcp

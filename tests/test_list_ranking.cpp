@@ -1,0 +1,113 @@
+// Unit tests for list ranking (sequential / pointer jumping / ruling set).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "prim/list_ranking.hpp"
+#include "util/random.hpp"
+
+namespace sfcp {
+namespace {
+
+using prim::list_rank;
+using prim::ListRankStrategy;
+
+// Builds a successor array holding the given chains (each a vector of node
+// ids ending the list).
+std::vector<u32> chains_to_next(std::size_t n, const std::vector<std::vector<u32>>& chains) {
+  std::vector<u32> next(n, kNone);
+  for (const auto& c : chains) {
+    for (std::size_t i = 0; i + 1 < c.size(); ++i) next[c[i]] = c[i + 1];
+  }
+  return next;
+}
+
+std::vector<u32> reference_ranks(std::span<const u32> next) {
+  std::vector<u32> rank(next.size(), 0);
+  for (u32 v = 0; v < next.size(); ++v) {
+    u32 r = 0, w = v;
+    while (next[w] != kNone) {
+      w = next[w];
+      ++r;
+    }
+    rank[v] = r;
+  }
+  return rank;
+}
+
+class ListRankStrategies : public ::testing::TestWithParam<ListRankStrategy> {};
+
+TEST_P(ListRankStrategies, Empty) {
+  std::vector<u32> next;
+  EXPECT_TRUE(list_rank(next, GetParam()).empty());
+}
+
+TEST_P(ListRankStrategies, SingleNode) {
+  std::vector<u32> next{kNone};
+  EXPECT_EQ(list_rank(next, GetParam()), (std::vector<u32>{0}));
+}
+
+TEST_P(ListRankStrategies, SimpleChain) {
+  // 2 -> 0 -> 1 (end)
+  std::vector<u32> next{1, kNone, 0};
+  EXPECT_EQ(list_rank(next, GetParam()), (std::vector<u32>{1, 0, 2}));
+}
+
+TEST_P(ListRankStrategies, TwoChains) {
+  const auto next = chains_to_next(6, {{0, 2, 4}, {1, 3, 5}});
+  EXPECT_EQ(list_rank(next, GetParam()), reference_ranks(next));
+}
+
+TEST_P(ListRankStrategies, LongChainExactRanks) {
+  const std::size_t n = 10000;
+  // identity chain 0 -> 1 -> ... -> n-1
+  std::vector<u32> next(n);
+  for (u32 i = 0; i < n; ++i) next[i] = i + 1 < n ? i + 1 : kNone;
+  const auto rank = list_rank(next, GetParam());
+  for (u32 i = 0; i < n; ++i) EXPECT_EQ(rank[i], n - 1 - i);
+}
+
+TEST_P(ListRankStrategies, RandomManyChainsMatchReference) {
+  util::Rng rng(55);
+  for (int iter = 0; iter < 10; ++iter) {
+    const std::size_t n = 1 + rng.below(3000);
+    std::vector<u32> perm(n);
+    std::iota(perm.begin(), perm.end(), 0u);
+    for (std::size_t i = n; i > 1; --i) std::swap(perm[i - 1], perm[rng.below(i)]);
+    // Random chain boundaries.
+    std::vector<std::vector<u32>> chains;
+    std::size_t pos = 0;
+    while (pos < n) {
+      const std::size_t len = 1 + rng.below(std::min<std::size_t>(n - pos, 200));
+      chains.emplace_back(perm.begin() + static_cast<std::ptrdiff_t>(pos),
+                          perm.begin() + static_cast<std::ptrdiff_t>(pos + len));
+      pos += len;
+    }
+    const auto next = chains_to_next(n, chains);
+    EXPECT_EQ(list_rank(next, GetParam()), reference_ranks(next)) << "n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, ListRankStrategies,
+                         ::testing::Values(ListRankStrategy::Sequential,
+                                           ListRankStrategy::PointerJumping,
+                                           ListRankStrategy::RulingSet));
+
+TEST(ListRankAgreement, StrategiesAgreeOnLargeInput) {
+  util::Rng rng(77);
+  const std::size_t n = 50000;
+  std::vector<u32> perm(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+  for (std::size_t i = n; i > 1; --i) std::swap(perm[i - 1], perm[rng.below(i)]);
+  std::vector<u32> next(n, kNone);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    if (!rng.chance(0.001)) next[perm[i]] = perm[i + 1];  // occasional list breaks
+  }
+  const auto seq = list_rank(next, ListRankStrategy::Sequential);
+  EXPECT_EQ(list_rank(next, ListRankStrategy::PointerJumping), seq);
+  EXPECT_EQ(list_rank(next, ListRankStrategy::RulingSet), seq);
+}
+
+}  // namespace
+}  // namespace sfcp

@@ -1,0 +1,118 @@
+// Unit tests for the supplementary string machinery (Lyndon factorization,
+// Z-function, borders) and its consistency with periods and m.s.p.
+#include <gtest/gtest.h>
+
+#include "strings/lyndon.hpp"
+#include "strings/msp.hpp"
+#include "strings/period.hpp"
+#include "util/generators.hpp"
+#include "util/random.hpp"
+
+namespace sfcp {
+namespace {
+
+using strings::borders;
+using strings::is_lyndon;
+using strings::lyndon_factorization;
+using strings::z_function;
+
+TEST(Lyndon, SingleChar) {
+  std::vector<u32> s{5};
+  EXPECT_TRUE(is_lyndon(s));
+  EXPECT_EQ(lyndon_factorization(s), (std::vector<u32>{0}));
+}
+
+TEST(Lyndon, KnownFactorization) {
+  // "banana" with a=1,b=2,n=3: b|an|an|a -> starts 0,1,3,5
+  std::vector<u32> s{2, 1, 3, 1, 3, 1};
+  EXPECT_EQ(lyndon_factorization(s), (std::vector<u32>{0, 1, 3, 5}));
+}
+
+TEST(Lyndon, FactorsAreNonIncreasingLyndonWords) {
+  util::Rng rng(2201);
+  for (int iter = 0; iter < 50; ++iter) {
+    const auto s = util::random_string(1 + rng.below(200), 3, rng);
+    const auto starts = lyndon_factorization(s);
+    ASSERT_FALSE(starts.empty());
+    EXPECT_EQ(starts[0], 0u);
+    std::vector<std::vector<u32>> factors;
+    for (std::size_t i = 0; i < starts.size(); ++i) {
+      const u32 end = i + 1 < starts.size() ? starts[i + 1] : static_cast<u32>(s.size());
+      factors.emplace_back(s.begin() + starts[i], s.begin() + end);
+      EXPECT_TRUE(is_lyndon(factors.back())) << "factor " << i;
+    }
+    for (std::size_t i = 0; i + 1 < factors.size(); ++i) {
+      EXPECT_GE(factors[i], factors[i + 1]) << "non-increasing violated at " << i;
+    }
+  }
+}
+
+TEST(Lyndon, LyndonWordHasNoSmallerRotation) {
+  util::Rng rng(2203);
+  for (int iter = 0; iter < 30; ++iter) {
+    const auto s = util::random_string(2 + rng.below(30), 3, rng);
+    if (is_lyndon(s)) {
+      EXPECT_EQ(strings::msp_booth(s), 0u);
+      EXPECT_FALSE(strings::is_repeating(s));
+    }
+  }
+}
+
+TEST(ZFunction, KnownSmall) {
+  std::vector<u32> s{1, 1, 2, 1, 1, 2, 1, 1};
+  const auto z = z_function(s);
+  EXPECT_EQ(z[0], 8u);
+  EXPECT_EQ(z[1], 1u);
+  EXPECT_EQ(z[3], 5u);
+  EXPECT_EQ(z[6], 2u);
+}
+
+TEST(ZFunction, MatchesBruteForce) {
+  util::Rng rng(2207);
+  for (int iter = 0; iter < 40; ++iter) {
+    const auto s = util::random_string(1 + rng.below(120), 2, rng);
+    const auto z = z_function(s);
+    for (std::size_t i = 1; i < s.size(); ++i) {
+      u32 ref = 0;
+      while (i + ref < s.size() && s[ref] == s[i + ref]) ++ref;
+      EXPECT_EQ(z[i], ref) << "i=" << i;
+    }
+  }
+}
+
+TEST(Borders, KnownSmall) {
+  std::vector<u32> s{1, 2, 1, 1, 2, 1};  // borders: (1,2,1) and (1)
+  EXPECT_EQ(borders(s), (std::vector<u32>{1, 3}));
+}
+
+TEST(Borders, PeriodBorderDuality) {
+  // p is a period of s iff n - p is a border; the smallest DIVIDING period
+  // from the period module must be consistent with the border set.
+  util::Rng rng(2213);
+  for (int iter = 0; iter < 40; ++iter) {
+    const std::size_t p = 1 + rng.below(6);
+    const std::size_t reps = 2 + rng.below(5);
+    const auto s = util::periodic_string(p * reps, p, 2, rng);
+    const u32 period = strings::smallest_period_seq(s);
+    const auto bs = borders(s);
+    EXPECT_TRUE(std::find(bs.begin(), bs.end(), static_cast<u32>(s.size()) - period) !=
+                bs.end())
+        << "n - smallest period must be a border";
+  }
+}
+
+TEST(Borders, ZFunctionConsistency) {
+  // z[i] == n - i implies i is a period, i.e., n - i is a border.
+  util::Rng rng(2217);
+  const auto s = util::random_string(100, 2, rng);
+  const auto z = z_function(s);
+  const auto bs = borders(s);
+  for (u32 i = 1; i < s.size(); ++i) {
+    const bool full_match = z[i] == s.size() - i;
+    const bool is_border = std::find(bs.begin(), bs.end(), s.size() - i) != bs.end();
+    EXPECT_EQ(full_match, is_border) << "i=" << i;
+  }
+}
+
+}  // namespace
+}  // namespace sfcp

@@ -1,0 +1,143 @@
+// Tests for the string matching module (the substrate behind the paper's
+// period-finding citations [6, 20]).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "strings/matching.hpp"
+#include "strings/period.hpp"
+#include "util/generators.hpp"
+#include "util/random.hpp"
+
+namespace sfcp {
+namespace {
+
+using strings::circular_contains;
+using strings::count_occurrences;
+using strings::failure_function;
+using strings::find_occurrences;
+using strings::MatchStrategy;
+
+std::vector<u32> brute_occurrences(std::span<const u32> text, std::span<const u32> pattern) {
+  std::vector<u32> hits;
+  if (pattern.empty()) {
+    for (std::size_t i = 0; i <= text.size(); ++i) hits.push_back(static_cast<u32>(i));
+    return hits;
+  }
+  if (pattern.size() > text.size()) return hits;
+  for (std::size_t i = 0; i + pattern.size() <= text.size(); ++i) {
+    if (std::equal(pattern.begin(), pattern.end(), text.begin() + i)) {
+      hits.push_back(static_cast<u32>(i));
+    }
+  }
+  return hits;
+}
+
+class MatchingAllStrategies : public ::testing::TestWithParam<MatchStrategy> {};
+
+TEST_P(MatchingAllStrategies, KnownSmall) {
+  // text = abracadabra (a=1,b=2,r=3,c=4,d=5), pattern = abra.
+  std::vector<u32> text{1, 2, 3, 1, 4, 1, 5, 1, 2, 3, 1};
+  std::vector<u32> pattern{1, 2, 3, 1};
+  EXPECT_EQ(find_occurrences(text, pattern, GetParam()), (std::vector<u32>{0, 7}));
+}
+
+TEST_P(MatchingAllStrategies, OverlappingOccurrences) {
+  std::vector<u32> text{1, 1, 1, 1, 1};
+  std::vector<u32> pattern{1, 1};
+  EXPECT_EQ(find_occurrences(text, pattern, GetParam()), (std::vector<u32>{0, 1, 2, 3}));
+}
+
+TEST_P(MatchingAllStrategies, EmptyPatternMatchesEverywhere) {
+  std::vector<u32> text{5, 6, 7};
+  EXPECT_EQ(find_occurrences(text, {}, GetParam()), (std::vector<u32>{0, 1, 2, 3}));
+}
+
+TEST_P(MatchingAllStrategies, PatternLongerThanText) {
+  std::vector<u32> text{1, 2};
+  std::vector<u32> pattern{1, 2, 3};
+  EXPECT_TRUE(find_occurrences(text, pattern, GetParam()).empty());
+}
+
+TEST_P(MatchingAllStrategies, MatchesBruteForceRandom) {
+  util::Rng rng(8001 + static_cast<u32>(GetParam()));
+  for (int iter = 0; iter < 60; ++iter) {
+    const auto text = util::random_string(1 + rng.below(300), 2, rng);
+    // Half the time sample the pattern from the text so hits are likely.
+    std::vector<u32> pattern;
+    if (rng.below(2) == 0 && text.size() > 2) {
+      const u32 start = rng.below(static_cast<u32>(text.size() - 1));
+      const u32 len = 1 + rng.below(static_cast<u32>(text.size() - start));
+      pattern.assign(text.begin() + start, text.begin() + start + len);
+    } else {
+      pattern = util::random_string(1 + rng.below(6), 2, rng);
+    }
+    EXPECT_EQ(find_occurrences(text, pattern, GetParam()), brute_occurrences(text, pattern))
+        << "iter " << iter;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, MatchingAllStrategies,
+                         ::testing::Values(MatchStrategy::Kmp, MatchStrategy::Z,
+                                           MatchStrategy::Parallel),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case MatchStrategy::Kmp: return "Kmp";
+                             case MatchStrategy::Z: return "Z";
+                             default: return "Parallel";
+                           }
+                         });
+
+TEST(FailureFunction, KnownValues) {
+  // s = ababaca -> fail = 0 0 1 2 3 0 1
+  std::vector<u32> s{1, 2, 1, 2, 1, 3, 1};
+  EXPECT_EQ(failure_function(s), (std::vector<u32>{0, 0, 1, 2, 3, 0, 1}));
+}
+
+TEST(FailureFunction, PeriodRelation) {
+  // n - fail[n-1] is the smallest (not necessarily dividing) period.
+  util::Rng rng(8005);
+  for (int iter = 0; iter < 30; ++iter) {
+    const std::size_t p = 1 + rng.below(6);
+    const std::size_t reps = 2 + rng.below(5);
+    const auto s = util::periodic_string(p * reps, p, 3, rng);
+    const auto fail = failure_function(s);
+    const u32 period = static_cast<u32>(s.size()) - fail.back();
+    EXPECT_EQ(strings::smallest_period_seq(s) % period, 0u)
+        << "dividing period must be a multiple of the smallest period";
+  }
+}
+
+TEST(CountOccurrences, AgreesWithFind) {
+  util::Rng rng(8009);
+  for (int iter = 0; iter < 40; ++iter) {
+    const auto text = util::random_string(1 + rng.below(200), 2, rng);
+    const auto pattern = util::random_string(1 + rng.below(5), 2, rng);
+    EXPECT_EQ(count_occurrences(text, pattern),
+              find_occurrences(text, pattern, MatchStrategy::Kmp).size());
+  }
+}
+
+TEST(CircularContains, RotationsAlwaysContained) {
+  util::Rng rng(8013);
+  for (int iter = 0; iter < 30; ++iter) {
+    const auto s = util::random_string(2 + rng.below(50), 3, rng);
+    const u32 r = rng.below(static_cast<u32>(s.size()));
+    const u32 len = 1 + rng.below(static_cast<u32>(s.size()));
+    std::vector<u32> piece(len);
+    for (u32 t = 0; t < len; ++t) piece[t] = s[(r + t) % s.size()];
+    EXPECT_TRUE(circular_contains(s, piece));
+  }
+}
+
+TEST(CircularContains, NegativeCases) {
+  std::vector<u32> hay{1, 2, 3};
+  EXPECT_FALSE(circular_contains(hay, std::vector<u32>{4}));
+  EXPECT_FALSE(circular_contains(hay, std::vector<u32>{1, 3}));
+  EXPECT_TRUE(circular_contains(hay, std::vector<u32>{3, 1}));  // wraps
+  EXPECT_FALSE(circular_contains(hay, std::vector<u32>{1, 2, 3, 1}));  // too long
+  EXPECT_TRUE(circular_contains(hay, std::vector<u32>{}));
+}
+
+}  // namespace
+}  // namespace sfcp

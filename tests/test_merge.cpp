@@ -1,0 +1,167 @@
+// Unit and property tests for the parallel merge / merge sort (the Cole
+// mergesort substitute used by Algorithm "sorting strings" step 5).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "pram/config.hpp"
+#include "prim/merge.hpp"
+#include "util/random.hpp"
+
+namespace sfcp {
+namespace {
+
+using prim::merge_path_split;
+using prim::parallel_merge;
+using prim::parallel_merge_sort;
+
+std::vector<u32> random_sorted(std::size_t n, u32 range, util::Rng& rng) {
+  std::vector<u32> v(n);
+  for (auto& x : v) x = rng.below(range);
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(MergePath, SplitInvariantHolds) {
+  util::Rng rng(4001);
+  for (int iter = 0; iter < 50; ++iter) {
+    const auto a = random_sorted(rng.below(60), 20, rng);
+    const auto b = random_sorted(rng.below(60), 20, rng);
+    const std::size_t n = a.size() + b.size();
+    for (std::size_t k = 0; k <= n; ++k) {
+      const auto [ia, ib] = merge_path_split<u32>(a, b, k);
+      ASSERT_EQ(ia + ib, k);
+      // Stable-merge frontier: everything taken so far must not exceed
+      // anything not yet taken (with a winning ties).
+      if (ia > 0 && ib < b.size()) EXPECT_LE(a[ia - 1], b[ib]);
+      if (ib > 0 && ia < a.size()) EXPECT_LT(b[ib - 1], a[ia]);
+    }
+  }
+}
+
+TEST(MergePath, DegenerateSplits) {
+  std::vector<u32> a{1, 3, 5};
+  std::vector<u32> empty;
+  for (std::size_t k = 0; k <= a.size(); ++k) {
+    const auto [ia, ib] = merge_path_split<u32>(a, empty, k);
+    EXPECT_EQ(ia, k);
+    EXPECT_EQ(ib, 0u);
+    const auto [ia2, ib2] = merge_path_split<u32>(empty, a, k);
+    EXPECT_EQ(ia2, 0u);
+    EXPECT_EQ(ib2, k);
+  }
+}
+
+TEST(ParallelMerge, MatchesStdMerge) {
+  util::Rng rng(4003);
+  for (int iter = 0; iter < 60; ++iter) {
+    const auto a = random_sorted(rng.below(500), 40, rng);
+    const auto b = random_sorted(rng.below(500), 40, rng);
+    std::vector<u32> got(a.size() + b.size()), want(a.size() + b.size());
+    parallel_merge<u32>(a, b, got);
+    std::merge(a.begin(), a.end(), b.begin(), b.end(), want.begin());
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST(ParallelMerge, EmptyInputs) {
+  std::vector<u32> a, b, out;
+  parallel_merge<u32>(a, b, out);
+  EXPECT_TRUE(out.empty());
+  std::vector<u32> c{1, 2}, out2(2);
+  parallel_merge<u32>(c, b, out2);
+  EXPECT_EQ(out2, c);
+}
+
+TEST(ParallelMerge, StabilityByTaggedPairs) {
+  // Equal keys: all of a's elements must precede all of b's.
+  struct Tagged {
+    u32 key;
+    u32 src;
+  };
+  auto cmp = [](const Tagged& x, const Tagged& y) { return x.key < y.key; };
+  std::vector<Tagged> a, b;
+  for (u32 i = 0; i < 100; ++i) a.push_back({i / 10, 0});
+  for (u32 i = 0; i < 100; ++i) b.push_back({i / 10, 1});
+  std::vector<Tagged> out(200);
+  parallel_merge<Tagged>(a, b, out, cmp);
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    ASSERT_LE(out[i - 1].key, out[i].key);
+    if (out[i - 1].key == out[i].key) {
+      EXPECT_LE(out[i - 1].src, out[i].src) << "a must win ties at " << i;
+    }
+  }
+}
+
+TEST(ParallelMergeSort, MatchesStdSortRandom) {
+  util::Rng rng(4007);
+  for (int iter = 0; iter < 30; ++iter) {
+    std::vector<u32> v(rng.below(4000));
+    for (auto& x : v) x = rng.below(1000);
+    auto want = v;
+    std::sort(want.begin(), want.end());
+    parallel_merge_sort(std::span<u32>(v));
+    EXPECT_EQ(v, want);
+  }
+}
+
+TEST(ParallelMergeSort, AlreadySortedAndReverse) {
+  std::vector<u32> v(10000);
+  std::iota(v.begin(), v.end(), 0u);
+  auto want = v;
+  parallel_merge_sort(std::span<u32>(v));
+  EXPECT_EQ(v, want);
+  std::reverse(v.begin(), v.end());
+  parallel_merge_sort(std::span<u32>(v));
+  EXPECT_EQ(v, want);
+}
+
+TEST(ParallelMergeSort, StableOnPackedPairs) {
+  // Sort (key, original index) packed into u64 by key only via comparator;
+  // equal keys must keep index order.
+  util::Rng rng(4011);
+  std::vector<u64> v(3000);
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = pack_pair(rng.below(8), static_cast<u32>(i));
+  parallel_merge_sort(std::span<u64>(v), [](u64 x, u64 y) { return pair_hi(x) < pair_hi(y); });
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    ASSERT_LE(pair_hi(v[i - 1]), pair_hi(v[i]));
+    if (pair_hi(v[i - 1]) == pair_hi(v[i])) EXPECT_LT(pair_lo(v[i - 1]), pair_lo(v[i]));
+  }
+}
+
+TEST(ParallelMergeSort, CustomComparatorDescending) {
+  util::Rng rng(4013);
+  std::vector<u32> v(2500);
+  for (auto& x : v) x = rng.below(500);
+  auto want = v;
+  std::sort(want.begin(), want.end(), std::greater<u32>());
+  parallel_merge_sort(std::span<u32>(v), std::greater<u32>());
+  EXPECT_EQ(v, want);
+}
+
+TEST(ParallelMergeSort, WorksAcrossThreadCounts) {
+  util::Rng rng(4017);
+  std::vector<u32> base(20000);
+  for (auto& x : base) x = rng.below(100000);
+  auto want = base;
+  std::sort(want.begin(), want.end());
+  for (int t : {1, 2, 4, 8}) {
+    pram::ScopedThreads guard(t);
+    auto v = base;
+    parallel_merge_sort(std::span<u32>(v));
+    EXPECT_EQ(v, want) << "threads=" << t;
+  }
+}
+
+TEST(ParallelMergeSort, TinyInputs) {
+  for (std::size_t n : {0u, 1u, 2u, 3u}) {
+    std::vector<u32> v(n);
+    for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<u32>(n - i);
+    parallel_merge_sort(std::span<u32>(v));
+    EXPECT_TRUE(std::is_sorted(v.begin(), v.end())) << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace sfcp

@@ -1,0 +1,130 @@
+// Unit tests for the work/round accounting substrate.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "pram/config.hpp"
+#include "pram/crcw.hpp"
+#include "pram/metrics.hpp"
+#include "pram/parallel_for.hpp"
+#include "pram/types.hpp"
+
+namespace sfcp {
+namespace {
+
+TEST(Metrics, NoSinkIsNoop) {
+  EXPECT_EQ(pram::current_metrics(), nullptr);
+  pram::charge(100);  // must not crash
+}
+
+TEST(Metrics, ChargeAccumulates) {
+  pram::Metrics m;
+  pram::ScopedMetrics guard(m);
+  pram::charge(10);
+  pram::charge(5);
+  EXPECT_EQ(m.ops(), 15u);
+}
+
+TEST(Metrics, RoundsCounted) {
+  pram::Metrics m;
+  pram::ScopedMetrics guard(m);
+  pram::charge_round(100);
+  pram::charge_round(50);
+  EXPECT_EQ(m.round_count(), 2u);
+  EXPECT_EQ(m.ops(), 150u);
+}
+
+TEST(Metrics, ScopedRestoresPrevious) {
+  pram::Metrics outer, inner;
+  pram::ScopedMetrics g1(outer);
+  {
+    pram::ScopedMetrics g2(inner);
+    pram::charge(7);
+  }
+  pram::charge(3);
+  EXPECT_EQ(inner.ops(), 7u);
+  EXPECT_EQ(outer.ops(), 3u);
+}
+
+TEST(Metrics, ParallelForCharges) {
+  pram::Metrics m;
+  pram::ScopedMetrics guard(m);
+  pram::parallel_for(0, 1000, [](std::size_t) {});
+  EXPECT_EQ(m.ops(), 1000u);
+  EXPECT_EQ(m.round_count(), 1u);
+}
+
+TEST(Metrics, SortOpsTrackedSeparately) {
+  pram::Metrics m;
+  pram::ScopedMetrics guard(m);
+  pram::charge_sort(42);
+  pram::charge(8);
+  EXPECT_EQ(m.ops(), 50u);
+  EXPECT_EQ(m.sort_ops.load(), 42u);
+}
+
+TEST(Metrics, ResetClearsAll) {
+  pram::Metrics m;
+  pram::ScopedMetrics guard(m);
+  pram::charge_round(9);
+  pram::charge_crcw(2);
+  m.reset();
+  EXPECT_EQ(m.ops(), 0u);
+  EXPECT_EQ(m.round_count(), 0u);
+  EXPECT_EQ(m.crcw_writes.load(), 0u);
+}
+
+TEST(Metrics, SummaryContainsCounts) {
+  pram::Metrics m;
+  pram::ScopedMetrics guard(m);
+  pram::charge_round(5);
+  const std::string s = m.summary();
+  EXPECT_NE(s.find("ops=5"), std::string::npos);
+  EXPECT_NE(s.find("rounds=1"), std::string::npos);
+}
+
+TEST(Crcw, ArbitraryWriteFirstWins) {
+  std::atomic<u32> cell{pram::kEmptyCell<u32>};
+  EXPECT_EQ(pram::arbitrary_write(cell, 5u), 5u);
+  EXPECT_EQ(pram::arbitrary_write(cell, 9u), 5u);
+}
+
+TEST(Crcw, MinWriteConverges) {
+  std::atomic<u32> cell{100};
+  pram::min_write(cell, 50u);
+  pram::min_write(cell, 70u);
+  EXPECT_EQ(cell.load(), 50u);
+}
+
+TEST(Config, ScopedThreadsRestores) {
+  const int before = pram::threads();
+  {
+    pram::ScopedThreads t(3);
+    EXPECT_EQ(pram::threads(), 3);
+  }
+  EXPECT_EQ(pram::threads(), before);
+}
+
+TEST(Config, ScopedGrainRestores) {
+  const std::size_t before = pram::grain();
+  {
+    pram::ScopedGrain g(17);
+    EXPECT_EQ(pram::grain(), 17u);
+  }
+  EXPECT_EQ(pram::grain(), before);
+}
+
+TEST(Config, BlockRangesCoverExactly) {
+  for (const std::size_t n : {1u, 10u, 1000u, 4097u}) {
+    const int nb = 7;
+    std::size_t covered = 0;
+    for (int b = 0; b < nb; ++b) {
+      const auto [lo, hi] = pram::block_range(n, nb, b);
+      covered += hi - lo;
+    }
+    EXPECT_EQ(covered, n);
+  }
+}
+
+}  // namespace
+}  // namespace sfcp

@@ -1,0 +1,183 @@
+// Tests for the unary Moore machine minimization API (the paper's flagship
+// application: SFCP == unary Moore/DFA minimization via Lemma 2.1(ii)).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/baselines.hpp"
+#include "core/moore.hpp"
+#include "util/generators.hpp"
+#include "util/random.hpp"
+
+namespace sfcp {
+namespace {
+
+using core::isomorphic;
+using core::minimize;
+using core::MooreMachine;
+using core::quotient_preserves_behaviour;
+using core::states_equivalent;
+
+MooreMachine random_machine(std::size_t n, u32 outputs, util::Rng& rng) {
+  MooreMachine m;
+  m.next.resize(n);
+  m.output.resize(n);
+  for (std::size_t x = 0; x < n; ++x) {
+    m.next[x] = rng.below(static_cast<u32>(n));
+    m.output[x] = rng.below(outputs);
+  }
+  return m;
+}
+
+TEST(Moore, ValidateRejectsBadMachines) {
+  MooreMachine m;
+  m.next = {0, 5};
+  m.output = {1, 1};
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+  m.next = {0};
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+TEST(Moore, StreamFollowsTransitions) {
+  // 0 -> 1 -> 2 -> 0 with outputs a, b, c.
+  MooreMachine m;
+  m.next = {1, 2, 0};
+  m.output = {10, 20, 30};
+  EXPECT_EQ(m.stream(0, 7), (std::vector<u32>{10, 20, 30, 10, 20, 30, 10}));
+  EXPECT_EQ(m.stream(2, 2), (std::vector<u32>{30, 10}));
+  EXPECT_THROW(m.stream(5, 1), std::out_of_range);
+}
+
+TEST(Moore, MinimizeCollapsesIdenticalCycles) {
+  // Two identical 2-cycles with outputs (1, 2): minimal machine has 2 states.
+  MooreMachine m;
+  m.next = {1, 0, 3, 2};
+  m.output = {1, 2, 1, 2};
+  const auto min = minimize(m);
+  EXPECT_EQ(min.classes, 2u);
+  EXPECT_EQ(min.state_map[0], min.state_map[2]);
+  EXPECT_EQ(min.state_map[1], min.state_map[3]);
+  EXPECT_TRUE(quotient_preserves_behaviour(m, min, 16));
+}
+
+TEST(Moore, MinimizeKeepsDistinctStates) {
+  // A 3-cycle with pairwise distinct outputs is already minimal.
+  MooreMachine m;
+  m.next = {1, 2, 0};
+  m.output = {5, 6, 7};
+  const auto min = minimize(m);
+  EXPECT_EQ(min.classes, 3u);
+  EXPECT_TRUE(isomorphic(m, min.machine));
+}
+
+TEST(Moore, QuotientIsIdempotent) {
+  util::Rng rng(7001);
+  for (int iter = 0; iter < 20; ++iter) {
+    const auto m = random_machine(1 + rng.below(400), 1 + rng.below(3), rng);
+    const auto min1 = minimize(m);
+    const auto min2 = minimize(min1.machine);
+    EXPECT_EQ(min2.classes, min1.classes) << "quotient must be minimal";
+    EXPECT_TRUE(isomorphic(min1.machine, min2.machine));
+  }
+}
+
+TEST(Moore, QuotientPreservesBehaviourRandom) {
+  util::Rng rng(7003);
+  for (int iter = 0; iter < 15; ++iter) {
+    const std::size_t n = 1 + rng.below(300);
+    const auto m = random_machine(n, 2, rng);
+    const auto min = minimize(m);
+    // Horizon n suffices: streams of length n separate inequivalent states
+    // (Lemma 2.1(ii) bounds the separation index by n).
+    EXPECT_TRUE(quotient_preserves_behaviour(m, min, n + 1));
+  }
+}
+
+TEST(Moore, StatesEquivalentMatchesStreamComparison) {
+  util::Rng rng(7007);
+  const std::size_t n = 120;
+  const auto m = random_machine(n, 2, rng);
+  for (int pair = 0; pair < 40; ++pair) {
+    const u32 x = rng.below(n), y = rng.below(n);
+    const bool want = m.stream(x, n + 1) == m.stream(y, n + 1);
+    EXPECT_EQ(states_equivalent(m, x, y), want) << x << "," << y;
+  }
+}
+
+TEST(Moore, MinimalSizeMatchesHopcroftBaseline) {
+  util::Rng rng(7011);
+  for (int iter = 0; iter < 15; ++iter) {
+    const std::size_t n = 1 + rng.below(500);
+    const auto m = random_machine(n, 1 + rng.below(4), rng);
+    graph::Instance inst{m.next, m.output};
+    const auto hop = core::solve_hopcroft(inst);
+    EXPECT_EQ(minimize(m).classes, hop.num_blocks);
+  }
+}
+
+TEST(Moore, IsomorphismDetectsRelabeling) {
+  util::Rng rng(7013);
+  for (int iter = 0; iter < 15; ++iter) {
+    const std::size_t n = 2 + rng.below(60);
+    const auto m = random_machine(n, 2, rng);
+    const auto min = minimize(m).machine;
+    // Random permutation of the minimal machine's states.
+    std::vector<u32> perm(min.size());
+    for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = static_cast<u32>(i);
+    for (std::size_t i = perm.size(); i > 1; --i) {
+      std::swap(perm[i - 1], perm[rng.below(static_cast<u32>(i))]);
+    }
+    MooreMachine shuffled;
+    shuffled.next.resize(min.size());
+    shuffled.output.resize(min.size());
+    for (std::size_t x = 0; x < min.size(); ++x) {
+      shuffled.next[perm[x]] = perm[min.next[x]];
+      shuffled.output[perm[x]] = min.output[x];
+    }
+    EXPECT_TRUE(isomorphic(min, shuffled));
+  }
+}
+
+TEST(Moore, IsomorphismRejectsDifferentBehaviour) {
+  MooreMachine a, b;
+  a.next = {1, 0};
+  a.output = {1, 2};
+  b.next = {1, 0};
+  b.output = {1, 3};
+  EXPECT_FALSE(isomorphic(a, b));
+  // Same outputs, different structure (fixed points vs swap).
+  MooreMachine c;
+  c.next = {0, 1};
+  c.output = {1, 2};
+  EXPECT_FALSE(isomorphic(a, c));
+  // Different sizes.
+  MooreMachine d;
+  d.next = {0};
+  d.output = {1};
+  EXPECT_FALSE(isomorphic(a, d));
+}
+
+TEST(Moore, EmptyMachine) {
+  MooreMachine m;
+  const auto min = minimize(m);
+  EXPECT_EQ(min.classes, 0u);
+  EXPECT_TRUE(isomorphic(m, min.machine));
+}
+
+TEST(Moore, SelfLoopChainExample) {
+  // Intro-style workload: a long counter chain 5 -> 4 -> ... -> 0 -> 0 where
+  // all states output 0 except state 0.  No two chain states are equivalent
+  // (they differ in when the 1 appears), so the machine is already minimal.
+  const std::size_t n = 64;
+  MooreMachine m;
+  m.next.resize(n);
+  m.output.resize(n);
+  for (std::size_t x = 0; x < n; ++x) {
+    m.next[x] = x == 0 ? 0 : static_cast<u32>(x - 1);
+    m.output[x] = x == 0 ? 1 : 0;
+  }
+  EXPECT_EQ(minimize(m).classes, n);
+}
+
+}  // namespace
+}  // namespace sfcp

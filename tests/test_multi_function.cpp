@@ -1,0 +1,112 @@
+// Unit tests for the multi-function (k-letter) coarsest partition
+// extension: cross-checks Moore vs Hopcroft, and the k=1 case against the
+// paper's single-function solver.
+#include <gtest/gtest.h>
+
+#include "core/coarsest_partition.hpp"
+#include "core/multi_function.hpp"
+#include "core/verify.hpp"
+#include "util/generators.hpp"
+#include "util/random.hpp"
+
+namespace sfcp {
+namespace {
+
+using core::MultiInstance;
+using core::solve_multi_hopcroft;
+using core::solve_multi_moore;
+
+MultiInstance random_multi(std::size_t n, std::size_t k, u32 labels, util::Rng& rng) {
+  MultiInstance inst;
+  inst.b.resize(n);
+  inst.f.assign(k, std::vector<u32>(n));
+  for (std::size_t a = 0; a < k; ++a) {
+    for (auto& v : inst.f[a]) v = rng.below_u32(static_cast<u32>(n));
+  }
+  for (auto& v : inst.b) v = rng.below_u32(labels);
+  return inst;
+}
+
+TEST(MultiFunction, ValidateRejectsBadInput) {
+  MultiInstance inst;
+  inst.b = {0, 0};
+  EXPECT_THROW(core::validate(inst), std::invalid_argument);  // no functions
+  inst.f = {{0}};
+  EXPECT_THROW(core::validate(inst), std::invalid_argument);  // size mismatch
+  inst.f = {{0, 5}};
+  EXPECT_THROW(core::validate(inst), std::invalid_argument);  // out of range
+}
+
+TEST(MultiFunction, SingleLetterMatchesPaperSolver) {
+  util::Rng rng(2001);
+  for (int iter = 0; iter < 20; ++iter) {
+    const auto single = util::random_function(1 + rng.below(800), 3, rng);
+    MultiInstance multi;
+    multi.f = {single.f};
+    multi.b = single.b;
+    const auto ref = core::solve(single);
+    EXPECT_EQ(solve_multi_moore(multi).q, ref.q) << "moore iter " << iter;
+    EXPECT_EQ(solve_multi_hopcroft(multi).q, ref.q) << "hopcroft iter " << iter;
+  }
+}
+
+TEST(MultiFunction, MooreAndHopcroftAgree) {
+  util::Rng rng(2003);
+  for (int iter = 0; iter < 20; ++iter) {
+    const auto inst = random_multi(1 + rng.below(500), 1 + rng.below(3), 3, rng);
+    const auto moore = solve_multi_moore(inst);
+    const auto hopcroft = solve_multi_hopcroft(inst);
+    EXPECT_EQ(moore.q, hopcroft.q) << "iter " << iter;
+    EXPECT_EQ(moore.num_blocks, hopcroft.num_blocks);
+  }
+}
+
+TEST(MultiFunction, StabilityUnderEveryLetter) {
+  util::Rng rng(2007);
+  const auto inst = random_multi(600, 3, 4, rng);
+  const auto r = solve_multi_moore(inst);
+  EXPECT_TRUE(core::is_refinement(r.q, inst.b));
+  for (const auto& f : inst.f) {
+    EXPECT_TRUE(core::is_stable(r.q, f));
+  }
+}
+
+TEST(MultiFunction, TwoLetterDfaKnownCase) {
+  // Classic redundant DFA: states 0/1 equivalent (same acceptance, same
+  // transitions up to the equivalence), state 2 distinct.
+  MultiInstance inst;
+  inst.f = {{2, 2, 2}, {1, 0, 2}};
+  inst.b = {0, 0, 1};
+  const auto r = solve_multi_moore(inst);
+  EXPECT_EQ(r.num_blocks, 2u);
+  EXPECT_EQ(r.q[0], r.q[1]);
+  EXPECT_NE(r.q[0], r.q[2]);
+}
+
+TEST(MultiFunction, MoreLettersOnlyRefine) {
+  // Adding a letter can only split blocks further.
+  util::Rng rng(2011);
+  auto inst = random_multi(400, 1, 2, rng);
+  const auto one = solve_multi_moore(inst);
+  inst.f.push_back(std::vector<u32>(400));
+  for (auto& v : inst.f[1]) v = rng.below_u32(400);
+  const auto two = solve_multi_moore(inst);
+  EXPECT_GE(two.num_blocks, one.num_blocks);
+}
+
+TEST(MultiFunction, IdentityLettersAreNoOps) {
+  util::Rng rng(2017);
+  auto base = util::random_function(300, 3, rng);
+  MultiInstance with_id;
+  with_id.b = base.b;
+  std::vector<u32> id(300);
+  for (u32 i = 0; i < 300; ++i) id[i] = i;
+  with_id.f = {base.f, id};
+  MultiInstance without;
+  without.b = base.b;
+  without.f = {base.f};
+  EXPECT_EQ(solve_multi_moore(with_id).q, solve_multi_moore(without).q);
+}
+
+}  // namespace
+}  // namespace sfcp

@@ -1,0 +1,190 @@
+// Tests for the necklace / cyclic-shift-equivalence module, including the
+// Shiloach-style sequential canonizer (paper reference [17]).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "strings/msp.hpp"
+#include "strings/necklace.hpp"
+#include "strings/period.hpp"
+#include "util/generators.hpp"
+#include "util/random.hpp"
+
+namespace sfcp {
+namespace {
+
+using strings::canonical_necklace;
+using strings::count_necklaces;
+using strings::make_string_list;
+using strings::msp_shiloach;
+using strings::necklace_classes;
+using strings::rotation_equivalent;
+
+TEST(MspShiloach, MatchesBoothRandom) {
+  util::Rng rng(5001);
+  for (int iter = 0; iter < 100; ++iter) {
+    const auto s = util::random_string(1 + rng.below(200), 2 + rng.below(4), rng);
+    EXPECT_EQ(msp_shiloach(s), strings::msp_booth(s)) << "iter " << iter;
+  }
+}
+
+TEST(MspShiloach, MatchesBoothRepeating) {
+  util::Rng rng(5003);
+  for (int iter = 0; iter < 50; ++iter) {
+    const std::size_t p = 1 + rng.below(8);
+    const std::size_t reps = 2 + rng.below(6);
+    const auto s = util::periodic_string(p * reps, p, 3, rng);
+    EXPECT_EQ(msp_shiloach(s), strings::msp_booth(s)) << "iter " << iter;
+  }
+}
+
+TEST(MspShiloach, MatchesParallelAlgorithms) {
+  util::Rng rng(5007);
+  for (int iter = 0; iter < 40; ++iter) {
+    const auto s = util::random_string(2 + rng.below(300), 3, rng);
+    const u32 want = msp_shiloach(s);
+    EXPECT_EQ(strings::minimal_starting_point(s, strings::MspStrategy::Simple), want);
+    EXPECT_EQ(strings::minimal_starting_point(s, strings::MspStrategy::Efficient), want);
+  }
+}
+
+TEST(MspShiloach, EdgeCases) {
+  EXPECT_EQ(msp_shiloach(std::vector<u32>{}), 0u);
+  EXPECT_EQ(msp_shiloach(std::vector<u32>{4}), 0u);
+  EXPECT_EQ(msp_shiloach(std::vector<u32>{5, 5, 5}), 0u);
+  EXPECT_EQ(msp_shiloach(std::vector<u32>{3, 1, 2}), 1u);
+  EXPECT_EQ(msp_shiloach(std::vector<u32>{2, 1, 2, 1}), 1u);
+}
+
+TEST(CanonicalNecklace, ReducesPeriodAndRotates) {
+  // (2,1,2,1) -> period (2,1) -> least rotation (1,2).
+  std::vector<u32> s{2, 1, 2, 1};
+  EXPECT_EQ(canonical_necklace(s), (std::vector<u32>{1, 2}));
+  EXPECT_TRUE(canonical_necklace(std::vector<u32>{}).empty());
+}
+
+TEST(CanonicalNecklace, InvariantUnderRotation) {
+  util::Rng rng(5011);
+  for (int iter = 0; iter < 30; ++iter) {
+    const auto s = util::random_string(2 + rng.below(60), 3, rng);
+    const auto canon = canonical_necklace(s);
+    for (u32 r = 1; r < s.size(); ++r) {
+      std::vector<u32> rot(s.size());
+      for (std::size_t t = 0; t < s.size(); ++t) rot[t] = s[(r + t) % s.size()];
+      EXPECT_EQ(canonical_necklace(rot), canon) << "rotation " << r;
+    }
+  }
+}
+
+TEST(RotationEquivalent, BasicPairs) {
+  EXPECT_TRUE(rotation_equivalent(std::vector<u32>{1, 2, 3}, std::vector<u32>{3, 1, 2}));
+  EXPECT_FALSE(rotation_equivalent(std::vector<u32>{1, 2, 3}, std::vector<u32>{3, 2, 1}));
+  EXPECT_FALSE(rotation_equivalent(std::vector<u32>{1, 2}, std::vector<u32>{1, 2, 1, 2}));
+  EXPECT_TRUE(rotation_equivalent(std::vector<u32>{}, std::vector<u32>{}));
+  EXPECT_TRUE(rotation_equivalent(std::vector<u32>{7, 7}, std::vector<u32>{7, 7}));
+}
+
+TEST(RotationEquivalent, MatchesBruteForce) {
+  util::Rng rng(5013);
+  for (int iter = 0; iter < 60; ++iter) {
+    const std::size_t n = 1 + rng.below(12);
+    const auto a = util::random_string(n, 2, rng);
+    auto b = util::random_string(n, 2, rng);
+    if (rng.below(2) == 0) {
+      // Make b an actual rotation of a half the time.
+      const u32 r = rng.below(static_cast<u32>(n));
+      for (std::size_t t = 0; t < n; ++t) b[t] = a[(r + t) % n];
+    }
+    bool brute = false;
+    for (u32 r = 0; r < n && !brute; ++r) {
+      bool eq = true;
+      for (std::size_t t = 0; t < n && eq; ++t) eq = b[t] == a[(r + t) % n];
+      brute = eq;
+    }
+    EXPECT_EQ(rotation_equivalent(a, b), brute) << "iter " << iter;
+  }
+}
+
+TEST(NecklaceClasses, PaperCyclesCAndD) {
+  // Example 3.1: cycles C (period 1,2,1,3 repeated thrice) and D (1,2,1,3
+  // once) are equivalent; their B-label strings must share a class.
+  std::vector<std::vector<u32>> strs{
+      {1, 2, 1, 3, 1, 2, 1, 3, 1, 2, 1, 3},  // B_C
+      {1, 2, 1, 3},                          // B_D
+      {1, 2, 1, 1},                          // different necklace
+  };
+  const auto r = necklace_classes(make_string_list(strs));
+  EXPECT_EQ(r.count, 2u);
+  EXPECT_EQ(r.label[0], r.label[1]);
+  EXPECT_NE(r.label[0], r.label[2]);
+}
+
+TEST(NecklaceClasses, LabelsAreFirstOccurrenceCanonical) {
+  std::vector<std::vector<u32>> strs{{2, 1}, {1, 2}, {3, 3}, {3}};
+  const auto r = necklace_classes(make_string_list(strs));
+  // {2,1} and {1,2} equivalent -> class 0; {3,3} reduces to {3} -> class 1
+  // shared with {3}.
+  EXPECT_EQ(r.count, 2u);
+  EXPECT_EQ(r.label, (std::vector<u32>{0, 0, 1, 1}));
+}
+
+TEST(NecklaceClasses, GroupsMatchPairwiseBrute) {
+  util::Rng rng(5017);
+  for (int iter = 0; iter < 20; ++iter) {
+    std::vector<std::vector<u32>> strs;
+    const std::size_t m = 2 + rng.below(12);
+    for (std::size_t i = 0; i < m; ++i) {
+      strs.push_back(util::random_string(1 + rng.below(8), 2, rng));
+    }
+    const auto r = necklace_classes(make_string_list(strs));
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < m; ++j) {
+        // Cyclic shift equivalence in the paper's sense: equal smallest
+        // repeating prefixes up to rotation (lengths may differ).
+        const bool equiv = canonical_necklace(strs[i]) == canonical_necklace(strs[j]);
+        EXPECT_EQ(r.label[i] == r.label[j], equiv) << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST(NecklaceClasses, ExhaustiveEnumerationMatchesBurnside) {
+  // All k-ary strings of length n grouped into classes must produce
+  // count_necklaces(n, k) classes... except that classes here merge strings
+  // whose canonical PREFIX matches (period reduction), so restrict to
+  // aperiodic check via exact-length classes: enumerate strings of length n
+  // only, and count distinct canonical (necklace, period) pairs, which for
+  // fixed n is exactly the necklace count.
+  for (u32 n : {1u, 2u, 3u, 4u, 5u, 6u}) {
+    for (u32 k : {2u, 3u}) {
+      std::set<std::pair<std::vector<u32>, u32>> distinct;
+      std::vector<u32> s(n, 1);
+      u64 total = 1;
+      for (u32 i = 0; i < n; ++i) total *= k;
+      for (u64 code = 0; code < total; ++code) {
+        u64 c = code;
+        for (u32 i = 0; i < n; ++i) {
+          s[i] = static_cast<u32>(c % k) + 1;
+          c /= k;
+        }
+        distinct.emplace(canonical_necklace(s), strings::smallest_period_seq(s));
+      }
+      EXPECT_EQ(distinct.size(), count_necklaces(n, k)) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(CountNecklaces, KnownValues) {
+  EXPECT_EQ(count_necklaces(0, 2), 1u);
+  EXPECT_EQ(count_necklaces(1, 2), 2u);
+  EXPECT_EQ(count_necklaces(2, 2), 3u);   // 00, 01, 11
+  EXPECT_EQ(count_necklaces(3, 2), 4u);   // 000, 001, 011, 111
+  EXPECT_EQ(count_necklaces(4, 2), 6u);
+  EXPECT_EQ(count_necklaces(6, 2), 14u);
+  EXPECT_EQ(count_necklaces(4, 3), 24u);
+}
+
+}  // namespace
+}  // namespace sfcp

@@ -1,0 +1,156 @@
+// Tests for the partition lattice: meet/join laws, the refinement order,
+// and the characterization of SFCP as the greatest stable refinement.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/coarsest_partition.hpp"
+#include "core/partition_algebra.hpp"
+#include "core/verify.hpp"
+#include "util/generators.hpp"
+#include "util/random.hpp"
+
+namespace sfcp {
+namespace {
+
+using core::block_count;
+using core::canonical_partition;
+using core::is_refinement_of;
+using core::partition_join;
+using core::partition_meet;
+using core::pullback;
+using core::refine_step;
+
+std::vector<u32> random_labels(std::size_t n, u32 blocks, util::Rng& rng) {
+  std::vector<u32> v(n);
+  for (auto& x : v) x = rng.below(blocks);
+  return v;
+}
+
+TEST(PartitionAlgebra, CanonicalIsFirstOccurrence) {
+  EXPECT_EQ(canonical_partition(std::vector<u32>{7, 7, 3, 7, 3}),
+            (std::vector<u32>{0, 0, 1, 0, 1}));
+  EXPECT_TRUE(canonical_partition(std::vector<u32>{}).empty());
+}
+
+TEST(PartitionAlgebra, MeetKnown) {
+  // a = {0,1|2,3}, b = {0,2|1,3} -> meet = four singletons... actually
+  // blocks are {0},{1},{2},{3}.
+  std::vector<u32> a{0, 0, 1, 1}, b{0, 1, 0, 1};
+  EXPECT_EQ(partition_meet(a, b), (std::vector<u32>{0, 1, 2, 3}));
+}
+
+TEST(PartitionAlgebra, JoinKnown) {
+  // a = {0,1|2|3}, b = {0|1,2|3}: overlap chains 0-1-2 -> {0,1,2|3}.
+  std::vector<u32> a{0, 0, 1, 2}, b{0, 1, 1, 2};
+  EXPECT_EQ(partition_join(a, b), (std::vector<u32>{0, 0, 0, 1}));
+}
+
+TEST(PartitionAlgebra, MeetJoinLatticeLaws) {
+  util::Rng rng(9001);
+  for (int iter = 0; iter < 40; ++iter) {
+    const std::size_t n = 1 + rng.below(60);
+    const auto a = random_labels(n, 1 + rng.below(5), rng);
+    const auto b = random_labels(n, 1 + rng.below(5), rng);
+    const auto c = random_labels(n, 1 + rng.below(5), rng);
+    // Commutativity.
+    EXPECT_EQ(partition_meet(a, b), partition_meet(b, a));
+    EXPECT_EQ(partition_join(a, b), partition_join(b, a));
+    // Associativity.
+    EXPECT_EQ(partition_meet(partition_meet(a, b), c), partition_meet(a, partition_meet(b, c)));
+    EXPECT_EQ(partition_join(partition_join(a, b), c), partition_join(a, partition_join(b, c)));
+    // Idempotence.
+    EXPECT_EQ(partition_meet(a, a), canonical_partition(a));
+    EXPECT_EQ(partition_join(a, a), canonical_partition(a));
+    // Absorption.
+    EXPECT_EQ(partition_meet(a, partition_join(a, b)), canonical_partition(a));
+    EXPECT_EQ(partition_join(a, partition_meet(a, b)), canonical_partition(a));
+  }
+}
+
+TEST(PartitionAlgebra, OrderCharacterization) {
+  util::Rng rng(9003);
+  for (int iter = 0; iter < 40; ++iter) {
+    const std::size_t n = 1 + rng.below(50);
+    const auto a = random_labels(n, 1 + rng.below(4), rng);
+    const auto b = random_labels(n, 1 + rng.below(4), rng);
+    // fine <= coarse iff meet(fine, coarse) == fine iff join == coarse.
+    const bool le = is_refinement_of(a, b);
+    EXPECT_EQ(le, partition_meet(a, b) == canonical_partition(a));
+    EXPECT_EQ(le, partition_join(a, b) == canonical_partition(b));
+    // Meet refines both; both refine join.
+    const auto m = partition_meet(a, b);
+    const auto j = partition_join(a, b);
+    EXPECT_TRUE(is_refinement_of(m, a));
+    EXPECT_TRUE(is_refinement_of(m, b));
+    EXPECT_TRUE(is_refinement_of(a, j));
+    EXPECT_TRUE(is_refinement_of(b, j));
+  }
+}
+
+TEST(PartitionAlgebra, RefineStepFixpointIsSfcp) {
+  // Iterating refine_step from B converges to the solver's Q.
+  util::Rng rng(9007);
+  for (int iter = 0; iter < 20; ++iter) {
+    const auto inst = util::random_function(1 + rng.below(300), 3, rng);
+    auto p = canonical_partition(inst.b);
+    for (;;) {
+      auto next = refine_step(p, inst.f);
+      if (next == p) break;
+      p = std::move(next);
+    }
+    const auto r = core::solve(inst);
+    EXPECT_EQ(p, r.q);
+  }
+}
+
+TEST(PartitionAlgebra, SfcpIsGreatestStableRefinement) {
+  // Any stable refinement of B refines Q (Q is the join-maximal one).
+  util::Rng rng(9011);
+  for (int iter = 0; iter < 15; ++iter) {
+    const auto inst = util::random_function(1 + rng.below(120), 2, rng);
+    const auto q = core::solve(inst).q;
+    // The identity partition is always a stable refinement of B.
+    std::vector<u32> identity(inst.size());
+    for (std::size_t x = 0; x < identity.size(); ++x) identity[x] = static_cast<u32>(x);
+    EXPECT_TRUE(is_refinement_of(identity, q));
+    // Any refinement of Q still refines Q, and Q itself is stable.
+    const auto finer = partition_meet(q, random_labels(inst.size(), 2, rng));
+    EXPECT_TRUE(is_refinement_of(finer, q));
+    EXPECT_TRUE(core::is_stable(q, inst.f));
+    // Solving with the finer partition as B yields a partition that still
+    // refines Q (monotonicity of the coarsest stable refinement).
+    graph::Instance finer_inst{inst.f, finer};
+    EXPECT_TRUE(is_refinement_of(core::solve(finer_inst).q, q));
+  }
+}
+
+TEST(PartitionAlgebra, PullbackProperties) {
+  util::Rng rng(9013);
+  const auto inst = util::random_function(100, 3, rng);
+  const auto pb = pullback(inst.b, inst.f);
+  // x ~ y in pullback iff b[f(x)] == b[f(y)].
+  for (u32 x = 0; x < 100; ++x) {
+    for (u32 y = 0; y < 100; ++y) {
+      EXPECT_EQ(pb[x] == pb[y], inst.b[inst.f[x]] == inst.b[inst.f[y]]);
+    }
+  }
+}
+
+TEST(PartitionAlgebra, ErrorsOnSizeMismatch) {
+  std::vector<u32> a{0, 1}, b{0};
+  EXPECT_THROW(partition_meet(a, b), std::invalid_argument);
+  EXPECT_THROW(partition_join(a, b), std::invalid_argument);
+  EXPECT_THROW(is_refinement_of(a, b), std::invalid_argument);
+  std::vector<u32> f{5, 0};
+  EXPECT_THROW(pullback(a, f), std::invalid_argument);
+}
+
+TEST(PartitionAlgebra, BlockCount) {
+  EXPECT_EQ(block_count(std::vector<u32>{}), 0u);
+  EXPECT_EQ(block_count(canonical_partition(std::vector<u32>{9, 9, 9})), 1u);
+  EXPECT_EQ(block_count(canonical_partition(std::vector<u32>{3, 1, 4, 1})), 3u);
+}
+
+}  // namespace
+}  // namespace sfcp

@@ -1,0 +1,135 @@
+// Tests for the paper's algorithms executed as PRAM programs on the step
+// simulator: cost-model claims (rounds, work) and model-separation claims
+// become assertions.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/cycle_labeling.hpp"
+#include "pram/programs.hpp"
+#include "prim/list_ranking.hpp"
+#include "util/random.hpp"
+
+namespace sfcp {
+namespace {
+
+using pram::make_broadcast_or;
+using pram::make_list_rank;
+using pram::make_partition_round;
+using pram::PramModel;
+using pram::simulate_partition;
+
+TEST(Programs, BroadcastOrOneRoundOnCommonCrcw) {
+  auto p = make_broadcast_or(PramModel::CommonCrcw, {0, 1, 0, 1, 1, 0});
+  const auto report = p.run();
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.rounds, 1u);
+  EXPECT_EQ(p.sim->memory()[0], 1u);
+}
+
+TEST(Programs, BroadcastOrAllZeros) {
+  auto p = make_broadcast_or(PramModel::CommonCrcw, {0, 0, 0});
+  EXPECT_TRUE(p.run().ok());
+  EXPECT_EQ(p.sim->memory()[0], 0u);
+}
+
+TEST(Programs, BroadcastOrFaultsOnCrew) {
+  // Two raisers -> concurrent write -> the [9] lower-bound separation.
+  auto p = make_broadcast_or(PramModel::Crew, {1, 1});
+  EXPECT_FALSE(p.run().ok());
+}
+
+TEST(Programs, ListRankLogRoundsAndCorrect) {
+  const u32 n = 128;
+  std::vector<u32> next(n);
+  for (u32 i = 0; i + 1 < n; ++i) next[i] = i + 1;
+  next[n - 1] = kNone;
+  auto p = make_list_rank(PramModel::Crew, next);
+  const auto report = p.run();
+  EXPECT_TRUE(report.ok());
+  EXPECT_LE(report.rounds, 9u) << "ceil(lg 128) = 7 jumping rounds (+ slack)";
+  const auto want = prim::list_rank(next, prim::ListRankStrategy::Sequential);
+  for (u32 i = 0; i < n; ++i) {
+    EXPECT_EQ(p.sim->memory()[n + i], want[i]) << "rank of " << i;
+  }
+}
+
+TEST(Programs, ListRankWorkIsNLogN) {
+  // Wyllie's jumping is O(n log n) work — visible in the simulator's
+  // operation counter (active processor-rounds).
+  const u32 n = 256;
+  std::vector<u32> next(n);
+  for (u32 i = 0; i + 1 < n; ++i) next[i] = i + 1;
+  next[n - 1] = kNone;
+  auto p = make_list_rank(PramModel::Crew, next);
+  const auto report = p.run();
+  EXPECT_GE(report.operations, static_cast<u64>(n) * 7);  // ~ n * lg n
+  EXPECT_LE(report.operations, static_cast<u64>(n) * 12);
+}
+
+TEST(Programs, PartitionRoundNeedsArbitraryCrcw) {
+  // Two equal label pairs -> two writers with different position values.
+  const std::vector<u32> eq{1, 2, 1, 2};  // positions 0 and 2 collide at j=1
+  auto arb = make_partition_round(PramModel::ArbitraryCrcw, eq, 1);
+  EXPECT_TRUE(arb.run().ok());
+  auto common = make_partition_round(PramModel::CommonCrcw, eq, 1);
+  EXPECT_FALSE(common.run().ok()) << "the paper's Remark after Lemma 3.11";
+}
+
+TEST(Programs, SimulatePartitionGroupsEqualCycles) {
+  // Three cycles of length 4: #0 and #2 identical, #1 different.
+  const std::vector<u32> labels{1, 2, 1, 3, 1, 2, 3, 3, 1, 2, 1, 3};
+  const auto run = simulate_partition(PramModel::ArbitraryCrcw, labels, 3, 4);
+  ASSERT_TRUE(run.report.ok());
+  EXPECT_EQ(run.eq[0], run.eq[8]) << "equal cycles share the EQ label of their first node";
+  EXPECT_NE(run.eq[0], run.eq[4]);
+  // 2 * log2(4) = 4 synchronous rounds.
+  EXPECT_EQ(run.report.rounds, 4u);
+}
+
+TEST(Programs, SimulatePartitionMatchesLibrary) {
+  // Cross-validate the simulator run against the production
+  // partition_equal_strings on random same-length cycle label strings.
+  util::Rng rng(12001);
+  for (int iter = 0; iter < 10; ++iter) {
+    const u32 k = 2 + rng.below(4);
+    const u32 l = 1u << (2 + rng.below(3));  // 4..16
+    std::vector<u32> labels(k * l);
+    for (auto& v : labels) v = rng.below(3);  // small alphabet -> collisions
+    const auto sim = simulate_partition(PramModel::ArbitraryCrcw, labels, k, l);
+    ASSERT_TRUE(sim.report.ok());
+    const auto lib = core::partition_equal_strings(labels, k, l);
+    ASSERT_EQ(lib.size(), k);
+    for (u32 a = 0; a < k; ++a) {
+      for (u32 b = 0; b < k; ++b) {
+        EXPECT_EQ(sim.eq[a * l] == sim.eq[b * l], lib[a] == lib[b])
+            << "cycles " << a << "," << b << " (iter " << iter << ")";
+      }
+    }
+  }
+}
+
+TEST(Programs, SimulatePartitionWorkIsLinear) {
+  // Participation halves per iteration: total work ~ n + n/2 + ... < 2n
+  // per phase pair — the Lemma 3.11 O(n) operations claim.
+  const u32 k = 4, l = 64;
+  std::vector<u32> labels(k * l);
+  util::Rng rng(12007);
+  for (auto& v : labels) v = rng.below(2);
+  const auto run = simulate_partition(PramModel::ArbitraryCrcw, labels, k, l);
+  ASSERT_TRUE(run.report.ok());
+  EXPECT_LE(run.report.operations, static_cast<u64>(4) * k * l)
+      << "sum_j 2 * n/2^j <= 4n active processor-rounds";
+}
+
+TEST(Programs, SimulatePartitionValidatesInput) {
+  EXPECT_THROW(simulate_partition(PramModel::ArbitraryCrcw, {0, 1, 2}, 1, 3),
+               std::invalid_argument);  // l not a power of two
+  EXPECT_THROW(simulate_partition(PramModel::ArbitraryCrcw, {0, 1}, 2, 2),
+               std::invalid_argument);  // k*l mismatch
+  EXPECT_THROW(simulate_partition(PramModel::ArbitraryCrcw, {9, 1}, 1, 2),
+               std::invalid_argument);  // label out of range
+}
+
+}  // namespace
+}  // namespace sfcp

@@ -1,0 +1,173 @@
+// Unit tests for prefix sums, reductions and segmented scans.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "pram/config.hpp"
+#include "prim/scan.hpp"
+#include "util/random.hpp"
+
+namespace sfcp {
+namespace {
+
+using prim::exclusive_scan;
+using prim::inclusive_scan;
+using prim::reduce_max;
+using prim::reduce_min;
+using prim::reduce_sum;
+using prim::segmented_inclusive_scan;
+
+TEST(Scan, ExclusiveEmpty) {
+  std::vector<u32> in, out;
+  EXPECT_EQ(exclusive_scan<u32>(in, out), 0u);
+}
+
+TEST(Scan, ExclusiveSingle) {
+  std::vector<u32> in{7}, out(1);
+  EXPECT_EQ(exclusive_scan<u32>(in, out), 7u);
+  EXPECT_EQ(out[0], 0u);
+}
+
+TEST(Scan, ExclusiveSmall) {
+  std::vector<u32> in{1, 2, 3, 4}, out(4);
+  EXPECT_EQ(exclusive_scan<u32>(in, out), 10u);
+  EXPECT_EQ(out, (std::vector<u32>{0, 1, 3, 6}));
+}
+
+TEST(Scan, ExclusiveWithInit) {
+  std::vector<u32> in{1, 1, 1}, out(3);
+  EXPECT_EQ(exclusive_scan<u32>(in, out, 5u), 8u);
+  EXPECT_EQ(out, (std::vector<u32>{5, 6, 7}));
+}
+
+TEST(Scan, InclusiveSmall) {
+  std::vector<u32> in{1, 2, 3, 4}, out(4);
+  EXPECT_EQ(inclusive_scan<u32>(in, out), 10u);
+  EXPECT_EQ(out, (std::vector<u32>{1, 3, 6, 10}));
+}
+
+TEST(Scan, InPlaceAliasing) {
+  std::vector<u32> v{2, 4, 6};
+  exclusive_scan<u32>(v, v);
+  EXPECT_EQ(v, (std::vector<u32>{0, 2, 6}));
+}
+
+TEST(Scan, MatchesStdPartialSum) {
+  util::Rng rng(42);
+  for (const std::size_t n : {1u, 7u, 100u, 4096u, 100000u}) {
+    std::vector<u64> in(n), out(n), ref(n);
+    for (auto& v : in) v = rng.below(1000);
+    std::partial_sum(in.begin(), in.end(), ref.begin());
+    inclusive_scan<u64>(in, out);
+    EXPECT_EQ(out, ref) << "n=" << n;
+  }
+}
+
+TEST(Scan, ParallelMatchesSerialAcrossGrains) {
+  util::Rng rng(1);
+  std::vector<u64> in(50000);
+  for (auto& v : in) v = rng.below(10);
+  std::vector<u64> ref(in.size());
+  std::partial_sum(in.begin(), in.end(), ref.begin());
+  for (const std::size_t grain : {1u, 16u, 1024u, 1u << 20}) {
+    pram::ScopedGrain g(grain);
+    std::vector<u64> out(in.size());
+    inclusive_scan<u64>(in, out);
+    EXPECT_EQ(out, ref) << "grain=" << grain;
+  }
+}
+
+TEST(Reduce, SumMinMax) {
+  std::vector<u32> v{5, 3, 9, 1, 7};
+  EXPECT_EQ(reduce_sum<u32>(v), 25u);
+  EXPECT_EQ(reduce_min<u32>(v), 1u);
+  EXPECT_EQ(reduce_max<u32>(v), 9u);
+}
+
+TEST(Reduce, SingleElement) {
+  std::vector<u32> v{13};
+  EXPECT_EQ(reduce_sum<u32>(v), 13u);
+  EXPECT_EQ(reduce_min<u32>(v), 13u);
+  EXPECT_EQ(reduce_max<u32>(v), 13u);
+}
+
+TEST(Reduce, LargeRandomMatchesStd) {
+  util::Rng rng(7);
+  std::vector<u32> v(123457);
+  for (auto& x : v) x = static_cast<u32>(rng.next());
+  EXPECT_EQ(reduce_min<u32>(v), *std::min_element(v.begin(), v.end()));
+  EXPECT_EQ(reduce_max<u32>(v), *std::max_element(v.begin(), v.end()));
+}
+
+std::vector<i64> segmented_reference(const std::vector<i64>& in, const std::vector<u8>& seg) {
+  std::vector<i64> out(in.size());
+  i64 s = 0;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    if (seg[i]) s = 0;
+    s += in[i];
+    out[i] = s;
+  }
+  return out;
+}
+
+TEST(SegmentedScan, Small) {
+  std::vector<i64> in{1, 1, 1, 1, 1, 1};
+  std::vector<u8> seg{1, 0, 0, 1, 0, 0};
+  std::vector<i64> out(6);
+  segmented_inclusive_scan<i64>(in, seg, out);
+  EXPECT_EQ(out, (std::vector<i64>{1, 2, 3, 1, 2, 3}));
+}
+
+TEST(SegmentedScan, NegativeValues) {
+  std::vector<i64> in{1, -1, 1, -1};
+  std::vector<u8> seg{1, 0, 0, 0};
+  std::vector<i64> out(4);
+  segmented_inclusive_scan<i64>(in, seg, out);
+  EXPECT_EQ(out, (std::vector<i64>{1, 0, 1, 0}));
+}
+
+TEST(SegmentedScan, RandomMatchesReferenceAcrossGrains) {
+  util::Rng rng(3);
+  const std::size_t n = 30000;
+  std::vector<i64> in(n);
+  std::vector<u8> seg(n, 0);
+  seg[0] = 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    in[i] = static_cast<i64>(rng.below(21)) - 10;
+    if (rng.chance(0.01)) seg[i] = 1;
+  }
+  const std::vector<i64> ref = segmented_reference(in, seg);
+  for (const std::size_t grain : {64u, 4096u, 1u << 22}) {
+    pram::ScopedGrain g(grain);
+    std::vector<i64> out(n);
+    segmented_inclusive_scan<i64>(in, seg, out);
+    EXPECT_EQ(out, ref) << "grain=" << grain;
+  }
+}
+
+TEST(SegmentedScan, NoSegmentStartAtZero) {
+  // The scan must still behave (first segment implicitly starts at 0).
+  std::vector<i64> in{2, 3};
+  std::vector<u8> seg{0, 0};
+  std::vector<i64> out(2);
+  segmented_inclusive_scan<i64>(in, seg, out);
+  EXPECT_EQ(out, (std::vector<i64>{2, 5}));
+}
+
+class ScanSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ScanSizeSweep, InclusiveMatchesReference) {
+  const std::size_t n = GetParam();
+  util::Rng rng(n);
+  std::vector<u64> in(n), out(n), ref(n);
+  for (auto& v : in) v = rng.below(100);
+  std::partial_sum(in.begin(), in.end(), ref.begin());
+  inclusive_scan<u64>(in, out);
+  EXPECT_EQ(out, ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ScanSizeSweep,
+                         ::testing::Values(1, 2, 3, 15, 16, 17, 255, 1023, 2048, 10000, 65536));
+
+}  // namespace
+}  // namespace sfcp

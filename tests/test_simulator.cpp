@@ -1,0 +1,177 @@
+// Tests for the PRAM step simulator, including executable versions of the
+// paper's model claims:
+//   * find-first-one needs (at least) common CRCW, not CREW  [9]
+//   * Algorithm partition's BB-table writes need ARBITRARY CRCW, not common
+//     (the paper's Remark after Lemma 3.11)
+//   * pointer jumping list-ranks in ceil(log2 n) rounds on CREW
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "pram/simulator.hpp"
+#include "util/random.hpp"
+
+namespace sfcp {
+namespace {
+
+using pram::PramModel;
+using pram::Simulator;
+using pram::WriteRequest;
+
+TEST(Simulator, SingleWriterWorksUnderEveryModel) {
+  for (const auto model : {PramModel::Erew, PramModel::Crew, PramModel::CommonCrcw,
+                           PramModel::ArbitraryCrcw}) {
+    Simulator sim(model, 8, 8);
+    // Processor i writes i*i into cell i: no conflicts anywhere.
+    const bool ok = sim.step([](u32 pid, std::span<const u32>) {
+      return std::vector<WriteRequest>{{pid, pid * pid}};
+    });
+    EXPECT_TRUE(ok) << to_string(model);
+    for (u32 i = 0; i < 8; ++i) EXPECT_EQ(sim.memory()[i], i * i);
+  }
+}
+
+TEST(Simulator, CrewFaultsOnWriteConflict) {
+  Simulator sim(PramModel::Crew, 4, 4);
+  const bool ok = sim.step([](u32, std::span<const u32>) {
+    return std::vector<WriteRequest>{{0, 7}};  // everyone writes cell 0
+  });
+  EXPECT_FALSE(ok);
+  EXPECT_TRUE(sim.report().faulted);
+  EXPECT_NE(sim.report().fault.find("write conflict"), std::string::npos);
+}
+
+TEST(Simulator, ErewFaultsOnReadConflict) {
+  Simulator sim(PramModel::Erew, 4, 4);
+  const bool ok = sim.step(
+      [](u32 pid, std::span<const u32>) {
+        return std::vector<WriteRequest>{{pid, 1}};
+      },
+      [](u32) { return std::vector<u32>{0}; });  // everyone reads cell 0
+  EXPECT_FALSE(ok);
+  EXPECT_NE(sim.report().fault.find("read conflict"), std::string::npos);
+}
+
+TEST(Simulator, CommonCrcwAcceptsAgreeingWriters) {
+  Simulator sim(PramModel::CommonCrcw, 2, 16);
+  const bool ok = sim.step([](u32, std::span<const u32>) {
+    return std::vector<WriteRequest>{{0, 42}};  // all write the SAME value
+  });
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(sim.memory()[0], 42u);
+}
+
+TEST(Simulator, CommonCrcwRejectsDisagreeingWriters) {
+  Simulator sim(PramModel::CommonCrcw, 2, 4);
+  const bool ok = sim.step([](u32 pid, std::span<const u32>) {
+    return std::vector<WriteRequest>{{0, pid}};  // different values
+  });
+  EXPECT_FALSE(ok);
+  EXPECT_NE(sim.report().fault.find("disagree"), std::string::npos);
+}
+
+TEST(Simulator, ArbitraryCrcwPicksOneWinner) {
+  Simulator sim(PramModel::ArbitraryCrcw, 2, 8);
+  const bool ok = sim.step([](u32 pid, std::span<const u32>) {
+    return std::vector<WriteRequest>{{0, 100 + pid}};
+  });
+  EXPECT_TRUE(ok);
+  // Deterministic resolution: lowest pid wins in this simulator.
+  EXPECT_EQ(sim.memory()[0], 100u);
+}
+
+TEST(Simulator, OutOfRangeWriteFaults) {
+  Simulator sim(PramModel::ArbitraryCrcw, 4, 1);
+  const bool ok = sim.step([](u32, std::span<const u32>) {
+    return std::vector<WriteRequest>{{99, 1}};
+  });
+  EXPECT_FALSE(ok);
+  EXPECT_NE(sim.report().fault.find("out-of-range"), std::string::npos);
+}
+
+// ---- paper claim: find-first-one, Fich–Ragde–Wigderson [9] ---------------
+// All processors holding a 1 raise a shared flag; on common CRCW they all
+// write the same value so this is legal.  The same program on CREW faults.
+TEST(Simulator, FindFirstFlagRaisingNeedsCommonCrcw) {
+  const std::vector<u32> bits{0, 0, 1, 0, 1, 1, 0, 1};
+  auto program = [&](u32 pid, std::span<const u32>) {
+    std::vector<WriteRequest> w;
+    if (bits[pid]) w.push_back({0, 1});  // raise the shared "any set" flag
+    return w;
+  };
+  Simulator common(PramModel::CommonCrcw, 1, 8);
+  EXPECT_TRUE(common.step(program));
+  EXPECT_EQ(common.memory()[0], 1u);
+
+  Simulator crew(PramModel::Crew, 1, 8);
+  EXPECT_FALSE(crew.step(program));
+}
+
+// ---- paper claim: Algorithm partition needs ARBITRARY CRCW ---------------
+// (Remark after Lemma 3.11.)  Each processor writes its own POSITION into
+// BB[EQ[d1], EQ[d2]] — writers to the same cell carry DIFFERENT values, so
+// common CRCW faults while arbitrary CRCW elects a representative.
+TEST(Simulator, AlgorithmPartitionWriteNeedsArbitraryCrcw) {
+  // Two cycles with identical label pairs: processors 0 and 1 both target
+  // the BB cell keyed by their (equal) pair encodings.
+  auto program = [](u32 pid, std::span<const u32>) {
+    // Both write their own position (different values) into cell 3.
+    return std::vector<WriteRequest>{{3, pid + 10}};
+  };
+  Simulator arbitrary(PramModel::ArbitraryCrcw, 8, 2);
+  EXPECT_TRUE(arbitrary.step(program));
+  const u32 winner = arbitrary.memory()[3];
+  EXPECT_TRUE(winner == 10 || winner == 11);
+
+  Simulator common(PramModel::CommonCrcw, 8, 2);
+  EXPECT_FALSE(common.step(program)) << "the paper's Remark: arbitrary CRCW is required";
+}
+
+// ---- pointer jumping: list ranking in ceil(log2 n) rounds on CREW --------
+TEST(Simulator, PointerJumpingRanksListInLogRounds) {
+  const u32 n = 64;
+  // Memory layout: next[0..n), rank[n..2n).  A simple chain i -> i+1 with
+  // tail n-1 pointing to itself.
+  Simulator sim(PramModel::Crew, 2 * n, n);
+  for (u32 i = 0; i < n; ++i) {
+    sim.memory()[i] = std::min(i + 1, n - 1);
+    sim.memory()[n + i] = i + 1 < n ? 1 : 0;
+  }
+  u64 rounds = 0;
+  for (; rounds < 30; ++rounds) {
+    bool all_done = true;
+    for (u32 i = 0; i < n; ++i) {
+      if (sim.memory()[i] != n - 1) all_done = false;
+    }
+    if (all_done) break;
+    const bool ok = sim.step([n](u32 pid, std::span<const u32> mem) {
+      const u32 nxt = mem[pid];
+      // rank += rank[next]; next = next[next]  (classic jump; reads are
+      // concurrent — CREW allows it — writes are to own cells only).
+      return std::vector<WriteRequest>{{pid, mem[nxt]},
+                                       {n + pid, mem[n + pid] + mem[n + nxt]}};
+    });
+    ASSERT_TRUE(ok);
+  }
+  // Distance to the tail must now be exact, computed in <= ceil(lg n) + 1.
+  EXPECT_LE(rounds, 7u);
+  for (u32 i = 0; i < n; ++i) {
+    EXPECT_EQ(sim.memory()[n + i], n - 1 - i) << "rank of node " << i;
+  }
+}
+
+TEST(Simulator, RunAccountsWorkAndRounds) {
+  Simulator sim(PramModel::ArbitraryCrcw, 16, 4);
+  u32 counter = 0;
+  const auto report = sim.run(
+      [&](u32 pid, std::span<const u32>) {
+        return std::vector<WriteRequest>{{pid, pid}};
+      },
+      [&] { return ++counter > 5; }, 100);
+  EXPECT_EQ(report.rounds, 5u);
+  EXPECT_EQ(report.operations, 20u);  // 4 active processors x 5 rounds
+  EXPECT_TRUE(report.ok());
+}
+
+}  // namespace
+}  // namespace sfcp

@@ -1,0 +1,118 @@
+// Strategy-matrix cross-validation: every combination of interchangeable
+// strategies in the pipeline must produce bit-identical canonical Q-labels.
+// This is the strongest internal-consistency check in the suite — a bug in
+// any one strategy shows up as a mismatch against the other combinations.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/coarsest_partition.hpp"
+#include "core/verify.hpp"
+#include "pram/config.hpp"
+#include "util/generators.hpp"
+#include "util/random.hpp"
+
+namespace sfcp {
+namespace {
+
+using Combo = std::tuple<graph::CycleDetectStrategy, graph::CycleStructureStrategy,
+                         core::TreeLabelStrategy, strings::MspStrategy, core::RenameBackend>;
+
+class StrategyMatrix : public ::testing::TestWithParam<Combo> {};
+
+core::Options options_for(const Combo& c) {
+  core::Options opt;
+  opt.cycle_detect = std::get<0>(c);
+  opt.cycle_structure = std::get<1>(c);
+  opt.tree_labeling.strategy = std::get<2>(c);
+  opt.cycle_labeling.msp = std::get<3>(c);
+  opt.cycle_labeling.partition_backend = std::get<4>(c);
+  return opt;
+}
+
+TEST_P(StrategyMatrix, AgreesWithDefaultOnRandomInstances) {
+  const auto opt = options_for(GetParam());
+  util::Rng rng(13001);
+  for (int iter = 0; iter < 8; ++iter) {
+    const auto inst = util::random_function(1 + rng.below(800), 1 + rng.below(4), rng);
+    const auto got = core::solve(inst, opt);
+    const auto want = core::solve(inst);
+    EXPECT_EQ(got.q, want.q) << "iter " << iter;
+    EXPECT_EQ(got.num_blocks, want.num_blocks);
+  }
+}
+
+TEST_P(StrategyMatrix, AgreesOnAdversarialShapes) {
+  const auto opt = options_for(GetParam());
+  util::Rng rng(13003);
+  const auto shapes = {
+      util::random_permutation(512, 3, rng),   // pure cycles
+      util::long_tail(512, 8, 2, rng),         // deepest trees
+      util::bushy(512, 4, 32, 2, rng),         // widest trees
+      util::equal_cycles(16, 32, 3, 3, rng),   // Algorithm partition stress
+      util::mergeable(512, 8, rng),            // high coarseness
+  };
+  for (const auto& inst : shapes) {
+    const auto got = core::solve(inst, opt);
+    const auto report = core::verify_solution(inst, got.q);
+    EXPECT_TRUE(report.ok()) << report.to_string();
+    EXPECT_EQ(got.q, core::solve(inst).q);
+  }
+}
+
+TEST_P(StrategyMatrix, ThreadCountInvariance) {
+  const auto opt = options_for(GetParam());
+  util::Rng rng(13007);
+  const auto inst = util::random_function(600, 3, rng);
+  const auto want = core::solve(inst, opt);
+  for (int t : {1, 2, 8}) {
+    pram::ScopedThreads guard(t);
+    EXPECT_EQ(core::solve(inst, opt).q, want.q) << "threads=" << t;
+  }
+}
+
+std::string combo_name(const ::testing::TestParamInfo<Combo>& info) {
+  const auto& [cd, cs, tl, msp, rb] = info.param;
+  std::string s;
+  s += cd == graph::CycleDetectStrategy::Sequential       ? "DetSeq"
+       : cd == graph::CycleDetectStrategy::FunctionPowers ? "DetPow"
+                                                          : "DetEuler";
+  s += cs == graph::CycleStructureStrategy::Sequential ? "StructSeq" : "StructJump";
+  s += tl == core::TreeLabelStrategy::LevelSynchronous   ? "TreeLevel"
+       : tl == core::TreeLabelStrategy::AncestorDoubling ? "TreeDouble"
+                                                         : "TreeDfs";
+  s += msp == strings::MspStrategy::Booth    ? "MspBooth"
+       : msp == strings::MspStrategy::Simple ? "MspSimple"
+                                             : "MspEff";
+  s += rb == core::RenameBackend::Hashed ? "Hash" : "Sort";
+  return s;
+}
+
+// A representative sub-lattice of the full product (the full product is
+// 3*2*3*5*2 = 180 combos; we take the corners plus mixed interiors).
+INSTANTIATE_TEST_SUITE_P(
+    Combos, StrategyMatrix,
+    ::testing::Values(
+        Combo{graph::CycleDetectStrategy::EulerTour, graph::CycleStructureStrategy::PointerJumping,
+              core::TreeLabelStrategy::LevelSynchronous, strings::MspStrategy::Efficient,
+              core::RenameBackend::Hashed},
+        Combo{graph::CycleDetectStrategy::Sequential, graph::CycleStructureStrategy::Sequential,
+              core::TreeLabelStrategy::SequentialDFS, strings::MspStrategy::Booth,
+              core::RenameBackend::Sorted},
+        Combo{graph::CycleDetectStrategy::FunctionPowers,
+              graph::CycleStructureStrategy::PointerJumping,
+              core::TreeLabelStrategy::AncestorDoubling, strings::MspStrategy::Simple,
+              core::RenameBackend::Hashed},
+        Combo{graph::CycleDetectStrategy::EulerTour, graph::CycleStructureStrategy::Sequential,
+              core::TreeLabelStrategy::AncestorDoubling, strings::MspStrategy::Efficient,
+              core::RenameBackend::Sorted},
+        Combo{graph::CycleDetectStrategy::FunctionPowers,
+              graph::CycleStructureStrategy::Sequential, core::TreeLabelStrategy::LevelSynchronous,
+              strings::MspStrategy::Booth, core::RenameBackend::Hashed},
+        Combo{graph::CycleDetectStrategy::Sequential,
+              graph::CycleStructureStrategy::PointerJumping, core::TreeLabelStrategy::SequentialDFS,
+              strings::MspStrategy::Simple, core::RenameBackend::Sorted}),
+    combo_name);
+
+}  // namespace
+}  // namespace sfcp

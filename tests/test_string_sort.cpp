@@ -1,0 +1,138 @@
+// Unit tests for lexicographic string sorting (Lemma 3.8): the paper's
+// parallel fold-and-rank algorithm against std::stable_sort and MSD radix.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "strings/string_sort.hpp"
+#include "util/generators.hpp"
+#include "util/random.hpp"
+
+namespace sfcp {
+namespace {
+
+using strings::compare_spans;
+using strings::make_string_list;
+using strings::sort_strings;
+using strings::StringList;
+using strings::StringSortStrategy;
+
+std::vector<std::vector<u32>> materialize(const StringList& list, const std::vector<u32>& order) {
+  std::vector<std::vector<u32>> out;
+  out.reserve(order.size());
+  for (const u32 i : order) {
+    const auto v = list.view(i);
+    out.emplace_back(v.begin(), v.end());
+  }
+  return out;
+}
+
+TEST(CompareSpans, Basics) {
+  std::vector<u32> a{1, 2}, b{1, 2, 3}, c{1, 3};
+  EXPECT_EQ(compare_spans(a, a), 0);
+  EXPECT_LT(compare_spans(a, b), 0);  // proper prefix is smaller
+  EXPECT_GT(compare_spans(b, a), 0);
+  EXPECT_LT(compare_spans(a, c), 0);
+  EXPECT_GT(compare_spans(c, b), 0);
+}
+
+TEST(StringSort, EmptyList) {
+  StringList list;
+  for (auto strat : {StringSortStrategy::StdSort, StringSortStrategy::MsdRadix,
+                     StringSortStrategy::Parallel}) {
+    EXPECT_TRUE(sort_strings(list, strat).empty());
+  }
+}
+
+TEST(StringSort, SingleString) {
+  const auto list = make_string_list({{3, 1, 2}});
+  for (auto strat : {StringSortStrategy::StdSort, StringSortStrategy::MsdRadix,
+                     StringSortStrategy::Parallel}) {
+    EXPECT_EQ(sort_strings(list, strat), (std::vector<u32>{0}));
+  }
+}
+
+TEST(StringSort, KnownSmallCase) {
+  const auto list = make_string_list({{2, 1}, {1}, {1, 2}, {1, 1, 9}, {2}});
+  // sorted: (1) < (1,1,9) < (1,2) < (2) < (2,1)
+  const std::vector<u32> expected{1, 3, 2, 4, 0};
+  for (auto strat : {StringSortStrategy::StdSort, StringSortStrategy::MsdRadix,
+                     StringSortStrategy::Parallel}) {
+    EXPECT_EQ(sort_strings(list, strat), expected) << "strategy " << static_cast<int>(strat);
+  }
+}
+
+TEST(StringSort, DuplicatesTieBreakByIndex) {
+  const auto list = make_string_list({{5, 5}, {5, 5}, {5}, {5, 5}});
+  const std::vector<u32> expected{2, 0, 1, 3};
+  for (auto strat : {StringSortStrategy::StdSort, StringSortStrategy::MsdRadix,
+                     StringSortStrategy::Parallel}) {
+    EXPECT_EQ(sort_strings(list, strat), expected) << "strategy " << static_cast<int>(strat);
+  }
+}
+
+TEST(StringSort, AllUnitStrings) {
+  const auto list = make_string_list({{4}, {2}, {9}, {2}, {1}});
+  const std::vector<u32> expected{4, 1, 3, 0, 2};
+  for (auto strat : {StringSortStrategy::StdSort, StringSortStrategy::MsdRadix,
+                     StringSortStrategy::Parallel}) {
+    EXPECT_EQ(sort_strings(list, strat), expected);
+  }
+}
+
+TEST(StringSort, PrefixChains) {
+  const auto list = make_string_list({{1, 1, 1, 1}, {1}, {1, 1}, {1, 1, 1}});
+  const std::vector<u32> expected{1, 2, 3, 0};
+  for (auto strat : {StringSortStrategy::StdSort, StringSortStrategy::MsdRadix,
+                     StringSortStrategy::Parallel}) {
+    EXPECT_EQ(sort_strings(list, strat), expected);
+  }
+}
+
+class StringSortSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t, u32,
+                                                 util::LengthDistribution>> {};
+
+TEST_P(StringSortSweep, AllStrategiesMatchReference) {
+  const auto [m, total, sigma, dist] = GetParam();
+  util::Rng rng(m * 31 + total * 7 + sigma);
+  const StringList list = util::random_string_list(m, total, sigma, dist, rng);
+  const auto ref = sort_strings(list, StringSortStrategy::StdSort);
+  // Reference is itself validated: adjacent order must be non-decreasing.
+  for (std::size_t i = 0; i + 1 < ref.size(); ++i) {
+    EXPECT_LE(compare_spans(list.view(ref[i]), list.view(ref[i + 1])), 0);
+  }
+  EXPECT_EQ(sort_strings(list, StringSortStrategy::MsdRadix), ref);
+  EXPECT_EQ(sort_strings(list, StringSortStrategy::Parallel), ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, StringSortSweep,
+    ::testing::Combine(::testing::Values(1, 10, 100, 1000),
+                       ::testing::Values(std::size_t{2000}),
+                       ::testing::Values(2u, 5u, 1000u),
+                       ::testing::Values(util::LengthDistribution::Uniform,
+                                         util::LengthDistribution::ManyShort,
+                                         util::LengthDistribution::FewLong,
+                                         util::LengthDistribution::PowerOfTwo)));
+
+TEST(StringSort, LargeMixedWorkload) {
+  util::Rng rng(307);
+  const StringList list = util::random_string_list(5000, 60000, 8,
+                                                   util::LengthDistribution::Uniform, rng);
+  const auto ref = sort_strings(list, StringSortStrategy::StdSort);
+  EXPECT_EQ(sort_strings(list, StringSortStrategy::Parallel), ref);
+  EXPECT_EQ(sort_strings(list, StringSortStrategy::MsdRadix), ref);
+}
+
+TEST(StringSort, ContentOrderIsSorted) {
+  util::Rng rng(311);
+  const StringList list = util::random_string_list(500, 4000, 3,
+                                                   util::LengthDistribution::ManyShort, rng);
+  const auto order = sort_strings(list, StringSortStrategy::Parallel);
+  const auto sorted = materialize(list, order);
+  EXPECT_TRUE(std::is_sorted(sorted.begin(), sorted.end()));
+}
+
+}  // namespace
+}  // namespace sfcp

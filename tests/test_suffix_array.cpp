@@ -1,0 +1,194 @@
+// Unit and property tests for the prefix-doubling suffix array and the
+// suffix-array m.s.p. baseline (Vishkin's suffix-tree observation, §3.1).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "strings/msp.hpp"
+#include "strings/period.hpp"
+#include "strings/suffix_array.hpp"
+#include "util/generators.hpp"
+#include "util/random.hpp"
+
+namespace sfcp {
+namespace {
+
+using strings::build_suffix_array;
+using strings::build_suffix_array_reference;
+using strings::compare_rotations;
+using strings::count_distinct_substrings;
+using strings::lcp_kasai;
+using strings::msp_suffix_array;
+
+TEST(SuffixArray, Empty) {
+  std::vector<u32> s;
+  const auto sa = build_suffix_array(s);
+  EXPECT_TRUE(sa.sa.empty());
+  EXPECT_TRUE(sa.rank.empty());
+}
+
+TEST(SuffixArray, SingleChar) {
+  std::vector<u32> s{7};
+  const auto sa = build_suffix_array(s);
+  EXPECT_EQ(sa.sa, (std::vector<u32>{0}));
+  EXPECT_EQ(sa.rank, (std::vector<u32>{0}));
+}
+
+TEST(SuffixArray, KnownBanana) {
+  // "banana" (a=1,b=2,n=3): suffix order a, ana, anana, banana, na, nana
+  // -> starts 5, 3, 1, 0, 4, 2.
+  std::vector<u32> s{2, 1, 3, 1, 3, 1};
+  const auto sa = build_suffix_array(s);
+  EXPECT_EQ(sa.sa, (std::vector<u32>{5, 3, 1, 0, 4, 2}));
+}
+
+TEST(SuffixArray, AllEqualCharacters) {
+  std::vector<u32> s(64, 3);
+  const auto sa = build_suffix_array(s);
+  // Shorter suffixes of an all-equal string are smaller.
+  for (std::size_t r = 0; r < s.size(); ++r) {
+    EXPECT_EQ(sa.sa[r], static_cast<u32>(s.size() - 1 - r));
+  }
+}
+
+TEST(SuffixArray, RankIsInversePermutation) {
+  util::Rng rng(3301);
+  for (int iter = 0; iter < 20; ++iter) {
+    const auto s = util::random_string(1 + rng.below(300), 4, rng);
+    const auto sa = build_suffix_array(s);
+    ASSERT_EQ(sa.sa.size(), s.size());
+    for (std::size_t r = 0; r < s.size(); ++r) {
+      EXPECT_EQ(sa.rank[sa.sa[r]], static_cast<u32>(r));
+    }
+  }
+}
+
+TEST(SuffixArray, MatchesReferenceRandom) {
+  util::Rng rng(3307);
+  for (int iter = 0; iter < 40; ++iter) {
+    const std::size_t alpha = 2 + rng.below(5);
+    const auto s = util::random_string(1 + rng.below(200), static_cast<u32>(alpha), rng);
+    const auto fast = build_suffix_array(s);
+    const auto ref = build_suffix_array_reference(s);
+    EXPECT_EQ(fast.sa, ref.sa);
+    EXPECT_EQ(fast.rank, ref.rank);
+  }
+}
+
+TEST(SuffixArray, MatchesReferencePeriodic) {
+  util::Rng rng(3311);
+  for (int iter = 0; iter < 20; ++iter) {
+    const std::size_t p = 1 + rng.below(5);
+    const std::size_t reps = 2 + rng.below(8);
+    const auto s = util::periodic_string(p * reps, p, 3, rng);
+    const auto fast = build_suffix_array(s);
+    const auto ref = build_suffix_array_reference(s);
+    EXPECT_EQ(fast.sa, ref.sa);
+  }
+}
+
+TEST(SuffixArray, RoundsLogarithmic) {
+  util::Rng rng(3313);
+  const auto s = util::random_string(1 << 12, 3, rng);
+  const auto sa = build_suffix_array(s);
+  // Doubling separates all suffixes in at most ceil(log2 n) rounds.
+  EXPECT_LE(sa.rounds, 13u);
+}
+
+TEST(Lcp, KnownBanana) {
+  std::vector<u32> s{2, 1, 3, 1, 3, 1};
+  const auto sa = build_suffix_array(s);
+  const auto lcp = lcp_kasai(s, sa);
+  // Suffixes: a | ana | anana | banana | na | nana -> lcp 0,1,3,0,0,2
+  EXPECT_EQ(lcp, (std::vector<u32>{0, 1, 3, 0, 0, 2}));
+}
+
+TEST(Lcp, MatchesBruteForce) {
+  util::Rng rng(3319);
+  for (int iter = 0; iter < 25; ++iter) {
+    const auto s = util::random_string(1 + rng.below(150), 2, rng);
+    const auto sa = build_suffix_array(s);
+    const auto lcp = lcp_kasai(s, sa);
+    for (std::size_t r = 1; r < s.size(); ++r) {
+      const u32 i = sa.sa[r - 1], j = sa.sa[r];
+      u32 h = 0;
+      while (i + h < s.size() && j + h < s.size() && s[i + h] == s[j + h]) ++h;
+      EXPECT_EQ(lcp[r], h) << "rank " << r;
+    }
+  }
+}
+
+TEST(Lcp, DistinctSubstringCountSmall) {
+  // "aab" over {1,2}: substrings a, aa, aab, ab, b -> 5 distinct.
+  std::vector<u32> s{1, 1, 2};
+  EXPECT_EQ(count_distinct_substrings(s), 5u);
+}
+
+TEST(Lcp, DistinctSubstringCountMatchesBrute) {
+  util::Rng rng(3323);
+  for (int iter = 0; iter < 15; ++iter) {
+    const auto s = util::random_string(1 + rng.below(40), 2, rng);
+    std::set<std::vector<u32>> subs;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      for (std::size_t j = i + 1; j <= s.size(); ++j) {
+        subs.emplace(s.begin() + i, s.begin() + j);
+      }
+    }
+    EXPECT_EQ(count_distinct_substrings(s), subs.size());
+  }
+}
+
+TEST(MspSuffixArray, MatchesBoothRandom) {
+  util::Rng rng(3329);
+  for (int iter = 0; iter < 60; ++iter) {
+    const auto s = util::random_string(1 + rng.below(250), 3, rng);
+    EXPECT_EQ(msp_suffix_array(s), strings::msp_booth(s)) << "iter " << iter;
+  }
+}
+
+TEST(MspSuffixArray, MatchesBoothRepeating) {
+  util::Rng rng(3331);
+  for (int iter = 0; iter < 30; ++iter) {
+    const std::size_t p = 1 + rng.below(7);
+    const std::size_t reps = 2 + rng.below(6);
+    const auto s = util::periodic_string(p * reps, p, 3, rng);
+    EXPECT_EQ(msp_suffix_array(s), strings::msp_booth(s));
+  }
+}
+
+TEST(MspSuffixArray, PaperExample34) {
+  // Example 3.4's circular string; its m.s.p. must agree with all other
+  // m.s.p. implementations.
+  std::vector<u32> s{3, 2, 1, 3, 2, 3, 4, 3, 1, 2, 3, 4, 2, 1, 1, 1, 3, 2, 2};
+  const u32 want = strings::msp_brute(s);
+  EXPECT_EQ(msp_suffix_array(s), want);
+  EXPECT_EQ(strings::msp_booth(s), want);
+}
+
+TEST(MspSuffixArray, EdgeCases) {
+  EXPECT_EQ(msp_suffix_array(std::vector<u32>{}), 0u);
+  EXPECT_EQ(msp_suffix_array(std::vector<u32>{9}), 0u);
+  EXPECT_EQ(msp_suffix_array(std::vector<u32>{2, 2, 2, 2}), 0u);
+  EXPECT_EQ(msp_suffix_array(std::vector<u32>{2, 1}), 1u);
+}
+
+TEST(CompareRotations, TotalPreorderConsistency) {
+  util::Rng rng(3343);
+  const auto s = util::random_string(40, 2, rng);
+  const u32 m = strings::msp_booth(s);
+  for (u32 j = 0; j < s.size(); ++j) {
+    EXPECT_LE(compare_rotations(s, m, j), 0) << "m.s.p. rotation must be minimal";
+  }
+}
+
+TEST(CompareRotations, AntisymmetryAndEquality) {
+  std::vector<u32> s{1, 2, 1, 2};  // rotations 0 and 2 coincide
+  EXPECT_EQ(compare_rotations(s, 0, 2), 0);
+  EXPECT_EQ(compare_rotations(s, 0, 1), -compare_rotations(s, 1, 0));
+  EXPECT_LT(compare_rotations(s, 0, 1), 0);
+}
+
+}  // namespace
+}  // namespace sfcp

@@ -1,0 +1,62 @@
+// Unit tests for the instrumented (traced) pipeline.
+#include <gtest/gtest.h>
+
+#include "core/trace.hpp"
+#include "util/generators.hpp"
+#include "util/random.hpp"
+
+namespace sfcp {
+namespace {
+
+TEST(Trace, MatchesUntracedSolve) {
+  util::Rng rng(2401);
+  for (int iter = 0; iter < 10; ++iter) {
+    const auto inst = util::random_function(1 + rng.below(1500), 3, rng);
+    const auto plain = core::solve(inst);
+    const auto traced = core::solve_traced(inst);
+    EXPECT_EQ(traced.result.q, plain.q);
+    EXPECT_EQ(traced.result.num_blocks, plain.num_blocks);
+  }
+}
+
+TEST(Trace, HasAllStages) {
+  util::Rng rng(2403);
+  const auto inst = util::random_function(200, 3, rng);
+  const auto traced = core::solve_traced(inst);
+  ASSERT_EQ(traced.stages.size(), 5u);
+  EXPECT_NE(traced.stages[0].name.find("find cycle"), std::string::npos);
+  EXPECT_NE(traced.stages[2].name.find("cycle node labelling"), std::string::npos);
+  EXPECT_NE(traced.stages[3].name.find("tree node labelling"), std::string::npos);
+}
+
+TEST(Trace, OpsArePositiveAndSumConsistent) {
+  util::Rng rng(2407);
+  const auto inst = util::random_function(5000, 3, rng);
+  const auto traced = core::solve_traced(inst);
+  u64 sum = 0;
+  for (const auto& s : traced.stages) {
+    EXPECT_GT(s.ops, 0u) << s.name;
+    sum += s.ops;
+  }
+  EXPECT_EQ(sum, traced.total_ops());
+  EXPECT_GE(sum, 5000u);  // at least linear work
+}
+
+TEST(Trace, EmptyInstance) {
+  graph::Instance inst;
+  const auto traced = core::solve_traced(inst);
+  EXPECT_TRUE(traced.stages.empty());
+  EXPECT_EQ(traced.result.num_blocks, 0u);
+}
+
+TEST(Trace, ToStringListsStages) {
+  util::Rng rng(2411);
+  const auto inst = util::random_function(100, 2, rng);
+  const auto traced = core::solve_traced(inst);
+  const auto s = traced.to_string();
+  EXPECT_NE(s.find("find cycle nodes"), std::string::npos);
+  EXPECT_NE(s.find("ops="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sfcp

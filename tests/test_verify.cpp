@@ -1,0 +1,91 @@
+// Unit tests for the partition property checkers.
+#include <gtest/gtest.h>
+
+#include "core/coarsest_partition.hpp"
+#include "core/verify.hpp"
+#include "util/generators.hpp"
+#include "util/random.hpp"
+
+namespace sfcp {
+namespace {
+
+using core::count_blocks;
+using core::is_refinement;
+using core::is_stable;
+using core::same_partition;
+using core::verify_solution;
+
+TEST(Verify, RefinementBasics) {
+  std::vector<u32> b{1, 1, 2, 2};
+  EXPECT_TRUE(is_refinement({{0, 1, 2, 3}}, b));   // singletons refine anything
+  EXPECT_TRUE(is_refinement({{0, 0, 1, 1}}, b));   // equal partition
+  EXPECT_FALSE(is_refinement({{0, 0, 0, 1}}, b));  // merges across B
+}
+
+TEST(Verify, StabilityBasics) {
+  std::vector<u32> f{1, 0, 3, 2};
+  EXPECT_TRUE(is_stable({{0, 0, 1, 1}}, f));
+  EXPECT_TRUE(is_stable({{0, 1, 2, 3}}, f));
+  // {0,2} in one block but images {1,3} split:
+  EXPECT_FALSE(is_stable({{0, 1, 0, 2}}, f));
+}
+
+TEST(Verify, CountBlocks) {
+  EXPECT_EQ(count_blocks(std::vector<u32>{}), 0u);
+  EXPECT_EQ(count_blocks(std::vector<u32>{5, 5, 5}), 1u);
+  EXPECT_EQ(count_blocks(std::vector<u32>{1, 2, 1, 3}), 3u);
+}
+
+TEST(Verify, SamePartitionIgnoresLabelValues) {
+  EXPECT_TRUE(same_partition(std::vector<u32>{7, 7, 9}, std::vector<u32>{0, 0, 1}));
+  EXPECT_FALSE(same_partition(std::vector<u32>{7, 8, 9}, std::vector<u32>{0, 0, 1}));
+  EXPECT_FALSE(same_partition(std::vector<u32>{1, 1}, std::vector<u32>{1, 1, 1}));
+}
+
+TEST(Verify, ReportOnCorrectSolution) {
+  util::Rng rng(1401);
+  const auto inst = util::random_function(400, 3, rng);
+  const auto r = core::solve(inst);
+  const auto report = verify_solution(inst, r.q);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_EQ(report.blocks, report.oracle_blocks);
+}
+
+TEST(Verify, ReportCatchesOverMerge) {
+  // All-one-block labelling is stable only in special cases; with distinct
+  // B labels it violates refinement.
+  graph::Instance inst{{1, 0}, {1, 2}};
+  std::vector<u32> bogus{0, 0};
+  const auto report = verify_solution(inst, bogus);
+  EXPECT_FALSE(report.refines_b);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(Verify, ReportCatchesOverSplit) {
+  // Singletons are always a stable refinement but rarely coarsest.
+  graph::Instance inst{{0, 1}, {3, 3}};
+  std::vector<u32> singletons{0, 1};
+  const auto report = verify_solution(inst, singletons);
+  EXPECT_TRUE(report.refines_b);
+  EXPECT_TRUE(report.stable);
+  EXPECT_FALSE(report.coarsest);
+}
+
+TEST(Verify, ReportCatchesInstability) {
+  // 0 and 1 share a block but map to different blocks.
+  graph::Instance inst{{2, 3, 2, 3}, {1, 1, 2, 3}};
+  std::vector<u32> unstable{0, 0, 1, 2};
+  const auto report = verify_solution(inst, unstable);
+  EXPECT_FALSE(report.stable);
+}
+
+TEST(Verify, ToStringContainsFields) {
+  core::VerifyReport r;
+  r.blocks = 3;
+  const auto s = r.to_string();
+  EXPECT_NE(s.find("blocks=3"), std::string::npos);
+  EXPECT_NE(s.find("stable=0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sfcp
