@@ -1,8 +1,12 @@
 // A3 — PRAM-substrate ablation: grain size and thread count for the scan
 // and integer-sort kernels (the knobs behind every parallel round).
+//
+// Each benchmark installs a per-run ExecutionContext instead of mutating the
+// process-global knobs, so concurrently-registered ablations can never race
+// on shared configuration.
 #include <benchmark/benchmark.h>
 
-#include "pram/config.hpp"
+#include "pram/execution_context.hpp"
 #include "prim/integer_sort.hpp"
 #include "prim/scan.hpp"
 #include "util/random.hpp"
@@ -17,7 +21,8 @@ void BM_ScanGrain(benchmark::State& state) {
   util::Rng rng(1);
   std::vector<u64> in(n), out(n);
   for (auto& v : in) v = rng.below(100);
-  pram::ScopedGrain g(grain);
+  const pram::ExecutionContext ctx = pram::ExecutionContext{}.with_grain(grain);
+  pram::ScopedContext guard(ctx);
   for (auto _ : state) {
     benchmark::DoNotOptimize(prim::inclusive_scan<u64>(in, out));
   }
@@ -31,7 +36,8 @@ void BM_SortGrain(benchmark::State& state) {
   util::Rng rng(2);
   std::vector<u64> keys(n);
   for (auto& k : keys) k = rng.below(n);
-  pram::ScopedGrain g(grain);
+  const pram::ExecutionContext ctx = pram::ExecutionContext{}.with_grain(grain);
+  pram::ScopedContext guard(ctx);
   for (auto _ : state) {
     benchmark::DoNotOptimize(prim::sort_order_by_key(keys, n));
   }
@@ -45,7 +51,8 @@ void BM_ScanThreads(benchmark::State& state) {
   util::Rng rng(3);
   std::vector<u64> in(n), out(n);
   for (auto& v : in) v = rng.below(100);
-  pram::ScopedThreads t(threads);
+  const pram::ExecutionContext ctx = pram::ExecutionContext{}.with_threads(threads);
+  pram::ScopedContext guard(ctx);
   for (auto _ : state) {
     benchmark::DoNotOptimize(prim::inclusive_scan<u64>(in, out));
   }

@@ -1,10 +1,14 @@
-// E1 / E2 — the full SFCP solver (Theorem 5.1) vs baselines: parallel
-// pipeline, sequential pipeline, Hopcroft refinement, label doubling and
-// naive refinement across instance sizes and shapes.
+// E1 / E2 — the full SFCP solver (Theorem 5.1) vs baselines: every
+// registered pipeline strategy (one benchmark per sfcp::registry() entry,
+// run through a reusable Solver so workspace amortization is measured),
+// plus Hopcroft refinement, label doubling and naive refinement.
 #include <benchmark/benchmark.h>
 
+#include <string>
+
 #include "core/baselines.hpp"
-#include "core/coarsest_partition.hpp"
+#include "core/registry.hpp"
+#include "core/solver.hpp"
 #include "util/generators.hpp"
 #include "util/random.hpp"
 
@@ -20,31 +24,29 @@ graph::Instance shaped(std::size_t n, int kind, util::Rng& rng) {
   }
 }
 
-void BM_SfcpParallel(benchmark::State& state) {
+void BM_SfcpStrategy(benchmark::State& state, core::Options opt) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   const int kind = static_cast<int>(state.range(1));
   util::Rng rng(n + kind);
   const auto inst = shaped(n, kind, rng);
+  core::Solver solver(opt);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(core::solve(inst, core::Options::parallel()));
+    benchmark::DoNotOptimize(solver.solve(inst));
   }
   state.SetItemsProcessed(static_cast<i64>(state.iterations()) * static_cast<i64>(n));
   state.SetLabel(kind == 0 ? "random_fn" : kind == 1 ? "permutation" : "mergeable");
 }
-BENCHMARK(BM_SfcpParallel)->ArgsProduct({{1 << 14, 1 << 17, 1 << 20}, {0, 1, 2}});
 
-void BM_SfcpSequential(benchmark::State& state) {
-  const std::size_t n = static_cast<std::size_t>(state.range(0));
-  const int kind = static_cast<int>(state.range(1));
-  util::Rng rng(n + kind);
-  const auto inst = shaped(n, kind, rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(core::solve(inst, core::Options::sequential()));
+// One benchmark per registered strategy: the registry makes the full N-way
+// comparison a loop instead of hand-maintained BENCHMARK() declarations.
+const int kRegisteredSfcpBenches = [] {
+  for (const auto& entry : sfcp::registry().all()) {
+    benchmark::RegisterBenchmark(("BM_Sfcp/" + entry.name).c_str(), BM_SfcpStrategy,
+                                 entry.options)
+        ->ArgsProduct({{1 << 14, 1 << 17, 1 << 20}, {0, 1, 2}});
   }
-  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * static_cast<i64>(n));
-  state.SetLabel(kind == 0 ? "random_fn" : kind == 1 ? "permutation" : "mergeable");
-}
-BENCHMARK(BM_SfcpSequential)->ArgsProduct({{1 << 14, 1 << 17, 1 << 20}, {0, 1, 2}});
+  return 0;
+}();
 
 void BM_Hopcroft(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));

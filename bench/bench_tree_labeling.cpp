@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/coarsest_partition.hpp"
+#include "core/solver.hpp"
 #include "util/generators.hpp"
 #include "util/random.hpp"
 
@@ -27,8 +28,9 @@ void BM_TreeLabeling(benchmark::State& state) {
   const auto inst = shaped(n, kind, rng);
   core::Options opt = core::Options::parallel();
   opt.tree_labeling.strategy = S;
+  core::Solver solver(opt);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(core::solve(inst, opt));
+    benchmark::DoNotOptimize(solver.solve(inst));
   }
   state.SetItemsProcessed(static_cast<i64>(state.iterations()) * static_cast<i64>(n));
   state.SetLabel(kind == 0 ? "deep_path" : kind == 1 ? "bushy" : "mergeable");

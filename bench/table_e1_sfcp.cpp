@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "core/coarsest_partition.hpp"
+#include "pram/execution_context.hpp"
 #include "pram/metrics.hpp"
 #include "util/generators.hpp"
 #include "util/random.hpp"
@@ -26,7 +27,7 @@ int main() {
     util::Timer timer;
     core::Result r;
     {
-      pram::ScopedMetrics guard(m);
+      pram::ScopedContext guard(pram::ExecutionContext{}.with_metrics(&m));
       r = core::solve(inst, core::Options::parallel());
     }
     const double ms = timer.millis();

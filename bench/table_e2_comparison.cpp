@@ -3,11 +3,16 @@
 // class (Galley–Iliopoulos / Srikant stand-in), Hopcroft-style O(n log n)
 // sequential refinement, the linear-time sequential pipeline ([16]'s role),
 // and naive Moore refinement.
+//
+// Pipeline strategies come from sfcp::registry() and run through a reusable
+// Solver; every measured run installs its own ExecutionContext, so the
+// ablation is race-free by construction (no process-global knobs mutated).
 #include <iostream>
 
 #include "core/baselines.hpp"
-#include "core/coarsest_partition.hpp"
-#include "pram/metrics.hpp"
+#include "core/registry.hpp"
+#include "core/solver.hpp"
+#include "pram/execution_context.hpp"
 #include "util/generators.hpp"
 #include "util/random.hpp"
 #include "util/table.hpp"
@@ -18,24 +23,38 @@ int main() {
   std::cout << "E2: SFCP algorithm comparison (paper intro, Table analogue)\n\n";
   util::Rng rng(7);
   util::Table table({"algorithm", "n", "blocks", "ops", "ops/n", "ms"});
+  // One reusable session per registry strategy: workspaces amortize across
+  // the two instance sizes.
+  // One sink that outlives both solvers (their contexts keep a pointer to
+  // it), reset between measured runs.
+  pram::Metrics m;
+  core::Solver parallel_solver(sfcp::registry().at("parallel"),
+                               pram::ExecutionContext{}.with_metrics(&m));
+  core::Solver sequential_solver(sfcp::registry().at("sequential"),
+                                 pram::ExecutionContext{}.with_metrics(&m));
   for (const std::size_t n : {std::size_t{1} << 16, std::size_t{1} << 19}) {
     const auto inst = util::random_function(n, 4, rng);
-    const auto run = [&](const char* name, auto&& solver) {
-      pram::Metrics m;
+    const auto run = [&](const char* name, auto&& solver_fn) {
+      m.reset();
       util::Timer timer;
-      u32 blocks = 0;
-      {
-        pram::ScopedMetrics guard(m);
-        blocks = solver();
-      }
+      const u32 blocks = solver_fn();
       table.add_row(name, n, blocks, m.ops(),
                     static_cast<double>(m.ops()) / static_cast<double>(n), timer.millis());
     };
-    run("jaja-ryu parallel", [&] { return core::solve(inst, core::Options::parallel()).num_blocks; });
-    run("sequential pipeline [16]", [&] { return core::solve(inst, core::Options::sequential()).num_blocks; });
-    run("label doubling [10,18]", [&] { return core::solve_label_doubling(inst).num_blocks; });
-    run("hopcroft refinement [1]", [&] { return core::solve_hopcroft(inst).num_blocks; });
-    run("naive Moore refinement", [&] { return core::solve_naive_refinement(inst).num_blocks; });
+    run("jaja-ryu parallel", [&] { return parallel_solver.solve(inst).num_blocks; });
+    run("sequential pipeline [16]", [&] { return sequential_solver.solve(inst).num_blocks; });
+    run("label doubling [10,18]", [&] {
+      pram::ScopedContext guard(pram::ExecutionContext{}.with_metrics(&m));
+      return core::solve_label_doubling(inst).num_blocks;
+    });
+    run("hopcroft refinement [1]", [&] {
+      pram::ScopedContext guard(pram::ExecutionContext{}.with_metrics(&m));
+      return core::solve_hopcroft(inst).num_blocks;
+    });
+    run("naive Moore refinement", [&] {
+      pram::ScopedContext guard(pram::ExecutionContext{}.with_metrics(&m));
+      return core::solve_naive_refinement(inst).num_blocks;
+    });
   }
   table.print();
   std::cout << "\n(expected shape: label doubling pays a log n factor in ops; the\n"

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <iostream>
 
+#include "pram/execution_context.hpp"
 #include "pram/metrics.hpp"
 #include "strings/msp.hpp"
 #include "strings/suffix_array.hpp"
@@ -26,7 +27,7 @@ int main() {
       util::Timer timer;
       u32 msp = 0;
       {
-        pram::ScopedMetrics guard(m);
+        pram::ScopedContext guard(pram::ExecutionContext{}.with_metrics(&m));
         msp = strings::minimal_starting_point(s, strat);
       }
       table.add_row(n, name, msp, m.ops(),
@@ -44,7 +45,7 @@ int main() {
       util::Timer timer;
       u32 msp = 0;
       {
-        pram::ScopedMetrics guard(m);
+        pram::ScopedContext guard(pram::ExecutionContext{}.with_metrics(&m));
         msp = strings::msp_suffix_array(s);
       }
       table.add_row(n, "suffix-array (par)", msp, m.ops(),

@@ -3,6 +3,7 @@
 // symbol comparisons) and MSD radix quicksort, across length distributions.
 #include <iostream>
 
+#include "pram/execution_context.hpp"
 #include "pram/metrics.hpp"
 #include "strings/string_sort.hpp"
 #include "util/generators.hpp"
@@ -28,7 +29,7 @@ int main() {
         pram::Metrics m;
         util::Timer timer;
         {
-          pram::ScopedMetrics guard(m);
+          pram::ScopedContext guard(pram::ExecutionContext{}.with_metrics(&m));
           const auto order = strings::sort_strings(list, strat);
           if (order.size() != list.size()) std::abort();
         }

@@ -5,6 +5,7 @@
 #include <iostream>
 
 #include "core/cycle_labeling.hpp"
+#include "pram/execution_context.hpp"
 #include "pram/metrics.hpp"
 #include "util/generators.hpp"
 #include "util/random.hpp"
@@ -34,7 +35,7 @@ int main() {
       pram::Metrics m;
       util::Timer timer;
       {
-        pram::ScopedMetrics guard(m);
+        pram::ScopedContext guard(pram::ExecutionContext{}.with_metrics(&m));
         core::partition_equal_strings(flat, k, l, core::RenameBackend::Hashed);
       }
       table.add_row(k, l, n, "alg partition (BB)", m.ops(),
@@ -45,7 +46,7 @@ int main() {
       util::Timer timer;
       u64 ops = 0;
       {
-        pram::ScopedMetrics guard(m);
+        pram::ScopedContext guard(pram::ExecutionContext{}.with_metrics(&m));
         // All-pairs baseline: compare every pair until a match is found.
         std::vector<u32> rep(k);
         for (std::size_t i = 0; i < k; ++i) {

@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "core/coarsest_partition.hpp"
+#include "pram/execution_context.hpp"
 #include "pram/metrics.hpp"
 #include "util/generators.hpp"
 #include "util/random.hpp"
@@ -28,7 +29,7 @@ int main() {
     util::Timer timer;
     core::Result r;
     {
-      pram::ScopedMetrics guard(m);
+      pram::ScopedContext guard(pram::ExecutionContext{}.with_metrics(&m));
       r = core::solve(inst, opt);
     }
     table.add_row(inst.size(), shape, name, r.num_blocks, m.ops(),

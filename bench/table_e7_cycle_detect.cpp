@@ -4,6 +4,7 @@
 #include <iostream>
 
 #include "graph/cycle_detect.hpp"
+#include "pram/execution_context.hpp"
 #include "pram/metrics.hpp"
 #include "util/generators.hpp"
 #include "util/random.hpp"
@@ -22,7 +23,7 @@ int main() {
     util::Timer timer;
     std::vector<u8> on_cycle;
     {
-      pram::ScopedMetrics guard(m);
+      pram::ScopedContext guard(pram::ExecutionContext{}.with_metrics(&m));
       on_cycle = graph::find_cycle_nodes(inst.f, strat);
     }
     u64 cyc = 0;

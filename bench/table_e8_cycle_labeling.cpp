@@ -4,6 +4,7 @@
 #include <iostream>
 
 #include "core/coarsest_partition.hpp"
+#include "pram/execution_context.hpp"
 #include "pram/metrics.hpp"
 #include "util/generators.hpp"
 #include "util/random.hpp"
@@ -21,7 +22,7 @@ int main() {
     util::Timer timer;
     core::Result r;
     {
-      pram::ScopedMetrics guard(m);
+      pram::ScopedContext guard(pram::ExecutionContext{}.with_metrics(&m));
       r = core::solve(inst);
     }
     table.add_row(inst.size(), workload, r.num_blocks, r.num_cycles, m.ops(),

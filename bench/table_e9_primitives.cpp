@@ -4,6 +4,7 @@
 #include <iostream>
 #include <numeric>
 
+#include "pram/execution_context.hpp"
 #include "pram/metrics.hpp"
 #include "prim/find_first.hpp"
 #include "prim/integer_sort.hpp"
@@ -24,7 +25,7 @@ int main() {
     pram::Metrics m;
     util::Timer timer;
     {
-      pram::ScopedMetrics guard(m);
+      pram::ScopedContext guard(pram::ExecutionContext{}.with_metrics(&m));
       body();
     }
     const double ms = timer.millis();

@@ -65,13 +65,12 @@ int main(int argc, char** argv) {
   std::cout << "Factory cell model: " << wear << " wear levels x " << timer
             << " timer ticks = " << model.states() << " product states\n";
 
-  // Lump with the paper's parallel pipeline, counting work.
+  // Lump with the paper's parallel pipeline, counting work in a
+  // session-scoped sink.
   pram::Metrics metrics;
-  core::Result lumped;
-  {
-    pram::ScopedMetrics guard(metrics);
-    lumped = core::solve(inst);
-  }
+  core::Solver solver(core::Options::parallel(),
+                      pram::ExecutionContext{}.with_metrics(&metrics));
+  const core::Result lumped = solver.solve(inst);
   std::cout << "Lumped (bisimulation-minimal) model: " << lumped.num_blocks << " states ("
             << (100.0 * lumped.num_blocks / model.states()) << "% of product)\n"
             << "Work: " << metrics.summary() << "\n\n";

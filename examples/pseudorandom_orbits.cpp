@@ -51,6 +51,13 @@ std::vector<u32> make_middle_square(u32 bits) {
   return f;
 }
 
+// One session for all three generators: same-sized instances, so the
+// solver's workspaces are reused across analyze() calls.
+core::Solver& session() {
+  static core::Solver solver(sfcp::registry().at("parallel"));
+  return solver;
+}
+
 void analyze(const std::string& name, const std::vector<u32>& f, u32 bits) {
   const auto st = graph::orbit_stats(f);
   std::cout << std::left << std::setw(16) << name << " states=" << f.size()
@@ -67,7 +74,7 @@ void analyze(const std::string& name, const std::vector<u32>& f, u32 bits) {
   for (std::size_t x = 0; x < f.size(); ++x) {
     inst.b[x] = static_cast<u32>((x >> (bits - 1)) & 1);
   }
-  const auto r = core::solve(inst);
+  const auto r = session().solve(inst);
   std::cout << std::setw(16) << "" << " observable top-bit classes: " << r.num_blocks << " of "
             << f.size() << " states ("
             << (r.num_blocks == f.size() ? "fully distinguishable"

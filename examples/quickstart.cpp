@@ -37,13 +37,12 @@ int main() {
               << cl.msp[c] << ", class " << cl.class_id[c] << "\n";
   }
 
-  // ---- 4. Full pipeline (Theorem 5.1) with work accounting.
+  // ---- 4. Full pipeline (Theorem 5.1) via the session API, with an
+  // isolated work-accounting sink.
   pram::Metrics metrics;
-  core::Result result;
-  {
-    pram::ScopedMetrics guard(metrics);
-    result = core::solve(inst, core::Options::parallel());
-  }
+  core::Solver solver(sfcp::registry().at("parallel"),
+                      pram::ExecutionContext{}.with_metrics(&metrics));
+  const core::Result result = solver.solve(inst);
   std::cout << "\nOutput\n  A_Q = ";
   for (const u32 q : result.q) std::cout << q << ' ';
   std::cout << "\n  blocks = " << result.num_blocks << " (paper: 4)\n"

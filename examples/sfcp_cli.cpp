@@ -4,7 +4,9 @@
 //   $ ./sfcp_cli gen random 1000 4 instance.txt     # n=1000, 4 B-labels
 //   $ ./sfcp_cli gen cycles 64 16 instance.txt      # 64 cycles of length 16
 //   $ ./sfcp_cli solve instance.txt                 # prints Q summary
-//   $ ./sfcp_cli solve instance.txt --seq           # sequential strategies
+//   $ ./sfcp_cli solve instance.txt --strategy sequential
+//   $ ./sfcp_cli solve instance.txt --strategy powers-jump-double --threads 2
+//   $ ./sfcp_cli strategies                         # list registry entries
 //   $ ./sfcp_cli verify instance.txt                # solve + oracle check
 //   $ ./sfcp_cli stats instance.txt                 # orbit statistics
 //   $ ./sfcp_cli dot instance.txt > graph.dot       # Graphviz, Q-clustered
@@ -43,18 +45,23 @@ int cmd_gen(int argc, char** argv) {
   return 0;
 }
 
-int cmd_solve(const std::string& path, bool sequential) {
+int cmd_solve(const std::string& path, const std::string& strategy, int threads) {
   const auto inst = util::load_instance_file(path);
   pram::Metrics metrics;
+  core::Solver solver(sfcp::registry().at(strategy),
+                      pram::ExecutionContext{}.with_threads(threads).with_metrics(&metrics));
   util::Timer timer;
-  core::Result r;
-  {
-    pram::ScopedMetrics guard(metrics);
-    r = core::solve(inst, sequential ? core::Options::sequential() : core::Options::parallel());
-  }
-  std::cout << "n=" << inst.size() << "  blocks=" << r.num_blocks << "  cycles=" << r.num_cycles
-            << "  cycle_nodes=" << r.cycle_nodes << "\n"
+  const core::Result r = solver.solve(inst);
+  std::cout << "n=" << inst.size() << "  strategy=" << strategy << "  blocks=" << r.num_blocks
+            << "  cycles=" << r.num_cycles << "  cycle_nodes=" << r.cycle_nodes << "\n"
             << "time=" << timer.millis() << "ms  " << metrics.summary() << "\n";
+  return 0;
+}
+
+int cmd_strategies() {
+  for (const auto& e : sfcp::registry().all()) {
+    std::cout << e.name << "\n    " << e.description << "\n";
+  }
   return 0;
 }
 
@@ -87,14 +94,36 @@ int cmd_dot(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) {
-    std::cerr << "usage: sfcp_cli {gen|solve|verify|stats} ...\n";
+  if (argc < 2) {
+    std::cerr << "usage: sfcp_cli {gen|solve|verify|stats|dot|strategies} ...\n";
     return 2;
   }
   const std::string cmd = argv[1];
   try {
+    if (cmd == "strategies") return cmd_strategies();
+    if (argc < 3) {
+      std::cerr << "usage: sfcp_cli {gen|solve|verify|stats|dot|strategies} ...\n";
+      return 2;
+    }
     if (cmd == "gen") return cmd_gen(argc - 2, argv + 2);
-    if (cmd == "solve") return cmd_solve(argv[2], argc > 3 && std::string(argv[3]) == "--seq");
+    if (cmd == "solve") {
+      std::string strategy = "parallel";
+      int threads = 0;
+      for (int i = 3; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--seq") {
+          strategy = "sequential";  // backwards-compatible spelling
+        } else if (arg == "--strategy" && i + 1 < argc) {
+          strategy = argv[++i];
+        } else if (arg == "--threads" && i + 1 < argc) {
+          threads = std::atoi(argv[++i]);
+        } else {
+          std::cerr << "unknown solve option '" << arg << "'\n";
+          return 2;
+        }
+      }
+      return cmd_solve(argv[2], strategy, threads);
+    }
     if (cmd == "verify") return cmd_verify(argv[2]);
     if (cmd == "stats") return cmd_stats(argv[2]);
     if (cmd == "dot") return cmd_dot(argv[2]);

@@ -34,7 +34,8 @@ int main(int argc, char** argv) {
     pram::Metrics metrics;
     std::vector<u32> order;
     {
-      pram::ScopedMetrics guard(metrics);
+      const pram::ExecutionContext ctx = pram::ExecutionContext{}.with_metrics(&metrics);
+      pram::ScopedContext guard(ctx);
       order = strings::sort_strings(list, strat);
     }
     std::cout << name << ": " << timer.millis() << " ms, " << metrics.ops() << " ops\n";

@@ -42,11 +42,9 @@ int main(int argc, char** argv) {
   std::cout << "Unary Moore machine: " << n << " states, " << outputs << " outputs\n";
   util::Timer timer;
   pram::Metrics metrics;
-  core::Result minimized;
-  {
-    pram::ScopedMetrics guard(metrics);
-    minimized = core::solve(dfa, core::Options::parallel());
-  }
+  core::Solver solver(sfcp::registry().at("parallel"),
+                      pram::ExecutionContext{}.with_metrics(&metrics));
+  const core::Result minimized = solver.solve(dfa);
   std::cout << "Minimized to " << minimized.num_blocks << " states in " << timer.millis()
             << " ms  (" << metrics.summary() << ")\n"
             << "Reduction: " << static_cast<double>(n) / minimized.num_blocks << "x\n";

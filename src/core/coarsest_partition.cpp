@@ -18,6 +18,11 @@ Options Options::sequential() {
 }
 
 Result solve(const graph::Instance& inst, const Options& opt) {
+  SolveWorkspace ws;
+  return solve(inst, opt, ws);
+}
+
+Result solve(const graph::Instance& inst, const Options& opt, SolveWorkspace& ws) {
   graph::validate(inst);
   Result result;
   const std::size_t n = inst.size();
@@ -26,24 +31,23 @@ Result solve(const graph::Instance& inst, const Options& opt) {
   // Step 1 (Section 5): mark the cycle nodes with the configured detector
   // (Euler tour by default, per the paper), then derive the full cycle
   // structure (leader, rank, contiguous arrangement).
-  const std::vector<u8> on_cycle = graph::find_cycle_nodes(inst.f, opt.cycle_detect);
-  const graph::CycleStructure cs =
-      graph::cycle_structure_with_flags(inst.f, on_cycle, opt.cycle_structure);
+  graph::find_cycle_nodes_into(inst.f, opt.cycle_detect, ws.on_cycle);
+  graph::cycle_structure_with_flags_into(inst.f, ws.on_cycle, opt.cycle_structure, ws.cs);
 
   // Step 2 (Section 3): Q-labels of cycle nodes.
-  const CycleLabeling cl = label_cycles(inst, cs, opt.cycle_labeling);
+  label_cycles_into(inst, ws.cs, opt.cycle_labeling, ws.cl);
 
   // Step 3 (Section 4): Q-labels of tree nodes.
-  const TreeLabeling tl = label_trees(inst, cs, cl, opt.tree_labeling);
+  label_trees_into(inst, ws.cs, ws.cl, opt.tree_labeling, ws.tl);
 
   // Canonicalize to first-occurrence dense labels.
-  auto canon = prim::canonicalize_labels(tl.q);
+  auto canon = prim::canonicalize_labels(ws.tl.q);
   result.q = std::move(canon.labels);
   result.num_blocks = canon.num_classes;
-  result.num_cycles = static_cast<u32>(cs.num_cycles());
-  result.cycle_nodes = static_cast<u32>(cs.cycle_nodes.size());
-  result.kept_tree_nodes = tl.kept;
-  result.residual_tree_nodes = tl.residual;
+  result.num_cycles = static_cast<u32>(ws.cs.num_cycles());
+  result.cycle_nodes = static_cast<u32>(ws.cs.cycle_nodes.size());
+  result.kept_tree_nodes = ws.tl.kept;
+  result.residual_tree_nodes = ws.tl.residual;
   return result;
 }
 

@@ -42,8 +42,22 @@ struct Result {
   u32 residual_tree_nodes = 0;
 };
 
+/// Reusable scratch for repeated solves (the Solver hot path): holds the
+/// pipeline's intermediate arrays so same-sized instances amortize
+/// allocation.  Contents are overwritten by every solve; results are
+/// independent of whatever a previous solve left behind.
+struct SolveWorkspace {
+  std::vector<u8> on_cycle;
+  graph::CycleStructure cs;
+  CycleLabeling cl;
+  TreeLabeling tl;
+};
+
 /// Solves the SFCP instance.  Throws std::invalid_argument on malformed
 /// input.  Deterministic output for every strategy combination.
 Result solve(const graph::Instance& inst, const Options& opt = Options::parallel());
+
+/// Workspace-reusing overload; identical output to the allocating form.
+Result solve(const graph::Instance& inst, const Options& opt, SolveWorkspace& ws);
 
 }  // namespace sfcp::core

@@ -122,11 +122,22 @@ ReducedCycles reduce_cycles(const graph::Instance& inst, const graph::CycleStruc
 
 CycleLabeling label_cycles(const graph::Instance& inst, const graph::CycleStructure& cs,
                            const CycleLabelingOptions& opt) {
+  CycleLabeling out;
+  label_cycles_into(inst, cs, opt, out);
+  return out;
+}
+
+void label_cycles_into(const graph::Instance& inst, const graph::CycleStructure& cs,
+                       const CycleLabelingOptions& opt, CycleLabeling& out) {
   const std::size_t n = inst.size();
   const std::size_t k = cs.num_cycles();
-  CycleLabeling out;
   out.q.assign(n, kNone);
-  if (k == 0) return out;
+  out.num_labels = 0;
+  out.period.clear();
+  out.msp.clear();
+  out.class_id.clear();
+  out.num_classes = 0;
+  if (k == 0) return;
 
   ReducedCycles red = reduce_cycles(inst, cs, opt);
   out.period = red.period;
@@ -205,7 +216,6 @@ CycleLabeling label_cycles(const graph::Instance& inst, const graph::CycleStruct
     const u32 shifted = (cs.rank[x] + len - red.msp[c]) % p;
     out.q[x] = base[pair_label[c]] + shifted;
   });
-  return out;
 }
 
 }  // namespace sfcp::core

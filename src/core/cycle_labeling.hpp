@@ -42,6 +42,11 @@ struct CycleLabeling {
 CycleLabeling label_cycles(const graph::Instance& inst, const graph::CycleStructure& cs,
                            const CycleLabelingOptions& opt = {});
 
+/// Workspace-reusing variant: rebuilds `out` in place, reusing its vectors'
+/// capacity across calls.
+void label_cycles_into(const graph::Instance& inst, const graph::CycleStructure& cs,
+                       const CycleLabelingOptions& opt, CycleLabeling& out);
+
 /// Algorithm "partition" (§3.2): k strings of common power-of-two length L,
 /// stored flat (string i at [i*L, (i+1)*L)).  Returns one representative
 /// label per string such that two strings get equal labels iff they are

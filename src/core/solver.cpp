@@ -1,0 +1,75 @@
+#include "core/solver.hpp"
+
+#include <algorithm>
+#include <exception>
+
+#include <omp.h>
+
+#include "pram/config.hpp"
+
+namespace sfcp::core {
+
+Result Solver::solve(const graph::Instance& inst) {
+  pram::ScopedContext guard(&ctx_);
+  return core::solve(inst, opt_, ws_);
+}
+
+std::vector<Solver::BatchEntry> Solver::solve_batch(std::span<const graph::Instance> instances) {
+  const std::size_t m = instances.size();
+  std::vector<BatchEntry> out(m);
+  if (m == 0) return out;
+
+  // Validate everything up front so a malformed instance throws before any
+  // solving starts (and from the calling thread, not an OpenMP worker).
+  // Charged to no sink: each instance's own validation inside solve() is
+  // what its per-instance metrics report.
+  {
+    pram::ExecutionContext preflight = ctx_;
+    preflight.metrics = nullptr;
+    pram::ScopedContext guard(preflight);
+    for (const auto& inst : instances) graph::validate(inst);
+  }
+
+  // Split the thread budget: outer workers across instances, the remainder
+  // inside each solve.  With more instances than threads each solve runs
+  // sequentially — the server-batch sweet spot.
+  int total = ctx_.threads;
+  if (total <= 0) {
+    pram::ScopedContext off(nullptr);  // read the process-wide default
+    total = pram::threads();
+  }
+  const int outer = std::max(1, static_cast<int>(std::min<std::size_t>(
+                                    static_cast<std::size_t>(total), m)));
+  const int inner = std::max(1, total / outer);
+  // The inner budget only takes effect if OpenMP allows a second level of
+  // parallel regions (the default max-active-levels is 1, which would
+  // silently serialize every solve inside the outer team).
+  if (inner > 1 && omp_get_max_active_levels() < 2) omp_set_max_active_levels(2);
+
+  std::vector<pram::Metrics> sinks(m);
+  std::vector<SolveWorkspace> workspaces(static_cast<std::size_t>(outer));
+  std::exception_ptr error;
+
+#pragma omp parallel for num_threads(outer) schedule(dynamic, 1)
+  for (i64 i = 0; i < static_cast<i64>(m); ++i) {
+    try {
+      pram::ExecutionContext local = ctx_;
+      local.threads = inner;
+      local.metrics = &sinks[static_cast<std::size_t>(i)];
+      local.seed = ctx_.seed + static_cast<u64>(i);
+      pram::ScopedContext guard(&local);
+      SolveWorkspace& ws = workspaces[static_cast<std::size_t>(omp_get_thread_num())];
+      out[static_cast<std::size_t>(i)].result = core::solve(instances[static_cast<std::size_t>(i)],
+                                                            opt_, ws);
+    } catch (...) {
+#pragma omp critical(sfcp_solver_batch_error)
+      if (!error) error = std::current_exception();
+    }
+  }
+  if (error) std::rethrow_exception(error);
+
+  for (std::size_t i = 0; i < m; ++i) out[i].metrics = sinks[i].snapshot();
+  return out;
+}
+
+}  // namespace sfcp::core

@@ -1,0 +1,60 @@
+#pragma once
+// The session-oriented public API: a reusable Solver owning its strategy
+// configuration, ExecutionContext, and workspaces.
+//
+//   sfcp::pram::Metrics metrics;
+//   sfcp::core::Solver solver(
+//       sfcp::registry().at("euler-jump-level"),
+//       sfcp::pram::ExecutionContext{}.with_threads(4).with_metrics(&metrics));
+//   sfcp::core::Result r = solver.solve(inst);     // workspaces reused
+//   auto batch = solver.solve_batch(instances);    // parallel across instances
+//
+// Each Solver is an isolated session: its context is installed thread-locally
+// for the duration of each solve, so two Solvers with different thread
+// budgets or metrics sinks can run concurrently from different threads
+// without interfering.  A single Solver is NOT safe for concurrent use —
+// give each thread its own (they are cheap), or use solve_batch.
+//
+// The free function core::solve(inst, opt) remains as a thin stateless
+// delegate for one-shot callers.
+
+#include <span>
+#include <vector>
+
+#include "core/coarsest_partition.hpp"
+#include "pram/execution_context.hpp"
+
+namespace sfcp::core {
+
+class Solver {
+ public:
+  explicit Solver(Options opt = Options::parallel(), pram::ExecutionContext ctx = {})
+      : opt_(opt), ctx_(ctx) {}
+
+  const Options& options() const noexcept { return opt_; }
+  pram::ExecutionContext& context() noexcept { return ctx_; }
+  const pram::ExecutionContext& context() const noexcept { return ctx_; }
+
+  /// Solves one instance under this solver's context.  Validates the
+  /// instance before dispatch (throws std::invalid_argument); repeated calls
+  /// on same-sized instances amortize all pipeline allocations.
+  Result solve(const graph::Instance& inst);
+
+  struct BatchEntry {
+    Result result;                  ///< canonical labelling, as per solve()
+    pram::MetricsSnapshot metrics;  ///< this instance's work/depth counters
+  };
+
+  /// Solves independent instances in parallel under this solver's context.
+  /// All instances are validated up front (throws before any work starts);
+  /// results and per-instance metrics are index-aligned with the input.
+  /// Labels are byte-identical to per-instance solve() calls.
+  std::vector<BatchEntry> solve_batch(std::span<const graph::Instance> instances);
+
+ private:
+  Options opt_;
+  pram::ExecutionContext ctx_;
+  SolveWorkspace ws_;
+};
+
+}  // namespace sfcp::core

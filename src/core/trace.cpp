@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "pram/execution_context.hpp"
 #include "pram/metrics.hpp"
 #include "prim/rename.hpp"
 #include "util/timer.hpp"
@@ -33,7 +34,12 @@ TracedResult solve_traced(const graph::Instance& inst, const Options& opt) {
     pram::Metrics m;
     util::Timer timer;
     {
-      pram::ScopedMetrics guard(m);
+      // Inherit the caller's session settings (threads/grain/seed) but
+      // redirect charging to the per-stage sink.
+      pram::ExecutionContext stage_ctx =
+          pram::current_context() ? *pram::current_context() : pram::ExecutionContext{};
+      stage_ctx.metrics = &m;
+      pram::ScopedContext guard(stage_ctx);
       body();
     }
     out.stages.push_back({name, m.ops(), m.round_count(), timer.millis()});

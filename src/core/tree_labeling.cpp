@@ -161,9 +161,17 @@ void label_sequential_dfs(const graph::Instance& inst, const graph::RootedForest
 
 TreeLabeling label_trees(const graph::Instance& inst, const graph::CycleStructure& cs,
                          const CycleLabeling& cl, const TreeLabelingOptions& opt) {
-  const std::size_t n = inst.size();
   TreeLabeling out;
+  label_trees_into(inst, cs, cl, opt, out);
+  return out;
+}
+
+void label_trees_into(const graph::Instance& inst, const graph::CycleStructure& cs,
+                      const CycleLabeling& cl, const TreeLabelingOptions& opt, TreeLabeling& out) {
+  const std::size_t n = inst.size();
   out.q = cl.q;
+  out.kept = 0;
+  out.residual = 0;
 
   const graph::RootedForest forest = graph::build_rooted_forest(inst.f, cs.on_cycle);
   const graph::ForestLevels lv = graph::forest_levels(forest, opt.forest);
@@ -217,7 +225,6 @@ TreeLabeling label_trees(const graph::Instance& inst, const graph::CycleStructur
       label_sequential_dfs(inst, forest, res, out.q, fresh_base);
       break;
   }
-  return out;
 }
 
 }  // namespace sfcp::core

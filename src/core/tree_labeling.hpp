@@ -42,4 +42,9 @@ struct TreeLabeling {
 TreeLabeling label_trees(const graph::Instance& inst, const graph::CycleStructure& cs,
                          const CycleLabeling& cl, const TreeLabelingOptions& opt = {});
 
+/// Workspace-reusing variant: rebuilds `out` in place, reusing its vector's
+/// capacity across calls.
+void label_trees_into(const graph::Instance& inst, const graph::CycleStructure& cs,
+                      const CycleLabeling& cl, const TreeLabelingOptions& opt, TreeLabeling& out);
+
 }  // namespace sfcp::core

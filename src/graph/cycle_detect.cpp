@@ -12,9 +12,9 @@ namespace sfcp::graph {
 
 namespace {
 
-std::vector<u8> detect_sequential(std::span<const u32> f) {
+void detect_sequential(std::span<const u32> f, std::vector<u8>& on_cycle) {
   const std::size_t n = f.size();
-  std::vector<u8> on_cycle(n, 0);
+  on_cycle.assign(n, 0);
   std::vector<u8> color(n, 0);  // 0 unvisited, 1 on walk, 2 done
   std::vector<u32> path;
   for (u32 start = 0; start < n; ++start) {
@@ -34,24 +34,22 @@ std::vector<u8> detect_sequential(std::span<const u32> f) {
     for (const u32 x : path) color[x] = 2;
   }
   pram::charge(2 * n);
-  return on_cycle;
 }
 
-std::vector<u8> detect_powers(std::span<const u32> f) {
+void detect_powers(std::span<const u32> f, std::vector<u8>& on_cycle) {
   const std::size_t n = f.size();
-  std::vector<u8> on_cycle(n, 0);
-  if (n == 0) return on_cycle;
+  on_cycle.assign(n, 0);
+  if (n == 0) return;
   const std::vector<u32> fn = iterate_function(f, std::bit_ceil(static_cast<u64>(n)));
   pram::parallel_for(0, n, [&](std::size_t x) { on_cycle[fn[x]] = 1; });
-  return on_cycle;
 }
 
 // Paper §5: Euler partition of the doubled pseudo-forest.
 // Arc 2x = (x -> f(x)); arc 2x+1 = its buddy (f(x) -> x).
-std::vector<u8> detect_euler(std::span<const u32> f) {
+void detect_euler(std::span<const u32> f, std::vector<u8>& on_cycle) {
   const std::size_t n = f.size();
-  std::vector<u8> on_cycle(n, 0);
-  if (n == 0) return on_cycle;
+  on_cycle.assign(n, 0);
+  if (n == 0) return;
   // Preimage lists pre[v] (CSR) and each node's index within its parent's
   // preimage list, built with one stable integer sort (paper: "the data
   // structure ... can easily be done by using an integer sorting
@@ -110,21 +108,27 @@ std::vector<u8> detect_euler(std::span<const u32> f) {
   pram::parallel_for(0, n, [&](std::size_t x) {
     if (id[2 * x] != id[2 * x + 1]) on_cycle[x] = 1;
   });
-  return on_cycle;
 }
 
 }  // namespace
 
 std::vector<u8> find_cycle_nodes(std::span<const u32> f, CycleDetectStrategy strategy) {
+  std::vector<u8> on_cycle;
+  find_cycle_nodes_into(f, strategy, on_cycle);
+  return on_cycle;
+}
+
+void find_cycle_nodes_into(std::span<const u32> f, CycleDetectStrategy strategy,
+                           std::vector<u8>& on_cycle) {
   switch (strategy) {
     case CycleDetectStrategy::Sequential:
-      return detect_sequential(f);
+      return detect_sequential(f, on_cycle);
     case CycleDetectStrategy::FunctionPowers:
-      return detect_powers(f);
+      return detect_powers(f, on_cycle);
     case CycleDetectStrategy::EulerTour:
-      return detect_euler(f);
+      return detect_euler(f, on_cycle);
   }
-  return detect_sequential(f);
+  return detect_sequential(f, on_cycle);
 }
 
 }  // namespace sfcp::graph

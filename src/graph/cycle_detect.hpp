@@ -27,4 +27,9 @@ enum class CycleDetectStrategy { Sequential, FunctionPowers, EulerTour };
 std::vector<u8> find_cycle_nodes(std::span<const u32> f,
                                  CycleDetectStrategy strategy = CycleDetectStrategy::EulerTour);
 
+/// Workspace-reusing variant: writes the flags into `on_cycle` (resized to
+/// f.size(); existing capacity is reused across calls).
+void find_cycle_nodes_into(std::span<const u32> f, CycleDetectStrategy strategy,
+                           std::vector<u8>& on_cycle);
+
 }  // namespace sfcp::graph

@@ -42,9 +42,8 @@ void arrange(CycleStructure& cs) {
   });
 }
 
-CycleStructure structure_sequential(std::span<const u32> f) {
+void structure_sequential(std::span<const u32> f, CycleStructure& cs) {
   const std::size_t n = f.size();
-  CycleStructure cs;
   cs.on_cycle.assign(n, 0);
   cs.leader.assign(n, kNone);
   cs.rank.assign(n, kNone);
@@ -84,19 +83,18 @@ CycleStructure structure_sequential(std::span<const u32> f) {
   }
   pram::charge(2 * n);
   arrange(cs);
-  return cs;
 }
 
-CycleStructure structure_doubling(std::span<const u32> f, std::span<const u8> known_flags) {
+void structure_doubling(std::span<const u32> f, std::span<const u8> known_flags,
+                        CycleStructure& cs) {
   const std::size_t n = f.size();
-  CycleStructure cs;
   cs.on_cycle.assign(n, 0);
   cs.leader.assign(n, kNone);
   cs.rank.assign(n, kNone);
   cs.length.assign(n, kNone);
   if (n == 0) {
     arrange(cs);
-    return cs;
+    return;
   }
   if (!known_flags.empty()) {
     cs.on_cycle.assign(known_flags.begin(), known_flags.end());
@@ -165,27 +163,38 @@ CycleStructure structure_doubling(std::span<const u32> f, std::span<const u8> kn
     cs.rank[x] = (len - dist[x]) % len;
   });
   arrange(cs);
-  return cs;
 }
 
 }  // namespace
 
 CycleStructure cycle_structure(std::span<const u32> f, CycleStructureStrategy strategy) {
+  CycleStructure cs;
   switch (strategy) {
     case CycleStructureStrategy::Sequential:
-      return structure_sequential(f);
+      structure_sequential(f, cs);
+      return cs;
     case CycleStructureStrategy::PointerJumping:
-      return structure_doubling(f, {});
+      structure_doubling(f, {}, cs);
+      return cs;
   }
-  return structure_sequential(f);
+  structure_sequential(f, cs);
+  return cs;
 }
 
 CycleStructure cycle_structure_with_flags(std::span<const u32> f, std::span<const u8> on_cycle,
                                           CycleStructureStrategy strategy) {
+  CycleStructure cs;
+  cycle_structure_with_flags_into(f, on_cycle, strategy, cs);
+  return cs;
+}
+
+void cycle_structure_with_flags_into(std::span<const u32> f, std::span<const u8> on_cycle,
+                                     CycleStructureStrategy strategy, CycleStructure& cs) {
   if (strategy == CycleStructureStrategy::Sequential) {
-    return structure_sequential(f);  // detects as a byproduct; flags agree
+    structure_sequential(f, cs);  // detects as a byproduct; flags agree
+    return;
   }
-  return structure_doubling(f, on_cycle);
+  structure_doubling(f, on_cycle, cs);
 }
 
 }  // namespace sfcp::graph

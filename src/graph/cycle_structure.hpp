@@ -44,4 +44,10 @@ CycleStructure cycle_structure(std::span<const u32> f,
 CycleStructure cycle_structure_with_flags(std::span<const u32> f, std::span<const u8> on_cycle,
                                           CycleStructureStrategy strategy);
 
+/// Workspace-reusing variant: rebuilds `cs` in place, reusing its vectors'
+/// capacity across calls (the Solver hot path).  `on_cycle` must not alias
+/// `cs.on_cycle` (the flags are copied after the field is cleared).
+void cycle_structure_with_flags_into(std::span<const u32> f, std::span<const u8> on_cycle,
+                                     CycleStructureStrategy strategy, CycleStructure& cs);
+
 }  // namespace sfcp::graph

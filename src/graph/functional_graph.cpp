@@ -10,16 +10,29 @@ void validate(const Instance& inst) {
   const std::size_t n = inst.f.size();
   if (inst.b.size() != n) {
     throw std::invalid_argument("Instance: |b| = " + std::to_string(inst.b.size()) +
-                                " does not match |f| = " + std::to_string(n));
+                                " does not match |f| = " + std::to_string(n) +
+                                " (every node x needs both f[x] and b[x])");
   }
   if (n >= static_cast<std::size_t>(kNone)) {
     throw std::invalid_argument("Instance: size exceeds u32 index space");
   }
-  std::atomic<bool> ok{true};
+  // Track the smallest offending index so the error names a concrete entry
+  // deterministically, independent of thread interleaving.
+  std::atomic<u64> first_bad{static_cast<u64>(n)};
   pram::parallel_for(0, n, [&](std::size_t x) {
-    if (inst.f[x] >= n) ok.store(false, std::memory_order_relaxed);
+    if (inst.f[x] >= n) {
+      u64 seen = first_bad.load(std::memory_order_relaxed);
+      while (x < seen &&
+             !first_bad.compare_exchange_weak(seen, x, std::memory_order_relaxed)) {
+      }
+    }
   });
-  if (!ok.load()) throw std::invalid_argument("Instance: f maps outside [0, n)");
+  const u64 bad = first_bad.load(std::memory_order_relaxed);
+  if (bad < n) {
+    throw std::invalid_argument("Instance: f[" + std::to_string(bad) + "] = " +
+                                std::to_string(inst.f[bad]) + " is outside [0, " +
+                                std::to_string(n) + ")");
+  }
 }
 
 std::vector<u32> iterate_function(std::span<const u32> f, u64 k) {

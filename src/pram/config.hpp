@@ -6,32 +6,44 @@
 // (Brent's scheduling): `threads()` plays the role of p, and `grain()`
 // bounds the smallest chunk a thread will take so that tiny inputs do not
 // pay fork/join overhead.
+//
+// Both knobs resolve through the thread-installed ExecutionContext first
+// (see pram/execution_context.hpp); the process-wide values below are the
+// backwards-compatible default context used when none is installed.
 
 #include <algorithm>
 #include <cstddef>
 
 #include <omp.h>
 
+#include "pram/execution_context.hpp"
+
 namespace sfcp::pram {
 
-/// Number of worker threads used by parallel primitives (default: OpenMP's).
+/// Process-wide default worker thread count (default: OpenMP's).
 inline int& thread_count_ref() noexcept {
   static int count = omp_get_max_threads();
   return count;
 }
 
-inline int threads() noexcept { return std::max(1, thread_count_ref()); }
+inline int threads() noexcept {
+  if (const ExecutionContext* c = current_context(); c && c->threads > 0) return c->threads;
+  return std::max(1, thread_count_ref());
+}
 
 inline void set_threads(int t) noexcept { thread_count_ref() = std::max(1, t); }
 
-/// Minimum number of elements per parallel chunk; loops below this run
-/// sequentially.
+/// Process-wide default minimum number of elements per parallel chunk; loops
+/// below this run sequentially.
 inline std::size_t& grain_ref() noexcept {
   static std::size_t g = 2048;
   return g;
 }
 
-inline std::size_t grain() noexcept { return grain_ref(); }
+inline std::size_t grain() noexcept {
+  if (const ExecutionContext* c = current_context(); c && c->grain > 0) return c->grain;
+  return grain_ref();
+}
 
 inline void set_grain(std::size_t g) noexcept { grain_ref() = std::max<std::size_t>(1, g); }
 

@@ -1,0 +1,98 @@
+#pragma once
+// Per-session execution parameters: the PRAM substrate's replacement for
+// process-global configuration.
+//
+// An ExecutionContext bundles everything one "session" of solving needs —
+// thread budget, grain size, metrics sink, RNG seed — so that two callers
+// (e.g. two server requests) can run concurrently with different settings
+// without trampling each other.  A context is installed on the CURRENT
+// THREAD with ScopedContext; parallel_for/parallel_blocks re-install the
+// caller's context inside their OpenMP workers, so per-element charging in
+// parallel bodies reaches the right sink.
+//
+// Resolution order for every knob: installed context first (field != 0 /
+// non-null), then the process-wide defaults in pram/config.hpp.  The old
+// set_threads/set_grain/ScopedMetrics globals keep working and act as the
+// backwards-compatible default context.
+//
+// Note one deliberate asymmetry: while a context is installed, its
+// `metrics` field is authoritative — null means "don't count", even if a
+// global ScopedMetrics sink is active.  That is what isolates one session's
+// counters from another's.
+
+#include <cstddef>
+
+#include "pram/metrics.hpp"
+#include "pram/types.hpp"
+
+namespace sfcp::pram {
+
+/// Default session seed (used when no context is installed).
+inline constexpr u64 kDefaultSeed = 0x5eed5eed5eedull;
+
+struct ExecutionContext {
+  int threads = 0;             ///< worker threads; 0 = inherit process default
+  std::size_t grain = 0;       ///< min elements per parallel chunk; 0 = inherit
+  Metrics* metrics = nullptr;  ///< work/depth sink; null = don't count
+  /// Base seed for randomized kernels: salts the CRCW hash table's probe
+  /// sequence (canonical outputs are seed-independent; see prim/hash_table).
+  u64 seed = kDefaultSeed;
+
+  ExecutionContext& with_threads(int t) noexcept {
+    threads = t;
+    return *this;
+  }
+  ExecutionContext& with_grain(std::size_t g) noexcept {
+    grain = g;
+    return *this;
+  }
+  ExecutionContext& with_metrics(Metrics* m) noexcept {
+    metrics = m;
+    return *this;
+  }
+  ExecutionContext& with_seed(u64 s) noexcept {
+    seed = s;
+    return *this;
+  }
+};
+
+namespace detail {
+inline thread_local const ExecutionContext* tls_context = nullptr;
+}  // namespace detail
+
+/// The context installed on this thread, or null when running under the
+/// process-wide defaults.
+inline const ExecutionContext* current_context() noexcept { return detail::tls_context; }
+
+/// The active session seed: the installed context's, else kDefaultSeed.
+inline u64 session_seed() noexcept {
+  const ExecutionContext* c = current_context();
+  return c ? c->seed : kDefaultSeed;
+}
+
+/// Installs a context on the current thread for the guard's lifetime.
+///
+/// The reference form stores a COPY, so passing a temporary is safe (later
+/// mutations of the original are not seen).  The pointer form rebinds
+/// without copying — null means "no context: revert to process defaults
+/// within the scope" — and the pointee must outlive the guard; it is what
+/// parallel_for workers and the Solver use.
+class ScopedContext {
+ public:
+  explicit ScopedContext(const ExecutionContext& ctx) noexcept
+      : copy_(ctx), saved_(detail::tls_context) {
+    detail::tls_context = &copy_;
+  }
+  explicit ScopedContext(const ExecutionContext* ctx) noexcept : saved_(detail::tls_context) {
+    detail::tls_context = ctx;
+  }
+  ~ScopedContext() { detail::tls_context = saved_; }
+  ScopedContext(const ScopedContext&) = delete;
+  ScopedContext& operator=(const ScopedContext&) = delete;
+
+ private:
+  ExecutionContext copy_{};  // engaged only by the reference constructor
+  const ExecutionContext* saved_;
+};
+
+}  // namespace sfcp::pram

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "pram/execution_context.hpp"
+
 namespace sfcp::pram {
 
 namespace {
@@ -11,7 +13,10 @@ Metrics*& sink_ref() noexcept {
 }
 }  // namespace
 
-Metrics* current_metrics() noexcept { return sink_ref(); }
+Metrics* current_metrics() noexcept {
+  if (const ExecutionContext* c = current_context()) return c->metrics;
+  return sink_ref();
+}
 
 ScopedMetrics::ScopedMetrics(Metrics& m) noexcept : saved_(sink_ref()) { sink_ref() = &m; }
 

@@ -14,6 +14,15 @@
 
 namespace sfcp::pram {
 
+/// Plain-value copy of a Metrics sink (atomics relaxed-loaded once); the
+/// form batched results hand back per instance.
+struct MetricsSnapshot {
+  std::uint64_t operations = 0;
+  std::uint64_t rounds = 0;
+  std::uint64_t sort_ops = 0;
+  std::uint64_t crcw_writes = 0;
+};
+
 /// Aggregate work/depth counters for one measured region.
 struct Metrics {
   std::atomic<std::uint64_t> operations{0};  ///< total work (PRAM operations)
@@ -31,13 +40,23 @@ struct Metrics {
   std::uint64_t ops() const noexcept { return operations.load(std::memory_order_relaxed); }
   std::uint64_t round_count() const noexcept { return rounds.load(std::memory_order_relaxed); }
 
+  MetricsSnapshot snapshot() const noexcept {
+    return MetricsSnapshot{operations.load(std::memory_order_relaxed),
+                           rounds.load(std::memory_order_relaxed),
+                           sort_ops.load(std::memory_order_relaxed),
+                           crcw_writes.load(std::memory_order_relaxed)};
+  }
+
   std::string summary() const;
 };
 
-/// Currently installed sink; null means "don't count".
+/// The sink charges go to: the thread-installed ExecutionContext's sink when
+/// a context is active (null field = don't count), else the process-wide
+/// ScopedMetrics sink; null means "don't count".
 Metrics* current_metrics() noexcept;
 
-/// Installs `m` as the sink for the lifetime of the guard (thread-shared).
+/// Installs `m` as the process-wide default sink for the lifetime of the
+/// guard (thread-shared; an active ExecutionContext takes precedence).
 class ScopedMetrics {
  public:
   explicit ScopedMetrics(Metrics& m) noexcept;

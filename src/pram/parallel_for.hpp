@@ -13,6 +13,7 @@
 #include <omp.h>
 
 #include "pram/config.hpp"
+#include "pram/execution_context.hpp"
 #include "pram/metrics.hpp"
 
 namespace sfcp::pram {
@@ -37,13 +38,21 @@ void parallel_for(std::size_t lo, std::size_t hi, Body&& body) {
   if (hi <= lo) return;
   const std::size_t n = hi - lo;
   charge_round(n);
-  if (n < grain() || threads() == 1) {
+  const int nt = threads();
+  if (n < grain() || nt == 1) {
     for (std::size_t i = lo; i < hi; ++i) body(i);
     return;
   }
-#pragma omp parallel for num_threads(threads()) schedule(static)
-  for (std::int64_t i = static_cast<std::int64_t>(lo); i < static_cast<std::int64_t>(hi); ++i) {
-    body(static_cast<std::size_t>(i));
+  // OpenMP workers are pool threads with their own thread-locals: rebind the
+  // caller's ExecutionContext so charging inside `body` hits its sink.
+  const ExecutionContext* ctx = current_context();
+#pragma omp parallel num_threads(nt)
+  {
+    ScopedContext rebind(ctx);
+#pragma omp for schedule(static)
+    for (std::int64_t i = static_cast<std::int64_t>(lo); i < static_cast<std::int64_t>(hi); ++i) {
+      body(static_cast<std::size_t>(i));
+    }
   }
 }
 
@@ -58,8 +67,10 @@ void parallel_blocks(std::size_t n, Body&& body) {
     body(0, std::size_t{0}, n);
     return;
   }
+  const ExecutionContext* ctx = current_context();
 #pragma omp parallel num_threads(nb)
   {
+    ScopedContext rebind(ctx);
     const int b = omp_get_thread_num();
     const auto [lo, hi] = block_range(n, nb, b);
     if (lo < hi) body(b, lo, hi);

@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "pram/execution_context.hpp"
 #include "pram/metrics.hpp"
 #include "pram/types.hpp"
 
@@ -33,8 +34,13 @@ class ConcurrentPairMap {
  public:
   static constexpr u64 kReservedKey = ~0ull;
 
-  /// Capacity is sized for at most `max_items` distinct keys.
-  explicit ConcurrentPairMap(std::size_t max_items) {
+  /// Capacity is sized for at most `max_items` distinct keys.  The probe
+  /// sequence is salted with the session seed (pram::ExecutionContext), so
+  /// an adversarial key set cannot pin every session to one collision
+  /// chain; stored keys and insert-or-get semantics are salt-independent,
+  /// and so are all canonicalized labellings built on top.
+  explicit ConcurrentPairMap(std::size_t max_items, u64 salt = pram::session_seed())
+      : salt_(salt) {
     std::size_t cap = 16;
     while (cap < 2 * max_items + 8) cap <<= 1;
     mask_ = cap - 1;
@@ -59,7 +65,7 @@ class ConcurrentPairMap {
     assert(key != kReservedKey && "key space exhausted sentinel");
     assert(value != kNone);
     pram::charge_crcw(1);
-    std::size_t i = hash_u64(key) & mask_;
+    std::size_t i = hash_u64(key ^ salt_) & mask_;
     for (;;) {
       u64 k = slots_[i].key.load(std::memory_order_acquire);
       if (k == key) return wait_value(i);
@@ -79,7 +85,7 @@ class ConcurrentPairMap {
   /// Lookup only; kNone if absent.
   u32 find(u64 key) const noexcept {
     assert(key != kReservedKey);
-    std::size_t i = hash_u64(key) & mask_;
+    std::size_t i = hash_u64(key ^ salt_) & mask_;
     for (;;) {
       u64 k = slots_[i].key.load(std::memory_order_acquire);
       if (k == key) return slots_[i].value.load(std::memory_order_acquire);
@@ -106,6 +112,7 @@ class ConcurrentPairMap {
 
   std::unique_ptr<Slot[]> slots_;
   std::size_t mask_ = 0;
+  u64 salt_ = 0;
 };
 
 }  // namespace sfcp::prim

@@ -3,10 +3,31 @@
 //
 //   #include "sfcp.hpp"
 //
-//   sfcp::graph::Instance inst = ...;           // A_f and A_B
-//   sfcp::core::Result r = sfcp::core::solve(inst);
+// The session API (preferred): construct a Solver once, reuse it.
+//
+//   sfcp::graph::Instance inst = ...;               // A_f and A_B
+//   sfcp::pram::Metrics metrics;
+//   sfcp::core::Solver solver(
+//       sfcp::registry().at("parallel"),            // strategy by name
+//       sfcp::pram::ExecutionContext{}              // per-session knobs:
+//           .with_threads(4)                        //   thread budget
+//           .with_metrics(&metrics));               //   isolated work counters
+//   sfcp::core::Result r = solver.solve(inst);
 //   // r.q[x] == r.q[y]  iff  x and y are in the same block of the
-//   // coarsest f-stable refinement of B.
+//   // coarsest f-stable refinement of B.  Repeated solve() calls reuse
+//   // the solver's workspaces; solve_batch() runs independent instances
+//   // in parallel with per-instance metrics.
+//
+// One-shot free function (delegates to the same pipeline):
+//
+//   sfcp::core::Result r = sfcp::core::solve(inst);
+//
+// Strategy selection: sfcp::registry() enumerates every cycle-detect x
+// cycle-structure x tree-labelling combination ("euler-jump-level", ...)
+// plus the "parallel" and "sequential" aliases — see core/registry.hpp.
+// Execution configuration: pram::ExecutionContext (threads, grain, metrics
+// sink, RNG seed) installs thread-locally, so concurrent sessions with
+// different settings never interfere — see pram/execution_context.hpp.
 
 #include "core/baselines.hpp"
 #include "core/coarsest_partition.hpp"
@@ -14,6 +35,8 @@
 #include "core/moore.hpp"
 #include "core/multi_function.hpp"
 #include "core/partition_algebra.hpp"
+#include "core/registry.hpp"
+#include "core/solver.hpp"
 #include "core/trace.hpp"
 #include "core/tree_labeling.hpp"
 #include "core/verify.hpp"
@@ -24,6 +47,7 @@
 #include "graph/orbits.hpp"
 #include "graph/rooted_forest.hpp"
 #include "pram/config.hpp"
+#include "pram/execution_context.hpp"
 #include "pram/metrics.hpp"
 #include "pram/types.hpp"
 #include "prim/compact.hpp"

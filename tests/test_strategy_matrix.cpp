@@ -1,41 +1,36 @@
-// Strategy-matrix cross-validation: every combination of interchangeable
-// strategies in the pipeline must produce bit-identical canonical Q-labels.
-// This is the strongest internal-consistency check in the suite — a bug in
-// any one strategy shows up as a mismatch against the other combinations.
+// Strategy-matrix cross-validation: every registered strategy combination
+// must produce bit-identical canonical Q-labels.  This is the strongest
+// internal-consistency check in the suite — a bug in any one strategy shows
+// up as a mismatch against the other combinations.
+//
+// The detect x structure x tree lattice is enumerated straight from
+// sfcp::registry(); the m.s.p. and rename-backend dimensions (which the
+// registry keeps at their defaults) get their own sweep on top of it.
 #include <gtest/gtest.h>
 
-#include <tuple>
+#include <string>
 
-#include "core/coarsest_partition.hpp"
+#include "core/registry.hpp"
+#include "core/solver.hpp"
 #include "core/verify.hpp"
-#include "pram/config.hpp"
+#include "pram/execution_context.hpp"
 #include "util/generators.hpp"
 #include "util/random.hpp"
 
 namespace sfcp {
 namespace {
 
-using Combo = std::tuple<graph::CycleDetectStrategy, graph::CycleStructureStrategy,
-                         core::TreeLabelStrategy, strings::MspStrategy, core::RenameBackend>;
-
-class StrategyMatrix : public ::testing::TestWithParam<Combo> {};
-
-core::Options options_for(const Combo& c) {
-  core::Options opt;
-  opt.cycle_detect = std::get<0>(c);
-  opt.cycle_structure = std::get<1>(c);
-  opt.tree_labeling.strategy = std::get<2>(c);
-  opt.cycle_labeling.msp = std::get<3>(c);
-  opt.cycle_labeling.partition_backend = std::get<4>(c);
-  return opt;
-}
+class StrategyMatrix : public ::testing::TestWithParam<std::string> {
+ protected:
+  core::Options options() const { return sfcp::registry().at(GetParam()); }
+};
 
 TEST_P(StrategyMatrix, AgreesWithDefaultOnRandomInstances) {
-  const auto opt = options_for(GetParam());
+  core::Solver solver(options());
   util::Rng rng(13001);
   for (int iter = 0; iter < 8; ++iter) {
     const auto inst = util::random_function(1 + rng.below(800), 1 + rng.below(4), rng);
-    const auto got = core::solve(inst, opt);
+    const auto got = solver.solve(inst);
     const auto want = core::solve(inst);
     EXPECT_EQ(got.q, want.q) << "iter " << iter;
     EXPECT_EQ(got.num_blocks, want.num_blocks);
@@ -43,7 +38,7 @@ TEST_P(StrategyMatrix, AgreesWithDefaultOnRandomInstances) {
 }
 
 TEST_P(StrategyMatrix, AgreesOnAdversarialShapes) {
-  const auto opt = options_for(GetParam());
+  core::Solver solver(options());
   util::Rng rng(13003);
   const auto shapes = {
       util::random_permutation(512, 3, rng),   // pure cycles
@@ -53,7 +48,7 @@ TEST_P(StrategyMatrix, AgreesOnAdversarialShapes) {
       util::mergeable(512, 8, rng),            // high coarseness
   };
   for (const auto& inst : shapes) {
-    const auto got = core::solve(inst, opt);
+    const auto got = solver.solve(inst);
     const auto report = core::verify_solution(inst, got.q);
     EXPECT_TRUE(report.ok()) << report.to_string();
     EXPECT_EQ(got.q, core::solve(inst).q);
@@ -61,58 +56,74 @@ TEST_P(StrategyMatrix, AgreesOnAdversarialShapes) {
 }
 
 TEST_P(StrategyMatrix, ThreadCountInvariance) {
-  const auto opt = options_for(GetParam());
   util::Rng rng(13007);
   const auto inst = util::random_function(600, 3, rng);
-  const auto want = core::solve(inst, opt);
+  const auto want = core::solve(inst, options());
   for (int t : {1, 2, 8}) {
-    pram::ScopedThreads guard(t);
-    EXPECT_EQ(core::solve(inst, opt).q, want.q) << "threads=" << t;
+    core::Solver solver(options(), pram::ExecutionContext{}.with_threads(t));
+    EXPECT_EQ(solver.solve(inst).q, want.q) << "threads=" << t;
   }
 }
 
-std::string combo_name(const ::testing::TestParamInfo<Combo>& info) {
-  const auto& [cd, cs, tl, msp, rb] = info.param;
-  std::string s;
-  s += cd == graph::CycleDetectStrategy::Sequential       ? "DetSeq"
-       : cd == graph::CycleDetectStrategy::FunctionPowers ? "DetPow"
-                                                          : "DetEuler";
-  s += cs == graph::CycleStructureStrategy::Sequential ? "StructSeq" : "StructJump";
-  s += tl == core::TreeLabelStrategy::LevelSynchronous   ? "TreeLevel"
-       : tl == core::TreeLabelStrategy::AncestorDoubling ? "TreeDouble"
-                                                         : "TreeDfs";
-  s += msp == strings::MspStrategy::Booth    ? "MspBooth"
-       : msp == strings::MspStrategy::Simple ? "MspSimple"
-                                             : "MspEff";
-  s += rb == core::RenameBackend::Hashed ? "Hash" : "Sort";
+std::string matrix_name(const ::testing::TestParamInfo<std::string>& info) {
+  std::string s = info.param;
+  for (char& c : s) {
+    if (c == '-') c = '_';
+  }
   return s;
 }
 
-// A representative sub-lattice of the full product (the full product is
-// 3*2*3*5*2 = 180 combos; we take the corners plus mixed interiors).
+INSTANTIATE_TEST_SUITE_P(Registry, StrategyMatrix,
+                         ::testing::ValuesIn(sfcp::registry().names()), matrix_name);
+
+// The m.s.p. and partition-backend dimensions, swept against the default
+// pipeline on the Algorithm-partition stress shapes where they matter.
+using MspBackendCombo = std::tuple<strings::MspStrategy, core::RenameBackend, bool>;
+
+class MspBackendSweep : public ::testing::TestWithParam<MspBackendCombo> {};
+
+TEST_P(MspBackendSweep, AgreesWithDefault) {
+  const auto& [msp, backend, parallel_period] = GetParam();
+  core::Options opt;
+  opt.cycle_labeling.msp = msp;
+  opt.cycle_labeling.partition_backend = backend;
+  opt.cycle_labeling.parallel_period = parallel_period;
+  core::Solver solver(opt);
+  util::Rng rng(13011);
+  const auto shapes = {
+      util::random_permutation(512, 3, rng),
+      util::equal_cycles(16, 32, 3, 3, rng),
+      util::equal_cycles(64, 8, 2, 2, rng),
+      util::random_function(777, 2, rng),
+  };
+  for (const auto& inst : shapes) {
+    EXPECT_EQ(solver.solve(inst).q, core::solve(inst).q);
+  }
+}
+
+std::string msp_backend_name(const ::testing::TestParamInfo<MspBackendCombo>& info) {
+  const auto& [msp, backend, parallel_period] = info.param;
+  std::string s;
+  switch (msp) {
+    case strings::MspStrategy::Brute: s += "MspBrute"; break;
+    case strings::MspStrategy::Booth: s += "MspBooth"; break;
+    case strings::MspStrategy::Duval: s += "MspDuval"; break;
+    case strings::MspStrategy::Simple: s += "MspSimple"; break;
+    case strings::MspStrategy::Efficient: s += "MspEff"; break;
+  }
+  s += backend == core::RenameBackend::Hashed ? "Hash" : "Sort";
+  s += parallel_period ? "ParPeriod" : "SeqPeriod";
+  return s;
+}
+
 INSTANTIATE_TEST_SUITE_P(
-    Combos, StrategyMatrix,
-    ::testing::Values(
-        Combo{graph::CycleDetectStrategy::EulerTour, graph::CycleStructureStrategy::PointerJumping,
-              core::TreeLabelStrategy::LevelSynchronous, strings::MspStrategy::Efficient,
-              core::RenameBackend::Hashed},
-        Combo{graph::CycleDetectStrategy::Sequential, graph::CycleStructureStrategy::Sequential,
-              core::TreeLabelStrategy::SequentialDFS, strings::MspStrategy::Booth,
-              core::RenameBackend::Sorted},
-        Combo{graph::CycleDetectStrategy::FunctionPowers,
-              graph::CycleStructureStrategy::PointerJumping,
-              core::TreeLabelStrategy::AncestorDoubling, strings::MspStrategy::Simple,
-              core::RenameBackend::Hashed},
-        Combo{graph::CycleDetectStrategy::EulerTour, graph::CycleStructureStrategy::Sequential,
-              core::TreeLabelStrategy::AncestorDoubling, strings::MspStrategy::Efficient,
-              core::RenameBackend::Sorted},
-        Combo{graph::CycleDetectStrategy::FunctionPowers,
-              graph::CycleStructureStrategy::Sequential, core::TreeLabelStrategy::LevelSynchronous,
-              strings::MspStrategy::Booth, core::RenameBackend::Hashed},
-        Combo{graph::CycleDetectStrategy::Sequential,
-              graph::CycleStructureStrategy::PointerJumping, core::TreeLabelStrategy::SequentialDFS,
-              strings::MspStrategy::Simple, core::RenameBackend::Sorted}),
-    combo_name);
+    Combos, MspBackendSweep,
+    ::testing::Combine(::testing::Values(strings::MspStrategy::Brute, strings::MspStrategy::Booth,
+                                         strings::MspStrategy::Duval, strings::MspStrategy::Simple,
+                                         strings::MspStrategy::Efficient),
+                       ::testing::Values(core::RenameBackend::Hashed, core::RenameBackend::Sorted),
+                       ::testing::Bool()),
+    msp_backend_name);
 
 }  // namespace
 }  // namespace sfcp
