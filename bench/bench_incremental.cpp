@@ -1,0 +1,96 @@
+// Incremental repair vs. full recompute under edit streams, across
+// edit-locality regimes.  Each measured unit is "apply K edits, partition
+// current after every edit" — the serving-loop contract.  On localized
+// streams the incremental engine's per-edit cost is the dirty-region size
+// (often 1 node); the recompute baseline pays a full solve per edit.
+#include <benchmark/benchmark.h>
+
+#include "core/solver.hpp"
+#include "inc/incremental_solver.hpp"
+#include "util/generators.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace sfcp;
+
+constexpr std::size_t kEditsPerRound = 64;
+
+struct Workload {
+  graph::Instance inst;
+  std::vector<inc::Edit> stream;
+};
+
+Workload make_workload(std::size_t n, util::EditMix mix) {
+  util::Rng rng(n * 31 + static_cast<std::size_t>(mix));
+  Workload w;
+  w.inst = util::random_function(n, 4, rng);
+  util::Rng stream_rng(n * 37 + static_cast<std::size_t>(mix));
+  w.stream = util::random_edit_stream(w.inst, kEditsPerRound, mix, 6, stream_rng);
+  return w;
+}
+
+void BM_IncrementalEdits(benchmark::State& state, util::EditMix mix) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Workload w = make_workload(n, mix);
+  for (auto _ : state) {
+    state.PauseTiming();
+    inc::IncrementalSolver solver(w.inst);
+    state.ResumeTiming();
+    for (const auto& e : w.stream) {
+      if (e.kind == inc::Edit::Kind::SetF) {
+        solver.set_f(e.node, e.value);
+      } else {
+        solver.set_b(e.node, e.value);
+      }
+      benchmark::DoNotOptimize(solver.num_blocks());
+    }
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(kEditsPerRound));
+}
+
+void BM_RecomputeEdits(benchmark::State& state, util::EditMix mix) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Workload w = make_workload(n, mix);
+  for (auto _ : state) {
+    state.PauseTiming();
+    graph::Instance work = w.inst;
+    core::Solver solver;  // warm workspaces across the per-edit solves
+    benchmark::DoNotOptimize(solver.solve(work).num_blocks);
+    state.ResumeTiming();
+    for (const auto& e : w.stream) {
+      if (e.kind == inc::Edit::Kind::SetF) {
+        work.f[e.node] = e.value;
+      } else {
+        work.b[e.node] = e.value;
+      }
+      benchmark::DoNotOptimize(solver.solve(work).num_blocks);
+    }
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(kEditsPerRound));
+}
+
+const int kRegistered = [] {
+  const std::pair<const char*, util::EditMix> mixes[] = {
+      {"localized", util::EditMix::LocalizedHotspot},
+      {"uniform", util::EditMix::Uniform},
+      {"churn", util::EditMix::CycleChurn},
+  };
+  for (const auto& [name, mix] : mixes) {
+    benchmark::RegisterBenchmark((std::string("BM_IncrementalEdits/") + name).c_str(),
+                                 BM_IncrementalEdits, mix)
+        ->Arg(1 << 14)
+        ->Arg(1 << 17)
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark((std::string("BM_RecomputeEdits/") + name).c_str(),
+                                 BM_RecomputeEdits, mix)
+        ->Arg(1 << 14)
+        ->Arg(1 << 17)
+        ->Unit(benchmark::kMillisecond);
+  }
+  return 0;
+}();
+
+}  // namespace

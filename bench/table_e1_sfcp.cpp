@@ -7,15 +7,18 @@
 #include <iostream>
 
 #include "core/coarsest_partition.hpp"
+#include "pram/config.hpp"
 #include "pram/execution_context.hpp"
 #include "pram/metrics.hpp"
+#include "util/bench_json.hpp"
 #include "util/generators.hpp"
 #include "util/random.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sfcp;
+  util::BenchJson json(argc, argv);
   std::cout << "E1 (Theorem 5.1): parallel SFCP operation counts vs n\n"
             << "claim: O(n log log n) operations, O(log n) time on arbitrary CRCW PRAM\n\n";
   util::Table table({"n", "blocks", "ops", "ops/n", "ops/(n lg n)", "rounds", "ms"});
@@ -35,6 +38,7 @@ int main() {
     const double dn = static_cast<double>(n);
     table.add_row(n, r.num_blocks, m.ops(), ops / dn, ops / (dn * std::log2(dn)),
                   m.round_count(), ms);
+    json.record("e1_sfcp", n, "parallel", pram::threads(), ms);
   }
   table.print();
   std::cout << "\n(ops/n nearly flat and ops/(n lg n) shrinking ==> sub-O(n log n) work,\n"

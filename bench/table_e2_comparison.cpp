@@ -12,14 +12,17 @@
 #include "core/baselines.hpp"
 #include "core/registry.hpp"
 #include "core/solver.hpp"
+#include "pram/config.hpp"
 #include "pram/execution_context.hpp"
+#include "util/bench_json.hpp"
 #include "util/generators.hpp"
 #include "util/random.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sfcp;
+  util::BenchJson json(argc, argv);
   std::cout << "E2: SFCP algorithm comparison (paper intro, Table analogue)\n\n";
   util::Rng rng(7);
   util::Table table({"algorithm", "n", "blocks", "ops", "ops/n", "ms"});
@@ -38,8 +41,10 @@ int main() {
       m.reset();
       util::Timer timer;
       const u32 blocks = solver_fn();
+      const double ms = timer.millis();
       table.add_row(name, n, blocks, m.ops(),
-                    static_cast<double>(m.ops()) / static_cast<double>(n), timer.millis());
+                    static_cast<double>(m.ops()) / static_cast<double>(n), ms);
+      json.record("e2_comparison", n, name, pram::threads(), ms);
     };
     run("jaja-ryu parallel", [&] { return parallel_solver.solve(inst).num_blocks; });
     run("sequential pipeline [16]", [&] { return sequential_solver.solve(inst).num_blocks; });

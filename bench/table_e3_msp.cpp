@@ -5,17 +5,20 @@
 #include <cmath>
 #include <iostream>
 
+#include "pram/config.hpp"
 #include "pram/execution_context.hpp"
 #include "pram/metrics.hpp"
 #include "strings/msp.hpp"
 #include "strings/suffix_array.hpp"
+#include "util/bench_json.hpp"
 #include "util/generators.hpp"
 #include "util/random.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sfcp;
+  util::BenchJson json(argc, argv);
   std::cout << "E3 (Lemma 3.7): m.s.p. operation counts vs n\n\n";
   util::Table table({"n", "algorithm", "msp", "ops", "ops/n", "ms"});
   util::Rng rng(3);
@@ -30,8 +33,10 @@ int main() {
         pram::ScopedContext guard(pram::ExecutionContext{}.with_metrics(&m));
         msp = strings::minimal_starting_point(s, strat);
       }
+      const double ms = timer.millis();
       table.add_row(n, name, msp, m.ops(),
-                    static_cast<double>(m.ops()) / static_cast<double>(n), timer.millis());
+                    static_cast<double>(m.ops()) / static_cast<double>(n), ms);
+      json.record("e3_msp", n, name, pram::threads(), ms);
     };
     run("booth (seq)", strings::MspStrategy::Booth);
     run("duval (seq)", strings::MspStrategy::Duval);
@@ -48,8 +53,10 @@ int main() {
         pram::ScopedContext guard(pram::ExecutionContext{}.with_metrics(&m));
         msp = strings::msp_suffix_array(s);
       }
+      const double ms = timer.millis();
       table.add_row(n, "suffix-array (par)", msp, m.ops(),
-                    static_cast<double>(m.ops()) / static_cast<double>(n), timer.millis());
+                    static_cast<double>(m.ops()) / static_cast<double>(n), ms);
+      json.record("e3_msp", n, "suffix-array (par)", pram::threads(), ms);
     }
   }
   table.print();

@@ -3,16 +3,19 @@
 // symbol comparisons) and MSD radix quicksort, across length distributions.
 #include <iostream>
 
+#include "pram/config.hpp"
 #include "pram/execution_context.hpp"
 #include "pram/metrics.hpp"
 #include "strings/string_sort.hpp"
+#include "util/bench_json.hpp"
 #include "util/generators.hpp"
 #include "util/random.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sfcp;
+  util::BenchJson json(argc, argv);
   std::cout << "E4 (Lemma 3.8): string sorting, total symbols N, m = N/8 strings\n\n";
   util::Table table({"N", "distribution", "algorithm", "ops", "ops/N", "ms"});
   util::Rng rng(4);
@@ -33,8 +36,10 @@ int main() {
           const auto order = strings::sort_strings(list, strat);
           if (order.size() != list.size()) std::abort();
         }
+        const double ms = timer.millis();
         table.add_row(total, dist_name, name, m.ops(),
-                      static_cast<double>(m.ops()) / static_cast<double>(total), timer.millis());
+                      static_cast<double>(m.ops()) / static_cast<double>(total), ms);
+        json.record("e4_sort", total, std::string(name) + "/" + dist_name, pram::threads(), ms);
       };
       run("paper parallel", strings::StringSortStrategy::Parallel);
       run("std::stable_sort", strings::StringSortStrategy::StdSort);

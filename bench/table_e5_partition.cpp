@@ -5,15 +5,18 @@
 #include <iostream>
 
 #include "core/cycle_labeling.hpp"
+#include "pram/config.hpp"
 #include "pram/execution_context.hpp"
 #include "pram/metrics.hpp"
+#include "util/bench_json.hpp"
 #include "util/generators.hpp"
 #include "util/random.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sfcp;
+  util::BenchJson json(argc, argv);
   std::cout << "E5 (Lemma 3.11): Algorithm partition vs all-pairs baseline\n\n";
   util::Table table({"k", "l", "n=kl", "algorithm", "ops", "ops/n", "ms"});
   util::Rng rng(5);
@@ -38,8 +41,10 @@ int main() {
         pram::ScopedContext guard(pram::ExecutionContext{}.with_metrics(&m));
         core::partition_equal_strings(flat, k, l, core::RenameBackend::Hashed);
       }
+      const double ms = timer.millis();
       table.add_row(k, l, n, "alg partition (BB)", m.ops(),
-                    static_cast<double>(m.ops()) / static_cast<double>(n), timer.millis());
+                    static_cast<double>(m.ops()) / static_cast<double>(n), ms);
+      json.record("e5_partition", n, "alg partition (BB)", pram::threads(), ms);
     }
     {
       pram::Metrics m;
@@ -63,8 +68,10 @@ int main() {
         }
         pram::charge(ops);
       }
+      const double ms = timer.millis();
       table.add_row(k, l, n, "all-pairs O(nk)", m.ops(),
-                    static_cast<double>(m.ops()) / static_cast<double>(n), timer.millis());
+                    static_cast<double>(m.ops()) / static_cast<double>(n), ms);
+      json.record("e5_partition", n, "all-pairs O(nk)", pram::threads(), ms);
     }
   }
   table.print();

@@ -8,15 +8,18 @@
 #include <iostream>
 
 #include "core/coarsest_partition.hpp"
+#include "pram/config.hpp"
 #include "pram/execution_context.hpp"
 #include "pram/metrics.hpp"
+#include "util/bench_json.hpp"
 #include "util/generators.hpp"
 #include "util/random.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sfcp;
+  util::BenchJson json(argc, argv);
   std::cout << "E6 (Lemma 4.3): tree node labelling strategies\n\n";
   util::Table table({"n", "shape", "strategy", "blocks", "ops", "ops/n", "ms"});
   util::Rng rng(6);
@@ -32,9 +35,10 @@ int main() {
       pram::ScopedContext guard(pram::ExecutionContext{}.with_metrics(&m));
       r = core::solve(inst, opt);
     }
+    const double ms = timer.millis();
     table.add_row(inst.size(), shape, name, r.num_blocks, m.ops(),
-                  static_cast<double>(m.ops()) / static_cast<double>(inst.size()),
-                  timer.millis());
+                  static_cast<double>(m.ops()) / static_cast<double>(inst.size()), ms);
+    json.record("e6_tree", inst.size(), std::string(name) + "/" + shape, pram::threads(), ms);
   };
 
   for (int e = 16; e <= 20; e += 2) {

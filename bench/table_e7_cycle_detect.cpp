@@ -4,15 +4,18 @@
 #include <iostream>
 
 #include "graph/cycle_detect.hpp"
+#include "pram/config.hpp"
 #include "pram/execution_context.hpp"
 #include "pram/metrics.hpp"
+#include "util/bench_json.hpp"
 #include "util/generators.hpp"
 #include "util/random.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sfcp;
+  util::BenchJson json(argc, argv);
   std::cout << "E7 (S5): finding cycle nodes\n\n";
   util::Table table({"n", "shape", "strategy", "cycle_nodes", "ops", "ops/n", "ms"});
   util::Rng rng(7);
@@ -28,9 +31,11 @@ int main() {
     }
     u64 cyc = 0;
     for (const u8 v : on_cycle) cyc += v;
+    const double ms = timer.millis();
     table.add_row(inst.size(), shape, name, cyc, m.ops(),
-                  static_cast<double>(m.ops()) / static_cast<double>(inst.size()),
-                  timer.millis());
+                  static_cast<double>(m.ops()) / static_cast<double>(inst.size()), ms);
+    json.record("e7_cycle_detect", inst.size(), std::string(name) + "/" + shape,
+                pram::threads(), ms);
   };
 
   for (int e = 16; e <= 20; e += 2) {

@@ -4,15 +4,18 @@
 #include <iostream>
 
 #include "core/coarsest_partition.hpp"
+#include "pram/config.hpp"
 #include "pram/execution_context.hpp"
 #include "pram/metrics.hpp"
+#include "util/bench_json.hpp"
 #include "util/generators.hpp"
 #include "util/random.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sfcp;
+  util::BenchJson json(argc, argv);
   std::cout << "E8 (Lemma 3.2): cycle node labelling (pure-cycle graphs)\n\n";
   util::Table table({"n", "workload", "blocks", "classes", "ops", "ops/n", "ms"});
   util::Rng rng(8);
@@ -25,9 +28,10 @@ int main() {
       pram::ScopedContext guard(pram::ExecutionContext{}.with_metrics(&m));
       r = core::solve(inst);
     }
+    const double ms = timer.millis();
     table.add_row(inst.size(), workload, r.num_blocks, r.num_cycles, m.ops(),
-                  static_cast<double>(m.ops()) / static_cast<double>(inst.size()),
-                  timer.millis());
+                  static_cast<double>(m.ops()) / static_cast<double>(inst.size()), ms);
+    json.record("e8_cycle_labeling", inst.size(), workload, pram::threads(), ms);
   };
 
   for (int e = 16; e <= 20; e += 2) {

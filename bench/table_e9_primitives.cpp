@@ -4,6 +4,7 @@
 #include <iostream>
 #include <numeric>
 
+#include "pram/config.hpp"
 #include "pram/execution_context.hpp"
 #include "pram/metrics.hpp"
 #include "prim/find_first.hpp"
@@ -11,12 +12,14 @@
 #include "prim/list_ranking.hpp"
 #include "prim/merge.hpp"
 #include "prim/scan.hpp"
+#include "util/bench_json.hpp"
 #include "util/random.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sfcp;
+  util::BenchJson json(argc, argv);
   std::cout << "E9: parallel primitive substrate\n\n";
   util::Table table({"n", "primitive", "ops", "ops/n", "ms", "M items/s"});
   util::Rng rng(9);
@@ -31,6 +34,7 @@ int main() {
     const double ms = timer.millis();
     table.add_row(n, name, m.ops(), static_cast<double>(m.ops()) / static_cast<double>(n), ms,
                   static_cast<double>(n) / 1e3 / (ms > 0 ? ms : 1e-3));
+    json.record("e9_primitives", n, name, pram::threads(), ms);
   };
 
   for (int e = 16; e <= 22; e += 3) {

@@ -8,12 +8,17 @@
 #include "core/coarsest_partition.hpp"
 #include "core/cycle_labeling.hpp"
 #include "graph/cycle_structure.hpp"
+#include "pram/config.hpp"
 #include "strings/msp.hpp"
 #include "strings/period.hpp"
+#include "util/bench_json.hpp"
 #include "util/generators.hpp"
+#include "util/timer.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sfcp;
+  util::BenchJson json(argc, argv);
+  util::Timer total_timer;
   bool ok = true;
   std::cout << "F1: the paper's worked examples\n\n";
 
@@ -60,5 +65,7 @@ int main() {
   ok &= m_eff == m_booth && m_eff == 13;
 
   std::cout << "\nAll worked examples " << (ok ? "match the paper." : "MISMATCH!") << "\n";
+  json.record("f1_examples", inst.size(), "worked-examples", pram::threads(),
+              total_timer.millis());
   return ok ? 0 : 1;
 }

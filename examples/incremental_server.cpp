@@ -1,0 +1,203 @@
+// incremental_server — a REPL-style serving loop around
+// inc::IncrementalSolver: load or generate an instance once, then answer a
+// stream of edits and queries while the coarsest partition is maintained
+// incrementally.  Pipe a script in, or drive it interactively:
+//
+//   $ ./incremental_server
+//   > gen random 100000 42
+//   n=100000 blocks=214
+//   > setb 17 3
+//   ok (repair, 1 dirty)
+//   > query 17
+//   q[17] = 214
+//   > stats
+//   edits=1 repairs=1 rebuilds=0 ...
+//
+// Commands: gen <random|permutation|mergeable|longtail> <n> [seed]
+//           load <path>            (text or binary instance, autodetected)
+//           save <path> [binary]
+//           setf <x> <y>  |  setb <x> <label>
+//           edits <path>           (apply an sfcp-edits v1 stream)
+//           stream <localized|uniform|churn> <count> [seed]
+//           query <x>  |  blocks  |  stats  |  help  |  quit
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "inc/incremental_solver.hpp"
+#include "pram/metrics.hpp"
+#include "util/generators.hpp"
+#include "util/io.hpp"
+#include "util/random.hpp"
+
+using namespace sfcp;
+
+namespace {
+
+void print_help() {
+  std::cout << "commands:\n"
+               "  gen <random|permutation|mergeable|longtail> <n> [seed]\n"
+               "  load <path>              load instance (text/binary autodetect)\n"
+               "  save <path> [binary]     save current instance\n"
+               "  setf <x> <y>             f[x] <- y\n"
+               "  setb <x> <label>         b[x] <- label\n"
+               "  edits <path>             apply an sfcp-edits v1 file\n"
+               "  stream <localized|uniform|churn> <count> [seed]\n"
+               "  query <x>                current Q-label of x\n"
+               "  blocks                   current block count\n"
+               "  stats                    edit statistics + metrics\n"
+               "  quit\n";
+}
+
+std::optional<graph::Instance> generate(const std::string& kind, std::size_t n, u64 seed) {
+  util::Rng rng(seed);
+  if (kind == "random") return util::random_function(n, 4, rng);
+  if (kind == "permutation") return util::random_permutation(n, 4, rng);
+  if (kind == "mergeable") return util::mergeable(n, 4, rng);
+  if (kind == "longtail") return util::long_tail(n, std::max<std::size_t>(4, n / 16), 4, rng);
+  return std::nullopt;
+}
+
+std::optional<util::EditMix> parse_mix(const std::string& name) {
+  if (name == "localized") return util::EditMix::LocalizedHotspot;
+  if (name == "uniform") return util::EditMix::Uniform;
+  if (name == "churn") return util::EditMix::CycleChurn;
+  return std::nullopt;
+}
+
+}  // namespace
+
+int main() {
+  std::unique_ptr<inc::IncrementalSolver> solver;
+  pram::Metrics metrics;
+  util::Rng stream_seed_rng(0xd1ce);
+
+  const auto ensure = [&]() -> inc::IncrementalSolver* {
+    if (!solver) std::cout << "no instance loaded (use gen or load)\n";
+    return solver.get();
+  };
+  const auto adopt = [&](graph::Instance inst) {
+    solver = std::make_unique<inc::IncrementalSolver>(
+        std::move(inst), core::Options::parallel(),
+        pram::ExecutionContext{}.with_metrics(&metrics));
+    std::cout << "n=" << solver->size() << " blocks=" << solver->num_blocks() << "\n";
+  };
+  const auto report_edit = [&](const inc::EditStats& before) {
+    const inc::EditStats& now = solver->stats();
+    if (now.rebuilds > before.rebuilds) {
+      std::cout << "ok (" << now.rebuilds - before.rebuilds << " rebuild(s))\n";
+    } else {
+      std::cout << "ok (repair, " << now.dirty_nodes - before.dirty_nodes << " dirty)\n";
+    }
+  };
+
+  std::cout << "incremental SFCP server — 'help' for commands\n";
+  std::string line;
+  while (std::cout << "> " << std::flush, std::getline(std::cin, line)) {
+    std::istringstream ss(line);
+    std::string cmd;
+    if (!(ss >> cmd) || cmd.empty() || cmd[0] == '#') continue;
+    try {
+      if (cmd == "quit" || cmd == "exit") break;
+      if (cmd == "help") {
+        print_help();
+      } else if (cmd == "gen") {
+        std::string kind;
+        std::size_t n = 0;
+        u64 seed = 1;
+        ss >> kind >> n;
+        ss >> seed;
+        auto inst = generate(kind, n, seed);
+        if (!inst) {
+          std::cout << "unknown kind '" << kind << "'\n";
+        } else {
+          adopt(std::move(*inst));
+        }
+      } else if (cmd == "load") {
+        std::string path;
+        ss >> path;
+        adopt(util::load_instance_file(path));
+      } else if (cmd == "save") {
+        if (!ensure()) continue;
+        std::string path, mode;
+        ss >> path >> mode;
+        util::save_instance_file(path, solver->instance(),
+                                 mode == "binary" ? util::InstanceFormat::Binary
+                                                  : util::InstanceFormat::Text);
+        std::cout << "saved " << path << "\n";
+      } else if (cmd == "setf" || cmd == "setb") {
+        if (!ensure()) continue;
+        u32 x = 0, v = 0;
+        if (!(ss >> x >> v)) {
+          std::cout << "usage: " << cmd << " <x> <value>\n";
+          continue;
+        }
+        const inc::EditStats before = solver->stats();
+        if (cmd == "setf") {
+          solver->set_f(x, v);
+        } else {
+          solver->set_b(x, v);
+        }
+        report_edit(before);
+      } else if (cmd == "edits") {
+        if (!ensure()) continue;
+        std::string path;
+        ss >> path;
+        const auto stream = util::load_edits_file(path);
+        const inc::EditStats before = solver->stats();
+        solver->apply(stream);
+        std::cout << "applied " << stream.size() << " edits (repairs +"
+                  << solver->stats().repairs - before.repairs << ", rebuilds +"
+                  << solver->stats().rebuilds - before.rebuilds
+                  << "), blocks=" << solver->num_blocks() << "\n";
+      } else if (cmd == "stream") {
+        if (!ensure()) continue;
+        std::string mix_name;
+        std::size_t count = 0;
+        u64 seed = stream_seed_rng.next();
+        ss >> mix_name >> count;
+        ss >> seed;
+        const auto mix = parse_mix(mix_name);
+        if (!mix) {
+          std::cout << "unknown mix '" << mix_name << "'\n";
+          continue;
+        }
+        util::Rng rng(seed);
+        const auto stream =
+            util::random_edit_stream(solver->instance(), count, *mix, 6, rng);
+        const inc::EditStats before = solver->stats();
+        solver->apply(stream);
+        std::cout << "applied " << stream.size() << " edits (repairs +"
+                  << solver->stats().repairs - before.repairs << ", rebuilds +"
+                  << solver->stats().rebuilds - before.rebuilds
+                  << "), blocks=" << solver->num_blocks() << "\n";
+      } else if (cmd == "query") {
+        if (!ensure()) continue;
+        u32 x = 0;
+        if (!(ss >> x) || x >= solver->size()) {
+          std::cout << "usage: query <x> with x < n\n";
+          continue;
+        }
+        std::cout << "q[" << x << "] = " << solver->label_of(x) << "\n";
+      } else if (cmd == "blocks") {
+        if (!ensure()) continue;
+        std::cout << "blocks = " << solver->num_blocks() << "\n";
+      } else if (cmd == "stats") {
+        if (!ensure()) continue;
+        const auto& s = solver->stats();
+        std::cout << "edits=" << s.edits << " repairs=" << s.repairs
+                  << " rebuilds=" << s.rebuilds << " dirty_nodes=" << s.dirty_nodes
+                  << " cycles_created=" << s.cycles_created
+                  << " cycles_destroyed=" << s.cycles_destroyed << "\n"
+                  << "metrics: " << metrics.summary() << "\n";
+      } else {
+        std::cout << "unknown command '" << cmd << "' — try 'help'\n";
+      }
+    } catch (const std::exception& e) {
+      std::cout << "error: " << e.what() << "\n";
+    }
+  }
+  return 0;
+}

@@ -43,8 +43,12 @@ std::vector<Solver::BatchEntry> Solver::solve_batch(std::span<const graph::Insta
   const int inner = std::max(1, total / outer);
   // The inner budget only takes effect if OpenMP allows a second level of
   // parallel regions (the default max-active-levels is 1, which would
-  // silently serialize every solve inside the outer team).
-  if (inner > 1 && omp_get_max_active_levels() < 2) omp_set_max_active_levels(2);
+  // silently serialize every solve inside the outer team).  The setting is
+  // process-global, so restore it after the batch rather than leaking
+  // nested-parallelism mode into unrelated caller code.
+  const int saved_levels = omp_get_max_active_levels();
+  const bool bump_levels = inner > 1 && saved_levels < 2;
+  if (bump_levels) omp_set_max_active_levels(2);
 
   std::vector<pram::Metrics> sinks(m);
   std::vector<SolveWorkspace> workspaces(static_cast<std::size_t>(outer));
@@ -66,6 +70,7 @@ std::vector<Solver::BatchEntry> Solver::solve_batch(std::span<const graph::Insta
       if (!error) error = std::current_exception();
     }
   }
+  if (bump_levels) omp_set_max_active_levels(saved_levels);
   if (error) std::rethrow_exception(error);
 
   for (std::size_t i = 0; i < m; ++i) out[i].metrics = sinks[i].snapshot();

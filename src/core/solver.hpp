@@ -51,6 +51,13 @@ class Solver {
   /// Labels are byte-identical to per-instance solve() calls.
   std::vector<BatchEntry> solve_batch(std::span<const graph::Instance> instances);
 
+  /// The workspace left by the most recent solve(): its cycle structure and
+  /// per-cycle diagnostics describe that solve's instance.  Valid until the
+  /// next solve/solve_batch call; empty before the first.  This is what lets
+  /// re-entrant callers (the incremental engine) seed auxiliary state from a
+  /// full solve without recomputing the pipeline's intermediates.
+  const SolveWorkspace& workspace() const noexcept { return ws_; }
+
  private:
   Options opt_;
   pram::ExecutionContext ctx_;

@@ -1,0 +1,51 @@
+#include "graph/reverse_adjacency.hpp"
+
+#include "pram/metrics.hpp"
+
+namespace sfcp::graph {
+
+void ReverseAdjacency::rebuild(std::span<const u32> f) {
+  const std::size_t n = f.size();
+  preds_.resize(n);
+  pos_.resize(n);
+  for (auto& list : preds_) list.clear();
+  for (std::size_t x = 0; x < n; ++x) {
+    pos_[x] = static_cast<u32>(preds_[f[x]].size());
+    preds_[f[x]].push_back(static_cast<u32>(x));
+  }
+  pram::charge(2 * n);
+}
+
+void ReverseAdjacency::retarget(u32 x, u32 old_target, u32 new_target) {
+  if (old_target == new_target) return;
+  auto& old_list = preds_[old_target];
+  const u32 p = pos_[x];
+  const u32 moved = old_list.back();
+  old_list[p] = moved;
+  pos_[moved] = p;
+  old_list.pop_back();
+  pos_[x] = static_cast<u32>(preds_[new_target].size());
+  preds_[new_target].push_back(x);
+  pram::charge(4);
+}
+
+bool dirty_region(const ReverseAdjacency& radj, u32 x, std::size_t budget,
+                  std::vector<u32>& out) {
+  // Every node has exactly one out-edge, so each v != x sits in exactly one
+  // predecessor list and is discovered at most once; only the start node can
+  // be re-encountered (when x lies on a cycle) and needs an explicit skip.
+  out.clear();
+  out.push_back(x);
+  if (out.size() > budget) return false;
+  for (std::size_t head = 0; head < out.size(); ++head) {
+    for (u32 p : radj.preds(out[head])) {
+      if (p == x) continue;
+      out.push_back(p);
+      if (out.size() > budget) return false;
+    }
+  }
+  pram::charge(out.size());
+  return true;
+}
+
+}  // namespace sfcp::graph

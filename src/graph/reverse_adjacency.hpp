@@ -1,0 +1,52 @@
+#pragma once
+// Reverse adjacency (predecessor lists) of a functional graph, maintained
+// under single-edge retargets, plus the dirty-region primitive the
+// incremental engine is built on.
+//
+// For an edit at node x (changing f(x) or B(x)), the set of nodes whose
+// Q-label can change is exactly { z : the f-orbit of z passes through x } —
+// the reverse-reachability closure of x.  Because only x's out-edge ever
+// differs between the pre- and post-edit graphs, and a first arrival at x
+// never traverses x's own out-edge, that closure is identical before and
+// after the edit; one reverse BFS from x serves both.
+
+#include <span>
+#include <vector>
+
+#include "pram/types.hpp"
+
+namespace sfcp::graph {
+
+/// Dynamic predecessor lists: preds(v) = { x : f(x) = v }.  Order within a
+/// list is unspecified (removal is swap-with-last).  Each node sits in
+/// exactly one list, so a per-node position index makes retarget O(1) even
+/// for hub nodes with Theta(n) in-degree.
+class ReverseAdjacency {
+ public:
+  ReverseAdjacency() = default;
+  explicit ReverseAdjacency(std::span<const u32> f) { rebuild(f); }
+
+  /// Rebuilds all lists from scratch (capacity of the outer vector reused).
+  void rebuild(std::span<const u32> f);
+
+  /// Moves the edge out of `x` from `old_target` to `new_target`
+  /// (no-op when they coincide).  Both targets must be < size().  O(1).
+  void retarget(u32 x, u32 old_target, u32 new_target);
+
+  std::span<const u32> preds(u32 v) const { return preds_[v]; }
+  std::size_t size() const { return preds_.size(); }
+
+ private:
+  std::vector<std::vector<u32>> preds_;
+  std::vector<u32> pos_;  ///< index of x within preds_[f(x)]
+};
+
+/// Reverse-BFS closure of `x`: every node whose forward orbit reaches `x`,
+/// written to `out` in BFS layer order (x first, then non-decreasing forward
+/// distance to x) — so for any tree node v in `out` other than x, f(v)
+/// appears earlier.  Returns false (leaving `out` truncated) as soon as more
+/// than `budget` nodes are discovered; returns true when the closure fits.
+bool dirty_region(const ReverseAdjacency& radj, u32 x, std::size_t budget,
+                  std::vector<u32>& out);
+
+}  // namespace sfcp::graph

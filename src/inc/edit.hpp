@@ -1,0 +1,27 @@
+#pragma once
+// A single mutation of an SFCP instance: redirect one function entry or
+// relabel one node's initial-partition class.  Kept dependency-free so that
+// workload generators and (de)serializers can speak edits without pulling in
+// the incremental engine.
+
+#include "pram/types.hpp"
+
+namespace sfcp::inc {
+
+struct Edit {
+  enum class Kind : u8 {
+    SetF,  ///< f[node] <- value (value must be a node index)
+    SetB,  ///< b[node] <- value (any u32 label)
+  };
+
+  Kind kind = Kind::SetB;
+  u32 node = 0;
+  u32 value = 0;
+
+  static constexpr Edit set_f(u32 x, u32 y) noexcept { return Edit{Kind::SetF, x, y}; }
+  static constexpr Edit set_b(u32 x, u32 label) noexcept { return Edit{Kind::SetB, x, label}; }
+
+  friend bool operator==(const Edit&, const Edit&) = default;
+};
+
+}  // namespace sfcp::inc

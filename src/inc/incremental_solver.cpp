@@ -1,0 +1,298 @@
+#include "inc/incremental_solver.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "pram/metrics.hpp"
+#include "prim/rename.hpp"
+#include "strings/msp.hpp"
+#include "strings/period.hpp"
+
+namespace sfcp::inc {
+
+std::size_t IncrementalSolver::VecHash::operator()(const std::vector<u32>& v) const noexcept {
+  u64 h = 0x9e3779b97f4a7c15ull ^ (static_cast<u64>(v.size()) * 0xbf58476d1ce4e5b9ull);
+  for (u32 x : v) {
+    u64 z = h + x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    h = z ^ (z >> 27);
+  }
+  return static_cast<std::size_t>(h);
+}
+
+IncrementalSolver::IncrementalSolver(graph::Instance inst, core::Options opt,
+                                     pram::ExecutionContext ctx, RepairPolicy policy)
+    : inst_(std::move(inst)), solver_(opt, ctx), policy_(policy) {
+  rebuild_();
+}
+
+core::Result IncrementalSolver::snapshot() const {
+  core::Result r;
+  auto canon = prim::canonicalize_labels(q_);
+  r.q = std::move(canon.labels);
+  r.num_blocks = canon.num_classes;
+  r.num_cycles = static_cast<u32>(cycles_.size());
+  r.cycle_nodes = static_cast<u32>(live_cycle_nodes_);
+  return r;
+}
+
+void IncrementalSolver::validate_edit_(const Edit& e) const {
+  const std::size_t n = inst_.size();
+  if (e.node >= n) {
+    throw std::invalid_argument("IncrementalSolver: edit node " + std::to_string(e.node) +
+                                " out of range (n = " + std::to_string(n) + ")");
+  }
+  if (e.kind == Edit::Kind::SetF && e.value >= n) {
+    throw std::invalid_argument("IncrementalSolver: set_f target " + std::to_string(e.value) +
+                                " out of range (n = " + std::to_string(n) + ")");
+  }
+}
+
+void IncrementalSolver::set_f(u32 x, u32 y) {
+  const Edit e = Edit::set_f(x, y);
+  validate_edit_(e);
+  pram::ScopedContext guard(&solver_.context());
+  apply_one_(e);
+}
+
+void IncrementalSolver::set_b(u32 x, u32 label) {
+  const Edit e = Edit::set_b(x, label);
+  validate_edit_(e);
+  pram::ScopedContext guard(&solver_.context());
+  apply_one_(e);
+}
+
+void IncrementalSolver::apply(std::span<const Edit> edits) {
+  for (const Edit& e : edits) validate_edit_(e);
+  pram::ScopedContext guard(&solver_.context());
+  const std::size_t n = inst_.size();
+  if (n > 0 && edits.size() >= policy_.batch_rebuild_threshold(n)) {
+    // The batch alone rivals the instance size: skip per-edit repair work
+    // (including predecessor-list maintenance — rebuild_ reconstructs the
+    // lists from scratch), apply the raw array updates and re-solve once.
+    for (const Edit& e : edits) {
+      ++stats_.edits;
+      if (e.kind == Edit::Kind::SetF) {
+        inst_.f[e.node] = e.value;
+      } else {
+        inst_.b[e.node] = e.value;
+      }
+    }
+    ++stats_.rebuilds;
+    pram::charge_edit(false, n);
+    rebuild_();
+    return;
+  }
+  for (const Edit& e : edits) apply_one_(e);
+}
+
+void IncrementalSolver::raw_apply_(const Edit& e) {
+  if (e.kind == Edit::Kind::SetF) {
+    preds_.retarget(e.node, inst_.f[e.node], e.value);
+    inst_.f[e.node] = e.value;
+  } else {
+    inst_.b[e.node] = e.value;
+  }
+}
+
+void IncrementalSolver::apply_one_(const Edit& e) {
+  ++stats_.edits;
+  const bool noop = e.kind == Edit::Kind::SetF ? inst_.f[e.node] == e.value
+                                               : inst_.b[e.node] == e.value;
+  if (noop) return;
+  const std::size_t n = inst_.size();
+  const bool within = graph::dirty_region(preds_, e.node, policy_.dirty_budget(n), dirty_buf_);
+  // Minting labels never reuses retired ones and pop_ grows with the label
+  // space, so a long repair streak must occasionally compact via a rebuild
+  // (which renames back to [0, blocks)).  Capping at ~4n keeps memory
+  // proportional to the instance while amortizing the rebuild over >= 3n
+  // minted labels.
+  const u64 label_cap =
+      std::min<u64>(kNone - 2, std::max<u64>(4 * static_cast<u64>(n), 4096));
+  const bool labels_ok = static_cast<u64>(next_label_) + dirty_buf_.size() < label_cap;
+  raw_apply_(e);
+  if (within && labels_ok) {
+    repair_(e.node, dirty_buf_);
+    ++stats_.repairs;
+    stats_.dirty_nodes += dirty_buf_.size();
+    pram::charge_edit(true, dirty_buf_.size());
+  } else {
+    ++stats_.rebuilds;
+    pram::charge_edit(false, n);
+    rebuild_();
+  }
+}
+
+u32 IncrementalSolver::fresh_label_() {
+  pop_.push_back(0);
+  return next_label_++;
+}
+
+void IncrementalSolver::pop_inc_(u32 label) {
+  if (pop_[label]++ == 0) ++distinct_;
+}
+
+void IncrementalSolver::pop_dec_(u32 label) {
+  if (--pop_[label] == 0) --distinct_;
+}
+
+void IncrementalSolver::sig_remove_(u64 sig) {
+  auto it = sigs_.find(sig);
+  if (it == sigs_.end()) return;
+  if (--it->second.refs == 0) sigs_.erase(it);
+}
+
+u32 IncrementalSolver::sig_assign_(u32 v) {
+  const u64 sig = pack_pair(inst_.b[v], q_[inst_.f[v]]);
+  auto [it, inserted] = sigs_.try_emplace(sig);
+  if (inserted) it->second.label = fresh_label_();
+  ++it->second.refs;
+  sig_key_[v] = sig;
+  return it->second.label;
+}
+
+void IncrementalSolver::destroy_cycle_(u32 id) {
+  auto it = cycles_.find(id);
+  auto cit = classes_.find(*it->second.key);
+  if (--cit->second.refs == 0) classes_.erase(cit);
+  live_cycle_nodes_ -= it->second.length;
+  cycles_.erase(it);
+  ++stats_.cycles_destroyed;
+}
+
+void IncrementalSolver::repair_(u32 x, std::span<const u32> dirty) {
+  // Phase 1 — retract: every dirty node gives back its label population and
+  // signature; the only cycle that can intersect the dirty set is x's own
+  // (any cycle node reaching x must share x's cycle), so at most one class
+  // reference is released.
+  if (cycle_id_[x] != kNone) destroy_cycle_(cycle_id_[x]);
+  for (u32 v : dirty) {
+    pop_dec_(q_[v]);
+    sig_remove_(sig_key_[v]);
+    on_cycle_[v] = 0;
+    cycle_id_[v] = kNone;
+  }
+
+  // Phase 2 — does the edited graph close a cycle through x?  Such a cycle
+  // lies wholly inside the dirty set (each of its nodes reaches x), so a
+  // forward walk of at most |dirty| steps either returns to x or rules the
+  // cycle out.
+  cyc_buf_.clear();
+  cyc_buf_.push_back(x);
+  u32 z = inst_.f[x];
+  while (z != x && cyc_buf_.size() < dirty.size()) {
+    cyc_buf_.push_back(z);
+    z = inst_.f[z];
+  }
+
+  // Phase 3 — canonicalize and label the new cycle: reduce its B-string to
+  // the smallest period, rotate to the minimal starting point, and match the
+  // reduced string against the global class map, merging with any equivalent
+  // cycle elsewhere in the graph (or minting a fresh label block).
+  if (z == x) {
+    const std::size_t len = cyc_buf_.size();
+    str_buf_.resize(len);
+    for (std::size_t i = 0; i < len; ++i) str_buf_[i] = inst_.b[cyc_buf_[i]];
+    const u32 p = strings::smallest_period_seq(str_buf_);
+    const u32 j0 = strings::minimal_starting_point(std::span<const u32>(str_buf_).first(p),
+                                                   strings::MspStrategy::Booth);
+    std::vector<u32> key(p);
+    for (u32 t = 0; t < p; ++t) key[t] = str_buf_[(j0 + t) % p];
+    auto [it, inserted] = classes_.try_emplace(std::move(key));
+    CycleClass& cls = it->second;
+    if (inserted) {
+      cls.labels.resize(p);
+      for (u32 t = 0; t < p; ++t) cls.labels[t] = fresh_label_();
+    }
+    ++cls.refs;
+    const u32 id = next_cycle_id_++;
+    cycles_.emplace(id, CycleRec{&it->first, static_cast<u32>(len)});
+    for (std::size_t i = 0; i < len; ++i) {
+      const u32 v = cyc_buf_[i];
+      q_[v] = cls.labels[(static_cast<u32>(i % p) + p - j0) % p];
+      pop_inc_(q_[v]);
+      on_cycle_[v] = 1;
+      cycle_id_[v] = id;
+    }
+    live_cycle_nodes_ += len;
+    ++stats_.cycles_created;
+    // Signatures only once every cycle label is final (f of a cycle node is
+    // the next cycle node).
+    for (std::size_t i = 0; i < len; ++i) {
+      const u32 v = cyc_buf_[i];
+      const u64 sig = pack_pair(inst_.b[v], q_[inst_.f[v]]);
+      auto [sit, fresh] = sigs_.try_emplace(sig);
+      if (fresh) sit->second.label = q_[v];
+      ++sit->second.refs;
+      sig_key_[v] = sig;
+    }
+  }
+
+  // Phase 4 — dirty tree nodes, in BFS layer order from x: f(v) is either
+  // clean, on the new cycle, or an earlier layer, so its label is final and
+  // the signature map realizes Q(v) = Q(u) <=> B(v)=B(u) ^ Q(f(v))=Q(f(u)).
+  for (u32 v : dirty) {
+    if (on_cycle_[v]) continue;
+    q_[v] = sig_assign_(v);
+    pop_inc_(q_[v]);
+  }
+  pram::charge(3 * dirty.size());
+}
+
+void IncrementalSolver::rebuild_() {
+  const core::Result r = solver_.solve(inst_);
+  const std::size_t n = inst_.size();
+  q_ = r.q;
+  next_label_ = r.num_blocks;
+  distinct_ = r.num_blocks;
+  pop_.assign(next_label_, 0);
+  for (u32 l : q_) ++pop_[l];
+  preds_.rebuild(inst_.f);
+  sig_key_.assign(n, 0);
+  cycle_id_.assign(n, kNone);
+  sigs_.clear();
+  classes_.clear();
+  cycles_.clear();
+  next_cycle_id_ = 0;
+  live_cycle_nodes_ = 0;
+  if (n == 0) {
+    on_cycle_.clear();
+    return;
+  }
+  // The solver's warm workspace still holds this solve's cycle structure and
+  // per-cycle period/msp diagnostics — exactly the scaffolding the class and
+  // signature maps are seeded from.
+  const core::SolveWorkspace& ws = solver_.workspace();
+  on_cycle_.assign(ws.cs.on_cycle.begin(), ws.cs.on_cycle.end());
+  live_cycle_nodes_ = ws.cs.cycle_nodes.size();
+  const std::size_t k = ws.cs.num_cycles();
+  for (std::size_t c = 0; c < k; ++c) {
+    const u32 len = ws.cs.cycle_length(c);
+    const u32 p = ws.cl.period[c];
+    const u32 j0 = ws.cl.msp[c];
+    std::vector<u32> key(p);
+    std::vector<u32> labels(p);
+    for (u32 t = 0; t < p; ++t) {
+      key[t] = inst_.b[ws.cs.node_at(c, (j0 + t) % p)];
+      labels[t] = q_[ws.cs.node_at(c, (j0 + t) % len)];
+    }
+    auto [it, inserted] = classes_.try_emplace(std::move(key));
+    if (inserted) it->second.labels = std::move(labels);
+    ++it->second.refs;
+    const u32 id = next_cycle_id_++;
+    cycles_.emplace(id, CycleRec{&it->first, len});
+    for (u32 rk = 0; rk < len; ++rk) cycle_id_[ws.cs.node_at(c, rk)] = id;
+  }
+  for (u32 v = 0; v < static_cast<u32>(n); ++v) {
+    const u64 sig = pack_pair(inst_.b[v], q_[inst_.f[v]]);
+    auto [it, inserted] = sigs_.try_emplace(sig);
+    if (inserted) it->second.label = q_[v];
+    ++it->second.refs;
+    sig_key_[v] = sig;
+  }
+  pram::charge(4 * n);
+}
+
+}  // namespace sfcp::inc

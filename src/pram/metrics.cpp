@@ -28,6 +28,12 @@ std::string Metrics::summary() const {
      << " rounds=" << rounds.load(std::memory_order_relaxed)
      << " sort_ops=" << sort_ops.load(std::memory_order_relaxed)
      << " crcw_writes=" << crcw_writes.load(std::memory_order_relaxed);
+  const std::uint64_t repairs = edit_repairs.load(std::memory_order_relaxed);
+  const std::uint64_t rebuilds = edit_rebuilds.load(std::memory_order_relaxed);
+  if (repairs || rebuilds) {
+    os << " edit_repairs=" << repairs << " edit_rebuilds=" << rebuilds
+       << " edit_dirty=" << edit_dirty.load(std::memory_order_relaxed);
+  }
   return os.str();
 }
 

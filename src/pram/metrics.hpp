@@ -21,6 +21,9 @@ struct MetricsSnapshot {
   std::uint64_t rounds = 0;
   std::uint64_t sort_ops = 0;
   std::uint64_t crcw_writes = 0;
+  std::uint64_t edit_repairs = 0;
+  std::uint64_t edit_rebuilds = 0;
+  std::uint64_t edit_dirty = 0;
 };
 
 /// Aggregate work/depth counters for one measured region.
@@ -29,12 +32,19 @@ struct Metrics {
   std::atomic<std::uint64_t> rounds{0};      ///< synchronous parallel rounds
   std::atomic<std::uint64_t> sort_ops{0};    ///< work spent inside integer sorting
   std::atomic<std::uint64_t> crcw_writes{0}; ///< arbitrary-CRCW winner writes
+  // Edit-phase counters (the incremental engine, inc/incremental_solver):
+  std::atomic<std::uint64_t> edit_repairs{0};   ///< edits served by local repair
+  std::atomic<std::uint64_t> edit_rebuilds{0};  ///< edits served by full re-solve
+  std::atomic<std::uint64_t> edit_dirty{0};     ///< nodes relabelled across edits
 
   void reset() noexcept {
     operations.store(0, std::memory_order_relaxed);
     rounds.store(0, std::memory_order_relaxed);
     sort_ops.store(0, std::memory_order_relaxed);
     crcw_writes.store(0, std::memory_order_relaxed);
+    edit_repairs.store(0, std::memory_order_relaxed);
+    edit_rebuilds.store(0, std::memory_order_relaxed);
+    edit_dirty.store(0, std::memory_order_relaxed);
   }
 
   std::uint64_t ops() const noexcept { return operations.load(std::memory_order_relaxed); }
@@ -44,7 +54,10 @@ struct Metrics {
     return MetricsSnapshot{operations.load(std::memory_order_relaxed),
                            rounds.load(std::memory_order_relaxed),
                            sort_ops.load(std::memory_order_relaxed),
-                           crcw_writes.load(std::memory_order_relaxed)};
+                           crcw_writes.load(std::memory_order_relaxed),
+                           edit_repairs.load(std::memory_order_relaxed),
+                           edit_rebuilds.load(std::memory_order_relaxed),
+                           edit_dirty.load(std::memory_order_relaxed)};
   }
 
   std::string summary() const;
@@ -95,6 +108,15 @@ inline void charge_sort(std::uint64_t n) noexcept {
 inline void charge_crcw(std::uint64_t n) noexcept {
   if (Metrics* m = current_metrics()) {
     m->crcw_writes.fetch_add(n, std::memory_order_relaxed);
+  }
+}
+
+/// Charges one edit to the current sink: `repaired` selects the repair vs.
+/// rebuild counter, `dirty` is the number of nodes the edit touched.
+inline void charge_edit(bool repaired, std::uint64_t dirty) noexcept {
+  if (Metrics* m = current_metrics()) {
+    (repaired ? m->edit_repairs : m->edit_rebuilds).fetch_add(1, std::memory_order_relaxed);
+    m->edit_dirty.fetch_add(dirty, std::memory_order_relaxed);
   }
 }
 

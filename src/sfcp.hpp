@@ -22,6 +22,14 @@
 //
 //   sfcp::core::Result r = sfcp::core::solve(inst);
 //
+// Incremental solving (edit streams against a live instance):
+//
+//   sfcp::inc::IncrementalSolver inc(inst);   // full solve once
+//   inc.set_b(x, 3);                          // local repair of the
+//   inc.set_f(y, z);                          // dirty region, or full
+//   inc.apply(edits);                         // re-solve when cheaper
+//   sfcp::core::Result r = inc.snapshot();    // == core::solve(current)
+//
 // Strategy selection: sfcp::registry() enumerates every cycle-detect x
 // cycle-structure x tree-labelling combination ("euler-jump-level", ...)
 // plus the "parallel" and "sequential" aliases — see core/registry.hpp.
@@ -45,7 +53,10 @@
 #include "graph/euler_tour.hpp"
 #include "graph/functional_graph.hpp"
 #include "graph/orbits.hpp"
+#include "graph/reverse_adjacency.hpp"
 #include "graph/rooted_forest.hpp"
+#include "inc/edit.hpp"
+#include "inc/incremental_solver.hpp"
 #include "pram/config.hpp"
 #include "pram/execution_context.hpp"
 #include "pram/metrics.hpp"

@@ -230,4 +230,86 @@ strings::StringList random_string_list(std::size_t m, std::size_t total_symbols,
   return list;
 }
 
+std::vector<inc::Edit> random_edit_stream(const graph::Instance& inst, std::size_t count,
+                                          EditMix mix, u32 num_b_labels, Rng& rng) {
+  std::vector<inc::Edit> edits;
+  const std::size_t n = inst.size();
+  if (n == 0 || count == 0) return edits;
+  edits.reserve(count);
+  const u32 un = static_cast<u32>(n);
+  if (num_b_labels == 0) num_b_labels = 1;
+  // The stream is generated against an evolving copy of f so that later
+  // edits remain shaped like the mix after earlier ones restructure the
+  // graph.
+  std::vector<u32> f = inst.f;
+  switch (mix) {
+    case EditMix::Uniform: {
+      for (std::size_t i = 0; i < count; ++i) {
+        const u32 x = rng.below_u32(un);
+        if (rng.chance(0.5)) {
+          const u32 y = rng.below_u32(un);
+          edits.push_back(inc::Edit::set_f(x, y));
+          f[x] = y;
+        } else {
+          edits.push_back(inc::Edit::set_b(x, rng.below_u32(num_b_labels)));
+        }
+      }
+      break;
+    }
+    case EditMix::LocalizedHotspot: {
+      // Leaves (in-degree 0) have singleton dirty regions.  Retargeting a
+      // leaf to an f-image (in-degree >= 1) keeps the leaf set stable, so
+      // the whole stream stays maximally local.
+      const std::vector<u32> indeg = graph::indegrees(f);
+      std::vector<u32> leaves;
+      for (u32 x = 0; x < un; ++x) {
+        if (indeg[x] == 0) leaves.push_back(x);
+      }
+      if (leaves.empty()) {
+        // No leaves (e.g. a permutation): fall back to a small hotspot pool.
+        for (int i = 0; i < 8; ++i) leaves.push_back(rng.below_u32(un));
+      }
+      const u32 num_leaves = static_cast<u32>(leaves.size());
+      for (std::size_t i = 0; i < count; ++i) {
+        const u32 x = leaves[rng.below_u32(num_leaves)];
+        if (rng.chance(0.8)) {
+          edits.push_back(inc::Edit::set_b(x, rng.below_u32(num_b_labels)));
+        } else {
+          const u32 y = f[rng.below_u32(un)];
+          edits.push_back(inc::Edit::set_f(x, y));
+          f[x] = y;
+        }
+      }
+      break;
+    }
+    case EditMix::CycleChurn: {
+      // Walk a random node forward far enough to land on (or right next to)
+      // a cycle, then splice it onto another such node: cycles merge, split
+      // and change length, and whole components go dirty.  Random functional
+      // graphs have expected tail length ~0.63*sqrt(n), so the walk budget
+      // scales with sqrt(n) to actually reach the cycles it churns.
+      std::size_t walk_budget = 64;
+      while (walk_budget * walk_budget < 16 * n) ++walk_budget;
+      auto near_cycle = [&](u32 start) {
+        u32 z = start;
+        for (std::size_t s = 0; s < walk_budget; ++s) z = f[z];
+        return z;
+      };
+      for (std::size_t i = 0; i < count; ++i) {
+        if (rng.chance(0.25)) {
+          const u32 x = near_cycle(rng.below_u32(un));
+          edits.push_back(inc::Edit::set_b(x, rng.below_u32(num_b_labels)));
+        } else {
+          const u32 x = near_cycle(rng.below_u32(un));
+          const u32 y = near_cycle(rng.below_u32(un));
+          edits.push_back(inc::Edit::set_f(x, y));
+          f[x] = y;
+        }
+      }
+      break;
+    }
+  }
+  return edits;
+}
+
 }  // namespace sfcp::util

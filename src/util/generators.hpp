@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "graph/functional_graph.hpp"
+#include "inc/edit.hpp"
 #include "pram/types.hpp"
 #include "strings/string_sort.hpp"
 #include "util/random.hpp"
@@ -46,6 +47,27 @@ graph::Instance bushy(std::size_t n, std::size_t cycle_len, u32 fanout, u32 num_
 /// B-labels copied from f-orbit structure so that large Q-blocks survive
 /// (high-coarseness instances where most nodes merge).
 graph::Instance mergeable(std::size_t n, u32 period, Rng& rng);
+
+// ---- edit streams --------------------------------------------------------
+
+/// Shape of an edit workload against a live instance (inc::IncrementalSolver).
+enum class EditMix {
+  /// Edits confined to in-degree-0 leaves: dirty regions of size 1, the
+  /// incremental engine's best case (steady-state serving traffic).
+  LocalizedHotspot,
+  /// Uniformly random set_f / set_b over all nodes.
+  Uniform,
+  /// Adversarial cycle merge/split churn: retargets nodes at or near cycles
+  /// so whole components go dirty, forcing the full-recompute path.
+  CycleChurn,
+};
+
+/// A reproducible edit stream of `count` edits against (an evolving copy of)
+/// `inst`; set_b values are drawn below `num_b_labels`, set_f targets are
+/// valid node indices.  The stream is meaningful when applied in order
+/// starting from `inst`.
+std::vector<inc::Edit> random_edit_stream(const graph::Instance& inst, std::size_t count,
+                                          EditMix mix, u32 num_b_labels, Rng& rng);
 
 // ---- circular strings ----------------------------------------------------
 

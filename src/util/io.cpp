@@ -1,36 +1,87 @@
 #include "util/io.hpp"
 
+#include <algorithm>
+#include <bit>
+#include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
 namespace sfcp::util {
 
 namespace {
-constexpr const char* kMagic = "sfcp-instance";
-constexpr const char* kVersion = "v1";
-}  // namespace
 
-void save_instance(std::ostream& os, const graph::Instance& inst) {
-  os << kMagic << ' ' << kVersion << '\n' << inst.size() << '\n';
-  for (std::size_t i = 0; i < inst.f.size(); ++i) {
-    os << inst.f[i] << (i + 1 == inst.f.size() ? '\n' : ' ');
-  }
-  if (inst.f.empty()) os << '\n';
-  for (std::size_t i = 0; i < inst.b.size(); ++i) {
-    os << inst.b[i] << (i + 1 == inst.b.size() ? '\n' : ' ');
-  }
-  if (inst.b.empty()) os << '\n';
-  if (!os) throw std::runtime_error("save_instance: write failed");
+constexpr const char* kMagic = "sfcp-instance";
+constexpr const char* kVersionText = "v1";
+// Binary magic: non-printable lead byte makes autodetection a one-byte peek
+// and keeps binary files from ever parsing as text.
+constexpr unsigned char kBinaryMagic[8] = {0x7f, 's', 'f', 'c', 'p', 'v', '2', '\n'};
+// Caps bogus sizes from corrupt headers before we try to allocate.
+constexpr u64 kMaxNodes = u64{1} << 31;
+
+constexpr const char* kEditsMagic = "sfcp-edits";
+constexpr const char* kEditsVersion = "v1";
+
+void put_u32le(std::ostream& os, u32 v) {
+  unsigned char buf[4] = {static_cast<unsigned char>(v), static_cast<unsigned char>(v >> 8),
+                          static_cast<unsigned char>(v >> 16),
+                          static_cast<unsigned char>(v >> 24)};
+  os.write(reinterpret_cast<const char*>(buf), 4);
 }
 
-graph::Instance load_instance(std::istream& is) {
+void put_u32le_array(std::ostream& os, std::span<const u32> a) {
+  if constexpr (std::endian::native == std::endian::little) {
+    os.write(reinterpret_cast<const char*>(a.data()),
+             static_cast<std::streamsize>(a.size() * sizeof(u32)));
+  } else {
+    for (u32 v : a) put_u32le(os, v);
+  }
+}
+
+u32 get_u32le(std::istream& is, const char* what) {
+  unsigned char buf[4];
+  if (!is.read(reinterpret_cast<char*>(buf), 4)) {
+    throw std::runtime_error(std::string("load_instance: truncated ") + what);
+  }
+  return static_cast<u32>(buf[0]) | (static_cast<u32>(buf[1]) << 8) |
+         (static_cast<u32>(buf[2]) << 16) | (static_cast<u32>(buf[3]) << 24);
+}
+
+void get_u32le_array(std::istream& is, std::span<u32> a, const char* what) {
+  if constexpr (std::endian::native == std::endian::little) {
+    if (!is.read(reinterpret_cast<char*>(a.data()),
+                 static_cast<std::streamsize>(a.size() * sizeof(u32)))) {
+      throw std::runtime_error(std::string("load_instance: truncated ") + what);
+    }
+  } else {
+    for (u32& v : a) v = get_u32le(is, what);
+  }
+}
+
+// Grows `out` in bounded chunks while reading, so a corrupt header claiming
+// billions of elements fails with "truncated" once the payload runs out
+// instead of attempting one giant up-front allocation.
+void read_u32le_vector(std::istream& is, u64 n, std::vector<u32>& out, const char* what) {
+  constexpr u64 kChunk = u64{1} << 20;
+  out.clear();
+  out.reserve(static_cast<std::size_t>(n < kChunk ? n : kChunk));
+  while (out.size() < n) {
+    const std::size_t prev = out.size();
+    const std::size_t take = static_cast<std::size_t>(std::min<u64>(kChunk, n - prev));
+    out.resize(prev + take);
+    get_u32le_array(is, std::span<u32>(out).subspan(prev, take), what);
+  }
+}
+
+graph::Instance load_instance_text(std::istream& is) {
   std::string magic, version;
-  if (!(is >> magic >> version) || magic != kMagic || version != kVersion) {
+  if (!(is >> magic >> version) || magic != kMagic || version != kVersionText) {
     throw std::runtime_error("load_instance: bad header (expected 'sfcp-instance v1')");
   }
   std::size_t n = 0;
   if (!(is >> n)) throw std::runtime_error("load_instance: missing size");
+  if (n > kMaxNodes) throw std::runtime_error("load_instance: unreasonable size");
   graph::Instance inst;
   inst.f.resize(n);
   inst.b.resize(n);
@@ -44,16 +95,112 @@ graph::Instance load_instance(std::istream& is) {
   return inst;
 }
 
-void save_instance_file(const std::string& path, const graph::Instance& inst) {
-  std::ofstream os(path);
+graph::Instance load_instance_binary(std::istream& is) {
+  unsigned char magic[8];
+  if (!is.read(reinterpret_cast<char*>(magic), 8) ||
+      std::memcmp(magic, kBinaryMagic, 8) != 0) {
+    throw std::runtime_error("load_instance: bad binary magic (expected sfcp-instance v2)");
+  }
+  const u32 n = get_u32le(is, "size");
+  if (n > kMaxNodes) throw std::runtime_error("load_instance: unreasonable size");
+  graph::Instance inst;
+  read_u32le_vector(is, n, inst.f, "f array");
+  read_u32le_vector(is, n, inst.b, "b array");
+  graph::validate(inst);
+  return inst;
+}
+
+}  // namespace
+
+void save_instance(std::ostream& os, const graph::Instance& inst) {
+  os << kMagic << ' ' << kVersionText << '\n' << inst.size() << '\n';
+  for (std::size_t i = 0; i < inst.f.size(); ++i) {
+    os << inst.f[i] << (i + 1 == inst.f.size() ? '\n' : ' ');
+  }
+  if (inst.f.empty()) os << '\n';
+  for (std::size_t i = 0; i < inst.b.size(); ++i) {
+    os << inst.b[i] << (i + 1 == inst.b.size() ? '\n' : ' ');
+  }
+  if (inst.b.empty()) os << '\n';
+  if (!os) throw std::runtime_error("save_instance: write failed");
+}
+
+void save_instance_binary(std::ostream& os, const graph::Instance& inst) {
+  if (inst.size() > kMaxNodes) throw std::runtime_error("save_instance_binary: too large");
+  os.write(reinterpret_cast<const char*>(kBinaryMagic), 8);
+  put_u32le(os, static_cast<u32>(inst.size()));
+  put_u32le_array(os, inst.f);
+  put_u32le_array(os, inst.b);
+  if (!os) throw std::runtime_error("save_instance_binary: write failed");
+}
+
+graph::Instance load_instance(std::istream& is) {
+  const int first = is.peek();
+  if (first == std::char_traits<char>::eof()) {
+    throw std::runtime_error("load_instance: empty input");
+  }
+  return first == kBinaryMagic[0] ? load_instance_binary(is) : load_instance_text(is);
+}
+
+void save_instance_file(const std::string& path, const graph::Instance& inst,
+                        InstanceFormat format) {
+  std::ofstream os(path, std::ios::binary);
   if (!os) throw std::runtime_error("save_instance_file: cannot open " + path);
-  save_instance(os, inst);
+  if (format == InstanceFormat::Binary) {
+    save_instance_binary(os, inst);
+  } else {
+    save_instance(os, inst);
+  }
 }
 
 graph::Instance load_instance_file(const std::string& path) {
-  std::ifstream is(path);
+  std::ifstream is(path, std::ios::binary);
   if (!is) throw std::runtime_error("load_instance_file: cannot open " + path);
   return load_instance(is);
+}
+
+void save_edits(std::ostream& os, std::span<const inc::Edit> edits) {
+  os << kEditsMagic << ' ' << kEditsVersion << '\n' << edits.size() << '\n';
+  for (const inc::Edit& e : edits) {
+    os << (e.kind == inc::Edit::Kind::SetF ? 'f' : 'b') << ' ' << e.node << ' ' << e.value
+       << '\n';
+  }
+  if (!os) throw std::runtime_error("save_edits: write failed");
+}
+
+std::vector<inc::Edit> load_edits(std::istream& is) {
+  std::string magic, version;
+  if (!(is >> magic >> version) || magic != kEditsMagic || version != kEditsVersion) {
+    throw std::runtime_error("load_edits: bad header (expected 'sfcp-edits v1')");
+  }
+  std::size_t m = 0;
+  if (!(is >> m)) throw std::runtime_error("load_edits: missing count");
+  if (m > kMaxNodes) throw std::runtime_error("load_edits: unreasonable count");
+  std::vector<inc::Edit> edits;
+  // The count is untrusted until the payload backs it up: cap the up-front
+  // reservation and let push_back grow past it.
+  edits.reserve(std::min<std::size_t>(m, std::size_t{1} << 20));
+  for (std::size_t i = 0; i < m; ++i) {
+    std::string op;
+    u32 node = 0, value = 0;
+    if (!(is >> op >> node >> value) || (op != "f" && op != "b")) {
+      throw std::runtime_error("load_edits: truncated or malformed edit " + std::to_string(i));
+    }
+    edits.push_back(op == "f" ? inc::Edit::set_f(node, value) : inc::Edit::set_b(node, value));
+  }
+  return edits;
+}
+
+void save_edits_file(const std::string& path, std::span<const inc::Edit> edits) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("save_edits_file: cannot open " + path);
+  save_edits(os, edits);
+}
+
+std::vector<inc::Edit> load_edits_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("load_edits_file: cannot open " + path);
+  return load_edits(is);
 }
 
 }  // namespace sfcp::util

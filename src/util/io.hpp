@@ -1,26 +1,67 @@
 #pragma once
-// Plain-text (de)serialization of SFCP instances and solutions, so examples
-// and external tools can exchange workloads:
+// (De)serialization of SFCP instances, solutions and edit streams, so
+// examples and external tools can exchange workloads.
+//
+// Text instance format (`sfcp-instance v1`):
 //
 //   sfcp-instance v1
 //   n
 //   f[0] f[1] ... f[n-1]
 //   b[0] b[1] ... b[n-1]
+//
+// Binary instance format (`sfcp-instance v2`) — the cheap one for large
+// bench workloads:
+//
+//   8-byte magic 7F 's' 'f' 'c' 'p' 'v' '2' 0A, then n and both arrays as
+//   little-endian u32 (f first, then b).
+//
+// load_instance autodetects the format from the first byte.
+//
+// Edit-stream format (`sfcp-edits v1`):
+//
+//   sfcp-edits v1
+//   m
+//   f x y     (set f[x] <- y)
+//   b x v     (set b[x] <- v)
 
 #include <iosfwd>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "graph/functional_graph.hpp"
+#include "inc/edit.hpp"
 #include "pram/types.hpp"
 
 namespace sfcp::util {
 
-void save_instance(std::ostream& os, const graph::Instance& inst);
+enum class InstanceFormat {
+  Text,    ///< sfcp-instance v1
+  Binary,  ///< sfcp-instance v2
+};
 
-/// Throws std::runtime_error on malformed input.
+void save_instance(std::ostream& os, const graph::Instance& inst);
+void save_instance_binary(std::ostream& os, const graph::Instance& inst);
+
+/// Loads either format (autodetected).  Throws std::runtime_error on
+/// malformed or truncated input, std::invalid_argument when the decoded
+/// instance fails graph::validate (e.g. out-of-range f values).
 graph::Instance load_instance(std::istream& is);
 
-void save_instance_file(const std::string& path, const graph::Instance& inst);
+void save_instance_file(const std::string& path, const graph::Instance& inst,
+                        InstanceFormat format = InstanceFormat::Text);
 graph::Instance load_instance_file(const std::string& path);
+
+// ---- edit streams --------------------------------------------------------
+
+void save_edits(std::ostream& os, std::span<const inc::Edit> edits);
+
+/// Throws std::runtime_error on malformed input.  Node/target ranges are NOT
+/// checked here (they depend on the instance the stream is applied to);
+/// inc::IncrementalSolver validates on apply.
+std::vector<inc::Edit> load_edits(std::istream& is);
+
+void save_edits_file(const std::string& path, std::span<const inc::Edit> edits);
+std::vector<inc::Edit> load_edits_file(const std::string& path);
 
 }  // namespace sfcp::util

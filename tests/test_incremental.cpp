@@ -1,0 +1,353 @@
+// The incremental engine's contract: after any edit stream, the maintained
+// partition is byte-identical (canonically) to a fresh core::solve on the
+// edited instance — across generator regimes, edit mixes, and both the
+// local-repair and full-recompute paths.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/coarsest_partition.hpp"
+#include "core/registry.hpp"
+#include "inc/incremental_solver.hpp"
+#include "pram/metrics.hpp"
+#include "util/generators.hpp"
+#include "util/io.hpp"
+#include "util/random.hpp"
+
+namespace sfcp {
+namespace {
+
+void expect_matches_fresh(const inc::IncrementalSolver& solver, const std::string& what) {
+  const core::Result fresh = core::solve(solver.instance());
+  const core::Result snap = solver.snapshot();
+  ASSERT_EQ(snap.num_blocks, fresh.num_blocks) << what;
+  ASSERT_EQ(snap.q, fresh.q) << what;
+  EXPECT_EQ(solver.num_blocks(), fresh.num_blocks) << what;
+}
+
+void apply_single(inc::IncrementalSolver& solver, const inc::Edit& e) {
+  if (e.kind == inc::Edit::Kind::SetF) {
+    solver.set_f(e.node, e.value);
+  } else {
+    solver.set_b(e.node, e.value);
+  }
+}
+
+/// Runs `count` edits of the given mix against `inst`, cross-checking the
+/// maintained partition against a fresh solve every `check_every` edits.
+inc::EditStats run_stream(graph::Instance inst, util::EditMix mix, std::size_t count, u64 seed,
+                          std::size_t check_every = 10,
+                          inc::RepairPolicy policy = {}) {
+  util::Rng rng(seed);
+  const auto stream = util::random_edit_stream(inst, count, mix, 6, rng);
+  inc::IncrementalSolver solver(std::move(inst), core::Options::parallel(), {}, policy);
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    apply_single(solver, stream[i]);
+    if ((i + 1) % check_every == 0) {
+      expect_matches_fresh(solver, "after edit " + std::to_string(i + 1));
+      if (::testing::Test::HasFatalFailure()) return solver.stats();
+    }
+  }
+  expect_matches_fresh(solver, "final state");
+  return solver.stats();
+}
+
+// ---- regime x mix matrix (>= 5 generator regimes, >= 100 edits each) -----
+
+TEST(Incremental, RandomFunctionLocalized) {
+  util::Rng rng(101);
+  run_stream(util::random_function(2000, 4, rng), util::EditMix::LocalizedHotspot, 150, 1);
+}
+
+TEST(Incremental, RandomFunctionUniform) {
+  util::Rng rng(102);
+  run_stream(util::random_function(2000, 4, rng), util::EditMix::Uniform, 150, 2);
+}
+
+TEST(Incremental, RandomFunctionCycleChurn) {
+  util::Rng rng(103);
+  run_stream(util::random_function(2000, 4, rng), util::EditMix::CycleChurn, 120, 3);
+}
+
+TEST(Incremental, PermutationUniform) {
+  util::Rng rng(104);
+  run_stream(util::random_permutation(1500, 3, rng), util::EditMix::Uniform, 150, 4);
+}
+
+TEST(Incremental, PermutationCycleChurn) {
+  util::Rng rng(105);
+  run_stream(util::random_permutation(1500, 3, rng), util::EditMix::CycleChurn, 120, 5);
+}
+
+TEST(Incremental, LongTailLocalized) {
+  util::Rng rng(106);
+  run_stream(util::long_tail(2000, 64, 4, rng), util::EditMix::LocalizedHotspot, 150, 6);
+}
+
+TEST(Incremental, LongTailUniform) {
+  util::Rng rng(107);
+  run_stream(util::long_tail(2000, 64, 4, rng), util::EditMix::Uniform, 120, 7);
+}
+
+TEST(Incremental, BushyLocalized) {
+  util::Rng rng(108);
+  run_stream(util::bushy(2000, 8, 6, 4, rng), util::EditMix::LocalizedHotspot, 150, 8);
+}
+
+TEST(Incremental, BushyCycleChurn) {
+  util::Rng rng(109);
+  run_stream(util::bushy(2000, 8, 6, 4, rng), util::EditMix::CycleChurn, 120, 9);
+}
+
+TEST(Incremental, MergeableUniform) {
+  util::Rng rng(110);
+  run_stream(util::mergeable(2048, 4, rng), util::EditMix::Uniform, 150, 10);
+}
+
+TEST(Incremental, EqualCyclesCycleChurn) {
+  util::Rng rng(111);
+  run_stream(util::equal_cycles(32, 16, 3, 4, rng), util::EditMix::CycleChurn, 120, 11);
+}
+
+// ---- both paths are exercised and both are correct -----------------------
+
+TEST(Incremental, LocalizedStreamStaysOnRepairPath) {
+  util::Rng rng(201);
+  const auto stats = run_stream(util::random_function(4096, 4, rng),
+                                util::EditMix::LocalizedHotspot, 200, 12);
+  EXPECT_GT(stats.repairs, 100u);
+  EXPECT_EQ(stats.edits, 200u);
+}
+
+TEST(Incremental, ChurnStreamForcesRebuilds) {
+  util::Rng rng(202);
+  const auto stats = run_stream(util::random_permutation(2048, 3, rng),
+                                util::EditMix::CycleChurn, 100, 13);
+  EXPECT_GT(stats.rebuilds, 0u);
+}
+
+TEST(Incremental, RepairOnlyPolicyMatchesRebuildOnlyPolicy) {
+  util::Rng rng(203);
+  const auto inst = util::random_function(1200, 4, rng);
+  util::Rng stream_rng(204);
+  const auto stream = util::random_edit_stream(inst, 120, util::EditMix::Uniform, 6, stream_rng);
+
+  inc::RepairPolicy repair_only;
+  repair_only.max_dirty_fraction = 1.0;
+  repair_only.min_dirty_absolute = inst.size();
+  inc::RepairPolicy rebuild_only;
+  rebuild_only.max_dirty_fraction = 0.0;
+  rebuild_only.min_dirty_absolute = 0;
+
+  inc::IncrementalSolver a(inst, core::Options::parallel(), {}, repair_only);
+  inc::IncrementalSolver b(inst, core::Options::parallel(), {}, rebuild_only);
+  for (const auto& e : stream) {
+    apply_single(a, e);
+    apply_single(b, e);
+  }
+  // The repair-only policy may still compact the label space via an
+  // occasional rebuild; what matters is that (almost) every edit repairs.
+  EXPECT_GT(a.stats().repairs, 110u);
+  EXPECT_EQ(b.stats().repairs, 0u);
+  EXPECT_GT(b.stats().rebuilds, 0u);
+  const auto sa = a.snapshot();
+  const auto sb = b.snapshot();
+  EXPECT_EQ(sa.q, sb.q);
+  EXPECT_EQ(sa.num_blocks, sb.num_blocks);
+  expect_matches_fresh(a, "repair-only");
+  expect_matches_fresh(b, "rebuild-only");
+}
+
+// ---- single-edit exhaustion on the paper's worked example ----------------
+
+TEST(Incremental, PaperExampleEverySingleEdit) {
+  const auto base = util::paper_example_2_2();
+  const u32 n = static_cast<u32>(base.size());
+  for (u32 x = 0; x < n; ++x) {
+    for (u32 y = 0; y < n; ++y) {
+      inc::IncrementalSolver solver(base);
+      solver.set_f(x, y);
+      expect_matches_fresh(solver, "set_f(" + std::to_string(x) + ", " + std::to_string(y) + ")");
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+    for (u32 lbl = 0; lbl <= 4; ++lbl) {
+      inc::IncrementalSolver solver(base);
+      solver.set_b(x, lbl);
+      expect_matches_fresh(solver, "set_b(" + std::to_string(x) + ", " + std::to_string(lbl) + ")");
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+// ---- batched apply -------------------------------------------------------
+
+TEST(Incremental, LargeBatchTakesSingleRebuild) {
+  util::Rng rng(301);
+  auto inst = util::random_function(1024, 4, rng);
+  util::Rng stream_rng(302);
+  const auto stream = util::random_edit_stream(inst, 200, util::EditMix::Uniform, 6, stream_rng);
+  inc::IncrementalSolver solver(std::move(inst));
+  solver.apply(stream);
+  EXPECT_EQ(solver.stats().edits, 200u);
+  EXPECT_EQ(solver.stats().rebuilds, 1u);
+  EXPECT_EQ(solver.stats().repairs, 0u);
+  expect_matches_fresh(solver, "after large batch");
+}
+
+TEST(Incremental, SmallBatchesRepair) {
+  util::Rng rng(303);
+  auto inst = util::random_function(4096, 4, rng);
+  util::Rng stream_rng(304);
+  const auto stream =
+      util::random_edit_stream(inst, 120, util::EditMix::LocalizedHotspot, 6, stream_rng);
+  inc::IncrementalSolver solver(std::move(inst));
+  for (std::size_t i = 0; i < stream.size(); i += 4) {
+    const std::size_t len = std::min<std::size_t>(4, stream.size() - i);
+    solver.apply(std::span<const inc::Edit>(stream).subspan(i, len));
+  }
+  EXPECT_GT(solver.stats().repairs, 0u);
+  expect_matches_fresh(solver, "after small batches");
+}
+
+// ---- strategies, metrics, errors, edge cases -----------------------------
+
+TEST(Incremental, SequentialFallbackStrategy) {
+  util::Rng rng(401);
+  run_stream(util::random_function(1000, 4, rng), util::EditMix::Uniform, 100, 14, 10,
+             inc::RepairPolicy{});
+  auto inst = util::random_function(1000, 4, rng);
+  util::Rng stream_rng(402);
+  const auto stream = util::random_edit_stream(inst, 100, util::EditMix::CycleChurn, 6, stream_rng);
+  inc::IncrementalSolver solver(std::move(inst), sfcp::registry().at("sequential"));
+  for (const auto& e : stream) apply_single(solver, e);
+  expect_matches_fresh(solver, "sequential fallback");
+}
+
+TEST(Incremental, EditPhaseMetricsReachTheSessionSink) {
+  util::Rng rng(403);
+  auto inst = util::random_function(2048, 4, rng);
+  util::Rng stream_rng(404);
+  const auto stream = util::random_edit_stream(inst, 80, util::EditMix::Uniform, 6, stream_rng);
+  pram::Metrics metrics;
+  inc::IncrementalSolver solver(std::move(inst), core::Options::parallel(),
+                                pram::ExecutionContext{}.with_metrics(&metrics));
+  for (const auto& e : stream) apply_single(solver, e);
+  const auto snap = metrics.snapshot();
+  EXPECT_EQ(snap.edit_repairs, solver.stats().repairs);
+  EXPECT_EQ(snap.edit_rebuilds, solver.stats().rebuilds);
+  EXPECT_GE(snap.edit_dirty, solver.stats().dirty_nodes);
+  EXPECT_GT(snap.operations, 0u);
+}
+
+TEST(Incremental, OutOfRangeEditsThrowAndLeaveStateIntact) {
+  util::Rng rng(405);
+  inc::IncrementalSolver solver(util::random_function(64, 3, rng));
+  const auto before = solver.snapshot();
+  EXPECT_THROW(solver.set_f(64, 0), std::invalid_argument);
+  EXPECT_THROW(solver.set_f(0, 64), std::invalid_argument);
+  EXPECT_THROW(solver.set_b(100, 0), std::invalid_argument);
+  const std::vector<inc::Edit> batch = {inc::Edit::set_b(1, 2), inc::Edit::set_f(99, 0)};
+  EXPECT_THROW(solver.apply(batch), std::invalid_argument);
+  const auto after = solver.snapshot();
+  EXPECT_EQ(after.q, before.q);
+  EXPECT_EQ(solver.stats().edits, 0u);
+}
+
+TEST(Incremental, EmptyInstance) {
+  inc::IncrementalSolver solver{graph::Instance{}};
+  EXPECT_EQ(solver.num_blocks(), 0u);
+  EXPECT_TRUE(solver.snapshot().q.empty());
+  EXPECT_THROW(solver.set_b(0, 0), std::invalid_argument);
+  solver.apply({});  // no-op
+}
+
+TEST(Incremental, NoopEditsAreCheap) {
+  util::Rng rng(406);
+  inc::IncrementalSolver solver(util::random_function(256, 3, rng));
+  const u32 fx = solver.instance().f[7];
+  const u32 bx = solver.instance().b[7];
+  solver.set_f(7, fx);
+  solver.set_b(7, bx);
+  EXPECT_EQ(solver.stats().edits, 2u);
+  EXPECT_EQ(solver.stats().repairs, 0u);
+  EXPECT_EQ(solver.stats().rebuilds, 0u);
+  expect_matches_fresh(solver, "after no-ops");
+}
+
+TEST(Incremental, SelfLoopAndTinyCycles) {
+  // n=3 path 0<-1<-2 with a self-loop at 0; exercise every small restructure.
+  graph::Instance inst;
+  inst.f = {0, 0, 1};
+  inst.b = {1, 1, 1};
+  inc::IncrementalSolver solver(inst);
+  solver.set_f(0, 1);  // 2-cycle {0,1}
+  expect_matches_fresh(solver, "2-cycle");
+  solver.set_b(1, 2);  // split the cycle classes
+  expect_matches_fresh(solver, "relabel on cycle");
+  solver.set_f(0, 0);  // back to self-loop
+  expect_matches_fresh(solver, "self-loop again");
+  solver.set_f(2, 2);  // second component
+  expect_matches_fresh(solver, "two components");
+  solver.set_b(2, 1);  // merge classes across components
+  expect_matches_fresh(solver, "cross-component merge");
+}
+
+TEST(Incremental, LabelSpaceCompactsViaRebuild) {
+  // A pure repair workload mints a fresh label per edit without ever
+  // recycling retired ones; the engine must eventually compact through a
+  // rebuild instead of growing the label space (and pop_) without bound.
+  graph::Instance inst;
+  const std::size_t n = 32;
+  inst.f.resize(n);
+  inst.b.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) inst.f[i] = static_cast<u32>((i + 1) % n);
+  inst.f[n - 1] = static_cast<u32>(n - 1);  // tail into a self-loop; node 0 is a leaf
+  inc::RepairPolicy repair_friendly;
+  repair_friendly.max_dirty_fraction = 1.0;
+  repair_friendly.min_dirty_absolute = n;
+  inc::IncrementalSolver solver(inst, core::Options::parallel(), {}, repair_friendly);
+  for (u32 i = 0; i < 6000; ++i) {
+    solver.set_b(0, 1 + (i % 7));  // singleton dirty region, fresh label each time
+  }
+  EXPECT_GT(solver.stats().rebuilds, 0u);
+  EXPECT_GT(solver.stats().repairs, 5000u);
+  expect_matches_fresh(solver, "after label-space compaction");
+}
+
+TEST(Incremental, SnapshotReportsCycleCounts) {
+  util::Rng rng(407);
+  const auto inst = util::random_permutation(512, 3, rng);
+  inc::IncrementalSolver solver(inst);
+  const auto fresh = core::solve(inst);
+  const auto snap = solver.snapshot();
+  EXPECT_EQ(snap.num_cycles, fresh.num_cycles);
+  EXPECT_EQ(snap.cycle_nodes, fresh.cycle_nodes);
+  EXPECT_EQ(snap.cycle_nodes, 512u);
+}
+
+// ---- edit-stream serialization ------------------------------------------
+
+TEST(Incremental, EditStreamRoundTrip) {
+  util::Rng rng(501);
+  const auto inst = util::random_function(300, 4, rng);
+  util::Rng stream_rng(502);
+  const auto stream = util::random_edit_stream(inst, 50, util::EditMix::Uniform, 6, stream_rng);
+  std::stringstream ss;
+  util::save_edits(ss, stream);
+  const auto loaded = util::load_edits(ss);
+  ASSERT_EQ(loaded, stream);
+}
+
+TEST(Incremental, EditStreamRejectsMalformed) {
+  std::stringstream bad_header("sfcp-edits v9\n0\n");
+  EXPECT_THROW(util::load_edits(bad_header), std::runtime_error);
+  std::stringstream truncated("sfcp-edits v1\n3\nf 0 1\n");
+  EXPECT_THROW(util::load_edits(truncated), std::runtime_error);
+  std::stringstream bad_op("sfcp-edits v1\n1\nz 0 1\n");
+  EXPECT_THROW(util::load_edits(bad_op), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sfcp

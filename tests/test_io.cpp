@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "util/generators.hpp"
@@ -72,6 +73,123 @@ TEST(Io, PaperExampleRoundTrip) {
   const auto loaded = util::load_instance(ss);
   EXPECT_EQ(loaded.f, inst.f);
   EXPECT_EQ(loaded.b, inst.b);
+}
+
+// ---- error paths (text) ---------------------------------------------------
+
+TEST(Io, RejectsTruncatedB) {
+  std::stringstream ss("sfcp-instance v1\n3\n0 1 2\n0 0\n");
+  EXPECT_THROW(util::load_instance(ss), std::runtime_error);
+}
+
+TEST(Io, RejectsMissingSize) {
+  std::stringstream ss("sfcp-instance v1\n");
+  EXPECT_THROW(util::load_instance(ss), std::runtime_error);
+}
+
+TEST(Io, RejectsLabelOverflow) {
+  // 2^32 does not fit a u32: extraction fails, the loader must throw rather
+  // than silently clamp.
+  std::stringstream ss("sfcp-instance v1\n2\n0 1\n4294967296 0\n");
+  EXPECT_THROW(util::load_instance(ss), std::runtime_error);
+}
+
+TEST(Io, RejectsFunctionOverflow) {
+  std::stringstream ss("sfcp-instance v1\n2\n0 99999999999\n0 0\n");
+  EXPECT_THROW(util::load_instance(ss), std::runtime_error);
+}
+
+TEST(Io, RejectsUnreasonableSize) {
+  std::stringstream ss("sfcp-instance v1\n99999999999999\n");
+  EXPECT_THROW(util::load_instance(ss), std::runtime_error);
+}
+
+TEST(Io, TruncatedFileThrows) {
+  util::Rng rng(2311);
+  const auto inst = util::random_function(200, 3, rng);
+  const std::string path = ::testing::TempDir() + "/sfcp_io_truncated.txt";
+  {
+    std::stringstream ss;
+    util::save_instance(ss, inst);
+    const std::string full = ss.str();
+    std::ofstream os(path, std::ios::binary);
+    os.write(full.data(), static_cast<std::streamsize>(full.size() / 2));
+  }
+  EXPECT_THROW(util::load_instance_file(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+// ---- binary format (sfcp-instance v2) -------------------------------------
+
+TEST(IoBinary, RoundTripStream) {
+  util::Rng rng(2401);
+  const auto inst = util::random_function(777, 5, rng);
+  std::stringstream ss;
+  util::save_instance_binary(ss, inst);
+  const auto loaded = util::load_instance(ss);  // autodetected
+  EXPECT_EQ(loaded.f, inst.f);
+  EXPECT_EQ(loaded.b, inst.b);
+}
+
+TEST(IoBinary, RoundTripEmpty) {
+  graph::Instance inst;
+  std::stringstream ss;
+  util::save_instance_binary(ss, inst);
+  const auto loaded = util::load_instance(ss);
+  EXPECT_TRUE(loaded.f.empty());
+  EXPECT_TRUE(loaded.b.empty());
+}
+
+TEST(IoBinary, FileRoundTripAndAutodetect) {
+  util::Rng rng(2402);
+  const auto inst = util::random_permutation(512, 4, rng);
+  const std::string bin_path = ::testing::TempDir() + "/sfcp_io_test.bin";
+  const std::string txt_path = ::testing::TempDir() + "/sfcp_io_test2.txt";
+  util::save_instance_file(bin_path, inst, util::InstanceFormat::Binary);
+  util::save_instance_file(txt_path, inst, util::InstanceFormat::Text);
+  const auto from_bin = util::load_instance_file(bin_path);
+  const auto from_txt = util::load_instance_file(txt_path);
+  EXPECT_EQ(from_bin.f, inst.f);
+  EXPECT_EQ(from_bin.b, inst.b);
+  EXPECT_EQ(from_txt.f, from_bin.f);
+  EXPECT_EQ(from_txt.b, from_bin.b);
+  std::remove(bin_path.c_str());
+  std::remove(txt_path.c_str());
+}
+
+TEST(IoBinary, RejectsTruncatedPayload) {
+  util::Rng rng(2403);
+  const auto inst = util::random_function(100, 3, rng);
+  std::stringstream ss;
+  util::save_instance_binary(ss, inst);
+  const std::string full = ss.str();
+  for (const std::size_t keep : {std::size_t{4}, std::size_t{10}, full.size() - 5}) {
+    std::stringstream cut(full.substr(0, keep));
+    EXPECT_THROW(util::load_instance(cut), std::runtime_error) << "keep=" << keep;
+  }
+}
+
+TEST(IoBinary, RejectsBadMagic) {
+  std::stringstream ss(std::string("\x7fwrongmg") + std::string(12, '\0'));
+  EXPECT_THROW(util::load_instance(ss), std::runtime_error);
+}
+
+TEST(IoBinary, RejectsOutOfRangeFunction) {
+  // Valid container, f[1] = 7 out of range for n = 2.
+  graph::Instance inst;
+  inst.f = {0, 1};
+  inst.b = {0, 0};
+  std::stringstream ss;
+  util::save_instance_binary(ss, inst);
+  std::string bytes = ss.str();
+  bytes[8 + 4 + 4] = 7;  // magic(8) + n(4) + f[0](4), little-endian low byte
+  std::stringstream patched(bytes);
+  EXPECT_THROW(util::load_instance(patched), std::invalid_argument);
+}
+
+TEST(IoBinary, EmptyInputThrows) {
+  std::stringstream ss;
+  EXPECT_THROW(util::load_instance(ss), std::runtime_error);
 }
 
 }  // namespace
