@@ -1,0 +1,91 @@
+// View production vs O(n) snapshot under a localized edit stream — the
+// serving-loop read path.  Each measured unit is "apply one localized edit,
+// then publish the current partition": view() publishes the O(dirty) patch
+// delta (canonicalization stays lazy), snapshot() additionally materializes
+// and copies the full canonical label array.  On localized streams the gap
+// is the whole point of the incremental read surface.
+#include <benchmark/benchmark.h>
+
+#include <span>
+#include <vector>
+
+#include "inc/incremental_solver.hpp"
+#include "util/generators.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace sfcp;
+
+struct Workload {
+  graph::Instance inst;
+  std::vector<inc::Edit> stream;
+};
+
+Workload make_workload(std::size_t n) {
+  util::Rng rng(n * 131 + 7);
+  Workload w;
+  w.inst = util::random_function(n, 4, rng);
+  util::Rng stream_rng(n * 137 + 11);
+  w.stream =
+      util::random_edit_stream(w.inst, 4096, util::EditMix::LocalizedHotspot, 6, stream_rng);
+  return w;
+}
+
+void apply_edit(inc::IncrementalSolver& solver, const inc::Edit& e) {
+  solver.apply(std::span<const inc::Edit>(&e, 1));
+}
+
+// Edit + O(dirty) view: the patch-chain fast path.
+void BM_ViewAfterEdit(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Workload w = make_workload(n);
+  inc::IncrementalSolver solver(w.inst);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    apply_edit(solver, w.stream[i++ % w.stream.size()]);
+    const core::PartitionView v = solver.view();
+    benchmark::DoNotOptimize(v.num_classes());
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+
+// Edit + point queries on the view: the serving read path (same_class never
+// materializes the canonical index, so it stays O(1)-ish per query).
+void BM_ViewQueryAfterEdit(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Workload w = make_workload(n);
+  inc::IncrementalSolver solver(w.inst);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const inc::Edit& e = w.stream[i++ % w.stream.size()];
+    apply_edit(solver, e);
+    const core::PartitionView v = solver.view();
+    bool same = false;
+    for (u32 d = 1; d <= 8; ++d) {
+      same ^= v.same_class(e.node, (e.node + d * 97) % static_cast<u32>(n));
+    }
+    benchmark::DoNotOptimize(same);
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+
+// Edit + O(n) snapshot: materializes + copies the canonical labels per epoch.
+void BM_SnapshotAfterEdit(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Workload w = make_workload(n);
+  inc::IncrementalSolver solver(w.inst);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    apply_edit(solver, w.stream[i++ % w.stream.size()]);
+    const core::Result r = solver.snapshot();
+    benchmark::DoNotOptimize(r.num_blocks);
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+
+BENCHMARK(BM_ViewAfterEdit)->Arg(1 << 14)->Arg(1 << 17)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ViewQueryAfterEdit)->Arg(1 << 14)->Arg(1 << 17)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SnapshotAfterEdit)->Arg(1 << 14)->Arg(1 << 17)->Unit(benchmark::kMicrosecond);
+
+}  // namespace

@@ -1,32 +1,40 @@
-// incremental_server — a REPL-style serving loop around
-// inc::IncrementalSolver: load or generate an instance once, then answer a
-// stream of edits and queries while the coarsest partition is maintained
-// incrementally.  Pipe a script in, or drive it interactively:
+// incremental_server — a REPL-style serving loop over the sfcp::Engine
+// facade: load or generate an instance once, pick an engine from
+// sfcp::engines() ("incremental" repairs per edit, "batch" re-solves per
+// epoch), then answer a stream of edits and queries against immutable
+// PartitionView snapshots.  Pipe a script in, or drive it interactively:
 //
 //   $ ./incremental_server
 //   > gen random 100000 42
-//   n=100000 blocks=214
+//   n=100000 engine=incremental classes=214 epoch=0
 //   > setb 17 3
-//   ok (repair, 1 dirty)
-//   > query 17
-//   q[17] = 214
-//   > stats
-//   edits=1 repairs=1 rebuilds=0 ...
+//   ok (repair, 1 dirty) classes=215 epoch=1
+//   > classof 17
+//   class(17) = 214
+//   > members 214
+//   class 214 (1 node): 17
+//   > checkpoint warm.ckpt
+//   checkpoint written to warm.ckpt
 //
 // Commands: gen <random|permutation|mergeable|longtail> <n> [seed]
+//           engine <incremental|batch>    (selects engine; reloads instance)
 //           load <path>            (text or binary instance, autodetected)
-//           save <path> [binary]
+//           save <path> [binary]   (instance only)
+//           checkpoint <path>      (sfcp-checkpoint v1: warm engine state)
+//           restore <path>         (restart warm from a checkpoint)
 //           setf <x> <y>  |  setb <x> <label>
 //           edits <path>           (apply an sfcp-edits v1 stream)
 //           stream <localized|uniform|churn> <count> [seed]
-//           query <x>  |  blocks  |  stats  |  help  |  quit
+//           classof <x> | query <x> | members <c> | blocks
+//           stats  |  help  |  quit
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
 
-#include "inc/incremental_solver.hpp"
+#include "engine.hpp"
 #include "pram/metrics.hpp"
 #include "util/generators.hpp"
 #include "util/io.hpp"
@@ -39,14 +47,18 @@ namespace {
 void print_help() {
   std::cout << "commands:\n"
                "  gen <random|permutation|mergeable|longtail> <n> [seed]\n"
+               "  engine <incremental|batch>   select engine kind (re-adopts instance)\n"
                "  load <path>              load instance (text/binary autodetect)\n"
                "  save <path> [binary]     save current instance\n"
+               "  checkpoint <path>        write warm engine state (sfcp-checkpoint v1)\n"
+               "  restore <path>           restart warm from a checkpoint\n"
                "  setf <x> <y>             f[x] <- y\n"
                "  setb <x> <label>         b[x] <- label\n"
                "  edits <path>             apply an sfcp-edits v1 file\n"
                "  stream <localized|uniform|churn> <count> [seed]\n"
-               "  query <x>                current Q-label of x\n"
-               "  blocks                   current block count\n"
+               "  classof <x>              canonical class of x (alias: query)\n"
+               "  members <c>              nodes of class c\n"
+               "  blocks                   current class count\n"
                "  stats                    edit statistics + metrics\n"
                "  quit\n";
 }
@@ -70,30 +82,38 @@ std::optional<util::EditMix> parse_mix(const std::string& name) {
 }  // namespace
 
 int main() {
-  std::unique_ptr<inc::IncrementalSolver> solver;
+  std::unique_ptr<Engine> engine;
+  std::string engine_kind = "incremental";
   pram::Metrics metrics;
   util::Rng stream_seed_rng(0xd1ce);
 
-  const auto ensure = [&]() -> inc::IncrementalSolver* {
-    if (!solver) std::cout << "no instance loaded (use gen or load)\n";
-    return solver.get();
+  const auto ensure = [&]() -> Engine* {
+    if (!engine) std::cout << "no instance loaded (use gen or load)\n";
+    return engine.get();
   };
   const auto adopt = [&](graph::Instance inst) {
-    solver = std::make_unique<inc::IncrementalSolver>(
-        std::move(inst), core::Options::parallel(),
-        pram::ExecutionContext{}.with_metrics(&metrics));
-    std::cout << "n=" << solver->size() << " blocks=" << solver->num_blocks() << "\n";
+    engine = engines().make(engine_kind, std::move(inst), core::Options::parallel(),
+                            pram::ExecutionContext{}.with_metrics(&metrics));
+    const core::PartitionView v = engine->view();
+    std::cout << "n=" << engine->size() << " engine=" << engine->kind()
+              << " classes=" << v.num_classes() << " epoch=" << v.epoch() << "\n";
   };
-  const auto report_edit = [&](const inc::EditStats& before) {
-    const inc::EditStats& now = solver->stats();
-    if (now.rebuilds > before.rebuilds) {
-      std::cout << "ok (" << now.rebuilds - before.rebuilds << " rebuild(s))\n";
+  const auto incremental = [&]() -> IncrementalEngine* {
+    return dynamic_cast<IncrementalEngine*>(engine.get());
+  };
+  const auto report_edits = [&](u64 edits_applied) {
+    if (IncrementalEngine* ie = incremental()) {
+      const auto& s = ie->solver().stats();
+      std::cout << "applied " << edits_applied << " edit(s) (repairs=" << s.repairs
+                << " rebuilds=" << s.rebuilds << " lifetime)";
     } else {
-      std::cout << "ok (repair, " << now.dirty_nodes - before.dirty_nodes << " dirty)\n";
+      std::cout << "applied " << edits_applied << " edit(s)";
     }
+    const core::PartitionView v = engine->view();
+    std::cout << " classes=" << v.num_classes() << " epoch=" << v.epoch() << "\n";
   };
 
-  std::cout << "incremental SFCP server — 'help' for commands\n";
+  std::cout << "SFCP serving REPL (engine facade) — 'help' for commands\n";
   std::string line;
   while (std::cout << "> " << std::flush, std::getline(std::cin, line)) {
     std::istringstream ss(line);
@@ -103,6 +123,21 @@ int main() {
       if (cmd == "quit" || cmd == "exit") break;
       if (cmd == "help") {
         print_help();
+      } else if (cmd == "engine") {
+        std::string kind;
+        ss >> kind;
+        if (!engines().find(kind)) {
+          std::cout << "unknown engine '" << kind << "' (have:";
+          for (const auto& name : engines().names()) std::cout << ' ' << name;
+          std::cout << ")\n";
+          continue;
+        }
+        engine_kind = kind;
+        if (engine) {
+          adopt(graph::Instance(engine->instance()));  // re-adopt under the new kind
+        } else {
+          std::cout << "engine=" << engine_kind << " (takes effect on gen/load)\n";
+        }
       } else if (cmd == "gen") {
         std::string kind;
         std::size_t n = 0;
@@ -123,10 +158,37 @@ int main() {
         if (!ensure()) continue;
         std::string path, mode;
         ss >> path >> mode;
-        util::save_instance_file(path, solver->instance(),
+        util::save_instance_file(path, engine->instance(),
                                  mode == "binary" ? util::InstanceFormat::Binary
                                                   : util::InstanceFormat::Text);
         std::cout << "saved " << path << "\n";
+      } else if (cmd == "checkpoint") {
+        if (!ensure()) continue;
+        std::string path;
+        ss >> path;
+        // Probe before opening: ofstream would truncate an existing (good)
+        // checkpoint even when this engine has nothing to write.
+        if (!engine->checkpointable()) {
+          std::cout << "engine '" << engine->kind() << "' has no checkpointable state "
+                    << "(use 'engine incremental')\n";
+          continue;
+        }
+        util::atomic_write_file(path, [&](std::ostream& os) { engine->save_checkpoint(os); });
+        std::cout << "checkpoint written to " << path << "\n";
+      } else if (cmd == "restore") {
+        std::string path;
+        ss >> path;
+        std::ifstream is(path, std::ios::binary);
+        if (!is) {
+          std::cout << "cannot open " << path << "\n";
+          continue;
+        }
+        engine = load_incremental_engine(is, core::Options::parallel(),
+                                         pram::ExecutionContext{}.with_metrics(&metrics));
+        engine_kind = std::string(engine->kind());
+        const core::PartitionView v = engine->view();
+        std::cout << "restored n=" << engine->size() << " engine=" << engine->kind()
+                  << " classes=" << v.num_classes() << " epoch=" << v.epoch() << "\n";
       } else if (cmd == "setf" || cmd == "setb") {
         if (!ensure()) continue;
         u32 x = 0, v = 0;
@@ -134,24 +196,19 @@ int main() {
           std::cout << "usage: " << cmd << " <x> <value>\n";
           continue;
         }
-        const inc::EditStats before = solver->stats();
         if (cmd == "setf") {
-          solver->set_f(x, v);
+          engine->set_f(x, v);
         } else {
-          solver->set_b(x, v);
+          engine->set_b(x, v);
         }
-        report_edit(before);
+        report_edits(1);
       } else if (cmd == "edits") {
         if (!ensure()) continue;
         std::string path;
         ss >> path;
         const auto stream = util::load_edits_file(path);
-        const inc::EditStats before = solver->stats();
-        solver->apply(stream);
-        std::cout << "applied " << stream.size() << " edits (repairs +"
-                  << solver->stats().repairs - before.repairs << ", rebuilds +"
-                  << solver->stats().rebuilds - before.rebuilds
-                  << "), blocks=" << solver->num_blocks() << "\n";
+        engine->apply(stream);
+        report_edits(stream.size());
       } else if (cmd == "stream") {
         if (!ensure()) continue;
         std::string mix_name;
@@ -165,33 +222,46 @@ int main() {
           continue;
         }
         util::Rng rng(seed);
-        const auto stream =
-            util::random_edit_stream(solver->instance(), count, *mix, 6, rng);
-        const inc::EditStats before = solver->stats();
-        solver->apply(stream);
-        std::cout << "applied " << stream.size() << " edits (repairs +"
-                  << solver->stats().repairs - before.repairs << ", rebuilds +"
-                  << solver->stats().rebuilds - before.rebuilds
-                  << "), blocks=" << solver->num_blocks() << "\n";
-      } else if (cmd == "query") {
+        const auto stream = util::random_edit_stream(engine->instance(), count, *mix, 6, rng);
+        engine->apply(stream);
+        report_edits(stream.size());
+      } else if (cmd == "classof" || cmd == "query") {
         if (!ensure()) continue;
         u32 x = 0;
-        if (!(ss >> x) || x >= solver->size()) {
-          std::cout << "usage: query <x> with x < n\n";
+        if (!(ss >> x) || x >= engine->size()) {
+          std::cout << "usage: " << cmd << " <x> with x < n\n";
           continue;
         }
-        std::cout << "q[" << x << "] = " << solver->label_of(x) << "\n";
+        std::cout << "class(" << x << ") = " << engine->view().class_of(x) << "\n";
+      } else if (cmd == "members") {
+        if (!ensure()) continue;
+        const core::PartitionView v = engine->view();
+        u32 c = 0;
+        if (!(ss >> c) || c >= v.num_classes()) {
+          std::cout << "usage: members <c> with c < " << v.num_classes() << "\n";
+          continue;
+        }
+        const auto members = v.class_members(c);
+        std::cout << "class " << c << " (" << members.size()
+                  << (members.size() == 1 ? " node):" : " nodes):");
+        const std::size_t shown = std::min<std::size_t>(members.size(), 16);
+        for (std::size_t i = 0; i < shown; ++i) std::cout << ' ' << members[i];
+        if (shown < members.size()) std::cout << " ... (+" << members.size() - shown << ")";
+        std::cout << "\n";
       } else if (cmd == "blocks") {
         if (!ensure()) continue;
-        std::cout << "blocks = " << solver->num_blocks() << "\n";
+        std::cout << "classes = " << engine->view().num_classes() << "\n";
       } else if (cmd == "stats") {
         if (!ensure()) continue;
-        const auto& s = solver->stats();
-        std::cout << "edits=" << s.edits << " repairs=" << s.repairs
-                  << " rebuilds=" << s.rebuilds << " dirty_nodes=" << s.dirty_nodes
-                  << " cycles_created=" << s.cycles_created
-                  << " cycles_destroyed=" << s.cycles_destroyed << "\n"
-                  << "metrics: " << metrics.summary() << "\n";
+        std::cout << "engine=" << engine->kind() << " epoch=" << engine->epoch() << "\n";
+        if (IncrementalEngine* ie = incremental()) {
+          const auto& s = ie->solver().stats();
+          std::cout << "edits=" << s.edits << " repairs=" << s.repairs
+                    << " rebuilds=" << s.rebuilds << " dirty_nodes=" << s.dirty_nodes
+                    << " cycles_created=" << s.cycles_created
+                    << " cycles_destroyed=" << s.cycles_destroyed << "\n";
+        }
+        std::cout << "metrics: " << metrics.summary() << "\n";
       } else {
         std::cout << "unknown command '" << cmd << "' — try 'help'\n";
       }

@@ -6,13 +6,18 @@
 //   $ ./sfcp_cli solve instance.txt                 # prints Q summary
 //   $ ./sfcp_cli solve instance.txt --strategy sequential
 //   $ ./sfcp_cli solve instance.txt --strategy powers-jump-double --threads 2
+//   $ ./sfcp_cli solve instance.txt --engine incremental
+//   $ ./sfcp_cli classes instance.txt 5             # largest Q-classes
 //   $ ./sfcp_cli strategies                         # list registry entries
+//   $ ./sfcp_cli engines                            # list engine kinds
 //   $ ./sfcp_cli verify instance.txt                # solve + oracle check
 //   $ ./sfcp_cli stats instance.txt                 # orbit statistics
 //   $ ./sfcp_cli dot instance.txt > graph.dot       # Graphviz, Q-clustered
+#include <algorithm>
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "sfcp.hpp"
 
@@ -45,21 +50,55 @@ int cmd_gen(int argc, char** argv) {
   return 0;
 }
 
-int cmd_solve(const std::string& path, const std::string& strategy, int threads) {
-  const auto inst = util::load_instance_file(path);
+int cmd_solve(const std::string& path, const std::string& strategy, int threads,
+              const std::string& engine_kind) {
+  auto inst = util::load_instance_file(path);
+  const std::size_t n = inst.size();
   pram::Metrics metrics;
-  core::Solver solver(sfcp::registry().at(strategy),
-                      pram::ExecutionContext{}.with_threads(threads).with_metrics(&metrics));
   util::Timer timer;
-  const core::Result r = solver.solve(inst);
-  std::cout << "n=" << inst.size() << "  strategy=" << strategy << "  blocks=" << r.num_blocks
-            << "  cycles=" << r.num_cycles << "  cycle_nodes=" << r.cycle_nodes << "\n"
+  // Programs against the engine facade: the same line serves "batch" (one
+  // solve) and "incremental" (solve + warm repair state for edits).
+  auto engine = sfcp::engines().make(
+      engine_kind, std::move(inst), sfcp::registry().at(strategy),
+      pram::ExecutionContext{}.with_threads(threads).with_metrics(&metrics));
+  const core::PartitionView v = engine->view();
+  const core::ViewCounters& c = v.counters();
+  std::cout << "n=" << n << "  engine=" << engine->kind() << "  strategy=" << strategy
+            << "  classes=" << v.num_classes() << "  cycles=" << c.num_cycles
+            << "  cycle_nodes=" << c.cycle_nodes << "\n"
             << "time=" << timer.millis() << "ms  " << metrics.summary() << "\n";
+  return 0;
+}
+
+int cmd_classes(const std::string& path, std::size_t top) {
+  const auto inst = util::load_instance_file(path);
+  core::Solver solver;
+  const core::PartitionView v = solver.solve_view(inst);
+  std::vector<u32> ids(v.num_classes());
+  for (u32 c = 0; c < v.num_classes(); ++c) ids[c] = c;
+  std::stable_sort(ids.begin(), ids.end(),
+                   [&](u32 a, u32 b) { return v.class_size(a) > v.class_size(b); });
+  std::cout << "n=" << v.size() << "  classes=" << v.num_classes() << "\n";
+  for (std::size_t i = 0; i < std::min<std::size_t>(top, ids.size()); ++i) {
+    const auto members = v.class_members(ids[i]);
+    std::cout << "  class " << ids[i] << " (" << members.size() << "):";
+    const std::size_t shown = std::min<std::size_t>(members.size(), 10);
+    for (std::size_t j = 0; j < shown; ++j) std::cout << ' ' << members[j];
+    if (shown < members.size()) std::cout << " ...";
+    std::cout << "\n";
+  }
   return 0;
 }
 
 int cmd_strategies() {
   for (const auto& e : sfcp::registry().all()) {
+    std::cout << e.name << "\n    " << e.description << "\n";
+  }
+  return 0;
+}
+
+int cmd_engines() {
+  for (const auto& e : sfcp::engines().all()) {
     std::cout << e.name << "\n    " << e.description << "\n";
   }
   return 0;
@@ -95,19 +134,21 @@ int cmd_dot(const std::string& path) {
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::cerr << "usage: sfcp_cli {gen|solve|verify|stats|dot|strategies} ...\n";
+    std::cerr << "usage: sfcp_cli {gen|solve|classes|verify|stats|dot|strategies|engines} ...\n";
     return 2;
   }
   const std::string cmd = argv[1];
   try {
     if (cmd == "strategies") return cmd_strategies();
+    if (cmd == "engines") return cmd_engines();
     if (argc < 3) {
-      std::cerr << "usage: sfcp_cli {gen|solve|verify|stats|dot|strategies} ...\n";
+      std::cerr << "usage: sfcp_cli {gen|solve|classes|verify|stats|dot|strategies|engines} ...\n";
       return 2;
     }
     if (cmd == "gen") return cmd_gen(argc - 2, argv + 2);
     if (cmd == "solve") {
       std::string strategy = "parallel";
+      std::string engine = "batch";
       int threads = 0;
       for (int i = 3; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -115,6 +156,8 @@ int main(int argc, char** argv) {
           strategy = "sequential";  // backwards-compatible spelling
         } else if (arg == "--strategy" && i + 1 < argc) {
           strategy = argv[++i];
+        } else if (arg == "--engine" && i + 1 < argc) {
+          engine = argv[++i];
         } else if (arg == "--threads" && i + 1 < argc) {
           threads = std::atoi(argv[++i]);
         } else {
@@ -122,7 +165,11 @@ int main(int argc, char** argv) {
           return 2;
         }
       }
-      return cmd_solve(argv[2], strategy, threads);
+      return cmd_solve(argv[2], strategy, threads, engine);
+    }
+    if (cmd == "classes") {
+      const std::size_t top = argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 10;
+      return cmd_classes(argv[2], top);
     }
     if (cmd == "verify") return cmd_verify(argv[2]);
     if (cmd == "stats") return cmd_stats(argv[2]);

@@ -1,8 +1,37 @@
 #include "core/coarsest_partition.hpp"
 
+#include <utility>
+
 #include "prim/rename.hpp"
 
 namespace sfcp::core {
+
+namespace {
+ViewCounters counters_of(const Result& r) {
+  return ViewCounters{r.num_cycles, r.cycle_nodes, r.kept_tree_nodes, r.residual_tree_nodes};
+}
+}  // namespace
+
+PartitionView Result::view(u64 epoch) const& {
+  return PartitionView::from_canonical(q, num_blocks, epoch, counters_of(*this));
+}
+
+PartitionView Result::view(u64 epoch) && {
+  return PartitionView::from_canonical(std::move(q), num_blocks, epoch, counters_of(*this));
+}
+
+Result PartitionView::to_result() const {
+  Result r;
+  const std::span<const u32> q = labels();
+  r.q.assign(q.begin(), q.end());
+  r.num_blocks = num_classes();
+  const ViewCounters& c = counters();
+  r.num_cycles = c.num_cycles;
+  r.cycle_nodes = c.cycle_nodes;
+  r.kept_tree_nodes = c.kept_tree_nodes;
+  r.residual_tree_nodes = c.residual_tree_nodes;
+  return r;
+}
 
 Options Options::parallel() { return Options{}; }
 

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/cycle_labeling.hpp"
+#include "core/partition_view.hpp"
 #include "core/tree_labeling.hpp"
 #include "graph/cycle_detect.hpp"
 #include "graph/cycle_structure.hpp"
@@ -40,6 +41,11 @@ struct Result {
   u32 cycle_nodes = 0;
   u32 kept_tree_nodes = 0;
   u32 residual_tree_nodes = 0;
+
+  /// The partition as an immutable, shareable PartitionView (the preferred
+  /// query surface).  The lvalue form copies q; the rvalue form moves it.
+  PartitionView view(u64 epoch = 0) const&;
+  PartitionView view(u64 epoch = 0) &&;
 };
 
 /// Reusable scratch for repeated solves (the Solver hot path): holds the

@@ -1,0 +1,271 @@
+#include "core/partition_view.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "pram/metrics.hpp"
+#include "prim/rename.hpp"
+
+namespace sfcp::core {
+
+namespace {
+// A chain flattens into a fresh O(n) root once the stacked patches reach
+// n/4 (amortized O(1) per patched node).  Depth alone never justifies an
+// O(n) pass: when only the depth bound trips, the chain is collapsed into a
+// single merged patch on its root — O(cumulative patch) — so the O(dirty)
+// view cost survives arbitrarily long localized streams.
+constexpr u32 kMaxChainDepth = 128;
+}  // namespace
+
+struct PartitionView::Rep {
+  std::shared_ptr<const Rep> base;  ///< null for a root
+  std::vector<u32> full;            ///< root only: raw label per node
+  std::vector<u32> patch_nodes;     ///< non-root: patched nodes, ascending
+  std::vector<u32> patch_labels;    ///< raw labels parallel to patch_nodes
+
+  std::size_t n = 0;
+  u32 raw_bound = 0;  ///< all raw labels (incl. every ancestor's) < raw_bound
+  u32 num_classes = 0;
+  u64 epoch = 0;
+  u32 depth = 0;              ///< chain length above the root
+  std::size_t cum_patch = 0;  ///< patched entries across this rep + ancestors
+  bool root_canonical = false;  ///< root only: full is already canonical
+  ViewCounters counters;
+
+  mutable std::once_flag canon_once;
+  mutable std::vector<u32> canon;       ///< canonical labels (unused when root_canonical)
+  mutable std::vector<u32> class_size;  ///< per canonical class
+
+  mutable std::once_flag csr_once;
+  mutable std::vector<u32> csr_offsets;  ///< num_classes + 1
+  mutable std::vector<u32> csr_members;  ///< nodes grouped by class, ascending
+
+  u32 raw_label(u32 x) const {
+    for (const Rep* r = this; r; r = r->base.get()) {
+      if (!r->base) return r->full[x];
+      const auto it = std::lower_bound(r->patch_nodes.begin(), r->patch_nodes.end(), x);
+      if (it != r->patch_nodes.end() && *it == x) {
+        return r->patch_labels[static_cast<std::size_t>(it - r->patch_nodes.begin())];
+      }
+    }
+    return 0;  // unreachable: every chain ends in a root
+  }
+
+  /// Raw labels of all nodes: the root's array with each generation's patch
+  /// applied oldest-first.  O(n + total patches).
+  void resolve_raw_into(std::vector<u32>& out) const {
+    std::vector<const Rep*> chain;
+    for (const Rep* r = this; r; r = r->base.get()) chain.push_back(r);
+    out = chain.back()->full;
+    for (auto it = chain.rbegin() + 1; it != chain.rend(); ++it) {
+      const Rep* r = *it;
+      for (std::size_t i = 0; i < r->patch_nodes.size(); ++i) {
+        out[r->patch_nodes[i]] = r->patch_labels[i];
+      }
+    }
+  }
+
+  void ensure_canonical() const {
+    std::call_once(canon_once, [this] {
+      class_size.assign(num_classes, 0);
+      if (root_canonical) {
+        for (u32 l : full) ++class_size[l];
+        return;
+      }
+      resolve_raw_into(canon);
+      // Dense first-occurrence remap over the raw label space.
+      std::vector<u32> remap(raw_bound, kNone);
+      u32 next = 0;
+      for (u32& l : canon) {
+        u32& slot = remap[l];
+        if (slot == kNone) slot = next++;
+        l = slot;
+        ++class_size[l];
+      }
+      pram::charge(n);
+    });
+  }
+
+  std::span<const u32> canonical_span() const {
+    ensure_canonical();
+    return root_canonical ? std::span<const u32>(full) : std::span<const u32>(canon);
+  }
+
+  void ensure_csr() const {
+    std::call_once(csr_once, [this] {
+      const std::span<const u32> q = canonical_span();
+      csr_offsets.assign(num_classes + 1, 0);
+      for (u32 l : q) ++csr_offsets[l + 1];
+      std::partial_sum(csr_offsets.begin(), csr_offsets.end(), csr_offsets.begin());
+      csr_members.resize(n);
+      std::vector<u32> cursor(csr_offsets.begin(), csr_offsets.end() - 1);
+      for (u32 v = 0; v < static_cast<u32>(n); ++v) csr_members[cursor[q[v]]++] = v;
+      pram::charge(2 * n);
+    });
+  }
+};
+
+PartitionView PartitionView::from_canonical(std::vector<u32> q, u32 num_classes, u64 epoch,
+                                            ViewCounters counters) {
+  auto rep = std::make_shared<Rep>();
+  rep->n = q.size();
+  rep->full = std::move(q);
+  rep->raw_bound = num_classes;
+  rep->num_classes = num_classes;
+  rep->epoch = epoch;
+  rep->root_canonical = true;
+  rep->counters = counters;
+  return PartitionView(std::move(rep));
+}
+
+PartitionView PartitionView::from_labels(std::span<const u32> labels, u64 epoch,
+                                         ViewCounters counters) {
+  auto canon = prim::canonicalize_labels(labels);
+  return from_canonical(std::move(canon.labels), canon.num_classes, epoch, counters);
+}
+
+PartitionView PartitionView::from_raw(std::vector<u32> raw, u32 raw_bound, u32 num_classes,
+                                      u64 epoch, ViewCounters counters) {
+  auto rep = std::make_shared<Rep>();
+  rep->n = raw.size();
+  rep->full = std::move(raw);
+  rep->raw_bound = raw_bound;
+  rep->num_classes = num_classes;
+  rep->epoch = epoch;
+  rep->counters = counters;
+  pram::charge_view(false, rep->n);
+  return PartitionView(std::move(rep));
+}
+
+PartitionView PartitionView::patched(const PartitionView& base, std::vector<u32> nodes,
+                                     std::vector<u32> raw_labels, u32 raw_bound,
+                                     u32 num_classes, u64 epoch, ViewCounters counters) {
+  if (!base.rep_) {
+    throw std::invalid_argument("PartitionView::patched: base view is empty");
+  }
+  if (nodes.size() != raw_labels.size()) {
+    throw std::invalid_argument("PartitionView::patched: nodes/labels size mismatch");
+  }
+  const Rep& b = *base.rep_;
+  const std::size_t n = b.n;
+
+  if ((b.cum_patch + nodes.size()) * 4 > n) {
+    // Flatten: materialize the base's raw labels once and start a new root.
+    // Amortized O(1) per patched node (a flatten needs >= n/4 of them).
+    std::vector<u32> raw;
+    b.resolve_raw_into(raw);
+    for (std::size_t i = 0; i < nodes.size(); ++i) raw[nodes[i]] = raw_labels[i];
+    pram::charge(n);
+    return from_raw(std::move(raw), raw_bound, num_classes, epoch, counters);
+  }
+
+  std::shared_ptr<const Rep> parent = base.rep_;
+  if (b.depth + 1 >= kMaxChainDepth) {
+    // Collapse: merge every patch in the chain (oldest first, newest wins)
+    // plus this delta into one patch directly on the root — O(cum_patch),
+    // NOT O(n) — restoring constant lookup depth without breaking the
+    // O(dirty) view-cost contract on long localized streams.
+    std::vector<const Rep*> chain;
+    for (const Rep* r = &b; r->base; r = r->base.get()) chain.push_back(r);
+    std::unordered_map<u32, u32> merged;
+    merged.reserve(b.cum_patch + nodes.size());
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      const Rep* r = *it;
+      for (std::size_t i = 0; i < r->patch_nodes.size(); ++i) {
+        merged[r->patch_nodes[i]] = r->patch_labels[i];
+      }
+    }
+    for (std::size_t i = 0; i < nodes.size(); ++i) merged[nodes[i]] = raw_labels[i];
+    nodes.clear();
+    raw_labels.clear();
+    for (const auto& [node, label] : merged) {
+      nodes.push_back(node);
+      raw_labels.push_back(label);
+    }
+    parent = base.rep_;
+    while (parent->base) parent = parent->base;
+  }
+
+  // Sort the delta by node so lookups can binary-search it.
+  std::vector<std::size_t> order(nodes.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t c) { return nodes[a] < nodes[c]; });
+  auto rep = std::make_shared<Rep>();
+  rep->patch_nodes.reserve(nodes.size());
+  rep->patch_labels.reserve(nodes.size());
+  for (std::size_t i : order) {
+    rep->patch_nodes.push_back(nodes[i]);
+    rep->patch_labels.push_back(raw_labels[i]);
+  }
+  rep->base = parent;
+  rep->n = n;
+  rep->raw_bound = raw_bound;
+  rep->num_classes = num_classes;
+  rep->epoch = epoch;
+  rep->depth = parent->depth + 1;
+  rep->cum_patch = parent->cum_patch + rep->patch_nodes.size();
+  rep->counters = counters;
+  pram::charge_view(true, rep->patch_nodes.size());
+  return PartitionView(std::move(rep));
+}
+
+std::size_t PartitionView::size() const noexcept { return rep_ ? rep_->n : 0; }
+
+u32 PartitionView::num_classes() const noexcept { return rep_ ? rep_->num_classes : 0; }
+
+u64 PartitionView::epoch() const noexcept { return rep_ ? rep_->epoch : 0; }
+
+const ViewCounters& PartitionView::counters() const noexcept {
+  static const ViewCounters kEmpty{};
+  return rep_ ? rep_->counters : kEmpty;
+}
+
+u32 PartitionView::class_of(u32 x) const {
+  if (x >= size()) {
+    throw std::out_of_range("PartitionView::class_of: node " + std::to_string(x) +
+                            " out of range (n = " + std::to_string(size()) + ")");
+  }
+  return rep_->canonical_span()[x];
+}
+
+bool PartitionView::same_class(u32 x, u32 y) const {
+  if (x >= size() || y >= size()) {
+    throw std::out_of_range("PartitionView::same_class: node out of range (n = " +
+                            std::to_string(size()) + ")");
+  }
+  return rep_->raw_label(x) == rep_->raw_label(y);
+}
+
+std::span<const u32> PartitionView::class_members(u32 c) const {
+  if (c >= num_classes()) {
+    throw std::out_of_range("PartitionView::class_members: class " + std::to_string(c) +
+                            " out of range (num_classes = " + std::to_string(num_classes()) +
+                            ")");
+  }
+  rep_->ensure_csr();
+  return std::span<const u32>(rep_->csr_members)
+      .subspan(rep_->csr_offsets[c], rep_->csr_offsets[c + 1] - rep_->csr_offsets[c]);
+}
+
+u32 PartitionView::class_size(u32 c) const {
+  if (c >= num_classes()) {
+    throw std::out_of_range("PartitionView::class_size: class " + std::to_string(c) +
+                            " out of range (num_classes = " + std::to_string(num_classes()) +
+                            ")");
+  }
+  rep_->ensure_canonical();
+  return rep_->class_size[c];
+}
+
+std::span<const u32> PartitionView::labels() const {
+  if (!rep_) return {};
+  return rep_->canonical_span();
+}
+
+}  // namespace sfcp::core

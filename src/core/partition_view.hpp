@@ -1,0 +1,174 @@
+#pragma once
+// PartitionView — the library's read surface: an immutable, shared,
+// versioned handle on one partition of [0, n).
+//
+//   core::PartitionView v = solver.solve_view(inst);     // or inc.view()
+//   v.class_of(x);                // canonical class id, O(1)
+//   v.same_class(x, y);           // O(1), no canonicalization needed
+//   v.class_members(c);           // CSR span, built lazily once per view
+//   for (auto [id, members] : v.classes()) ...
+//
+// A view is a snapshot: once obtained it never changes, no matter what the
+// engine that produced it does next (snapshot isolation).  Views are cheap
+// value types — a shared_ptr to an immutable representation — so a serving
+// loop can hand them to many concurrent reader threads; all lazy indexes
+// (canonical labels, the CSR members index) are built at most once per
+// representation, thread-safely, and shared by every holder.
+//
+// Versioning: epoch() is the producing engine's edit clock.  Two views with
+// equal epochs from the same engine describe the same partition, which lets
+// readers skip reprocessing unchanged snapshots.
+//
+// Representation: a view is either a root (full label array) or a patch on
+// an older view (the nodes an incremental repair relabelled, sorted).  That
+// is what makes inc::IncrementalSolver::view() cost O(dirty-since-last-view)
+// instead of O(n): repairs record a label delta and view() freezes just that
+// delta on top of the previous view.  Chains self-flatten once the stacked
+// patches rival n (amortized O(1) per patched node) or grow too deep.
+// Canonical labels — first-occurrence order, byte-identical to core::solve —
+// are materialized lazily, on the first query that needs them.
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "pram/types.hpp"
+
+namespace sfcp::core {
+
+struct Result;  // coarsest_partition.hpp
+
+/// Solve-shaped diagnostics carried by a view into Result conversion.
+struct ViewCounters {
+  u32 num_cycles = 0;
+  u32 cycle_nodes = 0;
+  u32 kept_tree_nodes = 0;
+  u32 residual_tree_nodes = 0;
+};
+
+class PartitionView {
+ public:
+  /// Empty view: size() == 0, num_classes() == 0.
+  PartitionView() = default;
+
+  // ---- builders ----------------------------------------------------------
+
+  /// Wraps labels already in canonical first-occurrence order (e.g. a
+  /// core::Result's q).  No per-node work beyond taking ownership.
+  static PartitionView from_canonical(std::vector<u32> q, u32 num_classes, u64 epoch = 0,
+                                      ViewCounters counters = {});
+
+  /// Canonicalizes arbitrary labels (equality-preserving) into a fresh view.
+  static PartitionView from_labels(std::span<const u32> labels, u64 epoch = 0,
+                                   ViewCounters counters = {});
+
+  // Engine-side builders (used by inc::IncrementalSolver and other
+  // incremental producers; most callers never need them).
+
+  /// Root view over raw (possibly sparse) labels < raw_bound.
+  static PartitionView from_raw(std::vector<u32> raw, u32 raw_bound, u32 num_classes,
+                                u64 epoch, ViewCounters counters = {});
+
+  /// Derives a new view from `base` by patching `nodes`' raw labels (the
+  /// dirty delta of the edits between the two epochs).  O(|nodes| log) —
+  /// `base` itself is never modified.  Self-flattens to a fresh root (O(n))
+  /// when the accumulated patches rival n or the chain grows too deep.
+  static PartitionView patched(const PartitionView& base, std::vector<u32> nodes,
+                               std::vector<u32> raw_labels, u32 raw_bound, u32 num_classes,
+                               u64 epoch, ViewCounters counters = {});
+
+  // ---- queries -----------------------------------------------------------
+
+  std::size_t size() const noexcept;
+  u32 num_classes() const noexcept;
+  u64 epoch() const noexcept;
+  const ViewCounters& counters() const noexcept;
+
+  /// Canonical class id of x, in [0, num_classes): first-occurrence order,
+  /// identical to core::solve's labels on the same partition.  O(1) after
+  /// the view's canonical index is built (lazily, once, thread-safe).
+  /// Throws std::out_of_range for x >= size().
+  u32 class_of(u32 x) const;
+
+  /// Whether x and y share a class.  Never materializes the canonical index
+  /// (raw labels already decide equality), so it is cheap even on a view
+  /// whose canonical labels were never demanded.
+  bool same_class(u32 x, u32 y) const;
+
+  /// Members of class c, ascending.  Backed by a CSR index built lazily once
+  /// per view.  Throws std::out_of_range for c >= num_classes().
+  std::span<const u32> class_members(u32 c) const;
+
+  /// Size of class c, O(1) (after the canonical index is built).
+  u32 class_size(u32 c) const;
+
+  /// The full canonical label array (first-occurrence order, byte-identical
+  /// to core::solve on the same partition).
+  std::span<const u32> labels() const;
+
+  /// Conversion to the classic result record (copies the canonical labels;
+  /// counters are passed through).  Defined in coarsest_partition.
+  Result to_result() const;
+
+  // ---- class iteration ---------------------------------------------------
+
+  struct ClassRef {
+    u32 id = 0;
+    std::span<const u32> members;
+  };
+
+  // Iterator and range (defined below; they need the complete type) hold
+  // the view BY VALUE — a cheap shared_ptr copy — so a temporary view stays
+  // alive for as long as anything iterates it and
+  // `for (auto [id, members] : engine->view().classes())` is safe even
+  // under C++20's range-for rules (no P2718 lifetime extension).
+  class ClassIterator;
+  struct ClassRange;
+
+  /// Range over all classes: `for (auto [id, members] : v.classes())`.
+  ClassRange classes() const;
+
+ private:
+  struct Rep;
+  explicit PartitionView(std::shared_ptr<const Rep> rep) : rep_(std::move(rep)) {}
+
+  std::shared_ptr<const Rep> rep_;
+};
+
+class PartitionView::ClassIterator {
+ public:
+  using value_type = ClassRef;
+  using difference_type = std::ptrdiff_t;
+
+  ClassIterator() = default;
+  ClassIterator(PartitionView view, u32 c) : view_(std::move(view)), c_(c) {}
+  ClassRef operator*() const { return {c_, view_.class_members(c_)}; }
+  ClassIterator& operator++() {
+    ++c_;
+    return *this;
+  }
+  ClassIterator operator++(int) {
+    ClassIterator old = *this;
+    ++c_;
+    return old;
+  }
+  friend bool operator==(const ClassIterator& a, const ClassIterator& b) {
+    return a.c_ == b.c_;
+  }
+
+ private:
+  PartitionView view_;
+  u32 c_ = 0;
+};
+
+struct PartitionView::ClassRange {
+  PartitionView view;
+  ClassIterator begin() const { return {view, 0}; }
+  ClassIterator end() const { return {view, view.num_classes()}; }
+};
+
+inline PartitionView::ClassRange PartitionView::classes() const { return {*this}; }
+
+}  // namespace sfcp::core

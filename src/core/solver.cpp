@@ -14,6 +14,10 @@ Result Solver::solve(const graph::Instance& inst) {
   return core::solve(inst, opt_, ws_);
 }
 
+PartitionView Solver::solve_view(const graph::Instance& inst, u64 epoch) {
+  return solve(inst).view(epoch);
+}
+
 std::vector<Solver::BatchEntry> Solver::solve_batch(std::span<const graph::Instance> instances) {
   const std::size_t m = instances.size();
   std::vector<BatchEntry> out(m);

@@ -40,6 +40,10 @@ class Solver {
   /// on same-sized instances amortize all pipeline allocations.
   Result solve(const graph::Instance& inst);
 
+  /// Like solve(), but returns the partition as an immutable PartitionView
+  /// stamped with `epoch` — the preferred surface for serving readers.
+  PartitionView solve_view(const graph::Instance& inst, u64 epoch = 0);
+
   struct BatchEntry {
     Result result;                  ///< canonical labelling, as per solve()
     pram::MetricsSnapshot metrics;  ///< this instance's work/depth counters

@@ -1,0 +1,173 @@
+#pragma once
+// sfcp::Engine — one polymorphic serving surface over the two ways of
+// keeping a partition current under edits:
+//
+//   * BatchEngine        — core::Solver re-solves lazily; cheapest when
+//                          edits arrive in large bursts between reads.
+//   * IncrementalEngine  — inc::IncrementalSolver repairs per edit; cheapest
+//                          when reads interleave with localized edits.
+//
+// Both speak the same protocol: apply() edits, view() the current partition
+// as an immutable core::PartitionView, epoch() as the version clock.  Front
+// ends (sfcp_cli, incremental_server, benches, tests) program against
+// Engine and pick an implementation by name through sfcp::engines() — the
+// engine-level sibling of the strategy registry sfcp::registry():
+//
+//   auto engine = sfcp::engines().make("incremental", std::move(inst),
+//                                      sfcp::registry().at("parallel"), ctx);
+//   engine->set_b(x, 3);
+//   core::PartitionView v = engine->view();   // isolated from later edits
+//
+// Engines with warm persistent state also checkpoint: save_checkpoint()
+// writes an `sfcp-checkpoint v1` stream (util/io.hpp) and
+// load_incremental_engine() restores one.
+
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "core/solver.hpp"
+#include "inc/incremental_solver.hpp"
+
+namespace sfcp {
+
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  /// Registry name of the implementation ("batch", "incremental", ...).
+  virtual std::string_view kind() const noexcept = 0;
+
+  virtual const graph::Instance& instance() const noexcept = 0;
+  std::size_t size() const noexcept { return instance().size(); }
+
+  /// Monotonic edit clock; views are stamped with it.
+  virtual u64 epoch() const noexcept = 0;
+
+  /// Immutable snapshot of the current partition (canonical labels,
+  /// byte-identical to core::solve on the current instance), isolated from
+  /// any edits applied afterwards.
+  virtual core::PartitionView view() = 0;
+
+  /// Applies edits in order.  All edits are validated up front (throws
+  /// std::invalid_argument naming the offending edit before any state
+  /// changes).
+  virtual void apply(std::span<const inc::Edit> edits) = 0;
+
+  void set_f(u32 x, u32 y) {
+    const inc::Edit e = inc::Edit::set_f(x, y);
+    apply({&e, 1});
+  }
+  void set_b(u32 x, u32 label) {
+    const inc::Edit e = inc::Edit::set_b(x, label);
+    apply({&e, 1});
+  }
+
+  /// Whether this engine keeps warm restorable state — i.e. whether
+  /// save_checkpoint() will write anything.  Lets callers probe before
+  /// opening (and truncating) an output file.
+  virtual bool checkpointable() const noexcept { return false; }
+
+  /// Writes an `sfcp-checkpoint v1` stream when checkpointable(); returns
+  /// false (writing nothing) when not.
+  virtual bool save_checkpoint(std::ostream& os) const {
+    (void)os;
+    return false;
+  }
+};
+
+/// Lazy re-solve engine: apply() mutates the instance and marks the cached
+/// view stale; view() re-solves at most once per epoch.
+class BatchEngine final : public Engine {
+ public:
+  explicit BatchEngine(graph::Instance inst, core::Options opt = core::Options::parallel(),
+                       pram::ExecutionContext ctx = {});
+
+  std::string_view kind() const noexcept override { return "batch"; }
+  const graph::Instance& instance() const noexcept override { return inst_; }
+  u64 epoch() const noexcept override { return epoch_; }
+  core::PartitionView view() override;
+  void apply(std::span<const inc::Edit> edits) override;
+
+  core::Solver& solver() noexcept { return solver_; }
+
+ private:
+  graph::Instance inst_;
+  core::Solver solver_;
+  core::PartitionView cached_;
+  u64 epoch_ = 0;
+  bool stale_ = true;
+};
+
+/// Per-edit repair engine wrapping inc::IncrementalSolver.
+class IncrementalEngine final : public Engine {
+ public:
+  explicit IncrementalEngine(graph::Instance inst,
+                             core::Options opt = core::Options::parallel(),
+                             pram::ExecutionContext ctx = {}, inc::RepairPolicy policy = {});
+  /// Adopts an existing solver (e.g. one restored via IncrementalSolver::load).
+  explicit IncrementalEngine(inc::IncrementalSolver solver);
+
+  std::string_view kind() const noexcept override { return "incremental"; }
+  const graph::Instance& instance() const noexcept override { return inc_.instance(); }
+  u64 epoch() const noexcept override { return inc_.epoch(); }
+  core::PartitionView view() override { return inc_.view(); }
+  void apply(std::span<const inc::Edit> edits) override { inc_.apply(edits); }
+  bool checkpointable() const noexcept override { return true; }
+  bool save_checkpoint(std::ostream& os) const override;
+
+  inc::IncrementalSolver& solver() noexcept { return inc_; }
+  const inc::IncrementalSolver& solver() const noexcept { return inc_; }
+
+ private:
+  inc::IncrementalSolver inc_;
+};
+
+/// Restores an IncrementalEngine from an `sfcp-checkpoint v1` stream.  The
+/// solve configuration — options, context, repair policy — is the caller's,
+/// not the stream's, exactly as with IncrementalSolver::load.
+std::unique_ptr<Engine> load_incremental_engine(std::istream& is,
+                                                core::Options opt = core::Options::parallel(),
+                                                pram::ExecutionContext ctx = {},
+                                                inc::RepairPolicy policy = {});
+
+// ---- engine registry -----------------------------------------------------
+
+struct EngineInfo {
+  std::string name;         ///< unique registry key
+  std::string description;  ///< one-line human-readable summary
+  std::function<std::unique_ptr<Engine>(graph::Instance, const core::Options&,
+                                        const pram::ExecutionContext&)>
+      make;
+};
+
+class EngineRegistry {
+ public:
+  std::span<const EngineInfo> all() const noexcept { return entries_; }
+  std::vector<std::string> names() const;
+  const EngineInfo* find(std::string_view name) const noexcept;
+
+  /// Constructs the named engine; throws std::out_of_range naming the key
+  /// when absent.
+  std::unique_ptr<Engine> make(std::string_view name, graph::Instance inst,
+                               const core::Options& opt = core::Options::parallel(),
+                               const pram::ExecutionContext& ctx = {}) const;
+
+  /// Registers (or, for an existing name, replaces) an entry.
+  void add(EngineInfo info);
+
+ private:
+  std::vector<EngineInfo> entries_;
+};
+
+/// The process-wide engine registry, preloaded with "batch" and
+/// "incremental".  Like sfcp::registry(), mutate only before spawning
+/// concurrent users.
+EngineRegistry& engines();
+
+}  // namespace sfcp

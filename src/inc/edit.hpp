@@ -1,8 +1,12 @@
 #pragma once
 // A single mutation of an SFCP instance: redirect one function entry or
-// relabel one node's initial-partition class.  Kept dependency-free so that
-// workload generators and (de)serializers can speak edits without pulling in
-// the incremental engine.
+// relabel one node's initial-partition class.  Kept dependency-free (std
+// only) so that workload generators and (de)serializers can speak edits
+// without pulling in the incremental engine.
+
+#include <span>
+#include <stdexcept>
+#include <string>
 
 #include "pram/types.hpp"
 
@@ -23,5 +27,31 @@ struct Edit {
 
   friend bool operator==(const Edit&, const Edit&) = default;
 };
+
+/// Applies the edit's raw array write to (f, b); returns whether the write
+/// changed anything (false = no-op).  The one dispatch every raw-applying
+/// surface shares, so a future Edit kind cannot be missed in one of them.
+inline bool apply_raw(const Edit& e, std::span<u32> f, std::span<u32> b) noexcept {
+  u32& slot = (e.kind == Edit::Kind::SetF ? f : b)[e.node];
+  if (slot == e.value) return false;
+  slot = e.value;
+  return true;
+}
+
+/// Range-checks an edit against an n-node instance; throws
+/// std::invalid_argument prefixed with `who` on an out-of-range node or
+/// set_f target.  The one source of truth for every edit-applying surface
+/// (IncrementalSolver, the Engine facade).
+inline void validate_edit(const Edit& e, std::size_t n, const char* who) {
+  if (e.node >= n) {
+    throw std::invalid_argument(std::string(who) + ": edit node " + std::to_string(e.node) +
+                                " out of range (n = " + std::to_string(n) + ")");
+  }
+  if (e.kind == Edit::Kind::SetF && e.value >= n) {
+    throw std::invalid_argument(std::string(who) + ": set_f target " +
+                                std::to_string(e.value) +
+                                " out of range (n = " + std::to_string(n) + ")");
+  }
+}
 
 }  // namespace sfcp::inc

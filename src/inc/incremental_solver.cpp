@@ -1,14 +1,16 @@
 #include "inc/incremental_solver.hpp"
 
 #include <algorithm>
+#include <cstring>
+#include <fstream>
 #include <stdexcept>
 #include <string>
 #include <utility>
 
 #include "pram/metrics.hpp"
-#include "prim/rename.hpp"
 #include "strings/msp.hpp"
 #include "strings/period.hpp"
+#include "util/io.hpp"
 
 namespace sfcp::inc {
 
@@ -28,26 +30,40 @@ IncrementalSolver::IncrementalSolver(graph::Instance inst, core::Options opt,
   rebuild_();
 }
 
-core::Result IncrementalSolver::snapshot() const {
-  core::Result r;
-  auto canon = prim::canonicalize_labels(q_);
-  r.q = std::move(canon.labels);
-  r.num_blocks = canon.num_classes;
-  r.num_cycles = static_cast<u32>(cycles_.size());
-  r.cycle_nodes = static_cast<u32>(live_cycle_nodes_);
-  return r;
+IncrementalSolver::IncrementalSolver(LoadTag, graph::Instance inst, core::Options opt,
+                                     pram::ExecutionContext ctx, RepairPolicy policy)
+    : inst_(std::move(inst)), solver_(opt, ctx), policy_(policy) {}
+
+core::PartitionView IncrementalSolver::view() const {
+  if (!view_root_stale_ && last_view_epoch_ == epoch_) return last_view_;
+  pram::ScopedContext guard(&solver_.context());
+  const core::ViewCounters counters{static_cast<u32>(cycles_.size()),
+                                    static_cast<u32>(live_cycle_nodes_), kept_, residual_()};
+  if (view_root_stale_) {
+    last_view_ =
+        core::PartitionView::from_raw(q_, next_label_, distinct_, epoch_, counters);
+  } else {
+    // Publish the repairs since the previous view as a patch on it: the
+    // O(dirty) path.  The previous view itself is immutable — readers that
+    // hold it keep the partition exactly as it was at its epoch.
+    std::vector<u32> nodes(pending_.begin(), pending_.end());
+    std::vector<u32> labels;
+    labels.reserve(nodes.size());
+    for (u32 v : nodes) labels.push_back(q_[v]);
+    last_view_ = core::PartitionView::patched(last_view_, std::move(nodes), std::move(labels),
+                                              next_label_, distinct_, epoch_, counters);
+  }
+  for (u32 v : pending_) pending_mark_[v] = 0;
+  pending_.clear();
+  view_root_stale_ = false;
+  last_view_epoch_ = epoch_;
+  return last_view_;
 }
 
+core::Result IncrementalSolver::snapshot() const { return view().to_result(); }
+
 void IncrementalSolver::validate_edit_(const Edit& e) const {
-  const std::size_t n = inst_.size();
-  if (e.node >= n) {
-    throw std::invalid_argument("IncrementalSolver: edit node " + std::to_string(e.node) +
-                                " out of range (n = " + std::to_string(n) + ")");
-  }
-  if (e.kind == Edit::Kind::SetF && e.value >= n) {
-    throw std::invalid_argument("IncrementalSolver: set_f target " + std::to_string(e.value) +
-                                " out of range (n = " + std::to_string(n) + ")");
-  }
+  validate_edit(e, inst_.size(), "IncrementalSolver");
 }
 
 void IncrementalSolver::set_f(u32 x, u32 y) {
@@ -72,14 +88,15 @@ void IncrementalSolver::apply(std::span<const Edit> edits) {
     // The batch alone rivals the instance size: skip per-edit repair work
     // (including predecessor-list maintenance — rebuild_ reconstructs the
     // lists from scratch), apply the raw array updates and re-solve once.
+    // Only state-changing edits advance the clock, matching the per-edit
+    // path's no-op handling; an all-no-op batch skips the re-solve too.
+    u64 changed = 0;
     for (const Edit& e : edits) {
       ++stats_.edits;
-      if (e.kind == Edit::Kind::SetF) {
-        inst_.f[e.node] = e.value;
-      } else {
-        inst_.b[e.node] = e.value;
-      }
+      if (apply_raw(e, inst_.f, inst_.b)) ++changed;
     }
+    if (changed == 0) return;
+    epoch_ += changed;
     ++stats_.rebuilds;
     pram::charge_edit(false, n);
     rebuild_();
@@ -113,8 +130,16 @@ void IncrementalSolver::apply_one_(const Edit& e) {
       std::min<u64>(kNone - 2, std::max<u64>(4 * static_cast<u64>(n), 4096));
   const bool labels_ok = static_cast<u64>(next_label_) + dirty_buf_.size() < label_cap;
   raw_apply_(e);
+  ++epoch_;
   if (within && labels_ok) {
     repair_(e.node, dirty_buf_);
+    // The relabelled region is the delta the next view publishes.
+    for (u32 v : dirty_buf_) {
+      if (!pending_mark_[v]) {
+        pending_mark_[v] = 1;
+        pending_.push_back(v);
+      }
+    }
     ++stats_.repairs;
     stats_.dirty_nodes += dirty_buf_.size();
     pram::charge_edit(true, dirty_buf_.size());
@@ -127,15 +152,31 @@ void IncrementalSolver::apply_one_(const Edit& e) {
 
 u32 IncrementalSolver::fresh_label_() {
   pop_.push_back(0);
+  cycle_pop_.push_back(0);
   return next_label_++;
 }
 
-void IncrementalSolver::pop_inc_(u32 label) {
+// The kept/residual accounting rides on the label populations: a tree node
+// is "kept" (shares a block with a cycle node, Lemma 4.1's marked-path
+// criterion) exactly when its label has a live cycle holder, so kept_
+// changes only when a tree node enters/leaves such a label or a label's
+// cycle population transitions 0 <-> 1.
+void IncrementalSolver::pop_inc_(u32 label, bool cycle) {
   if (pop_[label]++ == 0) ++distinct_;
+  if (cycle) {
+    if (cycle_pop_[label]++ == 0) kept_ += pop_[label] - cycle_pop_[label];
+  } else if (cycle_pop_[label] > 0) {
+    ++kept_;
+  }
 }
 
-void IncrementalSolver::pop_dec_(u32 label) {
+void IncrementalSolver::pop_dec_(u32 label, bool cycle) {
   if (--pop_[label] == 0) --distinct_;
+  if (cycle) {
+    if (--cycle_pop_[label] == 0) kept_ -= pop_[label];
+  } else if (cycle_pop_[label] > 0) {
+    --kept_;
+  }
 }
 
 void IncrementalSolver::sig_remove_(u64 sig) {
@@ -169,7 +210,7 @@ void IncrementalSolver::repair_(u32 x, std::span<const u32> dirty) {
   // reference is released.
   if (cycle_id_[x] != kNone) destroy_cycle_(cycle_id_[x]);
   for (u32 v : dirty) {
-    pop_dec_(q_[v]);
+    pop_dec_(q_[v], on_cycle_[v] != 0);
     sig_remove_(sig_key_[v]);
     on_cycle_[v] = 0;
     cycle_id_[v] = kNone;
@@ -212,7 +253,7 @@ void IncrementalSolver::repair_(u32 x, std::span<const u32> dirty) {
     for (std::size_t i = 0; i < len; ++i) {
       const u32 v = cyc_buf_[i];
       q_[v] = cls.labels[(static_cast<u32>(i % p) + p - j0) % p];
-      pop_inc_(q_[v]);
+      pop_inc_(q_[v], true);
       on_cycle_[v] = 1;
       cycle_id_[v] = id;
     }
@@ -236,7 +277,7 @@ void IncrementalSolver::repair_(u32 x, std::span<const u32> dirty) {
   for (u32 v : dirty) {
     if (on_cycle_[v]) continue;
     q_[v] = sig_assign_(v);
-    pop_inc_(q_[v]);
+    pop_inc_(q_[v], false);
   }
   pram::charge(3 * dirty.size());
 }
@@ -249,6 +290,8 @@ void IncrementalSolver::rebuild_() {
   distinct_ = r.num_blocks;
   pop_.assign(next_label_, 0);
   for (u32 l : q_) ++pop_[l];
+  cycle_pop_.assign(next_label_, 0);
+  kept_ = 0;
   preds_.rebuild(inst_.f);
   sig_key_.assign(n, 0);
   cycle_id_.assign(n, kNone);
@@ -257,6 +300,11 @@ void IncrementalSolver::rebuild_() {
   cycles_.clear();
   next_cycle_id_ = 0;
   live_cycle_nodes_ = 0;
+  // A rebuild renames the whole label space, so the previous view chain can
+  // no longer seed patches: the next view starts a fresh root.
+  view_root_stale_ = true;
+  pending_.clear();
+  pending_mark_.assign(n, 0);
   if (n == 0) {
     on_cycle_.clear();
     return;
@@ -292,7 +340,242 @@ void IncrementalSolver::rebuild_() {
     ++it->second.refs;
     sig_key_[v] = sig;
   }
+  for (u32 v = 0; v < static_cast<u32>(n); ++v) {
+    if (on_cycle_[v]) ++cycle_pop_[q_[v]];
+  }
+  for (u32 l = 0; l < next_label_; ++l) {
+    if (cycle_pop_[l] > 0) kept_ += pop_[l] - cycle_pop_[l];
+  }
   pram::charge(4 * n);
+}
+
+// ---- persistence: sfcp-checkpoint v1 (format doc in util/io.hpp) ---------
+
+void IncrementalSolver::save(std::ostream& os) const {
+  util::BinaryWriter w(os);
+  w.put_bytes(util::checkpoint_magic().data(), 8);
+  util::save_instance_binary(os, inst_);
+  w.put_u64(epoch_);
+  w.put_u32(next_label_);
+  w.put_u32_array(q_);
+  w.put_u32_array(cycle_id_);
+
+  // Map sections are sorted so that equal engines write identical bytes.
+  std::vector<const std::pair<const std::vector<u32>, CycleClass>*> classes;
+  classes.reserve(classes_.size());
+  for (const auto& kv : classes_) classes.push_back(&kv);
+  std::sort(classes.begin(), classes.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  std::unordered_map<const std::vector<u32>*, u32> class_index;
+  w.put_u32(static_cast<u32>(classes.size()));
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    class_index.emplace(&classes[i]->first, static_cast<u32>(i));
+    w.put_u32(static_cast<u32>(classes[i]->first.size()));
+    w.put_u32_array(classes[i]->first);
+    w.put_u32_array(classes[i]->second.labels);
+  }
+
+  std::vector<std::pair<u32, const CycleRec*>> cycles;
+  cycles.reserve(cycles_.size());
+  for (const auto& [id, rec] : cycles_) cycles.emplace_back(id, &rec);
+  std::sort(cycles.begin(), cycles.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  w.put_u32(static_cast<u32>(cycles.size()));
+  for (const auto& [id, rec] : cycles) {
+    w.put_u32(id);
+    w.put_u32(class_index.at(rec->key));
+    w.put_u32(rec->length);
+  }
+  w.put_u32(next_cycle_id_);
+
+  std::vector<std::pair<u64, SigRec>> sigs(sigs_.begin(), sigs_.end());
+  std::sort(sigs.begin(), sigs.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  w.put_u32(static_cast<u32>(sigs.size()));
+  for (const auto& [key, rec] : sigs) {
+    w.put_u64(key);
+    w.put_u32(rec.label);
+    w.put_u32(rec.refs);
+  }
+
+  w.put_u64(stats_.edits);
+  w.put_u64(stats_.repairs);
+  w.put_u64(stats_.rebuilds);
+  w.put_u64(stats_.dirty_nodes);
+  w.put_u64(stats_.cycles_created);
+  w.put_u64(stats_.cycles_destroyed);
+  if (!os) throw std::runtime_error("IncrementalSolver::save: write failed");
+}
+
+IncrementalSolver IncrementalSolver::load(std::istream& is, core::Options opt,
+                                          pram::ExecutionContext ctx, RepairPolicy policy) {
+  util::BinaryReader r(is, "load_checkpoint");
+  unsigned char magic[8];
+  r.get_bytes(magic, 8, "magic");
+  if (std::memcmp(magic, util::checkpoint_magic().data(), 8) != 0) {
+    throw std::runtime_error("load_checkpoint: bad magic (expected sfcp-checkpoint v1)");
+  }
+  graph::Instance inst = util::load_instance(is);  // the embedded v2 section
+
+  IncrementalSolver s(LoadTag{}, std::move(inst), opt, ctx, policy);
+  const std::size_t n = s.inst_.size();
+  const auto n32 = static_cast<u32>(n);
+  s.epoch_ = r.get_u64("epoch");
+  s.next_label_ = r.get_u32("label bound");
+  // apply_one_ caps the live label space at max(4n, 4096); a bound beyond
+  // that is corrupt and would otherwise size the per-label arrays in
+  // finish_load_ to gigabytes before any consistency check fires.
+  if (s.next_label_ > std::max<u64>(4 * static_cast<u64>(n), 4096)) {
+    throw std::runtime_error("load_checkpoint: unreasonable label bound");
+  }
+  r.get_u32_vector(n, s.q_, "labels");
+  for (u32 l : s.q_) {
+    if (l >= s.next_label_) throw std::runtime_error("load_checkpoint: label out of range");
+  }
+  r.get_u32_vector(n, s.cycle_id_, "cycle ids");
+
+  const u32 num_classes = r.get_u32("class count");
+  if (num_classes > n32) throw std::runtime_error("load_checkpoint: unreasonable class count");
+  std::vector<const std::vector<u32>*> class_keys;
+  class_keys.reserve(num_classes);
+  std::vector<u32> key, labels;
+  for (u32 c = 0; c < num_classes; ++c) {
+    const u32 p = r.get_u32("class period");
+    if (p == 0 || p > n32) throw std::runtime_error("load_checkpoint: bad class period");
+    r.get_u32_vector(p, key, "class key");
+    r.get_u32_vector(p, labels, "class labels");
+    for (u32 l : labels) {
+      if (l >= s.next_label_) {
+        throw std::runtime_error("load_checkpoint: class label out of range");
+      }
+    }
+    auto [it, inserted] = s.classes_.try_emplace(key);
+    if (!inserted) throw std::runtime_error("load_checkpoint: duplicate cycle class");
+    it->second.labels = labels;
+    class_keys.push_back(&it->first);
+  }
+
+  const u32 num_cycles = r.get_u32("cycle count");
+  if (num_cycles > n32) throw std::runtime_error("load_checkpoint: unreasonable cycle count");
+  for (u32 i = 0; i < num_cycles; ++i) {
+    const u32 id = r.get_u32("cycle id");
+    const u32 ci = r.get_u32("cycle class index");
+    const u32 len = r.get_u32("cycle length");
+    if (ci >= num_classes) throw std::runtime_error("load_checkpoint: cycle class index");
+    const u32 p = static_cast<u32>(class_keys[ci]->size());
+    if (len == 0 || len > n32 || len % p != 0) {
+      throw std::runtime_error("load_checkpoint: bad cycle length");
+    }
+    auto [it, inserted] = s.cycles_.try_emplace(id, CycleRec{class_keys[ci], len});
+    if (!inserted) throw std::runtime_error("load_checkpoint: duplicate cycle id");
+    ++s.classes_.find(*class_keys[ci])->second.refs;
+    s.live_cycle_nodes_ += len;
+  }
+  s.next_cycle_id_ = r.get_u32("next cycle id");
+
+  const u32 num_sigs = r.get_u32("signature count");
+  if (num_sigs > n32) throw std::runtime_error("load_checkpoint: unreasonable signature count");
+  for (u32 i = 0; i < num_sigs; ++i) {
+    const u64 sig = r.get_u64("signature key");
+    SigRec rec;
+    rec.label = r.get_u32("signature label");
+    rec.refs = r.get_u32("signature refs");
+    if (rec.label >= s.next_label_ || rec.refs == 0) {
+      throw std::runtime_error("load_checkpoint: bad signature entry");
+    }
+    if (!s.sigs_.emplace(sig, rec).second) {
+      throw std::runtime_error("load_checkpoint: duplicate signature");
+    }
+  }
+
+  s.stats_.edits = r.get_u64("stats");
+  s.stats_.repairs = r.get_u64("stats");
+  s.stats_.rebuilds = r.get_u64("stats");
+  s.stats_.dirty_nodes = r.get_u64("stats");
+  s.stats_.cycles_created = r.get_u64("stats");
+  s.stats_.cycles_destroyed = r.get_u64("stats");
+
+  s.finish_load_();
+  return s;
+}
+
+void IncrementalSolver::finish_load_() {
+  const std::size_t n = inst_.size();
+  // Per-cycle membership: every cycle id in cycle_id_ must name a live cycle
+  // and each cycle's node count must match its recorded length.
+  std::unordered_map<u32, u32> member_count;
+  on_cycle_.assign(n, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (cycle_id_[v] == kNone) continue;
+    if (!cycles_.count(cycle_id_[v])) {
+      throw std::runtime_error("load_checkpoint: node references unknown cycle");
+    }
+    on_cycle_[v] = 1;
+    ++member_count[cycle_id_[v]];
+  }
+  u64 counted = 0;
+  for (const auto& [id, rec] : cycles_) {
+    const auto it = member_count.find(id);
+    if (it == member_count.end() || it->second != rec.length) {
+      throw std::runtime_error("load_checkpoint: cycle length mismatch");
+    }
+    if (id >= next_cycle_id_) throw std::runtime_error("load_checkpoint: cycle id bound");
+    counted += rec.length;
+  }
+  if (counted != live_cycle_nodes_) {
+    throw std::runtime_error("load_checkpoint: cycle node count mismatch");
+  }
+
+  // Label populations and the kept/residual accounting.
+  pop_.assign(next_label_, 0);
+  cycle_pop_.assign(next_label_, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    ++pop_[q_[v]];
+    if (on_cycle_[v]) ++cycle_pop_[q_[v]];
+  }
+  distinct_ = 0;
+  kept_ = 0;
+  for (u32 l = 0; l < next_label_; ++l) {
+    if (pop_[l] > 0) ++distinct_;
+    if (cycle_pop_[l] > 0) kept_ += pop_[l] - cycle_pop_[l];
+  }
+
+  // Signatures: every node's (B, Q∘f) key must resolve to its own label, and
+  // the stored refcounts must match the node population exactly.
+  sig_key_.assign(n, 0);
+  std::unordered_map<u64, u32> sig_count;
+  for (u32 v = 0; v < static_cast<u32>(n); ++v) {
+    const u64 sig = pack_pair(inst_.b[v], q_[inst_.f[v]]);
+    const auto it = sigs_.find(sig);
+    if (it == sigs_.end() || it->second.label != q_[v]) {
+      throw std::runtime_error("load_checkpoint: inconsistent signature map");
+    }
+    sig_key_[v] = sig;
+    ++sig_count[sig];
+  }
+  for (const auto& [sig, rec] : sigs_) {
+    const auto it = sig_count.find(sig);
+    if (it == sig_count.end() || it->second != rec.refs) {
+      throw std::runtime_error("load_checkpoint: signature refcount mismatch");
+    }
+  }
+
+  preds_.rebuild(inst_.f);
+  view_root_stale_ = true;
+  pending_.clear();
+  pending_mark_.assign(n, 0);
+  pram::charge(4 * n);
+}
+
+void save_checkpoint_file(const std::string& path, const IncrementalSolver& solver) {
+  util::atomic_write_file(path, [&](std::ostream& os) { solver.save(os); });
+}
+
+IncrementalSolver load_checkpoint_file(const std::string& path, core::Options opt,
+                                       pram::ExecutionContext ctx, RepairPolicy policy) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("load_checkpoint_file: cannot open " + path);
+  return IncrementalSolver::load(is, opt, ctx, policy);
 }
 
 }  // namespace sfcp::inc

@@ -7,7 +7,8 @@
 //   inc.set_b(x, 3);                                 // local repair
 //   inc.set_f(y, z);                                 // split/merge cycles
 //   inc.apply(edits);                                // batched
-//   sfcp::core::Result r = inc.snapshot();           // canonical labels
+//   sfcp::core::PartitionView v = inc.view();        // O(dirty) snapshot
+//   inc.save(os);                                    // warm checkpoint
 //
 // The engine rests on the coinductive characterization of the coarsest
 // f-stable refinement Q of B:
@@ -36,9 +37,24 @@
 // as cheap as a steady-state batch solve.  Correctness therefore never
 // depends on the repair path being taken.
 //
-// Thread-safety matches core::Solver: one IncrementalSolver per thread.
+// Read side: view() freezes the current partition into an immutable
+// core::PartitionView.  The canonical renaming is maintained incrementally —
+// repairs record which nodes they relabelled, and view() publishes exactly
+// that delta on top of the previous view — so after k localized edits a view
+// costs O(dirty) instead of the O(n) recanonicalization snapshot() used to
+// pay.  Views are snapshots: a reader's view is untouched by later edits.
+//
+// Persistence: save() writes an `sfcp-checkpoint v1` stream (see util/io) —
+// the instance, labels and the cycle/signature maps — and load() restores a
+// warm engine without re-solving, so a serving process restarts in O(n) IO
+// instead of a full solve.
+//
+// Thread-safety matches core::Solver: one IncrementalSolver per thread
+// (views, once obtained, are freely shareable across threads).
 
+#include <iosfwd>
 #include <span>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -99,11 +115,33 @@ class IncrementalSolver {
   u32 label_of(u32 x) const { return q_.at(x); }
   u32 num_blocks() const noexcept { return distinct_; }
 
-  /// Canonical view of the current partition: labels renamed to
-  /// first-occurrence order, byte-identical to core::solve on the current
-  /// instance.  kept/residual tree-node counts are not maintained
-  /// incrementally and are reported as 0.
+  /// Immutable snapshot of the current partition, stamped with epoch().
+  /// Canonical labels are byte-identical to core::solve on the current
+  /// instance; all Result counters (cycles, kept/residual tree nodes) are
+  /// maintained incrementally and match field-for-field.  Cost is
+  /// O(nodes relabelled since the previous view) — NOT O(n) — because each
+  /// view is published as a delta on its predecessor; the view itself is
+  /// isolated from any edits that follow.
+  core::PartitionView view() const;
+
+  /// view() as a classic Result record (copies the canonical labels).
   core::Result snapshot() const;
+
+  /// Monotonic edit clock: bumped by every state-changing edit.  Views carry
+  /// the epoch they were taken at.
+  u64 epoch() const noexcept { return epoch_; }
+
+  // ---- persistence (sfcp-checkpoint v1, see util/io.hpp) -----------------
+
+  /// Serializes the instance, labels, cycle/signature maps, epoch and edit
+  /// stats, so load() can restore a warm engine without re-solving.
+  void save(std::ostream& os) const;
+
+  /// Restores an engine from a save()d stream.  Throws std::runtime_error on
+  /// malformed, truncated or inconsistent input; the solve configuration
+  /// (options/context/policy) is supplied by the caller, not the stream.
+  static IncrementalSolver load(std::istream& is, core::Options opt = core::Options::parallel(),
+                                pram::ExecutionContext ctx = {}, RepairPolicy policy = {});
 
   /// Single edits.  Throw std::invalid_argument on out-of-range arguments;
   /// the partition is fully repaired on return.
@@ -141,14 +179,22 @@ class IncrementalSolver {
     std::size_t operator()(const std::vector<u32>& v) const noexcept;
   };
 
+  struct LoadTag {};
+  IncrementalSolver(LoadTag, graph::Instance inst, core::Options opt,
+                    pram::ExecutionContext ctx, RepairPolicy policy);
+
   void validate_edit_(const Edit& e) const;
   void apply_one_(const Edit& e);
   void raw_apply_(const Edit& e);
   void rebuild_();
   void repair_(u32 x, std::span<const u32> dirty);
+  void finish_load_();  ///< derives all secondary state after a load()
+  u32 residual_() const noexcept {
+    return static_cast<u32>(inst_.size() - live_cycle_nodes_ - kept_);
+  }
   u32 fresh_label_();
-  void pop_inc_(u32 label);
-  void pop_dec_(u32 label);
+  void pop_inc_(u32 label, bool cycle);
+  void pop_dec_(u32 label, bool cycle);
   void sig_remove_(u64 sig);
   u32 sig_assign_(u32 v);  ///< lookup-or-mint label for v's current signature
   void destroy_cycle_(u32 id);
@@ -168,15 +214,34 @@ class IncrementalSolver {
   std::unordered_map<u32, CycleRec> cycles_;
   u32 next_cycle_id_ = 0;
 
-  std::vector<u32> pop_;  ///< per-label population, indexed by label
+  std::vector<u32> pop_;        ///< per-label population, indexed by label
+  std::vector<u32> cycle_pop_;  ///< cycle nodes per label (kept/residual accounting)
   u32 next_label_ = 0;
   u32 distinct_ = 0;       ///< labels with pop > 0 (= current block count)
   u64 live_cycle_nodes_ = 0;
+  u32 kept_ = 0;  ///< tree nodes sharing a label with a live cycle node
+
+  u64 epoch_ = 0;
+
+  // View maintenance: nodes relabelled since the last view (deduped via
+  // pending_mark_) become the next view's patch delta; a rebuild invalidates
+  // the chain (labels are renamed from scratch) and forces a fresh root.
+  mutable core::PartitionView last_view_;
+  mutable u64 last_view_epoch_ = 0;
+  mutable bool view_root_stale_ = true;
+  mutable std::vector<u32> pending_;
+  mutable std::vector<u8> pending_mark_;
 
   std::vector<u32> dirty_buf_;
   std::vector<u32> cyc_buf_;
   std::vector<u32> str_buf_;
   EditStats stats_;
 };
+
+/// Checkpoint file helpers (open + save()/load() with path-naming errors).
+void save_checkpoint_file(const std::string& path, const IncrementalSolver& solver);
+IncrementalSolver load_checkpoint_file(const std::string& path,
+                                       core::Options opt = core::Options::parallel(),
+                                       pram::ExecutionContext ctx = {}, RepairPolicy policy = {});
 
 }  // namespace sfcp::inc

@@ -34,6 +34,11 @@ std::string Metrics::summary() const {
     os << " edit_repairs=" << repairs << " edit_rebuilds=" << rebuilds
        << " edit_dirty=" << edit_dirty.load(std::memory_order_relaxed);
   }
+  const std::uint64_t vpatched = view_patched.load(std::memory_order_relaxed);
+  const std::uint64_t vrebuilt = view_rebuilt.load(std::memory_order_relaxed);
+  if (vpatched || vrebuilt) {
+    os << " view_patched=" << vpatched << " view_rebuilt=" << vrebuilt;
+  }
   return os.str();
 }
 

@@ -24,6 +24,8 @@ struct MetricsSnapshot {
   std::uint64_t edit_repairs = 0;
   std::uint64_t edit_rebuilds = 0;
   std::uint64_t edit_dirty = 0;
+  std::uint64_t view_patched = 0;
+  std::uint64_t view_rebuilt = 0;
 };
 
 /// Aggregate work/depth counters for one measured region.
@@ -36,6 +38,9 @@ struct Metrics {
   std::atomic<std::uint64_t> edit_repairs{0};   ///< edits served by local repair
   std::atomic<std::uint64_t> edit_rebuilds{0};  ///< edits served by full re-solve
   std::atomic<std::uint64_t> edit_dirty{0};     ///< nodes relabelled across edits
+  // View counters (core::PartitionView production):
+  std::atomic<std::uint64_t> view_patched{0};  ///< nodes carried in view patch deltas
+  std::atomic<std::uint64_t> view_rebuilt{0};  ///< nodes copied into fresh view roots
 
   void reset() noexcept {
     operations.store(0, std::memory_order_relaxed);
@@ -45,6 +50,8 @@ struct Metrics {
     edit_repairs.store(0, std::memory_order_relaxed);
     edit_rebuilds.store(0, std::memory_order_relaxed);
     edit_dirty.store(0, std::memory_order_relaxed);
+    view_patched.store(0, std::memory_order_relaxed);
+    view_rebuilt.store(0, std::memory_order_relaxed);
   }
 
   std::uint64_t ops() const noexcept { return operations.load(std::memory_order_relaxed); }
@@ -57,7 +64,9 @@ struct Metrics {
                            crcw_writes.load(std::memory_order_relaxed),
                            edit_repairs.load(std::memory_order_relaxed),
                            edit_rebuilds.load(std::memory_order_relaxed),
-                           edit_dirty.load(std::memory_order_relaxed)};
+                           edit_dirty.load(std::memory_order_relaxed),
+                           view_patched.load(std::memory_order_relaxed),
+                           view_rebuilt.load(std::memory_order_relaxed)};
   }
 
   std::string summary() const;
@@ -117,6 +126,15 @@ inline void charge_edit(bool repaired, std::uint64_t dirty) noexcept {
   if (Metrics* m = current_metrics()) {
     (repaired ? m->edit_repairs : m->edit_rebuilds).fetch_add(1, std::memory_order_relaxed);
     m->edit_dirty.fetch_add(dirty, std::memory_order_relaxed);
+  }
+}
+
+/// Charges one view production: `patched` selects the incremental-delta vs.
+/// fresh-root counter, `nodes` is the delta size (or n for a root).  This is
+/// what the O(dirty) view tests and bench_snapshot assert against.
+inline void charge_view(bool patched, std::uint64_t nodes) noexcept {
+  if (Metrics* m = current_metrics()) {
+    (patched ? m->view_patched : m->view_rebuilt).fetch_add(nodes, std::memory_order_relaxed);
   }
 }
 

@@ -3,7 +3,7 @@
 //
 //   #include "sfcp.hpp"
 //
-// The session API (preferred): construct a Solver once, reuse it.
+// Solving (the session API): construct a Solver once, reuse it.
 //
 //   sfcp::graph::Instance inst = ...;               // A_f and A_B
 //   sfcp::pram::Metrics metrics;
@@ -12,23 +12,38 @@
 //       sfcp::pram::ExecutionContext{}              // per-session knobs:
 //           .with_threads(4)                        //   thread budget
 //           .with_metrics(&metrics));               //   isolated work counters
-//   sfcp::core::Result r = solver.solve(inst);
-//   // r.q[x] == r.q[y]  iff  x and y are in the same block of the
-//   // coarsest f-stable refinement of B.  Repeated solve() calls reuse
-//   // the solver's workspaces; solve_batch() runs independent instances
-//   // in parallel with per-instance metrics.
+//   sfcp::core::PartitionView v = solver.solve_view(inst);
 //
-// One-shot free function (delegates to the same pipeline):
+// Querying (the read surface): every producer hands back an immutable,
+// shareable core::PartitionView — O(1) class_of/same_class/class_size, a
+// lazily-built CSR members index, class iteration, and an epoch() stamp.
 //
-//   sfcp::core::Result r = sfcp::core::solve(inst);
+//   v.same_class(x, y);                 // iff one block of the coarsest
+//                                       // f-stable refinement holds both
+//   v.class_members(v.class_of(x));     // that block, ascending
+//   for (auto [id, members] : v.classes()) ...
 //
-// Incremental solving (edit streams against a live instance):
+// The classic record is still there: Result r = solver.solve(inst) (labels
+// in r.q), r.view() to lift it, and core::solve(inst) as the one-shot free
+// function.
 //
-//   sfcp::inc::IncrementalSolver inc(inst);   // full solve once
-//   inc.set_b(x, 3);                          // local repair of the
-//   inc.set_f(y, z);                          // dirty region, or full
-//   inc.apply(edits);                         // re-solve when cheaper
-//   sfcp::core::Result r = inc.snapshot();    // == core::solve(current)
+// Serving (edits against a live instance): program against sfcp::Engine and
+// pick an implementation from sfcp::engines() — "incremental" repairs the
+// dirty region per edit (inc::IncrementalSolver), "batch" re-solves lazily
+// per epoch (core::Solver).
+//
+//   auto eng = sfcp::engines().make("incremental", std::move(inst));
+//   eng->set_b(x, 3);                         // O(dirty) repair
+//   sfcp::core::PartitionView v1 = eng->view();   // O(dirty) snapshot,
+//   eng->set_f(y, z);                             // isolated from this edit
+//   eng->save_checkpoint(os);                 // sfcp-checkpoint v1: restart
+//                                             // warm via
+//                                             // sfcp::load_incremental_engine
+//
+// Views taken from an engine are snapshots: edits applied afterwards never
+// change a view a reader already holds, and view() after k localized edits
+// costs O(dirty region), not O(n) — the canonical renaming is maintained
+// incrementally as a patch chain (core/partition_view.hpp).
 //
 // Strategy selection: sfcp::registry() enumerates every cycle-detect x
 // cycle-structure x tree-labelling combination ("euler-jump-level", ...)
@@ -43,11 +58,13 @@
 #include "core/moore.hpp"
 #include "core/multi_function.hpp"
 #include "core/partition_algebra.hpp"
+#include "core/partition_view.hpp"
 #include "core/registry.hpp"
 #include "core/solver.hpp"
 #include "core/trace.hpp"
 #include "core/tree_labeling.hpp"
 #include "core/verify.hpp"
+#include "engine.hpp"
 #include "graph/cycle_detect.hpp"
 #include "graph/cycle_structure.hpp"
 #include "graph/euler_tour.hpp"

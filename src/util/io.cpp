@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <limits>
@@ -23,56 +24,7 @@ constexpr u64 kMaxNodes = u64{1} << 31;
 constexpr const char* kEditsMagic = "sfcp-edits";
 constexpr const char* kEditsVersion = "v1";
 
-void put_u32le(std::ostream& os, u32 v) {
-  unsigned char buf[4] = {static_cast<unsigned char>(v), static_cast<unsigned char>(v >> 8),
-                          static_cast<unsigned char>(v >> 16),
-                          static_cast<unsigned char>(v >> 24)};
-  os.write(reinterpret_cast<const char*>(buf), 4);
-}
-
-void put_u32le_array(std::ostream& os, std::span<const u32> a) {
-  if constexpr (std::endian::native == std::endian::little) {
-    os.write(reinterpret_cast<const char*>(a.data()),
-             static_cast<std::streamsize>(a.size() * sizeof(u32)));
-  } else {
-    for (u32 v : a) put_u32le(os, v);
-  }
-}
-
-u32 get_u32le(std::istream& is, const char* what) {
-  unsigned char buf[4];
-  if (!is.read(reinterpret_cast<char*>(buf), 4)) {
-    throw std::runtime_error(std::string("load_instance: truncated ") + what);
-  }
-  return static_cast<u32>(buf[0]) | (static_cast<u32>(buf[1]) << 8) |
-         (static_cast<u32>(buf[2]) << 16) | (static_cast<u32>(buf[3]) << 24);
-}
-
-void get_u32le_array(std::istream& is, std::span<u32> a, const char* what) {
-  if constexpr (std::endian::native == std::endian::little) {
-    if (!is.read(reinterpret_cast<char*>(a.data()),
-                 static_cast<std::streamsize>(a.size() * sizeof(u32)))) {
-      throw std::runtime_error(std::string("load_instance: truncated ") + what);
-    }
-  } else {
-    for (u32& v : a) v = get_u32le(is, what);
-  }
-}
-
-// Grows `out` in bounded chunks while reading, so a corrupt header claiming
-// billions of elements fails with "truncated" once the payload runs out
-// instead of attempting one giant up-front allocation.
-void read_u32le_vector(std::istream& is, u64 n, std::vector<u32>& out, const char* what) {
-  constexpr u64 kChunk = u64{1} << 20;
-  out.clear();
-  out.reserve(static_cast<std::size_t>(n < kChunk ? n : kChunk));
-  while (out.size() < n) {
-    const std::size_t prev = out.size();
-    const std::size_t take = static_cast<std::size_t>(std::min<u64>(kChunk, n - prev));
-    out.resize(prev + take);
-    get_u32le_array(is, std::span<u32>(out).subspan(prev, take), what);
-  }
-}
+constexpr unsigned char kCheckpointMagicBytes[8] = {0x7f, 's', 'f', 'c', 'k', 'v', '1', '\n'};
 
 graph::Instance load_instance_text(std::istream& is) {
   std::string magic, version;
@@ -101,16 +53,109 @@ graph::Instance load_instance_binary(std::istream& is) {
       std::memcmp(magic, kBinaryMagic, 8) != 0) {
     throw std::runtime_error("load_instance: bad binary magic (expected sfcp-instance v2)");
   }
-  const u32 n = get_u32le(is, "size");
+  BinaryReader r(is, "load_instance");
+  const u32 n = r.get_u32("size");
   if (n > kMaxNodes) throw std::runtime_error("load_instance: unreasonable size");
   graph::Instance inst;
-  read_u32le_vector(is, n, inst.f, "f array");
-  read_u32le_vector(is, n, inst.b, "b array");
+  r.get_u32_vector(n, inst.f, "f array");
+  r.get_u32_vector(n, inst.b, "b array");
   graph::validate(inst);
   return inst;
 }
 
 }  // namespace
+
+void atomic_write_file(const std::string& path, const std::function<void(std::ostream&)>& write) {
+  const std::string tmp = path + ".tmp";
+  try {
+    std::ofstream os(tmp, std::ios::binary);
+    if (!os) throw std::runtime_error("atomic_write_file: cannot open " + tmp);
+    write(os);
+    os.close();  // flush now, so buffered I/O errors surface before the rename
+    if (os.fail()) throw std::runtime_error("atomic_write_file: write failed for " + tmp);
+  } catch (...) {
+    std::remove(tmp.c_str());
+    throw;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("atomic_write_file: cannot rename " + tmp + " over " + path);
+  }
+}
+
+// ---- binary primitives ---------------------------------------------------
+
+std::span<const unsigned char, 8> checkpoint_magic() noexcept {
+  return std::span<const unsigned char, 8>(kCheckpointMagicBytes);
+}
+
+void BinaryWriter::put_u32(u32 v) {
+  unsigned char buf[4] = {static_cast<unsigned char>(v), static_cast<unsigned char>(v >> 8),
+                          static_cast<unsigned char>(v >> 16),
+                          static_cast<unsigned char>(v >> 24)};
+  os_.write(reinterpret_cast<const char*>(buf), 4);
+}
+
+void BinaryWriter::put_u64(u64 v) {
+  put_u32(static_cast<u32>(v));
+  put_u32(static_cast<u32>(v >> 32));
+}
+
+void BinaryWriter::put_u32_array(std::span<const u32> a) {
+  if constexpr (std::endian::native == std::endian::little) {
+    os_.write(reinterpret_cast<const char*>(a.data()),
+              static_cast<std::streamsize>(a.size() * sizeof(u32)));
+  } else {
+    for (u32 v : a) put_u32(v);
+  }
+}
+
+void BinaryWriter::put_bytes(const void* data, std::size_t len) {
+  os_.write(static_cast<const char*>(data), static_cast<std::streamsize>(len));
+}
+
+void BinaryReader::fail_(const char* what) const {
+  throw std::runtime_error(std::string(context_) + ": truncated " + what);
+}
+
+u32 BinaryReader::get_u32(const char* what) {
+  unsigned char buf[4];
+  if (!is_.read(reinterpret_cast<char*>(buf), 4)) fail_(what);
+  return static_cast<u32>(buf[0]) | (static_cast<u32>(buf[1]) << 8) |
+         (static_cast<u32>(buf[2]) << 16) | (static_cast<u32>(buf[3]) << 24);
+}
+
+u64 BinaryReader::get_u64(const char* what) {
+  const u64 lo = get_u32(what);
+  const u64 hi = get_u32(what);
+  return lo | (hi << 32);
+}
+
+void BinaryReader::get_bytes(void* data, std::size_t len, const char* what) {
+  if (!is_.read(static_cast<char*>(data), static_cast<std::streamsize>(len))) fail_(what);
+}
+
+void BinaryReader::get_u32_vector(u64 n, std::vector<u32>& out, const char* what) {
+  // Grows `out` in bounded chunks while reading, so a corrupt header claiming
+  // billions of elements fails with "truncated" once the payload runs out
+  // instead of attempting one giant up-front allocation.
+  constexpr u64 kChunk = u64{1} << 20;
+  out.clear();
+  out.reserve(static_cast<std::size_t>(n < kChunk ? n : kChunk));
+  while (out.size() < n) {
+    const std::size_t prev = out.size();
+    const std::size_t take = static_cast<std::size_t>(std::min<u64>(kChunk, n - prev));
+    out.resize(prev + take);
+    if constexpr (std::endian::native == std::endian::little) {
+      if (!is_.read(reinterpret_cast<char*>(out.data() + prev),
+                    static_cast<std::streamsize>(take * sizeof(u32)))) {
+        fail_(what);
+      }
+    } else {
+      for (std::size_t i = prev; i < prev + take; ++i) out[i] = get_u32(what);
+    }
+  }
+}
 
 void save_instance(std::ostream& os, const graph::Instance& inst) {
   os << kMagic << ' ' << kVersionText << '\n' << inst.size() << '\n';
@@ -127,10 +172,11 @@ void save_instance(std::ostream& os, const graph::Instance& inst) {
 
 void save_instance_binary(std::ostream& os, const graph::Instance& inst) {
   if (inst.size() > kMaxNodes) throw std::runtime_error("save_instance_binary: too large");
-  os.write(reinterpret_cast<const char*>(kBinaryMagic), 8);
-  put_u32le(os, static_cast<u32>(inst.size()));
-  put_u32le_array(os, inst.f);
-  put_u32le_array(os, inst.b);
+  BinaryWriter w(os);
+  w.put_bytes(kBinaryMagic, 8);
+  w.put_u32(static_cast<u32>(inst.size()));
+  w.put_u32_array(inst.f);
+  w.put_u32_array(inst.b);
   if (!os) throw std::runtime_error("save_instance_binary: write failed");
 }
 

@@ -23,7 +23,22 @@
 //   m
 //   f x y     (set f[x] <- y)
 //   b x v     (set b[x] <- v)
+//
+// Checkpoint format (`sfcp-checkpoint v1`) — a warm inc::IncrementalSolver
+// (see IncrementalSolver::save/load, which own the read/write logic):
+//
+//   8-byte magic 7F 's' 'f' 'c' 'k' 'v' '1' 0A, then
+//   * the instance as a complete `sfcp-instance v2` binary section,
+//   * epoch (u64), label bound (u32), per-node labels and cycle ids (u32[n]),
+//   * the cycle-class map (reduced B-strings + label blocks, key-sorted),
+//   * the live cycles (id, class index, length; id-sorted) + next cycle id,
+//   * the signature map ((B, Q∘f) -> label with refcounts, key-sorted),
+//   * lifetime edit stats (6 x u64).
+//   All integers little-endian; map sections sorted so equal engines produce
+//   byte-identical checkpoints.
 
+#include <cstddef>
+#include <functional>
 #include <iosfwd>
 #include <span>
 #include <string>
@@ -63,5 +78,49 @@ std::vector<inc::Edit> load_edits(std::istream& is);
 
 void save_edits_file(const std::string& path, std::span<const inc::Edit> edits);
 std::vector<inc::Edit> load_edits_file(const std::string& path);
+
+/// Writes `path` atomically: `write` streams into `path + ".tmp"`, the
+/// stream is closed and error-checked (so buffered-flush failures surface),
+/// and only then renamed over `path` — a failing write never destroys an
+/// existing good file.  Throws std::runtime_error on open/write/rename
+/// failure; the tmp file is removed on every failure path.
+void atomic_write_file(const std::string& path, const std::function<void(std::ostream&)>& write);
+
+// ---- binary primitives ---------------------------------------------------
+// Little-endian scalar/array IO shared by the `sfcp-instance v2` and
+// `sfcp-checkpoint v1` formats (and available to future binary sections).
+
+/// The 8-byte magic opening an `sfcp-checkpoint v1` stream.
+std::span<const unsigned char, 8> checkpoint_magic() noexcept;
+
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(std::ostream& os) : os_(os) {}
+  void put_u32(u32 v);
+  void put_u64(u64 v);
+  void put_u32_array(std::span<const u32> a);
+  void put_bytes(const void* data, std::size_t len);
+
+ private:
+  std::ostream& os_;
+};
+
+/// Throws std::runtime_error("<context>: truncated <what>") when the stream
+/// runs out mid-field, so corrupt inputs fail with a named field.
+class BinaryReader {
+ public:
+  BinaryReader(std::istream& is, const char* context) : is_(is), context_(context) {}
+  u32 get_u32(const char* what);
+  u64 get_u64(const char* what);
+  void get_bytes(void* data, std::size_t len, const char* what);
+  /// Reads n values, growing `out` in bounded chunks so corrupt headers
+  /// claiming huge sizes fail on truncation instead of allocating n upfront.
+  void get_u32_vector(u64 n, std::vector<u32>& out, const char* what);
+
+ private:
+  [[noreturn]] void fail_(const char* what) const;
+  std::istream& is_;
+  const char* context_;
+};
 
 }  // namespace sfcp::util

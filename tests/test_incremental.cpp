@@ -4,6 +4,8 @@
 // local-repair and full-recompute paths.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <span>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -25,6 +27,18 @@ void expect_matches_fresh(const inc::IncrementalSolver& solver, const std::strin
   ASSERT_EQ(snap.num_blocks, fresh.num_blocks) << what;
   ASSERT_EQ(snap.q, fresh.q) << what;
   EXPECT_EQ(solver.num_blocks(), fresh.num_blocks) << what;
+  // snapshot() is field-for-field identical to core::solve: the cycle and
+  // kept/residual tree-node counters are maintained incrementally.
+  EXPECT_EQ(snap.num_cycles, fresh.num_cycles) << what;
+  EXPECT_EQ(snap.cycle_nodes, fresh.cycle_nodes) << what;
+  EXPECT_EQ(snap.kept_tree_nodes, fresh.kept_tree_nodes) << what;
+  EXPECT_EQ(snap.residual_tree_nodes, fresh.residual_tree_nodes) << what;
+  // The view surface agrees byte-for-byte with the fresh solve.
+  const core::PartitionView v = solver.view();
+  ASSERT_EQ(v.num_classes(), fresh.num_blocks) << what;
+  const std::span<const u32> vq = v.labels();
+  ASSERT_TRUE(std::equal(vq.begin(), vq.end(), fresh.q.begin(), fresh.q.end())) << what;
+  EXPECT_EQ(v.epoch(), solver.epoch()) << what;
 }
 
 void apply_single(inc::IncrementalSolver& solver, const inc::Edit& e) {

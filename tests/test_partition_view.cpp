@@ -1,0 +1,262 @@
+// The PartitionView contract: an immutable, versioned query surface whose
+// canonical labels are byte-identical to core::solve, whose snapshots are
+// isolated from later edits, and whose incremental production does work
+// proportional to the dirty region rather than n.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <span>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "core/solver.hpp"
+#include "inc/incremental_solver.hpp"
+#include "pram/metrics.hpp"
+#include "util/generators.hpp"
+#include "util/random.hpp"
+
+namespace sfcp {
+namespace {
+
+std::vector<u32> to_vec(std::span<const u32> s) { return {s.begin(), s.end()}; }
+
+void expect_view_matches_result(const core::PartitionView& v, const core::Result& r,
+                                const std::string& what) {
+  ASSERT_EQ(v.size(), r.q.size()) << what;
+  ASSERT_EQ(v.num_classes(), r.num_blocks) << what;
+  EXPECT_EQ(to_vec(v.labels()), r.q) << what;
+  EXPECT_EQ(v.counters().num_cycles, r.num_cycles) << what;
+  EXPECT_EQ(v.counters().cycle_nodes, r.cycle_nodes) << what;
+  EXPECT_EQ(v.counters().kept_tree_nodes, r.kept_tree_nodes) << what;
+  EXPECT_EQ(v.counters().residual_tree_nodes, r.residual_tree_nodes) << what;
+}
+
+// ---- construction and queries --------------------------------------------
+
+TEST(PartitionView, EmptyView) {
+  core::PartitionView v;
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.num_classes(), 0u);
+  EXPECT_EQ(v.epoch(), 0u);
+  EXPECT_TRUE(v.labels().empty());
+  EXPECT_THROW(v.class_of(0), std::out_of_range);
+  EXPECT_EQ(v.classes().begin(), v.classes().end());
+}
+
+TEST(PartitionView, FromLabelsCanonicalizes) {
+  const std::vector<u32> raw = {7, 3, 7, 9, 3, 7};
+  const core::PartitionView v = core::PartitionView::from_labels(raw, 42);
+  EXPECT_EQ(v.size(), 6u);
+  EXPECT_EQ(v.num_classes(), 3u);
+  EXPECT_EQ(v.epoch(), 42u);
+  EXPECT_EQ(to_vec(v.labels()), (std::vector<u32>{0, 1, 0, 2, 1, 0}));
+  EXPECT_EQ(v.class_of(3), 2u);
+  EXPECT_TRUE(v.same_class(0, 5));
+  EXPECT_FALSE(v.same_class(0, 1));
+  EXPECT_EQ(v.class_size(0), 3u);
+  EXPECT_EQ(v.class_size(2), 1u);
+  EXPECT_EQ(to_vec(v.class_members(1)), (std::vector<u32>{1, 4}));
+}
+
+TEST(PartitionView, ClassIterationCoversEveryNodeOnce) {
+  util::Rng rng(50);
+  const auto inst = util::random_function(500, 4, rng);
+  core::Solver solver;
+  const core::PartitionView v = solver.solve_view(inst);
+  std::vector<u8> seen(v.size(), 0);
+  u32 classes = 0;
+  for (const auto [id, members] : v.classes()) {
+    EXPECT_EQ(id, classes);
+    EXPECT_EQ(members.size(), v.class_size(id));
+    EXPECT_TRUE(std::is_sorted(members.begin(), members.end()));
+    for (u32 m : members) {
+      EXPECT_EQ(v.class_of(m), id);
+      EXPECT_EQ(seen[m], 0);
+      seen[m] = 1;
+    }
+    ++classes;
+  }
+  EXPECT_EQ(classes, v.num_classes());
+  EXPECT_EQ(std::count(seen.begin(), seen.end(), 1), static_cast<long>(v.size()));
+}
+
+TEST(PartitionView, OutOfRangeQueriesThrow) {
+  const core::PartitionView v = core::PartitionView::from_labels(std::vector<u32>{0, 0, 1});
+  EXPECT_THROW(v.class_of(3), std::out_of_range);
+  EXPECT_THROW(v.same_class(0, 3), std::out_of_range);
+  EXPECT_THROW(v.class_members(2), std::out_of_range);
+  EXPECT_THROW(v.class_size(2), std::out_of_range);
+}
+
+// ---- every producer agrees with core::solve ------------------------------
+
+TEST(PartitionView, SolveViewMatchesSolveForEveryRegistryStrategy) {
+  util::Rng rng(51);
+  const auto instances = {util::random_function(800, 4, rng),
+                          util::random_permutation(600, 3, rng),
+                          util::long_tail(700, 32, 4, rng)};
+  for (const auto& inst : instances) {
+    const core::Result expected = core::solve(inst);
+    for (const auto& s : sfcp::registry().all()) {
+      core::Solver solver(s.options);
+      const core::PartitionView v = solver.solve_view(inst, 7);
+      EXPECT_EQ(v.epoch(), 7u) << s.name;
+      expect_view_matches_result(v, expected, s.name);
+    }
+  }
+}
+
+TEST(PartitionView, ResultViewLvalueAndRvalueAgree) {
+  util::Rng rng(52);
+  const auto inst = util::bushy(600, 8, 5, 4, rng);
+  core::Result r = core::solve(inst);
+  const core::PartitionView a = r.view(3);
+  expect_view_matches_result(a, r, "lvalue view");
+  const std::vector<u32> q = r.q;
+  const core::PartitionView b = std::move(r).view(3);
+  EXPECT_EQ(to_vec(b.labels()), q);
+  // And round-trip back to a Result.
+  const core::Result back = b.to_result();
+  EXPECT_EQ(back.q, q);
+  EXPECT_EQ(back.num_blocks, b.num_classes());
+}
+
+// ---- incremental views: O(dirty) production, byte-identical labels -------
+
+TEST(PartitionView, IncrementalViewStaysCanonicalUnderMixedEdits) {
+  util::Rng rng(53);
+  auto inst = util::random_function(1500, 4, rng);
+  util::Rng stream_rng(54);
+  const auto stream =
+      util::random_edit_stream(inst, 120, util::EditMix::Uniform, 6, stream_rng);
+  inc::IncrementalSolver solver(inst);
+  for (const auto& e : stream) {
+    if (e.kind == inc::Edit::Kind::SetF) {
+      solver.set_f(e.node, e.value);
+    } else {
+      solver.set_b(e.node, e.value);
+    }
+    const core::PartitionView v = solver.view();
+    const core::Result fresh = core::solve(solver.instance());
+    ASSERT_EQ(to_vec(v.labels()), fresh.q);
+    ASSERT_EQ(v.num_classes(), fresh.num_blocks);
+  }
+}
+
+TEST(PartitionView, ViewIsCachedPerEpoch) {
+  util::Rng rng(55);
+  inc::IncrementalSolver solver(util::random_function(1000, 4, rng));
+  const core::PartitionView a = solver.view();
+  const core::PartitionView b = solver.view();
+  EXPECT_EQ(a.epoch(), b.epoch());
+  EXPECT_EQ(a.labels().data(), b.labels().data());  // same shared representation
+  solver.set_b(0, 5);
+  const core::PartitionView c = solver.view();
+  EXPECT_GT(c.epoch(), a.epoch());
+}
+
+TEST(PartitionView, ViewWorkIsProportionalToDirtyRegion) {
+  // Localized (leaf) edits dirty O(1) nodes each; producing a view after
+  // each must publish only that delta, never an O(n) root — including past
+  // the chain-depth bound, where the chain collapses into one merged patch
+  // (O(cumulative dirty)) rather than flattening O(n).  The counters
+  // distinguish the regimes: view_patched counts delta entries,
+  // view_rebuilt counts nodes copied into fresh roots.
+  util::Rng rng(56);
+  const std::size_t n = 20000;
+  const std::size_t kEdits = 300;  // > kMaxChainDepth: crosses the collapse
+  auto inst = util::random_function(n, 4, rng);
+  util::Rng stream_rng(57);
+  const auto stream =
+      util::random_edit_stream(inst, kEdits, util::EditMix::LocalizedHotspot, 6, stream_rng);
+  pram::Metrics metrics;
+  inc::IncrementalSolver solver(std::move(inst), core::Options::parallel(),
+                                pram::ExecutionContext{}.with_metrics(&metrics));
+  solver.view();  // the initial root, paid once
+  const auto base = metrics.snapshot();
+  EXPECT_EQ(base.view_rebuilt, n);
+  for (const auto& e : stream) {
+    if (e.kind == inc::Edit::Kind::SetF) {
+      solver.set_f(e.node, e.value);
+    } else {
+      solver.set_b(e.node, e.value);
+    }
+    solver.view();
+  }
+  const auto after = metrics.snapshot();
+  EXPECT_EQ(after.view_rebuilt, base.view_rebuilt) << "a localized stream must never rebuild";
+  EXPECT_EQ(after.edit_rebuilds, 0u);
+  const u64 patched = after.view_patched - base.view_patched;
+  EXPECT_LE(patched, 3 * after.edit_dirty)
+      << "views publish the dirty delta (collapses re-publish merged deltas)";
+  EXPECT_LT(patched, n / 4) << "localized views must cost far less than one O(n) pass";
+  // The collapsed chain still answers correctly.
+  const core::Result fresh = core::solve(solver.instance());
+  EXPECT_EQ(to_vec(solver.view().labels()), fresh.q);
+}
+
+// ---- snapshot isolation --------------------------------------------------
+
+TEST(PartitionView, ReaderViewUnchangedByLaterEdits) {
+  util::Rng rng(58);
+  auto inst = util::random_function(1200, 4, rng);
+  inc::IncrementalSolver solver(inst);
+
+  // Reader A materializes immediately; reader B holds its view lazily and
+  // only queries after the writer has moved on — both must see epoch-0.
+  const core::Result at_epoch0 = core::solve(inst);
+  const core::PartitionView eager = solver.view();
+  const core::PartitionView lazy = solver.view();
+  const std::vector<u32> eager_labels = to_vec(eager.labels());
+
+  util::Rng stream_rng(59);
+  const auto stream = util::random_edit_stream(inst, 60, util::EditMix::Uniform, 6, stream_rng);
+  for (const auto& e : stream) {
+    if (e.kind == inc::Edit::Kind::SetF) {
+      solver.set_f(e.node, e.value);
+    } else {
+      solver.set_b(e.node, e.value);
+    }
+    solver.view();  // advance the published chain while readers hold theirs
+  }
+
+  EXPECT_EQ(to_vec(eager.labels()), eager_labels);
+  EXPECT_EQ(to_vec(eager.labels()), at_epoch0.q);
+  EXPECT_EQ(to_vec(lazy.labels()), at_epoch0.q);
+  EXPECT_EQ(lazy.num_classes(), at_epoch0.num_blocks);
+
+  // The current view reflects the edited instance, not epoch 0.
+  const core::Result now = core::solve(solver.instance());
+  EXPECT_EQ(to_vec(solver.view().labels()), now.q);
+}
+
+TEST(PartitionView, ConcurrentReadersShareOneView) {
+  util::Rng rng(60);
+  inc::IncrementalSolver solver(util::random_function(5000, 4, rng));
+  solver.set_b(1, 5);
+  const core::PartitionView v = solver.view();
+  // Many threads force the lazy indexes concurrently; call_once must hand
+  // every reader the same coherent canonical labels and CSR.
+  const core::Result fresh = core::solve(solver.instance());
+  std::vector<std::thread> readers;
+  std::vector<int> ok(8, 0);
+  for (int t = 0; t < 8; ++t) {
+    readers.emplace_back([&, t] {
+      const std::vector<u32> q = to_vec(v.labels());
+      bool good = q == fresh.q;
+      for (u32 c = 0; c < v.num_classes(); c += 7) {
+        const auto members = v.class_members(c);
+        good = good && !members.empty() && v.class_of(members[0]) == c;
+      }
+      ok[static_cast<std::size_t>(t)] = good ? 1 : 0;
+    });
+  }
+  for (auto& th : readers) th.join();
+  EXPECT_EQ(std::accumulate(ok.begin(), ok.end(), 0), 8);
+}
+
+}  // namespace
+}  // namespace sfcp
