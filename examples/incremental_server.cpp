@@ -17,7 +17,7 @@
 //   checkpoint written to warm.ckpt
 //
 // Commands: gen <random|permutation|mergeable|longtail> <n> [seed]
-//           engine <incremental|batch>    (selects engine; reloads instance)
+//           engine <incremental|batch|sharded>  (selects engine; reloads instance)
 //           load <path>            (text or binary instance, autodetected)
 //           save <path> [binary]   (instance only)
 //           checkpoint <path>      (sfcp-checkpoint v1: warm engine state)
@@ -36,6 +36,7 @@
 
 #include "engine.hpp"
 #include "pram/metrics.hpp"
+#include "shard/sharded_engine.hpp"
 #include "util/generators.hpp"
 #include "util/io.hpp"
 #include "util/random.hpp"
@@ -47,7 +48,7 @@ namespace {
 void print_help() {
   std::cout << "commands:\n"
                "  gen <random|permutation|mergeable|longtail> <n> [seed]\n"
-               "  engine <incremental|batch>   select engine kind (re-adopts instance)\n"
+               "  engine <incremental|batch|sharded>  select engine kind (re-adopts instance)\n"
                "  load <path>              load instance (text/binary autodetect)\n"
                "  save <path> [binary]     save current instance\n"
                "  checkpoint <path>        write warm engine state (sfcp-checkpoint v1)\n"
@@ -183,8 +184,9 @@ int main() {
           std::cout << "cannot open " << path << "\n";
           continue;
         }
-        engine = load_incremental_engine(is, core::Options::parallel(),
-                                         pram::ExecutionContext{}.with_metrics(&metrics));
+        // Autodetects plain vs. sharded checkpoints from the magic.
+        engine = load_engine_checkpoint(is, core::Options::parallel(),
+                                        pram::ExecutionContext{}.with_metrics(&metrics));
         engine_kind = std::string(engine->kind());
         const core::PartitionView v = engine->view();
         std::cout << "restored n=" << engine->size() << " engine=" << engine->kind()
@@ -260,6 +262,13 @@ int main() {
                     << " rebuilds=" << s.rebuilds << " dirty_nodes=" << s.dirty_nodes
                     << " cycles_created=" << s.cycles_created
                     << " cycles_destroyed=" << s.cycles_destroyed << "\n";
+        }
+        if (const auto* se = dynamic_cast<const shard::ShardedEngine*>(engine.get())) {
+          const auto& s = se->stats();
+          std::cout << "shards=" << se->shard_count()
+                    << " cross_shard_edits=" << s.cross_shard_edits
+                    << " migrations=" << s.migrations << " reshards=" << s.reshards
+                    << " shard_merges=" << s.shard_merges << "\n";
         }
         std::cout << "metrics: " << metrics.summary() << "\n";
       } else {

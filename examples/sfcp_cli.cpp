@@ -7,6 +7,7 @@
 //   $ ./sfcp_cli solve instance.txt --strategy sequential
 //   $ ./sfcp_cli solve instance.txt --strategy powers-jump-double --threads 2
 //   $ ./sfcp_cli solve instance.txt --engine incremental
+//   $ ./sfcp_cli solve instance.txt --engine sharded --shards 4
 //   $ ./sfcp_cli classes instance.txt 5             # largest Q-classes
 //   $ ./sfcp_cli strategies                         # list registry entries
 //   $ ./sfcp_cli engines                            # list engine kinds
@@ -51,21 +52,34 @@ int cmd_gen(int argc, char** argv) {
 }
 
 int cmd_solve(const std::string& path, const std::string& strategy, int threads,
-              const std::string& engine_kind) {
+              const std::string& engine_kind, std::size_t shards) {
   auto inst = util::load_instance_file(path);
   const std::size_t n = inst.size();
   pram::Metrics metrics;
   util::Timer timer;
-  // Programs against the engine facade: the same line serves "batch" (one
-  // solve) and "incremental" (solve + warm repair state for edits).
-  auto engine = sfcp::engines().make(
-      engine_kind, std::move(inst), sfcp::registry().at(strategy),
-      pram::ExecutionContext{}.with_threads(threads).with_metrics(&metrics));
+  const auto ctx = pram::ExecutionContext{}.with_threads(threads).with_metrics(&metrics);
+  // Programs against the engine facade: the same lines serve "batch" (one
+  // solve), "incremental" (solve + warm repair state for edits) and
+  // "sharded" (component-parallel shards; --shards overrides the default k).
+  std::unique_ptr<Engine> engine;
+  if (shards > 0) {
+    shard::ShardOptions sopt;
+    sopt.shards = shards;
+    engine = std::make_unique<shard::ShardedEngine>(std::move(inst),
+                                                    sfcp::registry().at(strategy), ctx, sopt);
+  } else {
+    engine =
+        sfcp::engines().make(engine_kind, std::move(inst), sfcp::registry().at(strategy), ctx);
+  }
   const core::PartitionView v = engine->view();
   const core::ViewCounters& c = v.counters();
   std::cout << "n=" << n << "  engine=" << engine->kind() << "  strategy=" << strategy
             << "  classes=" << v.num_classes() << "  cycles=" << c.num_cycles
-            << "  cycle_nodes=" << c.cycle_nodes << "\n"
+            << "  cycle_nodes=" << c.cycle_nodes;
+  if (const auto* sharded = dynamic_cast<const shard::ShardedEngine*>(engine.get())) {
+    std::cout << "  shards=" << sharded->shard_count();
+  }
+  std::cout << "\n"
             << "time=" << timer.millis() << "ms  " << metrics.summary() << "\n";
   return 0;
 }
@@ -149,7 +163,9 @@ int main(int argc, char** argv) {
     if (cmd == "solve") {
       std::string strategy = "parallel";
       std::string engine = "batch";
+      bool engine_set = false;
       int threads = 0;
+      std::size_t shards = 0;  // 0 = engine default; > 0 selects "sharded"
       for (int i = 3; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--seq") {
@@ -158,14 +174,23 @@ int main(int argc, char** argv) {
           strategy = argv[++i];
         } else if (arg == "--engine" && i + 1 < argc) {
           engine = argv[++i];
+          engine_set = true;
         } else if (arg == "--threads" && i + 1 < argc) {
           threads = std::atoi(argv[++i]);
+        } else if (arg == "--shards" && i + 1 < argc) {
+          shards = std::strtoul(argv[++i], nullptr, 10);
         } else {
           std::cerr << "unknown solve option '" << arg << "'\n";
           return 2;
         }
       }
-      return cmd_solve(argv[2], strategy, threads, engine);
+      // A bare --shards implies the sharded engine; combined with an
+      // explicit different --engine it is a contradiction, not an override.
+      if (shards > 0 && engine_set && engine != "sharded") {
+        std::cerr << "--shards only applies to --engine sharded\n";
+        return 2;
+      }
+      return cmd_solve(argv[2], strategy, threads, engine, shards);
     }
     if (cmd == "classes") {
       const std::size_t top = argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 10;

@@ -1,9 +1,13 @@
 #include "engine.hpp"
 
+#include <cstring>
 #include <ostream>
 #include <stdexcept>
 #include <string>
 #include <utility>
+
+#include "shard/sharded_engine.hpp"
+#include "util/io.hpp"
 
 namespace sfcp {
 
@@ -60,6 +64,22 @@ std::unique_ptr<Engine> load_incremental_engine(std::istream& is, core::Options 
   return std::make_unique<IncrementalEngine>(inc::IncrementalSolver::load(is, opt, ctx, policy));
 }
 
+std::unique_ptr<Engine> load_engine_checkpoint(std::istream& is, core::Options opt,
+                                               pram::ExecutionContext ctx) {
+  util::BinaryReader r(is, "load_engine_checkpoint");
+  unsigned char magic[8];
+  r.get_bytes(magic, 8, "magic");
+  if (std::memcmp(magic, util::checkpoint_magic().data(), 8) == 0) {
+    return std::make_unique<IncrementalEngine>(
+        inc::IncrementalSolver::load_body(is, opt, ctx, {}));
+  }
+  if (std::memcmp(magic, util::checkpoint_sharded_magic().data(), 8) == 0) {
+    return shard::ShardedEngine::load_body(is, opt, ctx, {});
+  }
+  throw std::runtime_error(
+      "load_engine_checkpoint: bad magic (expected an sfcp-checkpoint v1 stream)");
+}
+
 std::vector<std::string> EngineRegistry::names() const {
   std::vector<std::string> out;
   out.reserve(entries_.size());
@@ -108,6 +128,14 @@ EngineRegistry& engines() {
            [](graph::Instance inst, const core::Options& opt,
               const pram::ExecutionContext& ctx) -> std::unique_ptr<Engine> {
              return std::make_unique<IncrementalEngine>(std::move(inst), opt, ctx);
+           }});
+    r.add({"sharded",
+           "component-sharded parallel repair, k=8 incremental shards behind a cross-shard "
+           "class-reconciliation merge (shard::ShardedEngine); best for multi-component "
+           "edit streams",
+           [](graph::Instance inst, const core::Options& opt,
+              const pram::ExecutionContext& ctx) -> std::unique_ptr<Engine> {
+             return std::make_unique<shard::ShardedEngine>(std::move(inst), opt, ctx);
            }});
     return r;
   }();

@@ -136,6 +136,15 @@ std::unique_ptr<Engine> load_incremental_engine(std::istream& is,
                                                 pram::ExecutionContext ctx = {},
                                                 inc::RepairPolicy policy = {});
 
+/// Restores whichever checkpointable engine wrote the stream, autodetected
+/// from the 8-byte magic: the plain `sfcp-checkpoint v1` magic yields an
+/// IncrementalEngine, the sharded magic a shard::ShardedEngine (with the
+/// stream's shard count and assignment).  Throws std::runtime_error on an
+/// unrecognized magic or malformed stream.
+std::unique_ptr<Engine> load_engine_checkpoint(std::istream& is,
+                                               core::Options opt = core::Options::parallel(),
+                                               pram::ExecutionContext ctx = {});
+
 // ---- engine registry -----------------------------------------------------
 
 struct EngineInfo {

@@ -14,16 +14,6 @@
 
 namespace sfcp::inc {
 
-std::size_t IncrementalSolver::VecHash::operator()(const std::vector<u32>& v) const noexcept {
-  u64 h = 0x9e3779b97f4a7c15ull ^ (static_cast<u64>(v.size()) * 0xbf58476d1ce4e5b9ull);
-  for (u32 x : v) {
-    u64 z = h + x;
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-    h = z ^ (z >> 27);
-  }
-  return static_cast<std::size_t>(h);
-}
-
 IncrementalSolver::IncrementalSolver(graph::Instance inst, core::Options opt,
                                      pram::ExecutionContext ctx, RepairPolicy policy)
     : inst_(std::move(inst)), solver_(opt, ctx), policy_(policy) {
@@ -415,6 +405,12 @@ IncrementalSolver IncrementalSolver::load(std::istream& is, core::Options opt,
   if (std::memcmp(magic, util::checkpoint_magic().data(), 8) != 0) {
     throw std::runtime_error("load_checkpoint: bad magic (expected sfcp-checkpoint v1)");
   }
+  return load_body(is, opt, ctx, policy);
+}
+
+IncrementalSolver IncrementalSolver::load_body(std::istream& is, core::Options opt,
+                                               pram::ExecutionContext ctx, RepairPolicy policy) {
+  util::BinaryReader r(is, "load_checkpoint");
   graph::Instance inst = util::load_instance(is);  // the embedded v2 section
 
   IncrementalSolver s(LoadTag{}, std::move(inst), opt, ctx, policy);

@@ -143,6 +143,13 @@ class IncrementalSolver {
   static IncrementalSolver load(std::istream& is, core::Options opt = core::Options::parallel(),
                                 pram::ExecutionContext ctx = {}, RepairPolicy policy = {});
 
+  /// load() for dispatchers that already consumed and checked the 8-byte
+  /// checkpoint magic (sfcp::load_engine_checkpoint autodetects the plain
+  /// vs. sharded flavour from it).
+  static IncrementalSolver load_body(std::istream& is,
+                                     core::Options opt = core::Options::parallel(),
+                                     pram::ExecutionContext ctx = {}, RepairPolicy policy = {});
+
   /// Single edits.  Throw std::invalid_argument on out-of-range arguments;
   /// the partition is fully repaired on return.
   void set_f(u32 x, u32 y);
@@ -174,9 +181,6 @@ class IncrementalSolver {
   struct SigRec {
     u32 label = 0;
     u32 refs = 0;
-  };
-  struct VecHash {
-    std::size_t operator()(const std::vector<u32>& v) const noexcept;
   };
 
   struct LoadTag {};
@@ -210,7 +214,7 @@ class IncrementalSolver {
   std::vector<u32> cycle_id_;  ///< live cycle id, kNone for tree nodes
 
   std::unordered_map<u64, SigRec> sigs_;  ///< pack(B(v), Q(f(v))) -> label
-  std::unordered_map<std::vector<u32>, CycleClass, VecHash> classes_;
+  std::unordered_map<std::vector<u32>, CycleClass, U32VecHash> classes_;
   std::unordered_map<u32, CycleRec> cycles_;
   u32 next_cycle_id_ = 0;
 

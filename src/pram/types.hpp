@@ -6,8 +6,10 @@
 // u64 radix-sort key, which is what makes the paper's "integer sorting over
 // [1..n^{O(1)}]" cheap to realize.
 
+#include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <vector>
 
 namespace sfcp {
 
@@ -27,5 +29,20 @@ inline constexpr u64 pack_pair(u32 hi, u32 lo) noexcept {
 
 inline constexpr u32 pair_hi(u64 key) noexcept { return static_cast<u32>(key >> 32); }
 inline constexpr u32 pair_lo(u64 key) noexcept { return static_cast<u32>(key); }
+
+/// Splitmix-style hash for u32 sequences — the map key of both the
+/// incremental solver's and the sharded merge layer's reduced-cycle-string
+/// maps (one definition so the mixing can never diverge between them).
+struct U32VecHash {
+  std::size_t operator()(const std::vector<u32>& v) const noexcept {
+    u64 h = 0x9e3779b97f4a7c15ull ^ (static_cast<u64>(v.size()) * 0xbf58476d1ce4e5b9ull);
+    for (u32 x : v) {
+      u64 z = h + x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      h = z ^ (z >> 27);
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
 
 }  // namespace sfcp

@@ -30,7 +30,11 @@
 // Serving (edits against a live instance): program against sfcp::Engine and
 // pick an implementation from sfcp::engines() — "incremental" repairs the
 // dirty region per edit (inc::IncrementalSolver), "batch" re-solves lazily
-// per epoch (core::Solver).
+// per epoch (core::Solver), "sharded" partitions components across k warm
+// incremental shards repaired in parallel behind a cross-shard
+// class-reconciliation merge (shard::ShardedEngine; shard::ShardOptions
+// picks k and the migrate-vs-reshard ReshardPolicy for edits that rewire f
+// across shard boundaries).
 //
 //   auto eng = sfcp::engines().make("incremental", std::move(inst));
 //   eng->set_b(x, 3);                         // O(dirty) repair
@@ -38,7 +42,8 @@
 //   eng->set_f(y, z);                             // isolated from this edit
 //   eng->save_checkpoint(os);                 // sfcp-checkpoint v1: restart
 //                                             // warm via
-//                                             // sfcp::load_incremental_engine
+//                                             // sfcp::load_engine_checkpoint
+//                                             // (autodetects plain/sharded)
 //
 // Views taken from an engine are snapshots: edits applied afterwards never
 // change a view a reader already holds, and view() after k localized edits
@@ -86,6 +91,7 @@
 #include "prim/merge.hpp"
 #include "prim/rename.hpp"
 #include "prim/scan.hpp"
+#include "shard/sharded_engine.hpp"
 #include "strings/lyndon.hpp"
 #include "strings/matching.hpp"
 #include "strings/msp.hpp"

@@ -1,0 +1,511 @@
+#include "shard/sharded_engine.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+#include "graph/components.hpp"
+#include "pram/metrics.hpp"
+#include "pram/parallel_for.hpp"
+#include "strings/msp.hpp"
+#include "strings/period.hpp"
+#include "util/io.hpp"
+
+namespace sfcp::shard {
+
+ShardedEngine::ShardedEngine(graph::Instance inst, core::Options opt, pram::ExecutionContext ctx,
+                             ShardOptions sopt)
+    : inst_(std::move(inst)), opt_(opt), ctx_(ctx), repair_(sopt.repair), reshard_(sopt.reshard) {
+  graph::validate(inst_);
+  const std::size_t n = inst_.size();
+  shard_of_.assign(n, 0);
+  local_of_.assign(n, 0);
+  shards_.resize(sopt.shards == 0 ? 1 : sopt.shards);
+  reshard_all_();
+}
+
+ShardedEngine::ShardedEngine(LoadTag, core::Options opt, pram::ExecutionContext ctx,
+                             ShardOptions sopt)
+    : opt_(opt), ctx_(ctx), repair_(sopt.repair), reshard_(sopt.reshard) {}
+
+u32 ShardedEngine::shard_of(u32 x) const {
+  if (x >= shard_of_.size()) {
+    throw std::out_of_range("ShardedEngine::shard_of: node " + std::to_string(x) +
+                            " out of range (n = " + std::to_string(shard_of_.size()) + ")");
+  }
+  return shard_of_[x];
+}
+
+// ---- sharding ------------------------------------------------------------
+
+void ShardedEngine::reshard_all_() {
+  pram::ScopedContext guard(&ctx_);
+  const std::size_t n = inst_.size();
+  const graph::Components comp = graph::connected_components(inst_.f);
+  const std::size_t k = shards_.size();
+
+  // Longest-processing-time assignment: heaviest component to the currently
+  // lightest shard.  Deterministic (ties by lowest id / lowest shard).
+  std::vector<u32> order(comp.count());
+  std::iota(order.begin(), order.end(), u32{0});
+  std::sort(order.begin(), order.end(), [&](u32 a, u32 b) {
+    return comp.size[a] != comp.size[b] ? comp.size[a] > comp.size[b] : a < b;
+  });
+  std::vector<u64> load(k, 0);
+  std::vector<u32> comp_shard(comp.count(), 0);
+  for (const u32 c : order) {
+    std::size_t best = 0;
+    for (std::size_t s = 1; s < k; ++s) {
+      if (load[s] < load[best]) best = s;
+    }
+    comp_shard[c] = static_cast<u32>(best);
+    load[best] += comp.size[c];
+  }
+
+  for (auto& sh : shards_) sh.nodes.clear();
+  for (u32 v = 0; v < static_cast<u32>(n); ++v) {
+    shards_[comp_shard[comp.id[v]]].nodes.push_back(v);  // ascending per shard
+  }
+  for (std::size_t s = 0; s < k; ++s) rebuild_shard_(s);
+  root_stale_ = true;
+}
+
+void ShardedEngine::rebuild_shard_(std::size_t s) {
+  ShardState& sh = shards_[s];
+  const std::size_t m = sh.nodes.size();
+  for (std::size_t i = 0; i < m; ++i) {
+    shard_of_[sh.nodes[i]] = static_cast<u32>(s);
+    local_of_[sh.nodes[i]] = static_cast<u32>(i);
+  }
+  // Shards are closed under f (they hold whole components), so every f
+  // target's local index is defined by the loop above.
+  graph::Instance sub;
+  sub.f.resize(m);
+  sub.b.resize(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const u32 g = sh.nodes[i];
+    sub.f[i] = local_of_[inst_.f[g]];
+    sub.b[i] = inst_.b[g];
+  }
+  sh.solver = std::make_unique<inc::IncrementalSolver>(std::move(sub), opt_, ctx_, repair_);
+  sh.seen_epoch = 0;
+  sh.dirty = true;
+}
+
+// ---- edits ---------------------------------------------------------------
+
+void ShardedEngine::apply(std::span<const inc::Edit> edits) {
+  for (const inc::Edit& e : edits) inc::validate_edit(e, inst_.size(), "ShardedEngine");
+  const std::size_t count = edits.size();
+  std::size_t i = 0;
+  while (i < count) {
+    // Maximal run of shard-routable edits; cross-shard rewires are barriers
+    // (they move nodes between shards, changing the routing of what follows).
+    std::size_t j = i;
+    while (j < count && !cross_shard_(edits[j])) ++j;
+    if (j > i) apply_segment_(edits.subspan(i, j - i));
+    if (j < count) {
+      apply_cross_shard_(edits[j]);
+      ++j;
+    }
+    i = j;
+  }
+}
+
+void ShardedEngine::apply_segment_(std::span<const inc::Edit> seg) {
+  if (bucket_buf_.size() != shards_.size()) bucket_buf_.assign(shards_.size(), {});
+  active_buf_.clear();
+  for (const inc::Edit& e : seg) {
+    const u32 s = shard_of_[e.node];
+    auto& bucket = bucket_buf_[s];
+    if (bucket.empty()) active_buf_.push_back(s);
+    const u32 value = e.kind == inc::Edit::Kind::SetF ? local_of_[e.value] : e.value;
+    bucket.push_back(inc::Edit{e.kind, local_of_[e.node], value});
+    inc::apply_raw(e, inst_.f, inst_.b);  // keep the global instance current
+  }
+  {
+    // Shards repair concurrently.  The fan-out loop runs under a grain of 1
+    // so a handful of shards still forks (the default grain is tuned for
+    // element loops); each shard solver re-installs its own context inside
+    // apply(), so charging lands in the session's (atomic) sink.
+    pram::ExecutionContext fan = ctx_;
+    fan.grain = 1;
+    pram::ScopedContext guard(fan);
+    const std::size_t active = active_buf_.size();
+    pram::parallel_for(0, active, [&](std::size_t idx) {
+      const u32 s = active_buf_[idx];
+      shards_[s].solver->apply(bucket_buf_[s]);
+    });
+  }
+  for (const u32 s : active_buf_) {
+    bucket_buf_[s].clear();
+    ShardState& sh = shards_[s];
+    const u64 e = sh.solver->epoch();
+    if (e != sh.seen_epoch) {  // no-op-only buckets leave the shard clean
+      epoch_ += e - sh.seen_epoch;
+      sh.seen_epoch = e;
+      sh.dirty = true;
+    }
+  }
+}
+
+void ShardedEngine::apply_cross_shard_(const inc::Edit& e) {
+  const std::size_t n = inst_.size();
+  const u32 a = shard_of_[e.node];
+  const u32 b = shard_of_[e.value];
+  ++stats_.cross_shard_edits;
+  ShardState& src = shards_[a];
+
+  // The component the edit drags into shard b, located in a's CURRENT
+  // sub-instance (pre-edit; the closure of e.node is the same either way).
+  graph::Components comp;
+  {
+    pram::ScopedContext guard(&ctx_);
+    comp = graph::connected_components(src.solver->instance().f);
+  }
+  const u32 cid = comp.id[local_of_[e.node]];
+  const std::size_t moved = comp.size[cid];
+
+  // Cross-shard implies f(x) != y (the old target lives in shard a), so the
+  // edit always changes state.
+  inc::apply_raw(e, inst_.f, inst_.b);
+  ++epoch_;
+
+  if (moved > reshard_.migrate_budget(n)) {
+    ++stats_.reshards;
+    reshard_all_();
+    return;
+  }
+
+  std::vector<u32> keep, move;
+  keep.reserve(src.nodes.size() - moved);
+  move.reserve(moved);
+  for (std::size_t i = 0; i < src.nodes.size(); ++i) {
+    (comp.id[i] == cid ? move : keep).push_back(src.nodes[i]);
+  }
+  ShardState& dst = shards_[b];
+  std::vector<u32> merged;
+  merged.reserve(dst.nodes.size() + move.size());
+  std::merge(dst.nodes.begin(), dst.nodes.end(), move.begin(), move.end(),
+             std::back_inserter(merged));
+  src.nodes = std::move(keep);
+  dst.nodes = std::move(merged);
+  rebuild_shard_(a);
+  rebuild_shard_(b);
+  ++stats_.migrations;
+
+  std::size_t largest = 0;
+  for (const auto& sh : shards_) largest = std::max(largest, sh.nodes.size());
+  if (!reshard_.balanced(largest, n, shards_.size())) {
+    ++stats_.reshards;
+    reshard_all_();
+  }
+}
+
+// ---- merge layer ---------------------------------------------------------
+
+void ShardedEngine::release_refs_(ShardState& sh) {
+  for (const std::vector<u32>* key : sh.cycle_refs) {
+    auto it = gclasses_.find(*key);
+    if (--it->second.refs == 0) {
+      live_globals_ -= static_cast<u32>(it->second.labels.size());
+      gclasses_.erase(it);
+    }
+  }
+  sh.cycle_refs.clear();
+  for (const u64 sig : sh.sig_refs) {
+    auto it = gsigs_.find(sig);
+    if (--it->second.refs == 0) {
+      --live_globals_;
+      gsigs_.erase(it);
+    }
+  }
+  sh.sig_refs.clear();
+}
+
+void ShardedEngine::reset_global_maps_() {
+  gclasses_.clear();
+  gsigs_.clear();
+  next_global_ = 0;
+  live_globals_ = 0;
+  for (auto& sh : shards_) {
+    sh.cycle_refs.clear();
+    sh.sig_refs.clear();
+    sh.dirty = true;
+  }
+  root_stale_ = true;
+}
+
+void ShardedEngine::label_quotient_cycle_(std::span<const u32> cyc, std::vector<u32>& assign,
+                                          std::vector<const std::vector<u32>*>& refs) {
+  // Reduce the cycle's label string to its smallest period and minimal
+  // rotation — cross-shard canonical form: two quotient cycles share a
+  // global label block iff their reduced strings coincide.  (The local
+  // partition is coarsest, so distinct classes on one quotient cycle never
+  // repeat a string and the period always equals the cycle length; the
+  // general formula is kept for robustness.)
+  const std::size_t len = cyc.size();
+  str_buf_.resize(len);
+  for (std::size_t i = 0; i < len; ++i) str_buf_[i] = qb_buf_[cyc[i]];
+  const u32 p = strings::smallest_period_seq(str_buf_);
+  const u32 j0 = strings::minimal_starting_point(std::span<const u32>(str_buf_).first(p),
+                                                 strings::MspStrategy::Booth);
+  std::vector<u32> key(p);
+  for (u32 t = 0; t < p; ++t) key[t] = str_buf_[(j0 + t) % p];
+  auto [it, inserted] = gclasses_.try_emplace(std::move(key));
+  GlobalCycleClass& cls = it->second;
+  if (inserted) {
+    cls.labels.resize(p);
+    for (u32 t = 0; t < p; ++t) cls.labels[t] = fresh_global_();
+  }
+  ++cls.refs;
+  refs.push_back(&it->first);
+  for (std::size_t i = 0; i < len; ++i) {
+    assign[cyc[i]] = cls.labels[(static_cast<u32>(i % p) + p - j0) % p];
+  }
+}
+
+void ShardedEngine::reconcile_shard_(std::size_t s) {
+  ShardState& sh = shards_[s];
+  const core::PartitionView lv = sh.solver->view();
+  const std::size_t m = sh.nodes.size();
+  const u32 classes = lv.num_classes();
+  const graph::Instance& sub = sh.solver->instance();
+
+  // Collapse the shard to its quotient graph: classes as nodes, f and B
+  // descend because the local partition is f-stable and B-constant per
+  // class.
+  rep_buf_.assign(classes, kNone);
+  for (u32 i = 0; i < static_cast<u32>(m); ++i) {
+    const u32 c = lv.class_of(i);
+    if (rep_buf_[c] == kNone) rep_buf_[c] = i;
+  }
+  qf_buf_.resize(classes);
+  qb_buf_.resize(classes);
+  for (u32 c = 0; c < classes; ++c) {
+    const u32 r = rep_buf_[c];
+    qf_buf_[c] = lv.class_of(sub.f[r]);
+    qb_buf_[c] = sub.b[r];
+  }
+
+  std::vector<u32> assign(classes, kNone);
+  std::vector<const std::vector<u32>*> new_cycle_refs;
+  std::vector<u64> new_sig_refs;
+  new_sig_refs.reserve(classes);
+
+  // Quotient cycles first: every purely-periodic class lies on one, and
+  // those are exactly the classes that may merge with cycles in OTHER
+  // shards, keyed by reduced string.
+  state_buf_.assign(classes, 0);  // 0 unvisited / 1 on current path / 2 done
+  for (u32 c0 = 0; c0 < classes; ++c0) {
+    if (state_buf_[c0] != 0) continue;
+    path_buf_.clear();
+    u32 c = c0;
+    while (state_buf_[c] == 0) {
+      state_buf_[c] = 1;
+      path_buf_.push_back(c);
+      c = qf_buf_[c];
+    }
+    if (state_buf_[c] == 1) {
+      std::size_t start = path_buf_.size();
+      while (path_buf_[start - 1] != c) --start;
+      --start;
+      label_quotient_cycle_(std::span<const u32>(path_buf_).subspan(start), assign,
+                            new_cycle_refs);
+    }
+    for (const u32 v : path_buf_) state_buf_[v] = 2;
+  }
+
+  // Tree classes in dependency order (follow qf to an assigned class, then
+  // unwind): the signature (B, global label of the f-class) realizes
+  // Q(u) = Q(v) <=> B(u) = B(v) and Q(f(u)) = Q(f(v)) across shards.
+  for (u32 c0 = 0; c0 < classes; ++c0) {
+    if (assign[c0] != kNone) continue;
+    chain_buf_.clear();
+    u32 c = c0;
+    while (assign[c] == kNone) {
+      chain_buf_.push_back(c);
+      c = qf_buf_[c];
+    }
+    for (auto it = chain_buf_.rbegin(); it != chain_buf_.rend(); ++it) {
+      const u32 t = *it;
+      const u64 sig = pack_pair(qb_buf_[t], assign[qf_buf_[t]]);
+      auto [mit, inserted] = gsigs_.try_emplace(sig);
+      if (inserted) mit->second.label = fresh_global_();
+      ++mit->second.refs;
+      new_sig_refs.push_back(sig);
+      assign[t] = mit->second.label;
+    }
+  }
+
+  // New references first, old ones after: entries shared between the two
+  // assignments stay alive, keeping unchanged classes' global labels (and
+  // therefore the other shards' raw labels) stable.
+  release_refs_(sh);
+  sh.cycle_refs = std::move(new_cycle_refs);
+  sh.sig_refs = std::move(new_sig_refs);
+  sh.class_global = std::move(assign);
+  sh.local = lv;
+  sh.dirty = false;
+  ++stats_.shard_merges;
+  pram::charge(2 * m + 3 * classes);
+}
+
+core::PartitionView ShardedEngine::view() {
+  pram::ScopedContext guard(&ctx_);
+  dirty_buf_.clear();
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (shards_[s].dirty) dirty_buf_.push_back(s);
+  }
+  if (dirty_buf_.empty() && !root_stale_) return last_view_;
+
+  const std::size_t n = inst_.size();
+  // Fresh labels are never reused while live, so a long repair streak must
+  // occasionally compact the label space (same cap as the per-node engine).
+  const u64 label_cap = std::max<u64>(4 * static_cast<u64>(n), 4096);
+  if (static_cast<u64>(next_global_) >= label_cap) {
+    reset_global_maps_();
+    dirty_buf_.clear();
+    for (std::size_t s = 0; s < shards_.size(); ++s) dirty_buf_.push_back(s);
+  }
+
+  for (const std::size_t s : dirty_buf_) reconcile_shard_(s);
+
+  core::ViewCounters counters{};
+  for (const auto& sh : shards_) {
+    const core::ViewCounters& c = sh.local.counters();
+    counters.num_cycles += c.num_cycles;
+    counters.cycle_nodes += c.cycle_nodes;
+    counters.kept_tree_nodes += c.kept_tree_nodes;
+    counters.residual_tree_nodes += c.residual_tree_nodes;
+  }
+
+  if (root_stale_) {
+    std::vector<u32> raw(n);
+    for (const auto& sh : shards_) {
+      for (std::size_t i = 0; i < sh.nodes.size(); ++i) {
+        raw[sh.nodes[i]] = sh.class_global[sh.local.class_of(static_cast<u32>(i))];
+      }
+    }
+    last_view_ =
+        core::PartitionView::from_raw(std::move(raw), next_global_, live_globals_, epoch_, counters);
+    root_stale_ = false;
+  } else {
+    // O(dirty shards): untouched shards' raw labels are stable (their map
+    // entries stayed alive), so the delta is exactly the dirty shards.
+    std::size_t total = 0;
+    for (const std::size_t s : dirty_buf_) total += shards_[s].nodes.size();
+    std::vector<u32> nodes, labels;
+    nodes.reserve(total);
+    labels.reserve(total);
+    for (const std::size_t s : dirty_buf_) {
+      const ShardState& sh = shards_[s];
+      for (std::size_t i = 0; i < sh.nodes.size(); ++i) {
+        nodes.push_back(sh.nodes[i]);
+        labels.push_back(sh.class_global[sh.local.class_of(static_cast<u32>(i))]);
+      }
+    }
+    last_view_ = core::PartitionView::patched(last_view_, std::move(nodes), std::move(labels),
+                                              next_global_, live_globals_, epoch_, counters);
+  }
+  ++stats_.merged_views;
+  return last_view_;
+}
+
+// ---- persistence (sfcp-checkpoint v1, sharded magic; see util/io.hpp) ----
+
+bool ShardedEngine::save_checkpoint(std::ostream& os) const {
+  util::BinaryWriter w(os);
+  w.put_bytes(util::checkpoint_sharded_magic().data(), 8);
+  w.put_u32(static_cast<u32>(shards_.size()));
+  w.put_u64(epoch_);
+  w.put_u64(static_cast<u64>(inst_.size()));
+  for (const auto& sh : shards_) {
+    w.put_u32(static_cast<u32>(sh.nodes.size()));
+    w.put_u32_array(sh.nodes);
+    sh.solver->save(os);
+  }
+  if (!os) throw std::runtime_error("ShardedEngine::save_checkpoint: write failed");
+  return true;
+}
+
+std::unique_ptr<ShardedEngine> ShardedEngine::load(std::istream& is, core::Options opt,
+                                                   pram::ExecutionContext ctx, ShardOptions sopt) {
+  util::BinaryReader r(is, "load_sharded_checkpoint");
+  unsigned char magic[8];
+  r.get_bytes(magic, 8, "magic");
+  if (std::memcmp(magic, util::checkpoint_sharded_magic().data(), 8) != 0) {
+    throw std::runtime_error(
+        "load_sharded_checkpoint: bad magic (expected sfcp-checkpoint v1, sharded)");
+  }
+  return load_body(is, opt, ctx, sopt);
+}
+
+std::unique_ptr<ShardedEngine> ShardedEngine::load_body(std::istream& is, core::Options opt,
+                                                        pram::ExecutionContext ctx,
+                                                        ShardOptions sopt) {
+  util::BinaryReader r(is, "load_sharded_checkpoint");
+  const u32 k = r.get_u32("shard count");
+  if (k == 0 || k > (1u << 20)) {
+    throw std::runtime_error("load_sharded_checkpoint: unreasonable shard count");
+  }
+  const u64 epoch = r.get_u64("epoch");
+  const u64 n64 = r.get_u64("node count");
+  if (n64 > static_cast<u64>(kNone - 2)) {
+    throw std::runtime_error("load_sharded_checkpoint: unreasonable node count");
+  }
+  const auto n = static_cast<std::size_t>(n64);
+
+  auto eng = std::unique_ptr<ShardedEngine>(new ShardedEngine(LoadTag{}, opt, ctx, sopt));
+  eng->epoch_ = epoch;
+  eng->inst_.f.assign(n, 0);
+  eng->inst_.b.assign(n, 0);
+  eng->shard_of_.assign(n, 0);
+  eng->local_of_.assign(n, 0);
+  eng->shards_.resize(k);
+  std::vector<u8> seen(n, 0);
+  for (u32 s = 0; s < k; ++s) {
+    ShardState& sh = eng->shards_[s];
+    const u32 m = r.get_u32("shard size");
+    if (m > n) throw std::runtime_error("load_sharded_checkpoint: shard size out of range");
+    r.get_u32_vector(m, sh.nodes, "shard nodes");
+    u32 prev = 0;
+    for (std::size_t i = 0; i < sh.nodes.size(); ++i) {
+      const u32 g = sh.nodes[i];
+      if (g >= n || seen[g] || (i > 0 && g <= prev)) {
+        throw std::runtime_error("load_sharded_checkpoint: bad shard node list");
+      }
+      seen[g] = 1;
+      prev = g;
+    }
+    sh.solver = std::make_unique<inc::IncrementalSolver>(
+        inc::IncrementalSolver::load(is, opt, ctx, sopt.repair));
+    if (sh.solver->size() != m) {
+      throw std::runtime_error("load_sharded_checkpoint: shard instance size mismatch");
+    }
+    const graph::Instance& sub = sh.solver->instance();
+    for (u32 i = 0; i < m; ++i) {
+      const u32 g = sh.nodes[i];
+      eng->shard_of_[g] = s;
+      eng->local_of_[g] = i;
+      eng->inst_.f[g] = sh.nodes[sub.f[i]];
+      eng->inst_.b[g] = sub.b[i];
+    }
+    // The stored global epoch already accounts for everything the shard
+    // solver absorbed before the save.
+    sh.seen_epoch = sh.solver->epoch();
+    sh.dirty = true;
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    if (!seen[v]) {
+      throw std::runtime_error("load_sharded_checkpoint: node missing from every shard");
+    }
+  }
+  eng->root_stale_ = true;
+  return eng;
+}
+
+}  // namespace sfcp::shard

@@ -1,0 +1,230 @@
+#pragma once
+// ShardedEngine — component-parallel serving: the node space split across k
+// shards, each owning a warm inc::IncrementalSolver, behind the same
+// sfcp::Engine surface as "batch" and "incremental".
+//
+// The coarsest-partition problem is embarrassingly component-parallel:
+// Q(v) is a function of v's infinite label string B(v) B(f(v)) ..., which
+// never leaves v's weakly-connected component — so edits inside one
+// component cannot change class membership in another.  The engine
+// therefore partitions components across shards (size-balanced, largest
+// first), routes apply() edits to shards by node id, and repairs dirty
+// shards concurrently with pram::parallel_for under the session's
+// ExecutionContext:
+//
+//   shard::ShardedEngine eng(std::move(inst));       // k = 8 shards
+//   eng.apply(edits);                                // shard-parallel repair
+//   sfcp::core::PartitionView v = eng.view();        // one global partition
+//
+// What locality cannot give for free is the cross-shard coupling: a cycle
+// in shard 2 whose reduced B-string equals a cycle's in shard 5 is ONE
+// global class, and tree classes chaining onto them must merge too.  The
+// merge layer reconciles per-shard partitions at class granularity —
+// each shard's local partition is collapsed to its quotient graph (classes
+// as nodes; f and B descend to classes because Q is f-stable), quotient
+// cycles are canonicalized (smallest period + minimal rotation) against a
+// global map from reduced cycle strings to label blocks, and quotient tree
+// classes are resolved in dependency order through a global refcounted
+// (B, Q∘f)-signature map — the same coinductive characterization the
+// incremental solver applies per node, lifted to classes.  Reconciliation
+// is lazy and per-shard: view() touches only shards edited since the last
+// view (O(dirty shards), not O(n)) and publishes the delta as a COW patch
+// on the previous view, so canonical labels stay byte-identical to
+// core::solve on the whole instance while untouched shards cost nothing.
+//
+// Rebalancing: an edit set_f(x, y) with x and y in different shards drags
+// x's whole component into y's shard.  Under the ReshardPolicy cost model
+// (mirroring inc::RepairPolicy) the engine either migrates that component
+// (rebuilding just the two affected shards) or, when the component is too
+// large or the shards drift out of balance, falls back to a full re-shard.
+// Either way reader-held views are immutable snapshots — migration never
+// touches them.
+//
+// Persistence: checkpoints use the `sfcp-checkpoint v1` family with the
+// sharded magic (util/io.hpp): shard assignments plus one embedded
+// per-shard solver checkpoint each, so a serving process restarts warm
+// with the same shard layout.  sfcp::load_engine_checkpoint() autodetects
+// plain vs. sharded streams.
+//
+// Thread-safety matches inc::IncrementalSolver: one ShardedEngine per
+// thread; views, once obtained, are freely shareable.
+
+#include <iosfwd>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "engine.hpp"
+#include "inc/incremental_solver.hpp"
+
+namespace sfcp::shard {
+
+/// Cost model deciding component migration vs. full re-shard — the
+/// shard-level sibling of inc::RepairPolicy.
+struct ReshardPolicy {
+  /// A cross-shard edit migrates the affected component iff it has at most
+  /// max(min_migrate_absolute, max_migrate_fraction * n) nodes.
+  double max_migrate_fraction = 0.25;
+  std::size_t min_migrate_absolute = 64;
+  /// After a migration, re-shard when the largest shard exceeds
+  /// max_imbalance times the mean shard size.
+  double max_imbalance = 4.0;
+
+  std::size_t migrate_budget(std::size_t n) const {
+    const auto frac = static_cast<std::size_t>(max_migrate_fraction * static_cast<double>(n));
+    const std::size_t cap = frac > min_migrate_absolute ? frac : min_migrate_absolute;
+    return cap < n ? cap : n;
+  }
+  bool balanced(std::size_t largest, std::size_t n, std::size_t k) const {
+    if (k <= 1 || n == 0) return true;
+    return static_cast<double>(largest) * static_cast<double>(k) <=
+           max_imbalance * static_cast<double>(n);
+  }
+};
+
+struct ShardOptions {
+  std::size_t shards = 8;     ///< shard count (0 is treated as 1; empty shards are fine)
+  ReshardPolicy reshard{};
+  inc::RepairPolicy repair{}; ///< per-shard solver repair policy
+};
+
+/// Lifetime counters (monotonic), mirroring inc::EditStats one level up.
+struct ShardStats {
+  u64 cross_shard_edits = 0; ///< set_f edits that rewired f across shards
+  u64 migrations = 0;        ///< components moved between two shards
+  u64 reshards = 0;          ///< full re-shards (cost-model fallback)
+  u64 shard_merges = 0;      ///< per-shard reconciliations performed by view()
+  u64 merged_views = 0;      ///< global views published
+};
+
+class ShardedEngine final : public Engine {
+ public:
+  /// Takes ownership of the instance, partitions its components across
+  /// sopt.shards shards and solves each once (validates; throws
+  /// std::invalid_argument on malformed input).
+  explicit ShardedEngine(graph::Instance inst, core::Options opt = core::Options::parallel(),
+                         pram::ExecutionContext ctx = {}, ShardOptions sopt = {});
+
+  std::string_view kind() const noexcept override { return "sharded"; }
+  const graph::Instance& instance() const noexcept override { return inst_; }
+  u64 epoch() const noexcept override { return epoch_; }
+
+  /// One global partition over all shards, canonical labels byte-identical
+  /// to core::solve on the current instance.  Reconciles only the shards
+  /// edited since the previous view and publishes the result as a patch on
+  /// it, so the cost is O(dirty shards); the view itself is an immutable
+  /// snapshot isolated from later edits and migrations.
+  core::PartitionView view() override;
+
+  /// Applies edits in order: intra-shard runs fan out across shards in
+  /// parallel; a cross-shard set_f triggers component migration or a full
+  /// re-shard per the ReshardPolicy.  All edits are validated up front.
+  void apply(std::span<const inc::Edit> edits) override;
+
+  bool checkpointable() const noexcept override { return true; }
+
+  /// Writes an `sfcp-checkpoint v1` stream with the sharded magic: the
+  /// shard assignment plus each shard solver's embedded checkpoint.
+  bool save_checkpoint(std::ostream& os) const override;
+
+  /// Restores an engine from a save_checkpoint()ed stream.  The shard
+  /// COUNT and assignment come from the stream; sopt supplies only the
+  /// policies (sopt.shards is ignored), matching IncrementalSolver::load's
+  /// caller-owns-the-configuration contract.  Throws std::runtime_error on
+  /// malformed, truncated or inconsistent input.
+  static std::unique_ptr<ShardedEngine> load(std::istream& is,
+                                             core::Options opt = core::Options::parallel(),
+                                             pram::ExecutionContext ctx = {},
+                                             ShardOptions sopt = {});
+
+  /// load() for dispatchers that already consumed and checked the 8-byte
+  /// sharded magic (sfcp::load_engine_checkpoint).
+  static std::unique_ptr<ShardedEngine> load_body(std::istream& is,
+                                                  core::Options opt = core::Options::parallel(),
+                                                  pram::ExecutionContext ctx = {},
+                                                  ShardOptions sopt = {});
+
+  // ---- introspection (tests, benches, serving stats) ----------------------
+
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+  /// Shard currently owning node x.  Throws std::out_of_range.
+  u32 shard_of(u32 x) const;
+  std::size_t shard_size(std::size_t s) const { return shards_.at(s).nodes.size(); }
+  const inc::IncrementalSolver& shard_solver(std::size_t s) const { return *shards_.at(s).solver; }
+  const ShardStats& stats() const noexcept { return stats_; }
+  ReshardPolicy& reshard_policy() noexcept { return reshard_; }
+
+ private:
+  struct ShardState {
+    std::vector<u32> nodes;  ///< local id -> global id, strictly ascending
+    std::unique_ptr<inc::IncrementalSolver> solver;
+    u64 seen_epoch = 0;  ///< solver epoch already folded into the global clock
+    bool dirty = true;   ///< needs reconciliation before the next merged view
+    // Merge-layer state, valid once reconciled (dirty == false):
+    core::PartitionView local;      ///< local view the reconciliation used
+    std::vector<u32> class_global;  ///< local canonical class -> global label
+    std::vector<const std::vector<u32>*> cycle_refs;  ///< keys held in gclasses_
+    std::vector<u64> sig_refs;                        ///< keys held in gsigs_
+  };
+  struct GlobalCycleClass {
+    std::vector<u32> labels;  ///< global label of phase t, size = period
+    u32 refs = 0;             ///< shard quotient cycles with this reduced string
+  };
+  struct GlobalSig {
+    u32 label = 0;
+    u32 refs = 0;
+  };
+  struct LoadTag {};
+
+  ShardedEngine(LoadTag, core::Options opt, pram::ExecutionContext ctx, ShardOptions sopt);
+
+  bool cross_shard_(const inc::Edit& e) const {
+    return e.kind == inc::Edit::Kind::SetF && shard_of_[e.node] != shard_of_[e.value];
+  }
+  void apply_segment_(std::span<const inc::Edit> seg);
+  void apply_cross_shard_(const inc::Edit& e);
+  void reshard_all_();
+  void rebuild_shard_(std::size_t s);
+  void reconcile_shard_(std::size_t s);
+  void label_quotient_cycle_(std::span<const u32> cyc, std::vector<u32>& assign,
+                             std::vector<const std::vector<u32>*>& refs);
+  void release_refs_(ShardState& sh);
+  void reset_global_maps_();
+  u32 fresh_global_() {
+    ++live_globals_;
+    return next_global_++;
+  }
+
+  graph::Instance inst_;  ///< the global instance, kept current under edits
+  core::Options opt_;
+  pram::ExecutionContext ctx_;
+  inc::RepairPolicy repair_;
+  ReshardPolicy reshard_;
+
+  std::vector<ShardState> shards_;
+  std::vector<u32> shard_of_;  ///< per global node
+  std::vector<u32> local_of_;  ///< per global node: index within its shard
+
+  // Global class-reconciliation maps (class-granular analogues of the
+  // incremental solver's per-node maps):
+  std::unordered_map<std::vector<u32>, GlobalCycleClass, U32VecHash> gclasses_;
+  std::unordered_map<u64, GlobalSig> gsigs_;
+  u32 next_global_ = 0;   ///< fresh-label high-water mark (raw_bound of views)
+  u32 live_globals_ = 0;  ///< live distinct global labels (= num_classes)
+
+  u64 epoch_ = 0;
+  core::PartitionView last_view_;
+  bool root_stale_ = true;
+
+  // Reused buffers (apply fan-out + reconciliation scratch).
+  std::vector<std::vector<inc::Edit>> bucket_buf_;
+  std::vector<u32> active_buf_;
+  std::vector<std::size_t> dirty_buf_;
+  std::vector<u32> rep_buf_, qf_buf_, qb_buf_, str_buf_, path_buf_, chain_buf_;
+  std::vector<u8> state_buf_;
+  ShardStats stats_;
+};
+
+}  // namespace sfcp::shard

@@ -1,0 +1,184 @@
+// Differential fuzzing across every serving engine: the same seeded edit
+// stream is driven through every engine in sfcp::engines() plus explicit
+// ShardedEngine shard counts, and after every batch each engine's canonical
+// view must be byte-identical to a fresh core::solve on the evolved
+// instance — labels, class count, cycle and kept/residual counters, and the
+// edit clock all included.  Runs under the SFCP_SANITIZE CI job; ctest
+// label: fuzz (tier-1 stays fast by excluding it).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/coarsest_partition.hpp"
+#include "core/solver.hpp"
+#include "engine.hpp"
+#include "shard/sharded_engine.hpp"
+#include "util/generators.hpp"
+#include "util/random.hpp"
+
+namespace sfcp {
+namespace {
+
+struct Lane {
+  std::string name;
+  std::unique_ptr<Engine> engine;
+};
+
+/// Every registered engine, plus the sharded engine at each fuzzed shard
+/// count (the registry's "sharded" is the k=8 default; k=1 degenerates to a
+/// single warm solver and k=2 keeps cross-shard traffic high).
+std::vector<Lane> make_lanes(const graph::Instance& inst) {
+  std::vector<Lane> lanes;
+  for (const auto& info : engines().all()) {
+    lanes.push_back({info.name, engines().make(info.name, inst)});
+  }
+  for (const std::size_t k : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    shard::ShardOptions sopt;
+    sopt.shards = k;
+    lanes.push_back({"sharded-k" + std::to_string(k),
+                     std::make_unique<shard::ShardedEngine>(graph::Instance(inst),
+                                                            core::Options::parallel(),
+                                                            pram::ExecutionContext{}, sopt)});
+  }
+  return lanes;
+}
+
+/// Applies `stream` to every lane in `batch`-sized chunks, checking each
+/// lane's view against a fresh solve of the reference instance after every
+/// chunk.
+void run_differential(const graph::Instance& inst, std::span<const inc::Edit> stream,
+                      const std::string& what, std::size_t batch = 10) {
+  std::vector<Lane> lanes = make_lanes(inst);
+  graph::Instance reference = inst;
+  core::Solver oracle;  // warm across the per-batch fresh solves
+  for (std::size_t i = 0; i < stream.size() || i == 0; i += batch) {
+    const auto chunk = stream.subspan(i, std::min(batch, stream.size() - i));
+    for (const inc::Edit& e : chunk) inc::apply_raw(e, reference.f, reference.b);
+    const core::Result want = oracle.solve(reference);
+    const std::string at = what + " after " + std::to_string(i + chunk.size()) + " edits";
+    for (Lane& lane : lanes) {
+      lane.engine->apply(chunk);
+      const core::PartitionView got = lane.engine->view();
+      ASSERT_EQ(got.size(), reference.size()) << lane.name << ", " << at;
+      ASSERT_EQ(got.num_classes(), want.num_blocks) << lane.name << ", " << at;
+      const std::span<const u32> q = got.labels();
+      ASSERT_TRUE(std::equal(q.begin(), q.end(), want.q.begin(), want.q.end()))
+          << lane.name << " diverged from fresh solve, " << at;
+      const core::ViewCounters& c = got.counters();
+      ASSERT_EQ(c.num_cycles, want.num_cycles) << lane.name << ", " << at;
+      ASSERT_EQ(c.cycle_nodes, want.cycle_nodes) << lane.name << ", " << at;
+      ASSERT_EQ(c.kept_tree_nodes, want.kept_tree_nodes) << lane.name << ", " << at;
+      ASSERT_EQ(c.residual_tree_nodes, want.residual_tree_nodes) << lane.name << ", " << at;
+      // All engines share the state-changing-edits clock.
+      ASSERT_EQ(lane.engine->epoch(), lanes[0].engine->epoch()) << lane.name << ", " << at;
+      ASSERT_EQ(got.epoch(), lane.engine->epoch()) << lane.name << ", " << at;
+    }
+    if (stream.empty()) break;
+  }
+}
+
+void run_mix(graph::Instance inst, util::EditMix mix, std::size_t count, u64 seed,
+             const std::string& what) {
+  util::Rng rng(seed);
+  const auto stream = util::random_edit_stream(inst, count, mix, 6, rng);
+  run_differential(inst, stream, what + " seed=" + std::to_string(seed));
+}
+
+/// Disjoint union of `blocks` random functional graphs — many independent
+/// components, so every shard of a ShardedEngine owns real work.
+graph::Instance multi_component(std::size_t blocks, std::size_t block_n, u32 num_b, u64 seed) {
+  util::Rng rng(seed);
+  graph::Instance out;
+  out.f.reserve(blocks * block_n);
+  out.b.reserve(blocks * block_n);
+  for (std::size_t j = 0; j < blocks; ++j) {
+    const graph::Instance sub = util::random_function(block_n, num_b, rng);
+    const u32 off = static_cast<u32>(j * block_n);
+    for (std::size_t i = 0; i < block_n; ++i) {
+      out.f.push_back(sub.f[i] + off);
+      out.b.push_back(sub.b[i]);
+    }
+  }
+  return out;
+}
+
+// ---- the three stream regimes, >= 200 edits each -------------------------
+
+TEST(FuzzDifferential, RandomFunctionLocalized) {
+  util::Rng rng(2001);
+  run_mix(util::random_function(1600, 4, rng), util::EditMix::LocalizedHotspot, 220, 71,
+          "random/localized");
+}
+
+TEST(FuzzDifferential, RandomFunctionUniform) {
+  util::Rng rng(2002);
+  run_mix(util::random_function(1600, 4, rng), util::EditMix::Uniform, 220, 72,
+          "random/uniform");
+}
+
+TEST(FuzzDifferential, RandomFunctionCycleChurn) {
+  util::Rng rng(2003);
+  run_mix(util::random_function(1600, 4, rng), util::EditMix::CycleChurn, 200, 73,
+          "random/churn");
+}
+
+TEST(FuzzDifferential, MultiComponentLocalized) {
+  run_mix(multi_component(16, 100, 4, 2004), util::EditMix::LocalizedHotspot, 220, 74,
+          "multi/localized");
+}
+
+TEST(FuzzDifferential, MultiComponentUniform) {
+  run_mix(multi_component(16, 100, 4, 2005), util::EditMix::Uniform, 220, 75, "multi/uniform");
+}
+
+TEST(FuzzDifferential, MultiComponentCycleChurn) {
+  run_mix(multi_component(16, 100, 4, 2006), util::EditMix::CycleChurn, 200, 76, "multi/churn");
+}
+
+TEST(FuzzDifferential, PermutationUniform) {
+  util::Rng rng(2007);
+  run_mix(util::random_permutation(1200, 3, rng), util::EditMix::Uniform, 220, 77,
+          "permutation/uniform");
+}
+
+TEST(FuzzDifferential, PermutationCycleChurn) {
+  util::Rng rng(2008);
+  run_mix(util::random_permutation(1200, 3, rng), util::EditMix::CycleChurn, 200, 78,
+          "permutation/churn");
+}
+
+TEST(FuzzDifferential, MergeableUniform) {
+  util::Rng rng(2009);
+  run_mix(util::mergeable(1536, 4, rng), util::EditMix::Uniform, 220, 79, "mergeable/uniform");
+}
+
+// ---- edge-of-the-space sweeps --------------------------------------------
+
+// Tiny instances hit every boundary at once: self-loops, n == 1, whole-graph
+// dirty regions, shards outnumbering components.
+TEST(FuzzDifferential, SmallInstanceSweep) {
+  for (std::size_t n = 1; n <= 20; n += 3) {
+    for (u64 seed = 1; seed <= 3; ++seed) {
+      util::Rng rng(9000 + 17 * n + seed);
+      const graph::Instance inst = util::random_function(n, 3, rng);
+      util::Rng srng(9100 + 17 * n + seed);
+      const auto stream = util::random_edit_stream(inst, 48, util::EditMix::Uniform, 4, srng);
+      run_differential(inst, stream,
+                       "small n=" + std::to_string(n) + " seed=" + std::to_string(seed),
+                       /*batch=*/4);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST(FuzzDifferential, EmptyInstance) {
+  const graph::Instance inst;
+  run_differential(inst, {}, "empty");
+}
+
+}  // namespace
+}  // namespace sfcp

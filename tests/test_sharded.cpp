@@ -1,0 +1,332 @@
+// The sharded engine's merge layer and rebalancing: cross-shard cycle
+// classes collapse to one global class, reconciliation is O(dirty shards),
+// migration preserves reader-side snapshot isolation, and checkpoints
+// round-trip the shard assignment.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <span>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/coarsest_partition.hpp"
+#include "engine.hpp"
+#include "shard/sharded_engine.hpp"
+#include "util/generators.hpp"
+#include "util/random.hpp"
+
+namespace sfcp {
+namespace {
+
+std::vector<u32> to_vec(std::span<const u32> s) { return {s.begin(), s.end()}; }
+
+void expect_matches_fresh(shard::ShardedEngine& engine, const std::string& what) {
+  const core::Result fresh = core::solve(engine.instance());
+  const core::PartitionView v = engine.view();
+  ASSERT_EQ(v.num_classes(), fresh.num_blocks) << what;
+  const std::span<const u32> q = v.labels();
+  ASSERT_TRUE(std::equal(q.begin(), q.end(), fresh.q.begin(), fresh.q.end())) << what;
+  const core::ViewCounters& c = v.counters();
+  EXPECT_EQ(c.num_cycles, fresh.num_cycles) << what;
+  EXPECT_EQ(c.cycle_nodes, fresh.cycle_nodes) << what;
+  EXPECT_EQ(c.kept_tree_nodes, fresh.kept_tree_nodes) << what;
+  EXPECT_EQ(c.residual_tree_nodes, fresh.residual_tree_nodes) << what;
+}
+
+/// Two components, each a cycle of length `len` with one tail node hanging
+/// off node 0 of the cycle; B-labels taken from the two patterns.
+graph::Instance two_cycles(std::size_t len, std::span<const u32> pat_a,
+                           std::span<const u32> pat_b) {
+  graph::Instance inst;
+  const auto n = 2 * len;
+  inst.f.resize(n);
+  inst.b.resize(n);
+  for (std::size_t i = 0; i < len; ++i) {
+    inst.f[i] = static_cast<u32>((i + 1) % len);
+    inst.f[len + i] = static_cast<u32>(len + (i + 1) % len);
+    inst.b[i] = pat_a[i % pat_a.size()];
+    inst.b[len + i] = pat_b[i % pat_b.size()];
+  }
+  return inst;
+}
+
+shard::ShardOptions with_shards(std::size_t k) {
+  shard::ShardOptions sopt;
+  sopt.shards = k;
+  return sopt;
+}
+
+TEST(Sharded, CrossShardCycleStringCollisionIsOneGlobalClass) {
+  // Identical 6-cycles land in different shards (size-balanced assignment),
+  // yet the merge layer must fuse them class-for-class: canonical labels
+  // match a fresh whole-instance solve, which pairs node i with i + 6.
+  const std::vector<u32> pat = {1, 2, 1, 3, 2, 3};
+  graph::Instance inst = two_cycles(6, pat, pat);
+  shard::ShardedEngine engine(graph::Instance(inst), core::Options::parallel(), {},
+                              with_shards(2));
+  ASSERT_EQ(engine.shard_count(), 2u);
+  EXPECT_NE(engine.shard_of(0), engine.shard_of(6));  // one component per shard
+  expect_matches_fresh(engine, "initial");
+  const core::PartitionView v = engine.view();
+  for (u32 i = 0; i < 6; ++i) {
+    EXPECT_TRUE(v.same_class(i, i + 6)) << "phase " << i;
+  }
+  EXPECT_EQ(v.num_classes(), 6u);  // the primitive pattern's 6 phase strings, fused pairwise
+}
+
+TEST(Sharded, EditCreatesAndBreaksCrossShardCollision) {
+  // The two cycles differ in one position; a single set_b aligns them and a
+  // later one splits them again — both pure merge-layer transitions (no f
+  // rewiring, so no migration or reshard may happen).
+  const std::vector<u32> pat_a = {1, 2, 1, 3, 2, 3};
+  const std::vector<u32> pat_b = {1, 2, 1, 3, 2, 4};
+  graph::Instance inst = two_cycles(6, pat_a, pat_b);
+  shard::ShardedEngine engine(graph::Instance(inst), core::Options::parallel(), {},
+                              with_shards(2));
+  expect_matches_fresh(engine, "distinct strings");
+  EXPECT_FALSE(engine.view().same_class(0, 6));
+
+  engine.set_b(11, 3);  // pat_b -> pat_a: the reduced strings now collide
+  expect_matches_fresh(engine, "collision");
+  EXPECT_TRUE(engine.view().same_class(0, 6));
+
+  engine.set_b(11, 5);  // and split again
+  expect_matches_fresh(engine, "split");
+  EXPECT_FALSE(engine.view().same_class(0, 6));
+
+  EXPECT_EQ(engine.stats().migrations, 0u);
+  EXPECT_EQ(engine.stats().reshards, 0u);
+  EXPECT_EQ(engine.stats().cross_shard_edits, 0u);
+}
+
+TEST(Sharded, MigrationPreservesReaderSnapshotIsolation) {
+  util::Rng rng(301);
+  const graph::Instance inst = util::random_function(400, 3, rng);
+  // Two halves as separate components.
+  graph::Instance doubled;
+  doubled.f.resize(800);
+  doubled.b.resize(800);
+  for (u32 i = 0; i < 400; ++i) {
+    doubled.f[i] = inst.f[i];
+    doubled.f[400 + i] = 400 + inst.f[i];
+    doubled.b[i] = inst.b[i];
+    doubled.b[400 + i] = inst.b[i] + 7;
+  }
+  shard::ShardedEngine engine(graph::Instance(doubled), core::Options::parallel(), {},
+                              with_shards(2));
+  ASSERT_NE(engine.shard_of(0), engine.shard_of(400));
+
+  const core::PartitionView before = engine.view();
+  const std::vector<u32> frozen = to_vec(before.labels());
+  const u64 frozen_epoch = before.epoch();
+
+  // Rewire f across the shard boundary: node 0's whole component migrates.
+  engine.set_f(0, 450);
+  EXPECT_EQ(engine.stats().cross_shard_edits, 1u);
+  EXPECT_EQ(engine.stats().migrations + engine.stats().reshards, 1u);
+  EXPECT_EQ(engine.shard_of(0), engine.shard_of(450));  // one shard now owns both
+
+  expect_matches_fresh(engine, "after migration");
+  // The reader-held view is an untouched snapshot of the pre-edit world.
+  EXPECT_EQ(to_vec(before.labels()), frozen);
+  EXPECT_EQ(before.epoch(), frozen_epoch);
+  EXPECT_LT(before.epoch(), engine.view().epoch());
+}
+
+TEST(Sharded, OversizedComponentFallsBackToReshard) {
+  util::Rng rng(302);
+  graph::Instance inst;
+  inst.f.resize(600);
+  inst.b.resize(600);
+  for (u32 i = 0; i < 600; ++i) {
+    const u32 block = i < 300 ? 0 : 300;
+    inst.f[i] = block + (i - block + 1) % 300;
+    inst.b[i] = rng.below_u32(3);
+  }
+  shard::ShardOptions sopt = with_shards(2);
+  sopt.reshard.max_migrate_fraction = 0.0;
+  sopt.reshard.min_migrate_absolute = 0;  // every component is "too big"
+  shard::ShardedEngine engine(graph::Instance(inst), core::Options::parallel(), {}, sopt);
+  ASSERT_NE(engine.shard_of(0), engine.shard_of(300));
+
+  engine.set_f(0, 300);  // cross-shard, but migration is forbidden
+  EXPECT_EQ(engine.stats().reshards, 1u);
+  EXPECT_EQ(engine.stats().migrations, 0u);
+  expect_matches_fresh(engine, "after reshard");
+
+  // The merged 600-node component and the balance that follows keep serving
+  // edits correctly.
+  engine.set_b(17, 9);
+  expect_matches_fresh(engine, "edit after reshard");
+}
+
+TEST(Sharded, ViewReconcilesOnlyDirtyShards) {
+  // 8 components across 4 shards; after the warm view, an edit confined to
+  // one shard must re-reconcile exactly that shard.
+  util::Rng rng(303);
+  graph::Instance inst;
+  for (std::size_t j = 0; j < 8; ++j) {
+    const graph::Instance sub = util::random_function(100, 3, rng);
+    const u32 off = static_cast<u32>(j * 100);
+    for (std::size_t i = 0; i < 100; ++i) {
+      inst.f.push_back(sub.f[i] + off);
+      inst.b.push_back(sub.b[i]);
+    }
+  }
+  shard::ShardedEngine engine(graph::Instance(inst), core::Options::parallel(), {},
+                              with_shards(4));
+  engine.view();
+  const u64 merges_before = engine.stats().shard_merges;
+
+  engine.set_b(5, 9);
+  expect_matches_fresh(engine, "after one-shard edit");
+  EXPECT_EQ(engine.stats().shard_merges, merges_before + 1);
+
+  // A clean engine returns the cached view without touching any shard.
+  const core::PartitionView v = engine.view();
+  EXPECT_EQ(engine.stats().shard_merges, merges_before + 1);
+  EXPECT_EQ(v.epoch(), engine.epoch());
+}
+
+TEST(Sharded, NoOpEditsLeaveShardsClean) {
+  util::Rng rng(304);
+  const graph::Instance inst = util::random_function(300, 3, rng);
+  shard::ShardedEngine engine(graph::Instance(inst), core::Options::parallel(), {},
+                              with_shards(4));
+  engine.view();
+  const u64 merges = engine.stats().shard_merges;
+  const std::vector<inc::Edit> noops = {inc::Edit::set_b(3, inst.b[3]),
+                                        inc::Edit::set_f(4, inst.f[4])};
+  engine.apply(noops);
+  EXPECT_EQ(engine.epoch(), 0u);
+  engine.view();
+  EXPECT_EQ(engine.stats().shard_merges, merges);
+}
+
+TEST(Sharded, DegenerateShapes) {
+  // k = 1 (pure overhead over one warm solver), k far beyond the component
+  // count, n = 1, and an empty instance.
+  util::Rng rng(305);
+  const graph::Instance one_comp = util::long_tail(200, 16, 3, rng);
+  for (const std::size_t k : {std::size_t{1}, std::size_t{16}}) {
+    shard::ShardedEngine engine(graph::Instance(one_comp), core::Options::parallel(), {},
+                                with_shards(k));
+    EXPECT_EQ(engine.shard_count(), k);
+    expect_matches_fresh(engine, "one component, k=" + std::to_string(k));
+    engine.set_b(7, 5);
+    expect_matches_fresh(engine, "edited, k=" + std::to_string(k));
+  }
+
+  graph::Instance tiny;
+  tiny.f = {0};
+  tiny.b = {42};
+  shard::ShardedEngine single(graph::Instance(tiny), core::Options::parallel(), {},
+                              with_shards(8));
+  expect_matches_fresh(single, "n=1");
+  single.set_f(0, 0);  // no-op self-loop
+  EXPECT_EQ(single.epoch(), 0u);
+
+  shard::ShardedEngine empty(graph::Instance{}, core::Options::parallel(), {}, with_shards(3));
+  EXPECT_EQ(empty.view().num_classes(), 0u);
+  EXPECT_EQ(empty.view().size(), 0u);
+}
+
+// ---- checkpoints ---------------------------------------------------------
+
+TEST(Sharded, CheckpointRoundTripsShardAssignment) {
+  util::Rng rng(306);
+  graph::Instance inst;
+  for (std::size_t j = 0; j < 6; ++j) {
+    const graph::Instance sub = util::random_function(80, 3, rng);
+    const u32 off = static_cast<u32>(j * 80);
+    for (std::size_t i = 0; i < 80; ++i) {
+      inst.f.push_back(sub.f[i] + off);
+      inst.b.push_back(sub.b[i]);
+    }
+  }
+  shard::ShardedEngine engine(graph::Instance(inst), core::Options::parallel(), {},
+                              with_shards(3));
+  util::Rng srng(307);
+  const auto stream =
+      util::random_edit_stream(inst, 60, util::EditMix::Uniform, 5, srng);
+  engine.apply(stream);
+
+  std::ostringstream os;
+  ASSERT_TRUE(engine.save_checkpoint(os));
+  std::istringstream is(os.str());
+  const auto restored = shard::ShardedEngine::load(is);
+
+  EXPECT_EQ(restored->shard_count(), engine.shard_count());
+  EXPECT_EQ(restored->epoch(), engine.epoch());
+  for (u32 v = 0; v < static_cast<u32>(engine.size()); ++v) {
+    ASSERT_EQ(restored->shard_of(v), engine.shard_of(v)) << "node " << v;
+  }
+  EXPECT_EQ(to_vec(restored->view().labels()), to_vec(engine.view().labels()));
+  expect_matches_fresh(*restored, "restored");
+
+  // The restored engine keeps absorbing edits (including cross-shard ones).
+  restored->set_f(0, static_cast<u32>(engine.size() - 1));
+  expect_matches_fresh(*restored, "edited after restore");
+}
+
+TEST(Sharded, CheckpointBytesAreDeterministic) {
+  util::Rng rng(308);
+  const graph::Instance inst = util::random_function(256, 4, rng);
+  const auto build = [&] {
+    auto e = std::make_unique<shard::ShardedEngine>(graph::Instance(inst),
+                                                    core::Options::parallel(),
+                                                    pram::ExecutionContext{}, with_shards(4));
+    e->set_b(3, 9);
+    e->set_f(10, 200);
+    return e;
+  };
+  const auto a = build();
+  const auto b = build();
+  std::ostringstream oa, ob, oa2;
+  a->save_checkpoint(oa);
+  b->save_checkpoint(ob);
+  a->save_checkpoint(oa2);
+  EXPECT_EQ(oa.str(), ob.str());   // equal engines, equal bytes
+  EXPECT_EQ(oa.str(), oa2.str());  // saving is side-effect free
+}
+
+TEST(Sharded, CheckpointErrorPaths) {
+  util::Rng rng(309);
+  const graph::Instance inst = util::random_function(128, 3, rng);
+  shard::ShardedEngine engine(graph::Instance(inst), core::Options::parallel(), {},
+                              with_shards(2));
+  std::ostringstream os;
+  engine.save_checkpoint(os);
+  const std::string bytes = os.str();
+
+  // Truncations anywhere must throw, never crash or mis-load.
+  for (const std::size_t cut : {std::size_t{0}, std::size_t{4}, std::size_t{9},
+                                bytes.size() / 2, bytes.size() - 3}) {
+    std::istringstream is(bytes.substr(0, cut));
+    EXPECT_THROW(shard::ShardedEngine::load(is), std::runtime_error) << "cut " << cut;
+  }
+
+  // A plain incremental checkpoint is not a sharded one and vice versa...
+  auto incremental = engines().make("incremental", graph::Instance(inst));
+  std::ostringstream plain;
+  incremental->save_checkpoint(plain);
+  std::istringstream wrong_kind(plain.str());
+  EXPECT_THROW(shard::ShardedEngine::load(wrong_kind), std::runtime_error);
+
+  // ...but load_engine_checkpoint dispatches both by magic.
+  std::istringstream sharded_in(bytes);
+  const auto from_sharded = load_engine_checkpoint(sharded_in);
+  EXPECT_EQ(from_sharded->kind(), "sharded");
+  EXPECT_EQ(to_vec(from_sharded->view().labels()), to_vec(engine.view().labels()));
+  std::istringstream plain_in(plain.str());
+  const auto from_plain = load_engine_checkpoint(plain_in);
+  EXPECT_EQ(from_plain->kind(), "incremental");
+  std::istringstream garbage("not a checkpoint at all");
+  EXPECT_THROW(load_engine_checkpoint(garbage), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sfcp

@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Perf-trajectory diff for BENCH_*.json records.
+
+Every bench/table target in this repo appends JSON-lines records of the form
+
+    {"name":"BM_ShardedEdits/k8/localized","n":0,"strategy":"...","threads":8,"ms":1.23}
+
+via `--json <path>` (src/util/bench_json.hpp); CI uploads one file per
+target per commit.  This tool compares two such files:
+
+    tools/bench_diff.py OLD.json NEW.json [--threshold 20]
+
+Records are keyed by (name, n, strategy, threads); repeated measurements of
+one key reduce to the minimum ms (best-of, robust to scheduler noise).  For
+every key present in both files a delta is printed; keys present in only one
+file are listed but never fail the run.  Exit status is 1 iff any common
+benchmark regressed by more than --threshold percent (default 20), making it
+usable as a CI gate or an advisory step.
+
+`--selftest` runs the built-in checks and exits (used by ctest).
+"""
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+
+
+def load_records(path):
+    """path -> {key: best_ms}; tolerates blank lines, rejects bad JSON."""
+    best = {}
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise SystemExit(f"{path}:{lineno}: not a JSON record: {exc}")
+            try:
+                key = (rec["name"], int(rec.get("n", 0)), rec.get("strategy", ""),
+                       int(rec.get("threads", 0)))
+                ms = float(rec["ms"])
+            except (KeyError, TypeError, ValueError) as exc:
+                raise SystemExit(f"{path}:{lineno}: missing/invalid field: {exc}")
+            if key not in best or ms < best[key]:
+                best[key] = ms
+    return best
+
+
+def key_str(key):
+    name, n, strategy, threads = key
+    parts = [name]
+    if strategy:
+        parts.append(strategy)
+    if n:
+        parts.append(f"n={n}")
+    if threads:
+        parts.append(f"t={threads}")
+    return " ".join(parts)
+
+
+def diff(old, new, threshold):
+    """Returns (lines, regressions) for the report."""
+    lines = []
+    regressions = []
+    common = sorted(set(old) & set(new))
+    width = max((len(key_str(k)) for k in common), default=10)
+    for key in common:
+        o, n = old[key], new[key]
+        delta = (n - o) / o * 100.0 if o > 0 else 0.0
+        flag = ""
+        if delta > threshold:
+            flag = "  REGRESSION"
+            regressions.append(key)
+        elif delta < -threshold:
+            flag = "  improved"
+        lines.append(f"{key_str(key):<{width}}  {o:>10.3f}ms -> {n:>10.3f}ms  "
+                     f"{delta:>+7.1f}%{flag}")
+    for key in sorted(set(old) - set(new)):
+        lines.append(f"{key_str(key)}: only in old record (skipped)")
+    for key in sorted(set(new) - set(old)):
+        lines.append(f"{key_str(key)}: new benchmark (no baseline)")
+    if not common:
+        lines.append("no common benchmarks between the two records")
+    return lines, regressions
+
+
+def selftest():
+    def record(name, ms, strategy="s", n=64, threads=2):
+        return json.dumps({"name": name, "n": n, "strategy": strategy,
+                           "threads": threads, "ms": ms})
+
+    with tempfile.TemporaryDirectory() as tmp:
+        old_path = os.path.join(tmp, "old.json")
+        new_path = os.path.join(tmp, "new.json")
+        with open(old_path, "w", encoding="utf-8") as fh:
+            fh.write("\n".join([
+                record("a", 10.0), record("a", 12.0),   # best-of -> 10.0
+                record("b", 5.0), record("gone", 1.0),
+            ]) + "\n")
+        with open(new_path, "w", encoding="utf-8") as fh:
+            fh.write("\n".join([
+                record("a", 11.0),                       # +10% — within threshold
+                record("b", 9.0),                        # +80% — regression
+                record("fresh", 2.0),
+            ]) + "\n")
+
+        old, new = load_records(old_path), load_records(new_path)
+        assert old[("a", 64, "s", 2)] == 10.0, "best-of reduction failed"
+        lines, regressions = diff(old, new, threshold=20.0)
+        assert len(regressions) == 1 and regressions[0][0] == "b", regressions
+        assert any("REGRESSION" in l for l in lines)
+        assert any("only in old" in l for l in lines)
+        assert any("no baseline" in l for l in lines)
+        _, none = diff(old, new, threshold=100.0)
+        assert none == [], "threshold not respected"
+        _, empty = diff({}, new, threshold=20.0)
+        assert empty == [], "disjoint records must not regress"
+    print("bench_diff selftest: ok")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("old", nargs="?", help="baseline BENCH_*.json")
+    parser.add_argument("new", nargs="?", help="candidate BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=20.0,
+                        help="regression threshold in percent (default 20)")
+    parser.add_argument("--selftest", action="store_true",
+                        help="run the built-in checks and exit")
+    args = parser.parse_args()
+
+    if args.selftest:
+        return selftest()
+    if not args.old or not args.new:
+        parser.error("OLD and NEW record files are required (or --selftest)")
+
+    old, new = load_records(args.old), load_records(args.new)
+    lines, regressions = diff(old, new, args.threshold)
+    print(f"bench_diff: {args.old} -> {args.new} (threshold {args.threshold:.0f}%)")
+    for line in lines:
+        print(f"  {line}")
+    if regressions:
+        print(f"bench_diff: {len(regressions)} benchmark(s) regressed "
+              f"by more than {args.threshold:.0f}%")
+        return 1
+    print("bench_diff: no regressions beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
