@@ -18,6 +18,12 @@
 //
 // BM_*EditsView variants add a view() per round — batch ingestion plus a
 // merged snapshot, the full serving contract.
+//
+// BM_*PerEditView variants are the fine-grained serving path the delta
+// pipeline optimizes: ONE edit + one view() per measured unit.  The merge
+// layer must reconcile at O(dirty classes) per view (the edit's repair
+// delta), not O(dirty shard); these keys are recorded to BENCH_delta.json
+// in CI and diffed by tools/bench_diff.py.
 #include <benchmark/benchmark.h>
 
 #include <cstddef>
@@ -151,6 +157,42 @@ void BM_ShardedEdits(benchmark::State& state, Stream stream, std::size_t shards,
                           static_cast<i64>(w.edits_per_round));
 }
 
+void BM_ShardedPerEditView(benchmark::State& state, Stream stream, std::size_t shards) {
+  const Workload& w = workload(stream);
+  shard::ShardOptions sopt;
+  sopt.shards = shards;
+  shard::ShardedEngine engine(graph::Instance(w.inst), core::Options::parallel(), {}, sopt);
+  benchmark::DoNotOptimize(engine.view().num_classes());
+  std::size_t round = 0, at = 0;
+  for (auto _ : state) {
+    const inc::Edit e = w.rounds[round][at];
+    engine.apply({&e, 1});
+    benchmark::DoNotOptimize(engine.view().num_classes());
+    if (++at == w.rounds[round].size()) {
+      at = 0;
+      if (++round == kRounds) round = 0;
+    }
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+
+void BM_SingleSolverPerEditView(benchmark::State& state, Stream stream) {
+  const Workload& w = workload(stream);
+  inc::IncrementalSolver solver(graph::Instance(w.inst));
+  benchmark::DoNotOptimize(solver.view().num_classes());
+  std::size_t round = 0, at = 0;
+  for (auto _ : state) {
+    const inc::Edit e = w.rounds[round][at];
+    solver.apply({&e, 1});
+    benchmark::DoNotOptimize(solver.view().num_classes());
+    if (++at == w.rounds[round].size()) {
+      at = 0;
+      if (++round == kRounds) round = 0;
+    }
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+
 void BM_SingleSolverEdits(benchmark::State& state, Stream stream, bool view_per_round) {
   const Workload& w = workload(stream);
   inc::IncrementalSolver solver(graph::Instance(w.inst));
@@ -195,6 +237,19 @@ const int kRegistered = [] {
         (std::string("BM_ShardedEditsView/k8/") + stream_name).c_str(), BM_ShardedEdits,
         stream, std::size_t{8}, true)
         ->Unit(benchmark::kMillisecond);
+    // Per-edit view latency (the delta path).  Burst rounds are rebuild
+    // storms by construction, so only the fine-grained streams make sense
+    // one edit at a time.
+    if (stream != Stream::Burst) {
+      benchmark::RegisterBenchmark(
+          (std::string("BM_SingleSolverPerEditView/k1/") + stream_name).c_str(),
+          BM_SingleSolverPerEditView, stream)
+          ->Unit(benchmark::kMicrosecond);
+      benchmark::RegisterBenchmark(
+          (std::string("BM_ShardedPerEditView/k8/") + stream_name).c_str(),
+          BM_ShardedPerEditView, stream, std::size_t{8})
+          ->Unit(benchmark::kMicrosecond);
+    }
   }
   return 0;
 }();

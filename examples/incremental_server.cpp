@@ -60,7 +60,7 @@ void print_help() {
                "  classof <x>              canonical class of x (alias: query)\n"
                "  members <c>              nodes of class c\n"
                "  blocks                   current class count\n"
-               "  stats                    edit statistics + metrics\n"
+               "  stats                    edit/delta/policy statistics + metrics\n"
                "  quit\n";
 }
 
@@ -256,19 +256,41 @@ int main() {
       } else if (cmd == "stats") {
         if (!ensure()) continue;
         std::cout << "engine=" << engine->kind() << " epoch=" << engine->epoch() << "\n";
-        if (IncrementalEngine* ie = incremental()) {
-          const auto& s = ie->solver().stats();
-          std::cout << "edits=" << s.edits << " repairs=" << s.repairs
-                    << " rebuilds=" << s.rebuilds << " dirty_nodes=" << s.dirty_nodes
-                    << " cycles_created=" << s.cycles_created
-                    << " cycles_destroyed=" << s.cycles_destroyed << "\n";
+        // The delta/policy counters every engine reports through the facade
+        // (a BatchEngine only counts edits; the rest stays zero).
+        const EngineStats s = engine->serving_stats();
+        std::cout << "edits=" << s.edits.edits << " repairs=" << s.edits.repairs
+                  << " rebuilds=" << s.edits.rebuilds
+                  << " dirty_nodes=" << s.edits.dirty_nodes
+                  << " cycles_created=" << s.edits.cycles_created
+                  << " cycles_destroyed=" << s.edits.cycles_destroyed << "\n";
+        if (s.deltas.windows > 0) {
+          std::cout << "deltas: windows=" << s.deltas.windows << " full=" << s.deltas.full
+                    << " nodes=" << s.deltas.nodes
+                    << " classes created=" << s.deltas.classes_created
+                    << " destroyed=" << s.deltas.classes_destroyed
+                    << " resized=" << s.deltas.classes_resized
+                    << " dirty-classes/window=" << s.dirty_classes_per_window() << "\n";
         }
-        if (const auto* se = dynamic_cast<const shard::ShardedEngine*>(engine.get())) {
-          const auto& s = se->stats();
-          std::cout << "shards=" << se->shard_count()
-                    << " cross_shard_edits=" << s.cross_shard_edits
-                    << " migrations=" << s.migrations << " reshards=" << s.reshards
-                    << " shard_merges=" << s.shard_merges << "\n";
+        if (s.edits.repairs || s.edits.rebuilds) {
+          std::cout << "repair policy: " << (s.adaptive_repair ? "adaptive" : "static")
+                    << " fit: " << s.repair_fit.unit_cost << "ns/dirty-node vs "
+                    << s.repair_fit.full_cost << "ns/rebuild -> crossover~"
+                    << static_cast<u64>(s.repair_fit.crossover()) << " nodes"
+                    << (s.repair_fit.fitted() ? "" : " (fit not converged)") << "\n";
+        }
+        if (s.shards > 0) {
+          std::cout << "shards=" << s.shards << " cross_shard_edits=" << s.cross_shard_edits
+                    << " migrations=" << s.migrations << " reshards=" << s.reshards << "\n"
+                    << "merge: shard_merges=" << s.shard_merges
+                    << " full=" << s.full_merges
+                    << " touched_classes=" << s.merge_touched_classes
+                    << " touched_nodes=" << s.merge_touched_nodes << "\n"
+                    << "reshard policy: " << (s.adaptive_reshard ? "adaptive" : "static")
+                    << " fit: " << s.reshard_fit.unit_cost << "ns/moved-node vs "
+                    << s.reshard_fit.full_cost << "ns/reshard -> crossover~"
+                    << static_cast<u64>(s.reshard_fit.crossover()) << " nodes"
+                    << (s.reshard_fit.fitted() ? "" : " (fit not converged)") << "\n";
         }
         std::cout << "metrics: " << metrics.summary() << "\n";
       } else {

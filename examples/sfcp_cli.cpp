@@ -8,6 +8,9 @@
 //   $ ./sfcp_cli solve instance.txt --strategy powers-jump-double --threads 2
 //   $ ./sfcp_cli solve instance.txt --engine incremental
 //   $ ./sfcp_cli solve instance.txt --engine sharded --shards 4
+//   $ ./sfcp_cli solve instance.txt --engine incremental --policy adaptive
+//   $ ./sfcp_cli solve instance.txt --engine sharded --max-dirty-fraction 0.1
+//   $ ./sfcp_cli solve --help                        # full option list
 //   $ ./sfcp_cli classes instance.txt 5             # largest Q-classes
 //   $ ./sfcp_cli strategies                         # list registry entries
 //   $ ./sfcp_cli engines                            # list engine kinds
@@ -51,22 +54,56 @@ int cmd_gen(int argc, char** argv) {
   return 0;
 }
 
+void print_solve_help() {
+  std::cout
+      << "usage: sfcp_cli solve <instance> [options]\n"
+         "  --strategy <name>         solver strategy (see 'sfcp_cli strategies'); default\n"
+         "                            'parallel'.  --seq is shorthand for 'sequential'.\n"
+         "  --threads <t>             worker threads for the session (0 = library default)\n"
+         "  --engine <kind>           serving engine (see 'sfcp_cli engines'): 'batch' (one\n"
+         "                            lazy solve), 'incremental' (per-edit repair, warm\n"
+         "                            state), 'sharded' (component-parallel shards behind a\n"
+         "                            per-class reconciliation merge).  Default 'batch'.\n"
+         "  --shards <k>              shard count; implies --engine sharded\n"
+         "  --policy static|adaptive  repair-vs-rebuild (and, for sharded, migrate-vs-\n"
+         "                            reshard) policy mode.  'static' trusts the dirty-\n"
+         "                            fraction thresholds; 'adaptive' fits the crossover\n"
+         "                            online from observed per-delta costs (EWMA of wall ns\n"
+         "                            per dirty node vs. ns per rebuild, pram::CostModel).\n"
+         "                            Needs --engine incremental or sharded.\n"
+         "  --max-dirty-fraction <f>  static repair budget: repair iff the dirty region is\n"
+         "                            at most max(64, f * n) nodes (default 0.25); also the\n"
+         "                            fallback while an adaptive fit converges.  Needs\n"
+         "                            --engine incremental or sharded.\n";
+}
+
 int cmd_solve(const std::string& path, const std::string& strategy, int threads,
-              const std::string& engine_kind, std::size_t shards) {
+              const std::string& engine_kind, std::size_t shards, bool adaptive,
+              double max_dirty_fraction) {
   auto inst = util::load_instance_file(path);
   const std::size_t n = inst.size();
   pram::Metrics metrics;
   util::Timer timer;
   const auto ctx = pram::ExecutionContext{}.with_threads(threads).with_metrics(&metrics);
+  inc::RepairPolicy repair;
+  repair.adaptive = adaptive;
+  if (max_dirty_fraction >= 0.0) repair.max_dirty_fraction = max_dirty_fraction;
   // Programs against the engine facade: the same lines serve "batch" (one
   // solve), "incremental" (solve + warm repair state for edits) and
   // "sharded" (component-parallel shards; --shards overrides the default k).
+  // Engines that own a policy are built directly so --policy and
+  // --max-dirty-fraction reach them.
   std::unique_ptr<Engine> engine;
-  if (shards > 0) {
+  if (engine_kind == "sharded") {
     shard::ShardOptions sopt;
-    sopt.shards = shards;
+    if (shards > 0) sopt.shards = shards;
+    sopt.repair = repair;
+    sopt.reshard.adaptive = adaptive;
     engine = std::make_unique<shard::ShardedEngine>(std::move(inst),
                                                     sfcp::registry().at(strategy), ctx, sopt);
+  } else if (engine_kind == "incremental") {
+    engine = std::make_unique<IncrementalEngine>(std::move(inst),
+                                                 sfcp::registry().at(strategy), ctx, repair);
   } else {
     engine =
         sfcp::engines().make(engine_kind, std::move(inst), sfcp::registry().at(strategy), ctx);
@@ -76,8 +113,10 @@ int cmd_solve(const std::string& path, const std::string& strategy, int threads,
   std::cout << "n=" << n << "  engine=" << engine->kind() << "  strategy=" << strategy
             << "  classes=" << v.num_classes() << "  cycles=" << c.num_cycles
             << "  cycle_nodes=" << c.cycle_nodes;
-  if (const auto* sharded = dynamic_cast<const shard::ShardedEngine*>(engine.get())) {
-    std::cout << "  shards=" << sharded->shard_count();
+  const EngineStats es = engine->serving_stats();
+  if (es.shards > 0) std::cout << "  shards=" << es.shards;
+  if (engine_kind != "batch") {
+    std::cout << "  policy=" << (adaptive ? "adaptive" : "static");
   }
   std::cout << "\n"
             << "time=" << timer.millis() << "ms  " << metrics.summary() << "\n";
@@ -161,14 +200,24 @@ int main(int argc, char** argv) {
     }
     if (cmd == "gen") return cmd_gen(argc - 2, argv + 2);
     if (cmd == "solve") {
+      if (std::string(argv[2]) == "--help") {
+        print_solve_help();
+        return 0;
+      }
       std::string strategy = "parallel";
       std::string engine = "batch";
       bool engine_set = false;
       int threads = 0;
       std::size_t shards = 0;  // 0 = engine default; > 0 selects "sharded"
+      bool adaptive = false;
+      bool policy_set = false;
+      double max_dirty_fraction = -1.0;  // < 0 = policy default
       for (int i = 3; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg == "--seq") {
+        if (arg == "--help") {
+          print_solve_help();
+          return 0;
+        } else if (arg == "--seq") {
           strategy = "sequential";  // backwards-compatible spelling
         } else if (arg == "--strategy" && i + 1 < argc) {
           strategy = argv[++i];
@@ -179,8 +228,26 @@ int main(int argc, char** argv) {
           threads = std::atoi(argv[++i]);
         } else if (arg == "--shards" && i + 1 < argc) {
           shards = std::strtoul(argv[++i], nullptr, 10);
+        } else if (arg == "--policy" && i + 1 < argc) {
+          const std::string mode = argv[++i];
+          if (mode == "adaptive") {
+            adaptive = true;
+          } else if (mode == "static") {
+            adaptive = false;
+          } else {
+            std::cerr << "--policy must be 'static' or 'adaptive' (got '" << mode << "')\n";
+            return 2;
+          }
+          policy_set = true;
+        } else if (arg == "--max-dirty-fraction" && i + 1 < argc) {
+          max_dirty_fraction = std::strtod(argv[++i], nullptr);
+          if (max_dirty_fraction < 0.0 || max_dirty_fraction > 1.0) {
+            std::cerr << "--max-dirty-fraction must be in [0, 1]\n";
+            return 2;
+          }
+          policy_set = true;
         } else {
-          std::cerr << "unknown solve option '" << arg << "'\n";
+          std::cerr << "unknown solve option '" << arg << "' (try 'solve --help')\n";
           return 2;
         }
       }
@@ -190,7 +257,14 @@ int main(int argc, char** argv) {
         std::cerr << "--shards only applies to --engine sharded\n";
         return 2;
       }
-      return cmd_solve(argv[2], strategy, threads, engine, shards);
+      if (shards > 0) engine = "sharded";
+      // Policies live in the repair/reshard engines; "batch" has none.
+      if (policy_set && engine != "incremental" && engine != "sharded") {
+        std::cerr << "--policy/--max-dirty-fraction need --engine incremental or sharded\n";
+        return 2;
+      }
+      return cmd_solve(argv[2], strategy, threads, engine, shards, adaptive,
+                       max_dirty_fraction);
     }
     if (cmd == "classes") {
       const std::size_t top = argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 10;

@@ -215,6 +215,25 @@ PartitionView PartitionView::patched(const PartitionView& base, std::vector<u32>
   return PartitionView(std::move(rep));
 }
 
+PartitionView PartitionView::patched_from_delta(const PartitionView& base,
+                                                std::span<const u32> nodes,
+                                                std::span<const u32> current_labels,
+                                                u32 raw_bound, u32 num_classes, u64 epoch,
+                                                ViewCounters counters) {
+  std::vector<u32> nv(nodes.begin(), nodes.end());
+  std::vector<u32> lv;
+  lv.reserve(nodes.size());
+  for (const u32 v : nodes) {
+    if (v >= current_labels.size()) {
+      throw std::invalid_argument("PartitionView::patched_from_delta: delta node " +
+                                  std::to_string(v) + " out of range (n = " +
+                                  std::to_string(current_labels.size()) + ")");
+    }
+    lv.push_back(current_labels[v]);
+  }
+  return patched(base, std::move(nv), std::move(lv), raw_bound, num_classes, epoch, counters);
+}
+
 std::size_t PartitionView::size() const noexcept { return rep_ ? rep_->n : 0; }
 
 u32 PartitionView::num_classes() const noexcept { return rep_ ? rep_->num_classes : 0; }

@@ -79,6 +79,16 @@ class PartitionView {
                                std::vector<u32> raw_labels, u32 raw_bound, u32 num_classes,
                                u64 epoch, ViewCounters counters = {});
 
+  /// The repair-delta entry point shared by every incremental producer:
+  /// `nodes` is a delta's relabelled-node list (inc::RepairDelta::nodes)
+  /// and the patched labels are gathered from `current_labels` — the
+  /// producer's live raw label array — at call time.  Equivalent to
+  /// patched() with raw_labels[i] = current_labels[nodes[i]].
+  static PartitionView patched_from_delta(const PartitionView& base, std::span<const u32> nodes,
+                                          std::span<const u32> current_labels, u32 raw_bound,
+                                          u32 num_classes, u64 epoch,
+                                          ViewCounters counters = {});
+
   // ---- queries -----------------------------------------------------------
 
   std::size_t size() const noexcept;

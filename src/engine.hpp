@@ -36,6 +36,40 @@
 
 namespace sfcp {
 
+/// Delta/policy statistics aggregated across the serving stack — the
+/// metrics surface front ends (incremental_server `stats`, sfcp_cli) read.
+/// Every layer fills the fields it owns and leaves the rest zero: a
+/// BatchEngine only counts edits, an IncrementalEngine adds repair deltas
+/// and the repair-policy fit, a ShardedEngine additionally reports its
+/// merge-layer and reshard-policy counters.
+struct EngineStats {
+  inc::EditStats edits;      ///< edit outcomes (sharded: summed over shards)
+  inc::DeltaStats deltas;    ///< flushed repair deltas (sharded: summed)
+  bool adaptive_repair = false;   ///< repair policy runs in adaptive mode
+  pram::CostModel repair_fit{};   ///< repair-vs-rebuild fit (most-informed shard)
+
+  // Sharded layer:
+  std::size_t shards = 0;
+  u64 cross_shard_edits = 0;
+  u64 migrations = 0;
+  u64 reshards = 0;
+  u64 shard_merges = 0;
+  u64 full_merges = 0;
+  u64 merge_touched_classes = 0;
+  u64 merge_touched_nodes = 0;
+  bool adaptive_reshard = false;  ///< reshard policy runs in adaptive mode
+  pram::CostModel reshard_fit{};  ///< migrate-vs-reshard fit
+
+  /// Mean dirty classes a repair delta touched (0 when no windows flushed).
+  double dirty_classes_per_window() const noexcept {
+    const u64 w = deltas.windows > deltas.full ? deltas.windows - deltas.full : 0;
+    if (w == 0) return 0.0;
+    return static_cast<double>(deltas.classes_created + deltas.classes_destroyed +
+                               deltas.classes_resized) /
+           static_cast<double>(w);
+  }
+};
+
 class Engine {
  public:
   virtual ~Engine() = default;
@@ -79,6 +113,9 @@ class Engine {
     (void)os;
     return false;
   }
+
+  /// Delta/policy statistics (fields a layer does not own stay zero).
+  virtual EngineStats serving_stats() const { return {}; }
 };
 
 /// Lazy re-solve engine: apply() mutates the instance and marks the cached
@@ -93,6 +130,11 @@ class BatchEngine final : public Engine {
   u64 epoch() const noexcept override { return epoch_; }
   core::PartitionView view() override;
   void apply(std::span<const inc::Edit> edits) override;
+  EngineStats serving_stats() const override {
+    EngineStats s;
+    s.edits.edits = epoch_;  // every state-changing edit; re-solves are lazy
+    return s;
+  }
 
   core::Solver& solver() noexcept { return solver_; }
 
@@ -120,6 +162,14 @@ class IncrementalEngine final : public Engine {
   void apply(std::span<const inc::Edit> edits) override { inc_.apply(edits); }
   bool checkpointable() const noexcept override { return true; }
   bool save_checkpoint(std::ostream& os) const override;
+  EngineStats serving_stats() const override {
+    EngineStats s;
+    s.edits = inc_.stats();
+    s.deltas = inc_.delta_stats();
+    s.adaptive_repair = inc_.policy().adaptive;
+    s.repair_fit = inc_.cost_model();
+    return s;
+  }
 
   inc::IncrementalSolver& solver() noexcept { return inc_; }
   const inc::IncrementalSolver& solver() const noexcept { return inc_; }

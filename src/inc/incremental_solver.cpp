@@ -11,13 +11,18 @@
 #include "strings/msp.hpp"
 #include "strings/period.hpp"
 #include "util/io.hpp"
+#include "util/timer.hpp"
 
 namespace sfcp::inc {
 
 IncrementalSolver::IncrementalSolver(graph::Instance inst, core::Options opt,
                                      pram::ExecutionContext ctx, RepairPolicy policy)
     : inst_(std::move(inst)), solver_(opt, ctx), policy_(policy) {
+  // The construction solve doubles as the first rebuild-cost observation,
+  // anchoring the full side of the adaptive fit before any edit arrives.
+  const util::Timer timer;
   rebuild_();
+  cost_fit_.observe_full(timer.nanos(), policy_.ewma_alpha);
 }
 
 IncrementalSolver::IncrementalSolver(LoadTag, graph::Instance inst, core::Options opt,
@@ -27,30 +32,102 @@ IncrementalSolver::IncrementalSolver(LoadTag, graph::Instance inst, core::Option
 core::PartitionView IncrementalSolver::view() const {
   if (!view_root_stale_ && last_view_epoch_ == epoch_) return last_view_;
   pram::ScopedContext guard(&solver_.context());
-  const core::ViewCounters counters{static_cast<u32>(cycles_.size()),
-                                    static_cast<u32>(live_cycle_nodes_), kept_, residual_()};
-  if (view_root_stale_) {
+  const RepairDelta d = take_delta_(/*classify=*/false);
+  const core::ViewCounters counters = view_counters();
+  if (view_root_stale_ || d.full) {
     last_view_ =
         core::PartitionView::from_raw(q_, next_label_, distinct_, epoch_, counters);
   } else {
-    // Publish the repairs since the previous view as a patch on it: the
+    // Publish the flushed delta as a patch on the previous view: the
     // O(dirty) path.  The previous view itself is immutable — readers that
     // hold it keep the partition exactly as it was at its epoch.
-    std::vector<u32> nodes(pending_.begin(), pending_.end());
-    std::vector<u32> labels;
-    labels.reserve(nodes.size());
-    for (u32 v : nodes) labels.push_back(q_[v]);
-    last_view_ = core::PartitionView::patched(last_view_, std::move(nodes), std::move(labels),
-                                              next_label_, distinct_, epoch_, counters);
+    last_view_ = core::PartitionView::patched_from_delta(last_view_, d.nodes, q_, next_label_,
+                                                         distinct_, epoch_, counters);
   }
-  for (u32 v : pending_) pending_mark_[v] = 0;
-  pending_.clear();
   view_root_stale_ = false;
   last_view_epoch_ = epoch_;
   return last_view_;
 }
 
 core::Result IncrementalSolver::snapshot() const { return view().to_result(); }
+
+RepairDelta IncrementalSolver::take_delta() {
+  RepairDelta d = take_delta_(/*classify=*/true);
+  // The relabelled nodes leave with the caller, so the solver's own view
+  // chain can no longer be patched forward: the next view() re-roots.
+  if (!d.nodes.empty() || d.full) view_root_stale_ = true;
+  return d;
+}
+
+RepairDelta IncrementalSolver::take_delta_(bool classify) const {
+  RepairDelta d = std::move(delta_);
+  delta_ = RepairDelta{};
+  d.epoch = epoch_;
+  for (const u32 v : d.nodes) delta_mark_[v] = 0;
+  // Classify the touched labels by their net population transition over
+  // the window (see the header for why live-throughout labels carry no
+  // reconciliation work).  The view path only needs the node list, so it
+  // flushes with classify == false: the categories are counted for
+  // delta_stats_ but the per-class vectors are never materialized.
+  u64 created = 0, destroyed = 0, resized = 0;
+  for (const u32 label : delta_touched_) {
+    delta_touch_mark_[label] = 0;
+    const bool live_before = delta_live_before_[label] != 0;
+    const bool live_now = pop_[label] > 0;
+    if (live_before && live_now) {
+      ++resized;
+      if (classify) d.classes_resized.push_back(label);
+    } else if (live_now) {
+      ++created;
+      if (classify) d.classes_created.push_back(label);
+    } else if (live_before) {
+      ++destroyed;
+      if (classify) d.classes_destroyed.push_back(label);
+    }  // created-then-destroyed inside one window nets out to nothing
+  }
+  delta_touched_.clear();
+  if (!d.empty()) {
+    ++delta_stats_.windows;
+    if (d.full) ++delta_stats_.full;
+    delta_stats_.nodes += d.nodes.size();
+    delta_stats_.classes_created += created;
+    delta_stats_.classes_destroyed += destroyed;
+    delta_stats_.classes_resized += resized;
+  }
+  return d;
+}
+
+void IncrementalSolver::note_label_(u32 label, bool live_before) {
+  if (delta_.full) return;  // a whole-partition window tracks no churn
+  if (delta_touch_mark_[label]) return;
+  delta_touch_mark_[label] = 1;
+  delta_live_before_[label] = live_before ? 1 : 0;
+  delta_touched_.push_back(label);
+}
+
+void IncrementalSolver::mark_full_delta_() {
+  delta_.full = true;
+  // Reset the marks here, not via the rebuild that usually follows, so the
+  // nodes-in-delta <-> delta_mark_ invariant never depends on the caller.
+  for (const u32 v : delta_.nodes) delta_mark_[v] = 0;
+  delta_.nodes.clear();
+  delta_.classes_created.clear();
+  delta_.classes_destroyed.clear();
+  delta_.classes_resized.clear();
+  for (const u32 label : delta_touched_) delta_touch_mark_[label] = 0;
+  delta_touched_.clear();
+}
+
+IncrementalSolver::CycleClassRef IncrementalSolver::cycle_class_of(u32 v) const {
+  const u32 id = cycle_id_.at(v);
+  if (id == kNone) {
+    throw std::invalid_argument("IncrementalSolver::cycle_class_of: node " +
+                                std::to_string(v) + " is not on a cycle");
+  }
+  const CycleRec& rec = cycles_.at(id);
+  const CycleClass& cls = classes_.at(*rec.key);
+  return CycleClassRef{std::span<const u32>(*rec.key), std::span<const u32>(cls.labels)};
+}
 
 void IncrementalSolver::validate_edit_(const Edit& e) const {
   validate_edit(e, inst_.size(), "IncrementalSolver");
@@ -88,8 +165,15 @@ void IncrementalSolver::apply(std::span<const Edit> edits) {
     if (changed == 0) return;
     epoch_ += changed;
     ++stats_.rebuilds;
-    pram::charge_edit(false, n);
+    mark_full_delta_();
+    delta_.edits += changed;
+    ++delta_.rebuilds;
+    delta_.dirty_nodes += n;
+    const util::Timer timer;
     rebuild_();
+    const double ns = timer.nanos();
+    cost_fit_.observe_full(ns, policy_.ewma_alpha);
+    pram::charge_edit(false, n, static_cast<u64>(ns));
     return;
   }
   for (const Edit& e : edits) apply_one_(e);
@@ -110,7 +194,8 @@ void IncrementalSolver::apply_one_(const Edit& e) {
                                                : inst_.b[e.node] == e.value;
   if (noop) return;
   const std::size_t n = inst_.size();
-  const bool within = graph::dirty_region(preds_, e.node, policy_.dirty_budget(n), dirty_buf_);
+  const bool within =
+      graph::dirty_region(preds_, e.node, policy_.dirty_budget(n, cost_fit_), dirty_buf_);
   // Minting labels never reuses retired ones and pop_ grows with the label
   // space, so a long repair streak must occasionally compact via a rebuild
   // (which renames back to [0, blocks)).  Capping at ~4n keeps memory
@@ -121,28 +206,58 @@ void IncrementalSolver::apply_one_(const Edit& e) {
   const bool labels_ok = static_cast<u64>(next_label_) + dirty_buf_.size() < label_cap;
   raw_apply_(e);
   ++epoch_;
+  ++delta_.edits;
   if (within && labels_ok) {
-    repair_(e.node, dirty_buf_);
-    // The relabelled region is the delta the next view publishes.
-    for (u32 v : dirty_buf_) {
-      if (!pending_mark_[v]) {
-        pending_mark_[v] = 1;
-        pending_.push_back(v);
+    // Repairs run in the hundreds of nanoseconds, so even reading the clock
+    // distorts them: sample every 8th repair for the cost fit instead of
+    // timing all of them (rebuilds are rare and always timed).  The metrics
+    // charge scales the sample back up so edit_repair_ns stays comparable
+    // to the fully-timed edit_rebuild_ns.
+    constexpr u64 kRepairSampleEvery = 8;
+    const bool measure = (stats_.repairs % kRepairSampleEvery) == 0;
+    double ns = 0.0;
+    if (measure) {
+      const util::Timer timer;
+      repair_(e.node, dirty_buf_);
+      const double sample = timer.nanos();
+      cost_fit_.observe_unit(sample, dirty_buf_.size(), policy_.ewma_alpha);
+      ns = sample * static_cast<double>(kRepairSampleEvery);
+    } else {
+      repair_(e.node, dirty_buf_);
+    }
+    // The relabelled region is the delta consumers (views, merge layers)
+    // build on; a full window already owes them a whole-partition refresh.
+    if (!delta_.full) {
+      for (u32 v : dirty_buf_) {
+        if (!delta_mark_[v]) {
+          delta_mark_[v] = 1;
+          delta_.nodes.push_back(v);
+        }
       }
     }
+    ++delta_.repairs;
+    delta_.dirty_nodes += dirty_buf_.size();
     ++stats_.repairs;
     stats_.dirty_nodes += dirty_buf_.size();
-    pram::charge_edit(true, dirty_buf_.size());
+    pram::charge_edit(true, dirty_buf_.size(), static_cast<u64>(ns));
   } else {
     ++stats_.rebuilds;
-    pram::charge_edit(false, n);
+    mark_full_delta_();
+    ++delta_.rebuilds;
+    delta_.dirty_nodes += n;
+    const util::Timer timer;
     rebuild_();
+    const double ns = timer.nanos();
+    cost_fit_.observe_full(ns, policy_.ewma_alpha);
+    pram::charge_edit(false, n, static_cast<u64>(ns));
   }
 }
 
 u32 IncrementalSolver::fresh_label_() {
   pop_.push_back(0);
   cycle_pop_.push_back(0);
+  delta_touch_mark_.push_back(0);
+  delta_live_before_.push_back(0);
   return next_label_++;
 }
 
@@ -152,6 +267,7 @@ u32 IncrementalSolver::fresh_label_() {
 // changes only when a tree node enters/leaves such a label or a label's
 // cycle population transitions 0 <-> 1.
 void IncrementalSolver::pop_inc_(u32 label, bool cycle) {
+  note_label_(label, pop_[label] != 0);
   if (pop_[label]++ == 0) ++distinct_;
   if (cycle) {
     if (cycle_pop_[label]++ == 0) kept_ += pop_[label] - cycle_pop_[label];
@@ -161,6 +277,7 @@ void IncrementalSolver::pop_inc_(u32 label, bool cycle) {
 }
 
 void IncrementalSolver::pop_dec_(u32 label, bool cycle) {
+  note_label_(label, true);  // decrementing implies the label was live
   if (--pop_[label] == 0) --distinct_;
   if (cycle) {
     if (--cycle_pop_[label] == 0) kept_ -= pop_[label];
@@ -290,11 +407,17 @@ void IncrementalSolver::rebuild_() {
   cycles_.clear();
   next_cycle_id_ = 0;
   live_cycle_nodes_ = 0;
-  // A rebuild renames the whole label space, so the previous view chain can
-  // no longer seed patches: the next view starts a fresh root.
+  // A rebuild renames the whole label space, so neither the previous view
+  // chain nor the accumulated class churn can seed anything incremental:
+  // the current delta window is whole-partition and the next view starts a
+  // fresh root.
   view_root_stale_ = true;
-  pending_.clear();
-  pending_mark_.assign(n, 0);
+  delta_.full = true;
+  delta_.nodes.clear();
+  delta_touched_.clear();
+  delta_touch_mark_.assign(next_label_, 0);
+  delta_live_before_.assign(next_label_, 0);
+  delta_mark_.assign(n, 0);
   if (n == 0) {
     on_cycle_.clear();
     return;
@@ -558,8 +681,12 @@ void IncrementalSolver::finish_load_() {
 
   preds_.rebuild(inst_.f);
   view_root_stale_ = true;
-  pending_.clear();
-  pending_mark_.assign(n, 0);
+  delta_ = RepairDelta{};
+  delta_.full = true;  // a restored engine owes consumers a full refresh
+  delta_touched_.clear();
+  delta_touch_mark_.assign(next_label_, 0);
+  delta_live_before_.assign(next_label_, 0);
+  delta_mark_.assign(n, 0);
   pram::charge(4 * n);
 }
 

@@ -37,12 +37,24 @@
 // as cheap as a steady-state batch solve.  Correctness therefore never
 // depends on the repair path being taken.
 //
-// Read side: view() freezes the current partition into an immutable
-// core::PartitionView.  The canonical renaming is maintained incrementally —
-// repairs record which nodes they relabelled, and view() publishes exactly
-// that delta on top of the previous view — so after k localized edits a view
-// costs O(dirty) instead of the O(n) recanonicalization snapshot() used to
-// pay.  Views are snapshots: a reader's view is untouched by later edits.
+// Read side: every repair accumulates into a structured inc::RepairDelta —
+// the relabelled nodes plus the created/destroyed/resized raw label classes
+// (see inc/repair_delta.hpp).  view() flushes that delta and publishes
+// exactly its node list as a COW patch on the previous view, so after k
+// localized edits a view costs O(dirty) instead of the O(n)
+// recanonicalization snapshot() used to pay; merge layers (the sharded
+// engine) instead flush via take_delta() and update their cross-shard maps
+// at O(dirty classes).  Views are snapshots: a reader's view is untouched
+// by later edits.
+//
+// Why consumers may skip "resized" classes: a raw label's identity — its
+// (B, Q∘f) signature for tree classes, its reduced cycle string and phase
+// for cycle classes — is immutable for the label's whole live span.  A
+// label's population can never dip to zero and revive (tree labels re-mint
+// through the signature map; a cycle label's phases are repopulated only
+// while some live cycle still holds its class entry, which itself keeps the
+// populations positive), so live-throughout labels kept their binding and
+// only created/destroyed ones carry reconciliation work.
 //
 // Persistence: save() writes an `sfcp-checkpoint v1` stream (see util/io) —
 // the instance, labels and the cycle/signature maps — and load() restores a
@@ -61,24 +73,44 @@
 #include "core/solver.hpp"
 #include "graph/reverse_adjacency.hpp"
 #include "inc/edit.hpp"
+#include "inc/repair_delta.hpp"
 #include "pram/execution_context.hpp"
+#include "pram/metrics.hpp"
 
 namespace sfcp::inc {
 
-/// Cost model deciding local repair vs. full re-solve.
+/// Cost model deciding local repair vs. full re-solve.  Two modes:
+///
+///   * static (default): repair iff the dirty region has at most
+///     max(min_dirty_absolute, max_dirty_fraction * n) nodes;
+///   * adaptive: the crossover is fitted online from observed per-delta
+///     costs — the solver feeds every repair (wall ns per dirty node) and
+///     every rebuild (wall ns) into a pram::CostModel, and the budget is
+///     the fitted break-even dirty count.  Until the fit has evidence on
+///     both sides (the construction solve anchors the rebuild side) the
+///     static formula decides.
 struct RepairPolicy {
-  /// Repair iff the dirty region has at most
-  /// max(min_dirty_absolute, max_dirty_fraction * n) nodes.
   double max_dirty_fraction = 0.25;
   std::size_t min_dirty_absolute = 64;
   /// apply(edits): a batch of at least batch_rebuild_fraction * n edits is
   /// applied raw and followed by one full re-solve instead of per-edit work.
   double batch_rebuild_fraction = 1.0 / 16.0;
+  /// Fit the repair-vs-rebuild crossover online instead of trusting
+  /// max_dirty_fraction (see above).
+  bool adaptive = false;
+  /// EWMA smoothing for the adaptive cost fit.
+  double ewma_alpha = 0.25;
 
   std::size_t dirty_budget(std::size_t n) const {
     const auto frac = static_cast<std::size_t>(max_dirty_fraction * static_cast<double>(n));
     const std::size_t cap = frac > min_dirty_absolute ? frac : min_dirty_absolute;
     return cap < n ? cap : n;
+  }
+  /// The budget the solver actually uses: the fitted crossover in adaptive
+  /// mode (clamped to [min_dirty_absolute, n]), the static formula before
+  /// the fit converges or in static mode.
+  std::size_t dirty_budget(std::size_t n, const pram::CostModel& fit) const {
+    return adaptive ? fit.budget(n, min_dirty_absolute, dirty_budget(n)) : dirty_budget(n);
   }
   std::size_t batch_rebuild_threshold(std::size_t n) const {
     const auto t = static_cast<std::size_t>(batch_rebuild_fraction * static_cast<double>(n));
@@ -95,6 +127,17 @@ struct EditStats {
   u64 dirty_nodes = 0;      ///< total nodes relabelled by repairs
   u64 cycles_created = 0;   ///< cycles formed by repairs
   u64 cycles_destroyed = 0; ///< cycles broken by repairs
+
+  /// Aggregation across solvers (the sharded engine sums its shards).
+  EditStats& operator+=(const EditStats& o) noexcept {
+    edits += o.edits;
+    repairs += o.repairs;
+    rebuilds += o.rebuilds;
+    dirty_nodes += o.dirty_nodes;
+    cycles_created += o.cycles_created;
+    cycles_destroyed += o.cycles_destroyed;
+    return *this;
+  }
 };
 
 class IncrementalSolver {
@@ -161,6 +204,48 @@ class IncrementalSolver {
   /// changes.
   void apply(std::span<const Edit> edits);
 
+  // ---- the repair delta (see inc/repair_delta.hpp) -----------------------
+
+  /// Flushes and returns the delta accumulated since the previous flush
+  /// (take_delta or view) — every edit accumulates into it.  Taking the
+  /// delta hands the relabelled-node list to the caller, so the solver's
+  /// own next view() re-roots instead of patching; a consumer uses either
+  /// take_delta() (merge layers) or view() (plain serving), not both.
+  RepairDelta take_delta();
+
+  /// Lifetime totals over flushed deltas.
+  const DeltaStats& delta_stats() const noexcept { return delta_stats_; }
+
+  /// The observed repair-vs-rebuild cost fit (units = dirty nodes).  Always
+  /// maintained, consulted by the policy only in adaptive mode.
+  const pram::CostModel& cost_model() const noexcept { return cost_fit_; }
+
+  // ---- reconciliation probes (merge layers, e.g. shard::ShardedEngine) ---
+
+  /// Exclusive upper bound on raw label values (labels() entries).
+  u32 label_bound() const noexcept { return next_label_; }
+
+  /// Whether node v currently lies on a cycle.
+  bool node_on_cycle(u32 v) const { return on_cycle_.at(v) != 0; }
+
+  /// The reduced cycle class of a cycle node: key is the canonical
+  /// (period-reduced, minimally rotated) B-string, labels the raw label of
+  /// each phase — key[t] is the B value of the class labelled labels[t].
+  /// The spans alias solver internals and are invalidated by the next edit.
+  /// Throws std::out_of_range / std::invalid_argument for tree nodes.
+  struct CycleClassRef {
+    std::span<const u32> key;
+    std::span<const u32> labels;
+  };
+  CycleClassRef cycle_class_of(u32 v) const;
+
+  /// Solve-shaped counters of the current partition, without building a
+  /// view (what view() would stamp on one).
+  core::ViewCounters view_counters() const noexcept {
+    return core::ViewCounters{static_cast<u32>(cycles_.size()),
+                              static_cast<u32>(live_cycle_nodes_), kept_, residual_()};
+  }
+
   const EditStats& stats() const noexcept { return stats_; }
   RepairPolicy& policy() noexcept { return policy_; }
   const RepairPolicy& policy() const noexcept { return policy_; }
@@ -192,6 +277,12 @@ class IncrementalSolver {
   void raw_apply_(const Edit& e);
   void rebuild_();
   void repair_(u32 x, std::span<const u32> dirty);
+  /// Flush impl (delta state is mutable).  classify == false skips
+  /// materializing the per-class lists (the view path discards them); the
+  /// category counts still reach delta_stats_ either way.
+  RepairDelta take_delta_(bool classify) const;
+  void note_label_(u32 label, bool live_before);
+  void mark_full_delta_();
   void finish_load_();  ///< derives all secondary state after a load()
   u32 residual_() const noexcept {
     return static_cast<u32>(inst_.size() - live_cycle_nodes_ - kept_);
@@ -227,14 +318,29 @@ class IncrementalSolver {
 
   u64 epoch_ = 0;
 
-  // View maintenance: nodes relabelled since the last view (deduped via
-  // pending_mark_) become the next view's patch delta; a rebuild invalidates
-  // the chain (labels are renamed from scratch) and forces a fresh root.
+  // Delta accumulation: every repair folds its relabelled nodes (deduped
+  // via delta_mark_) and per-label population transitions into delta_;
+  // take_delta_() classifies the touched labels into created/destroyed/
+  // resized and resets the window.  A rebuild marks the window full.  The
+  // touch records are label-indexed arrays (not a hash map) because they
+  // sit on the per-dirty-node hot path; all three grow with fresh_label_.
+  // The fields are mutable because view() — logically const — is a flush
+  // point.
+  mutable RepairDelta delta_;
+  mutable std::vector<u8> delta_mark_;        ///< per node: in delta_.nodes
+  mutable std::vector<u32> delta_touched_;    ///< touched labels, touch order
+  mutable std::vector<u8> delta_touch_mark_;  ///< per label: in delta_touched_
+  mutable std::vector<u8> delta_live_before_; ///< per label: live at first touch
+  mutable DeltaStats delta_stats_;
+
+  // View maintenance: the delta's relabelled nodes become the next view's
+  // patch; a rebuild (or an externally taken delta) invalidates the chain
+  // and forces a fresh root.
   mutable core::PartitionView last_view_;
   mutable u64 last_view_epoch_ = 0;
   mutable bool view_root_stale_ = true;
-  mutable std::vector<u32> pending_;
-  mutable std::vector<u8> pending_mark_;
+
+  pram::CostModel cost_fit_;  ///< repair-vs-rebuild fit (units = dirty nodes)
 
   std::vector<u32> dirty_buf_;
   std::vector<u32> cyc_buf_;

@@ -33,6 +33,9 @@ std::string Metrics::summary() const {
   if (repairs || rebuilds) {
     os << " edit_repairs=" << repairs << " edit_rebuilds=" << rebuilds
        << " edit_dirty=" << edit_dirty.load(std::memory_order_relaxed);
+    const std::uint64_t rns = edit_repair_ns.load(std::memory_order_relaxed);
+    const std::uint64_t bns = edit_rebuild_ns.load(std::memory_order_relaxed);
+    if (rns || bns) os << " edit_repair_ns=" << rns << " edit_rebuild_ns=" << bns;
   }
   const std::uint64_t vpatched = view_patched.load(std::memory_order_relaxed);
   const std::uint64_t vrebuilt = view_rebuilt.load(std::memory_order_relaxed);

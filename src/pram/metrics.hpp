@@ -9,10 +9,65 @@
 // barriers), the analogue of parallel time.
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
 namespace sfcp::pram {
+
+/// Online EWMA fit of the two sides of an incremental-vs-full crossover
+/// (repair-vs-rebuild for inc::RepairPolicy, migrate-vs-reshard for
+/// shard::ReshardPolicy).  The engines feed it one observation per repair
+/// delta — cost of the incremental path per dirty unit, or cost of one
+/// full rebuild — and adaptive policies read the fitted crossover back as
+/// their dirty budget.  Costs are wall-clock nanoseconds (what a serving
+/// loop actually pays); the totals are also charged to the Metrics sink so
+/// sessions can audit the fit.
+struct CostModel {
+  double unit_cost = 0.0;  ///< EWMA cost per dirty unit on the incremental path
+  double full_cost = 0.0;  ///< EWMA cost of one full rebuild
+  std::uint64_t unit_samples = 0;
+  std::uint64_t full_samples = 0;
+
+  void observe_unit(double cost, std::uint64_t units, double alpha) noexcept {
+    if (units == 0) return;
+    const double per = cost / static_cast<double>(units);
+    unit_cost = unit_samples == 0 ? per : alpha * per + (1.0 - alpha) * unit_cost;
+    ++unit_samples;
+  }
+  void observe_full(double cost, double alpha) noexcept {
+    full_cost = full_samples == 0 ? cost : alpha * cost + (1.0 - alpha) * full_cost;
+    ++full_samples;
+  }
+
+  /// Enough evidence on both sides to trust crossover().  A handful of
+  /// incremental samples smooths scheduler noise; one full rebuild (e.g.
+  /// the engine's construction solve) anchors the other side.
+  bool fitted() const noexcept {
+    return unit_samples >= 8 && full_samples >= 1 && unit_cost > 0.0;
+  }
+
+  /// Estimated dirty-unit count at which the incremental path costs as much
+  /// as one full rebuild (0 when unfitted).
+  double crossover() const noexcept {
+    return unit_cost > 0.0 ? full_cost / unit_cost : 0.0;
+  }
+
+  /// The fitted crossover as a policy budget: clamped to [min_absolute, n],
+  /// `fallback` while the fit has not converged.  The one conversion both
+  /// adaptive policies (inc::RepairPolicy, shard::ReshardPolicy) share.
+  std::size_t budget(std::size_t n, std::size_t min_absolute,
+                     std::size_t fallback) const noexcept {
+    if (!fitted()) return fallback;
+    const double cross = crossover();
+    std::size_t cap = n;  // a crossover at or beyond n can never be exceeded
+    if (cross < static_cast<double>(n)) {
+      cap = cross > 0.0 ? static_cast<std::size_t>(cross) : std::size_t{0};
+    }
+    if (cap < min_absolute) cap = min_absolute;
+    return cap < n ? cap : n;
+  }
+};
 
 /// Plain-value copy of a Metrics sink (atomics relaxed-loaded once); the
 /// form batched results hand back per instance.
@@ -24,6 +79,8 @@ struct MetricsSnapshot {
   std::uint64_t edit_repairs = 0;
   std::uint64_t edit_rebuilds = 0;
   std::uint64_t edit_dirty = 0;
+  std::uint64_t edit_repair_ns = 0;
+  std::uint64_t edit_rebuild_ns = 0;
   std::uint64_t view_patched = 0;
   std::uint64_t view_rebuilt = 0;
 };
@@ -38,6 +95,10 @@ struct Metrics {
   std::atomic<std::uint64_t> edit_repairs{0};   ///< edits served by local repair
   std::atomic<std::uint64_t> edit_rebuilds{0};  ///< edits served by full re-solve
   std::atomic<std::uint64_t> edit_dirty{0};     ///< nodes relabelled across edits
+  /// Wall ns spent in repairs, estimated from 1-in-8 sampling (each sample
+  /// is charged x8), so it stays comparable to the fully-timed rebuild ns.
+  std::atomic<std::uint64_t> edit_repair_ns{0};
+  std::atomic<std::uint64_t> edit_rebuild_ns{0};  ///< wall ns spent in rebuilds
   // View counters (core::PartitionView production):
   std::atomic<std::uint64_t> view_patched{0};  ///< nodes carried in view patch deltas
   std::atomic<std::uint64_t> view_rebuilt{0};  ///< nodes copied into fresh view roots
@@ -50,6 +111,8 @@ struct Metrics {
     edit_repairs.store(0, std::memory_order_relaxed);
     edit_rebuilds.store(0, std::memory_order_relaxed);
     edit_dirty.store(0, std::memory_order_relaxed);
+    edit_repair_ns.store(0, std::memory_order_relaxed);
+    edit_rebuild_ns.store(0, std::memory_order_relaxed);
     view_patched.store(0, std::memory_order_relaxed);
     view_rebuilt.store(0, std::memory_order_relaxed);
   }
@@ -65,6 +128,8 @@ struct Metrics {
                            edit_repairs.load(std::memory_order_relaxed),
                            edit_rebuilds.load(std::memory_order_relaxed),
                            edit_dirty.load(std::memory_order_relaxed),
+                           edit_repair_ns.load(std::memory_order_relaxed),
+                           edit_rebuild_ns.load(std::memory_order_relaxed),
                            view_patched.load(std::memory_order_relaxed),
                            view_rebuilt.load(std::memory_order_relaxed)};
   }
@@ -121,11 +186,17 @@ inline void charge_crcw(std::uint64_t n) noexcept {
 }
 
 /// Charges one edit to the current sink: `repaired` selects the repair vs.
-/// rebuild counter, `dirty` is the number of nodes the edit touched.
-inline void charge_edit(bool repaired, std::uint64_t dirty) noexcept {
+/// rebuild counter, `dirty` is the number of nodes the edit touched, `ns`
+/// the observed wall-clock cost (0 = not measured) — the raw observations
+/// adaptive policies fit their CostModel from.
+inline void charge_edit(bool repaired, std::uint64_t dirty, std::uint64_t ns = 0) noexcept {
   if (Metrics* m = current_metrics()) {
     (repaired ? m->edit_repairs : m->edit_rebuilds).fetch_add(1, std::memory_order_relaxed);
     m->edit_dirty.fetch_add(dirty, std::memory_order_relaxed);
+    if (ns != 0) {
+      (repaired ? m->edit_repair_ns : m->edit_rebuild_ns)
+          .fetch_add(ns, std::memory_order_relaxed);
+    }
   }
 }
 

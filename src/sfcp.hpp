@@ -50,6 +50,14 @@
 // costs O(dirty region), not O(n) — the canonical renaming is maintained
 // incrementally as a patch chain (core/partition_view.hpp).
 //
+// Dirtiness itself is a first-class value: repairs accumulate an
+// inc::RepairDelta (relabelled nodes + created/destroyed/resized classes,
+// inc/repair_delta.hpp) that views patch from, the sharded merge layer
+// consumes at O(dirty classes), and the adaptive RepairPolicy /
+// ReshardPolicy modes fit their repair-vs-rebuild / migrate-vs-reshard
+// crossovers from (pram::CostModel; --policy adaptive in sfcp_cli).
+// Engine::serving_stats() reports the delta and policy counters.
+//
 // Strategy selection: sfcp::registry() enumerates every cycle-detect x
 // cycle-structure x tree-labelling combination ("euler-jump-level", ...)
 // plus the "parallel" and "sequential" aliases — see core/registry.hpp.
@@ -79,6 +87,7 @@
 #include "graph/rooted_forest.hpp"
 #include "inc/edit.hpp"
 #include "inc/incremental_solver.hpp"
+#include "inc/repair_delta.hpp"
 #include "pram/config.hpp"
 #include "pram/execution_context.hpp"
 #include "pram/metrics.hpp"

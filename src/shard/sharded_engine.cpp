@@ -5,14 +5,14 @@
 #include <numeric>
 #include <ostream>
 #include <stdexcept>
+#include <unordered_map>
 #include <utility>
 
 #include "graph/components.hpp"
 #include "pram/metrics.hpp"
 #include "pram/parallel_for.hpp"
-#include "strings/msp.hpp"
-#include "strings/period.hpp"
 #include "util/io.hpp"
+#include "util/timer.hpp"
 
 namespace sfcp::shard {
 
@@ -43,6 +43,9 @@ u32 ShardedEngine::shard_of(u32 x) const {
 
 void ShardedEngine::reshard_all_() {
   pram::ScopedContext guard(&ctx_);
+  // Every reshard (including the construction pass) is a full-cost sample
+  // anchoring the adaptive migrate-vs-reshard fit.
+  const util::Timer timer;
   const std::size_t n = inst_.size();
   const graph::Components comp = graph::connected_components(inst_.f);
   const std::size_t k = shards_.size();
@@ -71,10 +74,18 @@ void ShardedEngine::reshard_all_() {
   }
   for (std::size_t s = 0; s < k; ++s) rebuild_shard_(s);
   root_stale_ = true;
+  reshard_fit_.observe_full(timer.nanos(), reshard_.ewma_alpha);
 }
 
 void ShardedEngine::rebuild_shard_(std::size_t s) {
   ShardState& sh = shards_[s];
+  if (sh.solver) {
+    // The outgoing solver's lifetime counters move to the engine so
+    // serving_stats() (and the merge-work <= delta-work invariant the fuzz
+    // harness asserts) survive migrations and reshards.
+    retired_edits_ += sh.solver->stats();
+    retired_deltas_ += sh.solver->delta_stats();
+  }
   const std::size_t m = sh.nodes.size();
   for (std::size_t i = 0; i < m; ++i) {
     shard_of_[sh.nodes[i]] = static_cast<u32>(s);
@@ -93,6 +104,10 @@ void ShardedEngine::rebuild_shard_(std::size_t s) {
   sh.solver = std::make_unique<inc::IncrementalSolver>(std::move(sub), opt_, ctx_, repair_);
   sh.seen_epoch = 0;
   sh.dirty = true;
+  // A fresh solver speaks a fresh label space: the next reconciliation must
+  // requotient from scratch.  label_global keeps the old stakes until then
+  // (requotient_full_ releases them after acquiring the new ones).
+  sh.full = true;
 }
 
 // ---- edits ---------------------------------------------------------------
@@ -174,12 +189,13 @@ void ShardedEngine::apply_cross_shard_(const inc::Edit& e) {
   inc::apply_raw(e, inst_.f, inst_.b);
   ++epoch_;
 
-  if (moved > reshard_.migrate_budget(n)) {
+  if (moved > reshard_.migrate_budget(n, reshard_fit_)) {
     ++stats_.reshards;
     reshard_all_();
     return;
   }
 
+  const util::Timer timer;
   std::vector<u32> keep, move;
   keep.reserve(src.nodes.size() - moved);
   move.reserve(moved);
@@ -196,6 +212,7 @@ void ShardedEngine::apply_cross_shard_(const inc::Edit& e) {
   rebuild_shard_(a);
   rebuild_shard_(b);
   ++stats_.migrations;
+  reshard_fit_.observe_unit(timer.nanos(), moved, reshard_.ewma_alpha);
 
   std::size_t largest = 0;
   for (const auto& sh : shards_) largest = std::max(largest, sh.nodes.size());
@@ -206,24 +223,72 @@ void ShardedEngine::apply_cross_shard_(const inc::Edit& e) {
 }
 
 // ---- merge layer ---------------------------------------------------------
+//
+// Every live raw label of a shard solver holds exactly one stake (Assign)
+// in the global maps; reconciliation is driven by the shard's RepairDelta:
+// created classes acquire stakes, destroyed classes release theirs, resized
+// classes provably kept their identity and are skipped.  Acquire-before-
+// release keeps entries shared between generations alive, which is what
+// makes untouched classes' global labels — and therefore every other
+// shard's raw labels — stable across reconciles.
 
-void ShardedEngine::release_refs_(ShardState& sh) {
-  for (const std::vector<u32>* key : sh.cycle_refs) {
-    auto it = gclasses_.find(*key);
+void ShardedEngine::release_assign_(Assign& a) {
+  if (a.kind == 1) {
+    auto it = gclasses_.find(*a.ckey);
     if (--it->second.refs == 0) {
       live_globals_ -= static_cast<u32>(it->second.labels.size());
       gclasses_.erase(it);
     }
-  }
-  sh.cycle_refs.clear();
-  for (const u64 sig : sh.sig_refs) {
-    auto it = gsigs_.find(sig);
+  } else if (a.kind == 2) {
+    auto it = gsigs_.find(a.sig);
     if (--it->second.refs == 0) {
       --live_globals_;
       gsigs_.erase(it);
     }
   }
-  sh.sig_refs.clear();
+  a = Assign{};
+}
+
+void ShardedEngine::acquire_cycle_(const inc::IncrementalSolver& sol, u32 rep, u32 local_label,
+                                   Assign& slot, CycleCache& cache) {
+  // The solver's reduced cycle string IS the cross-shard canonical form:
+  // two cycle classes anywhere share a global label block iff their reduced
+  // strings coincide, phase for phase.
+  const inc::IncrementalSolver::CycleClassRef probe = sol.cycle_class_of(rep);
+  const std::size_t p = probe.key.size();
+  std::size_t phase = p;
+  for (std::size_t t = 0; t < p; ++t) {
+    if (probe.labels[t] == local_label) {
+      phase = t;
+      break;
+    }
+  }
+  if (phase == p) {
+    throw std::logic_error("ShardedEngine: cycle label missing from its own class");
+  }
+  if (cache.key_data != probe.key.data()) {
+    auto [it, inserted] =
+        gclasses_.try_emplace(std::vector<u32>(probe.key.begin(), probe.key.end()));
+    if (inserted) {
+      it->second.labels.resize(p);
+      for (std::size_t t = 0; t < p; ++t) it->second.labels[t] = fresh_global_();
+    }
+    cache.key_data = probe.key.data();
+    cache.entry = &*it;
+  }
+  GlobalCycleClass& cls = cache.entry->second;
+  ++cls.refs;
+  slot = Assign{cls.labels[phase], 1, &cache.entry->first, 0};
+}
+
+void ShardedEngine::acquire_sig_(u32 b_value, u32 f_global, Assign& slot) {
+  // (B, global label of the f-class): the coinductive characterization
+  // Q(u) = Q(v) <=> B(u) = B(v) and Q(f(u)) = Q(f(v)), across shards.
+  const u64 sig = pack_pair(b_value, f_global);
+  auto [it, inserted] = gsigs_.try_emplace(sig);
+  if (inserted) it->second.label = fresh_global_();
+  ++it->second.refs;
+  slot = Assign{it->second.label, 2, nullptr, sig};
 }
 
 void ShardedEngine::reset_global_maps_() {
@@ -232,126 +297,155 @@ void ShardedEngine::reset_global_maps_() {
   next_global_ = 0;
   live_globals_ = 0;
   for (auto& sh : shards_) {
-    sh.cycle_refs.clear();
-    sh.sig_refs.clear();
+    sh.label_global.clear();  // the stakes died with the maps
+    sh.full = true;
     sh.dirty = true;
   }
   root_stale_ = true;
 }
 
-void ShardedEngine::label_quotient_cycle_(std::span<const u32> cyc, std::vector<u32>& assign,
-                                          std::vector<const std::vector<u32>*>& refs) {
-  // Reduce the cycle's label string to its smallest period and minimal
-  // rotation — cross-shard canonical form: two quotient cycles share a
-  // global label block iff their reduced strings coincide.  (The local
-  // partition is coarsest, so distinct classes on one quotient cycle never
-  // repeat a string and the period always equals the cycle length; the
-  // general formula is kept for robustness.)
-  const std::size_t len = cyc.size();
-  str_buf_.resize(len);
-  for (std::size_t i = 0; i < len; ++i) str_buf_[i] = qb_buf_[cyc[i]];
-  const u32 p = strings::smallest_period_seq(str_buf_);
-  const u32 j0 = strings::minimal_starting_point(std::span<const u32>(str_buf_).first(p),
-                                                 strings::MspStrategy::Booth);
-  std::vector<u32> key(p);
-  for (u32 t = 0; t < p; ++t) key[t] = str_buf_[(j0 + t) % p];
-  auto [it, inserted] = gclasses_.try_emplace(std::move(key));
-  GlobalCycleClass& cls = it->second;
-  if (inserted) {
-    cls.labels.resize(p);
-    for (u32 t = 0; t < p; ++t) cls.labels[t] = fresh_global_();
+bool ShardedEngine::apply_label_delta_(std::size_t s, const inc::RepairDelta& d) {
+  ShardState& sh = shards_[s];
+  const inc::IncrementalSolver& sol = *sh.solver;
+  const std::span<const u32> q = sol.labels();
+  const graph::Instance& sub = sol.instance();
+  const u32 bound = sol.label_bound();
+  if (sh.label_global.size() < bound) sh.label_global.resize(bound);
+
+  // Representatives for the created labels, preferring cycle members: a
+  // class containing cycle nodes lies on a quotient cycle and must be keyed
+  // by its reduced string, which only a cycle member can name.  Every
+  // member of a created label was relabelled in this window, so the delta's
+  // node list covers them all.
+  std::unordered_map<u32, u32> rep;
+  rep.reserve(d.classes_created.size());
+  for (const u32 l : d.classes_created) rep.emplace(l, kNone);
+  for (const u32 v : d.nodes) {
+    const auto it = rep.find(q[v]);
+    if (it == rep.end()) continue;
+    if (it->second == kNone || (!sol.node_on_cycle(it->second) && sol.node_on_cycle(v))) {
+      it->second = v;
+    }
   }
-  ++cls.refs;
-  refs.push_back(&it->first);
-  for (std::size_t i = 0; i < len; ++i) {
-    assign[cyc[i]] = cls.labels[(static_cast<u32>(i % p) + p - j0) % p];
+  for (const u32 l : d.classes_created) {
+    if (rep.at(l) == kNone) return false;            // no live member in the delta
+    if (sh.label_global[l].kind != 0) return false;  // stale stake on a fresh label
   }
+
+  // Acquire: cycle classes first, then tree chains in dependency order
+  // (follow f through still-unassigned created labels, unwind from the
+  // first assigned anchor — a surviving label or a just-assigned one).
+  CycleCache cache;
+  for (const u32 l : d.classes_created) {
+    const u32 r = rep.at(l);
+    if (sol.node_on_cycle(r)) acquire_cycle_(sol, r, l, sh.label_global[l], cache);
+  }
+  for (const u32 l0 : d.classes_created) {
+    if (sh.label_global[l0].kind != 0) continue;
+    chain_buf_.clear();
+    u32 l = l0;
+    while (sh.label_global[l].kind == 0) {
+      const auto it = rep.find(l);
+      if (it == rep.end()) return false;  // live but unassigned and not created
+      chain_buf_.push_back(l);
+      if (chain_buf_.size() > d.classes_created.size()) return false;
+      l = q[sub.f[it->second]];
+    }
+    for (auto cit = chain_buf_.rbegin(); cit != chain_buf_.rend(); ++cit) {
+      const u32 t = *cit;
+      const u32 r = rep.at(t);
+      const u32 fl = q[sub.f[r]];
+      acquire_sig_(sub.b[r], sh.label_global[fl].global, sh.label_global[t]);
+    }
+  }
+
+  // Release the destroyed labels' stakes (after the acquisitions, so shared
+  // entries survive with their labels intact).
+  for (const u32 l : d.classes_destroyed) {
+    if (l < sh.label_global.size()) release_assign_(sh.label_global[l]);
+  }
+  return true;
 }
 
-void ShardedEngine::reconcile_shard_(std::size_t s) {
+void ShardedEngine::requotient_full_(std::size_t s) {
   ShardState& sh = shards_[s];
-  const core::PartitionView lv = sh.solver->view();
+  const inc::IncrementalSolver& sol = *sh.solver;
+  const std::span<const u32> q = sol.labels();
+  const graph::Instance& sub = sol.instance();
+  const u32 bound = sol.label_bound();
   const std::size_t m = sh.nodes.size();
-  const u32 classes = lv.num_classes();
-  const graph::Instance& sub = sh.solver->instance();
 
-  // Collapse the shard to its quotient graph: classes as nodes, f and B
-  // descend because the local partition is f-stable and B-constant per
-  // class.
-  rep_buf_.assign(classes, kNone);
+  std::vector<Assign> next(bound);
+  rep_buf_.assign(bound, kNone);
   for (u32 i = 0; i < static_cast<u32>(m); ++i) {
-    const u32 c = lv.class_of(i);
-    if (rep_buf_[c] == kNone) rep_buf_[c] = i;
+    u32& r = rep_buf_[q[i]];
+    if (r == kNone || (!sol.node_on_cycle(r) && sol.node_on_cycle(i))) r = i;
   }
-  qf_buf_.resize(classes);
-  qb_buf_.resize(classes);
-  for (u32 c = 0; c < classes; ++c) {
-    const u32 r = rep_buf_[c];
-    qf_buf_[c] = lv.class_of(sub.f[r]);
-    qb_buf_[c] = sub.b[r];
-  }
-
-  std::vector<u32> assign(classes, kNone);
-  std::vector<const std::vector<u32>*> new_cycle_refs;
-  std::vector<u64> new_sig_refs;
-  new_sig_refs.reserve(classes);
-
-  // Quotient cycles first: every purely-periodic class lies on one, and
-  // those are exactly the classes that may merge with cycles in OTHER
-  // shards, keyed by reduced string.
-  state_buf_.assign(classes, 0);  // 0 unvisited / 1 on current path / 2 done
-  for (u32 c0 = 0; c0 < classes; ++c0) {
-    if (state_buf_[c0] != 0) continue;
-    path_buf_.clear();
-    u32 c = c0;
-    while (state_buf_[c] == 0) {
-      state_buf_[c] = 1;
-      path_buf_.push_back(c);
-      c = qf_buf_[c];
+  CycleCache cache;
+  for (u32 l = 0; l < bound; ++l) {
+    if (rep_buf_[l] != kNone && sol.node_on_cycle(rep_buf_[l])) {
+      acquire_cycle_(sol, rep_buf_[l], l, next[l], cache);
     }
-    if (state_buf_[c] == 1) {
-      std::size_t start = path_buf_.size();
-      while (path_buf_[start - 1] != c) --start;
-      --start;
-      label_quotient_cycle_(std::span<const u32>(path_buf_).subspan(start), assign,
-                            new_cycle_refs);
-    }
-    for (const u32 v : path_buf_) state_buf_[v] = 2;
   }
-
-  // Tree classes in dependency order (follow qf to an assigned class, then
-  // unwind): the signature (B, global label of the f-class) realizes
-  // Q(u) = Q(v) <=> B(u) = B(v) and Q(f(u)) = Q(f(v)) across shards.
-  for (u32 c0 = 0; c0 < classes; ++c0) {
-    if (assign[c0] != kNone) continue;
+  for (u32 l0 = 0; l0 < bound; ++l0) {
+    if (rep_buf_[l0] == kNone || next[l0].kind != 0) continue;
     chain_buf_.clear();
-    u32 c = c0;
-    while (assign[c] == kNone) {
-      chain_buf_.push_back(c);
-      c = qf_buf_[c];
+    u32 l = l0;
+    while (next[l].kind == 0) {
+      chain_buf_.push_back(l);
+      if (chain_buf_.size() > bound) {
+        throw std::logic_error("ShardedEngine: quotient chain does not terminate");
+      }
+      l = q[sub.f[rep_buf_[l]]];
     }
-    for (auto it = chain_buf_.rbegin(); it != chain_buf_.rend(); ++it) {
-      const u32 t = *it;
-      const u64 sig = pack_pair(qb_buf_[t], assign[qf_buf_[t]]);
-      auto [mit, inserted] = gsigs_.try_emplace(sig);
-      if (inserted) mit->second.label = fresh_global_();
-      ++mit->second.refs;
-      new_sig_refs.push_back(sig);
-      assign[t] = mit->second.label;
+    for (auto cit = chain_buf_.rbegin(); cit != chain_buf_.rend(); ++cit) {
+      const u32 t = *cit;
+      const u32 fl = q[sub.f[rep_buf_[t]]];
+      acquire_sig_(sub.b[rep_buf_[t]], next[fl].global, next[t]);
     }
   }
-
-  // New references first, old ones after: entries shared between the two
+  // Acquire-new before release-old: entries shared between the two
   // assignments stay alive, keeping unchanged classes' global labels (and
   // therefore the other shards' raw labels) stable.
-  release_refs_(sh);
-  sh.cycle_refs = std::move(new_cycle_refs);
-  sh.sig_refs = std::move(new_sig_refs);
-  sh.class_global = std::move(assign);
-  sh.local = lv;
+  for (Assign& a : sh.label_global) release_assign_(a);
+  sh.label_global = std::move(next);
+}
+
+void ShardedEngine::reconcile_shard_(std::size_t s, bool collect_patch,
+                                     std::vector<u32>& patch_nodes,
+                                     std::vector<u32>& patch_labels) {
+  ShardState& sh = shards_[s];
+  const inc::RepairDelta d = sh.solver->take_delta();
+  const bool per_class = !sh.full && !d.full && apply_label_delta_(s, d);
+  if (per_class) {
+    // O(dirty classes): only the delta's classes touched the maps, only its
+    // relabelled nodes enter the next view's patch.
+    stats_.merge_touched_classes += d.touched_classes();
+    stats_.merge_touched_nodes += d.nodes.size();
+    if (collect_patch) {
+      const std::span<const u32> q = sh.solver->labels();
+      for (const u32 v : d.nodes) {
+        patch_nodes.push_back(sh.nodes[v]);
+        patch_labels.push_back(sh.label_global[q[v]].global);
+      }
+    }
+    pram::charge(2 * d.nodes.size() + 3 * d.touched_classes());
+  } else {
+    requotient_full_(s);
+    ++stats_.full_merges;
+    if (collect_patch) {
+      const std::span<const u32> q = sh.solver->labels();
+      for (std::size_t i = 0; i < sh.nodes.size(); ++i) {
+        patch_nodes.push_back(sh.nodes[i]);
+        patch_labels.push_back(sh.label_global[q[i]].global);
+      }
+    }
+    pram::charge(2 * sh.nodes.size());
+  }
+  sh.full = false;
+  sh.counters = sh.solver->view_counters();
   sh.dirty = false;
   ++stats_.shard_merges;
-  pram::charge(2 * m + 3 * classes);
 }
 
 core::PartitionView ShardedEngine::view() {
@@ -372,47 +466,67 @@ core::PartitionView ShardedEngine::view() {
     for (std::size_t s = 0; s < shards_.size(); ++s) dirty_buf_.push_back(s);
   }
 
-  for (const std::size_t s : dirty_buf_) reconcile_shard_(s);
+  patch_nodes_buf_.clear();
+  patch_labels_buf_.clear();
+  const bool collect_patch = !root_stale_;
+  for (const std::size_t s : dirty_buf_) {
+    reconcile_shard_(s, collect_patch, patch_nodes_buf_, patch_labels_buf_);
+  }
 
   core::ViewCounters counters{};
   for (const auto& sh : shards_) {
-    const core::ViewCounters& c = sh.local.counters();
-    counters.num_cycles += c.num_cycles;
-    counters.cycle_nodes += c.cycle_nodes;
-    counters.kept_tree_nodes += c.kept_tree_nodes;
-    counters.residual_tree_nodes += c.residual_tree_nodes;
+    counters.num_cycles += sh.counters.num_cycles;
+    counters.cycle_nodes += sh.counters.cycle_nodes;
+    counters.kept_tree_nodes += sh.counters.kept_tree_nodes;
+    counters.residual_tree_nodes += sh.counters.residual_tree_nodes;
   }
 
   if (root_stale_) {
     std::vector<u32> raw(n);
     for (const auto& sh : shards_) {
+      const std::span<const u32> q = sh.solver->labels();
       for (std::size_t i = 0; i < sh.nodes.size(); ++i) {
-        raw[sh.nodes[i]] = sh.class_global[sh.local.class_of(static_cast<u32>(i))];
+        raw[sh.nodes[i]] = sh.label_global[q[i]].global;
       }
     }
-    last_view_ =
-        core::PartitionView::from_raw(std::move(raw), next_global_, live_globals_, epoch_, counters);
+    last_view_ = core::PartitionView::from_raw(std::move(raw), next_global_, live_globals_,
+                                               epoch_, counters);
     root_stale_ = false;
   } else {
-    // O(dirty shards): untouched shards' raw labels are stable (their map
-    // entries stayed alive), so the delta is exactly the dirty shards.
-    std::size_t total = 0;
-    for (const std::size_t s : dirty_buf_) total += shards_[s].nodes.size();
-    std::vector<u32> nodes, labels;
-    nodes.reserve(total);
-    labels.reserve(total);
-    for (const std::size_t s : dirty_buf_) {
-      const ShardState& sh = shards_[s];
-      for (std::size_t i = 0; i < sh.nodes.size(); ++i) {
-        nodes.push_back(sh.nodes[i]);
-        labels.push_back(sh.class_global[sh.local.class_of(static_cast<u32>(i))]);
-      }
-    }
-    last_view_ = core::PartitionView::patched(last_view_, std::move(nodes), std::move(labels),
-                                              next_global_, live_globals_, epoch_, counters);
+    last_view_ =
+        core::PartitionView::patched(last_view_, std::move(patch_nodes_buf_),
+                                     std::move(patch_labels_buf_), next_global_, live_globals_,
+                                     epoch_, counters);
+    patch_nodes_buf_.clear();
+    patch_labels_buf_.clear();
   }
   ++stats_.merged_views;
   return last_view_;
+}
+
+EngineStats ShardedEngine::serving_stats() const {
+  EngineStats s;
+  s.edits = retired_edits_;
+  s.deltas = retired_deltas_;
+  for (const auto& sh : shards_) {
+    s.edits += sh.solver->stats();
+    s.deltas += sh.solver->delta_stats();
+    if (sh.solver->cost_model().unit_samples > s.repair_fit.unit_samples) {
+      s.repair_fit = sh.solver->cost_model();
+    }
+  }
+  s.adaptive_repair = repair_.adaptive;
+  s.shards = shards_.size();
+  s.cross_shard_edits = stats_.cross_shard_edits;
+  s.migrations = stats_.migrations;
+  s.reshards = stats_.reshards;
+  s.shard_merges = stats_.shard_merges;
+  s.full_merges = stats_.full_merges;
+  s.merge_touched_classes = stats_.merge_touched_classes;
+  s.merge_touched_nodes = stats_.merge_touched_nodes;
+  s.adaptive_reshard = reshard_.adaptive;
+  s.reshard_fit = reshard_fit_;
+  return s;
 }
 
 // ---- persistence (sfcp-checkpoint v1, sharded magic; see util/io.hpp) ----

@@ -19,18 +19,22 @@
 // What locality cannot give for free is the cross-shard coupling: a cycle
 // in shard 2 whose reduced B-string equals a cycle's in shard 5 is ONE
 // global class, and tree classes chaining onto them must merge too.  The
-// merge layer reconciles per-shard partitions at class granularity —
-// each shard's local partition is collapsed to its quotient graph (classes
-// as nodes; f and B descend to classes because Q is f-stable), quotient
-// cycles are canonicalized (smallest period + minimal rotation) against a
-// global map from reduced cycle strings to label blocks, and quotient tree
-// classes are resolved in dependency order through a global refcounted
-// (B, Q∘f)-signature map — the same coinductive characterization the
+// merge layer reconciles per-shard partitions at class granularity: each
+// live raw label of a shard solver holds one refcounted reference into a
+// global map — cycle classes keyed by their reduced B-string (smallest
+// period + minimal rotation), tree classes by their (B, Q∘f) signature
+// resolved in dependency order — the same coinductive characterization the
 // incremental solver applies per node, lifted to classes.  Reconciliation
-// is lazy and per-shard: view() touches only shards edited since the last
-// view (O(dirty shards), not O(n)) and publishes the delta as a COW patch
-// on the previous view, so canonical labels stay byte-identical to
-// core::solve on the whole instance while untouched shards cost nothing.
+// is lazy, per-shard and DELTA-DRIVEN: view() flushes each dirty shard's
+// inc::RepairDelta and updates only the classes the delta names as created
+// or destroyed (resized classes provably keep their identity, see
+// inc/repair_delta.hpp), so merge maintenance costs O(dirty classes) per
+// view — not O(dirty shards), let alone O(n) — and the result is published
+// as a COW patch carrying exactly the delta's relabelled nodes.  Canonical
+// labels stay byte-identical to core::solve on the whole instance while
+// untouched classes cost nothing; a shard whose delta went through a
+// rebuild (or a freshly migrated/restored shard) falls back to a full
+// requotient of that one shard.
 //
 // Rebalancing: an edit set_f(x, y) with x and y in different shards drags
 // x's whole component into y's shard.  Under the ReshardPolicy cost model
@@ -62,7 +66,11 @@
 namespace sfcp::shard {
 
 /// Cost model deciding component migration vs. full re-shard — the
-/// shard-level sibling of inc::RepairPolicy.
+/// shard-level sibling of inc::RepairPolicy, with the same two modes:
+/// static (migrate iff the component fits the fraction budget) or adaptive
+/// (the migrate-vs-reshard crossover is fitted online from observed costs —
+/// wall ns per migrated node vs. wall ns per full re-shard — in a
+/// pram::CostModel; the construction shard pass anchors the re-shard side).
 struct ReshardPolicy {
   /// A cross-shard edit migrates the affected component iff it has at most
   /// max(min_migrate_absolute, max_migrate_fraction * n) nodes.
@@ -71,11 +79,22 @@ struct ReshardPolicy {
   /// After a migration, re-shard when the largest shard exceeds
   /// max_imbalance times the mean shard size.
   double max_imbalance = 4.0;
+  /// Fit the migrate-vs-reshard crossover online instead of trusting
+  /// max_migrate_fraction.
+  bool adaptive = false;
+  /// EWMA smoothing for the adaptive cost fit.
+  double ewma_alpha = 0.25;
 
   std::size_t migrate_budget(std::size_t n) const {
     const auto frac = static_cast<std::size_t>(max_migrate_fraction * static_cast<double>(n));
     const std::size_t cap = frac > min_migrate_absolute ? frac : min_migrate_absolute;
     return cap < n ? cap : n;
+  }
+  /// The budget the engine actually uses: the fitted crossover in adaptive
+  /// mode (clamped to [min_migrate_absolute, n]), else the static formula.
+  std::size_t migrate_budget(std::size_t n, const pram::CostModel& fit) const {
+    return adaptive ? fit.budget(n, min_migrate_absolute, migrate_budget(n))
+                    : migrate_budget(n);
   }
   bool balanced(std::size_t largest, std::size_t n, std::size_t k) const {
     if (k <= 1 || n == 0) return true;
@@ -97,6 +116,10 @@ struct ShardStats {
   u64 reshards = 0;          ///< full re-shards (cost-model fallback)
   u64 shard_merges = 0;      ///< per-shard reconciliations performed by view()
   u64 merged_views = 0;      ///< global views published
+  // O(dirty classes) accounting — what the per-class merge actually paid:
+  u64 full_merges = 0;            ///< reconciliations that requotiented a whole shard
+  u64 merge_touched_classes = 0;  ///< classes processed by per-class reconciliation
+  u64 merge_touched_nodes = 0;    ///< nodes carried in per-class merge deltas
 };
 
 class ShardedEngine final : public Engine {
@@ -112,10 +135,12 @@ class ShardedEngine final : public Engine {
   u64 epoch() const noexcept override { return epoch_; }
 
   /// One global partition over all shards, canonical labels byte-identical
-  /// to core::solve on the current instance.  Reconciles only the shards
-  /// edited since the previous view and publishes the result as a patch on
-  /// it, so the cost is O(dirty shards); the view itself is an immutable
-  /// snapshot isolated from later edits and migrations.
+  /// to core::solve on the current instance.  Flushes the repair deltas of
+  /// the shards edited since the previous view, updates the global merge
+  /// maps per created/destroyed class, and publishes the result as a patch
+  /// carrying exactly the deltas' relabelled nodes — O(dirty classes); the
+  /// view itself is an immutable snapshot isolated from later edits and
+  /// migrations.
   core::PartitionView view() override;
 
   /// Applies edits in order: intra-shard runs fan out across shards in
@@ -155,26 +180,47 @@ class ShardedEngine final : public Engine {
   const inc::IncrementalSolver& shard_solver(std::size_t s) const { return *shards_.at(s).solver; }
   const ShardStats& stats() const noexcept { return stats_; }
   ReshardPolicy& reshard_policy() noexcept { return reshard_; }
+  /// The observed migrate-vs-reshard cost fit (units = migrated nodes).
+  const pram::CostModel& reshard_fit() const noexcept { return reshard_fit_; }
+
+  EngineStats serving_stats() const override;
 
  private:
+  /// One live raw local label's stake in the global merge maps.
+  struct Assign {
+    u32 global = kNone;  ///< global raw label (kNone = unassigned)
+    u8 kind = 0;         ///< 0 unassigned, 1 cycle class, 2 signature
+    const std::vector<u32>* ckey = nullptr;  ///< kind 1: key held in gclasses_
+    u64 sig = 0;                             ///< kind 2: key held in gsigs_
+  };
   struct ShardState {
     std::vector<u32> nodes;  ///< local id -> global id, strictly ascending
     std::unique_ptr<inc::IncrementalSolver> solver;
     u64 seen_epoch = 0;  ///< solver epoch already folded into the global clock
     bool dirty = true;   ///< needs reconciliation before the next merged view
-    // Merge-layer state, valid once reconciled (dirty == false):
-    core::PartitionView local;      ///< local view the reconciliation used
-    std::vector<u32> class_global;  ///< local canonical class -> global label
-    std::vector<const std::vector<u32>*> cycle_refs;  ///< keys held in gclasses_
-    std::vector<u64> sig_refs;                        ///< keys held in gsigs_
+    bool full = true;    ///< next reconciliation must requotient from scratch
+    core::ViewCounters counters;    ///< solver counters at the last reconcile
+    std::vector<Assign> label_global;  ///< indexed by local raw label
   };
   struct GlobalCycleClass {
     std::vector<u32> labels;  ///< global label of phase t, size = period
-    u32 refs = 0;             ///< shard quotient cycles with this reduced string
+    u32 refs = 0;             ///< local labels holding this reduced string
   };
   struct GlobalSig {
     u32 label = 0;
     u32 refs = 0;
+  };
+  using GlobalCycleMap = std::unordered_map<std::vector<u32>, GlobalCycleClass, U32VecHash>;
+  /// Last gclasses_ entry acquire_cycle_ resolved, keyed by the solver-side
+  /// key's data pointer: the p phase labels of one created cycle class
+  /// probe the same key, so consecutive acquisitions skip the key copy and
+  /// hash (O(p) instead of O(p^2) per created class).  Holds a pointer to
+  /// the entry, not an iterator — rehashes invalidate iterators but never
+  /// entry addresses, and no erase can run between acquisitions (releases
+  /// happen strictly after all acquires in a reconcile).
+  struct CycleCache {
+    const u32* key_data = nullptr;
+    GlobalCycleMap::value_type* entry = nullptr;
   };
   struct LoadTag {};
 
@@ -187,10 +233,23 @@ class ShardedEngine final : public Engine {
   void apply_cross_shard_(const inc::Edit& e);
   void reshard_all_();
   void rebuild_shard_(std::size_t s);
-  void reconcile_shard_(std::size_t s);
-  void label_quotient_cycle_(std::span<const u32> cyc, std::vector<u32>& assign,
-                             std::vector<const std::vector<u32>*>& refs);
-  void release_refs_(ShardState& sh);
+  /// Flushes shard s's delta, updates the merge maps (per-class, or a full
+  /// requotient when owed), and — when collect_patch — appends the shard's
+  /// contribution to the next view's patch.
+  void reconcile_shard_(std::size_t s, bool collect_patch, std::vector<u32>& patch_nodes,
+                        std::vector<u32>& patch_labels);
+  /// Per-class map update from one repair delta; returns false (no partial
+  /// state left behind beyond acquired refs, which requotient releases) if
+  /// an invariant does not hold and the shard needs a full requotient.
+  bool apply_label_delta_(std::size_t s, const inc::RepairDelta& d);
+  /// Rebuilds shard s's label_global from scratch (acquire-new before
+  /// release-old, so classes shared with the previous assignment keep their
+  /// global labels).
+  void requotient_full_(std::size_t s);
+  void acquire_cycle_(const inc::IncrementalSolver& sol, u32 rep, u32 local_label,
+                      Assign& slot, CycleCache& cache);
+  void acquire_sig_(u32 b_value, u32 f_global, Assign& slot);
+  void release_assign_(Assign& a);
   void reset_global_maps_();
   u32 fresh_global_() {
     ++live_globals_;
@@ -209,7 +268,7 @@ class ShardedEngine final : public Engine {
 
   // Global class-reconciliation maps (class-granular analogues of the
   // incremental solver's per-node maps):
-  std::unordered_map<std::vector<u32>, GlobalCycleClass, U32VecHash> gclasses_;
+  GlobalCycleMap gclasses_;
   std::unordered_map<u64, GlobalSig> gsigs_;
   u32 next_global_ = 0;   ///< fresh-label high-water mark (raw_bound of views)
   u32 live_globals_ = 0;  ///< live distinct global labels (= num_classes)
@@ -218,12 +277,17 @@ class ShardedEngine final : public Engine {
   core::PartitionView last_view_;
   bool root_stale_ = true;
 
+  pram::CostModel reshard_fit_;  ///< migrate-vs-reshard fit (units = moved nodes)
+  // Migrations and reshards replace shard solvers; their lifetime counters
+  // are absorbed here first so serving_stats() never loses history.
+  inc::EditStats retired_edits_;
+  inc::DeltaStats retired_deltas_;
+
   // Reused buffers (apply fan-out + reconciliation scratch).
   std::vector<std::vector<inc::Edit>> bucket_buf_;
   std::vector<u32> active_buf_;
   std::vector<std::size_t> dirty_buf_;
-  std::vector<u32> rep_buf_, qf_buf_, qb_buf_, str_buf_, path_buf_, chain_buf_;
-  std::vector<u8> state_buf_;
+  std::vector<u32> rep_buf_, chain_buf_, patch_nodes_buf_, patch_labels_buf_;
   ShardStats stats_;
 };
 

@@ -1,5 +1,7 @@
 #pragma once
-// Wall-clock timing helper for the benchmark table printers.
+// Wall-clock timing helpers: Timer for the benchmark table printers, and
+// the nanosecond observations the adaptive cost fits (pram::CostModel)
+// are fed from.
 
 #include <chrono>
 
@@ -16,6 +18,8 @@ class Timer {
   }
 
   double millis() const { return seconds() * 1e3; }
+
+  double nanos() const { return seconds() * 1e9; }
 
  private:
   using clock = std::chrono::steady_clock;

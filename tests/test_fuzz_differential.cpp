@@ -30,7 +30,10 @@ struct Lane {
 
 /// Every registered engine, plus the sharded engine at each fuzzed shard
 /// count (the registry's "sharded" is the k=8 default; k=1 degenerates to a
-/// single warm solver and k=2 keeps cross-shard traffic high).
+/// single warm solver and k=2 keeps cross-shard traffic high), plus
+/// adaptive-policy lanes — the repair/reshard crossovers are fitted from
+/// wall-clock costs, so their repair-vs-rebuild decisions are timing-
+/// dependent, and views must be byte-identical whichever path was taken.
 std::vector<Lane> make_lanes(const graph::Instance& inst) {
   std::vector<Lane> lanes;
   for (const auto& info : engines().all()) {
@@ -44,6 +47,20 @@ std::vector<Lane> make_lanes(const graph::Instance& inst) {
                                                             core::Options::parallel(),
                                                             pram::ExecutionContext{}, sopt)});
   }
+  inc::RepairPolicy adaptive;
+  adaptive.adaptive = true;
+  lanes.push_back({"incremental-adaptive",
+                   std::make_unique<IncrementalEngine>(graph::Instance(inst),
+                                                       core::Options::parallel(),
+                                                       pram::ExecutionContext{}, adaptive)});
+  shard::ShardOptions asopt;
+  asopt.shards = 4;
+  asopt.repair = adaptive;
+  asopt.reshard.adaptive = true;
+  lanes.push_back({"sharded-adaptive-k4",
+                   std::make_unique<shard::ShardedEngine>(graph::Instance(inst),
+                                                          core::Options::parallel(),
+                                                          pram::ExecutionContext{}, asopt)});
   return lanes;
 }
 
@@ -76,6 +93,17 @@ void run_differential(const graph::Instance& inst, std::span<const inc::Edit> st
       // All engines share the state-changing-edits clock.
       ASSERT_EQ(lane.engine->epoch(), lanes[0].engine->epoch()) << lane.name << ", " << at;
       ASSERT_EQ(got.epoch(), lane.engine->epoch()) << lane.name << ", " << at;
+      // The O(dirty classes) reconciliation contract: per-class merge work
+      // is bounded by the nodes the shard solvers' repair deltas carried —
+      // it never re-walks clean parts of a shard.
+      if (const auto* se = dynamic_cast<const shard::ShardedEngine*>(lane.engine.get())) {
+        const EngineStats es = se->serving_stats();
+        ASSERT_LE(es.merge_touched_nodes, es.deltas.nodes) << lane.name << ", " << at;
+        ASSERT_LE(es.merge_touched_classes,
+                  es.deltas.classes_created + es.deltas.classes_destroyed +
+                      es.deltas.classes_resized)
+            << lane.name << ", " << at;
+      }
     }
     if (stream.empty()) break;
   }

@@ -191,6 +191,59 @@ TEST(Sharded, ViewReconcilesOnlyDirtyShards) {
   EXPECT_EQ(v.epoch(), engine.epoch());
 }
 
+TEST(Sharded, ViewReconciliationIsPerClass) {
+  // The O(dirty classes) contract: after a warm view, a localized edit
+  // whose dirty region is a single leaf must cost the merge layer a
+  // handful of classes and exactly the relabelled nodes — never the
+  // owning shard's size.
+  util::Rng rng(310);
+  graph::Instance inst;
+  for (std::size_t j = 0; j < 8; ++j) {
+    const graph::Instance sub = util::random_function(100, 3, rng);
+    const u32 off = static_cast<u32>(j * 100);
+    for (std::size_t i = 0; i < 100; ++i) {
+      inst.f.push_back(sub.f[i] + off);
+      inst.b.push_back(sub.b[i]);
+    }
+  }
+  // A node nobody maps into: editing its B dirties exactly one node.
+  std::vector<u8> has_pred(inst.size(), 0);
+  for (const u32 t : inst.f) has_pred[t] = 1;
+  u32 leaf = kNone;
+  for (u32 v = 0; v < static_cast<u32>(inst.size()); ++v) {
+    if (!has_pred[v] && inst.f[v] != v) {
+      leaf = v;
+      break;
+    }
+  }
+  ASSERT_NE(leaf, kNone);
+
+  shard::ShardedEngine engine(graph::Instance(inst), core::Options::parallel(), {},
+                              with_shards(4));
+  engine.view();  // warm: every shard fully requotiented
+  const shard::ShardStats before = engine.stats();
+
+  engine.set_b(leaf, 997);  // fresh B value: the leaf becomes its own class
+  expect_matches_fresh(engine, "after leaf edit");
+
+  const shard::ShardStats after = engine.stats();
+  EXPECT_EQ(after.shard_merges, before.shard_merges + 1);
+  EXPECT_EQ(after.full_merges, before.full_merges) << "per-class path must not requotient";
+  // One dirty node; the churn is bounded by the few classes it touches
+  // (its old class resized or destroyed, a fresh one created), while the
+  // shard holds ~100 nodes and dozens of classes.
+  EXPECT_EQ(after.merge_touched_nodes - before.merge_touched_nodes, 1u);
+  EXPECT_LE(after.merge_touched_classes - before.merge_touched_classes, 4u);
+  EXPECT_GE(after.merge_touched_classes - before.merge_touched_classes, 1u);
+
+  // And the engine-level stats surface reports the same story.
+  const EngineStats es = engine.serving_stats();
+  EXPECT_EQ(es.merge_touched_nodes, after.merge_touched_nodes);
+  EXPECT_EQ(es.shards, 4u);
+  EXPECT_LE(es.merge_touched_nodes, es.deltas.nodes)
+      << "merge work must be bounded by flushed delta nodes";
+}
+
 TEST(Sharded, NoOpEditsLeaveShardsClean) {
   util::Rng rng(304);
   const graph::Instance inst = util::random_function(300, 3, rng);
