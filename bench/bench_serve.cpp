@@ -1,0 +1,181 @@
+// Serving throughput over real loopback TCP: a durable serve::Server
+// (journal, fsync=epoch) on its own event-loop thread, driven by a
+// serve::Client in the measured thread.
+//
+//   * BM_ServePipelinedEdits — one measured unit is a 1024-edit round sent
+//     as 64-edit EDIT frames with a window of 8 in flight; acks (deferred to
+//     the epoch flush) are collected as the window slides.  items_processed
+//     counts edits, so the console rate is pipelined edits/sec — the number
+//     the serving acceptance floor (>= 100k/s localized) reads.
+//   * BM_ServeViewP99 — each iteration lands one acked edit frame and then
+//     times a VIEW round trip; the p99 over all iterations is exported as
+//     the p99_us counter (mean RTT is the iteration time itself).
+//
+// Both run the localized (repair-friendly hotspot) and uniform mixes.
+// Recorded to BENCH_serve.json in CI and diffed by tools/bench_diff.py.
+#include <benchmark/benchmark.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstddef>
+#include <filesystem>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "util/generators.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace sfcp;
+
+constexpr std::size_t kNodes = std::size_t{1} << 15;
+constexpr std::size_t kRounds = 64;  // pre-generated rounds, replayed cyclically
+constexpr std::size_t kEditsPerRound = 1024;
+constexpr std::size_t kFrameEdits = 64;  // edits per EDIT frame
+constexpr std::size_t kWindow = 8;       // frames in flight
+
+struct Workload {
+  graph::Instance inst;
+  std::vector<std::vector<inc::Edit>> rounds;
+};
+
+Workload make_workload(util::EditMix mix) {
+  util::Rng rng(0x5e12 + static_cast<u64>(mix));
+  Workload w;
+  w.inst = util::random_function(kNodes, 4, rng);
+  util::Rng srng(0x7a31 + static_cast<u64>(mix));
+  const auto stream =
+      util::random_edit_stream(w.inst, kRounds * kEditsPerRound, mix, 6, srng);
+  w.rounds.resize(kRounds);
+  for (std::size_t r = 0; r < kRounds; ++r) {
+    const auto chunk = std::span(stream).subspan(r * kEditsPerRound, kEditsPerRound);
+    w.rounds[r].assign(chunk.begin(), chunk.end());
+  }
+  return w;
+}
+
+const Workload& workload(util::EditMix mix) {
+  static const Workload localized = make_workload(util::EditMix::LocalizedHotspot);
+  static const Workload uniform = make_workload(util::EditMix::Uniform);
+  return mix == util::EditMix::LocalizedHotspot ? localized : uniform;
+}
+
+/// Durable server on an ephemeral loopback port + connected client; the
+/// journal lives in a per-process temp dir cleaned up on teardown.
+class ServeFixture {
+ public:
+  explicit ServeFixture(const graph::Instance& inst, const std::string& engine_kind) {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("sfcp_bench_serve_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+    serve::ServerOptions opt;
+    opt.journal_path = (dir_ / (engine_kind + ".wal")).string();
+    opt.fsync = serve::FsyncPolicy::Epoch;
+    server_ = std::make_unique<serve::Server>(engines().make(engine_kind, inst), opt);
+    loop_ = std::thread([s = server_.get()] { s->run(); });
+    try {
+      client_ = serve::Client::connect("127.0.0.1", server_->port());
+    } catch (...) {
+      teardown_();
+      throw;
+    }
+  }
+  ~ServeFixture() { teardown_(); }
+
+  serve::Client& client() { return client_; }
+
+ private:
+  void teardown_() {
+    client_.close();
+    if (server_) {
+      server_->stop();
+      loop_.join();
+      server_.reset();
+    }
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::filesystem::path dir_;
+  std::unique_ptr<serve::Server> server_;
+  std::thread loop_;
+  serve::Client client_;
+};
+
+void BM_ServePipelinedEdits(benchmark::State& state, util::EditMix mix) {
+  const Workload& w = workload(mix);
+  ServeFixture fx(w.inst, "incremental");
+  std::size_t round = 0;
+  for (auto _ : state) {
+    const std::vector<inc::Edit>& edits = w.rounds[round];
+    const std::size_t frames = edits.size() / kFrameEdits;
+    std::size_t sent = 0, acked = 0;
+    while (acked < frames) {
+      while (sent < frames && sent - acked < kWindow) {
+        fx.client().send_edits(std::span(edits).subspan(sent * kFrameEdits, kFrameEdits));
+        ++sent;
+      }
+      benchmark::DoNotOptimize(fx.client().await_edited());
+      ++acked;
+    }
+    if (++round == kRounds) round = 0;
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(kEditsPerRound));
+}
+
+void BM_ServeViewP99(benchmark::State& state, util::EditMix mix) {
+  const Workload& w = workload(mix);
+  ServeFixture fx(w.inst, "incremental");
+  std::vector<double> rtt_us;
+  rtt_us.reserve(1 << 16);
+  std::size_t round = 0, at = 0;
+  for (auto _ : state) {
+    // Keep real edit traffic flowing: one acked frame per measured VIEW.
+    fx.client().apply(std::span(w.rounds[round]).subspan(at * kFrameEdits, kFrameEdits));
+    if (++at == w.rounds[round].size() / kFrameEdits) {
+      at = 0;
+      if (++round == kRounds) round = 0;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(fx.client().view().epoch);
+    const auto t1 = std::chrono::steady_clock::now();
+    rtt_us.push_back(std::chrono::duration<double, std::micro>(t1 - t0).count());
+  }
+  if (!rtt_us.empty()) {
+    std::sort(rtt_us.begin(), rtt_us.end());
+    const std::size_t idx = static_cast<std::size_t>(
+        std::ceil(0.99 * static_cast<double>(rtt_us.size()))) - 1;
+    state.counters["p99_us"] = rtt_us[std::min(idx, rtt_us.size() - 1)];
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+
+const int kRegistered = [] {
+  const std::pair<const char*, util::EditMix> mixes[] = {
+      {"localized", util::EditMix::LocalizedHotspot},
+      {"uniform", util::EditMix::Uniform},
+  };
+  for (const auto& [mix_name, mix] : mixes) {
+    benchmark::RegisterBenchmark(
+        (std::string("BM_ServePipelinedEdits/") + mix_name).c_str(), BM_ServePipelinedEdits,
+        mix)
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark((std::string("BM_ServeViewP99/") + mix_name).c_str(),
+                                 BM_ServeViewP99, mix)
+        ->Unit(benchmark::kMicrosecond);
+  }
+  return 0;
+}();
+
+}  // namespace

@@ -1,42 +1,46 @@
-// incremental_server — a REPL-style serving loop over the sfcp::Engine
-// facade: load or generate an instance once, pick an engine from
-// sfcp::engines() ("incremental" repairs per edit, "batch" re-solves per
-// epoch), then answer a stream of edits and queries against immutable
-// PartitionView snapshots.  Pipe a script in, or drive it interactively:
+// incremental_server — a REPL-style serving loop that now talks `sfcp-wire
+// v1` to an in-process serve::Server: load or generate an instance once,
+// pick an engine from sfcp::engines() ("incremental" repairs per edit,
+// "batch" re-solves per epoch, "sharded" splits by component), and the REPL
+// drives edits and queries through a serve::Client — the exact same frames
+// (and the exact same command dispatcher, serve/repl.hpp) that `sfcp_cli
+// connect` uses against a remote server.  Pipe a script in, or drive it
+// interactively:
 //
 //   $ ./incremental_server
 //   > gen random 100000 42
 //   n=100000 engine=incremental classes=214 epoch=0
 //   > setb 17 3
-//   ok (repair, 1 dirty) classes=215 epoch=1
+//   applied 1 edit classes=215 epoch=1
 //   > classof 17
 //   class(17) = 214
 //   > members 214
 //   class 214 (1 node): 17
 //   > checkpoint warm.ckpt
-//   checkpoint written to warm.ckpt
+//   checkpoint written to warm.ckpt at epoch 1
 //
-// Commands: gen <random|permutation|mergeable|longtail> <n> [seed]
-//           engine <incremental|batch|sharded>  (selects engine; reloads instance)
+// Lifecycle commands (local): gen <random|permutation|mergeable|longtail> <n> [seed]
+//           engine <incremental|batch|sharded>  (selects engine; restarts server)
 //           load <path>            (text or binary instance, autodetected)
-//           save <path> [binary]   (instance only)
-//           checkpoint <path>      (sfcp-checkpoint v1: warm engine state)
-//           restore <path>         (restart warm from a checkpoint)
-//           setf <x> <y>  |  setb <x> <label>
-//           edits <path>           (apply an sfcp-edits v1 stream)
+//           save <path> [binary]   (instance only, from the local mirror)
+//           restore <path>         (restart warm from an sfcp-checkpoint v1)
 //           stream <localized|uniform|churn> <count> [seed]
-//           classof <x> | query <x> | members <c> | blocks
-//           stats  |  help  |  quit
+//           help | quit
+// Serving commands (over the wire — serve/repl.hpp): setf, setb, edits,
+//           classof/query, members, blocks, view, stats, checkpoint,
+//           subscribe, await.
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "engine.hpp"
-#include "pram/metrics.hpp"
-#include "shard/sharded_engine.hpp"
+#include "serve/client.hpp"
+#include "serve/repl.hpp"
+#include "serve/server.hpp"
 #include "util/generators.hpp"
 #include "util/io.hpp"
 #include "util/random.hpp"
@@ -45,23 +49,15 @@ using namespace sfcp;
 
 namespace {
 
-void print_help() {
-  std::cout << "commands:\n"
+void print_lifecycle_help() {
+  std::cout << "lifecycle commands (local):\n"
                "  gen <random|permutation|mergeable|longtail> <n> [seed]\n"
-               "  engine <incremental|batch|sharded>  select engine kind (re-adopts instance)\n"
+               "  engine <incremental|batch|sharded>  select engine kind (restarts server)\n"
                "  load <path>              load instance (text/binary autodetect)\n"
-               "  save <path> [binary]     save current instance\n"
-               "  checkpoint <path>        write warm engine state (sfcp-checkpoint v1)\n"
+               "  save <path> [binary]     save current instance (local mirror)\n"
                "  restore <path>           restart warm from a checkpoint\n"
-               "  setf <x> <y>             f[x] <- y\n"
-               "  setb <x> <label>         b[x] <- label\n"
-               "  edits <path>             apply an sfcp-edits v1 file\n"
                "  stream <localized|uniform|churn> <count> [seed]\n"
-               "  classof <x>              canonical class of x (alias: query)\n"
-               "  members <c>              nodes of class c\n"
-               "  blocks                   current class count\n"
-               "  stats                    edit/delta/policy statistics + metrics\n"
-               "  quit\n";
+               "  help\n";
 }
 
 std::optional<graph::Instance> generate(const std::string& kind, std::size_t n, u64 seed) {
@@ -80,50 +76,93 @@ std::optional<util::EditMix> parse_mix(const std::string& name) {
   return std::nullopt;
 }
 
+/// The in-process server + its event-loop thread + the REPL's client, plus
+/// the local instance mirror that keeps `save` and `stream` working without
+/// an instance-download frame.
+struct Session {
+  graph::Instance mirror;
+  std::unique_ptr<serve::Server> server;
+  std::thread loop;
+  serve::Client client;
+
+  bool running() const { return server != nullptr; }
+
+  void stop() {
+    if (!server) return;
+    client.close();
+    server->stop();
+    loop.join();
+    server.reset();
+  }
+
+  /// Boots a server around `engine` and connects the REPL client to it.
+  void start(std::unique_ptr<Engine> engine) {
+    stop();
+    mirror = graph::Instance(engine->instance());
+    server = std::make_unique<serve::Server>(std::move(engine));
+    loop = std::thread([s = server.get()] { s->run(); });
+    try {
+      client = serve::Client::connect("127.0.0.1", server->port());
+    } catch (...) {
+      server->stop();
+      loop.join();
+      server.reset();
+      throw;
+    }
+  }
+
+  /// Keeps the mirror in lock-step with edits the server accepted.
+  void mirror_edits(std::span<const inc::Edit> edits) {
+    for (const inc::Edit& e : edits) inc::apply_raw(e, mirror.f, mirror.b);
+  }
+};
+
 }  // namespace
 
 int main() {
-  std::unique_ptr<Engine> engine;
+  Session session;
   std::string engine_kind = "incremental";
-  pram::Metrics metrics;
   util::Rng stream_seed_rng(0xd1ce);
 
-  const auto ensure = [&]() -> Engine* {
-    if (!engine) std::cout << "no instance loaded (use gen or load)\n";
-    return engine.get();
+  const auto ensure = [&]() -> bool {
+    if (!session.running()) std::cout << "no instance loaded (use gen or load)\n";
+    return session.running();
+  };
+  const auto headline = [&]() {
+    const serve::Client::ViewInfo v = session.client.view();
+    std::cout << "n=" << v.n << " engine=" << engine_kind << " classes=" << v.num_classes
+              << " epoch=" << v.epoch << "\n";
   };
   const auto adopt = [&](graph::Instance inst) {
-    engine = engines().make(engine_kind, std::move(inst), core::Options::parallel(),
-                            pram::ExecutionContext{}.with_metrics(&metrics));
-    const core::PartitionView v = engine->view();
-    std::cout << "n=" << engine->size() << " engine=" << engine->kind()
-              << " classes=" << v.num_classes() << " epoch=" << v.epoch() << "\n";
-  };
-  const auto incremental = [&]() -> IncrementalEngine* {
-    return dynamic_cast<IncrementalEngine*>(engine.get());
-  };
-  const auto report_edits = [&](u64 edits_applied) {
-    if (IncrementalEngine* ie = incremental()) {
-      const auto& s = ie->solver().stats();
-      std::cout << "applied " << edits_applied << " edit(s) (repairs=" << s.repairs
-                << " rebuilds=" << s.rebuilds << " lifetime)";
-    } else {
-      std::cout << "applied " << edits_applied << " edit(s)";
-    }
-    const core::PartitionView v = engine->view();
-    std::cout << " classes=" << v.num_classes() << " epoch=" << v.epoch() << "\n";
+    session.start(engines().make(engine_kind, std::move(inst)));
+    headline();
   };
 
-  std::cout << "SFCP serving REPL (engine facade) — 'help' for commands\n";
+  serve::ReplHooks hooks;
+  hooks.on_edits = [&](std::span<const inc::Edit> edits) { session.mirror_edits(edits); };
+
+  std::cout << "SFCP serving REPL (sfcp-wire v1 over an in-process server) — "
+               "'help' for commands\n";
   std::string line;
   while (std::cout << "> " << std::flush, std::getline(std::cin, line)) {
     std::istringstream ss(line);
     std::string cmd;
     if (!(ss >> cmd) || cmd.empty() || cmd[0] == '#') continue;
+
+    // Serving commands go through the shared wire dispatcher first.
+    if (session.running()) {
+      const serve::ReplResult r =
+          serve::run_serve_command(session.client, line, std::cout, hooks);
+      if (r == serve::ReplResult::Quit) break;
+      if (r == serve::ReplResult::Handled) continue;
+    } else if (cmd == "quit" || cmd == "exit") {
+      break;
+    }
+
     try {
-      if (cmd == "quit" || cmd == "exit") break;
       if (cmd == "help") {
-        print_help();
+        print_lifecycle_help();
+        serve::print_serve_help(std::cout);
       } else if (cmd == "engine") {
         std::string kind;
         ss >> kind;
@@ -134,8 +173,8 @@ int main() {
           continue;
         }
         engine_kind = kind;
-        if (engine) {
-          adopt(graph::Instance(engine->instance()));  // re-adopt under the new kind
+        if (session.running()) {
+          adopt(graph::Instance(session.mirror));  // re-adopt under the new kind
         } else {
           std::cout << "engine=" << engine_kind << " (takes effect on gen/load)\n";
         }
@@ -159,23 +198,10 @@ int main() {
         if (!ensure()) continue;
         std::string path, mode;
         ss >> path >> mode;
-        util::save_instance_file(path, engine->instance(),
+        util::save_instance_file(path, session.mirror,
                                  mode == "binary" ? util::InstanceFormat::Binary
                                                   : util::InstanceFormat::Text);
         std::cout << "saved " << path << "\n";
-      } else if (cmd == "checkpoint") {
-        if (!ensure()) continue;
-        std::string path;
-        ss >> path;
-        // Probe before opening: ofstream would truncate an existing (good)
-        // checkpoint even when this engine has nothing to write.
-        if (!engine->checkpointable()) {
-          std::cout << "engine '" << engine->kind() << "' has no checkpointable state "
-                    << "(use 'engine incremental')\n";
-          continue;
-        }
-        util::atomic_write_file(path, [&](std::ostream& os) { engine->save_checkpoint(os); });
-        std::cout << "checkpoint written to " << path << "\n";
       } else if (cmd == "restore") {
         std::string path;
         ss >> path;
@@ -185,32 +211,11 @@ int main() {
           continue;
         }
         // Autodetects plain vs. sharded checkpoints from the magic.
-        engine = load_engine_checkpoint(is, core::Options::parallel(),
-                                        pram::ExecutionContext{}.with_metrics(&metrics));
+        std::unique_ptr<Engine> engine = load_engine_checkpoint(is);
         engine_kind = std::string(engine->kind());
-        const core::PartitionView v = engine->view();
-        std::cout << "restored n=" << engine->size() << " engine=" << engine->kind()
-                  << " classes=" << v.num_classes() << " epoch=" << v.epoch() << "\n";
-      } else if (cmd == "setf" || cmd == "setb") {
-        if (!ensure()) continue;
-        u32 x = 0, v = 0;
-        if (!(ss >> x >> v)) {
-          std::cout << "usage: " << cmd << " <x> <value>\n";
-          continue;
-        }
-        if (cmd == "setf") {
-          engine->set_f(x, v);
-        } else {
-          engine->set_b(x, v);
-        }
-        report_edits(1);
-      } else if (cmd == "edits") {
-        if (!ensure()) continue;
-        std::string path;
-        ss >> path;
-        const auto stream = util::load_edits_file(path);
-        engine->apply(stream);
-        report_edits(stream.size());
+        session.start(std::move(engine));
+        std::cout << "restored ";
+        headline();
       } else if (cmd == "stream") {
         if (!ensure()) continue;
         std::string mix_name;
@@ -224,75 +229,12 @@ int main() {
           continue;
         }
         util::Rng rng(seed);
-        const auto stream = util::random_edit_stream(engine->instance(), count, *mix, 6, rng);
-        engine->apply(stream);
-        report_edits(stream.size());
-      } else if (cmd == "classof" || cmd == "query") {
-        if (!ensure()) continue;
-        u32 x = 0;
-        if (!(ss >> x) || x >= engine->size()) {
-          std::cout << "usage: " << cmd << " <x> with x < n\n";
-          continue;
-        }
-        std::cout << "class(" << x << ") = " << engine->view().class_of(x) << "\n";
-      } else if (cmd == "members") {
-        if (!ensure()) continue;
-        const core::PartitionView v = engine->view();
-        u32 c = 0;
-        if (!(ss >> c) || c >= v.num_classes()) {
-          std::cout << "usage: members <c> with c < " << v.num_classes() << "\n";
-          continue;
-        }
-        const auto members = v.class_members(c);
-        std::cout << "class " << c << " (" << members.size()
-                  << (members.size() == 1 ? " node):" : " nodes):");
-        const std::size_t shown = std::min<std::size_t>(members.size(), 16);
-        for (std::size_t i = 0; i < shown; ++i) std::cout << ' ' << members[i];
-        if (shown < members.size()) std::cout << " ... (+" << members.size() - shown << ")";
-        std::cout << "\n";
-      } else if (cmd == "blocks") {
-        if (!ensure()) continue;
-        std::cout << "classes = " << engine->view().num_classes() << "\n";
-      } else if (cmd == "stats") {
-        if (!ensure()) continue;
-        std::cout << "engine=" << engine->kind() << " epoch=" << engine->epoch() << "\n";
-        // The delta/policy counters every engine reports through the facade
-        // (a BatchEngine only counts edits; the rest stays zero).
-        const EngineStats s = engine->serving_stats();
-        std::cout << "edits=" << s.edits.edits << " repairs=" << s.edits.repairs
-                  << " rebuilds=" << s.edits.rebuilds
-                  << " dirty_nodes=" << s.edits.dirty_nodes
-                  << " cycles_created=" << s.edits.cycles_created
-                  << " cycles_destroyed=" << s.edits.cycles_destroyed << "\n";
-        if (s.deltas.windows > 0) {
-          std::cout << "deltas: windows=" << s.deltas.windows << " full=" << s.deltas.full
-                    << " nodes=" << s.deltas.nodes
-                    << " classes created=" << s.deltas.classes_created
-                    << " destroyed=" << s.deltas.classes_destroyed
-                    << " resized=" << s.deltas.classes_resized
-                    << " dirty-classes/window=" << s.dirty_classes_per_window() << "\n";
-        }
-        if (s.edits.repairs || s.edits.rebuilds) {
-          std::cout << "repair policy: " << (s.adaptive_repair ? "adaptive" : "static")
-                    << " fit: " << s.repair_fit.unit_cost << "ns/dirty-node vs "
-                    << s.repair_fit.full_cost << "ns/rebuild -> crossover~"
-                    << static_cast<u64>(s.repair_fit.crossover()) << " nodes"
-                    << (s.repair_fit.fitted() ? "" : " (fit not converged)") << "\n";
-        }
-        if (s.shards > 0) {
-          std::cout << "shards=" << s.shards << " cross_shard_edits=" << s.cross_shard_edits
-                    << " migrations=" << s.migrations << " reshards=" << s.reshards << "\n"
-                    << "merge: shard_merges=" << s.shard_merges
-                    << " full=" << s.full_merges
-                    << " touched_classes=" << s.merge_touched_classes
-                    << " touched_nodes=" << s.merge_touched_nodes << "\n"
-                    << "reshard policy: " << (s.adaptive_reshard ? "adaptive" : "static")
-                    << " fit: " << s.reshard_fit.unit_cost << "ns/moved-node vs "
-                    << s.reshard_fit.full_cost << "ns/reshard -> crossover~"
-                    << static_cast<u64>(s.reshard_fit.crossover()) << " nodes"
-                    << (s.reshard_fit.fitted() ? "" : " (fit not converged)") << "\n";
-        }
-        std::cout << "metrics: " << metrics.summary() << "\n";
+        const auto stream = util::random_edit_stream(session.mirror, count, *mix, 6, rng);
+        const u64 epoch = session.client.apply(stream);
+        session.mirror_edits(stream);
+        const serve::Client::ViewInfo v = session.client.view();
+        std::cout << "applied " << stream.size() << " edit(s) classes=" << v.num_classes
+                  << " epoch=" << epoch << "\n";
       } else {
         std::cout << "unknown command '" << cmd << "' — try 'help'\n";
       }
@@ -300,5 +242,6 @@ int main() {
       std::cout << "error: " << e.what() << "\n";
     }
   }
+  session.stop();
   return 0;
 }

@@ -17,17 +17,40 @@
 //   $ ./sfcp_cli verify instance.txt                # solve + oracle check
 //   $ ./sfcp_cli stats instance.txt                 # orbit statistics
 //   $ ./sfcp_cli dot instance.txt > graph.dot       # Graphviz, Q-clustered
+//   $ ./sfcp_cli serve instance.txt --port 7227 --journal edits.wal
+//   $ ./sfcp_cli connect 127.0.0.1:7227             # sfcp-wire REPL
+//   $ ./sfcp_cli --version
 #include <algorithm>
 #include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "serve/client.hpp"
+#include "serve/repl.hpp"
+#include "serve/server.hpp"
 #include "sfcp.hpp"
+
+#ifndef SFCP_VERSION
+#define SFCP_VERSION "dev"
+#endif
 
 namespace {
 
 using namespace sfcp;
+
+const char* kUsage =
+    "usage: sfcp_cli {gen|solve|classes|verify|stats|dot|strategies|engines|serve|connect} ...\n"
+    "       sfcp_cli --version\n"
+    "  gen {random|cycles|tail} <n-or-k> <param> <out-file>   generate an instance\n"
+    "  solve <instance> [options]       solve and summarize ('solve --help' for options)\n"
+    "  classes <instance> [top]         largest canonical classes\n"
+    "  verify <instance>                solve + oracle check\n"
+    "  stats <instance>                 orbit statistics\n"
+    "  dot <instance>                   Graphviz output, Q-clustered\n"
+    "  strategies | engines             list registry entries\n"
+    "  serve <instance> [options]       serve over TCP ('serve --help' for options)\n"
+    "  connect [host:]port              interactive sfcp-wire REPL\n";
 
 int cmd_gen(int argc, char** argv) {
   if (argc < 4) {
@@ -183,19 +206,135 @@ int cmd_dot(const std::string& path) {
   return 0;
 }
 
+void print_serve_help() {
+  std::cout
+      << "usage: sfcp_cli serve <instance> [options]\n"
+         "  --host <addr>             bind address (default 127.0.0.1)\n"
+         "  --port <p>                TCP port (default 0 = ephemeral, printed at start)\n"
+         "  --engine <kind>           serving engine (default 'incremental')\n"
+         "  --journal <path>          write-ahead edit journal; restart replays it on top\n"
+         "                            of the last checkpoint (durable serving)\n"
+         "  --fsync always|epoch|off  journal durability (default 'epoch': one fsync per\n"
+         "                            epoch flush)\n"
+         "  --checkpoint <path>       checkpoint target (default '<journal>.ckpt'); loaded\n"
+         "                            at startup when present\n"
+         "  --checkpoint-every <k>    auto-checkpoint (and reset the journal) every k\n"
+         "                            accepted edits (default 0 = only on request)\n";
+}
+
+int cmd_serve(int argc, char** argv) {
+  const std::string path = argv[0];
+  serve::ServerOptions opt;
+  std::string engine_kind = "incremental";
+  u64 checkpoint_every = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help") {
+      print_serve_help();
+      return 0;
+    } else if (arg == "--host" && i + 1 < argc) {
+      opt.host = argv[++i];
+    } else if (arg == "--port" && i + 1 < argc) {
+      opt.port = static_cast<std::uint16_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--engine" && i + 1 < argc) {
+      engine_kind = argv[++i];
+    } else if (arg == "--journal" && i + 1 < argc) {
+      opt.journal_path = argv[++i];
+    } else if (arg == "--fsync" && i + 1 < argc) {
+      opt.fsync = serve::parse_fsync_policy(argv[++i]);
+    } else if (arg == "--checkpoint" && i + 1 < argc) {
+      opt.checkpoint_path = argv[++i];
+    } else if (arg == "--checkpoint-every" && i + 1 < argc) {
+      checkpoint_every = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      std::cerr << "unknown serve option '" << arg << "' (try 'serve --help')\n";
+      return 2;
+    }
+  }
+  opt.checkpoint_every = checkpoint_every;
+  if (!engines().find(engine_kind)) {
+    std::cerr << "unknown engine '" << engine_kind << "' (see 'sfcp_cli engines')\n";
+    return 2;
+  }
+  // A configured checkpoint restores warm state; the Server constructor then
+  // replays the journal tail on top of it.
+  std::string ckpt = opt.checkpoint_path;
+  if (ckpt.empty() && !opt.journal_path.empty()) ckpt = opt.journal_path + ".ckpt";
+  std::unique_ptr<Engine> engine =
+      serve::recover_engine(ckpt, engine_kind, util::load_instance_file(path));
+  serve::Server server(std::move(engine), opt);
+  const serve::ServeStats st = server.stats();
+  std::cout << "serving " << server.engine().size() << " nodes (engine="
+            << server.engine().kind() << ") on " << opt.host << ":" << server.port();
+  if (!opt.journal_path.empty()) {
+    std::cout << " journal=" << opt.journal_path << " fsync="
+              << serve::fsync_policy_name(opt.fsync) << " replayed="
+              << st.recovered_records << (st.journal_tail_torn ? " (torn tail trimmed)" : "");
+  }
+  std::cout << std::endl;
+  server.run();
+  return 0;
+}
+
+int cmd_connect(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  std::string port_str = argv[0];
+  if (argc > 1) {
+    std::cerr << "usage: sfcp_cli connect [host:]port\n";
+    return 2;
+  }
+  const std::size_t colon = port_str.rfind(':');
+  if (colon != std::string::npos) {
+    host = port_str.substr(0, colon);
+    port_str = port_str.substr(colon + 1);
+  }
+  const unsigned long port = std::strtoul(port_str.c_str(), nullptr, 10);
+  if (port == 0 || port > 65535) {
+    std::cerr << "bad port '" << port_str << "'\n";
+    return 2;
+  }
+  serve::Client client = serve::Client::connect(host, static_cast<std::uint16_t>(port));
+  const serve::Client::ViewInfo v = client.view();
+  std::cout << "connected to " << host << ":" << port << " — n=" << v.n
+            << " classes=" << v.num_classes << " epoch=" << v.epoch
+            << " ('help' for commands)\n";
+  std::string line;
+  while (std::cout << "> " << std::flush, std::getline(std::cin, line)) {
+    if (line == "help") {
+      serve::print_serve_help(std::cout);
+      continue;
+    }
+    const serve::ReplResult r = serve::run_serve_command(client, line, std::cout);
+    if (r == serve::ReplResult::Quit) break;
+    if (r == serve::ReplResult::Unknown) {
+      std::cout << "unknown command — try 'help'\n";
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::cerr << "usage: sfcp_cli {gen|solve|classes|verify|stats|dot|strategies|engines} ...\n";
+    std::cerr << kUsage;
     return 2;
   }
   const std::string cmd = argv[1];
   try {
+    if (cmd == "--version" || cmd == "version") {
+      std::cout << "sfcp_cli " << SFCP_VERSION << " (sfcp-wire v1, sfcp-checkpoint v1, "
+                   "sfcp-journal v1)\n";
+      return 0;
+    }
+    if (cmd == "--help" || cmd == "help") {
+      std::cout << kUsage;
+      return 0;
+    }
     if (cmd == "strategies") return cmd_strategies();
     if (cmd == "engines") return cmd_engines();
     if (argc < 3) {
-      std::cerr << "usage: sfcp_cli {gen|solve|classes|verify|stats|dot|strategies|engines} ...\n";
+      std::cerr << kUsage;
       return 2;
     }
     if (cmd == "gen") return cmd_gen(argc - 2, argv + 2);
@@ -273,10 +412,18 @@ int main(int argc, char** argv) {
     if (cmd == "verify") return cmd_verify(argv[2]);
     if (cmd == "stats") return cmd_stats(argv[2]);
     if (cmd == "dot") return cmd_dot(argv[2]);
+    if (cmd == "serve") {
+      if (std::string(argv[2]) == "--help") {
+        print_serve_help();
+        return 0;
+      }
+      return cmd_serve(argc - 2, argv + 2);
+    }
+    if (cmd == "connect") return cmd_connect(argc - 2, argv + 2);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   }
-  std::cerr << "unknown command '" << cmd << "'\n";
+  std::cerr << "unknown command '" << cmd << "'\n" << kUsage;
   return 2;
 }

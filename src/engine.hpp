@@ -116,6 +116,14 @@ class Engine {
 
   /// Delta/policy statistics (fields a layer does not own stay zero).
   virtual EngineStats serving_stats() const { return {}; }
+
+  /// Flushes the notification window: which nodes the views published since
+  /// the previous take relabelled (map to changed classes through the
+  /// current view), or a whole-partition downgrade.  Never disturbs the
+  /// view patch chain — it is the read-side change feed serving front ends
+  /// (serve::Server SUBSCRIBE) consume.  Engines without delta tracking
+  /// (batch) always downgrade to full.
+  virtual inc::ViewDelta take_view_delta() { return inc::ViewDelta{epoch(), true, {}}; }
 };
 
 /// Lazy re-solve engine: apply() mutates the instance and marks the cached
@@ -170,6 +178,8 @@ class IncrementalEngine final : public Engine {
     s.repair_fit = inc_.cost_model();
     return s;
   }
+
+  inc::ViewDelta take_view_delta() override { return inc_.take_view_delta(); }
 
   inc::IncrementalSolver& solver() noexcept { return inc_; }
   const inc::IncrementalSolver& solver() const noexcept { return inc_; }

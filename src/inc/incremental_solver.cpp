@@ -37,16 +37,35 @@ core::PartitionView IncrementalSolver::view() const {
   if (view_root_stale_ || d.full) {
     last_view_ =
         core::PartitionView::from_raw(q_, next_label_, distinct_, epoch_, counters);
+    view_delta_full_ = true;
+    view_delta_nodes_.clear();
   } else {
     // Publish the flushed delta as a patch on the previous view: the
     // O(dirty) path.  The previous view itself is immutable — readers that
     // hold it keep the partition exactly as it was at its epoch.
     last_view_ = core::PartitionView::patched_from_delta(last_view_, d.nodes, q_, next_label_,
                                                          distinct_, epoch_, counters);
+    if (!view_delta_full_) {
+      view_delta_nodes_.insert(view_delta_nodes_.end(), d.nodes.begin(), d.nodes.end());
+      if (view_delta_nodes_.size() >= inst_.size()) {
+        view_delta_full_ = true;  // past n nodes a full refresh is cheaper
+        view_delta_nodes_.clear();
+      }
+    }
   }
   view_root_stale_ = false;
   last_view_epoch_ = epoch_;
   return last_view_;
+}
+
+ViewDelta IncrementalSolver::take_view_delta() {
+  ViewDelta d;
+  d.epoch = last_view_epoch_;
+  d.full = view_delta_full_;
+  d.nodes = std::move(view_delta_nodes_);
+  view_delta_nodes_.clear();
+  view_delta_full_ = false;
+  return d;
 }
 
 core::Result IncrementalSolver::snapshot() const { return view().to_result(); }

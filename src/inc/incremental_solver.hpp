@@ -213,6 +213,13 @@ class IncrementalSolver {
   /// take_delta() (merge layers) or view() (plain serving), not both.
   RepairDelta take_delta();
 
+  /// Flushes the notification window: the nodes the views published since
+  /// the previous take_view_delta() relabelled, or a whole-partition
+  /// downgrade when any of them re-rooted (rebuild, restore, construction).
+  /// Unlike take_delta(), taking the view delta never disturbs the view
+  /// patch chain — it is a read-side tap for change feeds (serve::Server).
+  ViewDelta take_view_delta();
+
   /// Lifetime totals over flushed deltas.
   const DeltaStats& delta_stats() const noexcept { return delta_stats_; }
 
@@ -339,6 +346,12 @@ class IncrementalSolver {
   mutable core::PartitionView last_view_;
   mutable u64 last_view_epoch_ = 0;
   mutable bool view_root_stale_ = true;
+
+  // Notification window (take_view_delta): nodes the published views'
+  // patches carried; full when any view in the window was a fresh root.
+  // Capped at n nodes — past that a full refresh is cheaper to consume.
+  mutable std::vector<u32> view_delta_nodes_;
+  mutable bool view_delta_full_ = true;
 
   pram::CostModel cost_fit_;  ///< repair-vs-rebuild fit (units = dirty nodes)
 

@@ -64,6 +64,21 @@ struct RepairDelta {
   }
 };
 
+/// What published views changed since a consumer last asked — the
+/// notification-side projection of RepairDelta.  Incremental producers
+/// accumulate the nodes each view()'s patch carried; a rebuild (or any
+/// whole-partition refresh, including the construction view) downgrades the
+/// window to `full`, after which the node list is meaningless and cleared.
+/// Consumers map `nodes` to changed classes through the view that flushed
+/// them (class_of per node, O(dirty)); on `full` they refresh everything.
+/// Flushing (Engine::take_view_delta) resets the window.
+struct ViewDelta {
+  u64 epoch = 0;           ///< epoch of the most recent published view
+  bool full = true;        ///< whole-partition refresh owed
+  std::vector<u32> nodes;  ///< relabelled nodes since the last flush (unsorted,
+                           ///< may repeat across windows; empty when full)
+};
+
 /// Lifetime totals over flushed deltas (monotonic; the delta-granular
 /// sibling of EditStats, surfaced through sfcp::Engine::stats()).
 struct DeltaStats {

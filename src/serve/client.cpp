@@ -1,0 +1,283 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace sfcp::serve {
+namespace {
+
+[[noreturn]] void fail_sys(const char* what) {
+  throw std::runtime_error("serve::Client: " + std::string(what) + ": " +
+                           std::strerror(errno));
+}
+
+}  // namespace
+
+Client::Client(int fd) : fd_(fd) {}
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      in_(std::move(other.in_)),
+      notifications_(std::move(other.notifications_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    in_ = std::move(other.in_);
+    notifications_ = std::move(other.notifications_);
+  }
+  return *this;
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Client Client::connect(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail_sys("socket");
+
+  struct sockaddr_in addr {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("serve::Client: bad host '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const int err = errno;
+    ::close(fd);
+    errno = err;
+    fail_sys("connect");
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  Client c(fd);
+  // Handshake: send our magic; the peer's is verified by the FrameSplitter
+  // as soon as bytes arrive (the first next() call demands it).
+  std::string hello;
+  append_magic(hello);
+  c.send_raw_(hello.data(), hello.size());
+  return c;
+}
+
+// ---- IO ------------------------------------------------------------------
+
+void Client::send_raw_(const char* data, std::size_t len) {
+  if (fd_ < 0) throw std::runtime_error("serve::Client: not connected");
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::write(fd_, data + off, len - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail_sys("write");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+void Client::send_frame_(FrameType type, std::string_view payload) {
+  std::string buf;
+  append_frame(buf, type, payload);
+  send_raw_(buf.data(), buf.size());
+}
+
+bool Client::fill_(int timeout_ms) {
+  if (fd_ < 0) throw std::runtime_error("serve::Client: not connected");
+  if (timeout_ms >= 0) {
+    struct pollfd pfd {fd_, POLLIN, 0};
+    int n;
+    do {
+      n = ::poll(&pfd, 1, timeout_ms);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) fail_sys("poll");
+    if (n == 0) return false;
+  }
+  char buf[65536];
+  ssize_t n;
+  do {
+    n = ::read(fd_, buf, sizeof(buf));
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) fail_sys("read");
+  if (n == 0) throw std::runtime_error("serve::Client: server closed the connection");
+  in_.feed(buf, static_cast<std::size_t>(n));
+  return true;
+}
+
+Frame Client::await_response_(FrameType expected) {
+  for (;;) {
+    std::optional<Frame> f = in_.next();
+    if (!f) {
+      fill_(-1);
+      continue;
+    }
+    if (f->type == FrameType::kNotify) {
+      notifications_.push_back(decode_notify(f->payload));
+      continue;
+    }
+    if (f->type == FrameType::kError) {
+      throw std::runtime_error("serve::Client: server error: " + decode_error(f->payload));
+    }
+    if (f->type != expected) {
+      throw std::runtime_error("serve::Client: expected " +
+                               std::string(frame_type_name(expected)) + " frame, got " +
+                               std::string(frame_type_name(f->type)));
+    }
+    return std::move(*f);
+  }
+}
+
+// ---- requests ------------------------------------------------------------
+
+void Client::send_edits(std::span<const inc::Edit> edits) {
+  send_frame_(FrameType::kEdit, encode_edit_request(edits));
+}
+
+u64 Client::await_edited() {
+  const Frame f = await_response_(FrameType::kEdited);
+  PayloadReader r(f.payload);
+  const u64 epoch = r.get_u64("edited epoch");
+  (void)r.get_u32("edited count");
+  r.expect_end("Edited frame");
+  return epoch;
+}
+
+u64 Client::apply(std::span<const inc::Edit> edits) {
+  send_edits(edits);
+  return await_edited();
+}
+
+Client::ViewInfo Client::view() {
+  send_frame_(FrameType::kView, {});
+  const Frame f = await_response_(FrameType::kViewInfo);
+  PayloadReader r(f.payload);
+  ViewInfo v;
+  v.epoch = r.get_u64("view epoch");
+  v.n = r.get_u32("view n");
+  v.num_classes = r.get_u32("view num_classes");
+  r.expect_end("ViewInfo frame");
+  return v;
+}
+
+u32 Client::class_of(u32 node) {
+  PayloadWriter w;
+  w.put_u32(node);
+  send_frame_(FrameType::kClassOf, w.str());
+  const Frame f = await_response_(FrameType::kClass);
+  PayloadReader r(f.payload);
+  (void)r.get_u64("class epoch");
+  const u32 cls = r.get_u32("class id");
+  r.expect_end("Class frame");
+  return cls;
+}
+
+std::vector<u32> Client::members(u32 cls) {
+  PayloadWriter w;
+  w.put_u32(cls);
+  send_frame_(FrameType::kMembers, w.str());
+  const Frame f = await_response_(FrameType::kMembersData);
+  PayloadReader r(f.payload);
+  (void)r.get_u64("members epoch");
+  const u32 count = r.get_u32("members count");
+  std::vector<u32> out;
+  out.reserve(count);
+  for (u32 i = 0; i < count; ++i) out.push_back(r.get_u32("member node"));
+  r.expect_end("MembersData frame");
+  return out;
+}
+
+Client::Labels Client::labels() {
+  send_frame_(FrameType::kLabels, {});
+  const Frame f = await_response_(FrameType::kLabelsData);
+  PayloadReader r(f.payload);
+  Labels out;
+  out.epoch = r.get_u64("labels epoch");
+  out.num_classes = r.get_u32("labels num_classes");
+  const u32 n = r.get_u32("labels n");
+  out.labels.reserve(n);
+  for (u32 i = 0; i < n; ++i) out.labels.push_back(r.get_u32("label"));
+  r.expect_end("LabelsData frame");
+  return out;
+}
+
+std::vector<std::pair<std::string, u64>> Client::stats() {
+  send_frame_(FrameType::kStats, {});
+  const Frame f = await_response_(FrameType::kStatsData);
+  PayloadReader r(f.payload);
+  const u32 count = r.get_u32("stats count");
+  std::vector<std::pair<std::string, u64>> out;
+  out.reserve(count);
+  for (u32 i = 0; i < count; ++i) {
+    const u8 klen = r.get_u8("stats key length");
+    std::string key(r.get_bytes(klen, "stats key"));
+    const u64 value = r.get_u64("stats value");
+    out.emplace_back(std::move(key), value);
+  }
+  r.expect_end("StatsData frame");
+  return out;
+}
+
+u64 Client::checkpoint(const std::string& path) {
+  PayloadWriter w;
+  w.put_u32(static_cast<u32>(path.size()));
+  w.put_bytes(path.data(), path.size());
+  send_frame_(FrameType::kCheckpoint, w.str());
+  const Frame f = await_response_(FrameType::kOk);
+  PayloadReader r(f.payload);
+  const u64 epoch = r.get_u64("ok epoch");
+  r.expect_end("Ok frame");
+  return epoch;
+}
+
+u64 Client::subscribe() {
+  send_frame_(FrameType::kSubscribe, {});
+  const Frame f = await_response_(FrameType::kOk);
+  PayloadReader r(f.payload);
+  const u64 epoch = r.get_u64("ok epoch");
+  r.expect_end("Ok frame");
+  return epoch;
+}
+
+std::optional<Notification> Client::next_notification(int timeout_ms) {
+  for (;;) {
+    // Drain buffered frames first — a Notify may already be queued behind
+    // previously received bytes.
+    std::optional<Frame> f;
+    while ((f = in_.next())) {
+      if (f->type == FrameType::kNotify) {
+        notifications_.push_back(decode_notify(f->payload));
+      } else if (f->type == FrameType::kError) {
+        throw std::runtime_error("serve::Client: server error: " +
+                                 decode_error(f->payload));
+      } else {
+        throw std::runtime_error("serve::Client: unexpected " +
+                                 std::string(frame_type_name(f->type)) +
+                                 " frame while waiting for Notify");
+      }
+    }
+    if (!notifications_.empty()) {
+      Notification n = std::move(notifications_.front());
+      notifications_.pop_front();
+      return n;
+    }
+    if (!fill_(timeout_ms)) return std::nullopt;
+  }
+}
+
+}  // namespace sfcp::serve

@@ -1,0 +1,104 @@
+#pragma once
+// serve::Client — the blocking `sfcp-wire v1` peer of serve::Server, used by
+// `sfcp_cli connect`, the ported examples/incremental_server REPL, the
+// loopback fuzz lane and the serve bench.
+//
+// Every request method sends one frame and blocks for its response; Notify
+// frames arriving in between (the SUBSCRIBE stream is asynchronous by
+// design) are queued and drained through next_notification().  An Error
+// response throws std::runtime_error carrying the server's message.
+//
+// For pipelined throughput (the bench), send_edits()/await_edited() split
+// apply() into its fire and collect halves so many EDIT frames can be in
+// flight at once.
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "inc/edit.hpp"
+#include "serve/protocol.hpp"
+
+namespace sfcp::serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects, exchanges handshake magics and verifies the peer speaks
+  /// `sfcp-wire v1`.  Throws std::runtime_error on refusal or a foreign
+  /// magic.
+  static Client connect(const std::string& host, std::uint16_t port);
+
+  bool is_open() const noexcept { return fd_ >= 0; }
+  void close();
+
+  /// Sends the edits and blocks for the EDITED ack; returns the epoch the
+  /// batch landed in.
+  u64 apply(std::span<const inc::Edit> edits);
+
+  struct ViewInfo {
+    u64 epoch = 0;
+    u32 n = 0;
+    u32 num_classes = 0;
+  };
+  ViewInfo view();
+
+  u32 class_of(u32 node);
+  std::vector<u32> members(u32 cls);
+
+  struct Labels {
+    u64 epoch = 0;
+    u32 num_classes = 0;
+    std::vector<u32> labels;  ///< canonical per-node labels, n entries
+  };
+  Labels labels();
+
+  /// STATS frame: named u64 counters, in server order.
+  std::vector<std::pair<std::string, u64>> stats();
+
+  /// Asks the server to checkpoint (empty path = its configured one);
+  /// returns the checkpointed epoch.
+  u64 checkpoint(const std::string& path = "");
+
+  /// Registers for the change feed; returns the current served epoch.
+  u64 subscribe();
+
+  /// Next queued/arriving Notify; blocks up to timeout_ms (<0 = forever,
+  /// 0 = drain queued + already-received bytes only).  std::nullopt on
+  /// timeout.
+  std::optional<Notification> next_notification(int timeout_ms);
+
+  // ---- pipelining (bench) ------------------------------------------------
+
+  /// Fires an EDIT frame without waiting for its ack.
+  void send_edits(std::span<const inc::Edit> edits);
+
+  /// Collects one outstanding EDITED ack (FIFO); returns its epoch.
+  u64 await_edited();
+
+ private:
+  explicit Client(int fd);
+  void send_frame_(FrameType type, std::string_view payload);
+  void send_raw_(const char* data, std::size_t len);
+  /// Blocks until a non-Notify frame arrives (Notifys are queued); throws
+  /// on Error frames and on connection loss.
+  Frame await_response_(FrameType expected);
+  bool fill_(int timeout_ms);  ///< one blocking read; false on timeout
+
+  int fd_ = -1;
+  FrameSplitter in_;
+  std::deque<Notification> notifications_;
+};
+
+}  // namespace sfcp::serve

@@ -1,0 +1,163 @@
+#include "serve/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+namespace sfcp::serve {
+namespace {
+
+[[noreturn]] void fail_io(const std::string& path, const char* what) {
+  throw std::runtime_error("serve::Journal: " + std::string(what) + " failed for '" + path +
+                           "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+FsyncPolicy parse_fsync_policy(std::string_view name) {
+  if (name == "always") return FsyncPolicy::Always;
+  if (name == "epoch") return FsyncPolicy::Epoch;
+  if (name == "off") return FsyncPolicy::Off;
+  throw std::invalid_argument("unknown fsync policy '" + std::string(name) +
+                              "' (expected always|epoch|off)");
+}
+
+std::string_view fsync_policy_name(FsyncPolicy p) noexcept {
+  switch (p) {
+    case FsyncPolicy::Always: return "always";
+    case FsyncPolicy::Epoch: return "epoch";
+    case FsyncPolicy::Off: return "off";
+  }
+  return "?";
+}
+
+Journal::Journal(std::string path, FsyncPolicy fsync)
+    : path_(std::move(path)), fsync_(fsync) {
+  // Scan whatever is already there (stream reads are fine for the cold
+  // recovery pass; the hot append path below uses the fd directly).
+  u64 valid_bytes = 0;
+  bool existing = false;
+  {
+    std::ifstream is(path_, std::ios::binary);
+    if (is) {
+      is.peek();
+      if (!is.eof()) {
+        existing = true;
+        util::JournalScan scan = util::scan_journal(is);
+        recovered_ = std::move(scan.records);
+        torn_ = scan.torn;
+        tear_error_ = std::move(scan.error);
+        valid_bytes = scan.valid_bytes;
+      }
+    }
+  }
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT, 0644);
+  if (fd_ < 0) fail_io(path_, "open");
+  if (existing) {
+    // Truncate the torn tail (no-op when intact) and append after the good
+    // prefix.
+    if (::ftruncate(fd_, static_cast<off_t>(valid_bytes)) != 0) fail_io(path_, "ftruncate");
+    if (::lseek(fd_, 0, SEEK_END) < 0) fail_io(path_, "lseek");
+    bytes_ = valid_bytes;
+  } else {
+    const auto magic = util::journal_magic();
+    if (::write(fd_, magic.data(), magic.size()) !=
+        static_cast<ssize_t>(magic.size())) {
+      fail_io(path_, "write header");
+    }
+    bytes_ = magic.size();
+    do_fsync_();
+  }
+}
+
+Journal::~Journal() { close_(); }
+
+Journal::Journal(Journal&& other) noexcept
+    : path_(std::move(other.path_)),
+      fsync_(other.fsync_),
+      fd_(std::exchange(other.fd_, -1)),
+      recovered_(std::move(other.recovered_)),
+      torn_(other.torn_),
+      tear_error_(std::move(other.tear_error_)),
+      bytes_(other.bytes_),
+      appended_(other.appended_),
+      fsyncs_(other.fsyncs_) {}
+
+Journal& Journal::operator=(Journal&& other) noexcept {
+  if (this != &other) {
+    close_();
+    path_ = std::move(other.path_);
+    fsync_ = other.fsync_;
+    fd_ = std::exchange(other.fd_, -1);
+    recovered_ = std::move(other.recovered_);
+    torn_ = other.torn_;
+    tear_error_ = std::move(other.tear_error_);
+    bytes_ = other.bytes_;
+    appended_ = other.appended_;
+    fsyncs_ = other.fsyncs_;
+  }
+  return *this;
+}
+
+void Journal::close_() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Journal::do_fsync_() {
+  if (::fsync(fd_) != 0) fail_io(path_, "fsync");
+  ++fsyncs_;
+}
+
+void Journal::append(const util::JournalRecord& rec) {
+  const std::string framed = util::encode_journal_record(rec);
+  std::size_t off = 0;
+  while (off < framed.size()) {
+    const ssize_t w = ::write(fd_, framed.data() + off, framed.size() - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      fail_io(path_, "write");
+    }
+    off += static_cast<std::size_t>(w);
+  }
+  bytes_ += framed.size();
+  ++appended_;
+  if (fsync_ == FsyncPolicy::Always) do_fsync_();
+}
+
+void Journal::sync_epoch() {
+  if (fsync_ == FsyncPolicy::Epoch) do_fsync_();
+}
+
+void Journal::reset() {
+  const auto magic = util::journal_magic();
+  if (::ftruncate(fd_, static_cast<off_t>(magic.size())) != 0) fail_io(path_, "ftruncate");
+  if (::lseek(fd_, 0, SEEK_END) < 0) fail_io(path_, "lseek");
+  bytes_ = magic.size();
+  do_fsync_();
+}
+
+u64 Journal::replay(Engine& engine, u64* skipped) {
+  const u64 floor = engine.epoch();
+  u64 replayed = 0;
+  for (const util::JournalRecord& rec : recovered_) {
+    if (rec.epoch < floor) {
+      if (skipped != nullptr) ++*skipped;
+      continue;
+    }
+    engine.apply(rec.edits);
+    ++replayed;
+  }
+  recovered_.clear();
+  recovered_.shrink_to_fit();
+  return replayed;
+}
+
+}  // namespace sfcp::serve

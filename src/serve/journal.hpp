@@ -1,0 +1,102 @@
+#pragma once
+// serve::Journal — the write-ahead edit log behind a durable serve::Server.
+//
+// Every accepted EDIT frame is appended as one `sfcp-journal v1` record
+// (util/io.hpp owns the byte format) BEFORE the edits reach the engine, so a
+// crash between accept and apply loses nothing.  Opening an existing journal
+// scans it, keeps the intact prefix for replay and truncates a torn tail in
+// place (a crashed writer legitimately leaves one — it is recovery data, not
+// corruption).  Durability is a policy knob:
+//
+//   FsyncPolicy::Always  fsync after every appended record (strongest, slow)
+//   FsyncPolicy::Epoch   fsync once per epoch flush (the default)
+//   FsyncPolicy::Off     never fsync; the OS page cache decides
+//
+// After an auto-checkpoint the journal resets to just its header — the
+// checkpoint now owns everything the log carried.  Records store the
+// engine's pre-batch epoch, so replay onto a checkpoint restored at epoch E
+// simply skips records with epoch < E (see replay()).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine.hpp"
+#include "util/io.hpp"
+
+namespace sfcp::serve {
+
+enum class FsyncPolicy {
+  Always,
+  Epoch,
+  Off,
+};
+
+/// Parses "always" / "epoch" / "off"; throws std::invalid_argument otherwise.
+FsyncPolicy parse_fsync_policy(std::string_view name);
+std::string_view fsync_policy_name(FsyncPolicy p) noexcept;
+
+class Journal {
+ public:
+  Journal() = default;
+  /// Opens (creating if absent) the journal at `path`.  An existing file is
+  /// scanned; intact records are exposed through recovered() and a torn tail
+  /// is truncated away (tail_was_torn()/tear_error() report it).  Throws
+  /// std::runtime_error on IO failure or a foreign file.
+  Journal(std::string path, FsyncPolicy fsync);
+  ~Journal();
+
+  Journal(Journal&& other) noexcept;
+  Journal& operator=(Journal&& other) noexcept;
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  bool is_open() const noexcept { return fd_ >= 0; }
+  const std::string& path() const noexcept { return path_; }
+  FsyncPolicy fsync_policy() const noexcept { return fsync_; }
+
+  /// Records recovered from the file at open (empty for a fresh journal).
+  /// replay() consumes them; they are kept until then for inspection.
+  const std::vector<util::JournalRecord>& recovered() const noexcept { return recovered_; }
+  bool tail_was_torn() const noexcept { return torn_; }
+  const std::string& tear_error() const noexcept { return tear_error_; }
+
+  /// Appends one record (write-ahead: call before Engine::apply); fsyncs
+  /// under FsyncPolicy::Always.  Throws std::runtime_error on IO failure.
+  void append(const util::JournalRecord& rec);
+
+  /// Epoch-flush barrier: fsyncs under FsyncPolicy::Epoch.
+  void sync_epoch();
+
+  /// Truncates back to just the header (after a checkpoint absorbed the log)
+  /// and fsyncs regardless of policy — a reset must never outrun the
+  /// checkpoint it pairs with.
+  void reset();
+
+  u64 bytes() const noexcept { return bytes_; }
+  u64 appended_records() const noexcept { return appended_; }
+  u64 fsyncs() const noexcept { return fsyncs_; }
+
+  /// Replays this journal's recovered records onto `engine`, skipping those
+  /// the engine's current state already reflects (record epoch < the
+  /// engine's epoch at entry — the checkpoint rule).  Returns the number
+  /// replayed; adds skipped count to *skipped when given.  Consumes the
+  /// recovered list.
+  u64 replay(Engine& engine, u64* skipped = nullptr);
+
+ private:
+  void close_() noexcept;
+  void do_fsync_();
+
+  std::string path_;
+  FsyncPolicy fsync_ = FsyncPolicy::Epoch;
+  int fd_ = -1;
+  std::vector<util::JournalRecord> recovered_;
+  bool torn_ = false;
+  std::string tear_error_;
+  u64 bytes_ = 0;
+  u64 appended_ = 0;
+  u64 fsyncs_ = 0;
+};
+
+}  // namespace sfcp::serve

@@ -1,0 +1,218 @@
+#include "serve/protocol.hpp"
+
+#include <array>
+#include <cstring>
+#include <stdexcept>
+
+namespace sfcp::serve {
+namespace {
+
+constexpr std::array<unsigned char, 8> kWireMagicBytes = {0x7f, 's', 'f', 'c',
+                                                          'w', 'v', '1', '\n'};
+
+[[noreturn]] void fail_truncated(const char* what) {
+  throw std::runtime_error(std::string("sfcp-wire: truncated ") + what);
+}
+
+}  // namespace
+
+std::span<const unsigned char, 8> wire_magic() noexcept { return kWireMagicBytes; }
+
+std::string_view frame_type_name(FrameType t) noexcept {
+  switch (t) {
+    case FrameType::kEdit: return "Edit";
+    case FrameType::kView: return "View";
+    case FrameType::kClassOf: return "ClassOf";
+    case FrameType::kMembers: return "Members";
+    case FrameType::kLabels: return "Labels";
+    case FrameType::kStats: return "Stats";
+    case FrameType::kCheckpoint: return "Checkpoint";
+    case FrameType::kSubscribe: return "Subscribe";
+    case FrameType::kError: return "Error";
+    case FrameType::kEdited: return "Edited";
+    case FrameType::kViewInfo: return "ViewInfo";
+    case FrameType::kClass: return "Class";
+    case FrameType::kMembersData: return "MembersData";
+    case FrameType::kLabelsData: return "LabelsData";
+    case FrameType::kStatsData: return "StatsData";
+    case FrameType::kOk: return "Ok";
+    case FrameType::kNotify: return "Notify";
+  }
+  return "?";
+}
+
+// ---- PayloadWriter -------------------------------------------------------
+
+void PayloadWriter::put_u32(u32 v) {
+  char b[4] = {static_cast<char>(v & 0xff), static_cast<char>((v >> 8) & 0xff),
+               static_cast<char>((v >> 16) & 0xff), static_cast<char>((v >> 24) & 0xff)};
+  buf_.append(b, 4);
+}
+
+void PayloadWriter::put_u64(u64 v) {
+  put_u32(static_cast<u32>(v & 0xffffffffu));
+  put_u32(static_cast<u32>(v >> 32));
+}
+
+void PayloadWriter::put_bytes(const void* data, std::size_t len) {
+  buf_.append(static_cast<const char*>(data), len);
+}
+
+// ---- PayloadReader -------------------------------------------------------
+
+u8 PayloadReader::get_u8(const char* what) {
+  if (remaining() < 1) fail_truncated(what);
+  return static_cast<u8>(data_[pos_++]);
+}
+
+u32 PayloadReader::get_u32(const char* what) {
+  if (remaining() < 4) fail_truncated(what);
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(data_.data()) + pos_;
+  pos_ += 4;
+  return static_cast<u32>(p[0]) | (static_cast<u32>(p[1]) << 8) |
+         (static_cast<u32>(p[2]) << 16) | (static_cast<u32>(p[3]) << 24);
+}
+
+u64 PayloadReader::get_u64(const char* what) {
+  const u64 lo = get_u32(what);
+  const u64 hi = get_u32(what);
+  return lo | (hi << 32);
+}
+
+std::string_view PayloadReader::get_bytes(std::size_t len, const char* what) {
+  if (remaining() < len) fail_truncated(what);
+  std::string_view out = data_.substr(pos_, len);
+  pos_ += len;
+  return out;
+}
+
+void PayloadReader::expect_end(const char* context) const {
+  if (remaining() != 0) {
+    throw std::runtime_error(std::string("sfcp-wire: ") + context + ": " +
+                             std::to_string(remaining()) + " trailing payload bytes");
+  }
+}
+
+// ---- framing -------------------------------------------------------------
+
+void append_frame(std::string& out, FrameType type, std::string_view payload) {
+  if (payload.size() >= kMaxFramePayload) {
+    throw std::runtime_error("sfcp-wire: frame payload too large (" +
+                             std::to_string(payload.size()) + " bytes)");
+  }
+  const u32 len = static_cast<u32>(1 + payload.size());
+  const char b[4] = {static_cast<char>(len & 0xff), static_cast<char>((len >> 8) & 0xff),
+                     static_cast<char>((len >> 16) & 0xff),
+                     static_cast<char>((len >> 24) & 0xff)};
+  out.append(b, 4);
+  out.push_back(static_cast<char>(type));
+  out.append(payload);
+}
+
+void append_magic(std::string& out) {
+  out.append(reinterpret_cast<const char*>(kWireMagicBytes.data()), kWireMagicBytes.size());
+}
+
+// ---- shared payload codecs -----------------------------------------------
+
+std::string encode_edit_request(std::span<const inc::Edit> edits) {
+  PayloadWriter w;
+  w.put_u32(static_cast<u32>(edits.size()));
+  for (const inc::Edit& e : edits) {
+    w.put_u8(e.kind == inc::Edit::Kind::SetF ? 0 : 1);
+    w.put_u32(e.node);
+    w.put_u32(e.value);
+  }
+  return w.take();
+}
+
+std::vector<inc::Edit> decode_edit_request(std::string_view payload) {
+  PayloadReader r(payload);
+  const u32 count = r.get_u32("edit count");
+  if (static_cast<std::size_t>(count) * 9 != r.remaining()) {
+    throw std::runtime_error("sfcp-wire: Edit frame length does not match edit count");
+  }
+  std::vector<inc::Edit> edits;
+  edits.reserve(count);
+  for (u32 i = 0; i < count; ++i) {
+    const u8 kind = r.get_u8("edit kind");
+    if (kind > 1) {
+      throw std::runtime_error("sfcp-wire: unknown edit kind " + std::to_string(kind));
+    }
+    const u32 node = r.get_u32("edit node");
+    const u32 value = r.get_u32("edit value");
+    edits.push_back(kind == 0 ? inc::Edit::set_f(node, value)
+                              : inc::Edit::set_b(node, value));
+  }
+  return edits;
+}
+
+std::string encode_error(std::string_view message) {
+  PayloadWriter w;
+  w.put_u32(static_cast<u32>(message.size()));
+  w.put_bytes(message.data(), message.size());
+  return w.take();
+}
+
+std::string decode_error(std::string_view payload) {
+  PayloadReader r(payload);
+  const u32 len = r.get_u32("error length");
+  std::string msg(r.get_bytes(len, "error message"));
+  r.expect_end("Error frame");
+  return msg;
+}
+
+std::string encode_notify(u64 epoch, bool full, std::span<const u32> classes) {
+  PayloadWriter w;
+  w.put_u64(epoch);
+  w.put_u8(full ? 1 : 0);
+  w.put_u32(static_cast<u32>(classes.size()));
+  for (u32 c : classes) w.put_u32(c);
+  return w.take();
+}
+
+Notification decode_notify(std::string_view payload) {
+  PayloadReader r(payload);
+  Notification n;
+  n.epoch = r.get_u64("notify epoch");
+  n.full = r.get_u8("notify full flag") != 0;
+  const u32 count = r.get_u32("notify class count");
+  n.classes.reserve(count);
+  for (u32 i = 0; i < count; ++i) n.classes.push_back(r.get_u32("notify class id"));
+  r.expect_end("Notify frame");
+  return n;
+}
+
+// ---- FrameSplitter -------------------------------------------------------
+
+std::optional<Frame> FrameSplitter::next() {
+  if (expect_magic_) {
+    if (buf_.size() - pos_ < kWireMagicBytes.size()) return std::nullopt;
+    if (std::memcmp(buf_.data() + pos_, kWireMagicBytes.data(), kWireMagicBytes.size()) !=
+        0) {
+      throw std::runtime_error("sfcp-wire: bad handshake magic (not an sfcp-wire v1 peer)");
+    }
+    pos_ += kWireMagicBytes.size();
+    expect_magic_ = false;
+  }
+  if (buf_.size() - pos_ < 4) return std::nullopt;
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(buf_.data()) + pos_;
+  const u32 len = static_cast<u32>(p[0]) | (static_cast<u32>(p[1]) << 8) |
+                  (static_cast<u32>(p[2]) << 16) | (static_cast<u32>(p[3]) << 24);
+  if (len == 0 || len > kMaxFramePayload) {
+    throw std::runtime_error("sfcp-wire: implausible frame length " + std::to_string(len));
+  }
+  if (buf_.size() - pos_ < 4 + static_cast<std::size_t>(len)) return std::nullopt;
+  Frame f;
+  f.type = static_cast<FrameType>(static_cast<u8>(buf_[pos_ + 4]));
+  f.payload.assign(buf_, pos_ + 5, len - 1);
+  pos_ += 4 + static_cast<std::size_t>(len);
+  // Compact once the consumed prefix dominates, keeping feed() amortized O(1).
+  if (pos_ > 4096 && pos_ * 2 >= buf_.size()) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  return f;
+}
+
+}  // namespace sfcp::serve

@@ -1,0 +1,163 @@
+#pragma once
+// `sfcp-wire v1` — the length-prefixed binary protocol serve::Server and
+// serve::Client speak over a byte stream (TCP or an in-process loopback).
+//
+// Handshake: each side sends the 8-byte magic 7F 's' 'f' 'c' 'w' 'v' '1' 0A
+// before any frame and verifies its peer's.  A future v2 bumps the magic, so
+// version mismatch is detected before any frame is parsed.
+//
+// Frame: [u32 len][u8 type][payload] with len = 1 + payload bytes; every
+// integer little-endian.  Payload layouts per type:
+//
+// Requests (client -> server):
+//   Edit       u32 count, count x (u8 kind: 0 set_f / 1 set_b, u32 node, u32 value)
+//   View       (empty)
+//   ClassOf    u32 node
+//   Members    u32 class
+//   Labels     (empty)
+//   Stats      (empty)
+//   Checkpoint u32 path_len, path bytes (empty = the server's configured path)
+//   Subscribe  (empty)
+//
+// Responses (server -> client):
+//   Error       u32 msg_len, msg bytes (a request never fails silently)
+//   Edited      u64 epoch, u32 accepted — deferred to the epoch flush, so the
+//               ack carries the epoch the batch landed in
+//   ViewInfo    u64 epoch, u32 n, u32 num_classes
+//   Class       u64 epoch, u32 class_id
+//   MembersData u64 epoch, u32 count, u32[count] member nodes (ascending)
+//   LabelsData  u64 epoch, u32 num_classes, u32 n, u32[n] canonical labels
+//   StatsData   u32 count, count x ([u8 key_len][key bytes][u64 value])
+//   Ok          u64 epoch
+//   Notify      u64 epoch, u8 full, u32 count, u32[count] changed canonical
+//               class ids — the SUBSCRIBE stream; full = 1 downgrades to a
+//               whole-partition refresh (count == 0)
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "inc/edit.hpp"
+#include "pram/types.hpp"
+
+namespace sfcp::serve {
+
+/// The 8-byte magic both peers exchange at connect.
+std::span<const unsigned char, 8> wire_magic() noexcept;
+
+/// Upper bound on a frame payload (guards the length prefix against
+/// corrupt/hostile peers before any allocation happens).
+inline constexpr u32 kMaxFramePayload = 1u << 28;
+
+enum class FrameType : u8 {
+  // requests
+  kEdit = 0x01,
+  kView = 0x02,
+  kClassOf = 0x03,
+  kMembers = 0x04,
+  kLabels = 0x05,
+  kStats = 0x06,
+  kCheckpoint = 0x07,
+  kSubscribe = 0x08,
+  // responses
+  kError = 0x40,
+  kEdited = 0x41,
+  kViewInfo = 0x42,
+  kClass = 0x43,
+  kMembersData = 0x44,
+  kLabelsData = 0x45,
+  kStatsData = 0x46,
+  kOk = 0x47,
+  kNotify = 0x48,
+};
+
+/// Human-readable frame-type name ("Edit", "Notify", ...; "?" when unknown).
+std::string_view frame_type_name(FrameType t) noexcept;
+
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::string payload;
+};
+
+// ---- payload building / parsing ------------------------------------------
+
+/// Little-endian payload builder; append-only into an owned buffer.
+class PayloadWriter {
+ public:
+  void put_u8(u8 v) { buf_.push_back(static_cast<char>(v)); }
+  void put_u32(u32 v);
+  void put_u64(u64 v);
+  void put_bytes(const void* data, std::size_t len);
+  const std::string& str() const noexcept { return buf_; }
+  std::string take() noexcept { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+/// Little-endian payload parser over a borrowed buffer.  Throws
+/// std::runtime_error("sfcp-wire: truncated <what>") when the payload runs
+/// out mid-field, so malformed frames fail with a named field.
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::string_view payload) : data_(payload) {}
+  u8 get_u8(const char* what);
+  u32 get_u32(const char* what);
+  u64 get_u64(const char* what);
+  std::string_view get_bytes(std::size_t len, const char* what);
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  /// Throws when bytes remain — a well-formed frame is consumed exactly.
+  void expect_end(const char* context) const;
+
+ private:
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+/// Appends one framed message ([len][type][payload]) to `out`.
+void append_frame(std::string& out, FrameType type, std::string_view payload);
+
+/// Appends the wire magic (the connect handshake) to `out`.
+void append_magic(std::string& out);
+
+// ---- shared payload codecs -----------------------------------------------
+// The layouts both peers (and the tests) must agree on, kept in one place.
+
+std::string encode_edit_request(std::span<const inc::Edit> edits);
+std::vector<inc::Edit> decode_edit_request(std::string_view payload);
+
+std::string encode_error(std::string_view message);
+std::string decode_error(std::string_view payload);
+
+std::string encode_notify(u64 epoch, bool full, std::span<const u32> classes);
+struct Notification {
+  u64 epoch = 0;
+  bool full = true;            ///< whole-partition refresh owed
+  std::vector<u32> classes;    ///< changed canonical class ids (empty when full)
+};
+Notification decode_notify(std::string_view payload);
+
+// ---- incremental frame extraction ----------------------------------------
+
+/// Reassembles frames from an arbitrarily chunked byte stream (non-blocking
+/// reads deliver partial frames).  feed() appends bytes; next() pops the
+/// earliest complete frame, handling the handshake magic first.  Throws
+/// std::runtime_error on a foreign magic or an implausible length prefix —
+/// the connection is then unrecoverable and should be closed.
+class FrameSplitter {
+ public:
+  void feed(const char* data, std::size_t len) { buf_.append(data, len); }
+  std::optional<Frame> next();
+  /// Whether the peer's handshake magic has been consumed and verified.
+  bool handshaken() const noexcept { return !expect_magic_; }
+  std::size_t buffered() const noexcept { return buf_.size(); }
+
+ private:
+  std::string buf_;
+  std::size_t pos_ = 0;  ///< consumed prefix, compacted lazily
+  bool expect_magic_ = true;
+};
+
+}  // namespace sfcp::serve

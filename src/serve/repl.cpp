@@ -1,0 +1,137 @@
+#include "serve/repl.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "util/io.hpp"
+
+namespace sfcp::serve {
+namespace {
+
+/// Sends a batch and reports the landing epoch + resulting class count the
+/// way the pre-wire REPL did.
+void apply_and_report(Client& client, std::span<const inc::Edit> edits, std::ostream& out,
+                      const ReplHooks& hooks) {
+  const u64 epoch = client.apply(edits);
+  if (hooks.on_edits) hooks.on_edits(edits);
+  const Client::ViewInfo v = client.view();
+  out << "applied " << edits.size() << (edits.size() == 1 ? " edit" : " edits")
+      << " classes=" << v.num_classes << " epoch=" << epoch << "\n";
+}
+
+}  // namespace
+
+void print_serve_help(std::ostream& out) {
+  out << "serving commands (over sfcp-wire):\n"
+         "  setf <x> <y>             f[x] <- y\n"
+         "  setb <x> <label>         b[x] <- label\n"
+         "  edits <path>             apply an sfcp-edits v1 file\n"
+         "  classof <x>              canonical class of x (alias: query)\n"
+         "  members <c>              nodes of class c\n"
+         "  blocks                   current class count\n"
+         "  view                     served epoch / n / class count\n"
+         "  stats                    server + engine counters\n"
+         "  checkpoint [path]        server-side checkpoint (default: its configured path)\n"
+         "  subscribe                join the change-notification feed\n"
+         "  await [timeout_ms]       wait for the next change notification\n"
+         "  quit\n";
+}
+
+ReplResult run_serve_command(Client& client, const std::string& line, std::ostream& out,
+                             const ReplHooks& hooks) {
+  std::istringstream ss(line);
+  std::string cmd;
+  if (!(ss >> cmd) || cmd.empty() || cmd[0] == '#') return ReplResult::Handled;
+  if (cmd == "quit" || cmd == "exit") return ReplResult::Quit;
+
+  try {
+    if (cmd == "setf" || cmd == "setb") {
+      u32 x = 0, v = 0;
+      if (!(ss >> x >> v)) {
+        out << "usage: " << cmd << " <x> <value>\n";
+        return ReplResult::Handled;
+      }
+      const inc::Edit e = cmd == "setf" ? inc::Edit::set_f(x, v) : inc::Edit::set_b(x, v);
+      apply_and_report(client, {&e, 1}, out, hooks);
+    } else if (cmd == "edits") {
+      std::string path;
+      ss >> path;
+      const std::vector<inc::Edit> stream = util::load_edits_file(path);
+      apply_and_report(client, stream, out, hooks);
+    } else if (cmd == "classof" || cmd == "query") {
+      u32 x = 0;
+      if (!(ss >> x)) {
+        out << "usage: " << cmd << " <x>\n";
+        return ReplResult::Handled;
+      }
+      out << "class(" << x << ") = " << client.class_of(x) << "\n";
+    } else if (cmd == "members") {
+      u32 c = 0;
+      if (!(ss >> c)) {
+        out << "usage: members <c>\n";
+        return ReplResult::Handled;
+      }
+      const std::vector<u32> members = client.members(c);
+      out << "class " << c << " (" << members.size()
+          << (members.size() == 1 ? " node):" : " nodes):");
+      const std::size_t shown = std::min<std::size_t>(members.size(), 16);
+      for (std::size_t i = 0; i < shown; ++i) out << ' ' << members[i];
+      if (shown < members.size()) out << " ... (+" << members.size() - shown << ")";
+      out << "\n";
+    } else if (cmd == "blocks") {
+      out << "classes = " << client.view().num_classes << "\n";
+    } else if (cmd == "view") {
+      const Client::ViewInfo v = client.view();
+      out << "epoch=" << v.epoch << " n=" << v.n << " classes=" << v.num_classes << "\n";
+    } else if (cmd == "stats") {
+      for (const auto& [key, value] : client.stats()) {
+        out << key << "=" << value << "\n";
+      }
+    } else if (cmd == "checkpoint") {
+      std::string path;
+      ss >> path;
+      const u64 epoch = client.checkpoint(path);
+      out << "checkpoint written"
+          << (path.empty() ? std::string(" (server path)") : " to " + path)
+          << " at epoch " << epoch << "\n";
+    } else if (cmd == "subscribe") {
+      const u64 epoch = client.subscribe();
+      out << "subscribed at epoch " << epoch << "\n";
+    } else if (cmd == "await") {
+      int timeout_ms = 1000;
+      ss >> timeout_ms;
+      const auto n = client.next_notification(timeout_ms);
+      if (!n) {
+        out << "no notification within " << timeout_ms << " ms\n";
+      } else if (n->full) {
+        out << "notify: epoch=" << n->epoch << " full partition refresh\n";
+      } else {
+        out << "notify: epoch=" << n->epoch << " changed classes (" << n->classes.size()
+            << "):";
+        const std::size_t shown = std::min<std::size_t>(n->classes.size(), 16);
+        for (std::size_t i = 0; i < shown; ++i) out << ' ' << n->classes[i];
+        if (shown < n->classes.size()) {
+          out << " ... (+" << n->classes.size() - shown << ")";
+        }
+        out << "\n";
+      }
+    } else {
+      return ReplResult::Unknown;
+    }
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    // Server-reported errors (bad node, not checkpointable, ...) are REPL
+    // output; transport failures must reach the caller.
+    if (what.find("server error") == std::string::npos &&
+        what.find("sfcp-edits") == std::string::npos &&
+        what.find("cannot open") == std::string::npos) {
+      throw;
+    }
+    out << "error: " << what << "\n";
+  }
+  return ReplResult::Handled;
+}
+
+}  // namespace sfcp::serve

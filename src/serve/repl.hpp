@@ -1,0 +1,41 @@
+#pragma once
+// serve::repl — the shared serving-command dispatcher behind `sfcp_cli
+// connect` and examples/incremental_server: one parser for every command
+// that talks `sfcp-wire v1` through a serve::Client, so the two front ends
+// cannot drift apart.  Front ends keep only their own lifecycle commands
+// (gen/load/engine/... in incremental_server) and fall through here first.
+
+#include <functional>
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "inc/edit.hpp"
+#include "serve/client.hpp"
+
+namespace sfcp::serve {
+
+enum class ReplResult {
+  Handled,  ///< the line was a serving command and was executed
+  Quit,     ///< quit/exit
+  Unknown,  ///< not a serving command — the caller's turn
+};
+
+struct ReplHooks {
+  /// Called after the server acked a batch this dispatcher sent (setf /
+  /// setb / edits); incremental_server mirrors the edits into its local
+  /// instance copy so `save` stays accurate.
+  std::function<void(std::span<const inc::Edit>)> on_edits;
+};
+
+/// Prints the serving-command section of `help`.
+void print_serve_help(std::ostream& out);
+
+/// Executes one REPL line against the connected client.  Serving errors
+/// (server Error frames, bad arguments) are printed to `out`, never thrown;
+/// connection loss propagates as std::runtime_error so the caller can
+/// reconnect or bail.
+ReplResult run_serve_command(Client& client, const std::string& line, std::ostream& out,
+                             const ReplHooks& hooks = {});
+
+}  // namespace sfcp::serve

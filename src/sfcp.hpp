@@ -58,6 +58,12 @@
 // crossovers from (pram::CostModel; --policy adaptive in sfcp_cli).
 // Engine::serving_stats() reports the delta and policy counters.
 //
+// Serving over the network: serve::Server puts any engine behind a durable
+// epoch-batched TCP front end speaking `sfcp-wire v1` (serve/protocol.hpp)
+// with an `sfcp-journal v1` write-ahead log + auto-checkpoint recovery
+// (serve/journal.hpp); serve::Client is its blocking peer.  `sfcp_cli
+// serve`/`connect` drive it from the shell.
+//
 // Strategy selection: sfcp::registry() enumerates every cycle-detect x
 // cycle-structure x tree-labelling combination ("euler-jump-level", ...)
 // plus the "parallel" and "sequential" aliases — see core/registry.hpp.
@@ -100,6 +106,10 @@
 #include "prim/merge.hpp"
 #include "prim/rename.hpp"
 #include "prim/scan.hpp"
+#include "serve/client.hpp"
+#include "serve/journal.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
 #include "shard/sharded_engine.hpp"
 #include "strings/lyndon.hpp"
 #include "strings/matching.hpp"

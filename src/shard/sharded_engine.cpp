@@ -492,7 +492,17 @@ core::PartitionView ShardedEngine::view() {
     last_view_ = core::PartitionView::from_raw(std::move(raw), next_global_, live_globals_,
                                                epoch_, counters);
     root_stale_ = false;
+    view_delta_full_ = true;
+    view_delta_nodes_.clear();
   } else {
+    if (!view_delta_full_) {
+      view_delta_nodes_.insert(view_delta_nodes_.end(), patch_nodes_buf_.begin(),
+                               patch_nodes_buf_.end());
+      if (view_delta_nodes_.size() >= n) {
+        view_delta_full_ = true;  // past n nodes a full refresh is cheaper
+        view_delta_nodes_.clear();
+      }
+    }
     last_view_ =
         core::PartitionView::patched(last_view_, std::move(patch_nodes_buf_),
                                      std::move(patch_labels_buf_), next_global_, live_globals_,
@@ -502,6 +512,16 @@ core::PartitionView ShardedEngine::view() {
   }
   ++stats_.merged_views;
   return last_view_;
+}
+
+inc::ViewDelta ShardedEngine::take_view_delta() {
+  inc::ViewDelta d;
+  d.epoch = last_view_.epoch();
+  d.full = view_delta_full_;
+  d.nodes = std::move(view_delta_nodes_);
+  view_delta_nodes_.clear();
+  view_delta_full_ = false;
+  return d;
 }
 
 EngineStats ShardedEngine::serving_stats() const {

@@ -185,6 +185,11 @@ class ShardedEngine final : public Engine {
 
   EngineStats serving_stats() const override;
 
+  /// Notification window across the global views published since the last
+  /// take (inc::ViewDelta semantics: relabelled global nodes, or a
+  /// whole-partition downgrade when any view re-rooted).
+  inc::ViewDelta take_view_delta() override;
+
  private:
   /// One live raw local label's stake in the global merge maps.
   struct Assign {
@@ -276,6 +281,11 @@ class ShardedEngine final : public Engine {
   u64 epoch_ = 0;
   core::PartitionView last_view_;
   bool root_stale_ = true;
+
+  // Notification window (take_view_delta): global nodes the published
+  // views' patches carried; full when any of them was a fresh root.
+  std::vector<u32> view_delta_nodes_;
+  bool view_delta_full_ = true;
 
   pram::CostModel reshard_fit_;  ///< migrate-vs-reshard fit (units = moved nodes)
   // Migrations and reshards replace shard solvers; their lifetime counters

@@ -27,6 +27,16 @@ constexpr const char* kEditsVersion = "v1";
 constexpr unsigned char kCheckpointMagicBytes[8] = {0x7f, 's', 'f', 'c', 'k', 'v', '1', '\n'};
 constexpr unsigned char kCheckpointShardedMagicBytes[8] = {0x7f, 's', 'f', 'c',
                                                            'k', 's', '1', '\n'};
+constexpr unsigned char kJournalMagicBytes[8] = {0x7f, 's', 'f', 'c', 'j', 'v', '1', '\n'};
+
+// Journal record payload: epoch (8) + count (4) + count * (kind 1 + node 4
+// + value 4); the length prefix and trailing CRC add 8 more framed bytes.
+constexpr std::size_t kJournalPayloadHeader = 12;
+constexpr std::size_t kJournalBytesPerEdit = 9;
+// One record mirrors one accepted wire EDIT frame, whose payload is capped
+// at 2^28 bytes — so larger length prefixes are corruption, not data, and
+// are rejected before any allocation.
+constexpr u64 kMaxJournalPayload = u64{1} << 28;
 
 graph::Instance load_instance_text(std::istream& is) {
   std::string magic, version;
@@ -161,6 +171,161 @@ void BinaryReader::get_u32_vector(u64 n, std::vector<u32>& out, const char* what
       for (std::size_t i = prev; i < prev + take; ++i) out[i] = get_u32(what);
     }
   }
+}
+
+// ---- edit journal (`sfcp-journal v1`) ------------------------------------
+
+std::span<const unsigned char, 8> journal_magic() noexcept {
+  return std::span<const unsigned char, 8>(kJournalMagicBytes);
+}
+
+namespace {
+
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table built once.
+struct Crc32Table {
+  u32 t[256];
+  Crc32Table() noexcept {
+    for (u32 i = 0; i < 256; ++i) {
+      u32 c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+  }
+};
+
+void put_le32(std::string& out, u32 v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+  out.push_back(static_cast<char>((v >> 16) & 0xff));
+  out.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+u32 get_le32(const unsigned char* p) noexcept {
+  return static_cast<u32>(p[0]) | (static_cast<u32>(p[1]) << 8) |
+         (static_cast<u32>(p[2]) << 16) | (static_cast<u32>(p[3]) << 24);
+}
+
+}  // namespace
+
+u32 crc32(const void* data, std::size_t len) noexcept {
+  static const Crc32Table table;
+  const auto* p = static_cast<const unsigned char*>(data);
+  u32 c = 0xffffffffu;
+  for (std::size_t i = 0; i < len; ++i) c = table.t[(c ^ p[i]) & 0xff] ^ (c >> 8);
+  return c ^ 0xffffffffu;
+}
+
+std::string encode_journal_record(const JournalRecord& rec) {
+  std::string payload;
+  payload.reserve(kJournalPayloadHeader + kJournalBytesPerEdit * rec.edits.size());
+  put_le32(payload, static_cast<u32>(rec.epoch));
+  put_le32(payload, static_cast<u32>(rec.epoch >> 32));
+  put_le32(payload, static_cast<u32>(rec.edits.size()));
+  for (const inc::Edit& e : rec.edits) {
+    payload.push_back(e.kind == inc::Edit::Kind::SetF ? '\x00' : '\x01');
+    put_le32(payload, e.node);
+    put_le32(payload, e.value);
+  }
+  std::string out;
+  out.reserve(payload.size() + 8);
+  put_le32(out, static_cast<u32>(payload.size()));
+  out += payload;
+  put_le32(out, crc32(payload.data(), payload.size()));
+  return out;
+}
+
+void write_journal_header(std::ostream& os) {
+  os.write(reinterpret_cast<const char*>(kJournalMagicBytes), 8);
+  if (!os) throw std::runtime_error("write_journal_header: write failed");
+}
+
+void append_journal_record(std::ostream& os, const JournalRecord& rec) {
+  const std::string bytes = encode_journal_record(rec);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!os) throw std::runtime_error("append_journal_record: write failed");
+}
+
+JournalScan scan_journal(std::istream& is) {
+  unsigned char magic[8];
+  is.read(reinterpret_cast<char*>(magic), 8);
+  if (is.gcount() != 8 || std::memcmp(magic, kJournalMagicBytes, 8) != 0) {
+    throw std::runtime_error("scan_journal: bad header (expected sfcp-journal v1 magic)");
+  }
+  JournalScan scan;
+  scan.valid_bytes = 8;
+  std::string payload;
+  const auto tear = [&scan](const std::string& what) {
+    scan.torn = true;
+    scan.error = what + " at byte offset " + std::to_string(scan.valid_bytes);
+  };
+  for (;;) {
+    unsigned char len_buf[4];
+    is.read(reinterpret_cast<char*>(len_buf), 4);
+    const std::streamsize got = is.gcount();
+    if (got == 0) break;  // clean end after the last whole record
+    if (got < 4) {
+      tear("truncated record length prefix");
+      break;
+    }
+    const u32 len = get_le32(len_buf);
+    if (len < kJournalPayloadHeader || static_cast<u64>(len) > kMaxJournalPayload) {
+      tear("implausible record length " + std::to_string(len));
+      break;
+    }
+    payload.resize(len);
+    is.read(payload.data(), static_cast<std::streamsize>(len));
+    if (is.gcount() != static_cast<std::streamsize>(len)) {
+      tear("record truncated mid-payload");
+      break;
+    }
+    unsigned char crc_buf[4];
+    is.read(reinterpret_cast<char*>(crc_buf), 4);
+    if (is.gcount() != 4) {
+      tear("record truncated mid-CRC");
+      break;
+    }
+    const auto* p = reinterpret_cast<const unsigned char*>(payload.data());
+    if (get_le32(crc_buf) != crc32(p, len)) {
+      tear("record CRC mismatch");
+      break;
+    }
+    JournalRecord rec;
+    rec.epoch = static_cast<u64>(get_le32(p)) | (static_cast<u64>(get_le32(p + 4)) << 32);
+    const u32 count = get_le32(p + 8);
+    if (static_cast<u64>(len) !=
+        kJournalPayloadHeader + kJournalBytesPerEdit * static_cast<u64>(count)) {
+      tear("record length/count mismatch");
+      break;
+    }
+    rec.edits.reserve(count);
+    bool bad_kind = false;
+    for (u32 i = 0; i < count && !bad_kind; ++i) {
+      const unsigned char* e = p + kJournalPayloadHeader + kJournalBytesPerEdit * i;
+      switch (e[0]) {
+        case 0:
+          rec.edits.push_back(inc::Edit::set_f(get_le32(e + 1), get_le32(e + 5)));
+          break;
+        case 1:
+          rec.edits.push_back(inc::Edit::set_b(get_le32(e + 1), get_le32(e + 5)));
+          break;
+        default:
+          bad_kind = true;
+      }
+    }
+    if (bad_kind) {
+      tear("unknown edit kind in record");
+      break;
+    }
+    scan.records.push_back(std::move(rec));
+    scan.valid_bytes += 4 + static_cast<u64>(len) + 4;
+  }
+  return scan;
+}
+
+std::vector<JournalRecord> load_journal(std::istream& is) {
+  JournalScan scan = scan_journal(is);
+  if (scan.torn) throw std::runtime_error("load_journal: " + scan.error);
+  return std::move(scan.records);
 }
 
 void save_instance(std::ostream& os, const graph::Instance& inst) {

@@ -89,6 +89,60 @@ std::vector<inc::Edit> load_edits(std::istream& is);
 void save_edits_file(const std::string& path, std::span<const inc::Edit> edits);
 std::vector<inc::Edit> load_edits_file(const std::string& path);
 
+// ---- edit journal (`sfcp-journal v1`) ------------------------------------
+// The durable, append-only binary flavour of the edit stream, written by
+// serve::Journal ahead of every accepted edit batch (write-ahead logging).
+// An 8-byte magic (7F 's' 'f' 'c' 'j' 'v' '1' 0A) opens the file; each
+// record is
+//
+//   [u32 payload_len][payload][u32 crc32(payload)]
+//
+// with payload = epoch (u64, the engine's edit clock BEFORE the batch —
+// replay skips records a checkpoint already reflects), count (u32), then
+// count x (u8 kind: 0 = set_f / 1 = set_b, u32 node, u32 value).  All
+// integers little-endian.  A crash can tear the tail mid-length-prefix,
+// mid-record or mid-CRC; scan_journal() stops at the first tear and reports
+// the byte offset of the bad record so recovery can truncate there.
+
+/// The 8-byte magic opening an `sfcp-journal v1` file.
+std::span<const unsigned char, 8> journal_magic() noexcept;
+
+/// CRC-32 (IEEE 802.3, reflected) — the per-record checksum of the journal.
+u32 crc32(const void* data, std::size_t len) noexcept;
+
+struct JournalRecord {
+  u64 epoch = 0;  ///< engine edit clock before the batch applied
+  std::vector<inc::Edit> edits;
+
+  friend bool operator==(const JournalRecord&, const JournalRecord&) = default;
+};
+
+/// One record's framed bytes ([len][payload][crc]); what serve::Journal
+/// appends (and fsyncs) as a unit.
+std::string encode_journal_record(const JournalRecord& rec);
+
+/// Writes the 8-byte journal magic (the file header).
+void write_journal_header(std::ostream& os);
+
+void append_journal_record(std::ostream& os, const JournalRecord& rec);
+
+struct JournalScan {
+  std::vector<JournalRecord> records;  ///< every intact record, in order
+  u64 valid_bytes = 0;  ///< length of the good prefix (header + intact records)
+  bool torn = false;    ///< the tail after valid_bytes is truncated/corrupt
+  std::string error;    ///< when torn: what tore, naming the byte offset
+};
+
+/// Tolerant scan for crash recovery: decodes records until end of stream or
+/// the first torn/corrupt tail, which is reported (with the byte offset of
+/// the bad record) instead of thrown — a crashed writer legitimately leaves
+/// one.  Throws std::runtime_error only for a missing/foreign header.
+JournalScan scan_journal(std::istream& is);
+
+/// Strict load: like scan_journal but a torn tail throws std::runtime_error
+/// naming the byte offset of the bad record.
+std::vector<JournalRecord> load_journal(std::istream& is);
+
 /// Writes `path` atomically: `write` streams into `path + ".tmp"`, the
 /// stream is closed and error-checked (so buffered-flush failures surface),
 /// and only then renamed over `path` — a failing write never destroys an

@@ -11,11 +11,14 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/coarsest_partition.hpp"
 #include "core/solver.hpp"
 #include "engine.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 #include "shard/sharded_engine.hpp"
 #include "util/generators.hpp"
 #include "util/random.hpp"
@@ -206,6 +209,103 @@ TEST(FuzzDifferential, SmallInstanceSweep) {
 TEST(FuzzDifferential, EmptyInstance) {
   const graph::Instance inst;
   run_differential(inst, {}, "empty");
+}
+
+// ---- loopback serving lane -----------------------------------------------
+// The same seeded streams, but routed through a real serve::Server /
+// serve::Client TCP loopback instead of direct Engine::apply().  The wire
+// must add nothing and lose nothing: after every chunk the LABELS frame's
+// canonical labels, class count and epoch are byte-identical to a fresh
+// solve of the evolved reference instance, and the SUBSCRIBE feed stays
+// monotone and well-formed.
+
+/// Owns the event-loop thread; stops and joins it even when an ASSERT bails
+/// out of the lane mid-stream.
+struct ServerRunner {
+  serve::Server& server;
+  std::thread loop;
+  explicit ServerRunner(serve::Server& s) : server(s), loop([&s] { s.run(); }) {}
+  ~ServerRunner() {
+    server.stop();
+    loop.join();
+  }
+};
+
+void run_loopback(const graph::Instance& inst, std::string_view engine_kind,
+                  util::EditMix mix, std::size_t count, u64 seed, const std::string& what,
+                  std::size_t batch = 16) {
+  util::Rng rng(seed);
+  const auto stream = util::random_edit_stream(inst, count, mix, 6, rng);
+
+  serve::Server server(engines().make(engine_kind, inst));
+  ServerRunner runner(server);
+  serve::Client client = serve::Client::connect("127.0.0.1", server.port());
+  client.subscribe();
+
+  graph::Instance reference = inst;
+  core::Solver oracle;
+  // Epoch oracle: the same engine kind applying the same chunks directly —
+  // the wire's epoch clock must track in-process serving exactly.
+  std::unique_ptr<Engine> ref_engine = engines().make(engine_kind, inst);
+
+  u64 last_notified = 0;
+  for (std::size_t i = 0; i < stream.size(); i += batch) {
+    const auto chunk = std::span(stream).subspan(i, std::min(batch, stream.size() - i));
+    for (const inc::Edit& e : chunk) inc::apply_raw(e, reference.f, reference.b);
+    ref_engine->apply(chunk);
+    const core::Result want = oracle.solve(reference);
+    const std::string at = what + " after " + std::to_string(i + chunk.size()) + " edits";
+
+    const u64 epoch = client.apply(chunk);
+    ASSERT_EQ(epoch, ref_engine->epoch()) << at;
+    const serve::Client::Labels got = client.labels();
+    ASSERT_EQ(got.epoch, epoch) << at;
+    ASSERT_EQ(got.num_classes, want.num_blocks) << at;
+    ASSERT_EQ(got.labels.size(), want.q.size()) << at;
+    ASSERT_TRUE(std::equal(got.labels.begin(), got.labels.end(), want.q.begin(),
+                           want.q.end()))
+        << "served labels diverged from fresh solve, " << at;
+
+    // Drain the change feed accumulated so far: epochs monotone, classes
+    // sorted/deduped and within range (full downgrades carry none).
+    while (auto n = client.next_notification(0)) {
+      ASSERT_GE(n->epoch, last_notified) << at;
+      ASSERT_LE(n->epoch, epoch) << at;
+      last_notified = n->epoch;
+      if (n->full) {
+        ASSERT_TRUE(n->classes.empty()) << at;
+      } else {
+        ASSERT_FALSE(n->classes.empty()) << at;
+        ASSERT_TRUE(std::is_sorted(n->classes.begin(), n->classes.end())) << at;
+        ASSERT_TRUE(std::adjacent_find(n->classes.begin(), n->classes.end()) ==
+                    n->classes.end())
+            << at;
+      }
+    }
+  }
+}
+
+TEST(FuzzDifferential, LoopbackIncrementalLocalized) {
+  util::Rng rng(41);
+  run_loopback(util::random_function(1200, 4, rng), "incremental",
+               util::EditMix::LocalizedHotspot, 180, 81, "loopback/incremental/localized");
+}
+
+TEST(FuzzDifferential, LoopbackIncrementalCycleChurn) {
+  util::Rng rng(42);
+  run_loopback(util::random_function(1000, 4, rng), "incremental", util::EditMix::CycleChurn,
+               160, 82, "loopback/incremental/churn");
+}
+
+TEST(FuzzDifferential, LoopbackShardedUniform) {
+  run_loopback(multi_component(8, 120, 4, 2044), "sharded", util::EditMix::Uniform, 180, 83,
+               "loopback/sharded/uniform");
+}
+
+TEST(FuzzDifferential, LoopbackBatchUniform) {
+  util::Rng rng(43);
+  run_loopback(util::random_function(800, 4, rng), "batch", util::EditMix::Uniform, 140, 84,
+               "loopback/batch/uniform");
 }
 
 }  // namespace

@@ -192,5 +192,172 @@ TEST(IoBinary, EmptyInputThrows) {
   EXPECT_THROW(util::load_instance(ss), std::runtime_error);
 }
 
+// ---- edit journal (`sfcp-journal v1`) ------------------------------------
+
+namespace {
+
+std::vector<util::JournalRecord> sample_records() {
+  return {
+      {0, {inc::Edit::set_b(17, 3), inc::Edit::set_f(2, 9)}},
+      {2, {}},  // a record of pure no-ops is legal (epoch unchanged)
+      {2, {inc::Edit::set_f(0, 1)}},
+      {3, {inc::Edit::set_b(4, 1000000), inc::Edit::set_b(5, 0), inc::Edit::set_f(7, 7)}},
+  };
+}
+
+std::string sample_journal_bytes(const std::vector<util::JournalRecord>& records) {
+  std::stringstream ss;
+  util::write_journal_header(ss);
+  for (const auto& rec : records) util::append_journal_record(ss, rec);
+  return ss.str();
+}
+
+/// Byte offsets where each record starts (== the valid prefix length up to
+/// that record), plus the total size as the final entry.
+std::vector<std::size_t> record_boundaries(const std::vector<util::JournalRecord>& records) {
+  std::vector<std::size_t> at = {8};
+  for (const auto& rec : records) {
+    at.push_back(at.back() + util::encode_journal_record(rec).size());
+  }
+  return at;
+}
+
+}  // namespace
+
+TEST(IoJournal, RoundTrip) {
+  const auto records = sample_records();
+  std::stringstream ss(sample_journal_bytes(records));
+  const util::JournalScan scan = util::scan_journal(ss);
+  EXPECT_FALSE(scan.torn);
+  EXPECT_TRUE(scan.error.empty());
+  EXPECT_EQ(scan.records, records);
+  EXPECT_EQ(scan.valid_bytes, sample_journal_bytes(records).size());
+
+  std::stringstream again(sample_journal_bytes(records));
+  EXPECT_EQ(util::load_journal(again), records);
+}
+
+TEST(IoJournal, EmptyJournalIsCleanlyEmpty) {
+  std::stringstream ss;
+  util::write_journal_header(ss);
+  const util::JournalScan scan = util::scan_journal(ss);
+  EXPECT_FALSE(scan.torn);
+  EXPECT_TRUE(scan.records.empty());
+  EXPECT_EQ(scan.valid_bytes, 8u);
+}
+
+TEST(IoJournal, BadMagicThrows) {
+  std::stringstream ss(std::string("\x7fwrongmg") + std::string(20, '\0'));
+  EXPECT_THROW(util::scan_journal(ss), std::runtime_error);
+  std::stringstream empty;
+  EXPECT_THROW(util::scan_journal(empty), std::runtime_error);
+}
+
+// The crash-shaped tails: truncation at EVERY byte offset must yield exactly
+// the whole-record prefix, with the tear (when there is one) reported at the
+// byte offset of the bad record.
+TEST(IoJournal, TruncationAtEveryOffsetKeepsWholeRecordPrefix) {
+  const auto records = sample_records();
+  const std::string full = sample_journal_bytes(records);
+  const auto boundaries = record_boundaries(records);
+  for (std::size_t keep = 8; keep <= full.size(); ++keep) {
+    std::stringstream cut(full.substr(0, keep));
+    const util::JournalScan scan = util::scan_journal(cut);
+    // The good prefix: every record that fits entirely within `keep`.
+    std::size_t whole = 0;
+    while (whole + 1 < boundaries.size() && boundaries[whole + 1] <= keep) ++whole;
+    EXPECT_EQ(scan.records.size(), whole) << "keep=" << keep;
+    EXPECT_EQ(scan.valid_bytes, boundaries[whole]) << "keep=" << keep;
+    const bool at_boundary = keep == boundaries[whole];
+    EXPECT_EQ(scan.torn, !at_boundary) << "keep=" << keep;
+    if (!at_boundary) {
+      // The reported offset names where the torn record starts.
+      EXPECT_NE(scan.error.find("byte offset " + std::to_string(boundaries[whole])),
+                std::string::npos)
+          << "keep=" << keep << " error=" << scan.error;
+    }
+  }
+}
+
+TEST(IoJournal, TruncatedMidLengthPrefixReportsOffset) {
+  const auto records = sample_records();
+  const std::string full = sample_journal_bytes(records);
+  const auto boundaries = record_boundaries(records);
+  // Cut two bytes into the second record's length prefix.
+  std::stringstream cut(full.substr(0, boundaries[1] + 2));
+  const util::JournalScan scan = util::scan_journal(cut);
+  EXPECT_TRUE(scan.torn);
+  EXPECT_EQ(scan.records.size(), 1u);
+  EXPECT_EQ(scan.valid_bytes, boundaries[1]);
+  EXPECT_NE(scan.error.find("length prefix"), std::string::npos) << scan.error;
+  EXPECT_NE(scan.error.find(std::to_string(boundaries[1])), std::string::npos) << scan.error;
+}
+
+TEST(IoJournal, TruncatedMidRecordReportsOffset) {
+  const auto records = sample_records();
+  const std::string full = sample_journal_bytes(records);
+  const auto boundaries = record_boundaries(records);
+  // Cut into the middle of the last record's payload.
+  std::stringstream cut(full.substr(0, boundaries[3] + 10));
+  const util::JournalScan scan = util::scan_journal(cut);
+  EXPECT_TRUE(scan.torn);
+  EXPECT_EQ(scan.records.size(), 3u);
+  EXPECT_EQ(scan.valid_bytes, boundaries[3]);
+  EXPECT_NE(scan.error.find("mid-payload"), std::string::npos) << scan.error;
+  EXPECT_NE(scan.error.find(std::to_string(boundaries[3])), std::string::npos) << scan.error;
+}
+
+TEST(IoJournal, CrcCatchesCorruption) {
+  const auto records = sample_records();
+  const auto boundaries = record_boundaries(records);
+  std::string bytes = sample_journal_bytes(records);
+  bytes[boundaries[2] + 6] ^= 0x40;  // flip one payload bit in record 2
+  std::stringstream ss(bytes);
+  const util::JournalScan scan = util::scan_journal(ss);
+  EXPECT_TRUE(scan.torn);
+  EXPECT_EQ(scan.records.size(), 2u);
+  EXPECT_EQ(scan.valid_bytes, boundaries[2]);
+  EXPECT_NE(scan.error.find("CRC"), std::string::npos) << scan.error;
+  EXPECT_NE(scan.error.find(std::to_string(boundaries[2])), std::string::npos) << scan.error;
+}
+
+TEST(IoJournal, StrictLoadThrowsNamingOffset) {
+  const auto records = sample_records();
+  const std::string full = sample_journal_bytes(records);
+  const auto boundaries = record_boundaries(records);
+  std::stringstream cut(full.substr(0, full.size() - 3));
+  try {
+    util::load_journal(cut);
+    FAIL() << "torn tail must throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("byte offset " + std::to_string(boundaries[3])),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(IoJournal, ImplausibleLengthIsATear) {
+  std::stringstream ss;
+  util::write_journal_header(ss);
+  util::append_journal_record(ss, {1, {inc::Edit::set_b(0, 1)}});
+  std::string bytes = ss.str();
+  bytes[8] = '\xff';  // length prefix low byte -> implausible length
+  bytes[9] = '\xff';
+  bytes[10] = '\xff';
+  bytes[11] = '\xff';
+  std::stringstream patched(bytes);
+  const util::JournalScan scan = util::scan_journal(patched);
+  EXPECT_TRUE(scan.torn);
+  EXPECT_TRUE(scan.records.empty());
+  EXPECT_EQ(scan.valid_bytes, 8u);
+  EXPECT_NE(scan.error.find("implausible"), std::string::npos) << scan.error;
+}
+
+TEST(IoJournal, Crc32KnownAnswer) {
+  // The standard IEEE 802.3 check value: crc32("123456789") = 0xCBF43926.
+  EXPECT_EQ(util::crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(util::crc32("", 0), 0u);
+}
+
 }  // namespace
 }  // namespace sfcp
