@@ -123,6 +123,15 @@ void Journal::append(const util::JournalRecord& rec) {
     const ssize_t w = ::write(fd_, framed.data() + off, framed.size() - off);
     if (w < 0) {
       if (errno == EINTR) continue;
+      // Roll the partial record back out of the file (ENOSPC and friends can
+      // fail mid-record): leaving it would make later appends land after
+      // garbage, and a recovery scan would tear here and silently discard
+      // every record after it — including fsynced, acked ones.
+      const int err = errno;
+      if (::ftruncate(fd_, static_cast<off_t>(bytes_)) == 0) {
+        (void)::lseek(fd_, 0, SEEK_END);
+      }
+      errno = err;
       fail_io(path_, "write");
     }
     off += static_cast<std::size_t>(w);

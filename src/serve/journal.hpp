@@ -62,7 +62,9 @@ class Journal {
   const std::string& tear_error() const noexcept { return tear_error_; }
 
   /// Appends one record (write-ahead: call before Engine::apply); fsyncs
-  /// under FsyncPolicy::Always.  Throws std::runtime_error on IO failure.
+  /// under FsyncPolicy::Always.  Throws std::runtime_error on IO failure,
+  /// truncating any partially written record back out first so the log on
+  /// disk always ends at a record boundary (a later scan never tears here).
   void append(const util::JournalRecord& rec);
 
   /// Epoch-flush barrier: fsyncs under FsyncPolicy::Epoch.

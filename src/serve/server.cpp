@@ -241,6 +241,7 @@ ServeStats Server::stats() const noexcept {
     s.journal_records = journal_.appended_records();
     s.journal_bytes = journal_.bytes();
     s.journal_fsyncs = journal_.fsyncs();
+    s.journal_failed = journal_failed_;
   }
   s.connections_open = conns_.size();
   return s;
@@ -309,6 +310,15 @@ void Server::accept_ready_() {
     if (fd < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) return;
       if (errno == EINTR) continue;
+      if (errno == EMFILE || errno == ENFILE) {
+        // Descriptor exhaustion is persistent, and with level-triggered
+        // polling the still-readable listen fd would spin the loop at full
+        // CPU.  Deregister it; close_connection_ re-arms once a descriptor
+        // frees up.
+        accept_paused_ = true;
+        poller_->remove(listen_fd_);
+        return;
+      }
       return;  // transient accept failures are not fatal to the server
     }
     set_nonblocking(fd);
@@ -328,6 +338,7 @@ void Server::accept_ready_() {
 
 void Server::read_ready_(Connection& c) {
   char buf[65536];
+  bool eof = false;
   for (;;) {
     const ssize_t n = ::read(c.fd, buf, sizeof(buf));
     if (n > 0) {
@@ -336,9 +347,11 @@ void Server::read_ready_(Connection& c) {
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
     if (n < 0 && errno == EINTR) continue;
-    // 0 = orderly shutdown; anything else = broken peer.
-    c.closing = true;
-    dead_fds_.push_back(c.fd);
+    // 0 = orderly shutdown; anything else = broken peer.  Either way stop
+    // reading, but only mark the connection dead AFTER draining frames
+    // already buffered: a client may legitimately pipeline EDITs and close
+    // straight away, and those edits must still land.
+    eof = true;
     break;
   }
   try {
@@ -351,6 +364,10 @@ void Server::read_ready_(Connection& c) {
     // Framing is broken (bad magic, implausible length, malformed payload):
     // the byte stream can no longer be trusted, so report and drop the peer.
     send_error_(c, e.what());
+    c.closing = true;
+    dead_fds_.push_back(c.fd);
+  }
+  if (eof && !c.closing) {
     c.closing = true;
     dead_fds_.push_back(c.fd);
   }
@@ -404,6 +421,11 @@ void Server::close_connection_(int fd) {
   ::close(fd);
   std::erase_if(conns_, [fd](const auto& c) { return c->fd == fd; });
   std::erase_if(pending_acks_, [fd](const PendingAck& a) { return a.fd == fd; });
+  if (accept_paused_) {
+    // A descriptor just freed up: resume accepting.
+    accept_paused_ = false;
+    poller_->add(listen_fd_);
+  }
 }
 
 // ---- protocol ------------------------------------------------------------
@@ -425,7 +447,25 @@ void Server::handle_frame_(Connection& c, const Frame& f) {
       }
       if (!edits.empty()) {
         if (durable_) {
-          journal_.append(util::JournalRecord{engine_->epoch(), edits});
+          if (journal_failed_) {
+            ++stats_.edit_frames_rejected;
+            send_error_(c, "journal unavailable, edits disabled: " + journal_error_);
+            return;
+          }
+          try {
+            journal_.append(util::JournalRecord{engine_->epoch(), edits});
+          } catch (const std::exception& e) {
+            // append() rolled the partial record back, so the log on disk is
+            // intact — but the device is refusing writes (ENOSPC and
+            // friends).  Durability can no longer be promised, so stop
+            // accepting edits server-wide instead of treating this as a
+            // broken connection: an acked edit must never outrun the log.
+            journal_failed_ = true;
+            journal_error_ = e.what();
+            ++stats_.edit_frames_rejected;
+            send_error_(c, "journal unavailable, edits disabled: " + journal_error_);
+            return;
+          }
         }
         stats_.edits_accepted += edits.size();
         edits_since_checkpoint_ += edits.size();
@@ -601,12 +641,16 @@ bool Server::checkpoint(const std::string& path) {
 bool Server::do_checkpoint_(const std::string& path) {
   const std::string target = path.empty() ? opt_.checkpoint_path : path;
   if (target.empty() || !engine_->checkpointable()) return false;
-  util::atomic_write_file(target, [&](std::ostream& os) { engine_->save_checkpoint(os); });
+  // Durable write (fsync file + directory): the journal reset below must
+  // never outrun the checkpoint on disk, or a crash loses every edit since
+  // the previous checkpoint.
+  util::atomic_write_file(
+      target, [&](std::ostream& os) { engine_->save_checkpoint(os); }, /*durable=*/true);
   ++stats_.checkpoints_written;
   if (durable_ && target == opt_.checkpoint_path) {
-    // The checkpoint now carries everything the log did.  A crash between
-    // the two is safe: replay skips records the checkpoint absorbed (their
-    // pre-batch epoch is below the checkpoint's).
+    // The checkpoint now durably carries everything the log did.  A crash
+    // between the two is safe: replay skips records the checkpoint absorbed
+    // (their pre-batch epoch is below the checkpoint's).
     journal_.reset();
     edits_since_checkpoint_ = 0;
   }
@@ -643,6 +687,7 @@ std::string Server::encode_stats_() const {
       {"recovered_records", sv.recovered_records},
       {"recovered_skipped", sv.recovered_skipped},
       {"journal_tail_torn", sv.journal_tail_torn ? 1u : 0u},
+      {"journal_failed", sv.journal_failed ? 1u : 0u},
       {"engine_edits", es.edits.edits},
       {"engine_repairs", es.edits.repairs},
       {"engine_rebuilds", es.edits.rebuilds},

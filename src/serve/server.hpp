@@ -60,6 +60,7 @@ struct ServeStats {
   u64 recovered_records = 0;    ///< journal records replayed at startup
   u64 recovered_skipped = 0;    ///< records the checkpoint already reflected
   bool journal_tail_torn = false;
+  bool journal_failed = false;  ///< a journal append failed; edits are being refused
 };
 
 /// Restores serving state from disk: loads the checkpoint at
@@ -136,8 +137,11 @@ class Server {
   ServerOptions opt_;
   Journal journal_;
   bool durable_ = false;
+  bool journal_failed_ = false;  ///< an append failed: edits are refused server-wide
+  std::string journal_error_;
 
   std::unique_ptr<Poller> poller_;
+  bool accept_paused_ = false;  ///< listen fd deregistered after EMFILE/ENFILE
   int listen_fd_ = -1;
   int wake_read_fd_ = -1;
   int wake_write_fd_ = -1;

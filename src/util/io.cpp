@@ -1,6 +1,10 @@
 #include "util/io.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <bit>
 #include <cstdio>
 #include <cstring>
@@ -77,7 +81,27 @@ graph::Instance load_instance_binary(std::istream& is) {
 
 }  // namespace
 
-void atomic_write_file(const std::string& path, const std::function<void(std::ostream&)>& write) {
+namespace {
+
+void fsync_path(const std::string& path, bool directory) {
+  const int fd = ::open(path.c_str(), directory ? (O_RDONLY | O_DIRECTORY) : O_RDONLY);
+  if (fd < 0) {
+    throw std::runtime_error("atomic_write_file: cannot open " + path +
+                             " for fsync: " + std::strerror(errno));
+  }
+  const int rc = ::fsync(fd);
+  const int err = errno;
+  ::close(fd);
+  if (rc != 0) {
+    throw std::runtime_error("atomic_write_file: fsync failed for " + path + ": " +
+                             std::strerror(err));
+  }
+}
+
+}  // namespace
+
+void atomic_write_file(const std::string& path, const std::function<void(std::ostream&)>& write,
+                       bool durable) {
   const std::string tmp = path + ".tmp";
   try {
     std::ofstream os(tmp, std::ios::binary);
@@ -85,6 +109,10 @@ void atomic_write_file(const std::string& path, const std::function<void(std::os
     write(os);
     os.close();  // flush now, so buffered I/O errors surface before the rename
     if (os.fail()) throw std::runtime_error("atomic_write_file: write failed for " + tmp);
+    // Durability order: data must be on disk before the rename can make it
+    // visible, and the rename itself only survives once the directory is
+    // synced.
+    if (durable) fsync_path(tmp, /*directory=*/false);
   } catch (...) {
     std::remove(tmp.c_str());
     throw;
@@ -92,6 +120,11 @@ void atomic_write_file(const std::string& path, const std::function<void(std::os
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
     throw std::runtime_error("atomic_write_file: cannot rename " + tmp + " over " + path);
+  }
+  if (durable) {
+    const std::size_t slash = path.find_last_of('/');
+    fsync_path(slash == std::string::npos ? "." : path.substr(0, slash + 1),
+               /*directory=*/true);
   }
 }
 

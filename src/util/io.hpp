@@ -146,9 +146,14 @@ std::vector<JournalRecord> load_journal(std::istream& is);
 /// Writes `path` atomically: `write` streams into `path + ".tmp"`, the
 /// stream is closed and error-checked (so buffered-flush failures surface),
 /// and only then renamed over `path` — a failing write never destroys an
-/// existing good file.  Throws std::runtime_error on open/write/rename
-/// failure; the tmp file is removed on every failure path.
-void atomic_write_file(const std::string& path, const std::function<void(std::ostream&)>& write);
+/// existing good file.  With `durable`, the tmp file is fsynced before the
+/// rename and the containing directory after it, so on return the new file
+/// provably survives power loss — required whenever the caller is about to
+/// discard the data's other copy (e.g. truncating a journal the checkpoint
+/// absorbed).  Throws std::runtime_error on open/write/fsync/rename failure;
+/// the tmp file is removed on every failure path.
+void atomic_write_file(const std::string& path, const std::function<void(std::ostream&)>& write,
+                       bool durable = false);
 
 // ---- binary primitives ---------------------------------------------------
 // Little-endian scalar/array IO shared by the `sfcp-instance v2` and

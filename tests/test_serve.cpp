@@ -5,10 +5,14 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <signal.h>
+#include <sys/resource.h>
 #include <sys/socket.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -283,6 +287,129 @@ TEST(ServeServer, EpochBatchingCoalescesPipelinedEdits) {
   EXPECT_EQ(client.view().epoch, last);
 }
 
+TEST(ServeServer, EditsPipelinedBeforeCloseStillLand) {
+  const graph::Instance inst = test_instance(200, 17);
+  LoopbackServer srv(engines().make("incremental", inst));
+  const std::vector<inc::Edit> edits = {inc::Edit::set_b(3, 111), inc::Edit::set_f(4, 5)};
+
+  // Fire-and-close over a raw socket: complete the handshake (drain the
+  // server's magic, so our close is an orderly FIN rather than an RST that
+  // may destroy in-flight data), pipeline an EDIT frame and close straight
+  // away.  The frame and the FIN can arrive in the same readiness event, and
+  // buffered frames must be applied before the EOF is honored — otherwise
+  // the edits vanish silently.
+  {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    struct sockaddr_in addr {};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(srv.port());
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)), 0);
+    char magic[8];
+    std::size_t got = 0;
+    while (got < sizeof(magic)) {
+      const ssize_t n = ::read(fd, magic + got, sizeof(magic) - got);
+      ASSERT_GT(n, 0);
+      got += static_cast<std::size_t>(n);
+    }
+    std::string stream;
+    serve::append_magic(stream);
+    serve::append_frame(stream, serve::FrameType::kEdit, serve::encode_edit_request(edits));
+    ASSERT_EQ(::write(fd, stream.data(), stream.size()),
+              static_cast<ssize_t>(stream.size()));
+    ::close(fd);  // no unread data left: an orderly shutdown, not an abort
+  }
+
+  graph::Instance reference = inst;
+  for (const inc::Edit& e : edits) inc::apply_raw(e, reference.f, reference.b);
+  const core::Result want = core::solve(reference);
+
+  serve::Client reader = srv.connect();
+  u64 epoch = reader.view().epoch;
+  for (int i = 0; i < 2500 && epoch == 0; ++i) {  // burst bytes race our connect
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    epoch = reader.view().epoch;
+  }
+  EXPECT_GE(epoch, 1u);
+  EXPECT_EQ(reader.labels().labels, want.q);
+}
+
+// A child process drives the server's journal into a real mid-record write
+// failure (RLIMIT_FSIZE: the kernel cuts a write short, then fails with
+// EFBIG).  Edits must be refused server-wide from then on — an acked edit
+// must never outrun the log — while reads keep working, and the journal on
+// disk must still end at a record boundary.
+TEST(ServeServer, JournalFailureDisablesEditsButServesReads) {
+  const std::string dir = ::testing::TempDir() + "serve_journal_fail";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string journal = dir + "/wal";
+
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    ::signal(SIGXFSZ, SIG_IGN);  // surface the limit as EFBIG, not a signal
+    struct rlimit lim {128, 128};
+    if (::setrlimit(RLIMIT_FSIZE, &lim) != 0) _exit(10);
+    try {
+      serve::ServerOptions opt;
+      opt.journal_path = journal;
+      opt.fsync = serve::FsyncPolicy::Off;
+      serve::Server server(engines().make("incremental", test_instance(100)), opt);
+      std::thread loop([&server] { server.run(); });
+      serve::Client client = serve::Client::connect("127.0.0.1", server.port());
+
+      bool failed = false;
+      for (int i = 0; i < 32 && !failed; ++i) {
+        try {
+          apply_edits(client, {inc::Edit::set_b(1, 1000u + static_cast<u32>(i))});
+        } catch (const std::exception&) {
+          failed = true;
+        }
+      }
+      int code = 0;
+      const u64 epoch_after_fail = client.view().epoch;  // reads still served
+      if (!failed) {
+        code = 11;  // the 128-byte limit never fired
+      } else {
+        try {
+          apply_edits(client, {inc::Edit::set_b(2, 9)});
+          code = 12;  // edit accepted after journal failure
+        } catch (const std::exception&) {
+        }
+      }
+      if (code == 0 && client.view().epoch != epoch_after_fail) code = 13;
+      if (code == 0) {
+        const auto stats = client.stats();
+        bool flagged = false;
+        for (const auto& [k, v] : stats) {
+          if (k == "journal_failed") flagged = v == 1;
+        }
+        if (!flagged) code = 14;
+      }
+      server.stop();
+      loop.join();
+      _exit(code);
+    } catch (...) {
+      _exit(15);
+    }
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+
+  // The rolled-back partial record left a cleanly scannable log.
+  std::ifstream is(journal, std::ios::binary);
+  ASSERT_TRUE(is.good());
+  const util::JournalScan scan = util::scan_journal(is);
+  EXPECT_FALSE(scan.torn) << scan.error;
+  EXPECT_GT(scan.records.size(), 0u);
+  EXPECT_EQ(scan.valid_bytes, std::filesystem::file_size(journal));
+  std::filesystem::remove_all(dir);
+}
+
 TEST(ServeServer, HandshakeRejectsForeignPeer) {
   LoopbackServer srv(engines().make("incremental", test_instance(50)));
   // A well-behaved client must keep working while a garbage peer is dropped.
@@ -419,6 +546,48 @@ TEST(ServeJournal, TornTailIsTruncatedInPlaceOnOpen) {
   ASSERT_EQ(reopened.recovered().size(), 1u);
   EXPECT_EQ(reopened.bytes(), good_bytes);
   EXPECT_EQ(std::filesystem::file_size(path), good_bytes);  // tail physically gone
+  std::remove(path.c_str());
+}
+
+TEST(ServeJournal, FailedAppendRollsBackPartialRecord) {
+  const std::string path = ::testing::TempDir() + "serve_journal_efbig.wal";
+  std::remove(path.c_str());
+
+  // A child hits a genuine mid-record write failure (RLIMIT_FSIZE cuts one
+  // write short, the next fails with EFBIG) and exits with the number of
+  // appends that fully succeeded.  The rollback in Journal::append must
+  // leave the file ending exactly at that record boundary.
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    ::signal(SIGXFSZ, SIG_IGN);
+    struct rlimit lim {256, 256};
+    if (::setrlimit(RLIMIT_FSIZE, &lim) != 0) _exit(120);
+    int ok = 0;
+    try {
+      serve::Journal j(path, serve::FsyncPolicy::Always);
+      for (int i = 0; i < 64; ++i) {
+        j.append({static_cast<u64>(i), {inc::Edit::set_b(1, static_cast<u32>(i))}});
+        ++ok;
+      }
+      _exit(121);  // the limit must have fired within 64 records
+    } catch (const std::exception&) {
+      _exit(ok);
+    }
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  const int ok = WEXITSTATUS(status);
+  ASSERT_LT(ok, 120) << "child setup failed (code " << ok << ")";
+  ASSERT_GT(ok, 0);
+
+  std::ifstream is(path, std::ios::binary);
+  ASSERT_TRUE(is.good());
+  const util::JournalScan scan = util::scan_journal(is);
+  EXPECT_FALSE(scan.torn) << scan.error;
+  EXPECT_EQ(scan.records.size(), static_cast<std::size_t>(ok));
+  EXPECT_EQ(scan.valid_bytes, std::filesystem::file_size(path));
   std::remove(path.c_str());
 }
 
