@@ -2,6 +2,13 @@
 // plus `--json <path>`, which appends one {name, n, strategy, threads, ms}
 // JSON-lines record per measured run (util/bench_json).  Linked instead of
 // benchmark_main so perf trajectories can be captured uniformly.
+//
+// A process-wide prof::Profiler is installed for the whole run: in
+// SFCP_PROFILE builds every record also carries the phase profile
+// accumulated since the previous record (snapshot + reset per ReportRuns),
+// which is how BENCH_*.json grows per-phase breakdowns for
+// tools/profile_report.py.  In default builds the tree is empty and the
+// record shape is unchanged.
 #include <benchmark/benchmark.h>
 
 #include <cstdlib>
@@ -9,9 +16,12 @@
 #include <vector>
 
 #include "pram/config.hpp"
+#include "prof/profile.hpp"
 #include "util/bench_json.hpp"
 
 namespace {
+
+sfcp::prof::Profiler g_profiler;
 
 // "BM_Sfcp/euler-jump-level/16384/0" -> name "BM_Sfcp", strategy
 // "euler-jump-level", n 16384 (first numeric path segment).
@@ -49,6 +59,11 @@ class JsonAppendReporter : public benchmark::ConsoleReporter {
 
   void ReportRuns(const std::vector<Run>& runs) override {
     ConsoleReporter::ReportRuns(runs);
+    // One snapshot per report: the tree covers everything this benchmark
+    // family ran (warmup iterations included — per-call ns/count stays
+    // meaningful, and relative phase shares are what the report reads).
+    const sfcp::prof::ProfileTree profile = g_profiler.snapshot();
+    g_profiler.reset();
     for (const Run& run : runs) {
       if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
       std::string name, strategy;
@@ -59,7 +74,8 @@ class JsonAppendReporter : public benchmark::ConsoleReporter {
       // run.threads is google-benchmark's own threading (always 1 here);
       // what perf trajectories care about is the OpenMP budget the solver
       // ran under — the same value the table recorders log.
-      sfcp::util::append_bench_record(path_, name, n, strategy, sfcp::pram::threads(), ms);
+      sfcp::util::append_bench_record(path_, name, n, strategy, sfcp::pram::threads(), ms,
+                                      profile);
     }
   }
 
@@ -70,6 +86,7 @@ class JsonAppendReporter : public benchmark::ConsoleReporter {
 }  // namespace
 
 int main(int argc, char** argv) {
+  sfcp::prof::ScopedProfiler prof_guard(g_profiler);
   const std::string json_path = sfcp::util::consume_json_flag(argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

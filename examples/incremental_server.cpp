@@ -38,6 +38,7 @@
 #include <thread>
 
 #include "engine.hpp"
+#include "prof/profile.hpp"
 #include "serve/client.hpp"
 #include "serve/repl.hpp"
 #include "serve/server.hpp"
@@ -120,6 +121,11 @@ struct Session {
 }  // namespace
 
 int main() {
+  // Process-default profiler: in SFCP_PROFILE builds the server loop thread
+  // records serve/inc phases, so the REPL's `stats` (journal fsync /
+  // epoch-apply lines) and `profile` commands have data.  Inert otherwise.
+  prof::Profiler profiler;
+  prof::ScopedProfiler prof_guard(profiler);
   Session session;
   std::string engine_kind = "incremental";
   util::Rng stream_seed_rng(0xd1ce);

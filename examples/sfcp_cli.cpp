@@ -23,6 +23,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -97,15 +98,20 @@ void print_solve_help() {
          "  --max-dirty-fraction <f>  static repair budget: repair iff the dirty region is\n"
          "                            at most max(64, f * n) nodes (default 0.25); also the\n"
          "                            fallback while an adaptive fit converges.  Needs\n"
-         "                            --engine incremental or sharded.\n";
+         "                            --engine incremental or sharded.\n"
+         "  --profile                 print the per-phase profile tree after the summary\n"
+         "                            (needs a -DSFCP_PROFILE=ON build to carry data)\n";
 }
 
 int cmd_solve(const std::string& path, const std::string& strategy, int threads,
               const std::string& engine_kind, std::size_t shards, bool adaptive,
-              double max_dirty_fraction) {
+              double max_dirty_fraction, bool profile) {
   auto inst = util::load_instance_file(path);
   const std::size_t n = inst.size();
   pram::Metrics metrics;
+  prof::Profiler profiler;
+  std::optional<prof::ScopedProfiler> prof_guard;
+  if (profile) prof_guard.emplace(profiler);
   util::Timer timer;
   const auto ctx = pram::ExecutionContext{}.with_threads(threads).with_metrics(&metrics);
   inc::RepairPolicy repair;
@@ -143,6 +149,7 @@ int cmd_solve(const std::string& path, const std::string& strategy, int threads,
   }
   std::cout << "\n"
             << "time=" << timer.millis() << "ms  " << metrics.summary() << "\n";
+  if (profile) profiler.snapshot().render(std::cout);
   return 0;
 }
 
@@ -262,6 +269,11 @@ int cmd_serve(int argc, char** argv) {
   if (ckpt.empty() && !opt.journal_path.empty()) ckpt = opt.journal_path + ".ckpt";
   std::unique_ptr<Engine> engine =
       serve::recover_engine(ckpt, engine_kind, util::load_instance_file(path));
+  // Process-default profiler: in SFCP_PROFILE builds the serve loop records
+  // journal/apply/notify phases a REPL `profile` (or STATS frame) can read;
+  // in default builds every scope compiles out and this is inert.
+  prof::Profiler profiler;
+  prof::ScopedProfiler prof_guard(profiler);
   serve::Server server(std::move(engine), opt);
   const serve::ServeStats st = server.stats();
   std::cout << "serving " << server.engine().size() << " nodes (engine="
@@ -350,6 +362,7 @@ int main(int argc, char** argv) {
       std::size_t shards = 0;  // 0 = engine default; > 0 selects "sharded"
       bool adaptive = false;
       bool policy_set = false;
+      bool profile = false;
       double max_dirty_fraction = -1.0;  // < 0 = policy default
       for (int i = 3; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -385,6 +398,8 @@ int main(int argc, char** argv) {
             return 2;
           }
           policy_set = true;
+        } else if (arg == "--profile") {
+          profile = true;
         } else {
           std::cerr << "unknown solve option '" << arg << "' (try 'solve --help')\n";
           return 2;
@@ -403,7 +418,7 @@ int main(int argc, char** argv) {
         return 2;
       }
       return cmd_solve(argv[2], strategy, threads, engine, shards, adaptive,
-                       max_dirty_fraction);
+                       max_dirty_fraction, profile);
     }
     if (cmd == "classes") {
       const std::size_t top = argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 10;

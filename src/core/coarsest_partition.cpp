@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "prim/rename.hpp"
+#include "prof/profile.hpp"
 
 namespace sfcp::core {
 
@@ -56,20 +57,41 @@ Result solve(const graph::Instance& inst, const Options& opt, SolveWorkspace& ws
   Result result;
   const std::size_t n = inst.size();
   if (n == 0) return result;
+  prof::Scope prof_solve("solve");
 
   // Step 1 (Section 5): mark the cycle nodes with the configured detector
   // (Euler tour by default, per the paper), then derive the full cycle
   // structure (leader, rank, contiguous arrangement).
-  graph::find_cycle_nodes_into(inst.f, opt.cycle_detect, ws.on_cycle);
-  graph::cycle_structure_with_flags_into(inst.f, ws.on_cycle, opt.cycle_structure, ws.cs);
+  {
+    prof::Scope s("cycle_detect");
+    prof::charge_bytes(8 * n);  // read f, write on_cycle (one logical pass)
+    graph::find_cycle_nodes_into(inst.f, opt.cycle_detect, ws.on_cycle);
+  }
+  {
+    prof::Scope s("cycle_structure");
+    prof::charge_bytes(16 * n);  // leader/rank/arrangement over all nodes
+    graph::cycle_structure_with_flags_into(inst.f, ws.on_cycle, opt.cycle_structure, ws.cs);
+  }
 
   // Step 2 (Section 3): Q-labels of cycle nodes.
-  label_cycles_into(inst, ws.cs, opt.cycle_labeling, ws.cl);
+  {
+    prof::Scope s("cycle_label");
+    prof::charge_bytes(8 * ws.cs.cycle_nodes.size());
+    prof::charge_flops(2 * ws.cs.cycle_nodes.size());  // period + necklace compares
+    label_cycles_into(inst, ws.cs, opt.cycle_labeling, ws.cl);
+  }
 
   // Step 3 (Section 4): Q-labels of tree nodes.
-  label_trees_into(inst, ws.cs, ws.cl, opt.tree_labeling, ws.tl);
+  {
+    prof::Scope s("tree_label");
+    prof::charge_bytes(16 * n);  // forest build + signature passes
+    prof::charge_flops(2 * n);
+    label_trees_into(inst, ws.cs, ws.cl, opt.tree_labeling, ws.tl);
+  }
 
   // Canonicalize to first-occurrence dense labels.
+  prof::Scope prof_rename("rename");
+  prof::charge_bytes(8 * n);  // read q, write dense labels
   auto canon = prim::canonicalize_labels(ws.tl.q);
   result.q = std::move(canon.labels);
   result.num_blocks = canon.num_classes;

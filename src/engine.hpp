@@ -33,6 +33,7 @@
 #include "core/registry.hpp"
 #include "core/solver.hpp"
 #include "inc/incremental_solver.hpp"
+#include "prof/profile.hpp"
 
 namespace sfcp {
 
@@ -59,6 +60,12 @@ struct EngineStats {
   u64 merge_touched_nodes = 0;
   bool adaptive_reshard = false;  ///< reshard policy runs in adaptive mode
   pram::CostModel reshard_fit{};  ///< migrate-vs-reshard fit
+
+  /// Merged phase-profile snapshot of the session profiler at the time of
+  /// the stats call (prof/profile.hpp).  Empty unless the build has
+  /// SFCP_PROFILE=ON and a profiler is installed — the STATS wire frame
+  /// only carries it when non-empty, so old clients are unaffected.
+  prof::ProfileTree profile;
 
   /// Mean dirty classes a repair delta touched (0 when no windows flushed).
   double dirty_classes_per_window() const noexcept {
@@ -141,6 +148,7 @@ class BatchEngine final : public Engine {
   EngineStats serving_stats() const override {
     EngineStats s;
     s.edits.edits = epoch_;  // every state-changing edit; re-solves are lazy
+    s.profile = prof::session_snapshot();
     return s;
   }
 
@@ -176,6 +184,7 @@ class IncrementalEngine final : public Engine {
     s.deltas = inc_.delta_stats();
     s.adaptive_repair = inc_.policy().adaptive;
     s.repair_fit = inc_.cost_model();
+    s.profile = prof::session_snapshot();
     return s;
   }
 

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "pram/metrics.hpp"
+#include "prof/profile.hpp"
 #include "strings/msp.hpp"
 #include "strings/period.hpp"
 #include "util/io.hpp"
@@ -79,6 +80,7 @@ RepairDelta IncrementalSolver::take_delta() {
 }
 
 RepairDelta IncrementalSolver::take_delta_(bool classify) const {
+  prof::Scope prof_scope("inc/delta_flush");
   RepairDelta d = std::move(delta_);
   delta_ = RepairDelta{};
   d.epoch = epoch_;
@@ -105,6 +107,7 @@ RepairDelta IncrementalSolver::take_delta_(bool classify) const {
     }  // created-then-destroyed inside one window nets out to nothing
   }
   delta_touched_.clear();
+  prof::charge_bytes(8 * d.nodes.size());
   if (!d.empty()) {
     ++delta_stats_.windows;
     if (d.full) ++delta_stats_.full;
@@ -213,8 +216,12 @@ void IncrementalSolver::apply_one_(const Edit& e) {
                                                : inst_.b[e.node] == e.value;
   if (noop) return;
   const std::size_t n = inst_.size();
-  const bool within =
-      graph::dirty_region(preds_, e.node, policy_.dirty_budget(n, cost_fit_), dirty_buf_);
+  bool within;
+  {
+    prof::Scope prof_scope("inc/dirty_region");
+    within = graph::dirty_region(preds_, e.node, policy_.dirty_budget(n, cost_fit_), dirty_buf_);
+    prof::charge_bytes(8 * dirty_buf_.size());  // BFS over preds_ + the region buffer
+  }
   // Minting labels never reuses retired ones and pop_ grows with the label
   // space, so a long repair streak must occasionally compact via a rebuild
   // (which renames back to [0, blocks)).  Capping at ~4n keeps memory
@@ -330,6 +337,10 @@ void IncrementalSolver::destroy_cycle_(u32 id) {
 }
 
 void IncrementalSolver::repair_(u32 x, std::span<const u32> dirty) {
+  prof::Scope prof_scope("inc/repair");
+  // Retract + cycle walk + class-map touch: ~3 passes over the region.
+  prof::charge_bytes(24 * dirty.size());
+  prof::charge_flops(3 * dirty.size());
   // Phase 1 — retract: every dirty node gives back its label population and
   // signature; the only cycle that can intersect the dirty set is x's own
   // (any cycle node reaching x must share x's cycle), so at most one class
@@ -400,15 +411,20 @@ void IncrementalSolver::repair_(u32 x, std::span<const u32> dirty) {
   // Phase 4 — dirty tree nodes, in BFS layer order from x: f(v) is either
   // clean, on the new cycle, or an earlier layer, so its label is final and
   // the signature map realizes Q(v) = Q(u) <=> B(v)=B(u) ^ Q(f(v))=Q(f(u)).
-  for (u32 v : dirty) {
-    if (on_cycle_[v]) continue;
-    q_[v] = sig_assign_(v);
-    pop_inc_(q_[v], false);
+  {
+    prof::Scope prof_sigmap("sigmap_update");  // -> inc/repair/sigmap_update
+    prof::charge_bytes(16 * dirty.size());     // sig probe + label/pop writes
+    for (u32 v : dirty) {
+      if (on_cycle_[v]) continue;
+      q_[v] = sig_assign_(v);
+      pop_inc_(q_[v], false);
+    }
   }
   pram::charge(3 * dirty.size());
 }
 
 void IncrementalSolver::rebuild_() {
+  prof::Scope prof_scope("inc/rebuild");  // nests the solver's solve/* phases
   const core::Result r = solver_.solve(inst_);
   const std::size_t n = inst_.size();
   q_ = r.q;

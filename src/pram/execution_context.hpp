@@ -25,6 +25,10 @@
 #include "pram/metrics.hpp"
 #include "pram/types.hpp"
 
+namespace sfcp::prof {
+class Profiler;  // prof/profile.hpp
+}  // namespace sfcp::prof
+
 namespace sfcp::pram {
 
 /// Default session seed (used when no context is installed).
@@ -34,6 +38,12 @@ struct ExecutionContext {
   int threads = 0;             ///< worker threads; 0 = inherit process default
   std::size_t grain = 0;       ///< min elements per parallel chunk; 0 = inherit
   Metrics* metrics = nullptr;  ///< work/depth sink; null = don't count
+  /// Phase-scope sink (prof/profile.hpp).  Unlike `metrics`, null does NOT
+  /// mean "don't profile": scope resolution falls through to the process
+  /// default installed by prof::ScopedProfiler, so a profiler set at the
+  /// top of a run still sees engine internals that install their own
+  /// context copies.  No-op unless built with SFCP_PROFILE=ON.
+  prof::Profiler* profiler = nullptr;
   /// Base seed for randomized kernels: salts the CRCW hash table's probe
   /// sequence (canonical outputs are seed-independent; see prim/hash_table).
   u64 seed = kDefaultSeed;
@@ -48,6 +58,10 @@ struct ExecutionContext {
   }
   ExecutionContext& with_metrics(Metrics* m) noexcept {
     metrics = m;
+    return *this;
+  }
+  ExecutionContext& with_profiler(prof::Profiler* p) noexcept {
+    profiler = p;
     return *this;
   }
   ExecutionContext& with_seed(u64 s) noexcept {

@@ -1,0 +1,23 @@
+#pragma once
+// prof::now_ns — THE monotonic clock of the repo.
+//
+// Every wall-time observation (profiler scopes, util::Timer, the
+// nanosecond samples fed to pram::CostModel) reads this one steady_clock
+// epoch, so a CostModel observation and a profile-tree node are directly
+// comparable: same origin, same unit, no cross-clock skew.
+
+#include <chrono>
+#include <cstdint>
+
+namespace sfcp::prof {
+
+/// Nanoseconds on the process-wide monotonic clock.  Always compiled —
+/// independent of SFCP_PROFILE — because cost sampling uses it too.
+inline std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace sfcp::prof

@@ -1,0 +1,214 @@
+#include "prof/profile.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <iomanip>
+#include <ostream>
+
+namespace sfcp::prof {
+
+namespace detail {
+
+namespace {
+std::atomic<Profiler*> g_default{nullptr};
+std::atomic<u64> g_next_id{1};
+}  // namespace
+
+Profiler* default_profiler() noexcept { return g_default.load(std::memory_order_acquire); }
+void set_default_profiler(Profiler* p) noexcept { g_default.store(p, std::memory_order_release); }
+
+}  // namespace detail
+
+// ---------------------------------------------------------------- Profiler
+
+Profiler::Profiler() : id_(detail::g_next_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+Profiler::~Profiler() {
+  if (detail::default_profiler() == this) detail::set_default_profiler(nullptr);
+}
+
+Profiler::ThreadBuf* Profiler::local_buf_() {
+  // Keyed by the process-unique profiler id, never its address: ids are
+  // never reused, so a stale cache entry for a destroyed profiler can never
+  // alias a new one.
+  thread_local std::unordered_map<u64, ThreadBuf*> cache;
+  auto it = cache.find(id_);
+  if (it != cache.end()) return it->second;
+  std::lock_guard<std::mutex> lock(mu_);
+  bufs_.push_back(std::make_unique<ThreadBuf>());
+  ThreadBuf* buf = bufs_.back().get();
+  cache.emplace(id_, buf);
+  return buf;
+}
+
+ProfileTree Profiler::snapshot() const {
+  std::unordered_map<std::string, PhaseNode> merged;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& buf : bufs_) {
+      std::lock_guard<std::mutex> buf_lock(buf->mu);
+      for (const auto& [path, node] : buf->phases) {
+        PhaseNode& m = merged[path];
+        m.path = path;
+        m.ns += node.ns;
+        m.count += node.count;
+        m.flops += node.flops;
+        m.bytes += node.bytes;
+      }
+    }
+  }
+  ProfileTree tree;
+  tree.phases.reserve(merged.size());
+  for (auto& [path, node] : merged) tree.phases.push_back(std::move(node));
+  std::sort(tree.phases.begin(), tree.phases.end(),
+            [](const PhaseNode& a, const PhaseNode& b) { return a.path < b.path; });
+  return tree;
+}
+
+void Profiler::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buf : bufs_) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    buf->phases.clear();
+  }
+}
+
+// ------------------------------------------------------------------- Scope
+
+#if defined(SFCP_PROFILE)
+
+Scope::Scope(const char* name) {
+  Profiler* p = session_profiler();
+  if (p == nullptr) return;
+  buf_ = p->local_buf_();
+  saved_len_ = buf_->path.size();
+  if (!buf_->path.empty()) buf_->path.push_back('/');
+  buf_->path.append(name);
+  parent_ = detail::tls_scope;
+  detail::tls_scope = this;
+  start_ = now_ns();  // last: exclude our own setup from the charged window
+}
+
+Scope::~Scope() {
+  if (buf_ == nullptr) return;
+  const u64 dur = now_ns() - start_;
+  {
+    std::lock_guard<std::mutex> lock(buf_->mu);
+    PhaseNode& node = buf_->phases[buf_->path];
+    if (node.path.empty()) node.path = buf_->path;
+    node.ns += dur;
+    node.count += 1;
+    node.flops += flops_;
+    node.bytes += bytes_;
+  }
+  buf_->path.resize(saved_len_);
+  detail::tls_scope = parent_;
+}
+
+#endif  // SFCP_PROFILE
+
+// ------------------------------------------------------------- ProfileTree
+
+const PhaseNode* ProfileTree::find(std::string_view path) const noexcept {
+  for (const PhaseNode& n : phases)
+    if (n.path == path) return &n;
+  return nullptr;
+}
+
+u64 ProfileTree::ns_of(std::string_view path) const noexcept {
+  const PhaseNode* n = find(path);
+  return n != nullptr ? n->ns : 0;
+}
+
+void ProfileTree::render(std::ostream& os, double peak_gbps) const {
+  if (phases.empty()) {
+    os << "(empty profile — build with -DSFCP_PROFILE=ON and install a prof::Profiler)\n";
+    return;
+  }
+  std::vector<PhaseNode> sorted = phases;  // defensive: wire trees may arrive unsorted
+  std::sort(sorted.begin(), sorted.end(),
+            [](const PhaseNode& a, const PhaseNode& b) { return a.path < b.path; });
+
+  // Paths may skip levels ("serve/epoch_apply/inc/dirty_region" with no
+  // recorded "serve/epoch_apply/inc"), so the tree is built over RECORDED
+  // ancestors: each node hangs off its nearest recorded proper prefix, its
+  // label is the remaining path, and self-time subtracts the maximal
+  // recorded descendants (those with no recorded ancestor in between).
+  // A proper prefix sorts before its descendants, so one pass suffices.
+  std::unordered_map<std::string_view, int> depth_of;
+  std::vector<int> depths(sorted.size(), 0);
+  std::vector<std::string_view> labels(sorted.size());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const std::string_view path = sorted[i].path;
+    labels[i] = path;
+    for (std::size_t pos = path.rfind('/'); pos != std::string_view::npos && pos > 0;
+         pos = path.rfind('/', pos - 1)) {
+      const auto it = depth_of.find(path.substr(0, pos));
+      if (it != depth_of.end()) {
+        depths[i] = it->second + 1;
+        labels[i] = path.substr(pos + 1);
+        break;
+      }
+    }
+    depth_of.emplace(path, depths[i]);
+  }
+
+  os << std::left << std::setw(34) << "phase" << std::right << std::setw(9) << "count"
+     << std::setw(12) << "total ms" << std::setw(12) << "self ms" << std::setw(10) << "GB/s"
+     << std::setw(10) << "GFLOP/s";
+  if (peak_gbps > 0.0) os << std::setw(8) << "%peak";
+  os << '\n';
+
+  const auto old_flags = os.flags();
+  const auto old_prec = os.precision();
+  os << std::fixed;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const PhaseNode& n = sorted[i];
+    const std::string prefix = n.path + "/";
+    u64 child_ns = 0;
+    for (std::size_t j = i + 1;
+         j < sorted.size() && sorted[j].path.compare(0, prefix.size(), prefix) == 0;) {
+      child_ns += sorted[j].ns;  // a maximal descendant; skip ITS subtree
+      const std::string sub = sorted[j].path + "/";
+      for (++j; j < sorted.size() && sorted[j].path.compare(0, sub.size(), sub) == 0; ++j) {
+      }
+    }
+    const u64 self_ns = n.ns > child_ns ? n.ns - child_ns : 0;  // cross-thread clamp
+
+    std::string label(static_cast<std::size_t>(2 * depths[i]), ' ');
+    label += labels[i];
+    os << std::left << std::setw(34) << label << std::right << std::setw(9) << n.count
+       << std::setw(12) << std::setprecision(3) << static_cast<double>(n.ns) / 1e6
+       << std::setw(12) << std::setprecision(3) << static_cast<double>(self_ns) / 1e6;
+    // bytes/ns == GB/s exactly; flops/ns == GFLOP/s.
+    if (n.bytes > 0 && n.ns > 0)
+      os << std::setw(10) << std::setprecision(2)
+         << static_cast<double>(n.bytes) / static_cast<double>(n.ns);
+    else
+      os << std::setw(10) << "-";
+    if (n.flops > 0 && n.ns > 0)
+      os << std::setw(10) << std::setprecision(2)
+         << static_cast<double>(n.flops) / static_cast<double>(n.ns);
+    else
+      os << std::setw(10) << "-";
+    if (peak_gbps > 0.0) {
+      if (n.bytes > 0 && n.ns > 0)
+        os << std::setw(7) << std::setprecision(1)
+           << 100.0 * (static_cast<double>(n.bytes) / static_cast<double>(n.ns)) / peak_gbps << '%';
+      else
+        os << std::setw(8) << "-";
+    }
+    os << '\n';
+  }
+  os.flags(old_flags);
+  os.precision(old_prec);
+}
+
+// ----------------------------------------------------------------- session
+
+ProfileTree session_snapshot() {
+  Profiler* p = session_profiler();
+  return p != nullptr ? p->snapshot() : ProfileTree{};
+}
+
+}  // namespace sfcp::prof

@@ -216,19 +216,22 @@ Client::Labels Client::labels() {
   return out;
 }
 
-std::vector<std::pair<std::string, u64>> Client::stats() {
+std::vector<std::pair<std::string, u64>> Client::stats() { return stats_full().counters; }
+
+Client::Stats Client::stats_full() {
   send_frame_(FrameType::kStats, {});
   const Frame f = await_response_(FrameType::kStatsData);
   PayloadReader r(f.payload);
   const u32 count = r.get_u32("stats count");
-  std::vector<std::pair<std::string, u64>> out;
-  out.reserve(count);
+  Stats out;
+  out.counters.reserve(count);
   for (u32 i = 0; i < count; ++i) {
     const u8 klen = r.get_u8("stats key length");
     std::string key(r.get_bytes(klen, "stats key"));
     const u64 value = r.get_u64("stats value");
-    out.emplace_back(std::move(key), value);
+    out.counters.emplace_back(std::move(key), value);
   }
+  out.profile = decode_profile_section(r);  // old-format payload: empty tree
   r.expect_end("StatsData frame");
   return out;
 }

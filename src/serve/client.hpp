@@ -67,6 +67,14 @@ class Client {
   /// STATS frame: named u64 counters, in server order.
   std::vector<std::pair<std::string, u64>> stats();
 
+  struct Stats {
+    std::vector<std::pair<std::string, u64>> counters;  ///< server order
+    prof::ProfileTree profile;  ///< empty unless the server sent the section
+  };
+  /// STATS frame including the optional phase-profile section (empty tree
+  /// against an old-format server or a non-profiling build).
+  Stats stats_full();
+
   /// Asks the server to checkpoint (empty path = its configured one);
   /// returns the checkpointed epoch.
   u64 checkpoint(const std::string& path = "");

@@ -1,5 +1,6 @@
 #include "serve/protocol.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cstring>
 #include <stdexcept>
@@ -181,6 +182,47 @@ Notification decode_notify(std::string_view payload) {
   for (u32 i = 0; i < count; ++i) n.classes.push_back(r.get_u32("notify class id"));
   r.expect_end("Notify frame");
   return n;
+}
+
+void append_profile_section(PayloadWriter& w, const prof::ProfileTree& tree) {
+  if (tree.empty()) return;
+  w.put_u8(1);  // profile section version
+  w.put_u32(static_cast<u32>(tree.phases.size()));
+  for (const prof::PhaseNode& p : tree.phases) {
+    const std::size_t len = std::min<std::size_t>(p.path.size(), 0xffff);
+    w.put_u8(static_cast<u8>(len & 0xff));
+    w.put_u8(static_cast<u8>(len >> 8));
+    w.put_bytes(p.path.data(), len);
+    w.put_u64(p.ns);
+    w.put_u64(p.count);
+    w.put_u64(p.flops);
+    w.put_u64(p.bytes);
+  }
+}
+
+prof::ProfileTree decode_profile_section(PayloadReader& r) {
+  prof::ProfileTree tree;
+  if (r.remaining() == 0) return tree;  // old-format payload: no section
+  const u8 version = r.get_u8("profile section version");
+  if (version != 1) {
+    // A future section: skip it whole rather than failing the frame.
+    r.get_bytes(r.remaining(), "unknown profile section");
+    return tree;
+  }
+  const u32 count = r.get_u32("profile phase count");
+  tree.phases.reserve(std::min<u32>(count, 4096));
+  for (u32 i = 0; i < count; ++i) {
+    prof::PhaseNode p;
+    const u32 lo = r.get_u8("profile path length");
+    const u32 hi = r.get_u8("profile path length");
+    p.path = std::string(r.get_bytes(lo | (hi << 8), "profile path"));
+    p.ns = r.get_u64("profile ns");
+    p.count = r.get_u64("profile count");
+    p.flops = r.get_u64("profile flops");
+    p.bytes = r.get_u64("profile bytes");
+    tree.phases.push_back(std::move(p));
+  }
+  return tree;
 }
 
 // ---- FrameSplitter -------------------------------------------------------

@@ -27,7 +27,15 @@
 //   Class       u64 epoch, u32 class_id
 //   MembersData u64 epoch, u32 count, u32[count] member nodes (ascending)
 //   LabelsData  u64 epoch, u32 num_classes, u32 n, u32[n] canonical labels
-//   StatsData   u32 count, count x ([u8 key_len][key bytes][u64 value])
+//   StatsData   u32 count, count x ([u8 key_len][key bytes][u64 value]),
+//               optionally followed by a profile section when the server has
+//               phase-profile data (SFCP_PROFILE builds): u8 version (1),
+//               u32 phase_count, phase_count x ([u16 path_len][path bytes]
+//               [u64 ns][u64 count][u64 flops][u64 bytes]).  Absent section =
+//               old-format payload (pre-profile servers); clients that stop
+//               after the counters (old clients) are unaffected because the
+//               section is strictly trailing.  An unknown version is skipped
+//               whole.
 //   Ok          u64 epoch
 //   Notify      u64 epoch, u8 full, u32 count, u32[count] changed canonical
 //               class ids — the SUBSCRIBE stream; full = 1 downgrades to a
@@ -41,6 +49,7 @@
 
 #include "inc/edit.hpp"
 #include "pram/types.hpp"
+#include "prof/profile.hpp"
 
 namespace sfcp::serve {
 
@@ -138,6 +147,16 @@ struct Notification {
   std::vector<u32> classes;    ///< changed canonical class ids (empty when full)
 };
 Notification decode_notify(std::string_view payload);
+
+/// Appends the optional STATS profile section (layout in the frame table
+/// above).  No-op for an empty tree — absence IS the empty encoding, which
+/// is what keeps pre-profile clients working.
+void append_profile_section(PayloadWriter& w, const prof::ProfileTree& tree);
+
+/// Decodes the optional trailing profile section and consumes the reader to
+/// the end: an already-exhausted reader yields an empty tree (old-format
+/// payload), an unknown section version is skipped whole.
+prof::ProfileTree decode_profile_section(PayloadReader& r);
 
 // ---- incremental frame extraction ----------------------------------------
 

@@ -32,7 +32,9 @@ void print_serve_help(std::ostream& out) {
          "  members <c>              nodes of class c\n"
          "  blocks                   current class count\n"
          "  view                     served epoch / n / class count\n"
-         "  stats                    server + engine counters\n"
+         "  stats                    server + engine counters (+ fsync/apply time\n"
+         "                           when the server profiles)\n"
+         "  profile                  per-phase profile tree (SFCP_PROFILE servers)\n"
          "  checkpoint [path]        server-side checkpoint (default: its configured path)\n"
          "  subscribe                join the change-notification feed\n"
          "  await [timeout_ms]       wait for the next change notification\n"
@@ -86,9 +88,24 @@ ReplResult run_serve_command(Client& client, const std::string& line, std::ostre
       const Client::ViewInfo v = client.view();
       out << "epoch=" << v.epoch << " n=" << v.n << " classes=" << v.num_classes << "\n";
     } else if (cmd == "stats") {
-      for (const auto& [key, value] : client.stats()) {
+      const Client::Stats st = client.stats_full();
+      for (const auto& [key, value] : st.counters) {
         out << key << "=" << value << "\n";
       }
+      // The durability cost lines operators asked for: what an epoch spends
+      // in the journal fsync and the engine apply, straight from the
+      // profile tree (absent on non-profiling servers).
+      if (const prof::PhaseNode* f = st.profile.find("serve/journal_fsync")) {
+        out << "journal_fsync_ms=" << static_cast<double>(f->ns) / 1e6
+            << " (calls=" << f->count << ")\n";
+      }
+      if (const prof::PhaseNode* a = st.profile.find("serve/epoch_apply")) {
+        out << "epoch_apply_ms=" << static_cast<double>(a->ns) / 1e6
+            << " (calls=" << a->count << ")\n";
+      }
+    } else if (cmd == "profile") {
+      const Client::Stats st = client.stats_full();
+      st.profile.render(out);
     } else if (cmd == "checkpoint") {
       std::string path;
       ss >> path;

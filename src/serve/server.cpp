@@ -21,6 +21,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "prof/profile.hpp"
+
 namespace sfcp::serve {
 namespace {
 
@@ -453,7 +455,10 @@ void Server::handle_frame_(Connection& c, const Frame& f) {
             return;
           }
           try {
+            prof::Scope prof_scope("serve/journal_append");
+            const u64 before = journal_.bytes();
             journal_.append(util::JournalRecord{engine_->epoch(), edits});
+            prof::charge_bytes(journal_.bytes() - before);
           } catch (const std::exception& e) {
             // append() rolled the partial record back, so the log on disk is
             // intact — but the device is refusing writes (ENOSPC and
@@ -574,12 +579,26 @@ void Server::handle_frame_(Connection& c, const Frame& f) {
 
 void Server::flush() {
   if (!batch_.empty()) {
-    engine_->apply(batch_);
+    {
+      prof::Scope prof_scope("serve/epoch_apply");
+      prof::charge_bytes(9 * batch_.size());  // one wire edit record per entry
+      engine_->apply(batch_);
+    }
     batch_.clear();
-    if (durable_) journal_.sync_epoch();
+    if (durable_) {
+      prof::Scope prof_scope("serve/journal_fsync");
+      journal_.sync_epoch();
+    }
     ++stats_.epochs_flushed;
-    const inc::ViewDelta vd = refresh_served_view_();
-    notify_subscribers_(vd);
+    inc::ViewDelta vd;
+    {
+      prof::Scope prof_scope("serve/view_advance");
+      vd = refresh_served_view_();
+    }
+    {
+      prof::Scope prof_scope("serve/notify");
+      notify_subscribers_(vd);
+    }
     maybe_autocheckpoint_();
   }
   if (!pending_acks_.empty()) {
@@ -626,6 +645,7 @@ void Server::notify_subscribers_(const inc::ViewDelta& vd) {
   for (const auto& c : conns_) {
     if (c->subscribed && !c->closing) {
       send_frame_(*c, FrameType::kNotify, payload);
+      prof::charge_bytes(payload.size());
       ++stats_.notifications_sent;
     }
   }
@@ -701,6 +721,9 @@ std::string Server::encode_stats_() const {
     w.put_bytes(key.data(), key.size());
     w.put_u64(value);
   }
+  // Trailing, optional, and absent when empty: old clients that stop after
+  // the counters never see it (see protocol.hpp).
+  append_profile_section(w, es.profile);
   return w.take();
 }
 

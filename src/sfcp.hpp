@@ -70,6 +70,14 @@
 // Execution configuration: pram::ExecutionContext (threads, grain, metrics
 // sink, RNG seed) installs thread-locally, so concurrent sessions with
 // different settings never interfere — see pram/execution_context.hpp.
+//
+// Profiling (builds configured with -DSFCP_PROFILE=ON): prof::ScopedProfiler
+// installs a session profiler, solver/incremental/shard/serve hot paths open
+// prof::Scope phases with charged FLOP/byte counts, and the merged
+// prof::ProfileTree travels through Engine::serving_stats(), the STATS wire
+// frame and bench --json records — rendered as a roofline against the
+// bench_machine_peak STREAM measurement by tools/profile_report.py.  In
+// default builds every scope compiles out — see prof/profile.hpp.
 
 #include "core/baselines.hpp"
 #include "core/coarsest_partition.hpp"
@@ -106,6 +114,8 @@
 #include "prim/merge.hpp"
 #include "prim/rename.hpp"
 #include "prim/scan.hpp"
+#include "prof/clock.hpp"
+#include "prof/profile.hpp"
 #include "serve/client.hpp"
 #include "serve/journal.hpp"
 #include "serve/protocol.hpp"

@@ -11,6 +11,7 @@
 #include "graph/components.hpp"
 #include "pram/metrics.hpp"
 #include "pram/parallel_for.hpp"
+#include "prof/profile.hpp"
 #include "util/io.hpp"
 #include "util/timer.hpp"
 
@@ -43,10 +44,12 @@ u32 ShardedEngine::shard_of(u32 x) const {
 
 void ShardedEngine::reshard_all_() {
   pram::ScopedContext guard(&ctx_);
+  prof::Scope prof_scope("shard/reshard");
   // Every reshard (including the construction pass) is a full-cost sample
   // anchoring the adaptive migrate-vs-reshard fit.
   const util::Timer timer;
   const std::size_t n = inst_.size();
+  prof::charge_bytes(24 * n);  // components pass + node redistribution + rebuilds
   const graph::Components comp = graph::connected_components(inst_.f);
   const std::size_t k = shards_.size();
 
@@ -151,6 +154,9 @@ void ShardedEngine::apply_segment_(std::span<const inc::Edit> seg) {
     pram::ScopedContext guard(fan);
     const std::size_t active = active_buf_.size();
     pram::parallel_for(0, active, [&](std::size_t idx) {
+      // Workers start from an empty scope path, so the slash in the name is
+      // what files this under "shard" in the merged tree.
+      prof::Scope prof_scope("shard/repair");
       const u32 s = active_buf_[idx];
       shards_[s].solver->apply(bucket_buf_[s]);
     });
@@ -196,6 +202,8 @@ void ShardedEngine::apply_cross_shard_(const inc::Edit& e) {
   }
 
   const util::Timer timer;
+  prof::Scope prof_scope("shard/migrate");
+  prof::charge_bytes(8 * (src.nodes.size() + shards_[b].nodes.size() + moved));
   std::vector<u32> keep, move;
   keep.reserve(src.nodes.size() - moved);
   move.reserve(moved);
@@ -415,6 +423,7 @@ void ShardedEngine::reconcile_shard_(std::size_t s, bool collect_patch,
                                      std::vector<u32>& patch_nodes,
                                      std::vector<u32>& patch_labels) {
   ShardState& sh = shards_[s];
+  prof::Scope prof_scope("shard/merge");
   const inc::RepairDelta d = sh.solver->take_delta();
   const bool per_class = !sh.full && !d.full && apply_label_delta_(s, d);
   if (per_class) {
@@ -430,6 +439,7 @@ void ShardedEngine::reconcile_shard_(std::size_t s, bool collect_patch,
       }
     }
     pram::charge(2 * d.nodes.size() + 3 * d.touched_classes());
+    prof::charge_bytes(8 * (d.nodes.size() + d.touched_classes()));
   } else {
     requotient_full_(s);
     ++stats_.full_merges;
@@ -441,6 +451,7 @@ void ShardedEngine::reconcile_shard_(std::size_t s, bool collect_patch,
       }
     }
     pram::charge(2 * sh.nodes.size());
+    prof::charge_bytes(8 * sh.nodes.size());
   }
   sh.full = false;
   sh.counters = sh.solver->view_counters();
@@ -546,6 +557,7 @@ EngineStats ShardedEngine::serving_stats() const {
   s.merge_touched_nodes = stats_.merge_touched_nodes;
   s.adaptive_reshard = reshard_.adaptive;
   s.reshard_fit = reshard_fit_;
+  s.profile = prof::session_snapshot();
   return s;
 }
 

@@ -27,6 +27,12 @@ void append_escaped(std::ostream& os, const std::string& s) {
 
 void append_bench_record(const std::string& path, const std::string& name, u64 n,
                          const std::string& strategy, int threads, double ms) {
+  append_bench_record(path, name, n, strategy, threads, ms, prof::ProfileTree{});
+}
+
+void append_bench_record(const std::string& path, const std::string& name, u64 n,
+                         const std::string& strategy, int threads, double ms,
+                         const prof::ProfileTree& profile) {
   if (path.empty()) return;
   std::ofstream os(path, std::ios::app);
   if (!os) throw std::runtime_error("append_bench_record: cannot open " + path);
@@ -34,7 +40,21 @@ void append_bench_record(const std::string& path, const std::string& name, u64 n
   append_escaped(os, name);
   os << "\",\"n\":" << n << ",\"strategy\":\"";
   append_escaped(os, strategy);
-  os << "\",\"threads\":" << threads << ",\"ms\":" << ms << "}\n";
+  os << "\",\"threads\":" << threads << ",\"ms\":" << ms;
+  if (!profile.empty()) {
+    os << ",\"profile\":{";
+    bool first = true;
+    for (const prof::PhaseNode& p : profile.phases) {
+      if (!first) os << ',';
+      first = false;
+      os << '"';
+      append_escaped(os, p.path);
+      os << "\":{\"ns\":" << p.ns << ",\"count\":" << p.count << ",\"flops\":" << p.flops
+         << ",\"bytes\":" << p.bytes << '}';
+    }
+    os << '}';
+  }
+  os << "}\n";
 }
 
 std::string consume_json_flag(int& argc, char** argv) {

@@ -6,12 +6,22 @@
 //
 //   {"name":"e1_sfcp","n":16384,"strategy":"parallel","threads":8,"ms":12.3}
 //
+// When the run carried a phase profile (SFCP_PROFILE builds with a
+// profiler installed), the record additionally gets a flattened `profile`
+// object keyed by scope path:
+//
+//   ...,"profile":{"serve/epoch_apply":{"ns":1234,"count":8,"flops":0,
+//   "bytes":4096},...}}
+//
 // Table mains use BenchJson; google-benchmark targets get the flag from the
-// shared bench/json_main.cpp reporter.
+// shared bench/json_main.cpp reporter.  tools/profile_report.py renders the
+// profile objects as a roofline table; tools/bench_diff.py diffs the phase
+// times warn-only.
 
 #include <string>
 
 #include "pram/types.hpp"
+#include "prof/profile.hpp"
 
 namespace sfcp::util {
 
@@ -19,6 +29,12 @@ namespace sfcp::util {
 /// std::runtime_error when the file cannot be opened.
 void append_bench_record(const std::string& path, const std::string& name, u64 n,
                          const std::string& strategy, int threads, double ms);
+
+/// Same, with the run's phase profile flattened into a `profile` object
+/// (omitted entirely when the tree is empty, keeping the classic shape).
+void append_bench_record(const std::string& path, const std::string& name, u64 n,
+                         const std::string& strategy, int threads, double ms,
+                         const prof::ProfileTree& profile);
 
 /// Extracts `--json <path>` / `--json=<path>` from argv (removing the
 /// consumed arguments and updating argc); returns "" when absent.  A bare
@@ -38,6 +54,11 @@ class BenchJson {
   void record(const std::string& name, u64 n, const std::string& strategy, int threads,
               double ms) const {
     if (enabled()) append_bench_record(path_, name, n, strategy, threads, ms);
+  }
+
+  void record(const std::string& name, u64 n, const std::string& strategy, int threads,
+              double ms, const prof::ProfileTree& profile) const {
+    if (enabled()) append_bench_record(path_, name, n, strategy, threads, ms, profile);
   }
 
  private:

@@ -2,28 +2,29 @@
 // Wall-clock timing helpers: Timer for the benchmark table printers, and
 // the nanosecond observations the adaptive cost fits (pram::CostModel)
 // are fed from.
+//
+// Timer reads prof::now_ns() — the SAME monotonic clock the phase
+// profiler's scopes use — so a CostModel observation and a profile-tree
+// node measure on one shared timebase and are directly comparable.
 
-#include <chrono>
+#include "prof/clock.hpp"
 
 namespace sfcp::util {
 
 class Timer {
  public:
-  Timer() : start_(clock::now()) {}
+  Timer() : start_(prof::now_ns()) {}
 
-  void reset() { start_ = clock::now(); }
+  void reset() { start_ = prof::now_ns(); }
 
-  double seconds() const {
-    return std::chrono::duration<double>(clock::now() - start_).count();
-  }
+  double nanos() const { return static_cast<double>(prof::now_ns() - start_); }
 
-  double millis() const { return seconds() * 1e3; }
+  double seconds() const { return nanos() * 1e-9; }
 
-  double nanos() const { return seconds() * 1e9; }
+  double millis() const { return nanos() * 1e-6; }
 
  private:
-  using clock = std::chrono::steady_clock;
-  clock::time_point start_;
+  std::uint64_t start_;
 };
 
 }  // namespace sfcp::util

@@ -1,0 +1,278 @@
+// prof/: the scoped hierarchical phase profiler — nesting/merge semantics,
+// thread-buffer merging under pram::parallel_for, zero-cost compile-out,
+// the optional STATS-frame profile section (old-format compatibility both
+// ways) and the end-to-end server -> client path.
+//
+// Tests marked (enabled-only) skip in default builds: the contract there
+// is exactly that nothing records.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine.hpp"
+#include "pram/execution_context.hpp"
+#include "pram/parallel_for.hpp"
+#include "prof/profile.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "util/generators.hpp"
+#include "util/random.hpp"
+#include "util/timer.hpp"
+
+namespace sfcp {
+namespace {
+
+// The compile-out contract: a disabled Scope is an empty object (one byte,
+// no members, nothing to construct), so release hot paths pay zero.
+static_assert(prof::kEnabled || sizeof(prof::Scope) == 1,
+              "disabled prof::Scope must compile out to an empty object");
+
+TEST(Profile, DisabledBuildRecordsNothing) {
+  if (prof::kEnabled) GTEST_SKIP() << "SFCP_PROFILE build: scopes are live";
+  prof::Profiler p;
+  prof::ScopedProfiler guard(p);
+  {
+    prof::Scope s("solve/rename");
+    prof::charge_bytes(1024);
+    prof::charge_flops(64);
+  }
+  EXPECT_TRUE(p.snapshot().empty());
+}
+
+TEST(Profile, SessionProfilerResolvesContextFirstThenDefault) {
+  prof::Profiler ctx_prof, default_prof;
+  EXPECT_EQ(prof::session_profiler(), nullptr);
+  prof::ScopedProfiler guard(default_prof);
+  EXPECT_EQ(prof::session_profiler(), &default_prof);
+  {
+    // Unlike metrics, a context WITHOUT a profiler falls through to the
+    // default — that is what lets one top-level profiler see engine
+    // internals that install their own contexts.
+    pram::ExecutionContext ctx;
+    pram::ScopedContext cguard(&ctx);  // pointer ctor: mutations visible
+    EXPECT_EQ(prof::session_profiler(), &default_prof);
+    ctx.profiler = &ctx_prof;
+    EXPECT_EQ(prof::session_profiler(), &ctx_prof);
+  }
+  EXPECT_EQ(prof::session_profiler(), &default_prof);
+}
+
+TEST(Profile, NestingBuildsSlashPaths) {  // (enabled-only)
+  if (!prof::kEnabled) GTEST_SKIP() << "profiling compiled out";
+  prof::Profiler p;
+  prof::ScopedProfiler guard(p);
+  for (int i = 0; i < 3; ++i) {
+    prof::Scope outer("solve");
+    {
+      prof::Scope inner("rename");
+      prof::charge_bytes(100);
+      prof::charge_flops(10);
+    }
+    prof::charge_bytes(7);  // lands on "solve", not "solve/rename"
+  }
+  const prof::ProfileTree t = p.snapshot();
+  ASSERT_EQ(t.phases.size(), 2u);
+  const prof::PhaseNode* solve = t.find("solve");
+  const prof::PhaseNode* rename = t.find("solve/rename");
+  ASSERT_NE(solve, nullptr);
+  ASSERT_NE(rename, nullptr);
+  EXPECT_EQ(solve->count, 3u);
+  EXPECT_EQ(rename->count, 3u);
+  EXPECT_EQ(rename->bytes, 300u);
+  EXPECT_EQ(rename->flops, 30u);
+  EXPECT_EQ(solve->bytes, 21u);  // charges stay on their own node
+  EXPECT_GE(solve->ns, rename->ns);  // the outer scope spans the inner
+
+  p.reset();
+  EXPECT_TRUE(p.snapshot().empty());
+}
+
+TEST(Profile, ParallelForWorkersMergeIntoOneTree) {  // (enabled-only)
+  if (!prof::kEnabled) GTEST_SKIP() << "profiling compiled out";
+  prof::Profiler p;
+  pram::ExecutionContext ctx;
+  ctx.profiler = &p;
+  ctx.threads = 4;
+  ctx.grain = 1;
+  pram::ScopedContext guard(ctx);
+  constexpr std::size_t kN = 2000;
+  pram::parallel_for(0, kN, [](std::size_t) {
+    // Workers start at the root: the embedded slash claims the hierarchy.
+    prof::Scope s("par/worker");
+    prof::charge_bytes(1);
+  });
+  const prof::ProfileTree t = p.snapshot();
+  const prof::PhaseNode* w = t.find("par/worker");
+  ASSERT_NE(w, nullptr);
+  EXPECT_EQ(w->count, kN);  // every iteration merged, across all threads
+  EXPECT_EQ(w->bytes, kN);
+}
+
+TEST(Profile, SnapshotIsSafeWhileOtherThreadsRecord) {  // (enabled-only)
+  if (!prof::kEnabled) GTEST_SKIP() << "profiling compiled out";
+  prof::Profiler p;
+  prof::ScopedProfiler guard(p);
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    // The default profiler is process-wide, so the guard above covers us.
+    // At least 100 iterations even if stop wins the race with thread spawn.
+    for (int i = 0; i < 100 || !stop.load(); ++i) {
+      prof::Scope s("hot/loop");
+      prof::charge_bytes(8);
+    }
+  });
+  u64 last = 0;
+  for (int i = 0; i < 200; ++i) {
+    const prof::ProfileTree t = p.snapshot();
+    const u64 now = t.ns_of("hot/loop");
+    EXPECT_GE(now, last);  // merged totals only grow
+    last = now;
+  }
+  stop.store(true);
+  writer.join();
+  const prof::ProfileTree final_tree = p.snapshot();
+  const prof::PhaseNode* hot = final_tree.find("hot/loop");
+  ASSERT_NE(hot, nullptr);
+  EXPECT_GE(hot->count, 100u);
+  EXPECT_EQ(hot->bytes, hot->count * 8);
+}
+
+TEST(Profile, TimerSharesTheProfilerClock) {
+  // Satellite contract: util::Timer and prof scopes read one clock, so an
+  // interval measured by both agrees (same origin, same unit).
+  const util::Timer timer;
+  const u64 t0 = prof::now_ns();
+  std::ostringstream burn;
+  for (int i = 0; i < 1000; ++i) burn << i;
+  const u64 dt_prof = prof::now_ns() - t0;
+  const double dt_timer = timer.nanos();
+  EXPECT_GE(dt_timer, static_cast<double>(dt_prof) * 0.5);
+  // The timer started first and was read last, so it brackets the
+  // now_ns window from both sides.
+  EXPECT_GE(dt_timer + 1.0, static_cast<double>(dt_prof));
+}
+
+TEST(Profile, RenderShowsTreeAndRooflineColumns) {
+  prof::ProfileTree t;
+  t.phases.push_back({"serve", 4'000'000, 2, 0, 0});
+  t.phases.push_back({"serve/epoch_apply", 3'000'000, 2, 1'000'000, 6'000'000});
+  std::ostringstream os;
+  t.render(os, /*peak_gbps=*/20.0);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("epoch_apply"), std::string::npos);
+  EXPECT_NE(out.find("%peak"), std::string::npos);
+  EXPECT_NE(out.find("GB/s"), std::string::npos);
+
+  std::ostringstream empty_os;
+  prof::ProfileTree{}.render(empty_os);
+  EXPECT_NE(empty_os.str().find("empty profile"), std::string::npos);
+}
+
+// ---- the wire: optional STATS profile section ----------------------------
+
+TEST(ProfileWire, SectionRoundTrip) {
+  prof::ProfileTree t;
+  t.phases.push_back({"inc/repair", 123456789, 42, 7, 999});
+  t.phases.push_back({"serve/journal_fsync", 5, 1, 0, 0});
+  serve::PayloadWriter w;
+  serve::append_profile_section(w, t);
+  serve::PayloadReader r(w.str());
+  const prof::ProfileTree back = serve::decode_profile_section(r);
+  r.expect_end("profile section");
+  ASSERT_EQ(back.phases.size(), 2u);
+  EXPECT_EQ(back.phases[0], t.phases[0]);
+  EXPECT_EQ(back.phases[1], t.phases[1]);
+}
+
+TEST(ProfileWire, OldFormatPayloadDecodesToEmptyTree) {
+  // A pre-profile server's StatsData ends right after the counters; the new
+  // decoder must treat the exhausted payload as "no profile".
+  serve::PayloadWriter w;
+  w.put_u32(1);
+  const std::string key = "epoch";
+  w.put_u8(static_cast<u8>(key.size()));
+  w.put_bytes(key.data(), key.size());
+  w.put_u64(7);
+
+  serve::PayloadReader r(w.str());
+  EXPECT_EQ(r.get_u32("count"), 1u);
+  const u8 klen = r.get_u8("klen");
+  EXPECT_EQ(r.get_bytes(klen, "key"), "epoch");
+  EXPECT_EQ(r.get_u64("value"), 7u);
+  EXPECT_TRUE(serve::decode_profile_section(r).empty());
+  r.expect_end("StatsData frame");  // the old invariant still holds
+}
+
+TEST(ProfileWire, EmptyTreeEncodesAsAbsence) {
+  serve::PayloadWriter w;
+  serve::append_profile_section(w, prof::ProfileTree{});
+  EXPECT_TRUE(w.str().empty());  // absence IS the empty encoding
+}
+
+TEST(ProfileWire, UnknownSectionVersionIsSkippedWhole) {
+  serve::PayloadWriter w;
+  w.put_u8(9);  // a future section version
+  w.put_u64(0xdeadbeef);
+  serve::PayloadReader r(w.str());
+  EXPECT_TRUE(serve::decode_profile_section(r).empty());
+  r.expect_end("future section consumed");
+}
+
+// ---- end to end: engine stats and a live server --------------------------
+
+TEST(ProfileEndToEnd, EngineServingStatsCarryThePhaseTree) {
+  prof::Profiler p;
+  prof::ScopedProfiler guard(p);
+  util::Rng rng(77);
+  auto engine = engines().make("incremental", util::random_function(400, 4, rng));
+  for (u32 i = 0; i < 50; ++i) engine->set_b(i % 400, i);
+  (void)engine->view();
+  const EngineStats es = engine->serving_stats();
+  if (prof::kEnabled) {
+    EXPECT_FALSE(es.profile.empty());
+    // The per-edit path went through the dirty-region scope at least once.
+    EXPECT_GT(es.profile.ns_of("inc/dirty_region"), 0u);
+  } else {
+    EXPECT_TRUE(es.profile.empty());
+  }
+}
+
+TEST(ProfileEndToEnd, StatsFrameCarriesProfileOverLoopback) {
+  prof::Profiler p;
+  prof::ScopedProfiler guard(p);
+  util::Rng rng(91);
+  auto engine = engines().make("incremental", util::random_function(300, 3, rng));
+  serve::Server server(std::move(engine));
+  std::thread loop([&server] { server.run(); });
+  {
+    serve::Client client = serve::Client::connect("127.0.0.1", server.port());
+    std::vector<inc::Edit> edits;
+    for (u32 i = 0; i < 20; ++i) edits.push_back(inc::Edit::set_b(i, i + 1000));
+    client.apply(edits);
+    const serve::Client::Stats st = client.stats_full();
+    EXPECT_FALSE(st.counters.empty());  // counters decode exactly as before
+    bool saw_epoch = false;
+    for (const auto& [key, value] : st.counters) saw_epoch |= key == "epoch";
+    EXPECT_TRUE(saw_epoch);
+    if (prof::kEnabled) {
+      // The server loop thread recorded into the process-default profiler
+      // and shipped the tree through the optional STATS section.
+      EXPECT_FALSE(st.profile.empty());
+      EXPECT_GT(st.profile.ns_of("serve/epoch_apply"), 0u);
+    } else {
+      EXPECT_TRUE(st.profile.empty());
+    }
+    // The plain stats() accessor (old surface) keeps working either way.
+    EXPECT_FALSE(client.stats().empty());
+  }
+  server.stop();
+  loop.join();
+}
+
+}  // namespace
+}  // namespace sfcp
