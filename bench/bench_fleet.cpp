@@ -1,0 +1,174 @@
+// Multi-tenant fleet throughput: an in-process fleet::FleetEngine multiplexing
+// a million tiny instance-keyed engines behind warm/cold tiering.
+//
+//   * BM_FleetZipfEdits — one measured unit is a 256-edit apply_batch whose
+//     instance ids are Zipf(0.99)-distributed over 2^20 instances (the YCSB
+//     skew: a hot head that stays warm, a heavy tail that churns through the
+//     evict/fault-in path).  items_processed counts edits, so the console
+//     rate is routed edits/sec.  The warm set is capped at kWarmLimit
+//     instances; the exported warm / warm_bytes / evictions / faults /
+//     instances counters land in BENCH_fleet.json and document that the
+//     warm-set RSS stays bounded while the touched-instance count grows.
+//   * BM_FleetViewP99 — Zipf-routed single-instance views under the same
+//     edit traffic; the p99 over all iterations is exported as p99_us.
+//   * BM_FleetColdFlood — each iteration floods a fresh fleet with one
+//     apply_batch over kFlood distinct never-seen instances, so every one is
+//     materialized through core::Solver::solve_batch (the cold_batches
+//     counter proves the batched path ran).  items_processed counts
+//     instances, so the console rate is cold starts/sec.
+//
+// Recorded to BENCH_fleet.json in CI and diffed by tools/bench_diff.py.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fleet/fleet_engine.hpp"
+#include "util/generators.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace sfcp;
+
+constexpr u64 kInstances = u64{1} << 20;  // Zipf keyspace: 1,048,576 instances
+constexpr std::size_t kNodesPer = 24;     // nodes per instance ("small instances")
+constexpr u32 kLabels = 4;
+constexpr std::size_t kWarmLimit = 1024;  // warm-set cap (bounds resident engines)
+constexpr std::size_t kBatchEdits = 256;  // edits per measured apply_batch
+constexpr std::size_t kStreamLen = std::size_t{1} << 16;  // pre-sampled ids, cycled
+constexpr std::size_t kFlood = 1024;      // distinct cold instances per flood batch
+
+graph::Instance make_instance(fleet::InstanceId id) {
+  util::Rng rng(0x5eed ^ (id * 0x9e3779b97f4a7c15ull + 1));
+  return util::random_function(kNodesPer, kLabels, rng);
+}
+
+std::unique_ptr<fleet::FleetEngine> make_fleet(std::size_t warm_limit) {
+  fleet::FleetConfig cfg;
+  cfg.engine = "incremental";
+  cfg.warm_limit = warm_limit;
+  auto fleet = std::make_unique<fleet::FleetEngine>(std::move(cfg));
+  fleet->set_factory(make_instance);
+  return fleet;
+}
+
+/// Pre-sampled Zipf id stream + per-op edits (sampling must not be timed).
+struct Stream {
+  std::vector<fleet::InstanceId> ids;
+  std::vector<inc::Edit> edits;
+};
+
+const Stream& stream() {
+  static const Stream s = [] {
+    Stream out;
+    util::Rng rng(0xf1ee7);
+    util::ZipfSampler zipf(kInstances);
+    out.ids.resize(kStreamLen);
+    out.edits.resize(kStreamLen);
+    for (std::size_t i = 0; i < kStreamLen; ++i) {
+      out.ids[i] = zipf(rng);
+      const u32 x = rng.below_u32(kNodesPer);
+      out.edits[i] = rng.chance(0.75)
+                         ? inc::Edit::set_f(x, rng.below_u32(kNodesPer))
+                         : inc::Edit::set_b(x, rng.below_u32(kLabels));
+    }
+    return out;
+  }();
+  return s;
+}
+
+void export_fleet_counters(benchmark::State& state, const fleet::FleetStats& st) {
+  state.counters["instances"] = static_cast<double>(st.instances);
+  state.counters["warm"] = static_cast<double>(st.warm);
+  state.counters["warm_bytes"] = static_cast<double>(st.warm_bytes);
+  state.counters["evictions"] = static_cast<double>(st.evictions);
+  state.counters["faults"] = static_cast<double>(st.faults);
+  state.counters["cold_batches"] = static_cast<double>(st.cold_batches);
+}
+
+void BM_FleetZipfEdits(benchmark::State& state) {
+  const std::unique_ptr<fleet::FleetEngine> fleet = make_fleet(kWarmLimit);
+  const Stream& s = stream();
+  std::vector<fleet::InstanceEdit> batch(kBatchEdits);
+  std::size_t at = 0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < kBatchEdits; ++i) {
+      batch[i] = {s.ids[at], s.edits[at]};
+      if (++at == kStreamLen) at = 0;
+    }
+    fleet->apply_batch(batch);
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(kBatchEdits));
+  export_fleet_counters(state, fleet->stats());
+}
+
+void BM_FleetViewP99(benchmark::State& state) {
+  const std::unique_ptr<fleet::FleetEngine> fleet = make_fleet(kWarmLimit);
+  const Stream& s = stream();
+  std::vector<double> rtt_us;
+  rtt_us.reserve(1 << 16);
+  std::size_t at = 0;
+  for (auto _ : state) {
+    // Keep real routed edit traffic flowing: one applied edit per view.
+    fleet->apply(s.ids[at], {&s.edits[at], 1});
+    const fleet::InstanceId target = s.ids[(at + 1) % kStreamLen];
+    if (++at == kStreamLen) at = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(fleet->view(target).num_classes());
+    const auto t1 = std::chrono::steady_clock::now();
+    rtt_us.push_back(std::chrono::duration<double, std::micro>(t1 - t0).count());
+  }
+  if (!rtt_us.empty()) {
+    std::sort(rtt_us.begin(), rtt_us.end());
+    const std::size_t idx =
+        static_cast<std::size_t>(std::ceil(0.99 * static_cast<double>(rtt_us.size()))) - 1;
+    state.counters["p99_us"] = rtt_us[std::min(idx, rtt_us.size() - 1)];
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+  export_fleet_counters(state, fleet->stats());
+}
+
+void BM_FleetColdFlood(benchmark::State& state) {
+  u64 batches = 0, cold_instances = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    // A fresh fleet per iteration: every id below is unborn, so the whole
+    // flood funnels through one solve_batch (and RSS stays flat across
+    // iterations instead of accreting cold images).
+    const std::unique_ptr<fleet::FleetEngine> fleet = make_fleet(/*warm_limit=*/0);
+    std::vector<fleet::InstanceEdit> batch(kFlood);
+    for (std::size_t i = 0; i < kFlood; ++i) {
+      batch[i] = {kInstances + i, inc::Edit::set_f(0, 1)};
+    }
+    state.ResumeTiming();
+    fleet->apply_batch(batch);
+    const fleet::FleetStats st = fleet->stats();
+    batches += st.cold_batches;
+    cold_instances += st.batched_cold_instances;
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * static_cast<i64>(kFlood));
+  state.counters["cold_batches"] = static_cast<double>(batches);
+  state.counters["batched_cold_instances"] = static_cast<double>(cold_instances);
+}
+
+const int kRegistered = [] {
+  benchmark::RegisterBenchmark(
+      ("BM_FleetZipfEdits/zipf/" + std::to_string(kInstances)).c_str(), BM_FleetZipfEdits)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark(
+      ("BM_FleetViewP99/zipf/" + std::to_string(kInstances)).c_str(), BM_FleetViewP99)
+      ->Unit(benchmark::kMicrosecond);
+  benchmark::RegisterBenchmark(
+      ("BM_FleetColdFlood/flood/" + std::to_string(kFlood)).c_str(), BM_FleetColdFlood)
+      ->Unit(benchmark::kMillisecond);
+  return 0;
+}();
+
+}  // namespace

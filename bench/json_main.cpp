@@ -71,11 +71,16 @@ class JsonAppendReporter : public benchmark::ConsoleReporter {
       split_run_name(run.benchmark_name(), name, strategy, n);
       const double iters = run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
       const double ms = run.real_accumulated_time / iters * 1e3;
+      std::vector<std::pair<std::string, double>> counters;
+      counters.reserve(run.counters.size());
+      for (const auto& [key, counter] : run.counters) {
+        counters.emplace_back(key, counter.value);
+      }
       // run.threads is google-benchmark's own threading (always 1 here);
       // what perf trajectories care about is the OpenMP budget the solver
       // ran under — the same value the table recorders log.
       sfcp::util::append_bench_record(path_, name, n, strategy, sfcp::pram::threads(), ms,
-                                      profile);
+                                      profile, counters);
     }
   }
 

@@ -217,9 +217,9 @@ int main() {
           continue;
         }
         // Autodetects plain vs. sharded checkpoints from the magic.
-        std::unique_ptr<Engine> engine = load_engine_checkpoint(is);
-        engine_kind = std::string(engine->kind());
-        session.start(std::move(engine));
+        LoadedEngine loaded = load_engine_checkpoint(is);
+        engine_kind = std::string(loaded.kind);
+        session.start(std::move(loaded.engine));
         std::cout << "restored ";
         headline();
       } else if (cmd == "stream") {

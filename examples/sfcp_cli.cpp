@@ -18,6 +18,7 @@
 //   $ ./sfcp_cli stats instance.txt                 # orbit statistics
 //   $ ./sfcp_cli dot instance.txt > graph.dot       # Graphviz, Q-clustered
 //   $ ./sfcp_cli serve instance.txt --port 7227 --journal edits.wal
+//   $ ./sfcp_cli fleet --port 7227 --warm 4096      # multi-tenant fleet server
 //   $ ./sfcp_cli connect 127.0.0.1:7227             # sfcp-wire REPL
 //   $ ./sfcp_cli --version
 #include <algorithm>
@@ -27,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "fleet/fleet_engine.hpp"
 #include "serve/client.hpp"
 #include "serve/repl.hpp"
 #include "serve/server.hpp"
@@ -41,7 +43,7 @@ namespace {
 using namespace sfcp;
 
 const char* kUsage =
-    "usage: sfcp_cli {gen|solve|classes|verify|stats|dot|strategies|engines|serve|connect} ...\n"
+    "usage: sfcp_cli {gen|solve|classes|verify|stats|dot|strategies|engines|serve|fleet|connect} ...\n"
     "       sfcp_cli --version\n"
     "  gen {random|cycles|tail} <n-or-k> <param> <out-file>   generate an instance\n"
     "  solve <instance> [options]       solve and summarize ('solve --help' for options)\n"
@@ -51,6 +53,7 @@ const char* kUsage =
     "  dot <instance>                   Graphviz output, Q-clustered\n"
     "  strategies | engines             list registry entries\n"
     "  serve <instance> [options]       serve over TCP ('serve --help' for options)\n"
+    "  fleet [options]                  multi-tenant fleet server ('fleet --help')\n"
     "  connect [host:]port              interactive sfcp-wire REPL\n";
 
 int cmd_gen(int argc, char** argv) {
@@ -288,6 +291,106 @@ int cmd_serve(int argc, char** argv) {
   return 0;
 }
 
+void print_fleet_help() {
+  std::cout
+      << "usage: sfcp_cli fleet [options]\n"
+         "Serves a fleet of instance-keyed engines behind one port: FLEET_EDIT/\n"
+         "FLEET_VIEW frames route by instance id, instances materialize on first\n"
+         "touch from a deterministic generator, and idle ones are checkpointed\n"
+         "out of memory (warm/cold tiering).\n"
+         "  --host <addr>             bind address (default 127.0.0.1)\n"
+         "  --port <p>                TCP port (default 0 = ephemeral, printed at start)\n"
+         "  --engine <kind>           per-instance engine (default 'incremental')\n"
+         "  --instances <k>           valid instance ids are [0, k) (default 0 = any id)\n"
+         "  --n <nodes>               nodes per generated instance (default 64)\n"
+         "  --labels <k>              B-labels per generated instance (default 4)\n"
+         "  --warm <k>                max warm (in-memory) instances (default 1024,\n"
+         "                            0 = unbounded)\n"
+         "  --warm-bytes <b>          max warm-set footprint in bytes (default 0 =\n"
+         "                            unbounded); evicts least-recently-used first\n"
+         "  --spill-dir <dir>         evict cold instances to <dir>/i<id>.ckpt instead\n"
+         "                            of in-memory images; adopted back on restart\n"
+         "  --journal <path>          write-ahead fleet edit journal (sfcp-fleet-journal\n"
+         "                            v1); restart replays it per instance\n"
+         "  --fsync always|epoch|off  journal durability (default 'epoch')\n"
+         "  --seed <s>                generator seed (default 20260807)\n";
+}
+
+int cmd_fleet(int argc, char** argv) {
+  serve::ServerOptions opt;
+  fleet::FleetConfig cfg;
+  u64 instances = 0;
+  std::size_t nodes = 64;
+  u32 labels = 4;
+  u64 seed = 20260807;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help") {
+      print_fleet_help();
+      return 0;
+    } else if (arg == "--host" && i + 1 < argc) {
+      opt.host = argv[++i];
+    } else if (arg == "--port" && i + 1 < argc) {
+      opt.port = static_cast<std::uint16_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--engine" && i + 1 < argc) {
+      cfg.engine = argv[++i];
+    } else if (arg == "--instances" && i + 1 < argc) {
+      instances = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--n" && i + 1 < argc) {
+      nodes = std::strtoul(argv[++i], nullptr, 10);
+    } else if (arg == "--labels" && i + 1 < argc) {
+      labels = static_cast<u32>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--warm" && i + 1 < argc) {
+      cfg.warm_limit = std::strtoul(argv[++i], nullptr, 10);
+    } else if (arg == "--warm-bytes" && i + 1 < argc) {
+      cfg.warm_bytes_limit = std::strtoul(argv[++i], nullptr, 10);
+    } else if (arg == "--spill-dir" && i + 1 < argc) {
+      cfg.spill_dir = argv[++i];
+    } else if (arg == "--journal" && i + 1 < argc) {
+      opt.journal_path = argv[++i];
+    } else if (arg == "--fsync" && i + 1 < argc) {
+      opt.fsync = serve::parse_fsync_policy(argv[++i]);
+    } else if (arg == "--seed" && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      std::cerr << "unknown fleet option '" << arg << "' (try 'fleet --help')\n";
+      return 2;
+    }
+  }
+  if (!engines().find(cfg.engine)) {
+    std::cerr << "unknown engine '" << cfg.engine << "' (see 'sfcp_cli engines')\n";
+    return 2;
+  }
+  cfg.durable_spill = opt.fsync == serve::FsyncPolicy::Always;
+  auto fleet_engine = std::make_unique<fleet::FleetEngine>(std::move(cfg));
+  // Deterministic per-id generator: any instance id maps to the same graph
+  // on every process, so a journal (or spill dir) replays against identical
+  // instances after a restart.
+  fleet_engine->set_factory([instances, nodes, labels, seed](fleet::InstanceId id) {
+    if (instances != 0 && id >= instances) {
+      throw std::runtime_error("instance id " + std::to_string(id) + " out of range [0, " +
+                               std::to_string(instances) + ")");
+    }
+    util::Rng rng(seed ^ (id * 0x9e3779b97f4a7c15ull + 1));
+    return util::random_function(nodes, labels, rng);
+  });
+  prof::Profiler profiler;
+  prof::ScopedProfiler prof_guard(profiler);
+  serve::Server server(std::move(fleet_engine), opt);
+  const serve::ServeStats st = server.stats();
+  std::cout << "serving fleet (engine=" << server.fleet().config().engine << ", "
+            << nodes << " nodes/instance) on " << opt.host << ":" << server.port();
+  if (instances != 0) std::cout << " instances=" << instances;
+  if (!opt.journal_path.empty()) {
+    std::cout << " journal=" << opt.journal_path << " fsync="
+              << serve::fsync_policy_name(opt.fsync) << " replayed="
+              << st.recovered_records << (st.journal_tail_torn ? " (torn tail trimmed)" : "");
+  }
+  std::cout << std::endl;
+  server.run();
+  return 0;
+}
+
 int cmd_connect(int argc, char** argv) {
   std::string host = "127.0.0.1";
   std::string port_str = argv[0];
@@ -306,17 +409,35 @@ int cmd_connect(int argc, char** argv) {
     return 2;
   }
   serve::Client client = serve::Client::connect(host, static_cast<std::uint16_t>(port));
-  const serve::Client::ViewInfo v = client.view();
-  std::cout << "connected to " << host << ":" << port << " — n=" << v.n
-            << " classes=" << v.num_classes << " epoch=" << v.epoch
-            << " ('help' for commands)\n";
+  // STATS works in both server modes; a classic VIEW frame would be
+  // rejected by a fleet server before we know which kind we dialed.
+  u64 fleet_instances = 0;
+  bool fleet_mode = false;
+  for (const auto& [key, value] : client.stats()) {
+    if (key == "fleet_instances") {
+      fleet_mode = true;
+      fleet_instances = value;
+    }
+  }
+  if (fleet_mode) {
+    std::cout << "connected to " << host << ":" << port << " — fleet server, "
+              << fleet_instances
+              << " instances ('instance <id>' to route, 'help' for commands)\n";
+  } else {
+    const serve::Client::ViewInfo v = client.view();
+    std::cout << "connected to " << host << ":" << port << " — n=" << v.n
+              << " classes=" << v.num_classes << " epoch=" << v.epoch
+              << " ('help' for commands)\n";
+  }
   std::string line;
+  serve::ReplState repl_state;  // `instance <id>` fleet routing
   while (std::cout << "> " << std::flush, std::getline(std::cin, line)) {
     if (line == "help") {
       serve::print_serve_help(std::cout);
       continue;
     }
-    const serve::ReplResult r = serve::run_serve_command(client, line, std::cout);
+    const serve::ReplResult r =
+        serve::run_serve_command(client, line, std::cout, {}, &repl_state);
     if (r == serve::ReplResult::Quit) break;
     if (r == serve::ReplResult::Unknown) {
       std::cout << "unknown command — try 'help'\n";
@@ -345,6 +466,7 @@ int main(int argc, char** argv) {
     }
     if (cmd == "strategies") return cmd_strategies();
     if (cmd == "engines") return cmd_engines();
+    if (cmd == "fleet") return cmd_fleet(argc - 2, argv + 2);
     if (argc < 3) {
       std::cerr << kUsage;
       return 2;

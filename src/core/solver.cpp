@@ -19,9 +19,19 @@ PartitionView Solver::solve_view(const graph::Instance& inst, u64 epoch) {
 }
 
 std::vector<Solver::BatchEntry> Solver::solve_batch(std::span<const graph::Instance> instances) {
+  std::vector<BatchEntry> out(instances.size());
+  std::vector<pram::MetricsSnapshot> metrics =
+      solve_batch(instances, [&out](std::size_t i, Result&& r, const SolveWorkspace&) {
+        out[i].result = std::move(r);
+      });
+  for (std::size_t i = 0; i < out.size(); ++i) out[i].metrics = metrics[i];
+  return out;
+}
+
+std::vector<pram::MetricsSnapshot> Solver::solve_batch(
+    std::span<const graph::Instance> instances, const BatchConsumer& consume) {
   const std::size_t m = instances.size();
-  std::vector<BatchEntry> out(m);
-  if (m == 0) return out;
+  if (m == 0) return {};
 
   // Validate everything up front so a malformed instance throws before any
   // solving starts (and from the calling thread, not an OpenMP worker).
@@ -67,8 +77,10 @@ std::vector<Solver::BatchEntry> Solver::solve_batch(std::span<const graph::Insta
       local.seed = ctx_.seed + static_cast<u64>(i);
       pram::ScopedContext guard(&local);
       SolveWorkspace& ws = workspaces[static_cast<std::size_t>(omp_get_thread_num())];
-      out[static_cast<std::size_t>(i)].result = core::solve(instances[static_cast<std::size_t>(i)],
-                                                            opt_, ws);
+      Result r = core::solve(instances[static_cast<std::size_t>(i)], opt_, ws);
+      // The consumer runs before this worker's workspace is overwritten by
+      // its next instance — the only window in which ws describes r.
+      consume(static_cast<std::size_t>(i), std::move(r), ws);
     } catch (...) {
 #pragma omp critical(sfcp_solver_batch_error)
       if (!error) error = std::current_exception();
@@ -77,7 +89,8 @@ std::vector<Solver::BatchEntry> Solver::solve_batch(std::span<const graph::Insta
   if (bump_levels) omp_set_max_active_levels(saved_levels);
   if (error) std::rethrow_exception(error);
 
-  for (std::size_t i = 0; i < m; ++i) out[i].metrics = sinks[i].snapshot();
+  std::vector<pram::MetricsSnapshot> out(m);
+  for (std::size_t i = 0; i < m; ++i) out[i] = sinks[i].snapshot();
   return out;
 }
 

@@ -18,6 +18,7 @@
 // The free function core::solve(inst, opt) remains as a thin stateless
 // delegate for one-shot callers.
 
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -54,6 +55,24 @@ class Solver {
   /// results and per-instance metrics are index-aligned with the input.
   /// Labels are byte-identical to per-instance solve() calls.
   std::vector<BatchEntry> solve_batch(std::span<const graph::Instance> instances);
+
+  /// Called once per instance from the worker thread that solved it, while
+  /// that worker's per-batch workspace still describes instance `index` —
+  /// the ONLY window in which it does, since workspaces are reused across
+  /// instances within the batch.  Invoked concurrently for distinct indices
+  /// (the consumer must be thread-safe for disjoint work); the per-instance
+  /// ExecutionContext is still installed, so anything the consumer builds
+  /// (e.g. a warm engine seeded from the workspace) sees it.
+  using BatchConsumer = std::function<void(std::size_t index, Result&& result,
+                                           const SolveWorkspace& ws)>;
+
+  /// Streaming flavour of solve_batch: instead of collecting results, hands
+  /// each (index, result, workspace) to `consume` on the solving worker.
+  /// This is what lets N cold-started serving engines be seeded from one
+  /// batch without N serial solves or N retained workspaces.  Returns the
+  /// index-aligned per-instance metrics.
+  std::vector<pram::MetricsSnapshot> solve_batch(std::span<const graph::Instance> instances,
+                                                 const BatchConsumer& consume);
 
   /// The workspace left by the most recent solve(): its cycle structure and
   /// per-cycle diagnostics describe that solve's instance.  Valid until the

@@ -24,6 +24,25 @@ BatchEngine::BatchEngine(graph::Instance inst, core::Options opt, pram::Executio
   graph::validate(inst_);
 }
 
+BatchEngine::BatchEngine(graph::Instance inst, core::Result seed, core::Options opt,
+                         pram::ExecutionContext ctx)
+    : inst_(std::move(inst)), solver_(opt, ctx) {
+  graph::validate(inst_);
+  if (seed.q.size() != inst_.size()) {
+    throw std::invalid_argument("BatchEngine: seed result size " +
+                                std::to_string(seed.q.size()) + " != instance size " +
+                                std::to_string(inst_.size()));
+  }
+  cached_ = seed.view(0);
+  stale_ = false;
+}
+
+BatchEngine::BatchEngine(graph::Instance inst, u64 epoch, core::Options opt,
+                         pram::ExecutionContext ctx)
+    : inst_(std::move(inst)), solver_(opt, ctx), epoch_(epoch) {
+  graph::validate(inst_);
+}
+
 core::PartitionView BatchEngine::view() {
   if (stale_) {
     cached_ = solver_.solve_view(inst_, epoch_);
@@ -64,17 +83,18 @@ std::unique_ptr<Engine> load_incremental_engine(std::istream& is, core::Options 
   return std::make_unique<IncrementalEngine>(inc::IncrementalSolver::load(is, opt, ctx, policy));
 }
 
-std::unique_ptr<Engine> load_engine_checkpoint(std::istream& is, core::Options opt,
-                                               pram::ExecutionContext ctx) {
+LoadedEngine load_engine_checkpoint(std::istream& is, core::Options opt,
+                                    pram::ExecutionContext ctx) {
   util::BinaryReader r(is, "load_engine_checkpoint");
   unsigned char magic[8];
   r.get_bytes(magic, 8, "magic");
   if (std::memcmp(magic, util::checkpoint_magic().data(), 8) == 0) {
-    return std::make_unique<IncrementalEngine>(
-        inc::IncrementalSolver::load_body(is, opt, ctx, {}));
+    return {std::make_unique<IncrementalEngine>(
+                inc::IncrementalSolver::load_body(is, opt, ctx, {})),
+            "incremental"};
   }
   if (std::memcmp(magic, util::checkpoint_sharded_magic().data(), 8) == 0) {
-    return shard::ShardedEngine::load_body(is, opt, ctx, {});
+    return {shard::ShardedEngine::load_body(is, opt, ctx, {}), "sharded"};
   }
   throw std::runtime_error(
       "load_engine_checkpoint: bad magic (expected an sfcp-checkpoint v1 stream)");

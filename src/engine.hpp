@@ -124,6 +124,11 @@ class Engine {
   /// Delta/policy statistics (fields a layer does not own stay zero).
   virtual EngineStats serving_stats() const { return {}; }
 
+  /// Coarse resident-size estimate of the engine's warm state, for
+  /// size-aware admission (fleet::FleetEngine warm/cold tiering).  Not an
+  /// exact malloc total; the default assumes a few words per node.
+  virtual std::size_t footprint_bytes() const noexcept { return size() * 16; }
+
   /// Flushes the notification window: which nodes the views published since
   /// the previous take relabelled (map to changed classes through the
   /// current view), or a whole-partition downgrade.  Never disturbs the
@@ -140,6 +145,18 @@ class BatchEngine final : public Engine {
   explicit BatchEngine(graph::Instance inst, core::Options opt = core::Options::parallel(),
                        pram::ExecutionContext ctx = {});
 
+  /// Seeds the cached view from an already-computed solve of `inst` (the
+  /// batched cold-start path: solve_batch's consumer constructs engines
+  /// from results it just produced, with no lazy re-solve owed).  Throws
+  /// std::invalid_argument when the result size disagrees.
+  BatchEngine(graph::Instance inst, core::Result seed,
+              core::Options opt = core::Options::parallel(), pram::ExecutionContext ctx = {});
+
+  /// Restores an engine at a given epoch with a stale cache (fleet cold
+  /// fault-in: the next view() re-solves the restored instance lazily).
+  BatchEngine(graph::Instance inst, u64 epoch, core::Options opt = core::Options::parallel(),
+              pram::ExecutionContext ctx = {});
+
   std::string_view kind() const noexcept override { return "batch"; }
   const graph::Instance& instance() const noexcept override { return inst_; }
   u64 epoch() const noexcept override { return epoch_; }
@@ -153,6 +170,11 @@ class BatchEngine final : public Engine {
   }
 
   core::Solver& solver() noexcept { return solver_; }
+
+  std::size_t footprint_bytes() const noexcept override {
+    return (inst_.f.capacity() + inst_.b.capacity()) * sizeof(u32) +
+           (stale_ ? 0 : inst_.size() * sizeof(u32));
+  }
 
  private:
   graph::Instance inst_;
@@ -189,6 +211,7 @@ class IncrementalEngine final : public Engine {
   }
 
   inc::ViewDelta take_view_delta() override { return inc_.take_view_delta(); }
+  std::size_t footprint_bytes() const noexcept override { return inc_.footprint_bytes(); }
 
   inc::IncrementalSolver& solver() noexcept { return inc_; }
   const inc::IncrementalSolver& solver() const noexcept { return inc_; }
@@ -205,14 +228,23 @@ std::unique_ptr<Engine> load_incremental_engine(std::istream& is,
                                                 pram::ExecutionContext ctx = {},
                                                 inc::RepairPolicy policy = {});
 
+/// What load_engine_checkpoint restored: the engine plus the registry name
+/// detected from the stream's magic, so callers (fleet fault-in,
+/// incremental_server `restore`) can report or validate the kind without
+/// re-sniffing the bytes.
+struct LoadedEngine {
+  std::unique_ptr<Engine> engine;
+  std::string_view kind;  ///< engines() registry name ("incremental", "sharded")
+};
+
 /// Restores whichever checkpointable engine wrote the stream, autodetected
 /// from the 8-byte magic: the plain `sfcp-checkpoint v1` magic yields an
 /// IncrementalEngine, the sharded magic a shard::ShardedEngine (with the
 /// stream's shard count and assignment).  Throws std::runtime_error on an
 /// unrecognized magic or malformed stream.
-std::unique_ptr<Engine> load_engine_checkpoint(std::istream& is,
-                                               core::Options opt = core::Options::parallel(),
-                                               pram::ExecutionContext ctx = {});
+LoadedEngine load_engine_checkpoint(std::istream& is,
+                                    core::Options opt = core::Options::parallel(),
+                                    pram::ExecutionContext ctx = {});
 
 // ---- engine registry -----------------------------------------------------
 

@@ -1,0 +1,481 @@
+#include "fleet/fleet_engine.hpp"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "prof/profile.hpp"
+#include "util/io.hpp"
+
+namespace sfcp::fleet {
+
+namespace {
+
+// Cold image for non-checkpointable (batch) engines: this magic, the engine
+// epoch (u64 LE), then the instance as `sfcp-instance v2`.  Distinct from the
+// `sfcp-checkpoint v1` magics so fault-in can dispatch on the first 8 bytes.
+constexpr unsigned char kColdImageMagic[8] = {0x7f, 's', 'f', 'c', 'B', 'v', '1', '\n'};
+
+// splitmix64 finalizer — full-avalanche hash for the open-addressed table.
+u64 hash_id(u64 x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+FleetEngine::FleetEngine(FleetConfig cfg)
+    : cfg_(std::move(cfg)), solver_(cfg_.options, cfg_.ctx), table_(16, kNil) {
+  if (engines().find(cfg_.engine) == nullptr) {
+    throw std::invalid_argument("fleet::FleetEngine: no engine named '" + cfg_.engine + "'");
+  }
+  if (!cfg_.spill_dir.empty()) {
+    std::filesystem::create_directories(cfg_.spill_dir);
+    // Adopt spill files from a previous run as cold instances.  Their epoch
+    // is unknown until fault-in (epoch() wakes them on demand).
+    for (const auto& entry : std::filesystem::directory_iterator(cfg_.spill_dir)) {
+      const std::string name = entry.path().filename().string();
+      if (name.size() < 7 || name.front() != 'i' || !name.ends_with(".ckpt")) continue;
+      const std::string digits = name.substr(1, name.size() - 6);
+      InstanceId id = 0;
+      bool ok = !digits.empty();
+      for (const char c : digits) {
+        if (c < '0' || c > '9') {
+          ok = false;
+          break;
+        }
+        id = id * 10 + static_cast<InstanceId>(c - '0');
+      }
+      if (!ok || find_(id) != kNil) continue;
+      Slot s;
+      s.id = id;
+      s.tier = Tier::Cold;
+      s.on_disk = true;
+      s.epoch = kEpochUnknown;
+      add_slot_(id, std::move(s));
+      ++cold_count_;
+    }
+  }
+}
+
+void FleetEngine::set_factory(std::function<graph::Instance(InstanceId)> factory) {
+  factory_ = std::move(factory);
+}
+
+void FleetEngine::create(InstanceId id, graph::Instance inst) {
+  if (find_(id) != kNil) {
+    throw std::invalid_argument("fleet::FleetEngine: instance id " + std::to_string(id) +
+                                " already exists");
+  }
+  graph::validate(inst);
+  Slot s;
+  s.id = id;
+  s.tier = Tier::Unborn;
+  s.nodes = inst.size();
+  s.pending = std::move(inst);
+  add_slot_(id, std::move(s));
+}
+
+bool FleetEngine::contains(InstanceId id) const noexcept { return find_(id) != kNil; }
+
+bool FleetEngine::is_warm(InstanceId id) const noexcept {
+  const u32 si = find_(id);
+  return si != kNil && slots_[si].tier == Tier::Warm;
+}
+
+// ---- routing -------------------------------------------------------------
+
+pram::ExecutionContext FleetEngine::instance_ctx_() {
+  pram::ExecutionContext ctx = cfg_.ctx;
+  if (cfg_.use_arena) ctx.arena = &arena_;
+  return ctx;
+}
+
+u32 FleetEngine::find_(InstanceId id) const noexcept {
+  const std::size_t mask = table_.size() - 1;
+  for (std::size_t i = hash_id(id) & mask;; i = (i + 1) & mask) {
+    const u32 si = table_[i];
+    if (si == kNil) return kNil;
+    if (slots_[si].id == id) return si;
+  }
+}
+
+u32 FleetEngine::ensure_slot_(InstanceId id) {
+  const u32 si = find_(id);
+  if (si != kNil) return si;
+  if (!factory_) {
+    throw std::out_of_range("fleet::FleetEngine: unknown instance id " + std::to_string(id) +
+                            " (no factory installed)");
+  }
+  graph::Instance inst = factory_(id);
+  graph::validate(inst);
+  Slot s;
+  s.id = id;
+  s.tier = Tier::Unborn;
+  s.nodes = inst.size();
+  s.pending = std::move(inst);
+  return add_slot_(id, std::move(s));
+}
+
+u32 FleetEngine::add_slot_(InstanceId id, Slot slot) {
+  // Grow at ~70% load so probe chains stay short at fleet scale.
+  if ((slots_.size() + 1) * 10 >= table_.size() * 7) grow_table_();
+  const u32 si = static_cast<u32>(slots_.size());
+  slots_.push_back(std::move(slot));
+  const std::size_t mask = table_.size() - 1;
+  std::size_t i = hash_id(id) & mask;
+  while (table_[i] != kNil) i = (i + 1) & mask;
+  table_[i] = si;
+  return si;
+}
+
+void FleetEngine::grow_table_() {
+  std::vector<u32> next(table_.size() * 2, kNil);
+  const std::size_t mask = next.size() - 1;
+  for (const u32 si : table_) {
+    if (si == kNil) continue;
+    std::size_t i = hash_id(slots_[si].id) & mask;
+    while (next[i] != kNil) i = (i + 1) & mask;
+    next[i] = si;
+  }
+  table_ = std::move(next);
+}
+
+// ---- warm LRU ------------------------------------------------------------
+
+void FleetEngine::lru_unlink_(u32 si) noexcept {
+  Slot& s = slots_[si];
+  if (s.lru_prev != kNil) {
+    slots_[s.lru_prev].lru_next = s.lru_next;
+  } else {
+    lru_head_ = s.lru_next;
+  }
+  if (s.lru_next != kNil) {
+    slots_[s.lru_next].lru_prev = s.lru_prev;
+  } else {
+    lru_tail_ = s.lru_prev;
+  }
+  s.lru_prev = s.lru_next = kNil;
+}
+
+void FleetEngine::lru_push_front_(u32 si) noexcept {
+  Slot& s = slots_[si];
+  s.lru_prev = kNil;
+  s.lru_next = lru_head_;
+  if (lru_head_ != kNil) slots_[lru_head_].lru_prev = si;
+  lru_head_ = si;
+  if (lru_tail_ == kNil) lru_tail_ = si;
+}
+
+void FleetEngine::lru_touch_(u32 si) noexcept {
+  if (lru_head_ == si) return;
+  lru_unlink_(si);
+  lru_push_front_(si);
+}
+
+// ---- tier transitions ----------------------------------------------------
+
+void FleetEngine::admit_(u32 si, std::unique_ptr<Engine> engine) {
+  Slot& s = slots_[si];
+  s.engine = std::move(engine);
+  s.tier = Tier::Warm;
+  s.pending = graph::Instance{};
+  s.nodes = s.engine->size();
+  s.bytes = s.engine->footprint_bytes();
+  warm_bytes_ += s.bytes;
+  ++warm_count_;
+  lru_push_front_(si);
+}
+
+void FleetEngine::materialize_batch_(std::span<const u32> slot_idx,
+                                     std::vector<graph::Instance>&& insts) {
+  prof::Scope scope("fleet/cold_batch");
+  const bool seedable = cfg_.engine == "incremental" || cfg_.engine == "batch";
+  if (seedable && !insts.empty()) {
+    // One batched solve primes every engine; the consumer runs on solver
+    // worker threads, so it may only touch index-disjoint state (built[i],
+    // insts[i]) and the thread-safe arena.
+    std::vector<std::unique_ptr<Engine>> built(insts.size());
+    const bool incremental = cfg_.engine == "incremental";
+    solver_.solve_batch(
+        insts, [&](std::size_t i, core::Result&& r, const core::SolveWorkspace& ws) {
+          if (incremental) {
+            built[i] = std::make_unique<IncrementalEngine>(inc::IncrementalSolver(
+                std::move(insts[i]), r, ws, cfg_.options, instance_ctx_(), cfg_.repair));
+          } else {
+            built[i] = std::make_unique<BatchEngine>(std::move(insts[i]), std::move(r),
+                                                     cfg_.options, instance_ctx_());
+          }
+        });
+    ++stats_.cold_batches;
+    stats_.batched_cold_instances += insts.size();
+    for (std::size_t i = 0; i < slot_idx.size(); ++i) admit_(slot_idx[i], std::move(built[i]));
+  } else {
+    for (std::size_t i = 0; i < slot_idx.size(); ++i) {
+      admit_(slot_idx[i],
+             engines().make(cfg_.engine, std::move(insts[i]), cfg_.options, instance_ctx_()));
+    }
+  }
+}
+
+void FleetEngine::fault_in_(u32 si) {
+  prof::Scope scope("fleet/fault_in");
+  Slot& s = slots_[si];
+  const auto restore = [&](std::istream& is) -> std::unique_ptr<Engine> {
+    unsigned char magic[8];
+    util::BinaryReader r(is, "fleet::fault_in");
+    r.get_bytes(magic, 8, "magic");
+    if (std::memcmp(magic, kColdImageMagic, 8) == 0) {
+      if (cfg_.engine != "batch") {
+        throw std::runtime_error("fleet::fault_in: instance " + std::to_string(s.id) +
+                                 " cold image is a batch image but the fleet runs '" +
+                                 cfg_.engine + "'");
+      }
+      const u64 epoch = r.get_u64("epoch");
+      graph::Instance inst = util::load_instance(is);
+      return std::make_unique<BatchEngine>(std::move(inst), epoch, cfg_.options,
+                                           instance_ctx_());
+    }
+    is.clear();
+    is.seekg(0);
+    LoadedEngine loaded = load_engine_checkpoint(is, cfg_.options, instance_ctx_());
+    if (loaded.kind != cfg_.engine) {
+      throw std::runtime_error("fleet::fault_in: instance " + std::to_string(s.id) +
+                               " checkpoint kind '" + std::string(loaded.kind) +
+                               "' does not match the fleet engine '" + cfg_.engine + "'");
+    }
+    return std::move(loaded.engine);
+  };
+
+  std::unique_ptr<Engine> engine;
+  if (!s.cold_image.empty()) {
+    std::istringstream is(std::move(s.cold_image));
+    engine = restore(is);
+    s.cold_image.clear();
+  } else if (s.on_disk) {
+    std::ifstream is(spill_path_(s.id), std::ios::binary);
+    if (!is) {
+      throw std::runtime_error("fleet::fault_in: cannot open spill file '" +
+                               spill_path_(s.id) + "'");
+    }
+    engine = restore(is);
+  } else {
+    throw std::runtime_error("fleet::fault_in: instance " + std::to_string(s.id) +
+                             " has no cold image");
+  }
+  --cold_count_;
+  ++stats_.faults;
+  admit_(si, std::move(engine));
+}
+
+void FleetEngine::wake_(u32 si) {
+  Slot& s = slots_[si];
+  if (s.tier == Tier::Warm) return;
+  if (s.tier == Tier::Cold) {
+    fault_in_(si);
+    return;
+  }
+  const u32 idx[1] = {si};
+  std::vector<graph::Instance> insts;
+  insts.push_back(std::move(s.pending));
+  materialize_batch_(idx, std::move(insts));
+}
+
+void FleetEngine::evict_slot_(u32 si) {
+  prof::Scope scope("fleet/evict");
+  Slot& s = slots_[si];
+  s.epoch = s.engine->epoch();
+  const auto serialize = [&](std::ostream& os) {
+    if (s.engine->checkpointable()) {
+      s.engine->save_checkpoint(os);
+      return;
+    }
+    os.write(reinterpret_cast<const char*>(kColdImageMagic), 8);
+    util::BinaryWriter w(os);
+    w.put_u64(s.epoch);
+    util::save_instance_binary(os, s.engine->instance());
+  };
+  if (!cfg_.spill_dir.empty()) {
+    util::atomic_write_file(spill_path_(s.id), serialize, cfg_.durable_spill);
+    s.on_disk = true;
+    s.cold_image.clear();
+  } else {
+    std::ostringstream os;
+    serialize(os);
+    s.cold_image = std::move(os).str();
+  }
+  s.engine.reset();
+  s.tier = Tier::Cold;
+  lru_unlink_(si);
+  --warm_count_;
+  warm_bytes_ -= s.bytes;
+  s.bytes = 0;
+  ++cold_count_;
+  ++stats_.evictions;
+}
+
+void FleetEngine::touch_after_op_(u32 si) {
+  Slot& s = slots_[si];
+  warm_bytes_ -= s.bytes;
+  s.bytes = s.engine->footprint_bytes();
+  warm_bytes_ += s.bytes;
+  lru_touch_(si);
+}
+
+void FleetEngine::enforce_limits_(u32 pinned) {
+  const auto over = [&]() noexcept {
+    return (cfg_.warm_limit != 0 && warm_count_ > cfg_.warm_limit) ||
+           (cfg_.warm_bytes_limit != 0 && warm_bytes_ > cfg_.warm_bytes_limit);
+  };
+  while (over()) {
+    const u32 victim = lru_tail_;
+    if (victim == kNil) break;
+    if (victim == pinned) {
+      // The pinned slot can only be the tail when it is the sole warm slot —
+      // its footprint alone busts the byte cap.  It cannot be dropped now
+      // (the caller may hold a view into its engine), so count it and leave
+      // it for the next operation's sweep to reclaim.
+      ++stats_.oversized_rejects;
+      break;
+    }
+    evict_slot_(victim);
+  }
+}
+
+std::string FleetEngine::spill_path_(InstanceId id) const {
+  return cfg_.spill_dir + "/i" + std::to_string(id) + ".ckpt";
+}
+
+// ---- operations ----------------------------------------------------------
+
+u64 FleetEngine::apply(InstanceId id, std::span<const inc::Edit> edits) {
+  prof::Scope scope("fleet/route");
+  const u32 si = ensure_slot_(id);
+  ++stats_.routes;
+  wake_(si);
+  Slot& s = slots_[si];
+  s.engine->apply(edits);
+  stats_.edits += edits.size();
+  touch_after_op_(si);
+  const u64 epoch = s.engine->epoch();
+  enforce_limits_(si);
+  return epoch;
+}
+
+void FleetEngine::apply_batch(std::span<const InstanceEdit> batch) {
+  struct Group {
+    u32 slot = kNil;
+    std::vector<inc::Edit> edits;
+  };
+  std::vector<Group> groups;
+  {
+    prof::Scope scope("fleet/route");
+    std::unordered_map<InstanceId, std::size_t> index;
+    index.reserve(batch.size());
+    for (const InstanceEdit& ie : batch) {
+      const auto [it, fresh] = index.try_emplace(ie.id, groups.size());
+      if (fresh) {
+        groups.push_back({ensure_slot_(ie.id), {}});
+      }
+      groups[it->second].edits.push_back(ie.edit);
+    }
+    stats_.routes += batch.size();
+  }
+
+  // Fault in cold members and gather the never-solved ones for one batched
+  // cold-start solve.
+  std::vector<u32> unborn;
+  std::vector<graph::Instance> unborn_insts;
+  for (const Group& g : groups) {
+    Slot& s = slots_[g.slot];
+    if (s.tier == Tier::Cold) {
+      fault_in_(g.slot);
+    } else if (s.tier == Tier::Unborn) {
+      unborn.push_back(g.slot);
+      unborn_insts.push_back(std::move(s.pending));
+    }
+  }
+  if (!unborn.empty()) materialize_batch_(unborn, std::move(unborn_insts));
+
+  for (const Group& g : groups) {
+    Slot& s = slots_[g.slot];
+    s.engine->apply(g.edits);
+    stats_.edits += g.edits.size();
+    touch_after_op_(g.slot);
+  }
+  enforce_limits_(kNil);
+}
+
+core::PartitionView FleetEngine::view(InstanceId id) {
+  const u32 si = ensure_slot_(id);
+  {
+    prof::Scope scope("fleet/route");
+    ++stats_.routes;
+  }
+  wake_(si);
+  Slot& s = slots_[si];
+  core::PartitionView v = s.engine->view();
+  ++stats_.views;
+  touch_after_op_(si);
+  enforce_limits_(si);
+  return v;
+}
+
+u64 FleetEngine::epoch(InstanceId id) {
+  const u32 si = find_(id);
+  if (si == kNil) return 0;
+  Slot& s = slots_[si];
+  switch (s.tier) {
+    case Tier::Warm:
+      return s.engine->epoch();
+    case Tier::Unborn:
+      return 0;
+    case Tier::Cold:
+      if (s.epoch != kEpochUnknown) return s.epoch;
+      // Adopted spill file: the epoch lives inside the image — fault in.
+      fault_in_(si);
+      break;
+  }
+  const u64 epoch = s.engine->epoch();
+  enforce_limits_(si);
+  return epoch;
+}
+
+std::size_t FleetEngine::instance_size(InstanceId id) {
+  const u32 si = ensure_slot_(id);
+  Slot& s = slots_[si];
+  if (s.nodes == 0 && s.tier == Tier::Cold) {
+    fault_in_(si);
+    enforce_limits_(si);
+  }
+  return s.nodes;
+}
+
+bool FleetEngine::evict(InstanceId id) {
+  const u32 si = find_(id);
+  if (si == kNil || slots_[si].tier != Tier::Warm) return false;
+  evict_slot_(si);
+  return true;
+}
+
+FleetStats FleetEngine::stats() const {
+  FleetStats s = stats_;
+  s.instances = slots_.size();
+  s.warm = warm_count_;
+  s.cold = cold_count_;
+  s.warm_bytes = warm_bytes_;
+  if (cfg_.use_arena) {
+    const SlabArena::Stats a = arena_.stats();
+    s.arena_bytes = a.live_bytes + a.pooled_bytes;
+    s.arena_blocks = a.live_blocks;
+  }
+  return s;
+}
+
+}  // namespace sfcp::fleet

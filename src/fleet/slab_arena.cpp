@@ -1,0 +1,91 @@
+#include "fleet/slab_arena.hpp"
+
+#include <bit>
+#include <new>
+
+namespace sfcp::fleet {
+
+SlabArena::~SlabArena() { trim(); }
+
+std::size_t SlabArena::class_of_(std::size_t bytes, std::size_t align) noexcept {
+  if (align > alignof(std::max_align_t)) return kNumClasses;
+  const std::size_t want = bytes < kMinBlock ? kMinBlock : std::bit_ceil(bytes);
+  const std::size_t cls = static_cast<std::size_t>(std::countr_zero(want / kMinBlock));
+  return cls < kNumClasses ? cls : kNumClasses;
+}
+
+void* SlabArena::allocate(std::size_t bytes, std::size_t align) {
+  if (bytes == 0) bytes = 1;
+  const std::size_t cls = class_of_(bytes, align);
+  if (cls == kNumClasses) {
+    // Too big or too aligned to pool: exact pass-through to the heap.
+    void* p = ::operator new(bytes, std::align_val_t(align));
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.allocs;
+    ++stats_.live_blocks;
+    stats_.live_bytes += bytes;
+    return p;
+  }
+  const std::size_t block = kMinBlock << cls;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!pool_[cls].empty()) {
+      void* p = pool_[cls].back();
+      pool_[cls].pop_back();
+      ++stats_.allocs;
+      ++stats_.reuses;
+      ++stats_.live_blocks;
+      stats_.live_bytes += block;
+      stats_.pooled_bytes -= block;
+      return p;
+    }
+    ++stats_.allocs;
+    ++stats_.live_blocks;
+    stats_.live_bytes += block;
+  }
+  return ::operator new(block);
+}
+
+void SlabArena::deallocate(void* p, std::size_t bytes, std::size_t align) noexcept {
+  if (p == nullptr) return;
+  if (bytes == 0) bytes = 1;
+  const std::size_t cls = class_of_(bytes, align);
+  if (cls == kNumClasses) {
+    ::operator delete(p, std::align_val_t(align));
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.frees;
+    --stats_.live_blocks;
+    stats_.live_bytes -= bytes;
+    return;
+  }
+  const std::size_t block = kMinBlock << cls;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.frees;
+  --stats_.live_blocks;
+  stats_.live_bytes -= block;
+  stats_.pooled_bytes += block;
+  // push_back can throw bad_alloc in theory; a noexcept deallocate must not.
+  try {
+    pool_[cls].push_back(p);
+  } catch (...) {
+    stats_.pooled_bytes -= block;
+    ::operator delete(p);
+  }
+}
+
+void SlabArena::trim() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& pool : pool_) {
+    for (void* p : pool) ::operator delete(p);
+    pool.clear();
+    pool.shrink_to_fit();
+  }
+  stats_.pooled_bytes = 0;
+}
+
+SlabArena::Stats SlabArena::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace sfcp::fleet

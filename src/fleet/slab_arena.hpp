@@ -1,0 +1,74 @@
+#pragma once
+// fleet::SlabArena — the shared allocation slab behind a FleetEngine.
+//
+// A fleet multiplexes up to millions of small per-instance engines whose
+// persistent arrays (inc::IncrementalSolver's per-node/per-label state)
+// churn as instances are faulted in and evicted.  Handing every engine the
+// global heap makes that churn a malloc/free storm with no reuse; the slab
+// arena instead pools freed blocks in power-of-two size classes, so the
+// arrays of an evicted instance are recycled verbatim by the next fault-in
+// of a same-sized one.
+//
+// The arena implements pram::Arena, the allocator hook engines receive via
+// pram::ExecutionContext::arena — solvers draw their long-lived arrays from
+// it through pram::ArenaAllocator without knowing the pooling policy.
+//
+// Thread safety: allocate/deallocate/stats are mutex-guarded because
+// core::Solver::solve_batch constructs seeded engines concurrently on its
+// worker threads (the fleet cold-start flood).  Blocks are pooled whole —
+// there is no intra-block bump allocation — so a block freed on one thread
+// is safely reused on another.
+
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "pram/arena.hpp"
+#include "pram/types.hpp"
+
+namespace sfcp::fleet {
+
+class SlabArena final : public pram::Arena {
+ public:
+  struct Stats {
+    std::size_t live_bytes = 0;    ///< handed out and not yet returned
+    std::size_t pooled_bytes = 0;  ///< returned, cached for reuse
+    std::size_t live_blocks = 0;   ///< outstanding allocations
+    u64 allocs = 0;                ///< total allocate() calls
+    u64 frees = 0;                 ///< total deallocate() calls
+    u64 reuses = 0;                ///< allocations served from the pool
+  };
+
+  SlabArena() = default;
+  ~SlabArena() override;
+  SlabArena(const SlabArena&) = delete;
+  SlabArena& operator=(const SlabArena&) = delete;
+
+  /// Rounds `bytes` up to its size class and returns a pooled block when one
+  /// is available, else a fresh heap block of the class size.  Alignments
+  /// beyond alignof(std::max_align_t) bypass the pool (exact aligned new).
+  void* allocate(std::size_t bytes, std::size_t align) override;
+
+  /// Returns the block to its size-class pool (or the heap, for bypassed
+  /// over-aligned blocks).  `bytes` and `align` must match the allocation.
+  void deallocate(void* p, std::size_t bytes, std::size_t align) noexcept override;
+
+  /// Releases every pooled block back to the heap.  Outstanding live blocks
+  /// are untouched — callers still own them.
+  void trim();
+
+  Stats stats() const;
+
+ private:
+  // Classes are kMinBlock << i; class_of_ returns kNumClasses for requests
+  // too large (or too aligned) to pool.
+  static constexpr std::size_t kMinBlock = 64;
+  static constexpr std::size_t kNumClasses = 26;  // up to 64 << 25 = 2 GiB
+  static std::size_t class_of_(std::size_t bytes, std::size_t align) noexcept;
+
+  mutable std::mutex mu_;
+  std::vector<void*> pool_[kNumClasses];
+  Stats stats_;
+};
+
+}  // namespace sfcp::fleet

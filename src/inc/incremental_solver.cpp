@@ -18,7 +18,9 @@ namespace sfcp::inc {
 
 IncrementalSolver::IncrementalSolver(graph::Instance inst, core::Options opt,
                                      pram::ExecutionContext ctx, RepairPolicy policy)
-    : inst_(std::move(inst)), solver_(opt, ctx), policy_(policy) {
+    : inst_(std::move(inst)), solver_(opt, ctx), policy_(policy), alloc_(ctx.arena),
+      q_(alloc_), sig_key_(alloc_), on_cycle_(alloc_), cycle_id_(alloc_), pop_(alloc_),
+      cycle_pop_(alloc_) {
   // The construction solve doubles as the first rebuild-cost observation,
   // anchoring the full side of the adaptive fit before any edit arrives.
   const util::Timer timer;
@@ -26,9 +28,29 @@ IncrementalSolver::IncrementalSolver(graph::Instance inst, core::Options opt,
   cost_fit_.observe_full(timer.nanos(), policy_.ewma_alpha);
 }
 
+IncrementalSolver::IncrementalSolver(graph::Instance inst, const core::Result& r,
+                                     const core::SolveWorkspace& ws, core::Options opt,
+                                     pram::ExecutionContext ctx, RepairPolicy policy)
+    : inst_(std::move(inst)), solver_(opt, ctx), policy_(policy), alloc_(ctx.arena),
+      q_(alloc_), sig_key_(alloc_), on_cycle_(alloc_), cycle_id_(alloc_), pop_(alloc_),
+      cycle_pop_(alloc_) {
+  graph::validate(inst_);
+  if (r.q.size() != inst_.size()) {
+    throw std::invalid_argument("IncrementalSolver: seed result size " +
+                                std::to_string(r.q.size()) + " != instance size " +
+                                std::to_string(inst_.size()));
+  }
+  // No solve, no timing: the caller already paid for it (typically inside
+  // solve_batch), so there is no fresh rebuild-cost sample to anchor the
+  // adaptive fit with — like load(), the fit converges from edits.
+  seed_from_solve_(r, ws);
+}
+
 IncrementalSolver::IncrementalSolver(LoadTag, graph::Instance inst, core::Options opt,
                                      pram::ExecutionContext ctx, RepairPolicy policy)
-    : inst_(std::move(inst)), solver_(opt, ctx), policy_(policy) {}
+    : inst_(std::move(inst)), solver_(opt, ctx), policy_(policy), alloc_(ctx.arena),
+      q_(alloc_), sig_key_(alloc_), on_cycle_(alloc_), cycle_id_(alloc_), pop_(alloc_),
+      cycle_pop_(alloc_) {}
 
 core::PartitionView IncrementalSolver::view() const {
   if (!view_root_stale_ && last_view_epoch_ == epoch_) return last_view_;
@@ -36,8 +58,8 @@ core::PartitionView IncrementalSolver::view() const {
   const RepairDelta d = take_delta_(/*classify=*/false);
   const core::ViewCounters counters = view_counters();
   if (view_root_stale_ || d.full) {
-    last_view_ =
-        core::PartitionView::from_raw(q_, next_label_, distinct_, epoch_, counters);
+    last_view_ = core::PartitionView::from_raw(std::vector<u32>(q_.begin(), q_.end()),
+                                               next_label_, distinct_, epoch_, counters);
     view_delta_full_ = true;
     view_delta_nodes_.clear();
   } else {
@@ -426,8 +448,15 @@ void IncrementalSolver::repair_(u32 x, std::span<const u32> dirty) {
 void IncrementalSolver::rebuild_() {
   prof::Scope prof_scope("inc/rebuild");  // nests the solver's solve/* phases
   const core::Result r = solver_.solve(inst_);
+  // The solver's warm workspace still holds this solve's cycle structure —
+  // exactly the scaffolding the class and signature maps are seeded from.
+  seed_from_solve_(r, solver_.workspace());
+}
+
+void IncrementalSolver::seed_from_solve_(const core::Result& r,
+                                         const core::SolveWorkspace& ws) {
   const std::size_t n = inst_.size();
-  q_ = r.q;
+  q_.assign(r.q.begin(), r.q.end());
   next_label_ = r.num_blocks;
   distinct_ = r.num_blocks;
   pop_.assign(next_label_, 0);
@@ -457,10 +486,6 @@ void IncrementalSolver::rebuild_() {
     on_cycle_.clear();
     return;
   }
-  // The solver's warm workspace still holds this solve's cycle structure and
-  // per-cycle period/msp diagnostics — exactly the scaffolding the class and
-  // signature maps are seeded from.
-  const core::SolveWorkspace& ws = solver_.workspace();
   on_cycle_.assign(ws.cs.on_cycle.begin(), ws.cs.on_cycle.end());
   live_cycle_nodes_ = ws.cs.cycle_nodes.size();
   const std::size_t k = ws.cs.num_cycles();
@@ -495,6 +520,25 @@ void IncrementalSolver::rebuild_() {
     if (cycle_pop_[l] > 0) kept_ += pop_[l] - cycle_pop_[l];
   }
   pram::charge(4 * n);
+}
+
+std::size_t IncrementalSolver::footprint_bytes() const noexcept {
+  const auto vec = [](const auto& v) { return v.capacity() * sizeof(*v.data()); };
+  std::size_t bytes = vec(inst_.f) + vec(inst_.b) + vec(q_) + vec(sig_key_) +
+                      vec(on_cycle_) + vec(cycle_id_) + vec(pop_) + vec(cycle_pop_) +
+                      vec(dirty_buf_) + vec(cyc_buf_) + vec(str_buf_) + vec(delta_mark_) +
+                      vec(delta_touched_) + vec(delta_touch_mark_) +
+                      vec(delta_live_before_) + vec(delta_.nodes) + vec(view_delta_nodes_);
+  // Hash maps: per-entry payload plus a coarse node/bucket overhead; the
+  // class map additionally owns its key and label vectors.
+  bytes += sigs_.size() * (sizeof(u64) + sizeof(SigRec) + 16);
+  bytes += cycles_.size() * (sizeof(u32) + sizeof(CycleRec) + 16);
+  for (const auto& [key, cls] : classes_) {
+    bytes += vec(key) + vec(cls.labels) + 48;
+  }
+  // Reverse adjacency: CSR offsets + one target slot per node.
+  bytes += inst_.size() * 12;
+  return bytes;
 }
 
 // ---- persistence: sfcp-checkpoint v1 (format doc in util/io.hpp) ---------

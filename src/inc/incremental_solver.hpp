@@ -74,6 +74,7 @@
 #include "graph/reverse_adjacency.hpp"
 #include "inc/edit.hpp"
 #include "inc/repair_delta.hpp"
+#include "pram/arena.hpp"
 #include "pram/execution_context.hpp"
 #include "pram/metrics.hpp"
 
@@ -147,6 +148,18 @@ class IncrementalSolver {
   explicit IncrementalSolver(graph::Instance inst,
                              core::Options opt = core::Options::parallel(),
                              pram::ExecutionContext ctx = {}, RepairPolicy policy = {});
+
+  /// Seeds a warm engine from an already-computed solve of `inst`: `r` must
+  /// be core::solve's result for exactly this instance and `ws` the
+  /// workspace that solve left behind (its cycle structure describes r).
+  /// No re-solve happens — this is the batched cold-start path, where
+  /// core::Solver::solve_batch's consumer constructs one engine per solved
+  /// instance on the worker that solved it.  Throws std::invalid_argument
+  /// when r's size disagrees with the instance.
+  IncrementalSolver(graph::Instance inst, const core::Result& r,
+                    const core::SolveWorkspace& ws,
+                    core::Options opt = core::Options::parallel(),
+                    pram::ExecutionContext ctx = {}, RepairPolicy policy = {});
 
   const graph::Instance& instance() const noexcept { return inst_; }
   std::size_t size() const noexcept { return inst_.size(); }
@@ -258,6 +271,11 @@ class IncrementalSolver {
   const RepairPolicy& policy() const noexcept { return policy_; }
   core::Solver& solver() noexcept { return solver_; }
 
+  /// Coarse resident-size estimate: the capacities of the persistent
+  /// per-node/per-label arrays plus the instance and map loads.  Used by
+  /// size-aware admission (fleet::FleetEngine); not an exact malloc total.
+  std::size_t footprint_bytes() const noexcept;
+
  private:
   struct CycleClass {
     std::vector<u32> labels;  ///< label of phase t, size = period
@@ -283,6 +301,9 @@ class IncrementalSolver {
   void apply_one_(const Edit& e);
   void raw_apply_(const Edit& e);
   void rebuild_();
+  /// Seeds labels/classes/signatures from a finished solve of inst_ — the
+  /// shared tail of rebuild_() and the seeded constructor.
+  void seed_from_solve_(const core::Result& r, const core::SolveWorkspace& ws);
   void repair_(u32 x, std::span<const u32> dirty);
   /// Flush impl (delta state is mutable).  classify == false skips
   /// materializing the per-class lists (the view path discards them); the
@@ -306,18 +327,25 @@ class IncrementalSolver {
   RepairPolicy policy_;
   graph::ReverseAdjacency preds_;
 
-  std::vector<u32> q_;
-  std::vector<u64> sig_key_;  ///< signature each node holds in sigs_
-  std::vector<u8> on_cycle_;
-  std::vector<u32> cycle_id_;  ///< live cycle id, kNone for tree nodes
+  // The long-lived per-node/per-label arrays draw from the session arena
+  // (ctx.arena, null = heap), so a fleet of warm solvers recycles slabs
+  // instead of paying per-instance malloc churn.  Scratch buffers and the
+  // delta window stay on the heap: they are transient and some are bound to
+  // plain std::vector& by graph helpers.
+  pram::ArenaAllocator<u32> alloc_;
+
+  pram::avector<u32> q_;
+  pram::avector<u64> sig_key_;  ///< signature each node holds in sigs_
+  pram::avector<u8> on_cycle_;
+  pram::avector<u32> cycle_id_;  ///< live cycle id, kNone for tree nodes
 
   std::unordered_map<u64, SigRec> sigs_;  ///< pack(B(v), Q(f(v))) -> label
   std::unordered_map<std::vector<u32>, CycleClass, U32VecHash> classes_;
   std::unordered_map<u32, CycleRec> cycles_;
   u32 next_cycle_id_ = 0;
 
-  std::vector<u32> pop_;        ///< per-label population, indexed by label
-  std::vector<u32> cycle_pop_;  ///< cycle nodes per label (kept/residual accounting)
+  pram::avector<u32> pop_;        ///< per-label population, indexed by label
+  pram::avector<u32> cycle_pop_;  ///< cycle nodes per label (kept/residual accounting)
   u32 next_label_ = 0;
   u32 distinct_ = 0;       ///< labels with pop > 0 (= current block count)
   u64 live_cycle_nodes_ = 0;

@@ -1,0 +1,85 @@
+#pragma once
+// Session-scoped allocation hook: an abstract Arena the ExecutionContext can
+// carry, plus a std-allocator adapter that routes container storage through
+// it.
+//
+// The motivating workload is fleet serving (src/fleet/): a million small warm
+// solvers each own a handful of per-node vectors, and constructing/destroying
+// them against the global heap pays one malloc/free round-trip per vector per
+// instance.  An Arena lets the owner hand all of those containers one shared
+// slab-recycling allocator (fleet::SlabArena) instead.  The hook is
+// deliberately tiny and solver-agnostic: anything with allocate/deallocate
+// can plug in, and a null arena degrades to plain operator new/delete so
+// arena-aware containers cost nothing in the default configuration.
+//
+// ArenaAllocator propagates on container copy/move/swap (the arena travels
+// with the storage it allocated, which is required for cross-arena moves to
+// stay correct) and compares equal only for the same arena pointer.
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+#include "pram/types.hpp"
+
+namespace sfcp::pram {
+
+/// Abstract allocation source.  Implementations must tolerate concurrent
+/// calls from multiple threads (solve_batch constructs per-instance state in
+/// parallel) and must return storage aligned to `align`.
+class Arena {
+ public:
+  virtual ~Arena() = default;
+  virtual void* allocate(std::size_t bytes, std::size_t align) = 0;
+  virtual void deallocate(void* p, std::size_t bytes, std::size_t align) noexcept = 0;
+};
+
+/// std-allocator adapter over an Arena pointer.  A null arena (the default)
+/// forwards to the global heap, so containers can be declared arena-aware
+/// unconditionally.
+template <class T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+  using propagate_on_container_copy_assignment = std::true_type;
+  using propagate_on_container_move_assignment = std::true_type;
+  using propagate_on_container_swap = std::true_type;
+  using is_always_equal = std::false_type;
+
+  ArenaAllocator() noexcept = default;
+  explicit ArenaAllocator(Arena* arena) noexcept : arena_(arena) {}
+  template <class U>
+  ArenaAllocator(const ArenaAllocator<U>& other) noexcept : arena_(other.arena()) {}
+
+  T* allocate(std::size_t n) {
+    const std::size_t bytes = n * sizeof(T);
+    if (arena_) return static_cast<T*>(arena_->allocate(bytes, alignof(T)));
+    return static_cast<T*>(::operator new(bytes, std::align_val_t(alignof(T))));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    const std::size_t bytes = n * sizeof(T);
+    if (arena_) {
+      arena_->deallocate(p, bytes, alignof(T));
+    } else {
+      ::operator delete(p, bytes, std::align_val_t(alignof(T)));
+    }
+  }
+
+  Arena* arena() const noexcept { return arena_; }
+
+  template <class U>
+  bool operator==(const ArenaAllocator<U>& other) const noexcept {
+    return arena_ == other.arena();
+  }
+
+ private:
+  Arena* arena_ = nullptr;
+};
+
+/// Arena-aware vector: identical to std::vector when the allocator's arena
+/// is null, slab-backed when it is not.
+template <class T>
+using avector = std::vector<T, ArenaAllocator<T>>;
+
+}  // namespace sfcp::pram

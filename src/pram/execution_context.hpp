@@ -31,6 +31,8 @@ class Profiler;  // prof/profile.hpp
 
 namespace sfcp::pram {
 
+class Arena;  // pram/arena.hpp
+
 /// Default session seed (used when no context is installed).
 inline constexpr u64 kDefaultSeed = 0x5eed5eed5eedull;
 
@@ -47,6 +49,11 @@ struct ExecutionContext {
   /// Base seed for randomized kernels: salts the CRCW hash table's probe
   /// sequence (canonical outputs are seed-independent; see prim/hash_table).
   u64 seed = kDefaultSeed;
+  /// Allocation source for arena-aware persistent state (pram/arena.hpp).
+  /// Null (the default) means the global heap.  Consumed at construction
+  /// time by components that keep long-lived per-node arrays (the
+  /// incremental solver); transient scratch stays on the heap regardless.
+  Arena* arena = nullptr;
 
   ExecutionContext& with_threads(int t) noexcept {
     threads = t;
@@ -66,6 +73,10 @@ struct ExecutionContext {
   }
   ExecutionContext& with_seed(u64 s) noexcept {
     seed = s;
+    return *this;
+  }
+  ExecutionContext& with_arena(Arena* a) noexcept {
+    arena = a;
     return *this;
   }
 };

@@ -163,6 +163,27 @@ u64 Client::apply(std::span<const inc::Edit> edits) {
   return await_edited();
 }
 
+void Client::send_fleet_edits(u64 instance, std::span<const inc::Edit> edits) {
+  send_frame_(FrameType::kFleetEdit, encode_fleet_edit_request(instance, edits));
+}
+
+u64 Client::fleet_apply(u64 instance, std::span<const inc::Edit> edits) {
+  send_fleet_edits(instance, edits);
+  return await_edited();
+}
+
+Client::ViewInfo Client::fleet_view(u64 instance) {
+  send_frame_(FrameType::kFleetView, encode_fleet_view_request(instance));
+  const Frame f = await_response_(FrameType::kViewInfo);
+  PayloadReader r(f.payload);
+  ViewInfo v;
+  v.epoch = r.get_u64("view epoch");
+  v.n = r.get_u32("view n");
+  v.num_classes = r.get_u32("view num_classes");
+  r.expect_end("ViewInfo frame");
+  return v;
+}
+
 Client::ViewInfo Client::view() {
   send_frame_(FrameType::kView, {});
   const Frame f = await_response_(FrameType::kViewInfo);

@@ -87,10 +87,23 @@ class Client {
   /// timeout.
   std::optional<Notification> next_notification(int timeout_ms);
 
+  // ---- fleet mode (FLEET_EDIT / FLEET_VIEW) ------------------------------
+
+  /// Sends the edits to instance `instance` of a fleet-mode server and
+  /// blocks for the EDITED ack; returns the INSTANCE's epoch after the
+  /// flush.
+  u64 fleet_apply(u64 instance, std::span<const inc::Edit> edits);
+
+  /// ViewInfo of one instance of a fleet-mode server.
+  ViewInfo fleet_view(u64 instance);
+
   // ---- pipelining (bench) ------------------------------------------------
 
   /// Fires an EDIT frame without waiting for its ack.
   void send_edits(std::span<const inc::Edit> edits);
+
+  /// Fires a FLEET_EDIT frame without waiting for its ack.
+  void send_fleet_edits(u64 instance, std::span<const inc::Edit> edits);
 
   /// Collects one outstanding EDITED ack (FIFO); returns its epoch.
   u64 await_edited();

@@ -36,8 +36,12 @@ std::string_view fsync_policy_name(FsyncPolicy p) noexcept {
   return "?";
 }
 
-Journal::Journal(std::string path, FsyncPolicy fsync)
-    : path_(std::move(path)), fsync_(fsync) {
+std::span<const unsigned char, 8> Journal::magic_() const noexcept {
+  return format_ == JournalFormat::Fleet ? util::fleet_journal_magic() : util::journal_magic();
+}
+
+Journal::Journal(std::string path, FsyncPolicy fsync, JournalFormat format)
+    : path_(std::move(path)), fsync_(fsync), format_(format) {
   // Scan whatever is already there (stream reads are fine for the cold
   // recovery pass; the hot append path below uses the fd directly).
   u64 valid_bytes = 0;
@@ -48,11 +52,19 @@ Journal::Journal(std::string path, FsyncPolicy fsync)
       is.peek();
       if (!is.eof()) {
         existing = true;
-        util::JournalScan scan = util::scan_journal(is);
-        recovered_ = std::move(scan.records);
-        torn_ = scan.torn;
-        tear_error_ = std::move(scan.error);
-        valid_bytes = scan.valid_bytes;
+        if (format_ == JournalFormat::Fleet) {
+          util::FleetJournalScan scan = util::scan_fleet_journal(is);
+          recovered_fleet_ = std::move(scan.records);
+          torn_ = scan.torn;
+          tear_error_ = std::move(scan.error);
+          valid_bytes = scan.valid_bytes;
+        } else {
+          util::JournalScan scan = util::scan_journal(is);
+          recovered_ = std::move(scan.records);
+          torn_ = scan.torn;
+          tear_error_ = std::move(scan.error);
+          valid_bytes = scan.valid_bytes;
+        }
       }
     }
   }
@@ -65,7 +77,7 @@ Journal::Journal(std::string path, FsyncPolicy fsync)
     if (::lseek(fd_, 0, SEEK_END) < 0) fail_io(path_, "lseek");
     bytes_ = valid_bytes;
   } else {
-    const auto magic = util::journal_magic();
+    const auto magic = magic_();
     if (::write(fd_, magic.data(), magic.size()) !=
         static_cast<ssize_t>(magic.size())) {
       fail_io(path_, "write header");
@@ -80,8 +92,10 @@ Journal::~Journal() { close_(); }
 Journal::Journal(Journal&& other) noexcept
     : path_(std::move(other.path_)),
       fsync_(other.fsync_),
+      format_(other.format_),
       fd_(std::exchange(other.fd_, -1)),
       recovered_(std::move(other.recovered_)),
+      recovered_fleet_(std::move(other.recovered_fleet_)),
       torn_(other.torn_),
       tear_error_(std::move(other.tear_error_)),
       bytes_(other.bytes_),
@@ -93,8 +107,10 @@ Journal& Journal::operator=(Journal&& other) noexcept {
     close_();
     path_ = std::move(other.path_);
     fsync_ = other.fsync_;
+    format_ = other.format_;
     fd_ = std::exchange(other.fd_, -1);
     recovered_ = std::move(other.recovered_);
+    recovered_fleet_ = std::move(other.recovered_fleet_);
     torn_ = other.torn_;
     tear_error_ = std::move(other.tear_error_);
     bytes_ = other.bytes_;
@@ -117,7 +133,14 @@ void Journal::do_fsync_() {
 }
 
 void Journal::append(const util::JournalRecord& rec) {
-  const std::string framed = util::encode_journal_record(rec);
+  append_framed_(util::encode_journal_record(rec));
+}
+
+void Journal::append(const util::FleetJournalRecord& rec) {
+  append_framed_(util::encode_fleet_journal_record(rec));
+}
+
+void Journal::append_framed_(const std::string& framed) {
   std::size_t off = 0;
   while (off < framed.size()) {
     const ssize_t w = ::write(fd_, framed.data() + off, framed.size() - off);
@@ -146,7 +169,7 @@ void Journal::sync_epoch() {
 }
 
 void Journal::reset() {
-  const auto magic = util::journal_magic();
+  const auto magic = magic_();
   if (::ftruncate(fd_, static_cast<off_t>(magic.size())) != 0) fail_io(path_, "ftruncate");
   if (::lseek(fd_, 0, SEEK_END) < 0) fail_io(path_, "lseek");
   bytes_ = magic.size();

@@ -36,14 +36,25 @@ enum class FsyncPolicy {
 FsyncPolicy parse_fsync_policy(std::string_view name);
 std::string_view fsync_policy_name(FsyncPolicy p) noexcept;
 
+/// Which record flavour the journal file carries.  Classic journals log
+/// single-engine edit batches (`sfcp-journal v1`); Fleet journals log
+/// instance-routed batches (the fleet magic, util::FleetJournalRecord) for a
+/// fleet-mode serve::Server.  The two magics are distinct, so opening a file
+/// with the wrong format fails loudly instead of replaying garbage.
+enum class JournalFormat {
+  Classic,
+  Fleet,
+};
+
 class Journal {
  public:
   Journal() = default;
   /// Opens (creating if absent) the journal at `path`.  An existing file is
-  /// scanned; intact records are exposed through recovered() and a torn tail
-  /// is truncated away (tail_was_torn()/tear_error() report it).  Throws
+  /// scanned; intact records are exposed through recovered() (or
+  /// recovered_fleet() for JournalFormat::Fleet) and a torn tail is
+  /// truncated away (tail_was_torn()/tear_error() report it).  Throws
   /// std::runtime_error on IO failure or a foreign file.
-  Journal(std::string path, FsyncPolicy fsync);
+  Journal(std::string path, FsyncPolicy fsync, JournalFormat format = JournalFormat::Classic);
   ~Journal();
 
   Journal(Journal&& other) noexcept;
@@ -54,10 +65,20 @@ class Journal {
   bool is_open() const noexcept { return fd_ >= 0; }
   const std::string& path() const noexcept { return path_; }
   FsyncPolicy fsync_policy() const noexcept { return fsync_; }
+  JournalFormat format() const noexcept { return format_; }
 
   /// Records recovered from the file at open (empty for a fresh journal).
   /// replay() consumes them; they are kept until then for inspection.
   const std::vector<util::JournalRecord>& recovered() const noexcept { return recovered_; }
+
+  /// Fleet-format records recovered at open.  The fleet-mode server replays
+  /// these itself (per-instance epoch floors live in the fleet, not here).
+  const std::vector<util::FleetJournalRecord>& recovered_fleet() const noexcept {
+    return recovered_fleet_;
+  }
+  std::vector<util::FleetJournalRecord> take_recovered_fleet() noexcept {
+    return std::move(recovered_fleet_);
+  }
   bool tail_was_torn() const noexcept { return torn_; }
   const std::string& tear_error() const noexcept { return tear_error_; }
 
@@ -66,6 +87,9 @@ class Journal {
   /// truncating any partially written record back out first so the log on
   /// disk always ends at a record boundary (a later scan never tears here).
   void append(const util::JournalRecord& rec);
+
+  /// Fleet-format flavour of append (JournalFormat::Fleet journals only).
+  void append(const util::FleetJournalRecord& rec);
 
   /// Epoch-flush barrier: fsyncs under FsyncPolicy::Epoch.
   void sync_epoch();
@@ -89,11 +113,15 @@ class Journal {
  private:
   void close_() noexcept;
   void do_fsync_();
+  void append_framed_(const std::string& framed);
+  std::span<const unsigned char, 8> magic_() const noexcept;
 
   std::string path_;
   FsyncPolicy fsync_ = FsyncPolicy::Epoch;
+  JournalFormat format_ = JournalFormat::Classic;
   int fd_ = -1;
   std::vector<util::JournalRecord> recovered_;
+  std::vector<util::FleetJournalRecord> recovered_fleet_;
   bool torn_ = false;
   std::string tear_error_;
   u64 bytes_ = 0;

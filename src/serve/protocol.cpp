@@ -29,6 +29,8 @@ std::string_view frame_type_name(FrameType t) noexcept {
     case FrameType::kStats: return "Stats";
     case FrameType::kCheckpoint: return "Checkpoint";
     case FrameType::kSubscribe: return "Subscribe";
+    case FrameType::kFleetEdit: return "FleetEdit";
+    case FrameType::kFleetView: return "FleetView";
     case FrameType::kError: return "Error";
     case FrameType::kEdited: return "Edited";
     case FrameType::kViewInfo: return "ViewInfo";
@@ -146,6 +148,35 @@ std::vector<inc::Edit> decode_edit_request(std::string_view payload) {
                               : inc::Edit::set_b(node, value));
   }
   return edits;
+}
+
+std::string encode_fleet_edit_request(u64 instance, std::span<const inc::Edit> edits) {
+  PayloadWriter w;
+  w.put_u64(instance);
+  std::string tail = encode_edit_request(edits);
+  w.put_bytes(tail.data(), tail.size());
+  return w.take();
+}
+
+FleetEditRequest decode_fleet_edit_request(std::string_view payload) {
+  PayloadReader r(payload);
+  FleetEditRequest req;
+  req.instance = r.get_u64("fleet edit instance");
+  req.edits = decode_edit_request(payload.substr(8));
+  return req;
+}
+
+std::string encode_fleet_view_request(u64 instance) {
+  PayloadWriter w;
+  w.put_u64(instance);
+  return w.take();
+}
+
+u64 decode_fleet_view_request(std::string_view payload) {
+  PayloadReader r(payload);
+  const u64 instance = r.get_u64("fleet view instance");
+  r.expect_end("FleetView frame");
+  return instance;
 }
 
 std::string encode_error(std::string_view message) {

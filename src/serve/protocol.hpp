@@ -18,6 +18,10 @@
 //   Stats      (empty)
 //   Checkpoint u32 path_len, path bytes (empty = the server's configured path)
 //   Subscribe  (empty)
+//   FleetEdit  u64 instance, u32 count, count x (u8 kind, u32 node, u32 value)
+//              — the fleet-mode Edit; acked with Edited carrying the
+//              INSTANCE's epoch after the flush
+//   FleetView  u64 instance — the fleet-mode View; answered with ViewInfo
 //
 // Responses (server -> client):
 //   Error       u32 msg_len, msg bytes (a request never fails silently)
@@ -70,6 +74,8 @@ enum class FrameType : u8 {
   kStats = 0x06,
   kCheckpoint = 0x07,
   kSubscribe = 0x08,
+  kFleetEdit = 0x09,
+  kFleetView = 0x0A,
   // responses
   kError = 0x40,
   kEdited = 0x41,
@@ -136,6 +142,18 @@ void append_magic(std::string& out);
 
 std::string encode_edit_request(std::span<const inc::Edit> edits);
 std::vector<inc::Edit> decode_edit_request(std::string_view payload);
+
+/// FleetEdit routes an edit batch to one instance of a fleet-mode server.
+std::string encode_fleet_edit_request(u64 instance, std::span<const inc::Edit> edits);
+struct FleetEditRequest {
+  u64 instance = 0;
+  std::vector<inc::Edit> edits;
+};
+FleetEditRequest decode_fleet_edit_request(std::string_view payload);
+
+/// FleetView asks for one instance's ViewInfo.
+std::string encode_fleet_view_request(u64 instance);
+u64 decode_fleet_view_request(std::string_view payload);
 
 std::string encode_error(std::string_view message);
 std::string decode_error(std::string_view payload);

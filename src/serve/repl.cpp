@@ -11,12 +11,15 @@ namespace sfcp::serve {
 namespace {
 
 /// Sends a batch and reports the landing epoch + resulting class count the
-/// way the pre-wire REPL did.
+/// way the pre-wire REPL did.  With a selected fleet instance the batch
+/// routes through FLEET_EDIT/FLEET_VIEW instead.
 void apply_and_report(Client& client, std::span<const inc::Edit> edits, std::ostream& out,
-                      const ReplHooks& hooks) {
-  const u64 epoch = client.apply(edits);
+                      const ReplHooks& hooks, const ReplState* state) {
+  const bool fleet = state != nullptr && state->fleet;
+  const u64 epoch = fleet ? client.fleet_apply(state->instance, edits) : client.apply(edits);
   if (hooks.on_edits) hooks.on_edits(edits);
-  const Client::ViewInfo v = client.view();
+  const Client::ViewInfo v = fleet ? client.fleet_view(state->instance) : client.view();
+  if (fleet) out << "[i" << state->instance << "] ";
   out << "applied " << edits.size() << (edits.size() == 1 ? " edit" : " edits")
       << " classes=" << v.num_classes << " epoch=" << epoch << "\n";
 }
@@ -38,15 +41,28 @@ void print_serve_help(std::ostream& out) {
          "  checkpoint [path]        server-side checkpoint (default: its configured path)\n"
          "  subscribe                join the change-notification feed\n"
          "  await [timeout_ms]       wait for the next change notification\n"
+         "  instance <id> | off      route edits/views to one fleet instance\n"
+         "                           (fleet-mode servers)\n"
+         "  fleet-stats              fleet tier/routing counters\n"
          "  quit\n";
 }
 
 ReplResult run_serve_command(Client& client, const std::string& line, std::ostream& out,
-                             const ReplHooks& hooks) {
+                             const ReplHooks& hooks, ReplState* state) {
   std::istringstream ss(line);
   std::string cmd;
   if (!(ss >> cmd) || cmd.empty() || cmd[0] == '#') return ReplResult::Handled;
   if (cmd == "quit" || cmd == "exit") return ReplResult::Quit;
+
+  // Commands that only exist as classic frames; a fleet-mode server rejects
+  // them, so catch the mismatch client-side with a usable message.
+  const bool fleet_routed = state != nullptr && state->fleet;
+  if (fleet_routed && (cmd == "classof" || cmd == "query" || cmd == "members" ||
+                       cmd == "checkpoint" || cmd == "subscribe" || cmd == "await")) {
+    out << "'" << cmd << "' has no per-instance wire frame (the fleet protocol is "
+        << "FLEET_EDIT/FLEET_VIEW/STATS) — 'instance off' to leave routing\n";
+    return ReplResult::Handled;
+  }
 
   try {
     if (cmd == "setf" || cmd == "setb") {
@@ -56,12 +72,12 @@ ReplResult run_serve_command(Client& client, const std::string& line, std::ostre
         return ReplResult::Handled;
       }
       const inc::Edit e = cmd == "setf" ? inc::Edit::set_f(x, v) : inc::Edit::set_b(x, v);
-      apply_and_report(client, {&e, 1}, out, hooks);
+      apply_and_report(client, {&e, 1}, out, hooks, state);
     } else if (cmd == "edits") {
       std::string path;
       ss >> path;
       const std::vector<inc::Edit> stream = util::load_edits_file(path);
-      apply_and_report(client, stream, out, hooks);
+      apply_and_report(client, stream, out, hooks, state);
     } else if (cmd == "classof" || cmd == "query") {
       u32 x = 0;
       if (!(ss >> x)) {
@@ -83,10 +99,52 @@ ReplResult run_serve_command(Client& client, const std::string& line, std::ostre
       if (shown < members.size()) out << " ... (+" << members.size() - shown << ")";
       out << "\n";
     } else if (cmd == "blocks") {
-      out << "classes = " << client.view().num_classes << "\n";
+      const bool fleet = state != nullptr && state->fleet;
+      const Client::ViewInfo v = fleet ? client.fleet_view(state->instance) : client.view();
+      out << "classes = " << v.num_classes << "\n";
     } else if (cmd == "view") {
-      const Client::ViewInfo v = client.view();
+      const bool fleet = state != nullptr && state->fleet;
+      const Client::ViewInfo v = fleet ? client.fleet_view(state->instance) : client.view();
+      if (fleet) out << "[i" << state->instance << "] ";
       out << "epoch=" << v.epoch << " n=" << v.n << " classes=" << v.num_classes << "\n";
+    } else if (cmd == "instance") {
+      std::string arg;
+      if (!(ss >> arg)) {
+        if (state != nullptr && state->fleet) {
+          out << "routing to instance " << state->instance << "\n";
+        } else {
+          out << "usage: instance <id> | off\n";
+        }
+        return ReplResult::Handled;
+      }
+      if (state == nullptr) {
+        out << "instance routing is not available in this front end\n";
+        return ReplResult::Handled;
+      }
+      if (arg == "off") {
+        state->fleet = false;
+        out << "routing to the server's single engine\n";
+        return ReplResult::Handled;
+      }
+      u64 id = 0;
+      std::istringstream arg_ss(arg);
+      if (!(arg_ss >> id) || !arg_ss.eof()) {
+        out << "usage: instance <id> | off\n";
+        return ReplResult::Handled;
+      }
+      state->fleet = true;
+      state->instance = id;
+      out << "routing to instance " << id << "\n";
+    } else if (cmd == "fleet-stats") {
+      const Client::Stats st = client.stats_full();
+      bool any = false;
+      for (const auto& [key, value] : st.counters) {
+        if (key.rfind("fleet_", 0) == 0) {
+          out << key << "=" << value << "\n";
+          any = true;
+        }
+      }
+      if (!any) out << "no fleet counters (not a fleet-mode server?)\n";
     } else if (cmd == "stats") {
       const Client::Stats st = client.stats_full();
       for (const auto& [key, value] : st.counters) {

@@ -28,14 +28,24 @@ struct ReplHooks {
   std::function<void(std::span<const inc::Edit>)> on_edits;
 };
 
+/// Session state the dispatcher mutates across lines: against a fleet-mode
+/// server, `instance <id>` selects the instance subsequent setf/setb/edits/
+/// view/blocks commands route to (FLEET_EDIT/FLEET_VIEW frames), and
+/// `instance off` returns to classic single-instance frames.
+struct ReplState {
+  bool fleet = false;  ///< an instance is selected; route through FLEET_*
+  u64 instance = 0;
+};
+
 /// Prints the serving-command section of `help`.
 void print_serve_help(std::ostream& out);
 
 /// Executes one REPL line against the connected client.  Serving errors
 /// (server Error frames, bad arguments) are printed to `out`, never thrown;
 /// connection loss propagates as std::runtime_error so the caller can
-/// reconnect or bail.
+/// reconnect or bail.  `state` (optional) enables the fleet routing
+/// commands; without it `instance` reports unavailability.
 ReplResult run_serve_command(Client& client, const std::string& line, std::ostream& out,
-                             const ReplHooks& hooks = {});
+                             const ReplHooks& hooks = {}, ReplState* state = nullptr);
 
 }  // namespace sfcp::serve

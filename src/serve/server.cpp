@@ -163,7 +163,7 @@ std::unique_ptr<Engine> recover_engine(const std::string& checkpoint_path,
       throw std::runtime_error("serve::recover_engine: cannot open checkpoint '" +
                                checkpoint_path + "'");
     }
-    return load_engine_checkpoint(is, opt, ctx);
+    return load_engine_checkpoint(is, opt, ctx).engine;
   }
   return engines().make(engine_name, std::move(inst), opt, ctx);
 }
@@ -188,6 +188,41 @@ Server::Server(std::unique_ptr<Engine> engine, ServerOptions opt)
   served_view_ = engine_->view();
   (void)engine_->take_view_delta();
 
+  init_net_();
+}
+
+Server::Server(std::unique_ptr<fleet::FleetEngine> fleet, ServerOptions opt)
+    : fleet_(std::move(fleet)), opt_(std::move(opt)) {
+  if (fleet_ == nullptr) throw std::invalid_argument("serve::Server: null fleet");
+
+  if (!opt_.journal_path.empty()) {
+    journal_ = Journal(opt_.journal_path, opt_.fsync, JournalFormat::Fleet);
+    durable_ = true;
+    stats_.journal_tail_torn = journal_.tail_was_torn();
+    // Replay against per-instance epoch floors: the fleet answers epoch(id)
+    // from warm engines or the epoch recorded at eviction (adopted spill
+    // files fault in to find out).  Records whose instance cannot be
+    // materialized any more (in-memory cold images lost with the process and
+    // no factory installed) are counted as skipped, not fatal.
+    for (const util::FleetJournalRecord& rec : journal_.take_recovered_fleet()) {
+      try {
+        if (rec.epoch < fleet_->epoch(rec.instance)) {
+          ++stats_.recovered_skipped;
+          continue;
+        }
+        fleet_->apply(rec.instance, rec.edits);
+        ++stats_.recovered_records;
+      } catch (const std::exception&) {
+        ++stats_.recovered_skipped;
+      }
+    }
+    journal_.sync_epoch();
+  }
+
+  init_net_();
+}
+
+void Server::init_net_() {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) fail_sys("socket");
   const int one = 1;
@@ -433,7 +468,79 @@ void Server::close_connection_(int fd) {
 // ---- protocol ------------------------------------------------------------
 
 void Server::handle_frame_(Connection& c, const Frame& f) {
+  // The two modes speak disjoint request sets (STATS is common): classic
+  // frames address "the" engine, which a fleet server does not have, and
+  // fleet frames address an instance id a classic server cannot route.
+  if (fleet_ != nullptr) {
+    if (f.type != FrameType::kFleetEdit && f.type != FrameType::kFleetView &&
+        f.type != FrameType::kStats) {
+      send_error_(c, std::string(frame_type_name(f.type)) +
+                         " frame on a fleet server (use FleetEdit/FleetView/Stats)");
+      return;
+    }
+  } else if (f.type == FrameType::kFleetEdit || f.type == FrameType::kFleetView) {
+    send_error_(c, std::string(frame_type_name(f.type)) +
+                       " frame on a single-instance server");
+    return;
+  }
   switch (f.type) {
+    case FrameType::kFleetEdit: {
+      FleetEditRequest req = decode_fleet_edit_request(f.payload);
+      try {
+        const std::size_t n = fleet_->instance_size(req.instance);
+        for (const inc::Edit& e : req.edits) {
+          inc::validate_edit(e, n, "serve::Server");
+        }
+      } catch (const std::exception& e) {
+        ++stats_.edit_frames_rejected;
+        send_error_(c, e.what());
+        return;
+      }
+      if (!req.edits.empty()) {
+        if (durable_) {
+          if (journal_failed_) {
+            ++stats_.edit_frames_rejected;
+            send_error_(c, "journal unavailable, edits disabled: " + journal_error_);
+            return;
+          }
+          try {
+            prof::Scope prof_scope("serve/journal_append");
+            const u64 before = journal_.bytes();
+            journal_.append(util::FleetJournalRecord{req.instance,
+                                                     fleet_->epoch(req.instance), req.edits});
+            prof::charge_bytes(journal_.bytes() - before);
+          } catch (const std::exception& e) {
+            journal_failed_ = true;
+            journal_error_ = e.what();
+            ++stats_.edit_frames_rejected;
+            send_error_(c, "journal unavailable, edits disabled: " + journal_error_);
+            return;
+          }
+        }
+        stats_.edits_accepted += req.edits.size();
+        edits_since_checkpoint_ += req.edits.size();
+        fleet_batch_.reserve(fleet_batch_.size() + req.edits.size());
+        for (const inc::Edit& e : req.edits) fleet_batch_.push_back({req.instance, e});
+      }
+      pending_acks_.push_back(
+          {c.fd, static_cast<u32>(req.edits.size()), /*fleet=*/true, req.instance});
+      return;  // ack deferred to the epoch flush, carrying the instance epoch
+    }
+    case FrameType::kFleetView: {
+      const u64 instance = decode_fleet_view_request(f.payload);
+      flush();
+      try {
+        const core::PartitionView v = fleet_->view(instance);
+        PayloadWriter w;
+        w.put_u64(v.epoch());
+        w.put_u32(static_cast<u32>(v.size()));
+        w.put_u32(v.num_classes());
+        send_frame_(c, FrameType::kViewInfo, w.str());
+      } catch (const std::exception& e) {
+        send_error_(c, e.what());
+      }
+      return;
+    }
     case FrameType::kEdit: {
       std::vector<inc::Edit> edits = decode_edit_request(f.payload);
       try {
@@ -578,7 +685,21 @@ void Server::handle_frame_(Connection& c, const Frame& f) {
 // ---- epoch batching ------------------------------------------------------
 
 void Server::flush() {
-  if (!batch_.empty()) {
+  if (fleet_ != nullptr) {
+    if (!fleet_batch_.empty()) {
+      {
+        prof::Scope prof_scope("serve/epoch_apply");
+        prof::charge_bytes(17 * fleet_batch_.size());  // instance + wire edit per entry
+        fleet_->apply_batch(fleet_batch_);
+      }
+      fleet_batch_.clear();
+      if (durable_) {
+        prof::Scope prof_scope("serve/journal_fsync");
+        journal_.sync_epoch();
+      }
+      ++stats_.epochs_flushed;
+    }
+  } else if (!batch_.empty()) {
     {
       prof::Scope prof_scope("serve/epoch_apply");
       prof::charge_bytes(9 * batch_.size());  // one wire edit record per entry
@@ -602,7 +723,6 @@ void Server::flush() {
     maybe_autocheckpoint_();
   }
   if (!pending_acks_.empty()) {
-    const u64 epoch = engine_->epoch();
     // Swap out first: send_frame_ can mark connections dead, and acks must
     // not re-enter this flush.
     std::vector<PendingAck> acks;
@@ -611,7 +731,8 @@ void Server::flush() {
       Connection* c = find_(a.fd);
       if (c == nullptr || c->closing) continue;
       PayloadWriter w;
-      w.put_u64(epoch);
+      // Fleet acks carry the addressed instance's epoch after the flush.
+      w.put_u64(a.fleet ? fleet_->epoch(a.instance) : engine_->epoch());
       w.put_u32(a.accepted);
       send_frame_(*c, FrameType::kEdited, w.str());
     }
@@ -659,6 +780,9 @@ bool Server::checkpoint(const std::string& path) {
 }
 
 bool Server::do_checkpoint_(const std::string& path) {
+  // Fleet mode has no single global checkpoint; instances checkpoint
+  // individually through warm/cold tiering (FleetConfig::spill_dir).
+  if (fleet_ != nullptr) return false;
   const std::string target = path.empty() ? opt_.checkpoint_path : path;
   if (target.empty() || !engine_->checkpointable()) return false;
   // Durable write (fsync file + directory): the journal reset below must
@@ -678,6 +802,7 @@ bool Server::do_checkpoint_(const std::string& path) {
 }
 
 void Server::maybe_autocheckpoint_() {
+  if (fleet_ != nullptr) return;
   if (opt_.checkpoint_every == 0 || edits_since_checkpoint_ < opt_.checkpoint_every) return;
   if (!engine_->checkpointable() || opt_.checkpoint_path.empty()) return;
   do_checkpoint_("");
@@ -687,6 +812,47 @@ void Server::maybe_autocheckpoint_() {
 
 std::string Server::encode_stats_() const {
   const ServeStats sv = stats();
+  if (fleet_ != nullptr) {
+    const fleet::FleetStats fs = fleet_->stats();
+    PayloadWriter w;
+    const std::vector<std::pair<std::string_view, u64>> kv = {
+        {"connections_open", sv.connections_open},
+        {"connections_accepted", sv.connections_accepted},
+        {"frames_served", sv.frames_served},
+        {"edits_accepted", sv.edits_accepted},
+        {"edit_frames_rejected", sv.edit_frames_rejected},
+        {"epochs_flushed", sv.epochs_flushed},
+        {"journal_records", sv.journal_records},
+        {"journal_bytes", sv.journal_bytes},
+        {"journal_fsyncs", sv.journal_fsyncs},
+        {"recovered_records", sv.recovered_records},
+        {"recovered_skipped", sv.recovered_skipped},
+        {"journal_tail_torn", sv.journal_tail_torn ? 1u : 0u},
+        {"journal_failed", sv.journal_failed ? 1u : 0u},
+        {"fleet_instances", fs.instances},
+        {"fleet_warm", fs.warm},
+        {"fleet_cold", fs.cold},
+        {"fleet_warm_bytes", fs.warm_bytes},
+        {"fleet_routes", fs.routes},
+        {"fleet_faults", fs.faults},
+        {"fleet_evictions", fs.evictions},
+        {"fleet_cold_batches", fs.cold_batches},
+        {"fleet_batched_cold_instances", fs.batched_cold_instances},
+        {"fleet_oversized_rejects", fs.oversized_rejects},
+        {"fleet_edits", fs.edits},
+        {"fleet_views", fs.views},
+        {"fleet_arena_bytes", fs.arena_bytes},
+        {"fleet_arena_blocks", fs.arena_blocks},
+    };
+    w.put_u32(static_cast<u32>(kv.size()));
+    for (const auto& [key, value] : kv) {
+      w.put_u8(static_cast<u8>(key.size()));
+      w.put_bytes(key.data(), key.size());
+      w.put_u64(value);
+    }
+    append_profile_section(w, prof::session_snapshot());
+    return w.take();
+  }
   const EngineStats es = engine_->serving_stats();
   PayloadWriter w;
   std::vector<std::pair<std::string_view, u64>> kv = {

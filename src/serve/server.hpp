@@ -27,6 +27,7 @@
 
 #include "core/partition_view.hpp"
 #include "engine.hpp"
+#include "fleet/fleet_engine.hpp"
 #include "serve/journal.hpp"
 #include "serve/protocol.hpp"
 
@@ -81,6 +82,15 @@ class Server {
   /// tail) and replays its surviving records onto `engine`.  Throws
   /// std::runtime_error on bind/journal failure.
   Server(std::unique_ptr<Engine> engine, ServerOptions opt = {});
+
+  /// Fleet mode: serves a whole fleet::FleetEngine behind FLEET_EDIT /
+  /// FLEET_VIEW frames (classic single-instance frames are refused; STATS
+  /// still works and carries fleet_* counters).  The journal, when
+  /// configured, uses the fleet record format with per-record instance ids;
+  /// recovery replays each record against its instance's own epoch floor.
+  /// Install the fleet's factory before constructing the server so journal
+  /// replay can materialize instances.
+  Server(std::unique_ptr<fleet::FleetEngine> fleet, ServerOptions opt = {});
   ~Server();
 
   Server(const Server&) = delete;
@@ -89,7 +99,11 @@ class Server {
   /// The bound TCP port (resolves an ephemeral request).
   std::uint16_t port() const noexcept { return port_; }
 
+  /// Classic mode only — a fleet-mode server has no single engine.
   Engine& engine() noexcept { return *engine_; }
+  bool fleet_mode() const noexcept { return fleet_ != nullptr; }
+  /// Fleet mode only.
+  fleet::FleetEngine& fleet() noexcept { return *fleet_; }
   const ServerOptions& options() const noexcept { return opt_; }
   ServeStats stats() const noexcept;
 
@@ -116,6 +130,8 @@ class Server {
   struct PendingAck {
     int fd = -1;
     u32 accepted = 0;
+    bool fleet = false;        ///< ack carries the instance's epoch, not the engine's
+    u64 instance = 0;
   };
 
   void accept_ready_();
@@ -127,13 +143,15 @@ class Server {
   void flush_socket_(Connection& c);
   void close_connection_(int fd);
   Connection* find_(int fd) noexcept;
+  void init_net_();
   inc::ViewDelta refresh_served_view_();
   void notify_subscribers_(const inc::ViewDelta& vd);
   std::string encode_stats_() const;
   bool do_checkpoint_(const std::string& path);
   void maybe_autocheckpoint_();
 
-  std::unique_ptr<Engine> engine_;
+  std::unique_ptr<Engine> engine_;        ///< classic mode; null in fleet mode
+  std::unique_ptr<fleet::FleetEngine> fleet_;  ///< fleet mode; null in classic mode
   ServerOptions opt_;
   Journal journal_;
   bool durable_ = false;
@@ -151,6 +169,7 @@ class Server {
 
   core::PartitionView served_view_;
   std::vector<inc::Edit> batch_;       ///< edits accepted since the last flush
+  std::vector<fleet::InstanceEdit> fleet_batch_;  ///< fleet-mode accepted edits
   std::vector<PendingAck> pending_acks_;
   u64 edits_since_checkpoint_ = 0;
   ServeStats stats_{};

@@ -64,6 +64,17 @@
 // (serve/journal.hpp); serve::Client is its blocking peer.  `sfcp_cli
 // serve`/`connect` drive it from the shell.
 //
+// Fleet serving (many instances behind one surface): fleet::FleetEngine
+// multiplexes up to millions of small instance-keyed engines — open-
+// addressed id→slot routing with on-demand factory materialization, a
+// bounded warm set whose LRU tail is checkpointed to a cold tier (memory or
+// spill dir) and faulted back byte-identically, cold-start floods batched
+// through core::Solver::solve_batch, and per-instance arrays drawn from a
+// shared fleet::SlabArena (the pram::ExecutionContext::arena hook).  A
+// fleet-mode serve::Server speaks FLEET_EDIT/FLEET_VIEW and journals per-
+// instance records; `sfcp_cli fleet` serves one from the shell and the
+// connect REPL routes with `instance <id>` — see fleet/fleet_engine.hpp.
+//
 // Strategy selection: sfcp::registry() enumerates every cycle-detect x
 // cycle-structure x tree-labelling combination ("euler-jump-level", ...)
 // plus the "parallel" and "sequential" aliases — see core/registry.hpp.
@@ -92,6 +103,8 @@
 #include "core/tree_labeling.hpp"
 #include "core/verify.hpp"
 #include "engine.hpp"
+#include "fleet/fleet_engine.hpp"
+#include "fleet/slab_arena.hpp"
 #include "graph/cycle_detect.hpp"
 #include "graph/cycle_structure.hpp"
 #include "graph/euler_tour.hpp"
@@ -102,6 +115,7 @@
 #include "inc/edit.hpp"
 #include "inc/incremental_solver.hpp"
 #include "inc/repair_delta.hpp"
+#include "pram/arena.hpp"
 #include "pram/config.hpp"
 #include "pram/execution_context.hpp"
 #include "pram/metrics.hpp"

@@ -185,6 +185,16 @@ class ShardedEngine final : public Engine {
 
   EngineStats serving_stats() const override;
 
+  /// Sum of the shard solvers' estimates plus a coarse per-node merge-map
+  /// overhead (assignment stakes + global label maps).
+  std::size_t footprint_bytes() const noexcept override {
+    std::size_t bytes = size() * 24;
+    for (const ShardState& s : shards_) {
+      if (s.solver) bytes += s.solver->footprint_bytes();
+    }
+    return bytes;
+  }
+
   /// Notification window across the global views published since the last
   /// take (inc::ViewDelta semantics: relabelled global nodes, or a
   /// whole-partition downgrade when any view re-rooted).

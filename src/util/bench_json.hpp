@@ -19,6 +19,8 @@
 // times warn-only.
 
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "pram/types.hpp"
 #include "prof/profile.hpp"
@@ -35,6 +37,14 @@ void append_bench_record(const std::string& path, const std::string& name, u64 n
 void append_bench_record(const std::string& path, const std::string& name, u64 n,
                          const std::string& strategy, int threads, double ms,
                          const prof::ProfileTree& profile);
+
+/// Same, additionally carrying the run's named counters (google-benchmark
+/// state.counters — e.g. the fleet bench's warm_bytes / evictions) as a
+/// `counters` object; omitted when empty, so the classic shape survives.
+void append_bench_record(const std::string& path, const std::string& name, u64 n,
+                         const std::string& strategy, int threads, double ms,
+                         const prof::ProfileTree& profile,
+                         const std::vector<std::pair<std::string, double>>& counters);
 
 /// Extracts `--json <path>` / `--json=<path>` from argv (removing the
 /// consumed arguments and updating argc); returns "" when absent.  A bare

@@ -32,10 +32,13 @@ constexpr unsigned char kCheckpointMagicBytes[8] = {0x7f, 's', 'f', 'c', 'k', 'v
 constexpr unsigned char kCheckpointShardedMagicBytes[8] = {0x7f, 's', 'f', 'c',
                                                            'k', 's', '1', '\n'};
 constexpr unsigned char kJournalMagicBytes[8] = {0x7f, 's', 'f', 'c', 'j', 'v', '1', '\n'};
+constexpr unsigned char kFleetJournalMagicBytes[8] = {0x7f, 's', 'f', 'c', 'F', 'v', '1', '\n'};
 
 // Journal record payload: epoch (8) + count (4) + count * (kind 1 + node 4
 // + value 4); the length prefix and trailing CRC add 8 more framed bytes.
 constexpr std::size_t kJournalPayloadHeader = 12;
+// The fleet flavour prefixes the payload with the target instance id (u64).
+constexpr std::size_t kFleetJournalPayloadHeader = 20;
 constexpr std::size_t kJournalBytesPerEdit = 9;
 // One record mirrors one accepted wire EDIT frame, whose payload is capped
 // at 2^28 bytes — so larger length prefixes are corruption, not data, and
@@ -184,28 +187,6 @@ void BinaryReader::get_bytes(void* data, std::size_t len, const char* what) {
   if (!is_.read(static_cast<char*>(data), static_cast<std::streamsize>(len))) fail_(what);
 }
 
-void BinaryReader::get_u32_vector(u64 n, std::vector<u32>& out, const char* what) {
-  // Grows `out` in bounded chunks while reading, so a corrupt header claiming
-  // billions of elements fails with "truncated" once the payload runs out
-  // instead of attempting one giant up-front allocation.
-  constexpr u64 kChunk = u64{1} << 20;
-  out.clear();
-  out.reserve(static_cast<std::size_t>(n < kChunk ? n : kChunk));
-  while (out.size() < n) {
-    const std::size_t prev = out.size();
-    const std::size_t take = static_cast<std::size_t>(std::min<u64>(kChunk, n - prev));
-    out.resize(prev + take);
-    if constexpr (std::endian::native == std::endian::little) {
-      if (!is_.read(reinterpret_cast<char*>(out.data() + prev),
-                    static_cast<std::streamsize>(take * sizeof(u32)))) {
-        fail_(what);
-      }
-    } else {
-      for (std::size_t i = prev; i < prev + take; ++i) out[i] = get_u32(what);
-    }
-  }
-}
-
 // ---- edit journal (`sfcp-journal v1`) ------------------------------------
 
 std::span<const unsigned char, 8> journal_magic() noexcept {
@@ -278,18 +259,73 @@ void append_journal_record(std::ostream& os, const JournalRecord& rec) {
   if (!os) throw std::runtime_error("append_journal_record: write failed");
 }
 
-JournalScan scan_journal(std::istream& is) {
-  unsigned char magic[8];
-  is.read(reinterpret_cast<char*>(magic), 8);
-  if (is.gcount() != 8 || std::memcmp(magic, kJournalMagicBytes, 8) != 0) {
-    throw std::runtime_error("scan_journal: bad header (expected sfcp-journal v1 magic)");
+namespace {
+
+u64 get_le64(const unsigned char* p) noexcept {
+  return static_cast<u64>(get_le32(p)) | (static_cast<u64>(get_le32(p + 4)) << 32);
+}
+
+void put_le64(std::string& out, u64 v) {
+  put_le32(out, static_cast<u32>(v));
+  put_le32(out, static_cast<u32>(v >> 32));
+}
+
+void encode_edits(std::string& payload, std::span<const inc::Edit> edits) {
+  put_le32(payload, static_cast<u32>(edits.size()));
+  for (const inc::Edit& e : edits) {
+    payload.push_back(e.kind == inc::Edit::Kind::SetF ? '\x00' : '\x01');
+    put_le32(payload, e.node);
+    put_le32(payload, e.value);
   }
-  JournalScan scan;
-  scan.valid_bytes = 8;
+}
+
+std::string frame_record(const std::string& payload) {
+  std::string out;
+  out.reserve(payload.size() + 8);
+  put_le32(out, static_cast<u32>(payload.size()));
+  out += payload;
+  put_le32(out, crc32(payload.data(), payload.size()));
+  return out;
+}
+
+// Decodes the count (u32 at `off`) + edit list tail of a record payload of
+// total length `len`.  Returns the torn-tail reason, empty on success.
+std::string decode_edits(const unsigned char* p, u32 len, std::size_t off,
+                         std::vector<inc::Edit>& out) {
+  const u32 count = get_le32(p + off);
+  if (static_cast<u64>(len) != off + 4 + kJournalBytesPerEdit * static_cast<u64>(count)) {
+    return "record length/count mismatch";
+  }
+  out.reserve(count);
+  for (u32 i = 0; i < count; ++i) {
+    const unsigned char* e = p + off + 4 + kJournalBytesPerEdit * i;
+    switch (e[0]) {
+      case 0:
+        out.push_back(inc::Edit::set_f(get_le32(e + 1), get_le32(e + 5)));
+        break;
+      case 1:
+        out.push_back(inc::Edit::set_b(get_le32(e + 1), get_le32(e + 5)));
+        break;
+      default:
+        return "unknown edit kind in record";
+    }
+  }
+  return {};
+}
+
+// Shared tolerant framing scan: reads [len][payload][crc] records after an
+// already-consumed 8-byte header, handing each intact payload to `decode`
+// (which returns a torn reason, empty on success).  Reports the good-prefix
+// length + first tear into (valid_bytes, torn, error) — the common tail of
+// both JournalScan flavours.
+template <class Decode>
+void scan_framed_records(std::istream& is, std::size_t min_payload, const Decode& decode,
+                         u64& valid_bytes, bool& torn, std::string& error) {
+  valid_bytes = 8;
   std::string payload;
-  const auto tear = [&scan](const std::string& what) {
-    scan.torn = true;
-    scan.error = what + " at byte offset " + std::to_string(scan.valid_bytes);
+  const auto tear = [&](const std::string& what) {
+    torn = true;
+    error = what + " at byte offset " + std::to_string(valid_bytes);
   };
   for (;;) {
     unsigned char len_buf[4];
@@ -301,7 +337,7 @@ JournalScan scan_journal(std::istream& is) {
       break;
     }
     const u32 len = get_le32(len_buf);
-    if (len < kJournalPayloadHeader || static_cast<u64>(len) > kMaxJournalPayload) {
+    if (len < min_payload || static_cast<u64>(len) > kMaxJournalPayload) {
       tear("implausible record length " + std::to_string(len));
       break;
     }
@@ -322,36 +358,34 @@ JournalScan scan_journal(std::istream& is) {
       tear("record CRC mismatch");
       break;
     }
-    JournalRecord rec;
-    rec.epoch = static_cast<u64>(get_le32(p)) | (static_cast<u64>(get_le32(p + 4)) << 32);
-    const u32 count = get_le32(p + 8);
-    if (static_cast<u64>(len) !=
-        kJournalPayloadHeader + kJournalBytesPerEdit * static_cast<u64>(count)) {
-      tear("record length/count mismatch");
+    const std::string reason = decode(p, len);
+    if (!reason.empty()) {
+      tear(reason);
       break;
     }
-    rec.edits.reserve(count);
-    bool bad_kind = false;
-    for (u32 i = 0; i < count && !bad_kind; ++i) {
-      const unsigned char* e = p + kJournalPayloadHeader + kJournalBytesPerEdit * i;
-      switch (e[0]) {
-        case 0:
-          rec.edits.push_back(inc::Edit::set_f(get_le32(e + 1), get_le32(e + 5)));
-          break;
-        case 1:
-          rec.edits.push_back(inc::Edit::set_b(get_le32(e + 1), get_le32(e + 5)));
-          break;
-        default:
-          bad_kind = true;
-      }
-    }
-    if (bad_kind) {
-      tear("unknown edit kind in record");
-      break;
-    }
-    scan.records.push_back(std::move(rec));
-    scan.valid_bytes += 4 + static_cast<u64>(len) + 4;
+    valid_bytes += 4 + static_cast<u64>(len) + 4;
   }
+}
+
+}  // namespace
+
+JournalScan scan_journal(std::istream& is) {
+  unsigned char magic[8];
+  is.read(reinterpret_cast<char*>(magic), 8);
+  if (is.gcount() != 8 || std::memcmp(magic, kJournalMagicBytes, 8) != 0) {
+    throw std::runtime_error("scan_journal: bad header (expected sfcp-journal v1 magic)");
+  }
+  JournalScan scan;
+  scan_framed_records(
+      is, kJournalPayloadHeader,
+      [&scan](const unsigned char* p, u32 len) -> std::string {
+        JournalRecord rec;
+        rec.epoch = get_le64(p);
+        std::string reason = decode_edits(p, len, 8, rec.edits);
+        if (reason.empty()) scan.records.push_back(std::move(rec));
+        return reason;
+      },
+      scan.valid_bytes, scan.torn, scan.error);
   return scan;
 }
 
@@ -359,6 +393,54 @@ std::vector<JournalRecord> load_journal(std::istream& is) {
   JournalScan scan = scan_journal(is);
   if (scan.torn) throw std::runtime_error("load_journal: " + scan.error);
   return std::move(scan.records);
+}
+
+// ---- fleet edit journal (`sfcp-fleet-journal v1`) ------------------------
+
+std::span<const unsigned char, 8> fleet_journal_magic() noexcept {
+  return std::span<const unsigned char, 8>(kFleetJournalMagicBytes);
+}
+
+std::string encode_fleet_journal_record(const FleetJournalRecord& rec) {
+  std::string payload;
+  payload.reserve(kFleetJournalPayloadHeader + kJournalBytesPerEdit * rec.edits.size());
+  put_le64(payload, rec.instance);
+  put_le64(payload, rec.epoch);
+  encode_edits(payload, rec.edits);
+  return frame_record(payload);
+}
+
+void write_fleet_journal_header(std::ostream& os) {
+  os.write(reinterpret_cast<const char*>(kFleetJournalMagicBytes), 8);
+  if (!os) throw std::runtime_error("write_fleet_journal_header: write failed");
+}
+
+void append_fleet_journal_record(std::ostream& os, const FleetJournalRecord& rec) {
+  const std::string bytes = encode_fleet_journal_record(rec);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!os) throw std::runtime_error("append_fleet_journal_record: write failed");
+}
+
+FleetJournalScan scan_fleet_journal(std::istream& is) {
+  unsigned char magic[8];
+  is.read(reinterpret_cast<char*>(magic), 8);
+  if (is.gcount() != 8 || std::memcmp(magic, kFleetJournalMagicBytes, 8) != 0) {
+    throw std::runtime_error(
+        "scan_fleet_journal: bad header (expected sfcp-fleet-journal v1 magic)");
+  }
+  FleetJournalScan scan;
+  scan_framed_records(
+      is, kFleetJournalPayloadHeader,
+      [&scan](const unsigned char* p, u32 len) -> std::string {
+        FleetJournalRecord rec;
+        rec.instance = get_le64(p);
+        rec.epoch = get_le64(p + 8);
+        std::string reason = decode_edits(p, len, 16, rec.edits);
+        if (reason.empty()) scan.records.push_back(std::move(rec));
+        return reason;
+      },
+      scan.valid_bytes, scan.torn, scan.error);
+  return scan;
 }
 
 void save_instance(std::ostream& os, const graph::Instance& inst) {

@@ -47,9 +47,11 @@
 //   maps are derived state and are rebuilt on load.
 //   sfcp::load_engine_checkpoint() autodetects plain vs. sharded streams.
 
+#include <algorithm>
+#include <bit>
 #include <cstddef>
 #include <functional>
-#include <iosfwd>
+#include <istream>
 #include <span>
 #include <string>
 #include <vector>
@@ -143,6 +145,45 @@ JournalScan scan_journal(std::istream& is);
 /// naming the byte offset of the bad record.
 std::vector<JournalRecord> load_journal(std::istream& is);
 
+// ---- fleet edit journal (`sfcp-fleet-journal v1`) ------------------------
+// The multi-tenant flavour written by a fleet-mode serve::Server: identical
+// [u32 len][payload][u32 crc32] framing under its own 8-byte magic
+// (7F 's' 'f' 'c' 'F' 'v' '1' 0A), with the payload gaining a leading
+// instance id:
+//
+//   instance (u64), epoch (u64, that INSTANCE's edit clock before the
+//   batch), count (u32), then count x (u8 kind, u32 node, u32 value).
+//
+// Torn-tail semantics match scan_journal exactly.
+
+/// The 8-byte magic opening an `sfcp-fleet-journal v1` file.
+std::span<const unsigned char, 8> fleet_journal_magic() noexcept;
+
+struct FleetJournalRecord {
+  u64 instance = 0;  ///< fleet instance the batch targets
+  u64 epoch = 0;     ///< that instance's edit clock before the batch applied
+  std::vector<inc::Edit> edits;
+
+  friend bool operator==(const FleetJournalRecord&, const FleetJournalRecord&) = default;
+};
+
+std::string encode_fleet_journal_record(const FleetJournalRecord& rec);
+
+/// Writes the 8-byte fleet-journal magic (the file header).
+void write_fleet_journal_header(std::ostream& os);
+
+void append_fleet_journal_record(std::ostream& os, const FleetJournalRecord& rec);
+
+struct FleetJournalScan {
+  std::vector<FleetJournalRecord> records;  ///< every intact record, in order
+  u64 valid_bytes = 0;  ///< length of the good prefix (header + intact records)
+  bool torn = false;    ///< the tail after valid_bytes is truncated/corrupt
+  std::string error;    ///< when torn: what tore, naming the byte offset
+};
+
+/// Tolerant fleet-journal scan; same contract as scan_journal.
+FleetJournalScan scan_fleet_journal(std::istream& is);
+
 /// Writes `path` atomically: `write` streams into `path + ".tmp"`, the
 /// stream is closed and error-checked (so buffered-flush failures surface),
 /// and only then renamed over `path` — a failing write never destroys an
@@ -188,7 +229,27 @@ class BinaryReader {
   void get_bytes(void* data, std::size_t len, const char* what);
   /// Reads n values, growing `out` in bounded chunks so corrupt headers
   /// claiming huge sizes fail on truncation instead of allocating n upfront.
-  void get_u32_vector(u64 n, std::vector<u32>& out, const char* what);
+  /// Templated over the vector type so arena-backed vectors (pram::avector)
+  /// can load in place with the same bounded-growth behaviour.
+  template <class Vec>
+  void get_u32_vector(u64 n, Vec& out, const char* what) {
+    constexpr u64 kChunk = u64{1} << 20;
+    out.clear();
+    out.reserve(static_cast<std::size_t>(n < kChunk ? n : kChunk));
+    while (out.size() < n) {
+      const std::size_t prev = out.size();
+      const std::size_t take = static_cast<std::size_t>(std::min<u64>(kChunk, n - prev));
+      out.resize(prev + take);
+      if constexpr (std::endian::native == std::endian::little) {
+        if (!is_.read(reinterpret_cast<char*>(out.data() + prev),
+                      static_cast<std::streamsize>(take * sizeof(u32)))) {
+          fail_(what);
+        }
+      } else {
+        for (std::size_t i = prev; i < prev + take; ++i) out[i] = get_u32(what);
+      }
+    }
+  }
 
  private:
   [[noreturn]] void fail_(const char* what) const;

@@ -1,7 +1,9 @@
 #pragma once
 // Deterministic, fast PRNG (xoshiro256** seeded by SplitMix64): identical
-// streams on every platform, so tests and benches are reproducible.
+// streams on every platform, so tests and benches are reproducible.  Also
+// home to the Zipf sampler the fleet bench uses to skew instance traffic.
 
+#include <cmath>
 #include <cstdint>
 
 #include "pram/types.hpp"
@@ -48,6 +50,49 @@ class Rng {
  private:
   static u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
   u64 s_[4];
+};
+
+/// Zipf-distributed ranks over [0, n): rank k is drawn with probability
+/// proportional to 1/(k+1)^theta, so rank 0 is the hottest.  Hörmann &
+/// Derflinger rejection-inversion — O(1) per sample independent of n, which
+/// is what lets the fleet bench skew traffic across a million instances
+/// without a million-entry CDF table.  Requires theta in (0, 1) ∪ (1, ∞);
+/// the default 0.99 is the classic YCSB skew.
+class ZipfSampler {
+ public:
+  explicit ZipfSampler(u64 n, double theta = 0.99) : n_(n), theta_(theta) {
+    h_x1_ = h_(1.5) - 1.0;
+    h_n_ = h_(static_cast<double>(n_) + 0.5);
+    s_ = 2.0 - h_inv_(h_(2.5) - std::pow(2.0, -theta_));
+  }
+
+  u64 operator()(Rng& rng) {
+    for (;;) {
+      const double u = h_n_ + rng.uniform01() * (h_x1_ - h_n_);
+      const double x = h_inv_(u);
+      u64 k = static_cast<u64>(x + 0.5);
+      if (k < 1) {
+        k = 1;
+      } else if (k > n_) {
+        k = n_;
+      }
+      const double kd = static_cast<double>(k);
+      if (kd - x <= s_ || u >= h_(kd + 0.5) - std::pow(kd, -theta_)) {
+        return k - 1;
+      }
+    }
+  }
+
+ private:
+  /// Antiderivative of x^-theta (shifted so h_inv_ stays well-conditioned).
+  double h_(double x) const { return std::expm1((1.0 - theta_) * std::log(x)) / (1.0 - theta_); }
+  double h_inv_(double u) const {
+    return std::exp(std::log1p(u * (1.0 - theta_)) / (1.0 - theta_));
+  }
+
+  u64 n_;
+  double theta_;
+  double h_x1_, h_n_, s_;
 };
 
 }  // namespace sfcp::util

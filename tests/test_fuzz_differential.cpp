@@ -17,6 +17,7 @@
 #include "core/coarsest_partition.hpp"
 #include "core/solver.hpp"
 #include "engine.hpp"
+#include "fleet/fleet_engine.hpp"
 #include "serve/client.hpp"
 #include "serve/server.hpp"
 #include "shard/sharded_engine.hpp"
@@ -307,6 +308,71 @@ TEST(FuzzDifferential, LoopbackBatchUniform) {
   run_loopback(util::random_function(800, 4, rng), "batch", util::EditMix::Uniform, 140, 84,
                "loopback/batch/uniform");
 }
+
+// ---- fleet lane ----------------------------------------------------------
+// Many small instances behind one fleet::FleetEngine with a warm cap tight
+// enough that the interleaved streams constantly evict and fault instances
+// back; after every round each touched instance's fleet view must be
+// byte-identical to a fresh solve of its own evolved reference instance —
+// routing must never cross streams, and tiering must never lose state.
+
+void run_fleet_lane(const std::string& engine_kind, std::size_t instances, u64 seed) {
+  fleet::FleetConfig cfg;
+  cfg.engine = engine_kind;
+  cfg.warm_limit = instances / 8;  // force evict/fault-in churn
+  fleet::FleetEngine fleet(std::move(cfg));
+
+  util::Rng rng(seed);
+  std::vector<graph::Instance> reference(instances);
+  std::vector<std::vector<inc::Edit>> streams(instances);
+  constexpr std::size_t kRounds = 12;
+  for (std::size_t i = 0; i < instances; ++i) {
+    reference[i] = util::random_function(30 + rng.below(70), 4, rng);
+    util::Rng srng(seed ^ (0x51ab * i + 1));
+    streams[i] =
+        util::random_edit_stream(reference[i], kRounds, util::EditMix::Uniform, 4, srng);
+    fleet.create(i, reference[i]);
+  }
+
+  core::Solver oracle;
+  for (std::size_t round = 0; round < kRounds; ++round) {
+    // Interleave: every instance gets edit `round` of its own stream, as one
+    // mixed-instance batch (odd rounds) or per-instance applies (even), so
+    // both routing paths carry the same traffic.
+    if (round % 2 == 1) {
+      std::vector<fleet::InstanceEdit> batch;
+      batch.reserve(instances);
+      for (std::size_t i = 0; i < instances; ++i) batch.push_back({i, streams[i][round]});
+      fleet.apply_batch(batch);
+    } else {
+      for (std::size_t i = 0; i < instances; ++i) {
+        fleet.apply(i, {&streams[i][round], 1});
+      }
+    }
+    for (std::size_t i = 0; i < instances; ++i) {
+      inc::apply_raw(streams[i][round], reference[i].f, reference[i].b);
+    }
+    for (std::size_t i = 0; i < instances; ++i) {
+      const core::Result want = oracle.solve(reference[i]);
+      const core::PartitionView got = fleet.view(i);
+      const std::string at = engine_kind + " instance " + std::to_string(i) + " after round " +
+                             std::to_string(round);
+      ASSERT_EQ(got.num_classes(), want.num_blocks) << at;
+      const std::span<const u32> q = got.labels();
+      ASSERT_TRUE(std::equal(q.begin(), q.end(), want.q.begin(), want.q.end()))
+          << "fleet view diverged from fresh solve, " << at;
+    }
+  }
+  const fleet::FleetStats st = fleet.stats();
+  ASSERT_GE(st.evictions, instances) << engine_kind;  // the cap really did churn
+  ASSERT_GE(st.faults, instances) << engine_kind;
+}
+
+TEST(FuzzDifferential, FleetInterleavedIncremental) { run_fleet_lane("incremental", 64, 3001); }
+
+TEST(FuzzDifferential, FleetInterleavedBatch) { run_fleet_lane("batch", 64, 3002); }
+
+TEST(FuzzDifferential, FleetInterleavedSharded) { run_fleet_lane("sharded", 64, 3003); }
 
 }  // namespace
 }  // namespace sfcp

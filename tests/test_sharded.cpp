@@ -371,12 +371,14 @@ TEST(Sharded, CheckpointErrorPaths) {
 
   // ...but load_engine_checkpoint dispatches both by magic.
   std::istringstream sharded_in(bytes);
-  const auto from_sharded = load_engine_checkpoint(sharded_in);
-  EXPECT_EQ(from_sharded->kind(), "sharded");
-  EXPECT_EQ(to_vec(from_sharded->view().labels()), to_vec(engine.view().labels()));
+  auto from_sharded = load_engine_checkpoint(sharded_in);
+  EXPECT_EQ(from_sharded.kind, "sharded");
+  EXPECT_EQ(from_sharded.engine->kind(), "sharded");
+  EXPECT_EQ(to_vec(from_sharded.engine->view().labels()), to_vec(engine.view().labels()));
   std::istringstream plain_in(plain.str());
   const auto from_plain = load_engine_checkpoint(plain_in);
-  EXPECT_EQ(from_plain->kind(), "incremental");
+  EXPECT_EQ(from_plain.kind, "incremental");
+  EXPECT_EQ(from_plain.engine->kind(), "incremental");
   std::istringstream garbage("not a checkpoint at all");
   EXPECT_THROW(load_engine_checkpoint(garbage), std::runtime_error);
 }

@@ -20,8 +20,13 @@ usable as a CI gate or an advisory step.
 Records from SFCP_PROFILE builds additionally carry a `profile` object
 (src/util/bench_json.hpp); when both sides have one for a common key, the
 top-level phase times (aggregated by first path segment, e.g. "serve",
-"inc") are diffed too — WARN-ONLY: phase shifts are diagnostic breadcrumbs,
-never a gate, and never affect the exit status.
+"inc", "fleet") are diffed too — WARN-ONLY: phase shifts are diagnostic
+breadcrumbs, never a gate, and never affect the exit status.
+
+Records may also carry a `counters` object (google-benchmark UserCounters;
+bench_fleet exports warm/warm_bytes/evictions/faults this way to document
+its bounded warm-set claim).  Counter drift beyond the threshold is
+reported the same way — warn-only, never a gate.
 
 `--selftest` runs the built-in checks and exits (used by ctest).
 """
@@ -34,13 +39,15 @@ import tempfile
 
 
 def load_records(path):
-    """path -> ({key: best_ms}, {key: {top_phase: ns}}).
+    """path -> ({key: best_ms}, {key: {top_phase: ns}}, {key: {counter: v}}).
 
-    The phase map holds the profile of the best-of record (when it carried
-    one), aggregated by the first path segment — the top-level phases.
+    The phase and counter maps hold the profile/counters of the best-of
+    record (when it carried them); phases aggregate by the first path
+    segment — the top-level phases.
     """
     best = {}
     profiles = {}
+    counters = {}
     with open(path, "r", encoding="utf-8") as fh:
         for lineno, line in enumerate(fh, 1):
             line = line.strip()
@@ -59,6 +66,7 @@ def load_records(path):
             if key not in best or ms < best[key]:
                 best[key] = ms
                 profiles.pop(key, None)
+                counters.pop(key, None)
                 prof = rec.get("profile")
                 if prof:
                     top = {}
@@ -66,7 +74,10 @@ def load_records(path):
                         seg = phase.split("/", 1)[0]
                         top[seg] = top.get(seg, 0) + int(st.get("ns", 0))
                     profiles[key] = top
-    return best, profiles
+                ctr = rec.get("counters")
+                if ctr:
+                    counters[key] = {k: float(v) for k, v in ctr.items()}
+    return best, profiles, counters
 
 
 def key_str(key):
@@ -81,12 +92,15 @@ def key_str(key):
     return " ".join(parts)
 
 
-def diff(old, new, threshold, old_prof=None, new_prof=None):
+def diff(old, new, threshold, old_prof=None, new_prof=None,
+         old_ctr=None, new_ctr=None):
     """Returns (lines, regressions) for the report."""
     lines = []
     regressions = []
     old_prof = old_prof or {}
     new_prof = new_prof or {}
+    old_ctr = old_ctr or {}
+    new_ctr = new_ctr or {}
     common = sorted(set(old) & set(new))
     width = max((len(key_str(k)) for k in common), default=10)
     for key in common:
@@ -111,6 +125,17 @@ def diff(old, new, threshold, old_prof=None, new_prof=None):
                 if abs(pdelta) > threshold:
                     lines.append(f"  phase {phase}: {po / 1e6:.3f}ms -> "
                                  f"{pn / 1e6:.3f}ms  {pdelta:+.1f}% (warn-only)")
+        # Counter drift (e.g. bench_fleet's warm_bytes): warn-only too.
+        co, cn = old_ctr.get(key), new_ctr.get(key)
+        if co and cn:
+            for name in sorted(set(co) & set(cn)):
+                vo, vn = co[name], cn[name]
+                if vo <= 0:
+                    continue
+                cdelta = (vn - vo) / vo * 100.0
+                if abs(cdelta) > threshold:
+                    lines.append(f"  counter {name}: {vo:g} -> {vn:g}  "
+                                 f"{cdelta:+.1f}% (warn-only)")
     for key in sorted(set(old) - set(new)):
         lines.append(f"{key_str(key)}: only in old record (skipped)")
     for key in sorted(set(new) - set(old)):
@@ -121,11 +146,14 @@ def diff(old, new, threshold, old_prof=None, new_prof=None):
 
 
 def selftest():
-    def record(name, ms, strategy="s", n=64, threads=2, profile=None):
+    def record(name, ms, strategy="s", n=64, threads=2, profile=None,
+               counters=None):
         rec = {"name": name, "n": n, "strategy": strategy,
                "threads": threads, "ms": ms}
         if profile is not None:
             rec["profile"] = profile
+        if counters is not None:
+            rec["counters"] = counters
         return json.dumps(rec)
 
     def phases(apply_ns, fsync_ns):
@@ -135,6 +163,12 @@ def selftest():
                                         "bytes": 0},
                 "inc/repair": {"ns": 1000, "count": 1, "flops": 0, "bytes": 0}}
 
+    def fleet_phases(route_ns, evict_ns):
+        return {"fleet/route": {"ns": route_ns, "count": 4, "flops": 0,
+                                "bytes": 0},
+                "fleet/evict": {"ns": evict_ns, "count": 2, "flops": 0,
+                                "bytes": 0}}
+
     with tempfile.TemporaryDirectory() as tmp:
         old_path = os.path.join(tmp, "old.json")
         new_path = os.path.join(tmp, "new.json")
@@ -142,6 +176,12 @@ def selftest():
             fh.write("\n".join([
                 record("a", 10.0), record("a", 12.0),   # best-of -> 10.0
                 record("b", 5.0, profile=phases(1_000_000, 1_000_000)),
+                # A BENCH_fleet.json-shaped record: fleet/* phases + exported
+                # UserCounters (the bounded-warm-set evidence).
+                record("BM_FleetZipfEdits", 3.0, strategy="zipf",
+                       profile=fleet_phases(2_000_000, 1_000_000),
+                       counters={"warm": 1024.0, "warm_bytes": 1_000_000.0,
+                                 "evictions": 100.0}),
                 record("gone", 1.0),
             ]) + "\n")
         with open(new_path, "w", encoding="utf-8") as fh:
@@ -149,27 +189,41 @@ def selftest():
                 record("a", 11.0),                       # +10% — within threshold
                 # +80% ms — regression; serve phase +150% — warn-only
                 record("b", 9.0, profile=phases(4_000_000, 1_000_000)),
+                # Same wall time, but warm_bytes +150% — warn-only, no gate.
+                record("BM_FleetZipfEdits", 3.0, strategy="zipf",
+                       profile=fleet_phases(2_000_000, 1_000_000),
+                       counters={"warm": 1024.0, "warm_bytes": 2_500_000.0,
+                                 "evictions": 110.0}),
                 record("fresh", 2.0),
             ]) + "\n")
 
-        (old, old_prof), (new, new_prof) = (load_records(old_path),
-                                            load_records(new_path))
+        (old, old_prof, old_ctr), (new, new_prof, new_ctr) = (
+            load_records(old_path), load_records(new_path))
         assert old[("a", 64, "s", 2)] == 10.0, "best-of reduction failed"
         bkey = ("b", 64, "s", 2)
-        # Top-level aggregation: serve = apply + fsync, inc kept separate.
+        # Top-level aggregation: serve = apply + fsync, inc kept separate,
+        # fleet/* rolls up under "fleet".
         assert old_prof[bkey] == {"serve": 2_000_000, "inc": 1000}, old_prof
+        fkey = ("BM_FleetZipfEdits", 64, "zipf", 2)
+        assert old_prof[fkey] == {"fleet": 3_000_000}, old_prof
+        assert old_ctr[fkey]["warm_bytes"] == 1_000_000.0, old_ctr
         assert bkey not in old_prof or ("a", 64, "s", 2) not in old_prof
-        lines, regressions = diff(old, new, 20.0, old_prof, new_prof)
+        lines, regressions = diff(old, new, 20.0, old_prof, new_prof,
+                                  old_ctr, new_ctr)
         assert len(regressions) == 1 and regressions[0][0] == "b", regressions
         assert any("REGRESSION" in l for l in lines)
         assert any("only in old" in l for l in lines)
         assert any("no baseline" in l for l in lines)
         warn = [l for l in lines if "warn-only" in l]
-        assert len(warn) == 1 and "phase serve" in warn[0], lines
-        # Phase drift alone must never regress the run (warn-only contract):
+        # Exactly two warn lines: the warm_bytes counter shift and the serve
+        # phase shift; evictions +10% stays under threshold.
+        assert len(warn) == 2 and "counter warm_bytes" in warn[0], lines
+        assert "phase serve" in warn[1], lines
+        assert not any("counter evictions" in l for l in lines), lines
+        # Phase/counter drift alone must never regress the run (warn-only):
         flat = {k: 5.0 for k in old}
-        _, none = diff(flat, flat, 20.0, old_prof, new_prof)
-        assert none == [], "profile drift must not gate"
+        _, none = diff(flat, flat, 20.0, old_prof, new_prof, old_ctr, new_ctr)
+        assert none == [], "profile/counter drift must not gate"
         _, none = diff(old, new, threshold=100.0)
         assert none == [], "threshold not respected"
         _, empty = diff({}, new, threshold=20.0)
@@ -193,9 +247,10 @@ def main():
     if not args.old or not args.new:
         parser.error("OLD and NEW record files are required (or --selftest)")
 
-    old, old_prof = load_records(args.old)
-    new, new_prof = load_records(args.new)
-    lines, regressions = diff(old, new, args.threshold, old_prof, new_prof)
+    old, old_prof, old_ctr = load_records(args.old)
+    new, new_prof, new_ctr = load_records(args.new)
+    lines, regressions = diff(old, new, args.threshold, old_prof, new_prof,
+                              old_ctr, new_ctr)
     print(f"bench_diff: {args.old} -> {args.new} (threshold {args.threshold:.0f}%)")
     for line in lines:
         print(f"  {line}")

@@ -25,6 +25,15 @@ the parent's wall time — self time is clamped at zero there.  GB/s and
 GFLOP/s divide a phase's OWN charged traffic by its own wall time (charges
 are not rolled up into ancestors).
 
+Families whose root was never recorded as a scope of its own (the fleet
+engine's fleet/route | fleet/fault_in | fleet/evict | fleet/cold_batch)
+are grouped under a synthesized rollup row summing their maximal members,
+so the report reads the same whether or not the root phase exists.
+Records carrying google-benchmark `counters` (bench_fleet exports its
+FleetStats that way) get derived fleet lines under the table: evictions/sec
+through the evict path, fault-in ms/call, the exported fault-in-inclusive
+view p99, and the warm-set bound.
+
 `--selftest` runs the built-in checks and exits (used by ctest).
 """
 
@@ -38,11 +47,14 @@ import tempfile
 def load(paths):
     """paths -> (profiles, peak_gbps|None).
 
-    profiles: list of (label, {path: {ns,count,flops,bytes}}) in file order,
-    one entry per record that carried a non-empty profile, merged across
-    repeated records of the same benchmark key (ns/count/flops/bytes sum).
+    profiles: list of (label, {path: {ns,count,flops,bytes}}, {counter: v})
+    in file order, one entry per record that carried a non-empty profile,
+    merged across repeated records of the same benchmark key
+    (ns/count/flops/bytes sum; counters are gauges, so the last record
+    wins).
     """
     merged = {}   # key -> {path: stats}
+    counters = {}  # key -> {name: value}
     order = []
     peak = None
     for path in paths:
@@ -73,6 +85,9 @@ def load(paths):
                                          {"ns": 0, "count": 0, "flops": 0, "bytes": 0})
                     for field in acc:
                         acc[field] += int(st.get(field, 0))
+                ctr = rec.get("counters")
+                if ctr:
+                    counters[key] = {k: float(v) for k, v in ctr.items()}
     labels = []
     for key in order:
         name, strategy, n, threads = key
@@ -83,7 +98,7 @@ def load(paths):
             parts.append(f"n={n}")
         if threads:
             parts.append(f"t={threads}")
-        labels.append((" ".join(parts), merged[key]))
+        labels.append((" ".join(parts), merged[key], counters.get(key, {})))
     return labels, peak
 
 
@@ -105,7 +120,72 @@ def self_ns(phases, path):
     return max(phases[path]["ns"] - child, 0)
 
 
-def render(label, phases, peak, top=0, out=sys.stdout):
+def group_orphans(phases):
+    """Returns a copy with rollup rows for families without a recorded root.
+
+    When two or more paths share a top segment that was never recorded as a
+    phase of its own (fleet/route, fleet/evict, ... with no "fleet"), a
+    synthetic root summing the maximal members is added so the family
+    renders as one indented group.  Its self time nets to zero, so sums
+    stay honest.
+    """
+    phases = dict(phases)
+    families = {}
+    for path in phases:
+        seg = path.split("/", 1)[0]
+        if seg != path:
+            families.setdefault(seg, []).append(path)
+    for seg, members in families.items():
+        if seg in phases or len(members) < 2:
+            continue
+        agg = {"ns": 0, "count": 0, "flops": 0, "bytes": 0}
+        skip = None
+        for path in sorted(members):  # maximal members only: no double count
+            if skip and path.startswith(skip):
+                continue
+            for field in agg:
+                agg[field] += phases[path][field]
+            skip = path + "/"
+        phases[seg] = agg
+    return phases
+
+
+def fleet_summary(phases, counters):
+    """Derived fleet lines: evictions/sec through the evict path, fault-in
+    cost, the exported fault-in-inclusive view p99, and the warm-set bound.
+    Empty for records without fleet phases or fleet counters."""
+    counters = counters or {}
+    if (not any(p == "fleet" or p.startswith("fleet/") for p in phases)
+            and "evictions" not in counters):
+        return []
+    lines = []
+    evictions = counters.get("evictions")
+    evict = phases.get("fleet/evict")
+    if evictions and evict and evict["ns"] > 0:
+        rate = evictions / (evict["ns"] / 1e9)
+        lines.append(f"fleet: {evictions:,.0f} evictions, {rate:,.0f}/s "
+                     f"through fleet/evict")
+    parts = []
+    fault = phases.get("fleet/fault_in")
+    if fault and fault["count"]:
+        parts.append(f"fault-in {fault['ns'] / 1e6 / fault['count']:.3f} "
+                     f"ms/call x{fault['count']}")
+    if "p99_us" in counters:
+        parts.append(f"view p99 {counters['p99_us']:.1f} us "
+                     f"(fault-in inclusive)")
+    if parts:
+        lines.append("fleet: " + ", ".join(parts))
+    if "warm" in counters and "instances" in counters:
+        bound = (f"fleet: warm {counters['warm']:,.0f} of "
+                 f"{counters['instances']:,.0f} touched instances")
+        if "warm_bytes" in counters:
+            bound += f", warm bytes {counters['warm_bytes'] / 1e6:.2f} MB"
+        lines.append(bound)
+    return lines
+
+
+def render(label, phases, peak, top=0, out=sys.stdout, counters=None):
+    phases = group_orphans(phases)
     out.write(f"== {label} ==\n")
     header = (f"{'phase':<36}{'count':>9}{'total ms':>12}{'ms/call':>12}"
               f"{'self ms':>12}{'GB/s':>9}{'GFLOP/s':>10}")
@@ -146,6 +226,8 @@ def render(label, phases, peak, top=0, out=sys.stdout):
             row += (f"{100.0 * gbps / peak:>7.1f}%" if gbps is not None
                     else f"{'-':>8}")
         out.write(row + "\n")
+    for line in fleet_summary(phases, counters):
+        out.write(line + "\n")
     out.write("\n")
 
 
@@ -167,8 +249,9 @@ def selftest():
         labels, peak = load([path])
         assert peak is not None and abs(peak - 20.1326592) < 1e-6, peak
         assert len(labels) == 1, labels  # the profile-less record contributes nothing
-        label, phases = labels[0]
+        label, phases, counters = labels[0]
         assert label == "BM_X localized n=256 t=4", label
+        assert counters == {}, counters
         assert phases["serve"]["ns"] == 8_000_000, phases  # merged across records
         # self of "serve" = 8ms - (6ms apply + 1ms notify) = 1ms
         assert self_ns(phases, "serve") == 1_000_000, self_ns(phases, "serve")
@@ -197,6 +280,44 @@ def selftest():
         # Cross-thread oversubscription clamps, never goes negative.
         phases["serve/epoch_apply"]["ns"] = 1_000_000
         assert self_ns(phases, "serve/epoch_apply") == 0
+        # Fleet records: orphaned fleet/* phases group under a synthesized
+        # rollup, and the exported counters derive the summary lines.
+        fleet_rec = {
+            "name": "BM_FleetZipfEdits", "n": 1048576, "strategy": "zipf",
+            "threads": 0, "ms": 3.0,
+            "profile": {
+                "fleet/route": {"ns": 1_000_000, "count": 4096, "flops": 0,
+                                "bytes": 0},
+                "fleet/fault_in": {"ns": 2_000_000, "count": 8, "flops": 0,
+                                   "bytes": 0},
+                "fleet/evict": {"ns": 4_000_000_000, "count": 4000,
+                                "flops": 0, "bytes": 0},
+                "fleet/cold_batch": {"ns": 3_000_000, "count": 2, "flops": 0,
+                                     "bytes": 0}},
+            "counters": {"instances": 50000.0, "warm": 1024.0,
+                         "warm_bytes": 2_000_000.0, "evictions": 4000.0,
+                         "faults": 3900.0, "p99_us": 12.5}}
+        fpath = os.path.join(tmp, "fleet.json")
+        with open(fpath, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(fleet_rec) + "\n")
+        flabels, _ = load([fpath])
+        flabel, fphases, fcounters = flabels[0]
+        assert fcounters["p99_us"] == 12.5, fcounters
+        grouped = group_orphans(fphases)
+        assert grouped["fleet"]["ns"] == 4_006_000_000, grouped
+        assert self_ns(grouped, "fleet") == 0  # rollup nets to zero self
+        lines = fleet_summary(grouped, fcounters)
+        # 4000 evictions over 4 s of fleet/evict -> 1,000/s.
+        assert any("1,000/s" in l for l in lines), lines
+        assert any("view p99 12.5 us" in l for l in lines), lines
+        assert any("warm 1,024 of 50,000" in l for l in lines), lines
+        buf = io.StringIO()
+        render(flabel, fphases, None, out=buf, counters=fcounters)
+        text = buf.getvalue()
+        assert "  route" in text and "  evict" in text, text  # grouped rows
+        assert "fleet: " in text, text
+        # Non-fleet records stay summary-free.
+        assert fleet_summary(phases, {}) == [], "non-fleet must not summarize"
     print("profile_report selftest: ok")
     return 0
 
@@ -229,8 +350,8 @@ def main():
         print("no profile objects found — build with -DSFCP_PROFILE=ON and rerun "
               "the bench with --json")
         return 0
-    for label, phases in labels:
-        render(label, phases, peak, top=args.top)
+    for label, phases, counters in labels:
+        render(label, phases, peak, top=args.top, counters=counters)
     return 0
 
 
