@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "inc/incremental_solver.hpp"
+#include "pram/worker_pool.hpp"
 #include "shard/sharded_engine.hpp"
 #include "util/generators.hpp"
 #include "util/random.hpp"
@@ -176,6 +177,37 @@ void BM_ShardedPerEditView(benchmark::State& state, Stream stream, std::size_t s
   state.SetItemsProcessed(static_cast<i64>(state.iterations()));
 }
 
+/// Threads-scaling on the persistent worker pool: a k=8 sharded engine with
+/// a WorkerPool of width t installed, so per-epoch repair fans dispatch to
+/// parked workers instead of forking an OpenMP team.  t=1 runs poolless
+/// (serial fan) and anchors the speedup ratio bench_diff.py reports for the
+/// /t2 /t4 /t8 keys.  CI records these to BENCH_pool.json; on a one-core
+/// runner the ratios sit near 1x (the fan is latency-, not
+/// bandwidth-bound there — see README "Parallel serving").
+void BM_PoolShardedEdits(benchmark::State& state, Stream stream, int threads) {
+  const Workload& w = workload(stream);
+  shard::ShardOptions sopt;
+  sopt.shards = 8;
+  pram::ExecutionContext ctx;
+  ctx.threads = threads;
+  std::unique_ptr<pram::WorkerPool> pool;
+  if (threads > 1) {
+    pool = std::make_unique<pram::WorkerPool>(threads);
+    ctx.pool = pool.get();
+  }
+  shard::ShardedEngine engine(graph::Instance(w.inst), core::Options::parallel(), ctx, sopt);
+  if (pool) engine.install_pool(pool.get());
+  benchmark::DoNotOptimize(engine.view().num_classes());
+  std::size_t round = 0;
+  for (auto _ : state) {
+    engine.apply(w.rounds[round]);
+    benchmark::DoNotOptimize(engine.epoch());
+    if (++round == kRounds) round = 0;
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(w.edits_per_round));
+}
+
 void BM_SingleSolverPerEditView(benchmark::State& state, Stream stream) {
   const Workload& w = workload(stream);
   inc::IncrementalSolver solver(graph::Instance(w.inst));
@@ -227,6 +259,15 @@ const int kRegistered = [] {
       benchmark::RegisterBenchmark(
           (std::string("BM_ShardedEdits/k") + std::to_string(k) + "/" + stream_name).c_str(),
           BM_ShardedEdits, stream, k, false)
+          ->Unit(benchmark::kMillisecond);
+    }
+    // Pool threads-scaling keys (BENCH_pool.json): thread count is a name
+    // segment so it lands in the record's strategy key, not `threads`.
+    for (const int t : {1, 2, 4, 8}) {
+      benchmark::RegisterBenchmark((std::string("BM_PoolShardedEdits/k8/t") + std::to_string(t) +
+                                    "/" + stream_name)
+                                       .c_str(),
+                                   BM_PoolShardedEdits, stream, t)
           ->Unit(benchmark::kMillisecond);
     }
     benchmark::RegisterBenchmark(

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <exception>
+#include <mutex>
 
 #include <omp.h>
 
 #include "pram/config.hpp"
+#include "pram/worker_pool.hpp"
 
 namespace sfcp::core {
 
@@ -42,6 +44,45 @@ std::vector<pram::MetricsSnapshot> Solver::solve_batch(
     preflight.metrics = nullptr;
     pram::ScopedContext guard(preflight);
     for (const auto& inst : instances) graph::validate(inst);
+  }
+
+  // With a session worker pool installed, fan the instances over its
+  // persistent workers instead of forking a nested OpenMP team: each
+  // instance solves serially on its lane (fleet floods have m >> width, so
+  // outer parallelism is all that matters) with per-instance metrics/seed,
+  // matching the OpenMP path's semantics including per-instance error
+  // capture.  Lanes own their workspaces, amortized across the batch.
+  if (pram::WorkerPool* pool = ctx_.pool;
+      pool != nullptr && m > 1 && !pram::WorkerPool::on_worker()) {
+    std::vector<pram::Metrics> sinks(m);
+    std::vector<SolveWorkspace> workspaces(static_cast<std::size_t>(pool->width()));
+    std::exception_ptr error;
+    std::mutex error_mu;
+    pool->fan(m, [&](std::size_t i) {
+      // Per-instance catch, exactly like the OpenMP path: one bad instance
+      // must not stop this lane from claiming the rest of the batch.
+      try {
+        pram::ExecutionContext local = ctx_;
+        local.threads = 1;
+        local.pool = nullptr;  // inner rounds stay on this lane
+        local.metrics = &sinks[i];
+        local.seed = ctx_.seed + static_cast<u64>(i);
+        pram::ScopedContext guard(&local);
+        // Caller lane is width()-1, workers are 0..width()-2.
+        const int lane = pram::WorkerPool::lane();
+        SolveWorkspace& ws =
+            workspaces[static_cast<std::size_t>(lane >= 0 ? lane : pool->width() - 1)];
+        Result r = core::solve(instances[i], opt_, ws);
+        consume(i, std::move(r), ws);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lk(error_mu);
+        if (!error) error = std::current_exception();
+      }
+    });
+    if (error) std::rethrow_exception(error);
+    std::vector<pram::MetricsSnapshot> out(m);
+    for (std::size_t i = 0; i < m; ++i) out[i] = sinks[i].snapshot();
+    return out;
   }
 
   // Split the thread budget: outer workers across instances, the remainder

@@ -136,6 +136,14 @@ class Engine {
   /// (serve::Server SUBSCRIBE) consume.  Engines without delta tracking
   /// (batch) always downgrade to full.
   virtual inc::ViewDelta take_view_delta() { return inc::ViewDelta{epoch(), true, {}}; }
+
+  /// Installs (or, with null, removes) a session worker pool on the
+  /// engine's internal execution contexts, so its parallel rounds run on
+  /// persistent workers instead of fork-join teams (pram/worker_pool.hpp).
+  /// Engines hold context COPIES taken at construction, which is why the
+  /// pool cannot ride in via the caller's thread-local context alone.  The
+  /// pool must outlive the engine (or be uninstalled first); default no-op.
+  virtual void install_pool(pram::WorkerPool* pool) { (void)pool; }
 };
 
 /// Lazy re-solve engine: apply() mutates the instance and marks the cached
@@ -170,6 +178,8 @@ class BatchEngine final : public Engine {
   }
 
   core::Solver& solver() noexcept { return solver_; }
+
+  void install_pool(pram::WorkerPool* pool) override { solver_.context().pool = pool; }
 
   std::size_t footprint_bytes() const noexcept override {
     return (inst_.f.capacity() + inst_.b.capacity()) * sizeof(u32) +
@@ -212,6 +222,8 @@ class IncrementalEngine final : public Engine {
 
   inc::ViewDelta take_view_delta() override { return inc_.take_view_delta(); }
   std::size_t footprint_bytes() const noexcept override { return inc_.footprint_bytes(); }
+
+  void install_pool(pram::WorkerPool* pool) override { inc_.solver().context().pool = pool; }
 
   inc::IncrementalSolver& solver() noexcept { return inc_; }
   const inc::IncrementalSolver& solver() const noexcept { return inc_; }

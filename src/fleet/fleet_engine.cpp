@@ -464,6 +464,14 @@ bool FleetEngine::evict(InstanceId id) {
   return true;
 }
 
+void FleetEngine::install_pool(pram::WorkerPool* pool) {
+  cfg_.ctx.pool = pool;         // future materializations copy instance_ctx_()
+  solver_.context().pool = pool;  // cold-batch floods fan on the pool
+  for (Slot& s : slots_) {
+    if (s.engine) s.engine->install_pool(pool);
+  }
+}
+
 FleetStats FleetEngine::stats() const {
   FleetStats s = stats_;
   s.instances = slots_.size();

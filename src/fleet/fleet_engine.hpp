@@ -169,6 +169,13 @@ class FleetEngine {
   const FleetConfig& config() const noexcept { return cfg_; }
   SlabArena& arena() noexcept { return arena_; }
 
+  /// Installs (null: removes) a session worker pool on the fleet's own
+  /// batch solver, the config context every later-materialized engine
+  /// copies, and all currently-warm engines — so cold-batch floods fan out
+  /// on persistent workers and warm applies reuse them too.  The pool must
+  /// outlive the fleet (or be uninstalled first).
+  void install_pool(pram::WorkerPool* pool);
+
  private:
   enum class Tier : unsigned char { Unborn, Cold, Warm };
 

@@ -31,7 +31,8 @@ class Profiler;  // prof/profile.hpp
 
 namespace sfcp::pram {
 
-class Arena;  // pram/arena.hpp
+class Arena;       // pram/arena.hpp
+class WorkerPool;  // pram/worker_pool.hpp
 
 /// Default session seed (used when no context is installed).
 inline constexpr u64 kDefaultSeed = 0x5eed5eed5eedull;
@@ -54,6 +55,13 @@ struct ExecutionContext {
   /// time by components that keep long-lived per-node arrays (the
   /// incremental solver); transient scratch stays on the heap regardless.
   Arena* arena = nullptr;
+  /// Persistent worker pool (pram/worker_pool.hpp).  When non-null,
+  /// parallel_for/parallel_blocks/parallel_fan dispatch to the pool's
+  /// long-lived workers instead of forking an OpenMP team per round; null
+  /// keeps the fork-join OpenMP path.  The pool is NOT owned by the
+  /// context: whoever installs it (serve::Server, a bench, a test) must
+  /// keep it alive for as long as any context copy pointing at it is used.
+  WorkerPool* pool = nullptr;
 
   ExecutionContext& with_threads(int t) noexcept {
     threads = t;
@@ -79,10 +87,21 @@ struct ExecutionContext {
     arena = a;
     return *this;
   }
+  ExecutionContext& with_pool(WorkerPool* p) noexcept {
+    pool = p;
+    return *this;
+  }
 };
 
 namespace detail {
 inline thread_local const ExecutionContext* tls_context = nullptr;
+/// True on threads owned by a pram::WorkerPool.  Set once at worker spawn,
+/// never cleared: pool workers are single-purpose.  config.hpp's threads()
+/// reads this to force nested loops serial (one PRAM processor per worker),
+/// which keeps work/depth charging identical to a threads=1 run.
+inline thread_local bool tls_pool_worker = false;
+/// Worker lane index on pool threads (0..workers-1); -1 elsewhere.
+inline thread_local int tls_pool_lane = -1;
 }  // namespace detail
 
 /// The context installed on this thread, or null when running under the
@@ -94,6 +113,17 @@ inline u64 session_seed() noexcept {
   const ExecutionContext* c = current_context();
   return c ? c->seed : kDefaultSeed;
 }
+
+/// The worker pool of the installed context, or null (no pool installed /
+/// no context).  There is deliberately no process-wide fallback: a pool is
+/// session state, owned by whoever built the context.
+inline WorkerPool* session_pool() noexcept {
+  const ExecutionContext* c = current_context();
+  return c ? c->pool : nullptr;
+}
+
+/// True when the calling thread is a pram::WorkerPool worker.
+inline bool on_pool_worker() noexcept { return detail::tls_pool_worker; }
 
 /// Installs a context on the current thread for the guard's lifetime.
 ///

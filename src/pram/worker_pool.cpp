@@ -1,0 +1,255 @@
+#include "pram/worker_pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "pram/config.hpp"
+
+namespace sfcp::pram {
+
+namespace {
+
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+/// Iterations each side spins before falling back to the condvar.  Small on
+/// purpose: on an undersized machine (CI runners are often 1-2 cores) a
+/// parked worker beats a spinning one.
+constexpr int kSpinIters = 256;
+
+}  // namespace
+
+WorkerPool::WorkerPool(int threads) {
+  const int t = threads > 0 ? threads : pram::threads();
+  nworkers_ = std::max(0, t - 1);
+  base_.threads = t;
+  base_.pool = this;  // session_pool() on a worker resolves to its owner
+}
+
+WorkerPool::~WorkerPool() {
+  // Finish whatever is in flight first: task envs live on caller stacks
+  // and must not be touched after those frames unwind.  Errors no one
+  // waited for are dropped (a destructor cannot throw).
+  try {
+    wait();
+  } catch (...) {
+  }
+  if (threads_.empty()) return;
+  stop_.store(true, std::memory_order_seq_cst);
+  {
+    std::lock_guard<std::mutex> lk(sleep_mu_);
+  }
+  sleep_cv_.notify_all();
+  for (std::thread& th : threads_) {
+    if (th.joinable()) th.join();
+  }
+}
+
+void WorkerPool::ensure_spawned_() {
+  std::call_once(spawn_flag_, [this] {
+    if (nworkers_ <= 0) return;
+    lanes_.reserve(static_cast<std::size_t>(nworkers_));
+    for (int w = 0; w < nworkers_; ++w) lanes_.push_back(std::make_unique<Lane>());
+    threads_.reserve(static_cast<std::size_t>(nworkers_));
+    for (int w = 0; w < nworkers_; ++w) threads_.emplace_back([this, w] { worker_main_(w); });
+  });
+}
+
+void WorkerPool::worker_main_(int lane_idx) {
+  detail::tls_pool_worker = true;
+  detail::tls_pool_lane = lane_idx;
+  // Install the pool's base context ONCE for the worker's lifetime; each
+  // task then rebinds the submitting session's context, which is a pair of
+  // pointer stores, not a re-registration (profiler thread buffers attach
+  // lazily and persist).
+  const ScopedContext base_guard(&base_);
+  Lane& lane = *lanes_[static_cast<std::size_t>(lane_idx)];
+  for (;;) {
+    Task t;
+    if (try_pop_(lane, t)) {
+      run_task_(t);
+      continue;
+    }
+    bool got = false;
+    for (int i = 0; i < kSpinIters && !got; ++i) {
+      cpu_relax();
+      got = try_pop_(lane, t);
+    }
+    if (got) {
+      run_task_(t);
+      continue;
+    }
+    if (stop_.load(std::memory_order_acquire)) return;
+    // Park.  The seq_cst sleepers_ increment before the final emptiness
+    // check pairs with submit()'s seq_cst tail store before its sleepers_
+    // load: either the producer sees us (and notifies under the mutex), or
+    // the predicate sees the task.  No lost wakeups.
+    std::unique_lock<std::mutex> lk(sleep_mu_);
+    sleepers_.fetch_add(1, std::memory_order_seq_cst);
+    sleep_cv_.wait(lk, [&] {
+      return stop_.load(std::memory_order_seq_cst) ||
+             lane.tail.load(std::memory_order_seq_cst) !=
+                 lane.head.load(std::memory_order_relaxed);
+    });
+    sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+  }
+}
+
+void WorkerPool::run_task_(const Task& t) noexcept {
+  try {
+    const ScopedContext guard(t.ctx);  // null reverts to process defaults
+    t.fn(t.env, t.arg);
+  } catch (...) {
+    record_error_(std::current_exception());
+  }
+  if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lk(done_mu_);
+    done_cv_.notify_all();
+  }
+}
+
+bool WorkerPool::try_push_(Lane& lane, const Task& t) noexcept {
+  const std::size_t tail = lane.tail.load(std::memory_order_relaxed);
+  const std::size_t head = lane.head.load(std::memory_order_acquire);
+  if (tail - head >= kRingCap) return false;
+  lane.ring[tail & (kRingCap - 1)] = t;
+  lane.tail.store(tail + 1, std::memory_order_seq_cst);
+  return true;
+}
+
+bool WorkerPool::try_pop_(Lane& lane, Task& out) noexcept {
+  const std::size_t head = lane.head.load(std::memory_order_relaxed);
+  const std::size_t tail = lane.tail.load(std::memory_order_acquire);
+  if (head == tail) return false;
+  out = lane.ring[head & (kRingCap - 1)];
+  lane.head.store(head + 1, std::memory_order_release);
+  return true;
+}
+
+void WorkerPool::wake_sleepers_() {
+  if (sleepers_.load(std::memory_order_seq_cst) == 0) return;
+  {
+    std::lock_guard<std::mutex> lk(sleep_mu_);
+  }
+  sleep_cv_.notify_all();
+}
+
+void WorkerPool::record_error_(std::exception_ptr e) noexcept {
+  std::lock_guard<std::mutex> lk(err_mu_);
+  if (!first_error_) first_error_ = std::move(e);
+}
+
+void WorkerPool::submit(std::size_t slot, RawFn fn, void* env, std::size_t arg) {
+  ensure_spawned_();
+  const Task t{fn, env, arg, current_context()};
+  if (nworkers_ == 0 || on_worker()) {
+    // Degenerate width or nested use from a worker: one PRAM processor —
+    // run inline.  Errors still surface at wait() for uniform semantics.
+    try {
+      t.fn(t.env, t.arg);
+    } catch (...) {
+      record_error_(std::current_exception());
+    }
+    return;
+  }
+  const auto lane_of_slot = static_cast<int>(slot % static_cast<std::size_t>(width()));
+  if (lane_of_slot == nworkers_) {
+    caller_q_.push_back(t);  // the caller's own lane: runs inside wait()
+    return;
+  }
+  outstanding_.fetch_add(1, std::memory_order_relaxed);
+  if (!try_push_(*lanes_[static_cast<std::size_t>(lane_of_slot)], t)) {
+    outstanding_.fetch_sub(1, std::memory_order_relaxed);
+    try {
+      const ScopedContext guard(t.ctx);
+      t.fn(t.env, t.arg);
+    } catch (...) {
+      record_error_(std::current_exception());
+    }
+    return;
+  }
+  wake_sleepers_();
+}
+
+void WorkerPool::wait() {
+  if (!caller_q_.empty()) {
+    // Run the caller lane while workers chew on theirs.  Tasks may submit
+    // is NOT supported from inside tasks on the caller path; iterate by
+    // index defensively anyway.
+    for (std::size_t i = 0; i < caller_q_.size(); ++i) {
+      const Task t = caller_q_[i];
+      try {
+        const ScopedContext guard(t.ctx);
+        t.fn(t.env, t.arg);
+      } catch (...) {
+        record_error_(std::current_exception());
+      }
+    }
+    caller_q_.clear();
+  }
+  if (outstanding_.load(std::memory_order_acquire) != 0) {
+    for (int i = 0; i < kSpinIters; ++i) {
+      cpu_relax();
+      if (outstanding_.load(std::memory_order_acquire) == 0) break;
+    }
+    if (outstanding_.load(std::memory_order_acquire) != 0) {
+      std::unique_lock<std::mutex> lk(done_mu_);
+      done_cv_.wait(lk, [&] { return outstanding_.load(std::memory_order_acquire) == 0; });
+    }
+  }
+  std::exception_ptr err;
+  {
+    std::lock_guard<std::mutex> lk(err_mu_);
+    err = std::exchange(first_error_, nullptr);
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+void WorkerPool::drain_fan_(void* env, std::size_t /*unused*/) {
+  auto* job = static_cast<FanJob*>(env);
+  for (;;) {
+    const std::size_t i = job->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job->count) return;
+    job->run(job->env, i);
+  }
+}
+
+void WorkerPool::run_fan_(FanJob& job) {
+  ensure_spawned_();
+  if (nworkers_ == 0 || on_worker()) {
+    for (std::size_t i = 0; i < job.count; ++i) job.run(job.env, i);
+    return;
+  }
+  const ExecutionContext* ctx = current_context();
+  // One drain task per worker lane (capped by item count): each claims
+  // items off the shared cursor until dry.  No per-item ring traffic.
+  const int fanout =
+      static_cast<int>(std::min<std::size_t>(static_cast<std::size_t>(nworkers_), job.count));
+  for (int w = 0; w < fanout; ++w) {
+    outstanding_.fetch_add(1, std::memory_order_relaxed);
+    const Task t{&WorkerPool::drain_fan_, &job, 0, ctx};
+    if (!try_push_(*lanes_[static_cast<std::size_t>(w)], t)) {
+      outstanding_.fetch_sub(1, std::memory_order_relaxed);
+      continue;  // that lane is backlogged; the cursor covers its share
+    }
+  }
+  wake_sleepers_();
+  // The caller is a claimant too — but must not unwind past `job` (stack-
+  // owned, workers still read it) on an exception, so capture and let
+  // wait() rethrow after the barrier.
+  try {
+    drain_fan_(&job, 0);
+  } catch (...) {
+    record_error_(std::current_exception());
+  }
+  wait();
+}
+
+}  // namespace sfcp::pram

@@ -1,0 +1,175 @@
+#pragma once
+// worker_pool.hpp — persistent worker pool behind pram's parallel loops.
+//
+// The OpenMP realization of a PRAM round (pram/parallel_for.hpp) forks and
+// joins a thread team on EVERY loop.  That is fine for one long batch solve
+// but dominates the serving path, where ShardedEngine::apply() runs many
+// small repair fans per epoch.  A WorkerPool keeps `threads - 1` workers
+// alive for the whole session: each worker parks on a condvar between
+// epochs, is fed from its own single-producer/single-consumer task ring,
+// and installs its execution context once at spawn — so dispatching a
+// round costs two atomic stores per task instead of a team start.
+//
+// Surfaces, lowest to highest level:
+//
+//   submit(slot, fn, env, arg)  enqueue one task on lane `slot % width()`.
+//                               Slots give affinity: the same slot always
+//                               lands on the same lane (shard s -> lane
+//                               s % width, so a shard's repairs revisit the
+//                               worker whose cache already holds it).  Lane
+//                               width()-1 is the CALLER's lane; its tasks
+//                               run inside wait().
+//   wait()                      run caller-lane tasks, then block until
+//                               every submitted task finished.  Rethrows
+//                               the first exception any task raised.
+//   fan(count, body)            body(i) for i in [0, count): one atomic-
+//                               cursor job drained by every worker and the
+//                               caller together (no per-item enqueue, so a
+//                               million-item fan puts no pressure on the
+//                               rings).  Blocks until done; rethrows.
+//
+// Threading contract: ONE coordinating thread talks to the pool at a time
+// (submit/fan/wait) — matching the Engine contract of one apply() caller.
+// The rings are SPSC under exactly this contract.  Nested use from inside
+// a pool worker degrades to inline execution (a worker is one PRAM
+// processor; see config.hpp's threads()), so accidental nesting is safe.
+//
+// parallel_for / parallel_blocks / parallel_fan route here transparently
+// when the installed ExecutionContext carries a pool (execution_context
+// `pool` field); the OpenMP fork-join path remains the default and the
+// fallback, so batch-oriented callers (core::Solver::solve) are unchanged
+// unless a pool is installed.
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "pram/execution_context.hpp"
+
+namespace sfcp::pram {
+
+class WorkerPool {
+ public:
+  /// Plain-function task signature: `env` is caller-owned closure state
+  /// (must stay alive until wait() returns), `arg` an item index.
+  using RawFn = void (*)(void* env, std::size_t arg);
+
+  /// `threads` is the total parallel width INCLUDING the caller, matching
+  /// ExecutionContext::threads; the pool spawns `threads - 1` workers.
+  /// 0 resolves pram::threads() at construction.  Workers spawn lazily on
+  /// first submit/fan and are joined by the destructor.
+  explicit WorkerPool(int threads = 0);
+  ~WorkerPool();
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Parallel width: worker count + 1 (the caller participates).
+  int width() const noexcept { return nworkers_ + 1; }
+
+  /// True on threads owned by ANY WorkerPool (see execution_context.hpp).
+  static bool on_worker() noexcept { return detail::tls_pool_worker; }
+
+  /// This thread's worker lane (0..workers-1), or -1 on non-pool threads.
+  /// The caller of submit()/fan() is lane width()-1 by convention.
+  static int lane() noexcept { return detail::tls_pool_lane; }
+
+  /// Enqueues one task on lane `slot % width()`.  Captures the caller's
+  /// installed ExecutionContext pointer; the worker rebinds it around the
+  /// task, so charging/profiling land in the caller's session.  If the
+  /// target ring is full the task runs inline on the caller (correctness
+  /// over throughput).  Pair with wait().
+  void submit(std::size_t slot, RawFn fn, void* env, std::size_t arg);
+
+  /// Convenience: submit a reference to any callable taking (std::size_t).
+  /// `body` must outlive wait().
+  template <typename Body>
+  void submit(std::size_t slot, Body& body, std::size_t arg) {
+    submit(
+        slot, [](void* env, std::size_t a) { (*static_cast<Body*>(env))(a); },
+        static_cast<void*>(&body), arg);
+  }
+
+  /// body(i) for every i in [0, count), workers + caller claiming items
+  /// from a shared atomic cursor.  Blocks until all items ran; rethrows
+  /// the first exception.  Items are unordered; bodies on different items
+  /// must be independent (this is a PRAM round).
+  template <typename Body>
+  void fan(std::size_t count, Body&& body) {
+    if (count == 0) return;
+    using Decayed = std::decay_t<Body>;
+    FanJob job;
+    job.count = count;
+    job.env = const_cast<void*>(static_cast<const void*>(std::addressof(body)));
+    job.run = [](void* env, std::size_t i) { (*static_cast<Decayed*>(env))(i); };
+    run_fan_(job);
+  }
+
+  /// Runs pending caller-lane tasks, then blocks until every outstanding
+  /// task completed.  Rethrows the first captured task exception.
+  void wait();
+
+ private:
+  struct Task {
+    RawFn fn = nullptr;
+    void* env = nullptr;
+    std::size_t arg = 0;
+    const ExecutionContext* ctx = nullptr;  ///< caller's session at submit
+  };
+
+  struct FanJob {
+    std::atomic<std::size_t> next{0};
+    std::size_t count = 0;
+    RawFn run = nullptr;
+    void* env = nullptr;
+  };
+
+  static constexpr std::size_t kRingCap = 1024;  // power of two
+
+  /// One worker's SPSC task ring.  `tail` is written by the coordinating
+  /// caller (seq_cst, paired with the sleep protocol), `head` only by the
+  /// owning worker.
+  struct Lane {
+    alignas(64) std::atomic<std::size_t> head{0};
+    alignas(64) std::atomic<std::size_t> tail{0};
+    std::array<Task, kRingCap> ring;
+  };
+
+  void ensure_spawned_();
+  void worker_main_(int lane_idx);
+  void run_task_(const Task& t) noexcept;  ///< run + record error + count down
+  void run_fan_(FanJob& job);
+  static void drain_fan_(void* env, std::size_t);
+  bool try_push_(Lane& lane, const Task& t) noexcept;
+  bool try_pop_(Lane& lane, Task& out) noexcept;
+  void wake_sleepers_();
+  void record_error_(std::exception_ptr e) noexcept;
+
+  int nworkers_ = 0;
+  ExecutionContext base_{};  ///< installed once per worker at spawn
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::vector<std::thread> threads_;
+  std::once_flag spawn_flag_;
+  std::atomic<bool> stop_{false};
+
+  std::vector<Task> caller_q_;  ///< lane width()-1; drained by wait()
+
+  alignas(64) std::atomic<std::size_t> outstanding_{0};
+  std::mutex done_mu_;
+  std::condition_variable done_cv_;
+
+  std::atomic<int> sleepers_{0};  ///< workers parked (or about to park)
+  std::mutex sleep_mu_;
+  std::condition_variable sleep_cv_;
+
+  std::mutex err_mu_;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace sfcp::pram

@@ -10,10 +10,15 @@
 // n/log n workers — the same work/depth profile Cole's algorithm provides,
 // which is all the paper relies on.
 //
-// `parallel_merge_sort` builds sorted runs bottom-up and merges run pairs
-// with `parallel_merge`, ping-ponging between the input and one buffer:
-// O(n log n) work, O(log^2 n) depth (vs Cole's O(log n); the difference is
-// immaterial on a fixed-core host and is recorded in DESIGN.md).
+// `parallel_merge_sort` builds sorted runs bottom-up and merges them
+// level-synchronously, ping-ponging between the input and one buffer: each
+// width-doubling level is ONE parallel round (p blocks of the output, each
+// block walking the run pairs it overlaps via merge-path co-ranking — the
+// blocked p-way structure of omp_par::merge_sort), not one fork-join per
+// pair.  O(n log n) work, O(log^2 n) depth (vs Cole's O(log n); the
+// difference is immaterial on a fixed-core host and is recorded in
+// DESIGN.md).  On a serving session with a pram::WorkerPool installed the
+// per-level rounds dispatch to the persistent workers.
 //
 // Both are stable: ties prefer elements of `a` (merge) / earlier input
 // positions (sort).
@@ -95,15 +100,30 @@ void parallel_merge_sort(std::span<T> data, Cmp cmp = Cmp{}) {
   std::span<T> src = data;
   std::span<T> dst(buf);
   for (std::size_t width = base; width < n; width *= 2) {
-    const std::size_t pairs = (n + 2 * width - 1) / (2 * width);
-    for (std::size_t p = 0; p < pairs; ++p) {
-      const std::size_t lo = p * 2 * width;
-      const std::size_t mid = std::min(n, lo + width);
-      const std::size_t hi = std::min(n, lo + 2 * width);
-      std::span<const T> a(src.data() + lo, mid - lo);
-      std::span<const T> b(src.data() + mid, hi - mid);
-      parallel_merge(a, b, dst.subspan(lo, hi - lo), cmp);
-    }
+    // One round per level: every block owns a contiguous slice of the
+    // level's OUTPUT and walks the run pairs it overlaps, co-ranking its
+    // entry into each pair with merge_path_split.  A pair wholly inside a
+    // block is a plain std::merge; a pair spanning blocks is split at the
+    // block boundary (each side merges its half independently).
+    pram::parallel_blocks(n, [&](int /*blk*/, std::size_t lo, std::size_t hi) {
+      std::size_t pos = lo;
+      while (pos < hi) {
+        const std::size_t pair_lo = pos - pos % (2 * width);
+        const std::size_t mid = std::min(n, pair_lo + width);
+        const std::size_t pair_hi = std::min(n, pair_lo + 2 * width);
+        std::span<const T> a(src.data() + pair_lo, mid - pair_lo);
+        std::span<const T> b(src.data() + mid, pair_hi - mid);
+        const std::size_t out_hi = std::min(hi, pair_hi);
+        const auto [alo, blo] = merge_path_split(a, b, pos - pair_lo, cmp);
+        const auto [ahi, bhi] = merge_path_split(a, b, out_hi - pair_lo, cmp);
+        std::merge(a.begin() + static_cast<std::ptrdiff_t>(alo),
+                   a.begin() + static_cast<std::ptrdiff_t>(ahi),
+                   b.begin() + static_cast<std::ptrdiff_t>(blo),
+                   b.begin() + static_cast<std::ptrdiff_t>(bhi),
+                   dst.begin() + static_cast<std::ptrdiff_t>(pos), cmp);
+        pos = out_hi;
+      }
+    });
     std::swap(src, dst);
   }
   if (src.data() != data.data()) {

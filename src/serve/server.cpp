@@ -21,6 +21,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "pram/config.hpp"
+#include "pram/worker_pool.hpp"
 #include "prof/profile.hpp"
 
 namespace sfcp::serve {
@@ -173,6 +175,7 @@ std::unique_ptr<Engine> recover_engine(const std::string& checkpoint_path,
 Server::Server(std::unique_ptr<Engine> engine, ServerOptions opt)
     : engine_(std::move(engine)), opt_(std::move(opt)) {
   if (engine_ == nullptr) throw std::invalid_argument("serve::Server: null engine");
+  init_pool_();  // before replay, so recovery applies fan out too
 
   if (!opt_.journal_path.empty()) {
     if (opt_.checkpoint_path.empty()) opt_.checkpoint_path = opt_.journal_path + ".ckpt";
@@ -194,6 +197,7 @@ Server::Server(std::unique_ptr<Engine> engine, ServerOptions opt)
 Server::Server(std::unique_ptr<fleet::FleetEngine> fleet, ServerOptions opt)
     : fleet_(std::move(fleet)), opt_(std::move(opt)) {
   if (fleet_ == nullptr) throw std::invalid_argument("serve::Server: null fleet");
+  init_pool_();  // before replay, so recovery applies fan out too
 
   if (!opt_.journal_path.empty()) {
     journal_ = Journal(opt_.journal_path, opt_.fsync, JournalFormat::Fleet);
@@ -220,6 +224,15 @@ Server::Server(std::unique_ptr<fleet::FleetEngine> fleet, ServerOptions opt)
   }
 
   init_net_();
+}
+
+void Server::init_pool_() {
+  int width = opt_.pool_threads;
+  if (width < 0) width = pram::threads();
+  if (width <= 1) return;  // nothing to pool: the event loop is the 1 lane
+  pool_ = std::make_unique<pram::WorkerPool>(width);
+  if (engine_) engine_->install_pool(pool_.get());
+  if (fleet_) fleet_->install_pool(pool_.get());
 }
 
 void Server::init_net_() {

@@ -43,6 +43,14 @@ struct ServerOptions {
   u64 checkpoint_every = 0;     ///< auto-checkpoint every k accepted edits; 0 = off
 
   int backlog = 16;
+
+  /// Worker-pool width for epoch applies (pram/worker_pool.hpp): the server
+  /// owns a persistent pool and installs it on its engine/fleet, so
+  /// per-epoch repair fans run on long-lived workers instead of forking an
+  /// OpenMP team per apply().  -1 = auto (session pram::threads(); no pool
+  /// when that is 1), 0/1 = never pool, >= 2 = exactly that width
+  /// (including the event-loop thread as one lane).
+  int pool_threads = -1;
 };
 
 /// Counters the STATS frame exports alongside EngineStats.
@@ -149,7 +157,13 @@ class Server {
   std::string encode_stats_() const;
   bool do_checkpoint_(const std::string& path);
   void maybe_autocheckpoint_();
+  void init_pool_();
 
+  /// Session worker pool for epoch applies.  Declared BEFORE the engines:
+  /// members destruct in reverse declaration order, so the engines (which
+  /// hold installed pool pointers) go away first and the pool joins its
+  /// workers last.
+  std::unique_ptr<pram::WorkerPool> pool_;
   std::unique_ptr<Engine> engine_;        ///< classic mode; null in fleet mode
   std::unique_ptr<fleet::FleetEngine> fleet_;  ///< fleet mode; null in classic mode
   ServerOptions opt_;

@@ -145,21 +145,34 @@ void ShardedEngine::apply_segment_(std::span<const inc::Edit> seg) {
     inc::apply_raw(e, inst_.f, inst_.b);  // keep the global instance current
   }
   {
-    // Shards repair concurrently.  The fan-out loop runs under a grain of 1
-    // so a handful of shards still forks (the default grain is tuned for
-    // element loops); each shard solver re-installs its own context inside
-    // apply(), so charging lands in the session's (atomic) sink.
-    pram::ExecutionContext fan = ctx_;
-    fan.grain = 1;
-    pram::ScopedContext guard(fan);
+    // Shards repair concurrently; each shard solver re-installs its own
+    // context inside apply(), so charging lands in the session's (atomic)
+    // sink.  With a session pool the repairs enqueue straight onto the
+    // persistent workers, keyed by shard id so a shard's repairs revisit
+    // the lane whose cache already holds it; without one, parallel_fan
+    // forks a task-shaped OpenMP team (one task per dirty shard — no more
+    // grain=1 context-clone workaround).  Inner solver loops are serial on
+    // pool workers by construction (config.hpp threads()), so the fan
+    // never nests parallelism.
+    pram::ScopedContext guard(&ctx_);
     const std::size_t active = active_buf_.size();
-    pram::parallel_for(0, active, [&](std::size_t idx) {
+    auto repair_one = [&](std::size_t idx) {
       // Workers start from an empty scope path, so the slash in the name is
       // what files this under "shard" in the merged tree.
       prof::Scope prof_scope("shard/repair");
       const u32 s = active_buf_[idx];
       shards_[s].solver->apply(bucket_buf_[s]);
-    });
+    };
+    pram::WorkerPool* pool = ctx_.pool;
+    if (pool != nullptr && active > 1 && !pram::WorkerPool::on_worker()) {
+      pram::charge_round(active);
+      for (std::size_t idx = 0; idx < active; ++idx) {
+        pool->submit(static_cast<std::size_t>(active_buf_[idx]), repair_one, idx);
+      }
+      pool->wait();
+    } else {
+      pram::parallel_fan(active, repair_one);
+    }
   }
   for (const u32 s : active_buf_) {
     bucket_buf_[s].clear();
@@ -533,6 +546,15 @@ inc::ViewDelta ShardedEngine::take_view_delta() {
   view_delta_nodes_.clear();
   view_delta_full_ = false;
   return d;
+}
+
+void ShardedEngine::install_pool(pram::WorkerPool* pool) {
+  ctx_.pool = pool;
+  // Warm shard solvers hold their own context copies; later-built solvers
+  // (reshard, migration, load) inherit the pool through ctx_.
+  for (ShardState& sh : shards_) {
+    if (sh.solver) sh.solver->solver().context().pool = pool;
+  }
 }
 
 EngineStats ShardedEngine::serving_stats() const {

@@ -200,6 +200,13 @@ class ShardedEngine final : public Engine {
   /// whole-partition downgrade when any view re-rooted).
   inc::ViewDelta take_view_delta() override;
 
+  /// Installs the session worker pool on the engine context AND every warm
+  /// shard solver, so dirty-shard repairs enqueue straight onto persistent
+  /// workers (one SPSC lane per `shard % pool->width()`) instead of paying
+  /// an OpenMP team start per apply().  Shards built later (reshard,
+  /// migration, load) inherit it via ctx_.
+  void install_pool(pram::WorkerPool* pool) override;
+
  private:
   /// One live raw local label's stake in the global merge maps.
   struct Assign {

@@ -18,6 +18,7 @@
 #include "core/solver.hpp"
 #include "engine.hpp"
 #include "fleet/fleet_engine.hpp"
+#include "pram/worker_pool.hpp"
 #include "serve/client.hpp"
 #include "serve/server.hpp"
 #include "shard/sharded_engine.hpp"
@@ -30,6 +31,10 @@ namespace {
 struct Lane {
   std::string name;
   std::unique_ptr<Engine> engine;
+  /// Pooled lanes only: the session WorkerPool installed on `engine`.
+  /// Never used after the lane's last apply/view, so reverse-order member
+  /// destruction (pool first) is safe.
+  std::unique_ptr<pram::WorkerPool> pool;
 };
 
 /// Every registered engine, plus the sharded engine at each fuzzed shard
@@ -65,6 +70,22 @@ std::vector<Lane> make_lanes(const graph::Instance& inst) {
                    std::make_unique<shard::ShardedEngine>(graph::Instance(inst),
                                                           core::Options::parallel(),
                                                           pram::ExecutionContext{}, asopt)});
+  // Pooled lanes: sharded-k8 on a live WorkerPool at 2 and 8 threads.
+  // Repairs genuinely run concurrently here, and the harness checks the
+  // canonical views byte-identical to the fresh solve — i.e. to every
+  // single-threaded lane (determinism under concurrency).
+  for (const int t : {2, 8}) {
+    shard::ShardOptions psopt;
+    psopt.shards = 8;
+    pram::ExecutionContext pctx;
+    pctx.threads = t;
+    auto pool = std::make_unique<pram::WorkerPool>(t);
+    auto engine = std::make_unique<shard::ShardedEngine>(
+        graph::Instance(inst), core::Options::parallel(), pctx, psopt);
+    engine->install_pool(pool.get());
+    lanes.push_back(
+        {"sharded-k8-pool-t" + std::to_string(t), std::move(engine), std::move(pool)});
+  }
   return lanes;
 }
 
@@ -316,11 +337,21 @@ TEST(FuzzDifferential, LoopbackBatchUniform) {
 // byte-identical to a fresh solve of its own evolved reference instance —
 // routing must never cross streams, and tiering must never lose state.
 
-void run_fleet_lane(const std::string& engine_kind, std::size_t instances, u64 seed) {
+void run_fleet_lane(const std::string& engine_kind, std::size_t instances, u64 seed,
+                    int pool_threads = 1) {
   fleet::FleetConfig cfg;
   cfg.engine = engine_kind;
   cfg.warm_limit = instances / 8;  // force evict/fault-in churn
+  if (pool_threads > 1) cfg.ctx.threads = pool_threads;
   fleet::FleetEngine fleet(std::move(cfg));
+  // Pooled variant: cold-batch floods and warm applies fan out on a live
+  // WorkerPool; every per-instance view must stay byte-identical to the
+  // fresh solve regardless.
+  std::unique_ptr<pram::WorkerPool> pool;
+  if (pool_threads > 1) {
+    pool = std::make_unique<pram::WorkerPool>(pool_threads);
+    fleet.install_pool(pool.get());
+  }
 
   util::Rng rng(seed);
   std::vector<graph::Instance> reference(instances);
@@ -373,6 +404,14 @@ TEST(FuzzDifferential, FleetInterleavedIncremental) { run_fleet_lane("incrementa
 TEST(FuzzDifferential, FleetInterleavedBatch) { run_fleet_lane("batch", 64, 3002); }
 
 TEST(FuzzDifferential, FleetInterleavedSharded) { run_fleet_lane("sharded", 64, 3003); }
+
+TEST(FuzzDifferential, FleetInterleavedIncrementalPoolT2) {
+  run_fleet_lane("incremental", 64, 3004, /*pool_threads=*/2);
+}
+
+TEST(FuzzDifferential, FleetInterleavedShardedPoolT8) {
+  run_fleet_lane("sharded", 64, 3005, /*pool_threads=*/8);
+}
 
 }  // namespace
 }  // namespace sfcp

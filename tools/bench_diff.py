@@ -28,12 +28,22 @@ bench_fleet exports warm/warm_bytes/evictions/faults this way to document
 its bounded warm-set claim).  Counter drift beyond the threshold is
 reported the same way — warn-only, never a gate.
 
+Pool threads-scaling keys (BENCH_pool.json; strategies carrying a /t<k>
+thread-width segment, e.g. "BM_PoolShardedEdits/k8/t4/burst") additionally
+get a scaling report computed WITHIN the new record: for each family the
+t1 lane anchors speedup = t1_ms / tN_ms per width.  Reported warn-only by
+default; `--min-pool-speedup X` turns it into a gate requiring the widest
+lane of every family to reach at least X (exit 1 otherwise).  Note this is
+a same-run ratio, not a cross-commit diff — a one-core runner will sit
+near 1x, which is why the gate is opt-in.
+
 `--selftest` runs the built-in checks and exits (used by ctest).
 """
 
 import argparse
 import json
 import os
+import re
 import sys
 import tempfile
 
@@ -145,6 +155,51 @@ def diff(old, new, threshold, old_prof=None, new_prof=None,
     return lines, regressions
 
 
+POOL_SEG = re.compile(r"(?:^|/)t(\d+)(?=/|$)")
+
+
+def pool_families(records):
+    """{key: ms} -> {family: {width: ms}} for keys whose strategy carries a
+    /t<k> thread-width segment.  The family key is the record key with that
+    segment removed, so k8/t1/burst .. k8/t8/burst collapse into one family
+    keyed by (name, n, "k8/burst", threads)."""
+    fams = {}
+    for key, ms in records.items():
+        name, n, strategy, threads = key
+        m = POOL_SEG.search(strategy)
+        if not m:
+            continue
+        width = int(m.group(1))
+        family = (name, n, POOL_SEG.sub("", strategy).strip("/"), threads)
+        fams.setdefault(family, {})[width] = ms
+    return fams
+
+
+def pool_scaling(records, min_speedup=None):
+    """Returns (lines, failures): speedup-vs-t1 per family, computed within
+    one record file.  With min_speedup set, the WIDEST lane of each family
+    must reach it; narrower lanes are always informational."""
+    lines = []
+    failures = []
+    for family, widths in sorted(pool_families(records).items()):
+        if widths.get(1, 0) <= 0 or len(widths) < 2:
+            continue
+        base = widths[1]
+        widest = max(widths)
+        for width in sorted(widths):
+            if width == 1:
+                continue
+            speedup = base / widths[width] if widths[width] > 0 else 0.0
+            gated = min_speedup is not None and width == widest
+            flag = ""
+            if gated and speedup < min_speedup:
+                flag = f"  BELOW FLOOR (< {min_speedup:.2f}x)"
+                failures.append((family, width))
+            lines.append(f"{key_str(family)} t{width}: {base:.3f}ms / "
+                         f"{widths[width]:.3f}ms = {speedup:.2f}x vs t1{flag}")
+    return lines, failures
+
+
 def selftest():
     def record(name, ms, strategy="s", n=64, threads=2, profile=None,
                counters=None):
@@ -228,6 +283,32 @@ def selftest():
         assert none == [], "threshold not respected"
         _, empty = diff({}, new, threshold=20.0)
         assert empty == [], "disjoint records must not regress"
+
+        # Pool threads-scaling: k8/t1..t8 lanes collapse into one family;
+        # speedup anchors on t1; only the widest lane gates.
+        pool = {("BM_PoolShardedEdits", 0, "k8/t1/burst", 8): 8.0,
+                ("BM_PoolShardedEdits", 0, "k8/t2/burst", 8): 5.0,
+                ("BM_PoolShardedEdits", 0, "k8/t8/burst", 8): 2.0,
+                ("BM_ShardedEdits", 0, "k8/burst", 8): 3.0}  # no /t — ignored
+        fams = pool_families(pool)
+        assert list(fams) == [("BM_PoolShardedEdits", 0, "k8/burst", 8)], fams
+        assert fams[("BM_PoolShardedEdits", 0, "k8/burst", 8)] == \
+            {1: 8.0, 2: 5.0, 8: 2.0}, fams
+        plines, pfail = pool_scaling(pool)
+        assert len(plines) == 2 and pfail == [], (plines, pfail)
+        assert "t8: 8.000ms / 2.000ms = 4.00x" in plines[1], plines
+        _, pfail = pool_scaling(pool, min_speedup=3.0)
+        assert pfail == [], "4x widest lane must pass a 3x floor"
+        plines, pfail = pool_scaling(pool, min_speedup=5.0)
+        assert len(pfail) == 1, "4x widest lane must fail a 5x floor"
+        assert any("BELOW FLOOR" in l for l in plines), plines
+        # t2 at 1.6x never gates, even under a floor it misses.
+        assert not any("t2" in l and "BELOW FLOOR" in l for l in plines)
+        # A family with no t1 anchor is skipped, not divided by zero.
+        plines, pfail = pool_scaling(
+            {("x", 0, "k8/t2/burst", 8): 1.0, ("x", 0, "k8/t4/burst", 8): 0.5},
+            min_speedup=3.0)
+        assert plines == [] and pfail == [], (plines, pfail)
     print("bench_diff selftest: ok")
     return 0
 
@@ -238,6 +319,11 @@ def main():
     parser.add_argument("new", nargs="?", help="candidate BENCH_*.json")
     parser.add_argument("--threshold", type=float, default=20.0,
                         help="regression threshold in percent (default 20)")
+    parser.add_argument("--min-pool-speedup", type=float, default=None,
+                        metavar="X",
+                        help="gate: the widest /t<k> lane of every pool "
+                             "family in NEW must reach X speedup over its "
+                             "t1 lane (default: report-only)")
     parser.add_argument("--selftest", action="store_true",
                         help="run the built-in checks and exit")
     args = parser.parse_args()
@@ -254,12 +340,23 @@ def main():
     print(f"bench_diff: {args.old} -> {args.new} (threshold {args.threshold:.0f}%)")
     for line in lines:
         print(f"  {line}")
+    pool_lines, pool_failures = pool_scaling(new, args.min_pool_speedup)
+    if pool_lines:
+        print("bench_diff: pool threads-scaling (within new record)")
+        for line in pool_lines:
+            print(f"  {line}")
+    status = 0
     if regressions:
         print(f"bench_diff: {len(regressions)} benchmark(s) regressed "
               f"by more than {args.threshold:.0f}%")
-        return 1
-    print("bench_diff: no regressions beyond threshold")
-    return 0
+        status = 1
+    if pool_failures:
+        print(f"bench_diff: {len(pool_failures)} pool family(ies) below the "
+              f"{args.min_pool_speedup:.2f}x scaling floor")
+        status = 1
+    if status == 0:
+        print("bench_diff: no regressions beyond threshold")
+    return status
 
 
 if __name__ == "__main__":
