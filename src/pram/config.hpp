@@ -29,8 +29,11 @@ inline int& thread_count_ref() noexcept {
 inline int threads() noexcept {
   // A WorkerPool worker is ONE PRAM processor: nested loops on it run
   // serially (no oversubscription, and work/depth charging matches a
-  // threads=1 session exactly — see worker_pool.hpp).
-  if (on_pool_worker()) return 1;
+  // threads=1 session exactly — see worker_pool.hpp).  The same rule holds
+  // while the coordinator runs a pool task inline (caller lane, ring-full
+  // fallback): re-entering the pool from inside one of its own tasks would
+  // re-drain queues a live wait() further up the stack is iterating.
+  if (on_pool_worker() || in_pool_inline()) return 1;
   if (const ExecutionContext* c = current_context(); c && c->threads > 0) return c->threads;
   return std::max(1, thread_count_ref());
 }

@@ -102,6 +102,15 @@ inline thread_local const ExecutionContext* tls_context = nullptr;
 inline thread_local bool tls_pool_worker = false;
 /// Worker lane index on pool threads (0..workers-1); -1 elsewhere.
 inline thread_local int tls_pool_lane = -1;
+/// Depth of pool tasks the current thread is running INLINE — the
+/// coordinator standing in for a worker (caller-lane drain inside wait(),
+/// ring-full/degenerate submit fallbacks, its own share of a fan).  Nonzero
+/// pins threads() to 1 exactly like tls_pool_worker does on workers: an
+/// inline task is one PRAM processor, whatever session contexts it installs
+/// internally (shard solvers install their own, pool pointer included), so
+/// its nested rounds must run serial instead of re-entering the pool whose
+/// wait() is live further up this very stack.
+inline thread_local int tls_pool_inline = 0;
 }  // namespace detail
 
 /// The context installed on this thread, or null when running under the
@@ -124,6 +133,11 @@ inline WorkerPool* session_pool() noexcept {
 
 /// True when the calling thread is a pram::WorkerPool worker.
 inline bool on_pool_worker() noexcept { return detail::tls_pool_worker; }
+
+/// True while the calling thread is executing a pool task inline (the
+/// coordinator standing in for a worker).  threads() is then pinned to 1,
+/// so nested rounds run serial — same rule as on_pool_worker().
+inline bool in_pool_inline() noexcept { return detail::tls_pool_inline > 0; }
 
 /// Installs a context on the current thread for the guard's lifetime.
 ///

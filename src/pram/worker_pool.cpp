@@ -24,6 +24,23 @@ inline void cpu_relax() noexcept {
 /// parked worker beats a spinning one.
 constexpr int kSpinIters = 256;
 
+/// Marks the scope where the coordinator runs a pool task inline (caller
+/// lane inside wait(), ring-full/degenerate submit fallback, its share of a
+/// fan).  Pins pram::threads() to 1 and makes submit/fan treat this thread
+/// like a worker, so any parallel round the task runs nested — a shard
+/// repair whose solver installs its own pool-carrying context and then
+/// parallel_for's over a super-grain component — executes serially instead
+/// of re-entering fan() -> wait() and re-draining caller_q_ mid-iteration.
+/// TLS, not context sanitization, because tasks are free to install
+/// arbitrary session contexts internally.
+class InlineTaskGuard {
+ public:
+  InlineTaskGuard() noexcept { ++detail::tls_pool_inline; }
+  ~InlineTaskGuard() { --detail::tls_pool_inline; }
+  InlineTaskGuard(const InlineTaskGuard&) = delete;
+  InlineTaskGuard& operator=(const InlineTaskGuard&) = delete;
+};
+
 }  // namespace
 
 WorkerPool::WorkerPool(int threads) {
@@ -149,10 +166,12 @@ void WorkerPool::record_error_(std::exception_ptr e) noexcept {
 void WorkerPool::submit(std::size_t slot, RawFn fn, void* env, std::size_t arg) {
   ensure_spawned_();
   const Task t{fn, env, arg, current_context()};
-  if (nworkers_ == 0 || on_worker()) {
-    // Degenerate width or nested use from a worker: one PRAM processor —
-    // run inline.  Errors still surface at wait() for uniform semantics.
+  if (nworkers_ == 0 || on_worker() || in_pool_inline()) {
+    // Degenerate width or nested use from inside a pool task (worker or
+    // coordinator-inline): one PRAM processor — run inline, nested rounds
+    // pinned serial.  Errors still surface at wait() for uniform semantics.
     try {
+      const InlineTaskGuard inline_guard;
       t.fn(t.env, t.arg);
     } catch (...) {
       record_error_(std::current_exception());
@@ -167,7 +186,11 @@ void WorkerPool::submit(std::size_t slot, RawFn fn, void* env, std::size_t arg) 
   outstanding_.fetch_add(1, std::memory_order_relaxed);
   if (!try_push_(*lanes_[static_cast<std::size_t>(lane_of_slot)], t)) {
     outstanding_.fetch_sub(1, std::memory_order_relaxed);
+    // Ring full: run inline on the coordinator.  The inline pin keeps the
+    // task's nested rounds from re-entering the pool mid-submission loop
+    // (which would drain caller_q_ before the batch is fully enqueued).
     try {
+      const InlineTaskGuard inline_guard;
       const ScopedContext guard(t.ctx);
       t.fn(t.env, t.arg);
     } catch (...) {
@@ -179,21 +202,23 @@ void WorkerPool::submit(std::size_t slot, RawFn fn, void* env, std::size_t arg) 
 }
 
 void WorkerPool::wait() {
-  if (!caller_q_.empty()) {
-    // Run the caller lane while workers chew on theirs.  Tasks may submit
-    // is NOT supported from inside tasks on the caller path; iterate by
-    // index defensively anyway.
-    for (std::size_t i = 0; i < caller_q_.size(); ++i) {
-      const Task t = caller_q_[i];
-      try {
-        const ScopedContext guard(t.ctx);
-        t.fn(t.env, t.arg);
-      } catch (...) {
-        record_error_(std::current_exception());
-      }
+  // Run the caller lane while workers chew on theirs.  The drain advances a
+  // MEMBER cursor, not a loop-local index: tasks run under the inline pin,
+  // so they cannot legally re-enter wait(), but if one ever does anyway the
+  // re-entrant drain continues from the cursor instead of replaying (and
+  // re-entrantly double-running) tasks the outer drain already started.
+  while (caller_pos_ < caller_q_.size()) {
+    const Task t = caller_q_[caller_pos_++];
+    try {
+      const InlineTaskGuard inline_guard;
+      const ScopedContext guard(t.ctx);
+      t.fn(t.env, t.arg);
+    } catch (...) {
+      record_error_(std::current_exception());
     }
-    caller_q_.clear();
   }
+  caller_q_.clear();
+  caller_pos_ = 0;
   if (outstanding_.load(std::memory_order_acquire) != 0) {
     for (int i = 0; i < kSpinIters; ++i) {
       cpu_relax();
@@ -223,7 +248,11 @@ void WorkerPool::drain_fan_(void* env, std::size_t /*unused*/) {
 
 void WorkerPool::run_fan_(FanJob& job) {
   ensure_spawned_();
-  if (nworkers_ == 0 || on_worker()) {
+  if (nworkers_ == 0 || on_worker() || in_pool_inline()) {
+    // One PRAM processor (degenerate width, a worker, or the coordinator
+    // already inside an inline task): claim every item serially, nested
+    // rounds pinned serial too.
+    const InlineTaskGuard inline_guard;
     for (std::size_t i = 0; i < job.count; ++i) job.run(job.env, i);
     return;
   }
@@ -241,10 +270,12 @@ void WorkerPool::run_fan_(FanJob& job) {
     }
   }
   wake_sleepers_();
-  // The caller is a claimant too — but must not unwind past `job` (stack-
-  // owned, workers still read it) on an exception, so capture and let
-  // wait() rethrow after the barrier.
+  // The caller is a claimant too — one PRAM processor like the workers, so
+  // its share runs under the inline pin.  It must not unwind past `job`
+  // (stack-owned, workers still read it) on an exception, so capture and
+  // let wait() rethrow after the barrier.
   try {
+    const InlineTaskGuard inline_guard;
     drain_fan_(&job, 0);
   } catch (...) {
     record_error_(std::current_exception());

@@ -31,8 +31,20 @@
 // Threading contract: ONE coordinating thread talks to the pool at a time
 // (submit/fan/wait) — matching the Engine contract of one apply() caller.
 // The rings are SPSC under exactly this contract.  Nested use from inside
-// a pool worker degrades to inline execution (a worker is one PRAM
-// processor; see config.hpp's threads()), so accidental nesting is safe.
+// ANY pool task degrades to inline serial execution: a worker is one PRAM
+// processor (config.hpp's threads() pins to 1 there), and so is the
+// coordinator while it runs a task inline — caller-lane tasks inside
+// wait(), ring-full/degenerate submit fallbacks, and its own share of a
+// fan all execute under an in_pool_inline() pin, so a task whose body runs
+// nested parallel rounds (a shard repair over a super-grain component)
+// can never re-enter submit/fan/wait and re-drain queues the outer wait()
+// is still iterating.
+//
+// Error lifetime: every submit/fan sequence MUST be closed with wait()
+// (fan does so internally) before the next sequence begins on this pool.
+// Inline fallbacks defer task exceptions to the same first-error slot that
+// wait() drains; a sequence abandoned without wait() leaks its error into
+// the next, unrelated wait() on the pool.
 //
 // parallel_for / parallel_blocks / parallel_fan route here transparently
 // when the installed ExecutionContext carries a pool (execution_context
@@ -84,7 +96,9 @@ class WorkerPool {
   /// installed ExecutionContext pointer; the worker rebinds it around the
   /// task, so charging/profiling land in the caller's session.  If the
   /// target ring is full the task runs inline on the caller (correctness
-  /// over throughput).  Pair with wait().
+  /// over throughput), under the in_pool_inline() pin and with its
+  /// exception deferred to wait().  ALWAYS pair with wait(): it is what
+  /// collects deferred errors (see the error-lifetime note above).
   void submit(std::size_t slot, RawFn fn, void* env, std::size_t arg);
 
   /// Convenience: submit a reference to any callable taking (std::size_t).
@@ -158,7 +172,11 @@ class WorkerPool {
   std::once_flag spawn_flag_;
   std::atomic<bool> stop_{false};
 
-  std::vector<Task> caller_q_;  ///< lane width()-1; drained by wait()
+  std::vector<Task> caller_q_;     ///< lane width()-1; drained by wait()
+  std::size_t caller_pos_ = 0;     ///< wait()'s drain cursor into caller_q_.
+                                   ///< A member (not a loop-local) so even a
+                                   ///< re-entrant wait() cannot replay tasks
+                                   ///< that already ran.
 
   alignas(64) std::atomic<std::size_t> outstanding_{0};
   std::mutex done_mu_;

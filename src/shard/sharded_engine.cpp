@@ -151,9 +151,12 @@ void ShardedEngine::apply_segment_(std::span<const inc::Edit> seg) {
     // persistent workers, keyed by shard id so a shard's repairs revisit
     // the lane whose cache already holds it; without one, parallel_fan
     // forks a task-shaped OpenMP team (one task per dirty shard — no more
-    // grain=1 context-clone workaround).  Inner solver loops are serial on
-    // pool workers by construction (config.hpp threads()), so the fan
-    // never nests parallelism.
+    // grain=1 context-clone workaround).  Inner solver loops never nest
+    // parallelism: threads() pins to 1 on pool workers AND on the
+    // coordinator whenever it runs a repair inline (caller-lane shards in
+    // wait(), ring-full fallback) — that pin matters because the solver's
+    // own installed context carries the pool, so a super-grain repair on
+    // the caller lane would otherwise re-enter the pool mid-wait().
     pram::ScopedContext guard(&ctx_);
     const std::size_t active = active_buf_.size();
     auto repair_one = [&](std::size_t idx) {

@@ -110,6 +110,40 @@ TEST(WorkerPool, FanRethrows) {
                std::invalid_argument);
 }
 
+TEST(WorkerPool, CallerLaneNestedRoundsRunInlineExactlyOnce) {
+  // Regression: caller-lane tasks run under the submitting session's
+  // context (pool installed, threads > 1), so before the in_pool_inline()
+  // pin a nested parallel_for over a super-grain range dispatched
+  // fan() -> wait() from INSIDE the outer wait()'s drain loop, replaying
+  // already-run caller-lane tasks from index 0 (and re-entrantly re-running
+  // the in-flight one).  Nested rounds must instead run serial inline,
+  // exactly like on a worker.
+  pram::WorkerPool pool(4);
+  pram::ExecutionContext ctx;
+  ctx.threads = 4;
+  ctx.pool = &pool;
+  pram::ScopedContext guard(&ctx);
+  constexpr std::size_t kTasks = 6;
+  constexpr std::size_t kInner = 5000;  // > default grain (2048)
+  std::vector<int> hits(kTasks, 0);     // caller lane is serial: plain ints
+  std::vector<long> sums(kTasks, 0);
+  auto body = [&](std::size_t i) {
+    ++hits[i];
+    EXPECT_TRUE(pram::in_pool_inline()) << "inline pin missing on caller-lane task";
+    EXPECT_EQ(pram::threads(), 1) << "nested rounds not pinned serial";
+    long local = 0;  // safe only if the nested loop below stays serial
+    pram::parallel_for(0, kInner, [&](std::size_t j) { local += static_cast<long>(j); });
+    sums[i] = local;
+  };
+  // Slot 3 of a width-4 pool is the caller lane; 3 + 4*i stays on it.
+  for (std::size_t i = 0; i < kTasks; ++i) pool.submit(3 + 4 * i, body, i);
+  pool.wait();
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(hits[i], 1) << "caller-lane task " << i << " replayed by a re-entrant wait()";
+    EXPECT_EQ(sums[i], static_cast<long>(kInner) * (kInner - 1) / 2) << "task " << i;
+  }
+}
+
 TEST(WorkerPool, WorkersAreOnePramProcessor) {
   // On a worker: on_pool_worker() is set, threads() pins to 1, and a nested
   // parallel_for runs serially (correct result, no oversubscription) — the
@@ -220,13 +254,13 @@ TEST(ParallelBlocksThreadLimit, ScanStyleTwoPassStaysConsistent) {
 
 // ---- determinism of the pooled shard repair path --------------------------
 
-graph::Instance eight_components(u64 seed) {
+graph::Instance component_row(std::size_t count, std::size_t size, u64 seed) {
   util::Rng rng(seed);
   graph::Instance inst;
-  for (std::size_t j = 0; j < 8; ++j) {
-    const graph::Instance sub = util::random_function(100, 3, rng);
-    const u32 off = static_cast<u32>(j * 100);
-    for (std::size_t i = 0; i < 100; ++i) {
+  for (std::size_t j = 0; j < count; ++j) {
+    const graph::Instance sub = util::random_function(size, 3, rng);
+    const u32 off = static_cast<u32>(j * size);
+    for (std::size_t i = 0; i < size; ++i) {
       inst.f.push_back(sub.f[i] + off);
       inst.b.push_back(sub.b[i]);
     }
@@ -234,15 +268,19 @@ graph::Instance eight_components(u64 seed) {
   return inst;
 }
 
-/// set_b edits cycling through the 8 components — shard-routable (never
-/// cross-shard), and every batch of 8 dirties all 8 shards, so each apply
-/// exercises the pooled fan (not the single-dirty-shard caller fallback).
-std::vector<inc::Edit> spread_edits(std::size_t count, u64 seed) {
+graph::Instance eight_components(u64 seed) { return component_row(8, 100, seed); }
+
+/// set_b edits cycling through the components — shard-routable (never
+/// cross-shard), and every batch of `count` dirties all shards, so each
+/// apply exercises the pooled fan (not the single-dirty-shard fallback).
+std::vector<inc::Edit> spread_edits(std::size_t count, u64 seed, std::size_t comps = 8,
+                                    std::size_t size = 100) {
   util::Rng rng(seed);
   std::vector<inc::Edit> edits;
   edits.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
-    const u32 node = static_cast<u32>((i % 8) * 100) + rng.below_u32(100);
+    const u32 node = static_cast<u32>((i % comps) * size) +
+                     rng.below_u32(static_cast<u32>(size));
     edits.push_back(inc::Edit::set_b(node, rng.below_u32(5)));
   }
   return edits;
@@ -295,6 +333,61 @@ TEST(PoolDeterminism, ShardedChargesAndViewsMatchSingleThread) {
   const std::span<const u32> q8 = v8.labels();
   ASSERT_TRUE(std::equal(q1.begin(), q1.end(), q8.begin(), q8.end()))
       << "pooled canonical view diverged from single-threaded";
+}
+
+TEST(PoolDeterminism, SuperGrainCallerLaneRepairsMatchSingleThread) {
+  // Regression at REALISTIC shard sizes: shards larger than the parallel
+  // grain (2048) make a repair's inner rounds parallel-eligible, and with
+  // pool width 2 shards 1 and 3 land on the CALLER lane, running inline
+  // inside wait().  batch_rebuild_fraction = 0 forces every repair through
+  // a full re-solve, guaranteeing super-grain inner rounds.  Before the
+  // inline pin those rounds re-entered the pool from the drain loop and
+  // replayed completed repair tasks (double-charging and corrupting shard
+  // state); charges and views must match the threads=1 session exactly.
+  constexpr std::size_t kComponents = 4;
+  constexpr std::size_t kSize = 3000;  // > default grain of 2048
+  const graph::Instance inst = component_row(kComponents, kSize, 11);
+  const std::vector<inc::Edit> edits = spread_edits(32, 13, kComponents, kSize);
+  shard::ShardOptions sopt;
+  sopt.shards = kComponents;
+  sopt.repair.batch_rebuild_fraction = 0.0;  // threshold 1: always rebuild
+
+  pram::Metrics m1;
+  pram::ExecutionContext ctx1;
+  ctx1.threads = 1;
+  ctx1.metrics = &m1;
+  shard::ShardedEngine e1(graph::Instance(inst), core::Options::parallel(), ctx1, sopt);
+
+  pram::WorkerPool pool(2);
+  pram::Metrics m2;
+  pram::ExecutionContext ctx2;
+  ctx2.threads = 2;
+  ctx2.metrics = &m2;
+  // Pool installed from birth (not via install_pool afterwards): the
+  // construction solve's super-grain rounds then route to the pool as
+  // well, which doubles as TSan coverage — pool dispatch is condvar/atomic
+  // based and fully sanitizer-visible, unlike libgomp's barriers.
+  ctx2.pool = &pool;
+  shard::ShardedEngine e2(graph::Instance(inst), core::Options::parallel(), ctx2, sopt);
+
+  const u64 r1_0 = m1.round_count(), o1_0 = m1.ops();
+  const u64 r2_0 = m2.round_count(), o2_0 = m2.ops();
+  for (std::size_t i = 0; i < edits.size(); i += kComponents) {
+    const std::size_t len = std::min<std::size_t>(kComponents, edits.size() - i);
+    e1.apply(std::span<const inc::Edit>(edits).subspan(i, len));
+    e2.apply(std::span<const inc::Edit>(edits).subspan(i, len));
+  }
+  EXPECT_EQ(m1.round_count() - r1_0, m2.round_count() - r2_0)
+      << "depth charge diverged (task replayed or nested round forked)";
+  EXPECT_EQ(m1.ops() - o1_0, m2.ops() - o2_0) << "work charge diverged under the pool";
+
+  const core::PartitionView v1 = e1.view();
+  const core::PartitionView v2 = e2.view();
+  ASSERT_EQ(v1.num_classes(), v2.num_classes());
+  const std::span<const u32> q1 = v1.labels();
+  const std::span<const u32> q2 = v2.labels();
+  ASSERT_TRUE(std::equal(q1.begin(), q1.end(), q2.begin(), q2.end()))
+      << "super-grain pooled canonical view diverged from single-threaded";
 }
 
 TEST(PoolDeterminism, RepairErrorSurfacesFromPooledApply) {
