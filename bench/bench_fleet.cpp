@@ -16,6 +16,15 @@
 //     materialized through core::Solver::solve_batch (the cold_batches
 //     counter proves the batched path ran).  items_processed counts
 //     instances, so the console rate is cold starts/sec.
+//   * BM_FleetConcurrentEdits — pool threads-scaling on the warm fan:
+//     apply_batch with a WorkerPool of width t installed, so distinct
+//     instances' edit buckets repair concurrently on lane slot%t behind one
+//     epoch barrier.  t=1 runs poolless (serial) and anchors the
+//     speedup-vs-t1 ratio tools/bench_diff.py reports for the /t2 /t4 /t8
+//     keys; Zipf(0.99) and uniform id streams bound the skew range (a Zipf
+//     batch has fewer distinct instances, so less fan to exploit).  On a
+//     one-core CI runner the ratios sit near 1x — see README "Fleet
+//     serving" for the caveat.
 //
 // Recorded to BENCH_fleet.json in CI and diffed by tools/bench_diff.py.
 #include <benchmark/benchmark.h>
@@ -29,6 +38,7 @@
 #include <vector>
 
 #include "fleet/fleet_engine.hpp"
+#include "pram/worker_pool.hpp"
 #include "util/generators.hpp"
 #include "util/random.hpp"
 
@@ -64,22 +74,29 @@ struct Stream {
   std::vector<inc::Edit> edits;
 };
 
+Stream sample_stream(bool zipf_ids) {
+  Stream out;
+  util::Rng rng(0xf1ee7);
+  util::ZipfSampler zipf(kInstances);
+  out.ids.resize(kStreamLen);
+  out.edits.resize(kStreamLen);
+  for (std::size_t i = 0; i < kStreamLen; ++i) {
+    out.ids[i] = zipf_ids ? zipf(rng) : rng.below_u32(static_cast<u32>(kInstances));
+    const u32 x = rng.below_u32(kNodesPer);
+    out.edits[i] = rng.chance(0.75)
+                       ? inc::Edit::set_f(x, rng.below_u32(kNodesPer))
+                       : inc::Edit::set_b(x, rng.below_u32(kLabels));
+  }
+  return out;
+}
+
 const Stream& stream() {
-  static const Stream s = [] {
-    Stream out;
-    util::Rng rng(0xf1ee7);
-    util::ZipfSampler zipf(kInstances);
-    out.ids.resize(kStreamLen);
-    out.edits.resize(kStreamLen);
-    for (std::size_t i = 0; i < kStreamLen; ++i) {
-      out.ids[i] = zipf(rng);
-      const u32 x = rng.below_u32(kNodesPer);
-      out.edits[i] = rng.chance(0.75)
-                         ? inc::Edit::set_f(x, rng.below_u32(kNodesPer))
-                         : inc::Edit::set_b(x, rng.below_u32(kLabels));
-    }
-    return out;
-  }();
+  static const Stream s = sample_stream(/*zipf_ids=*/true);
+  return s;
+}
+
+const Stream& uniform_stream() {
+  static const Stream s = sample_stream(/*zipf_ids=*/false);
   return s;
 }
 
@@ -158,6 +175,34 @@ void BM_FleetColdFlood(benchmark::State& state) {
   state.counters["batched_cold_instances"] = static_cast<double>(cold_instances);
 }
 
+void BM_FleetConcurrentEdits(benchmark::State& state, bool zipf_ids, int threads) {
+  const Stream& s = zipf_ids ? stream() : uniform_stream();
+  fleet::FleetConfig cfg;
+  cfg.engine = "incremental";
+  cfg.warm_limit = kWarmLimit;
+  cfg.ctx.threads = threads;
+  auto fleet = std::make_unique<fleet::FleetEngine>(std::move(cfg));
+  fleet->set_factory(make_instance);
+  std::unique_ptr<pram::WorkerPool> pool;
+  if (threads > 1) {
+    pool = std::make_unique<pram::WorkerPool>(threads);
+    fleet->install_pool(pool.get());
+  }
+  std::vector<fleet::InstanceEdit> batch(kBatchEdits);
+  std::size_t at = 0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < kBatchEdits; ++i) {
+      batch[i] = {s.ids[at], s.edits[at]};
+      if (++at == kStreamLen) at = 0;
+    }
+    fleet->apply_batch(batch);
+  }
+  if (pool) fleet->install_pool(nullptr);  // the pool dies before the fleet
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(kBatchEdits));
+  export_fleet_counters(state, fleet->stats());
+}
+
 const int kRegistered = [] {
   benchmark::RegisterBenchmark(
       ("BM_FleetZipfEdits/zipf/" + std::to_string(kInstances)).c_str(), BM_FleetZipfEdits)
@@ -168,6 +213,19 @@ const int kRegistered = [] {
   benchmark::RegisterBenchmark(
       ("BM_FleetColdFlood/flood/" + std::to_string(kFlood)).c_str(), BM_FleetColdFlood)
       ->Unit(benchmark::kMillisecond);
+  // Warm-fan threads-scaling keys: thread count is a /t<k> name segment so
+  // it lands in the record's strategy key, grouping into bench_diff.py's
+  // pool-scaling families (speedup vs the /t1 anchor).
+  for (const bool zipf_ids : {true, false}) {
+    for (const int t : {1, 2, 4, 8}) {
+      benchmark::RegisterBenchmark(
+          (std::string("BM_FleetConcurrentEdits/") + (zipf_ids ? "zipf" : "uniform") + "/t" +
+           std::to_string(t))
+              .c_str(),
+          BM_FleetConcurrentEdits, zipf_ids, t)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
   return 0;
 }();
 

@@ -229,7 +229,10 @@ void print_serve_help() {
          "  --checkpoint <path>       checkpoint target (default '<journal>.ckpt'); loaded\n"
          "                            at startup when present\n"
          "  --checkpoint-every <k>    auto-checkpoint (and reset the journal) every k\n"
-         "                            accepted edits (default 0 = only on request)\n";
+         "                            accepted edits (default 0 = only on request)\n"
+         "  --pool-threads <t>        worker-pool width for epoch applies (default -1 =\n"
+         "                            auto from the session thread budget; 0/1 = never\n"
+         "                            pool; >= 2 = exactly t lanes incl. the event loop)\n";
 }
 
 int cmd_serve(int argc, char** argv) {
@@ -256,6 +259,8 @@ int cmd_serve(int argc, char** argv) {
       opt.checkpoint_path = argv[++i];
     } else if (arg == "--checkpoint-every" && i + 1 < argc) {
       checkpoint_every = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--pool-threads" && i + 1 < argc) {
+      opt.pool_threads = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
     } else {
       std::cerr << "unknown serve option '" << arg << "' (try 'serve --help')\n";
       return 2;
@@ -313,7 +318,11 @@ void print_fleet_help() {
          "  --journal <path>          write-ahead fleet edit journal (sfcp-fleet-journal\n"
          "                            v1); restart replays it per instance\n"
          "  --fsync always|epoch|off  journal durability (default 'epoch')\n"
-         "  --seed <s>                generator seed (default 20260807)\n";
+         "  --seed <s>                generator seed (default 20260807)\n"
+         "  --pool-threads <t>        worker-pool width for epoch applies: distinct\n"
+         "                            instances in one epoch repair concurrently on\n"
+         "                            lane slot%width (default -1 = auto from the\n"
+         "                            session thread budget; 0/1 = never pool)\n";
 }
 
 int cmd_fleet(int argc, char** argv) {
@@ -352,6 +361,8 @@ int cmd_fleet(int argc, char** argv) {
       opt.fsync = serve::parse_fsync_policy(argv[++i]);
     } else if (arg == "--seed" && i + 1 < argc) {
       seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--pool-threads" && i + 1 < argc) {
+      opt.pool_threads = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
     } else {
       std::cerr << "unknown fleet option '" << arg << "' (try 'fleet --help')\n";
       return 2;

@@ -144,6 +144,14 @@ class Engine {
   /// pool cannot ride in via the caller's thread-local context alone.  The
   /// pool must outlive the engine (or be uninstalled first); default no-op.
   virtual void install_pool(pram::WorkerPool* pool) { (void)pool; }
+
+  /// Rebinds the engine's work/depth sink (null = don't count) on its
+  /// internal execution contexts — same construction-time-copy rationale as
+  /// install_pool.  fleet::FleetEngine uses this to point each engine at a
+  /// per-lane scratch sink for the duration of a warm fan and back at the
+  /// session sink afterwards; the sink must outlive the binding.  Default
+  /// no-op for engines that never charge.
+  virtual void set_metrics(pram::Metrics* m) { (void)m; }
 };
 
 /// Lazy re-solve engine: apply() mutates the instance and marks the cached
@@ -180,6 +188,7 @@ class BatchEngine final : public Engine {
   core::Solver& solver() noexcept { return solver_; }
 
   void install_pool(pram::WorkerPool* pool) override { solver_.context().pool = pool; }
+  void set_metrics(pram::Metrics* m) override { solver_.context().metrics = m; }
 
   std::size_t footprint_bytes() const noexcept override {
     return (inst_.f.capacity() + inst_.b.capacity()) * sizeof(u32) +
@@ -224,6 +233,7 @@ class IncrementalEngine final : public Engine {
   std::size_t footprint_bytes() const noexcept override { return inc_.footprint_bytes(); }
 
   void install_pool(pram::WorkerPool* pool) override { inc_.solver().context().pool = pool; }
+  void set_metrics(pram::Metrics* m) override { inc_.solver().context().metrics = m; }
 
   inc::IncrementalSolver& solver() noexcept { return inc_; }
   const inc::IncrementalSolver& solver() const noexcept { return inc_; }

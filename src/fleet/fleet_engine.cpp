@@ -1,6 +1,7 @@
 #include "fleet/fleet_engine.hpp"
 
 #include <cstring>
+#include <exception>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -8,6 +9,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "pram/worker_pool.hpp"
 #include "prof/profile.hpp"
 #include "util/io.hpp"
 
@@ -20,18 +22,10 @@ namespace {
 // `sfcp-checkpoint v1` magics so fault-in can dispatch on the first 8 bytes.
 constexpr unsigned char kColdImageMagic[8] = {0x7f, 's', 'f', 'c', 'B', 'v', '1', '\n'};
 
-// splitmix64 finalizer — full-avalanche hash for the open-addressed table.
-u64 hash_id(u64 x) noexcept {
-  x += 0x9e3779b97f4a7c15ull;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-  return x ^ (x >> 31);
-}
-
 }  // namespace
 
 FleetEngine::FleetEngine(FleetConfig cfg)
-    : cfg_(std::move(cfg)), solver_(cfg_.options, cfg_.ctx), table_(16, kNil) {
+    : cfg_(std::move(cfg)), solver_(cfg_.options, cfg_.ctx) {
   if (engines().find(cfg_.engine) == nullptr) {
     throw std::invalid_argument("fleet::FleetEngine: no engine named '" + cfg_.engine + "'");
   }
@@ -53,12 +47,10 @@ FleetEngine::FleetEngine(FleetConfig cfg)
         id = id * 10 + static_cast<InstanceId>(c - '0');
       }
       if (!ok || find_(id) != kNil) continue;
-      Slot s;
-      s.id = id;
-      s.tier = Tier::Cold;
+      Slot& s = slots_[add_slot_(id)];
+      s.set_tier(Tier::Cold);
       s.on_disk = true;
       s.epoch = kEpochUnknown;
-      add_slot_(id, std::move(s));
       ++cold_count_;
     }
   }
@@ -74,19 +66,16 @@ void FleetEngine::create(InstanceId id, graph::Instance inst) {
                                 " already exists");
   }
   graph::validate(inst);
-  Slot s;
-  s.id = id;
-  s.tier = Tier::Unborn;
+  Slot& s = slots_[add_slot_(id)];
   s.nodes = inst.size();
   s.pending = std::move(inst);
-  add_slot_(id, std::move(s));
 }
 
 bool FleetEngine::contains(InstanceId id) const noexcept { return find_(id) != kNil; }
 
 bool FleetEngine::is_warm(InstanceId id) const noexcept {
   const u32 si = find_(id);
-  return si != kNil && slots_[si].tier == Tier::Warm;
+  return si != kNil && slots_[si].tier_now() == Tier::Warm;
 }
 
 // ---- routing -------------------------------------------------------------
@@ -98,12 +87,7 @@ pram::ExecutionContext FleetEngine::instance_ctx_() {
 }
 
 u32 FleetEngine::find_(InstanceId id) const noexcept {
-  const std::size_t mask = table_.size() - 1;
-  for (std::size_t i = hash_id(id) & mask;; i = (i + 1) & mask) {
-    const u32 si = table_[i];
-    if (si == kNil) return kNil;
-    if (slots_[si].id == id) return si;
-  }
+  return table_.find(id, [this](u32 si) noexcept { return slots_[si].id; });
 }
 
 u32 FleetEngine::ensure_slot_(InstanceId id) {
@@ -115,36 +99,20 @@ u32 FleetEngine::ensure_slot_(InstanceId id) {
   }
   graph::Instance inst = factory_(id);
   graph::validate(inst);
-  Slot s;
-  s.id = id;
-  s.tier = Tier::Unborn;
+  const u32 fresh = add_slot_(id);
+  Slot& s = slots_[fresh];
   s.nodes = inst.size();
   s.pending = std::move(inst);
-  return add_slot_(id, std::move(s));
+  return fresh;
 }
 
-u32 FleetEngine::add_slot_(InstanceId id, Slot slot) {
-  // Grow at ~70% load so probe chains stay short at fleet scale.
-  if ((slots_.size() + 1) * 10 >= table_.size() * 7) grow_table_();
-  const u32 si = static_cast<u32>(slots_.size());
-  slots_.push_back(std::move(slot));
-  const std::size_t mask = table_.size() - 1;
-  std::size_t i = hash_id(id) & mask;
-  while (table_[i] != kNil) i = (i + 1) & mask;
-  table_[i] = si;
+u32 FleetEngine::add_slot_(InstanceId id) {
+  const u32 si = slots_.push();
+  // The id must be in place before the route-table cell publishes the slot:
+  // a lock-free reader acquires the cell and immediately reads the id.
+  slots_[si].id = id;
+  table_.insert(id, si, [this](u32 x) noexcept { return slots_[x].id; });
   return si;
-}
-
-void FleetEngine::grow_table_() {
-  std::vector<u32> next(table_.size() * 2, kNil);
-  const std::size_t mask = next.size() - 1;
-  for (const u32 si : table_) {
-    if (si == kNil) continue;
-    std::size_t i = hash_id(slots_[si].id) & mask;
-    while (next[i] != kNil) i = (i + 1) & mask;
-    next[i] = si;
-  }
-  table_ = std::move(next);
 }
 
 // ---- warm LRU ------------------------------------------------------------
@@ -184,12 +152,12 @@ void FleetEngine::lru_touch_(u32 si) noexcept {
 void FleetEngine::admit_(u32 si, std::unique_ptr<Engine> engine) {
   Slot& s = slots_[si];
   s.engine = std::move(engine);
-  s.tier = Tier::Warm;
+  s.set_tier(Tier::Warm);
   s.pending = graph::Instance{};
   s.nodes = s.engine->size();
   s.bytes = s.engine->footprint_bytes();
   warm_bytes_ += s.bytes;
-  ++warm_count_;
+  warm_count_.fetch_add(1, std::memory_order_relaxed);
   lru_push_front_(si);
 }
 
@@ -276,8 +244,8 @@ void FleetEngine::fault_in_(u32 si) {
 
 void FleetEngine::wake_(u32 si) {
   Slot& s = slots_[si];
-  if (s.tier == Tier::Warm) return;
-  if (s.tier == Tier::Cold) {
+  if (s.tier_now() == Tier::Warm) return;
+  if (s.tier_now() == Tier::Cold) {
     fault_in_(si);
     return;
   }
@@ -311,9 +279,9 @@ void FleetEngine::evict_slot_(u32 si) {
     s.cold_image = std::move(os).str();
   }
   s.engine.reset();
-  s.tier = Tier::Cold;
+  s.set_tier(Tier::Cold);
   lru_unlink_(si);
-  --warm_count_;
+  warm_count_.fetch_sub(1, std::memory_order_relaxed);
   warm_bytes_ -= s.bytes;
   s.bytes = 0;
   ++cold_count_;
@@ -330,7 +298,8 @@ void FleetEngine::touch_after_op_(u32 si) {
 
 void FleetEngine::enforce_limits_(u32 pinned) {
   const auto over = [&]() noexcept {
-    return (cfg_.warm_limit != 0 && warm_count_ > cfg_.warm_limit) ||
+    return (cfg_.warm_limit != 0 &&
+            warm_count_.load(std::memory_order_relaxed) > cfg_.warm_limit) ||
            (cfg_.warm_bytes_limit != 0 && warm_bytes_ > cfg_.warm_bytes_limit);
   };
   while (over()) {
@@ -350,6 +319,21 @@ void FleetEngine::enforce_limits_(u32 pinned) {
 
 std::string FleetEngine::spill_path_(InstanceId id) const {
   return cfg_.spill_dir + "/i" + std::to_string(id) + ".ckpt";
+}
+
+// ---- per-lane metrics scratch --------------------------------------------
+
+void FleetEngine::bind_lane_metrics_(int width) {
+  while (lane_metrics_.size() < static_cast<std::size_t>(width)) {
+    lane_metrics_.push_back(std::make_unique<pram::Metrics>());
+  }
+  for (int l = 0; l < width; ++l) lane_metrics_[static_cast<std::size_t>(l)]->reset();
+}
+
+void FleetEngine::merge_lane_metrics_(int width, pram::Metrics& into) noexcept {
+  for (int l = 0; l < width; ++l) {
+    into.add(lane_metrics_[static_cast<std::size_t>(l)]->snapshot());
+  }
 }
 
 // ---- operations ----------------------------------------------------------
@@ -389,27 +373,83 @@ void FleetEngine::apply_batch(std::span<const InstanceEdit> batch) {
   }
 
   // Fault in cold members and gather the never-solved ones for one batched
-  // cold-start solve.
+  // cold-start solve — caller-lane work, before any fan.
   std::vector<u32> unborn;
   std::vector<graph::Instance> unborn_insts;
   for (const Group& g : groups) {
     Slot& s = slots_[g.slot];
-    if (s.tier == Tier::Cold) {
+    if (s.tier_now() == Tier::Cold) {
       fault_in_(g.slot);
-    } else if (s.tier == Tier::Unborn) {
+    } else if (s.tier_now() == Tier::Unborn) {
       unborn.push_back(g.slot);
       unborn_insts.push_back(std::move(s.pending));
     }
   }
   if (!unborn.empty()) materialize_batch_(unborn, std::move(unborn_insts));
 
+  pram::WorkerPool* pool = cfg_.ctx.pool;
+  const bool fan = pool != nullptr && pool->width() > 1 && groups.size() > 1 &&
+                   !pram::WorkerPool::on_worker() && !pram::in_pool_inline();
+  if (!fan) {
+    for (const Group& g : groups) {
+      Slot& s = slots_[g.slot];
+      s.engine->apply(g.edits);
+      stats_.edits += g.edits.size();
+      touch_after_op_(g.slot);
+    }
+    enforce_limits_(kNil);
+    return;
+  }
+
+  // Warm fan: each distinct instance's bucket repairs on pool lane
+  // `slot % width` (same-slot batches revisit the worker whose cache holds
+  // that engine), one epoch barrier closes the batch.  Workers pin nested
+  // rounds to one PRAM processor, so per-instance results and charges are
+  // identical to the serial path above; no extra round is charged for the
+  // fan itself, keeping charge parity with a threads=1 session.  Engines
+  // charge a per-lane sink during the fan (rebinding is a caller-side
+  // pointer store before submit / after the barrier); lane sinks merge into
+  // the session sink afterwards, so totals match the serial path exactly.
+  const int width = pool->width();
+  pram::Metrics* session = cfg_.ctx.metrics;
+  if (session != nullptr) bind_lane_metrics_(width);
+  auto repair_one = [&](std::size_t gi) {
+    const Group& g = groups[gi];
+    slots_[g.slot].engine->apply(g.edits);
+  };
+  {
+    prof::Scope scope("fleet/warm_fan");
+    for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+      const Group& g = groups[gi];
+      if (session != nullptr) {
+        slots_[g.slot].engine->set_metrics(
+            lane_metrics_[static_cast<std::size_t>(pool->lane_of(g.slot))].get());
+      }
+      pool->submit(g.slot, repair_one, gi);
+    }
+  }
+  std::exception_ptr fan_error;
+  {
+    prof::Scope scope("fleet/epoch_wait");
+    try {
+      pool->wait();
+    } catch (...) {
+      fan_error = std::current_exception();
+    }
+  }
+  if (session != nullptr) merge_lane_metrics_(width, *session);
+  // Post-barrier accounting stays on the caller lane, in group order — the
+  // final LRU order matches the serial path.  On a task error the sweep
+  // still runs (footprints of the groups that did repair must stay
+  // accounted) before the first error rethrows.
   for (const Group& g : groups) {
     Slot& s = slots_[g.slot];
-    s.engine->apply(g.edits);
+    if (session != nullptr) s.engine->set_metrics(session);
     stats_.edits += g.edits.size();
     touch_after_op_(g.slot);
   }
   enforce_limits_(kNil);
+  if (fan_error) std::rethrow_exception(fan_error);
 }
 
 core::PartitionView FleetEngine::view(InstanceId id) {
@@ -431,7 +471,7 @@ u64 FleetEngine::epoch(InstanceId id) {
   const u32 si = find_(id);
   if (si == kNil) return 0;
   Slot& s = slots_[si];
-  switch (s.tier) {
+  switch (s.tier_now()) {
     case Tier::Warm:
       return s.engine->epoch();
     case Tier::Unborn:
@@ -450,7 +490,7 @@ u64 FleetEngine::epoch(InstanceId id) {
 std::size_t FleetEngine::instance_size(InstanceId id) {
   const u32 si = ensure_slot_(id);
   Slot& s = slots_[si];
-  if (s.nodes == 0 && s.tier == Tier::Cold) {
+  if (s.nodes == 0 && s.tier_now() == Tier::Cold) {
     fault_in_(si);
     enforce_limits_(si);
   }
@@ -459,15 +499,17 @@ std::size_t FleetEngine::instance_size(InstanceId id) {
 
 bool FleetEngine::evict(InstanceId id) {
   const u32 si = find_(id);
-  if (si == kNil || slots_[si].tier != Tier::Warm) return false;
+  if (si == kNil || slots_[si].tier_now() != Tier::Warm) return false;
   evict_slot_(si);
   return true;
 }
 
 void FleetEngine::install_pool(pram::WorkerPool* pool) {
-  cfg_.ctx.pool = pool;         // future materializations copy instance_ctx_()
+  cfg_.ctx.pool = pool;           // future materializations copy instance_ctx_()
   solver_.context().pool = pool;  // cold-batch floods fan on the pool
-  for (Slot& s : slots_) {
+  const std::size_t n = slots_.size();
+  for (std::size_t si = 0; si < n; ++si) {
+    Slot& s = slots_[static_cast<u32>(si)];
     if (s.engine) s.engine->install_pool(pool);
   }
 }
@@ -475,7 +517,7 @@ void FleetEngine::install_pool(pram::WorkerPool* pool) {
 FleetStats FleetEngine::stats() const {
   FleetStats s = stats_;
   s.instances = slots_.size();
-  s.warm = warm_count_;
+  s.warm = warm_count_.load(std::memory_order_relaxed);
   s.cold = cold_count_;
   s.warm_bytes = warm_bytes_;
   if (cfg_.use_arena) {

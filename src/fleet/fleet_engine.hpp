@@ -30,7 +30,21 @@
 // recycles blocks instead of hammering the global heap.
 //
 // The external contract is single-threaded, like Engine: one caller at a
-// time.  Internally the cold-start batch fans out across solver threads.
+// time.  Internally the cold-start batch fans out across solver threads,
+// and — when a worker pool is installed — apply_batch() fans the WARM path
+// too: each distinct instance's edit bucket runs on pool lane
+// `slot % width` (the shard-affinity trick from shard::ShardedEngine), and
+// one epoch barrier (WorkerPool::wait) closes the batch, so the one-caller
+// Engine contract holds PER INSTANCE while different tenants repair
+// concurrently.  Everything that mutates fleet-wide state — routing-table
+// growth, materialization, eviction, LRU maintenance, cold-batch solving —
+// stays on the caller lane; the id→slot table and slot storage are
+// single-writer/multi-reader (fleet/route_table.hpp), which also makes
+// contains() / is_warm() / instance_count() / warm_count() safe to call
+// from other threads while a batch is in flight.  Determinism: every
+// instance's view and the charged rounds/ops are byte-identical to a
+// serial threads=1 apply of the same batch (workers pin nested rounds to
+// one PRAM processor; per-lane metrics sinks are merged at the barrier).
 //
 //   fleet::FleetConfig cfg;
 //   cfg.engine = "incremental";
@@ -40,6 +54,7 @@
 //   fleet.apply(42, edits);                  // routes, faults in, repairs
 //   core::PartitionView v = fleet.view(42);  // byte-identical to core::solve
 
+#include <atomic>
 #include <cstddef>
 #include <functional>
 #include <memory>
@@ -48,6 +63,7 @@
 #include <vector>
 
 #include "engine.hpp"
+#include "fleet/route_table.hpp"
 #include "fleet/slab_arena.hpp"
 #include "inc/edit.hpp"
 
@@ -128,9 +144,15 @@ class FleetEngine {
   /// std::invalid_argument when the id already exists or `inst` is invalid.
   void create(InstanceId id, graph::Instance inst);
 
+  // Lock-free observers: safe to call from ANY thread, concurrently with
+  // operations on the (single) fleet caller — routing reads go through the
+  // single-writer/multi-reader RouteTable and touch only a slot's immutable
+  // id and atomic tier.
   bool contains(InstanceId id) const noexcept;
   std::size_t instance_count() const noexcept { return slots_.size(); }
-  std::size_t warm_count() const noexcept { return warm_count_; }
+  std::size_t warm_count() const noexcept {
+    return warm_count_.load(std::memory_order_relaxed);
+  }
   bool is_warm(InstanceId id) const noexcept;
 
   /// Applies `edits` to instance `id` (routing, fault-in, or factory
@@ -141,7 +163,11 @@ class FleetEngine {
   /// Applies a mixed-instance batch: entries are grouped by id (preserving
   /// per-id order), cold instances fault in, and never-solved instances
   /// funnel into one core::Solver::solve_batch cold-start solve.  Warm-set
-  /// limits are enforced once, after the whole batch.
+  /// limits are enforced once, after the whole batch.  With a worker pool
+  /// installed, distinct instances' buckets repair concurrently on lane
+  /// `slot % width` behind one epoch barrier; footprint/LRU accounting and
+  /// eviction still run on the caller lane after the barrier, and results
+  /// and charges are identical to the pool-less serial path.
   void apply_batch(std::span<const InstanceEdit> batch);
 
   /// Immutable snapshot of instance `id`'s partition — byte-identical to
@@ -179,9 +205,15 @@ class FleetEngine {
  private:
   enum class Tier : unsigned char { Unborn, Cold, Warm };
 
+  /// One instance's bookkeeping.  `id` is immutable once the slot is
+  /// published through the route table and `tier` is atomic — those two are
+  /// the ONLY fields the lock-free observers may read; everything else is
+  /// caller-lane state (pool tasks additionally read `engine` for their own
+  /// group, which the caller published before the fan and does not mutate
+  /// until after the barrier).
   struct Slot {
     InstanceId id = 0;
-    Tier tier = Tier::Unborn;
+    std::atomic<Tier> tier{Tier::Unborn};
     std::unique_ptr<Engine> engine;  ///< warm only
     graph::Instance pending;         ///< unborn only: instance awaiting first solve
     std::string cold_image;          ///< cold, in-memory spill mode
@@ -190,16 +222,21 @@ class FleetEngine {
     std::size_t nodes = 0;           ///< instance size (0 = unknown, adopted spill)
     std::size_t bytes = 0;           ///< footprint_bytes() while warm
     u32 lru_prev = 0, lru_next = 0;  ///< intrusive warm LRU links
+
+    Tier tier_now() const noexcept { return tier.load(std::memory_order_relaxed); }
+    void set_tier(Tier t) noexcept { tier.store(t, std::memory_order_relaxed); }
   };
 
-  static constexpr u32 kNil = 0xffffffffu;
+  static constexpr u32 kNil = RouteTable::kNil;
   static constexpr u64 kEpochUnknown = ~u64{0};
 
   pram::ExecutionContext instance_ctx_();
   u32 find_(InstanceId id) const noexcept;
   u32 ensure_slot_(InstanceId id);
-  u32 add_slot_(InstanceId id, Slot slot);
-  void grow_table_();
+  /// Appends a fresh slot for `id` and publishes it through the route
+  /// table; the caller fills the remaining fields afterwards (readers can
+  /// already see the slot, but only as a default Unborn entry).
+  u32 add_slot_(InstanceId id);
 
   void lru_unlink_(u32 si) noexcept;
   void lru_push_front_(u32 si) noexcept;
@@ -225,19 +262,29 @@ class FleetEngine {
   void enforce_limits_(u32 pinned);
   std::string spill_path_(InstanceId id) const;
 
+  /// Grows/resets the per-lane metrics sinks for a `width`-lane warm fan.
+  void bind_lane_metrics_(int width);
+  /// Adds every lane sink's totals into `into` (the session sink), in lane
+  /// order, after the epoch barrier.
+  void merge_lane_metrics_(int width, pram::Metrics& into) noexcept;
+
   FleetConfig cfg_;
   // Declared before the slots so it outlives every engine drawing from it.
   SlabArena arena_;
   core::Solver solver_;
   std::function<graph::Instance(InstanceId)> factory_;
 
-  std::vector<Slot> slots_;   ///< append-only; slot index is stable
-  std::vector<u32> table_;    ///< open-addressed id→slot map, kNil = empty
-  std::size_t warm_count_ = 0;
+  StableSlots<Slot> slots_;  ///< append-only; slot references are stable
+  RouteTable table_;         ///< id→slot, lock-free reads, caller-lane writes
+  std::atomic<std::size_t> warm_count_{0};
   std::size_t warm_bytes_ = 0;
   std::size_t cold_count_ = 0;
   u32 lru_head_ = kNil, lru_tail_ = kNil;
   FleetStats stats_;
+  /// Per-lane warm-fan metrics scratch (index = slot % width): engines
+  /// charge their lane's sink during the fan so the session sink's cache
+  /// line is not ping-ponged; merged into the session sink at the barrier.
+  std::vector<std::unique_ptr<pram::Metrics>> lane_metrics_;
 };
 
 }  // namespace sfcp::fleet

@@ -1,0 +1,187 @@
+#pragma once
+// fleet::RouteTable / fleet::StableSlots — the lock-free-read routing layer
+// under fleet::FleetEngine.
+//
+// The fleet's hot path is a routing lookup per operation: id → slot through
+// an open-addressed hash table, then slot → engine through the slot array.
+// Both structures mutate ONLY on the caller lane (materialize, create,
+// evict-driven growth), but they are read from everywhere once the warm
+// path fans per-instance repairs across pool lanes — workers resolve their
+// group's slot, and monitoring threads probe contains()/is_warm() while a
+// batch is in flight.  Locking a reader path that is >99% reads would
+// serialize exactly the part the fan parallelized, so both structures are
+// single-writer / multi-reader with plain atomic publication instead:
+//
+//   * RouteTable keeps generations of the open-addressed cell array.  Cells
+//     only transition empty→occupied within a generation (ids are never
+//     removed; eviction keeps the slot), so a reader probing a published
+//     generation sees a prefix of the writer's inserts and every occupied
+//     cell it reaches is valid.  Growth rehashes into a fresh generation
+//     and publishes it with one release store; superseded generations are
+//     RETAINED (chained off the newest) until destruction, so a reader that
+//     loaded the old pointer keeps probing valid memory.  Retention is
+//     bounded: capacities grow geometrically, so every dead generation
+//     together costs less than one live table.
+//
+//   * StableSlots is an append-only chunked array: elements live in
+//     fixed-size chunks that never move, so a slot reference taken on any
+//     thread stays valid across growth (the vector it replaces invalidated
+//     every reference on push_back).  The chunk directory is a fixed array
+//     of atomic chunk pointers sized for ~33M slots.
+//
+// Memory-ordering contract (what makes the reader race-free): the writer
+// fully initializes the immutable part of a slot (its id) BEFORE storing
+// the slot index into a table cell with release; a reader acquires the cell
+// and may then read the id plus any atomic slot fields (tier).  Everything
+// else in a slot (engine pointer, LRU links, footprints) remains
+// caller-lane-only state — readers must not touch it.
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "pram/types.hpp"
+
+namespace sfcp::fleet {
+
+/// splitmix64 finalizer — full-avalanche hash for the open-addressed table.
+inline u64 route_hash(u64 x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Open-addressed id→slot map with lock-free reads and one writer (the
+/// fleet caller lane).  `IdOf` maps a slot index back to its id so probes
+/// can reject hash collisions; it must be safe to call from readers (the
+/// fleet passes a StableSlots lookup of the immutable Slot::id).
+class RouteTable {
+ public:
+  static constexpr u32 kNil = 0xffffffffu;
+
+  RouteTable() : head_(std::make_unique<Gen>(kInitialCap)) {
+    live_.store(head_.get(), std::memory_order_release);
+  }
+  RouteTable(const RouteTable&) = delete;
+  RouteTable& operator=(const RouteTable&) = delete;
+
+  /// Lock-free lookup, callable from any thread concurrently with insert().
+  template <typename IdOf>
+  u32 find(u64 id, IdOf&& id_of) const noexcept {
+    const Gen* g = live_.load(std::memory_order_acquire);
+    for (std::size_t i = route_hash(id) & g->mask;; i = (i + 1) & g->mask) {
+      const u32 si = g->cells[i].load(std::memory_order_acquire);
+      if (si == kNil) return kNil;
+      if (id_of(si) == id) return si;
+    }
+  }
+
+  /// Writer-only.  `id` must not already be present; the slot's id must be
+  /// written before this call (the cell's release store publishes it).
+  /// Grows at ~70% load, retaining the superseded generation for readers.
+  template <typename IdOf>
+  void insert(u64 id, u32 si, IdOf&& id_of) {
+    Gen* g = head_.get();
+    if ((size_ + 1) * 10 >= (g->mask + 1) * 7) {
+      grow_(id_of);
+      g = head_.get();
+    }
+    place_(*g, id, si);
+    ++size_;
+  }
+
+  std::size_t size() const noexcept { return size_; }
+
+ private:
+  static constexpr std::size_t kInitialCap = 16;  // power of two
+
+  struct Gen {
+    explicit Gen(std::size_t cap)
+        : cells(std::make_unique<std::atomic<u32>[]>(cap)), mask(cap - 1) {
+      for (std::size_t i = 0; i < cap; ++i) cells[i].store(kNil, std::memory_order_relaxed);
+    }
+    std::unique_ptr<std::atomic<u32>[]> cells;
+    std::size_t mask;
+    std::unique_ptr<Gen> prev;  ///< retained for in-flight readers
+  };
+
+  static void place_(Gen& g, u64 id, u32 si) noexcept {
+    std::size_t i = route_hash(id) & g.mask;
+    while (g.cells[i].load(std::memory_order_relaxed) != kNil) i = (i + 1) & g.mask;
+    g.cells[i].store(si, std::memory_order_release);
+  }
+
+  template <typename IdOf>
+  void grow_(IdOf&& id_of) {
+    const Gen* old = head_.get();
+    auto next = std::make_unique<Gen>((old->mask + 1) * 2);
+    for (std::size_t i = 0; i <= old->mask; ++i) {
+      const u32 si = old->cells[i].load(std::memory_order_relaxed);
+      if (si != kNil) place_(*next, id_of(si), si);
+    }
+    next->prev = std::move(head_);
+    head_ = std::move(next);
+    live_.store(head_.get(), std::memory_order_release);
+  }
+
+  std::unique_ptr<Gen> head_;      ///< newest generation; owns the retention chain
+  std::atomic<Gen*> live_{nullptr};  ///< what readers probe
+  std::size_t size_ = 0;
+};
+
+/// Append-only element store whose elements never move: references handed
+/// to pool lanes stay valid while the caller lane keeps appending.  One
+/// writer (push), lock-free element access from any thread for indices the
+/// reader learned through a RouteTable cell (or `size()` acquire).
+/// Elements are default-constructed in place — T need not be movable, so
+/// slots can hold atomic fields.
+template <typename T>
+class StableSlots {
+ public:
+  StableSlots() : chunks_(std::make_unique<std::atomic<T*>[]>(kMaxChunks)) {
+    for (std::size_t i = 0; i < kMaxChunks; ++i) {
+      chunks_[i].store(nullptr, std::memory_order_relaxed);
+    }
+  }
+  ~StableSlots() {
+    for (std::size_t c = 0; c < kMaxChunks; ++c) {
+      delete[] chunks_[c].load(std::memory_order_relaxed);
+    }
+  }
+  StableSlots(const StableSlots&) = delete;
+  StableSlots& operator=(const StableSlots&) = delete;
+
+  /// Writer-only: appends a default-constructed element, returns its index.
+  u32 push() {
+    const std::size_t i = size_.load(std::memory_order_relaxed);
+    const std::size_t c = i >> kChunkBits;
+    if (c >= kMaxChunks) throw std::length_error("fleet::StableSlots: slot directory full");
+    if (chunks_[c].load(std::memory_order_relaxed) == nullptr) {
+      chunks_[c].store(new T[kChunkSize], std::memory_order_release);
+    }
+    size_.store(i + 1, std::memory_order_release);
+    return static_cast<u32>(i);
+  }
+
+  T& operator[](u32 i) noexcept {
+    return chunks_[i >> kChunkBits].load(std::memory_order_acquire)[i & (kChunkSize - 1)];
+  }
+  const T& operator[](u32 i) const noexcept {
+    return chunks_[i >> kChunkBits].load(std::memory_order_acquire)[i & (kChunkSize - 1)];
+  }
+
+  std::size_t size() const noexcept { return size_.load(std::memory_order_acquire); }
+
+ private:
+  static constexpr std::size_t kChunkBits = 10;  // 1024 elements per chunk
+  static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkBits;
+  static constexpr std::size_t kMaxChunks = std::size_t{1} << 15;  // ~33M elements
+
+  std::unique_ptr<std::atomic<T*>[]> chunks_;
+  std::atomic<std::size_t> size_{0};
+};
+
+}  // namespace sfcp::fleet

@@ -13,12 +13,21 @@
 // pram::ExecutionContext::arena — solvers draw their long-lived arrays from
 // it through pram::ArenaAllocator without knowing the pooling policy.
 //
-// Thread safety: allocate/deallocate/stats are mutex-guarded because
-// core::Solver::solve_batch constructs seeded engines concurrently on its
-// worker threads (the fleet cold-start flood).  Blocks are pooled whole —
-// there is no intra-block bump allocation — so a block freed on one thread
-// is safely reused on another.
+// Thread safety: allocate/deallocate/stats may be called concurrently —
+// core::Solver::solve_batch constructs seeded engines on its worker
+// threads (the fleet cold-start flood), and FleetEngine's warm fan runs
+// per-instance repairs on pool lanes.  A single arena mutex would
+// serialize exactly those fans, so the free lists are STRIPED: each pool
+// worker homes to the stripe of its lane (pram::pool_worker_lane), other
+// threads hash their thread id, and an allocation that misses its home
+// stripe steals from the others before falling through to the heap (so a
+// block freed by the caller-lane evict sweep still feeds the next
+// worker-side fault-in).  Stats counters are plain atomics.  Blocks are
+// pooled whole — there is no intra-block bump allocation — so a block
+// freed on one stripe is safely reused from another.
 
+#include <array>
+#include <atomic>
 #include <cstddef>
 #include <mutex>
 #include <vector>
@@ -45,12 +54,14 @@ class SlabArena final : public pram::Arena {
   SlabArena& operator=(const SlabArena&) = delete;
 
   /// Rounds `bytes` up to its size class and returns a pooled block when one
-  /// is available, else a fresh heap block of the class size.  Alignments
-  /// beyond alignof(std::max_align_t) bypass the pool (exact aligned new).
+  /// is available (home stripe first, then stealing), else a fresh heap
+  /// block of the class size.  Alignments beyond alignof(std::max_align_t)
+  /// bypass the pool (exact aligned new).
   void* allocate(std::size_t bytes, std::size_t align) override;
 
-  /// Returns the block to its size-class pool (or the heap, for bypassed
-  /// over-aligned blocks).  `bytes` and `align` must match the allocation.
+  /// Returns the block to the calling thread's home-stripe pool (or the
+  /// heap, for bypassed over-aligned blocks).  `bytes` and `align` must
+  /// match the allocation.
   void deallocate(void* p, std::size_t bytes, std::size_t align) noexcept override;
 
   /// Releases every pooled block back to the heap.  Outstanding live blocks
@@ -64,11 +75,24 @@ class SlabArena final : public pram::Arena {
   // too large (or too aligned) to pool.
   static constexpr std::size_t kMinBlock = 64;
   static constexpr std::size_t kNumClasses = 26;  // up to 64 << 25 = 2 GiB
+  /// Free-list stripes (power of two).  Enough to spread an 8-wide pool;
+  /// beyond that lanes share stripes, which is still contention /8.
+  static constexpr std::size_t kStripes = 8;
   static std::size_t class_of_(std::size_t bytes, std::size_t align) noexcept;
+  static std::size_t home_stripe_() noexcept;
 
-  mutable std::mutex mu_;
-  std::vector<void*> pool_[kNumClasses];
-  Stats stats_;
+  struct Stripe {
+    std::mutex mu;
+    std::vector<void*> pool[kNumClasses];
+  };
+
+  mutable std::array<Stripe, kStripes> stripes_;
+  std::atomic<std::size_t> live_bytes_{0};
+  std::atomic<std::size_t> pooled_bytes_{0};
+  std::atomic<std::size_t> live_blocks_{0};
+  std::atomic<u64> allocs_{0};
+  std::atomic<u64> frees_{0};
+  std::atomic<u64> reuses_{0};
 };
 
 }  // namespace sfcp::fleet

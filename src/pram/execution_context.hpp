@@ -134,6 +134,11 @@ inline WorkerPool* session_pool() noexcept {
 /// True when the calling thread is a pram::WorkerPool worker.
 inline bool on_pool_worker() noexcept { return detail::tls_pool_worker; }
 
+/// Worker lane of the calling thread (0..workers-1), or -1 off-pool — the
+/// lane-scratch index allocator-level components use to pick a per-lane
+/// stripe (fleet::SlabArena) without depending on worker_pool.hpp.
+inline int pool_worker_lane() noexcept { return detail::tls_pool_lane; }
+
 /// True while the calling thread is executing a pool task inline (the
 /// coordinator standing in for a worker).  threads() is then pinned to 1,
 /// so nested rounds run serial — same rule as on_pool_worker().

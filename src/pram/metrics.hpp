@@ -117,6 +117,22 @@ struct Metrics {
     view_rebuilt.store(0, std::memory_order_relaxed);
   }
 
+  /// Adds a snapshot's totals into this sink — how per-lane scratch sinks
+  /// (fleet warm fan) merge into the session sink at a barrier.
+  void add(const MetricsSnapshot& s) noexcept {
+    operations.fetch_add(s.operations, std::memory_order_relaxed);
+    rounds.fetch_add(s.rounds, std::memory_order_relaxed);
+    sort_ops.fetch_add(s.sort_ops, std::memory_order_relaxed);
+    crcw_writes.fetch_add(s.crcw_writes, std::memory_order_relaxed);
+    edit_repairs.fetch_add(s.edit_repairs, std::memory_order_relaxed);
+    edit_rebuilds.fetch_add(s.edit_rebuilds, std::memory_order_relaxed);
+    edit_dirty.fetch_add(s.edit_dirty, std::memory_order_relaxed);
+    edit_repair_ns.fetch_add(s.edit_repair_ns, std::memory_order_relaxed);
+    edit_rebuild_ns.fetch_add(s.edit_rebuild_ns, std::memory_order_relaxed);
+    view_patched.fetch_add(s.view_patched, std::memory_order_relaxed);
+    view_rebuilt.fetch_add(s.view_rebuilt, std::memory_order_relaxed);
+  }
+
   std::uint64_t ops() const noexcept { return operations.load(std::memory_order_relaxed); }
   std::uint64_t round_count() const noexcept { return rounds.load(std::memory_order_relaxed); }
 

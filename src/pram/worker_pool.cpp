@@ -178,7 +178,7 @@ void WorkerPool::submit(std::size_t slot, RawFn fn, void* env, std::size_t arg) 
     }
     return;
   }
-  const auto lane_of_slot = static_cast<int>(slot % static_cast<std::size_t>(width()));
+  const int lane_of_slot = lane_of(slot);
   if (lane_of_slot == nworkers_) {
     caller_q_.push_back(t);  // the caller's own lane: runs inside wait()
     return;

@@ -92,6 +92,16 @@ class WorkerPool {
   /// The caller of submit()/fan() is lane width()-1 by convention.
   static int lane() noexcept { return detail::tls_pool_lane; }
 
+  /// The lane submit() routes `slot` to: `slot % width()`.  Coordinators
+  /// that keep per-lane scratch (metrics sinks, arena stripes) index it
+  /// with this, so a slot's scratch follows its lane affinity — including
+  /// when a ring-full fallback runs the task inline on the coordinator
+  /// (the scratch is keyed by slot, not by executing thread, and lane
+  /// scratch must therefore tolerate concurrent use, e.g. atomic sinks).
+  int lane_of(std::size_t slot) const noexcept {
+    return static_cast<int>(slot % static_cast<std::size_t>(width()));
+  }
+
   /// Enqueues one task on lane `slot % width()`.  Captures the caller's
   /// installed ExecutionContext pointer; the worker rebinds it around the
   /// task, so charging/profiling land in the caller's session.  If the

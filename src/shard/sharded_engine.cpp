@@ -560,6 +560,13 @@ void ShardedEngine::install_pool(pram::WorkerPool* pool) {
   }
 }
 
+void ShardedEngine::set_metrics(pram::Metrics* m) {
+  ctx_.metrics = m;
+  for (ShardState& sh : shards_) {
+    if (sh.solver) sh.solver->solver().context().metrics = m;
+  }
+}
+
 EngineStats ShardedEngine::serving_stats() const {
   EngineStats s;
   s.edits = retired_edits_;

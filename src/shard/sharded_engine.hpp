@@ -207,6 +207,10 @@ class ShardedEngine final : public Engine {
   /// migration, load) inherit it via ctx_.
   void install_pool(pram::WorkerPool* pool) override;
 
+  /// Rebinds the work/depth sink on the engine context and every warm shard
+  /// solver (same copy-at-construction rationale as install_pool).
+  void set_metrics(pram::Metrics* m) override;
+
  private:
   /// One live raw local label's stake in the global merge maps.
   struct Assign {

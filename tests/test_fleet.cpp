@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <filesystem>
 #include <memory>
@@ -18,6 +19,8 @@
 #include "engine.hpp"
 #include "fleet/fleet_engine.hpp"
 #include "fleet/slab_arena.hpp"
+#include "pram/metrics.hpp"
+#include "pram/worker_pool.hpp"
 #include "serve/client.hpp"
 #include "serve/server.hpp"
 #include "util/generators.hpp"
@@ -351,6 +354,208 @@ TEST(FleetEngine, ApplyBatchPreservesPerIdOrderAcrossInterleaving) {
   core::Solver oracle;
   EXPECT_EQ(to_vec(fleet.view(1).labels()), oracle.solve(a).q);
   EXPECT_EQ(to_vec(fleet.view(2).labels()), oracle.solve(b).q);
+}
+
+// ---- concurrent warm path (pooled apply_batch) ---------------------------
+// TSan targets: these run in the sanitize=thread CI job (the FleetEngine.*
+// ctest regex) and pin the warm-fan contract — exactly-once edit
+// application under lane contention, lock-free routing reads racing
+// caller-lane mutations, and byte/charge parity with a threads=1 apply.
+
+TEST(FleetEngine, WarmFanMatchesSerialChargesAndViews) {
+  constexpr std::size_t kIds = 24;
+  constexpr std::size_t kRounds = 5;
+  constexpr std::size_t kEditsPerRound = 3;
+
+  // Shared per-id edit streams, sampled once against the initial instances
+  // (node/label ranges never change, so the streams stay valid all rounds).
+  std::vector<std::vector<inc::Edit>> streams(kIds);
+  for (std::size_t id = 0; id < kIds; ++id) {
+    streams[id] = make_edits(make_instance(id, 32), kRounds * kEditsPerRound, 700 + id);
+  }
+
+  struct RunResult {
+    std::vector<std::vector<u32>> views;
+    std::vector<u64> epochs;
+    pram::MetricsSnapshot delta;
+  };
+  auto run = [&](int threads, pram::WorkerPool* pool) {
+    pram::Metrics metrics;
+    fleet::FleetConfig cfg;
+    cfg.engine = "incremental";
+    cfg.warm_limit = 8;  // kIds/3: every batch crosses the evict/fault churn
+    cfg.ctx.threads = threads;
+    cfg.ctx.metrics = &metrics;
+    fleet::FleetEngine fleet(std::move(cfg));
+    fleet.set_factory([](fleet::InstanceId id) { return make_instance(id, 32); });
+    if (pool != nullptr) fleet.install_pool(pool);
+
+    // Round 0 materializes every id through the cold-batch path; charges up
+    // to here are construction-shaped, so compare deltas past this point.
+    std::vector<fleet::InstanceEdit> batch;
+    for (std::size_t id = 0; id < kIds; ++id) batch.push_back({id, streams[id][0]});
+    fleet.apply_batch(batch);
+    const pram::MetricsSnapshot base = metrics.snapshot();
+
+    for (std::size_t r = 1; r < kRounds; ++r) {
+      batch.clear();
+      // Interleave ids within the round so groups carry per-id order.
+      for (std::size_t e = 0; e < kEditsPerRound; ++e) {
+        for (std::size_t id = 0; id < kIds; ++id) {
+          batch.push_back({id, streams[id][r * kEditsPerRound + e]});
+        }
+      }
+      fleet.apply_batch(batch);
+    }
+
+    RunResult out;
+    const pram::MetricsSnapshot end = metrics.snapshot();
+    out.delta.operations = end.operations - base.operations;
+    out.delta.rounds = end.rounds - base.rounds;
+    out.delta.sort_ops = end.sort_ops - base.sort_ops;
+    out.delta.crcw_writes = end.crcw_writes - base.crcw_writes;
+    out.delta.edit_repairs = end.edit_repairs - base.edit_repairs;
+    out.delta.edit_rebuilds = end.edit_rebuilds - base.edit_rebuilds;
+    out.delta.edit_dirty = end.edit_dirty - base.edit_dirty;
+    out.delta.view_patched = end.view_patched - base.view_patched;
+    out.delta.view_rebuilt = end.view_rebuilt - base.view_rebuilt;
+    for (std::size_t id = 0; id < kIds; ++id) {
+      out.epochs.push_back(fleet.epoch(id));
+      out.views.push_back(to_vec(fleet.view(id).labels()));
+    }
+    if (pool != nullptr) fleet.install_pool(nullptr);
+    return out;
+  };
+
+  const RunResult serial = run(1, nullptr);
+  pram::WorkerPool pool(4);
+  const RunResult pooled = run(4, &pool);
+
+  EXPECT_EQ(pooled.epochs, serial.epochs);
+  for (std::size_t id = 0; id < kIds; ++id) {
+    EXPECT_EQ(pooled.views[id], serial.views[id]) << "id=" << id;
+  }
+  // Charge parity with the serial path, field by field.  Wall-clock fields
+  // (edit_repair_ns / edit_rebuild_ns) are timing-dependent and excluded.
+  EXPECT_EQ(pooled.delta.operations, serial.delta.operations);
+  EXPECT_EQ(pooled.delta.rounds, serial.delta.rounds);
+  EXPECT_EQ(pooled.delta.sort_ops, serial.delta.sort_ops);
+  EXPECT_EQ(pooled.delta.crcw_writes, serial.delta.crcw_writes);
+  EXPECT_EQ(pooled.delta.edit_repairs, serial.delta.edit_repairs);
+  EXPECT_EQ(pooled.delta.edit_rebuilds, serial.delta.edit_rebuilds);
+  EXPECT_EQ(pooled.delta.edit_dirty, serial.delta.edit_dirty);
+  EXPECT_EQ(pooled.delta.view_patched, serial.delta.view_patched);
+  EXPECT_EQ(pooled.delta.view_rebuilt, serial.delta.view_rebuilt);
+}
+
+TEST(FleetEngine, WarmFanAppliesEachEditExactlyOnce) {
+  // Width 2: lane 1 is the caller lane, so worker-lane and caller-lane
+  // groups run side by side every batch — the tightest contention shape.
+  constexpr std::size_t kIds = 32;
+  constexpr std::size_t kN = 16;
+  constexpr std::size_t kRounds = 8;
+  pram::WorkerPool pool(2);
+  fleet::FleetConfig cfg;
+  cfg.engine = "incremental";
+  cfg.warm_limit = 0;  // keep every id warm: all rounds take the fan
+  cfg.ctx.threads = 2;
+  fleet::FleetEngine fleet(std::move(cfg));
+  std::vector<graph::Instance> mirror;
+  for (std::size_t id = 0; id < kIds; ++id) {
+    mirror.push_back(make_instance(id, kN));
+    fleet.create(id, mirror.back());
+  }
+  fleet.install_pool(&pool);
+
+  // Every edit is guaranteed state-changing (f[x] -> f[x]+1 mod n), so the
+  // per-instance epoch advances by exactly one per edit: a dropped or
+  // double-applied edit shows up as an epoch mismatch, not just a view one.
+  std::vector<fleet::InstanceEdit> batch;
+  for (std::size_t r = 0; r < kRounds; ++r) {
+    batch.clear();
+    for (std::size_t id = 0; id < kIds; ++id) {
+      const u32 x = static_cast<u32>((r * 7 + id) % kN);
+      const u32 v = static_cast<u32>((mirror[id].f[x] + 1) % kN);
+      const inc::Edit e = inc::Edit::set_f(x, v);
+      inc::apply_raw(e, mirror[id].f, mirror[id].b);
+      batch.push_back({id, e});
+    }
+    fleet.apply_batch(batch);
+  }
+
+  core::Solver oracle;
+  for (std::size_t id = 0; id < kIds; ++id) {
+    EXPECT_EQ(fleet.epoch(id), kRounds) << "id=" << id;
+    EXPECT_EQ(to_vec(fleet.view(id).labels()), oracle.solve(mirror[id]).q) << "id=" << id;
+  }
+  EXPECT_EQ(fleet.stats().edits, kRounds * kIds);
+  fleet.install_pool(nullptr);
+}
+
+TEST(FleetEngine, LockFreeObserversRaceCallerMutations) {
+  // Reader threads hammer the lock-free observers over the full id range
+  // while the caller thread grows the routing table (materialization),
+  // fans warm batches, and evicts — the exact races the RouteTable /
+  // atomic-tier scheme exists to make safe.  Correctness of the answers is
+  // only loosely asserted (tiers move under the readers); the point is
+  // that TSan sees the access pattern.
+  constexpr std::size_t kIds = 192;  // > 70% of 256: forces table regrowth
+  constexpr std::size_t kN = 12;
+  constexpr std::size_t kRounds = 6;
+  pram::WorkerPool pool(4);
+  fleet::FleetConfig cfg;
+  cfg.engine = "incremental";
+  cfg.warm_limit = 16;
+  cfg.ctx.threads = 4;
+  fleet::FleetEngine fleet(std::move(cfg));
+  fleet.set_factory([](fleet::InstanceId id) { return make_instance(id, kN); });
+  fleet.install_pool(&pool);
+
+  std::atomic<bool> stop{false};
+  std::atomic<u64> observed{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&] {
+      u64 acc = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        for (std::size_t id = 0; id < kIds; ++id) {
+          acc += fleet.contains(id) ? 1 : 0;
+          acc += fleet.is_warm(id) ? 1 : 0;
+        }
+        acc += fleet.warm_count() + fleet.instance_count();
+      }
+      observed.fetch_add(acc, std::memory_order_relaxed);
+    });
+  }
+
+  std::vector<graph::Instance> mirror;
+  for (std::size_t id = 0; id < kIds; ++id) mirror.push_back(make_instance(id, kN));
+  std::vector<fleet::InstanceEdit> batch;
+  for (std::size_t r = 0; r < kRounds; ++r) {
+    // Each round touches a growing prefix, so materialization (and table
+    // growth) keeps happening while readers probe ids not yet inserted.
+    const std::size_t upto = kIds * (r + 1) / kRounds;
+    batch.clear();
+    for (std::size_t id = 0; id < upto; ++id) {
+      const u32 x = static_cast<u32>((r * 5 + id) % kN);
+      const u32 v = static_cast<u32>((mirror[id].f[x] + 1) % kN);
+      const inc::Edit e = inc::Edit::set_f(x, v);
+      inc::apply_raw(e, mirror[id].f, mirror[id].b);
+      batch.push_back({id, e});
+    }
+    fleet.apply_batch(batch);
+    for (std::size_t id = r; id < upto; id += kRounds) (void)fleet.evict(id);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& th : readers) th.join();
+  EXPECT_GT(observed.load(), 0u);
+
+  EXPECT_EQ(fleet.instance_count(), kIds);
+  core::Solver oracle;
+  for (std::size_t id = 0; id < kIds; id += 17) {
+    EXPECT_EQ(to_vec(fleet.view(id).labels()), oracle.solve(mirror[id]).q) << "id=" << id;
+  }
+  fleet.install_pool(nullptr);
 }
 
 // ---- fleet-mode serving (FLEET_EDIT / FLEET_VIEW over loopback) ----------

@@ -338,7 +338,7 @@ TEST(FuzzDifferential, LoopbackBatchUniform) {
 // routing must never cross streams, and tiering must never lose state.
 
 void run_fleet_lane(const std::string& engine_kind, std::size_t instances, u64 seed,
-                    int pool_threads = 1) {
+                    int pool_threads = 1, bool batch_heavy = false) {
   fleet::FleetConfig cfg;
   cfg.engine = engine_kind;
   cfg.warm_limit = instances / 8;  // force evict/fault-in churn
@@ -369,8 +369,10 @@ void run_fleet_lane(const std::string& engine_kind, std::size_t instances, u64 s
   for (std::size_t round = 0; round < kRounds; ++round) {
     // Interleave: every instance gets edit `round` of its own stream, as one
     // mixed-instance batch (odd rounds) or per-instance applies (even), so
-    // both routing paths carry the same traffic.
-    if (round % 2 == 1) {
+    // both routing paths carry the same traffic.  batch_heavy sends EVERY
+    // round through apply_batch — with a pool that is one warm fan per
+    // round, each group racing the next round's caller-lane fault-in churn.
+    if (batch_heavy || round % 2 == 1) {
       std::vector<fleet::InstanceEdit> batch;
       batch.reserve(instances);
       for (std::size_t i = 0; i < instances; ++i) batch.push_back({i, streams[i][round]});
@@ -411,6 +413,21 @@ TEST(FuzzDifferential, FleetInterleavedIncrementalPoolT2) {
 
 TEST(FuzzDifferential, FleetInterleavedShardedPoolT8) {
   run_fleet_lane("sharded", 64, 3005, /*pool_threads=*/8);
+}
+
+// Batch-heavy pooled lanes: every round is one apply_batch, so the warm fan
+// runs 12 times over 64 instances against a warm cap of 8 — maximal
+// evict/fault churn between barriers at both pool widths.
+TEST(FuzzDifferential, FleetWarmFanIncrementalPoolT2) {
+  run_fleet_lane("incremental", 64, 3006, /*pool_threads=*/2, /*batch_heavy=*/true);
+}
+
+TEST(FuzzDifferential, FleetWarmFanIncrementalPoolT8) {
+  run_fleet_lane("incremental", 64, 3007, /*pool_threads=*/8, /*batch_heavy=*/true);
+}
+
+TEST(FuzzDifferential, FleetWarmFanShardedPoolT8) {
+  run_fleet_lane("sharded", 64, 3008, /*pool_threads=*/8, /*batch_heavy=*/true);
 }
 
 }  // namespace

@@ -309,6 +309,22 @@ def selftest():
             {("x", 0, "k8/t2/burst", 8): 1.0, ("x", 0, "k8/t4/burst", 8): 0.5},
             min_speedup=3.0)
         assert plines == [] and pfail == [], (plines, pfail)
+
+        # Fleet warm-fan keys (BENCH_fleet.json: BM_FleetConcurrentEdits/
+        # {zipf,uniform}/t<k>) group the same way: the /t<k> segment is the
+        # family splitter and the id-distribution segment keeps the zipf and
+        # uniform streams in separate families, each with its own t1 anchor.
+        fleet = {("BM_FleetConcurrentEdits", 0, "zipf/t1", 1): 10.0,
+                 ("BM_FleetConcurrentEdits", 0, "zipf/t4", 1): 4.0,
+                 ("BM_FleetConcurrentEdits", 0, "uniform/t1", 1): 14.0,
+                 ("BM_FleetConcurrentEdits", 0, "uniform/t4", 1): 10.0}
+        ffams = pool_families(fleet)
+        assert set(ffams) == {("BM_FleetConcurrentEdits", 0, "zipf", 1),
+                              ("BM_FleetConcurrentEdits", 0, "uniform", 1)}, ffams
+        flines, ffail = pool_scaling(fleet)
+        assert ffail == [] and len(flines) == 2, (flines, ffail)
+        assert any("zipf" in l and "= 2.50x" in l for l in flines), flines
+        assert any("uniform" in l and "= 1.40x" in l for l in flines), flines
     print("bench_diff selftest: ok")
     return 0
 

@@ -32,7 +32,12 @@ so the report reads the same whether or not the root phase exists.
 Records carrying google-benchmark `counters` (bench_fleet exports its
 FleetStats that way) get derived fleet lines under the table: evictions/sec
 through the evict path, fault-in ms/call, the exported fault-in-inclusive
-view p99, and the warm-set bound.
+view p99, and the warm-set bound.  Records with the pooled warm-fan phases
+(fleet/warm_fan = bucket dispatch, fleet/epoch_wait = the closing barrier)
+additionally get a per-barrier cost line, and records whose strategy
+carries a /t<k> thread-width segment (BM_FleetConcurrentEdits/zipf/t4)
+are grouped into a warm-fan scaling section after the tables: speedup vs
+the family's t1 lane and the implied parallel efficiency (speedup/width).
 
 `--selftest` runs the built-in checks and exits (used by ctest).
 """
@@ -40,6 +45,7 @@ view p99, and the warm-set bound.
 import argparse
 import json
 import os
+import re
 import sys
 import tempfile
 
@@ -47,14 +53,16 @@ import tempfile
 def load(paths):
     """paths -> (profiles, peak_gbps|None).
 
-    profiles: list of (label, {path: {ns,count,flops,bytes}}, {counter: v})
-    in file order, one entry per record that carried a non-empty profile,
-    merged across repeated records of the same benchmark key
+    profiles: list of (label, {path: {ns,count,flops,bytes}}, {counter: v},
+    meta) in file order, one entry per record that carried a non-empty
+    profile, merged across repeated records of the same benchmark key
     (ns/count/flops/bytes sum; counters are gauges, so the last record
-    wins).
+    wins).  meta carries {"name", "strategy", "ms"} with ms reduced to the
+    best-of minimum — what the warm-fan scaling section anchors on.
     """
     merged = {}   # key -> {path: stats}
     counters = {}  # key -> {name: value}
+    best_ms = {}  # key -> min ms
     order = []
     peak = None
     for path in paths:
@@ -85,6 +93,9 @@ def load(paths):
                                          {"ns": 0, "count": 0, "flops": 0, "bytes": 0})
                     for field in acc:
                         acc[field] += int(st.get(field, 0))
+                ms = float(rec.get("ms", 0))
+                if ms > 0 and (key not in best_ms or ms < best_ms[key]):
+                    best_ms[key] = ms
                 ctr = rec.get("counters")
                 if ctr:
                     counters[key] = {k: float(v) for k, v in ctr.items()}
@@ -98,7 +109,8 @@ def load(paths):
             parts.append(f"n={n}")
         if threads:
             parts.append(f"t={threads}")
-        labels.append((" ".join(parts), merged[key], counters.get(key, {})))
+        meta = {"name": name, "strategy": strategy, "ms": best_ms.get(key, 0.0)}
+        labels.append((" ".join(parts), merged[key], counters.get(key, {}), meta))
     return labels, peak
 
 
@@ -181,6 +193,59 @@ def fleet_summary(phases, counters):
         if "warm_bytes" in counters:
             bound += f", warm bytes {counters['warm_bytes'] / 1e6:.2f} MB"
         lines.append(bound)
+    # Pooled warm fan: per-barrier cost and where the caller's wall goes —
+    # dispatching buckets (fleet/warm_fan) vs blocked at the epoch barrier
+    # (fleet/epoch_wait, which also runs the caller lane's own buckets).
+    fan = phases.get("fleet/warm_fan")
+    wait = phases.get("fleet/epoch_wait")
+    if fan and wait and fan["count"]:
+        total = fan["ns"] + wait["ns"]
+        share = 100.0 * wait["ns"] / total if total else 0.0
+        lines.append(
+            f"fleet: warm fan {fan['count']:,} barriers, "
+            f"{total / 1e6 / fan['count']:.3f} ms/barrier "
+            f"(dispatch {fan['ns'] / 1e6 / fan['count']:.3f} ms, epoch_wait "
+            f"{wait['ns'] / 1e6 / fan['count']:.3f} ms = {share:.0f}% of fan wall)")
+    return lines
+
+
+WIDTH_SEG = re.compile(r"(?:^|/)t(\d+)(?=/|$)")
+
+
+def warm_fan_scaling(entries):
+    """Cross-record warm-fan scaling lines.
+
+    Groups entries whose strategy carries a /t<k> width segment into
+    families (name + strategy minus that segment) and, for families with a
+    t1 anchor, reports speedup = t1 ms / tk ms and the implied parallel
+    efficiency speedup/k — the warm-path number the pooled fleet exists
+    for.  The t1 lane runs poolless (the serial warm loop), so this is a
+    pooled-vs-serial ratio, not barrier accounting; on a one-core runner it
+    sits near 1x (see README "Fleet serving").
+    """
+    fams = {}
+    for _label, phases, _counters, meta in entries:
+        m = WIDTH_SEG.search(meta["strategy"])
+        if not m:
+            continue
+        fam = (meta["name"], WIDTH_SEG.sub("", meta["strategy"]).strip("/"))
+        fams.setdefault(fam, {})[int(m.group(1))] = (meta["ms"], phases)
+    lines = []
+    for fam, widths in sorted(fams.items()):
+        if widths.get(1, (0.0, None))[0] <= 0 or len(widths) < 2:
+            continue
+        base = widths[1][0]
+        for width in sorted(widths):
+            if width == 1:
+                continue
+            ms, phases = widths[width]
+            if ms <= 0:
+                continue
+            speedup = base / ms
+            eff = 100.0 * speedup / width
+            name, strategy = fam
+            lines.append(f"{name} {strategy} t{width}: {base:.3f} / {ms:.3f} ms"
+                         f" = {speedup:.2f}x vs t1, parallel efficiency {eff:.0f}%")
     return lines
 
 
@@ -249,9 +314,10 @@ def selftest():
         labels, peak = load([path])
         assert peak is not None and abs(peak - 20.1326592) < 1e-6, peak
         assert len(labels) == 1, labels  # the profile-less record contributes nothing
-        label, phases, counters = labels[0]
+        label, phases, counters, meta = labels[0]
         assert label == "BM_X localized n=256 t=4", label
         assert counters == {}, counters
+        assert meta == {"name": "BM_X", "strategy": "localized", "ms": 2.0}, meta
         assert phases["serve"]["ns"] == 8_000_000, phases  # merged across records
         # self of "serve" = 8ms - (6ms apply + 1ms notify) = 1ms
         assert self_ns(phases, "serve") == 1_000_000, self_ns(phases, "serve")
@@ -301,7 +367,7 @@ def selftest():
         with open(fpath, "w", encoding="utf-8") as fh:
             fh.write(json.dumps(fleet_rec) + "\n")
         flabels, _ = load([fpath])
-        flabel, fphases, fcounters = flabels[0]
+        flabel, fphases, fcounters, _fmeta = flabels[0]
         assert fcounters["p99_us"] == 12.5, fcounters
         grouped = group_orphans(fphases)
         assert grouped["fleet"]["ns"] == 4_006_000_000, grouped
@@ -318,6 +384,37 @@ def selftest():
         assert "fleet: " in text, text
         # Non-fleet records stay summary-free.
         assert fleet_summary(phases, {}) == [], "non-fleet must not summarize"
+
+        # Pooled warm-fan records: the per-barrier line splits the fan wall
+        # into dispatch vs epoch_wait, and /t<k> families get a scaling
+        # section anchored on the (fan-phase-free, poolless) t1 lane.
+        def fan_rec(width, ms, with_fan):
+            prof = {"fleet/route": {"ns": 500_000, "count": 256, "flops": 0,
+                                    "bytes": 0}}
+            if with_fan:
+                prof["fleet/warm_fan"] = {"ns": 2_000_000, "count": 10,
+                                          "flops": 0, "bytes": 0}
+                prof["fleet/epoch_wait"] = {"ns": 8_000_000, "count": 10,
+                                            "flops": 0, "bytes": 0}
+            return {"name": "BM_FleetConcurrentEdits", "n": 0,
+                    "strategy": f"zipf/t{width}", "threads": 1, "ms": ms,
+                    "profile": prof}
+        spath = os.path.join(tmp, "scaling.json")
+        with open(spath, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(fan_rec(1, 12.0, False)) + "\n")
+            fh.write(json.dumps(fan_rec(4, 4.0, True)) + "\n")
+        slabels, _ = load([spath])
+        _, s4_phases, _, _ = slabels[1]
+        fan_lines = fleet_summary(s4_phases, {})
+        # 10 barriers, (2ms + 8ms)/10 = 1.000 ms/barrier, wait = 80% of fan.
+        assert any("10 barriers" in l and "1.000 ms/barrier" in l
+                   and "80% of fan wall" in l for l in fan_lines), fan_lines
+        slines = warm_fan_scaling(slabels)
+        # 12ms / 4ms = 3x at width 4 -> 75% parallel efficiency.
+        assert len(slines) == 1, slines
+        assert "3.00x vs t1" in slines[0] and "efficiency 75%" in slines[0], slines
+        # No t1 anchor -> no scaling section (never divides by zero).
+        assert warm_fan_scaling(slabels[1:]) == [], "t1 anchor required"
     print("profile_report selftest: ok")
     return 0
 
@@ -350,8 +447,13 @@ def main():
         print("no profile objects found — build with -DSFCP_PROFILE=ON and rerun "
               "the bench with --json")
         return 0
-    for label, phases, counters in labels:
+    for label, phases, counters, _meta in labels:
         render(label, phases, peak, top=args.top, counters=counters)
+    scaling = warm_fan_scaling(labels)
+    if scaling:
+        print("warm-fan threads-scaling (speedup vs the t1 lane):")
+        for line in scaling:
+            print(f"  {line}")
     return 0
 
 
